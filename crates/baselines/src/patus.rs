@@ -1,0 +1,76 @@
+//! Patus baseline on the CPU platform (Figure 13).
+//!
+//! The paper: "Patus applies aggressive SIMD vectorization with SSE
+//! intrinsics, which leads to more unaligned memory accesses and thus
+//! exacerbates the memory-bound problem. In addition, the 3D star
+//! stencils require more data elements (e.g., 3d25pt_star, 3d31pt_star)
+//! ... which suffers more from discrete memory accesses."
+//!
+//! Model: unaligned SSE loads split across cache lines double the
+//! effective traffic and defeat the hardware prefetcher (bandwidth
+//! derate), and deep 3D star arms add discrete accesses proportional to
+//! the out-of-plane reach.
+
+use crate::BaselineCase;
+use msc_core::error::Result;
+use msc_core::schedule::Target;
+use msc_machine::model::MachineModel;
+
+/// Unaligned SSE loads touch two lines per vector.
+const UNALIGNED_TRAFFIC_FACTOR: f64 = 2.0;
+/// Prefetcher efficiency on the resulting irregular stream.
+const PREFETCH_DERATE: f64 = 0.45;
+/// Extra discrete-access penalty per unit of out-of-plane reach (3D).
+const STAR_ARM_PENALTY: f64 = 0.35;
+/// SSE (2 fp64 lanes, no FMA) vs the AVX2+FMA code MSC's compiler gets:
+/// 4x lower compute throughput.
+const SSE_COMPUTE_FACTOR: f64 = 4.0;
+
+/// Patus step time.
+pub fn step_time_s(case: &BaselineCase, machine: &MachineModel) -> Result<f64> {
+    let msc = case.msc_step(machine, Target::Cpu)?;
+    let mut mem = msc.mem_s * UNALIGNED_TRAFFIC_FACTOR / PREFETCH_DERATE;
+    if case.ndim == 3 {
+        let out_of_plane = (case.reach[0] + case.reach[1]) as f64;
+        mem *= 1.0 + STAR_ARM_PENALTY * (out_of_plane / 2.0 - 1.0).max(0.0);
+    }
+    Ok(mem.max(msc.compute_s * SSE_COMPUTE_FACTOR))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msc_core::catalog::{all_benchmarks, benchmark, BenchmarkId};
+    use msc_machine::model::Precision;
+    use msc_machine::presets::xeon_server;
+
+    fn speedup(id: BenchmarkId) -> f64 {
+        let c = BaselineCase::for_benchmark(&benchmark(id), Precision::Fp64).unwrap();
+        let m = xeon_server();
+        step_time_s(&c, &m).unwrap() / c.msc_step(&m, Target::Cpu).unwrap().time_s
+    }
+
+    #[test]
+    fn msc_beats_patus_everywhere() {
+        // Paper: "The performance of MSC is better than Patus for all
+        // stencil benchmarks".
+        for b in all_benchmarks() {
+            assert!(speedup(b.id) > 1.5, "{}", b.name);
+        }
+    }
+
+    #[test]
+    fn average_speedup_near_paper() {
+        // Paper Fig 13: average 5.94x.
+        let avg: f64 = all_benchmarks().iter().map(|b| speedup(b.id)).sum::<f64>() / 8.0;
+        assert!((4.0..=8.0).contains(&avg), "avg {avg:.2}");
+    }
+
+    #[test]
+    fn deep_3d_stars_hurt_patus_most() {
+        // 3d25pt/3d31pt suffer extra discrete-access penalties.
+        let deep = speedup(BenchmarkId::S3d31ptStar);
+        let shallow = speedup(BenchmarkId::S3d7ptStar);
+        assert!(deep > shallow, "deep {deep:.2} vs shallow {shallow:.2}");
+    }
+}

@@ -1,0 +1,179 @@
+//! Physis baseline on the CPU platform (Figure 14, Table 8).
+//!
+//! Physis targets GPU clusters: its generated per-point kernels assume
+//! massive thread parallelism and are neither vectorized nor tiled for
+//! CPU caches, and its halo exchange runs over an RPC runtime that
+//! routes coordination through a master process (paper §5.5: "the RPC
+//! runtime that coordinates the communication among all processes with a
+//! master process ... soon becomes the bottleneck as the amount of halo
+//! exchange increases"). MSC runs the same workloads with hybrid
+//! MPI+OpenMP and fully asynchronous exchange.
+
+use crate::BaselineCase;
+use msc_core::analysis::StencilStats;
+use msc_core::catalog::Benchmark;
+use msc_core::error::Result;
+use msc_core::prelude::*;
+use msc_core::schedule::Target;
+use msc_machine::model::{MachineModel, Precision};
+use msc_machine::NetworkModel;
+
+/// Fraction of peak the Physis scalar per-point CPU code sustains
+/// (unvectorized, subscript-evaluating reference path).
+const PHYSIS_COMPUTE_EFFICIENCY: f64 = 0.05;
+
+/// Intra-node (shared-memory) MPI transport for the 28-process runs.
+pub fn shm_network() -> NetworkModel {
+    NetworkModel {
+        name: "intra-node shared memory",
+        latency_us: 0.3,
+        bw_gbps: 12.0,
+        congestion_us_per_msg: 0.05,
+    }
+}
+
+/// The Figure 14 workload: the paper's enlarged grids (Table 8).
+#[derive(Debug, Clone)]
+pub struct PhysisCase {
+    pub base: BaselineCase,
+    pub mpi_procs: usize,
+    /// Faces partitioned (both dims/3 dims in the paper's process grids).
+    pub partitioned_dims: usize,
+}
+
+impl PhysisCase {
+    /// Build with the paper's §5.5 grids: 16384×28672 (2D),
+    /// 512×512×1792 (3D), 28 MPI processes.
+    pub fn for_benchmark(b: &Benchmark) -> Result<PhysisCase> {
+        let grid: Vec<usize> = if b.ndim == 2 {
+            vec![16384, 28672]
+        } else {
+            vec![512, 512, 1792]
+        };
+        let p = b.program(&grid, DType::F64, 2)?;
+        let base = BaselineCase {
+            bench_name: b.name,
+            points: b.points(),
+            ndim: b.ndim,
+            grid,
+            reach: p.stencil.reach(),
+            stats: StencilStats::of(&p.stencil, DType::F64)?,
+            prec: Precision::Fp64,
+        };
+        Ok(PhysisCase {
+            base,
+            mpi_procs: 28,
+            partitioned_dims: b.ndim,
+        })
+    }
+
+    /// Halo bytes each process exchanges per step (all partitioned faces,
+    /// all live states).
+    fn halo_bytes_per_proc(&self) -> f64 {
+        let c = &self.base;
+        let per_proc_points = c.n_points() / self.mpi_procs as f64;
+        // Approximate each face as sub-volume^((d-1)/d).
+        let face = per_proc_points.powf((c.ndim as f64 - 1.0) / c.ndim as f64);
+        let mean_reach =
+            c.reach.iter().sum::<usize>() as f64 / c.reach.len() as f64;
+        2.0 * self.partitioned_dims as f64 * mean_reach * face * c.elem() * c.n_states()
+    }
+
+    fn msgs_per_proc(&self) -> usize {
+        2 * self.partitioned_dims * self.base.stats.time_deps
+    }
+
+    /// MSC step: hybrid kernel + asynchronous exchange.
+    pub fn msc_step_time_s(&self, machine: &MachineModel) -> Result<f64> {
+        let kernel = self.base.msc_step(machine, Target::Cpu)?.time_s;
+        let net = shm_network();
+        let comm = net.exchange_time_s(
+            self.msgs_per_proc(),
+            self.halo_bytes_per_proc(),
+            self.mpi_procs,
+        );
+        // Asynchronous exchange overlaps with interior compute.
+        Ok(kernel + (comm - kernel * 0.5).max(0.0))
+    }
+
+    /// Physis step: scalar per-point kernel + master-coordinated
+    /// exchange.
+    pub fn physis_step_time_s(&self, machine: &MachineModel) -> Result<f64> {
+        let msc = self.base.msc_step(machine, Target::Cpu)?;
+        let flops = self.base.stats.flops_per_point() * self.base.n_points();
+        let compute = flops
+            / (machine.peak_gflops(self.base.prec) * PHYSIS_COMPUTE_EFFICIENCY * 1e9);
+        let kernel = compute.max(msc.mem_s);
+        let net = shm_network();
+        let comm = net.coordinated_exchange_time_s(
+            self.msgs_per_proc(),
+            self.halo_bytes_per_proc(),
+            self.mpi_procs,
+        );
+        Ok(kernel + comm)
+    }
+
+    /// MSC speedup over Physis.
+    pub fn speedup(&self, machine: &MachineModel) -> Result<f64> {
+        Ok(self.physis_step_time_s(machine)? / self.msc_step_time_s(machine)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msc_core::catalog::{all_benchmarks, benchmark, BenchmarkId};
+    use msc_machine::presets::xeon_server;
+
+    #[test]
+    fn msc_beats_physis_on_every_benchmark() {
+        let m = xeon_server();
+        for b in all_benchmarks() {
+            let c = PhysisCase::for_benchmark(&b).unwrap();
+            let s = c.speedup(&m).unwrap();
+            assert!(s > 1.5, "{}: {s:.2}", b.name);
+        }
+    }
+
+    #[test]
+    fn average_speedup_near_paper() {
+        // Paper Fig 14: average 9.88x.
+        let m = xeon_server();
+        let avg: f64 = all_benchmarks()
+            .iter()
+            .map(|b| PhysisCase::for_benchmark(b).unwrap().speedup(&m).unwrap())
+            .sum::<f64>()
+            / 8.0;
+        assert!((5.0..=14.0).contains(&avg), "avg {avg:.2}");
+    }
+
+    #[test]
+    fn gap_grows_with_stencil_order() {
+        // "Especially on stencil benchmarks with higher orders".
+        let m = xeon_server();
+        let hi = PhysisCase::for_benchmark(&benchmark(BenchmarkId::S2d169ptBox))
+            .unwrap()
+            .speedup(&m)
+            .unwrap();
+        let lo = PhysisCase::for_benchmark(&benchmark(BenchmarkId::S2d9ptBox))
+            .unwrap()
+            .speedup(&m)
+            .unwrap();
+        assert!(hi > lo, "high {hi:.2} <= low {lo:.2}");
+    }
+
+    #[test]
+    fn coordinated_exchange_costs_more_than_async() {
+        let m = xeon_server();
+        let c = PhysisCase::for_benchmark(&benchmark(BenchmarkId::S3d25ptStar)).unwrap();
+        let net = shm_network();
+        let coord = net.coordinated_exchange_time_s(
+            c.msgs_per_proc(),
+            c.halo_bytes_per_proc(),
+            c.mpi_procs,
+        );
+        let asyn = net.exchange_time_s(c.msgs_per_proc(), c.halo_bytes_per_proc(), c.mpi_procs);
+        assert!(coord > asyn);
+        let _ = m;
+    }
+}

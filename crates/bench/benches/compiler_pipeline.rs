@@ -1,0 +1,78 @@
+//! Criterion benchmarks of the compiler pipeline itself: kernel
+//! construction, schedule lowering, C code generation, and the auto-tuner
+//! inner loop.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use msc_codegen::compile_to_source;
+use msc_core::analysis::StencilStats;
+use msc_core::catalog::{benchmark, BenchmarkId as Bid};
+use msc_core::prelude::*;
+use msc_core::schedule::{preset_for_grid, ExecPlan, Target};
+use msc_machine::model::Precision;
+use msc_machine::presets::{sunway_cg, taihulight_network};
+use msc_tune::perf_model::{Config, Workload};
+
+fn bench_lowering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lowering");
+    for id in [Bid::S3d7ptStar, Bid::S2d169ptBox] {
+        let b = benchmark(id);
+        let grid = b.default_grid();
+        group.bench_function(BenchmarkId::new("kernel_build", b.name), |bch| {
+            bch.iter(|| b.kernel().to_op().unwrap());
+        });
+        let sched = preset_for_grid(b.ndim, b.points(), Target::SunwayCG, &grid);
+        group.bench_function(BenchmarkId::new("plan_lower", b.name), |bch| {
+            bch.iter(|| ExecPlan::lower(&sched, b.ndim, &grid).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_codegen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codegen");
+    for (id, target) in [
+        (Bid::S3d7ptStar, Target::SunwayCG),
+        (Bid::S3d7ptStar, Target::Cpu),
+        (Bid::S2d169ptBox, Target::Cpu),
+    ] {
+        let b = benchmark(id);
+        let p = b.program(&b.default_grid(), DType::F64, 10).unwrap();
+        group.bench_function(
+            BenchmarkId::new(target.as_str(), b.name),
+            |bch| {
+                bch.iter(|| compile_to_source(&p, target).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_tuner_inner_loop(c: &mut Criterion) {
+    let b = benchmark(Bid::S3d7ptStar);
+    let p = b.program(&[8192, 128, 128], DType::F64, 2).unwrap();
+    let w = Workload {
+        global_grid: vec![8192, 128, 128],
+        reach: p.stencil.reach(),
+        stats: StencilStats::of(&p.stencil, DType::F64).unwrap(),
+        n_procs: 128,
+        prec: Precision::Fp64,
+        points: b.points(),
+    };
+    let m = sunway_cg();
+    let n = taihulight_network();
+    let cfg = Config {
+        tile: vec![2, 8, 64],
+        mpi_grid: vec![8, 4, 4],
+    };
+    let mut group = c.benchmark_group("tuner");
+    group.bench_function("simulator_measure", |bch| {
+        bch.iter(|| w.measure(&cfg, &m, &n).unwrap());
+    });
+    group.bench_function("feature_extraction", |bch| {
+        bch.iter(|| w.features(&cfg).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_lowering, bench_codegen, bench_tuner_inner_loop);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion benchmarks of the communication library: region pack/unpack
+//! and full multi-rank halo exchanges through the message-passing
+//! runtime.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use msc_comm::{CartDecomp, HaloExchange, Region, World};
+use msc_exec::Grid;
+
+fn bench_pack_unpack(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pack_unpack");
+    for &n in &[64usize, 256, 1024] {
+        let g: Grid<f64> = Grid::random(&[n, n], &[2, 2], 1);
+        // A full contiguous face and a strided (column) face.
+        let row_face = Region::new(vec![2, 2], vec![2, n]);
+        let col_face = Region::new(vec![2, 2], vec![n, 2]);
+        group.throughput(Throughput::Bytes((row_face.len() * 8) as u64));
+        group.bench_with_input(BenchmarkId::new("pack_rows", n), &g, |b, g| {
+            b.iter(|| row_face.pack(g));
+        });
+        group.bench_with_input(BenchmarkId::new("pack_cols", n), &g, |b, g| {
+            b.iter(|| col_face.pack(g));
+        });
+        let buf = row_face.pack(&g);
+        group.bench_with_input(BenchmarkId::new("unpack_rows", n), &buf, |b, buf| {
+            let mut g2 = g.clone();
+            b.iter(|| row_face.unpack(&mut g2, buf));
+        });
+    }
+    group.finish();
+}
+
+fn bench_exchange(c: &mut Criterion) {
+    let mut group = c.benchmark_group("halo_exchange");
+    group.sample_size(10);
+    for (procs, label) in [(vec![2usize, 2], "2x2"), (vec![3, 3], "3x3")] {
+        let decomp = CartDecomp::new(&[192, 192], &procs, &[2, 2]).unwrap();
+        let ex = HaloExchange::new(decomp.clone());
+        group.bench_function(BenchmarkId::new("full_round", label), |b| {
+            b.iter(|| {
+                let d = decomp.clone();
+                let ex = ex.clone();
+                World::run(d.n_ranks(), move |mut ctx| {
+                    let mut g: Grid<f64> = Grid::random(&d.sub_extent(), &d.reach, 7);
+                    ex.exchange(&mut ctx, &mut g, 0)
+                })
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pack_unpack, bench_exchange);
+criterion_main!(benches);

@@ -1,0 +1,132 @@
+//! Criterion benchmarks of the functional executors: serial reference vs
+//! tiled-parallel vs SPM-staged, across the Table 4 stencils — real
+//! wall-clock measurements on the host (complementing the deterministic
+//! simulator numbers of the figure harnesses).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use msc_core::catalog::{all_benchmarks, benchmark, BenchmarkId as Bid};
+use msc_core::prelude::*;
+use msc_core::schedule::{ExecPlan, Schedule};
+use msc_exec::compiled::CompiledStencil;
+use msc_exec::{reference, spm, tiled, Grid};
+
+fn plan(ndim: usize, grid: &[usize], tile: &[usize], threads: usize) -> ExecPlan {
+    let mut s = Schedule::default();
+    s.tile(tile);
+    s.parallel("xo", threads);
+    ExecPlan::lower(&s, ndim, grid).unwrap()
+}
+
+fn bench_executors(c: &mut Criterion) {
+    let mut group = c.benchmark_group("executors_3d7pt");
+    group.sample_size(20);
+    let b = benchmark(Bid::S3d7ptStar);
+    let grid = vec![64usize, 64, 64];
+    let p = b.program(&grid, DType::F64, 1).unwrap();
+    let init: Grid<f64> = Grid::random(&p.grid.shape, &p.grid.halo, 1);
+    let compiled = CompiledStencil::compile(&p, &init).unwrap();
+    group.throughput(Throughput::Elements(init.interior_len() as u64));
+
+    group.bench_function("reference_serial", |bch| {
+        let mut out = init.clone();
+        bch.iter(|| reference::step(&compiled, &[&init, &init], &mut out));
+    });
+
+    for threads in [1usize, 2, 4, 8] {
+        let pl = plan(3, &grid, &[8, 16, 64], threads);
+        group.bench_with_input(BenchmarkId::new("tiled", threads), &pl, |bch, pl| {
+            let mut out = init.clone();
+            bch.iter(|| tiled::step(&compiled, pl, &[&init, &init], &mut out));
+        });
+    }
+
+    let pl = plan(3, &grid, &[4, 8, 64], 4);
+    group.bench_function("spm_staged", |bch| {
+        let mut out = init.clone();
+        bch.iter(|| spm::step(&compiled, &pl, &[&init, &init], &mut out, 1 << 20).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_all_stencils(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table4_stencils");
+    group.sample_size(15);
+    for b in all_benchmarks() {
+        let grid: Vec<usize> = match b.ndim {
+            2 => vec![256, 256],
+            _ => vec![48, 48, 48],
+        };
+        let p = b.program(&grid, DType::F64, 1).unwrap();
+        let init: Grid<f64> = Grid::random(&p.grid.shape, &p.grid.halo, 2);
+        let compiled = CompiledStencil::compile(&p, &init).unwrap();
+        let tile: Vec<usize> = grid.iter().map(|&g| (g / 4).max(1)).collect();
+        let pl = plan(b.ndim, &grid, &tile, 4);
+        group.throughput(Throughput::Elements(init.interior_len() as u64));
+        group.bench_function(b.name, |bch| {
+            let mut out = init.clone();
+            bch.iter(|| tiled::step(&compiled, &pl, &[&init, &init], &mut out));
+        });
+    }
+    group.finish();
+}
+
+fn bench_temporal_tiling(c: &mut Criterion) {
+    // Wall-clock effect of temporal tiling on the host: at depth tt the
+    // grid is traversed once per tt steps.
+    let mut group = c.benchmark_group("temporal_tiling_2d9pt");
+    group.sample_size(15);
+    let b = benchmark(Bid::S2d9ptBox);
+    let grid = vec![256usize, 256];
+    let p = {
+        let mut builder = msc_core::dsl::StencilProgram::builder(b.name)
+            .kernel(b.kernel())
+            .combine(&[(1, 1.0, b.name)])
+            .timesteps(8);
+        builder = builder.grid_2d("B", DType::F64, [256, 256], 1, 2);
+        builder.build().unwrap()
+    };
+    let init: Grid<f64> = Grid::random(&p.grid.shape, &p.grid.halo, 3);
+    for tt in [1usize, 2, 4, 8] {
+        let pl = plan(2, &grid, &[64, 128], 4);
+        group.bench_with_input(BenchmarkId::new("depth", tt), &tt, |bch, &tt| {
+            bch.iter(|| msc_exec::run_temporal_tiled(&p, &pl, tt, &init).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_varcoeff(c: &mut Criterion) {
+    use msc_core::expr::Expr;
+    use msc_exec::CompiledVarStencil;
+    let mut group = c.benchmark_group("varcoeff_sweep");
+    group.sample_size(20);
+    let n = 256usize;
+    let expr = Expr::at("B", &[0, 0])
+        + Expr::at("K", &[0, 0])
+            * (Expr::at("B", &[-1, 0]) + Expr::at("B", &[1, 0]) + Expr::at("B", &[0, -1])
+                + Expr::at("B", &[0, 1])
+                - 2.0 * (Expr::at("B", &[0, 0]) + Expr::at("B", &[0, 0])));
+    let u: Grid<f64> = Grid::random(&[n, n], &[1, 1], 1);
+    let k: Grid<f64> = Grid::random(&[n, n], &[1, 1], 2);
+    let stencil = CompiledVarStencil::<f64>::compile(&expr, "B", &u.layout()).unwrap();
+    group.throughput(Throughput::Elements((n * n) as u64));
+    group.bench_function("reference", |bch| {
+        let mut out = u.clone();
+        bch.iter(|| stencil.step_reference(&u, &[&k], &mut out));
+    });
+    let pl = plan(2, &[n, n], &[32, 256], 4);
+    group.bench_function("tiled_x4", |bch| {
+        let mut out = u.clone();
+        bch.iter(|| stencil.step_tiled(&pl, &u, &[&k], &mut out));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_executors,
+    bench_all_stencils,
+    bench_temporal_tiling,
+    bench_varcoeff
+);
+criterion_main!(benches);

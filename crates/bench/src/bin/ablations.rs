@@ -1,0 +1,9 @@
+//! Runs the four ablation studies from DESIGN.md §5.
+use msc_bench::ablations;
+fn main() {
+    println!("{}", ablations::spm_ablation_report().expect("spm"));
+    println!("{}", ablations::async_halo_report());
+    println!("{}", ablations::window_report(100).expect("window"));
+    println!("{}", ablations::tile_sweep_report().expect("tiles"));
+    println!("{}", ablations::temporal_sweep_report().expect("temporal"));
+}

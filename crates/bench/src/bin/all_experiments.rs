@@ -1,0 +1,33 @@
+//! Regenerates every table and figure of the paper in one run — the
+//! output behind EXPERIMENTS.md. Pass `--json <path>` to also dump a
+//! machine-readable document of every series.
+use msc_bench::{ablations, figures, results, tables};
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--json") {
+        let path = args.get(i + 1).expect("--json needs a path");
+        let doc = results::experiments_json().expect("experiments");
+        std::fs::write(path, doc.to_string()).expect("write json");
+        eprintln!("wrote {path}");
+    }
+    println!("== Table 3 ==\n{}", tables::table3());
+    println!("== Table 4 ==\n{}", tables::table4());
+    println!("== Table 5 ==\n{}", tables::table5());
+    println!("== Figure 7 ==\n{}", figures::fig7().expect("fig7"));
+    println!("== Figure 8 ==\n{}", figures::fig8().expect("fig8"));
+    println!("== Figure 9 ==\n{}", figures::fig9().expect("fig9"));
+    println!("== Table 6 ==\n{}", tables::table6());
+    println!("== Table 7 ==\n{}", tables::table7());
+    println!("== Figure 10 ==\n{}", figures::fig10().expect("fig10"));
+    println!("== Figure 11 ==\n{}", figures::fig11().expect("fig11"));
+    println!("== Table 8 ==\n{}", tables::table8());
+    println!("== Figure 12 ==\n{}", figures::fig12().expect("fig12"));
+    println!("== Figure 13 ==\n{}", figures::fig13().expect("fig13"));
+    println!("== Figure 14 ==\n{}", figures::fig14().expect("fig14"));
+    println!("== Ablations ==");
+    println!("{}", ablations::spm_ablation_report().expect("spm"));
+    println!("{}", ablations::async_halo_report());
+    println!("{}", ablations::window_report(100).expect("window"));
+    println!("{}", ablations::tile_sweep_report().expect("tiles"));
+    println!("{}", ablations::temporal_sweep_report().expect("temporal"));
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figure 10: strong/weak scalability series.
+fn main() {
+    print!("{}", msc_bench::figures::fig10().expect("fig10"));
+}

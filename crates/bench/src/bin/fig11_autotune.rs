@@ -1,0 +1,4 @@
+//! Regenerates Figure 11: auto-tuning convergence (two runs).
+fn main() {
+    print!("{}", msc_bench::figures::fig11().expect("fig11"));
+}

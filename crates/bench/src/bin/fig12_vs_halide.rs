@@ -1,0 +1,4 @@
+//! Regenerates Figure 12: MSC and Halide-AOT vs Halide-JIT.
+fn main() {
+    print!("{}", msc_bench::figures::fig12().expect("fig12"));
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figure 13: MSC vs Patus.
+fn main() {
+    print!("{}", msc_bench::figures::fig13().expect("fig13"));
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figure 14: MSC vs Physis.
+fn main() {
+    print!("{}", msc_bench::figures::fig14().expect("fig14"));
+}

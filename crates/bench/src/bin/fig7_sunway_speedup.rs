@@ -1,0 +1,4 @@
+//! Regenerates Figure 7: MSC vs OpenACC on a Sunway CG.
+fn main() {
+    print!("{}", msc_bench::figures::fig7().expect("fig7"));
+}

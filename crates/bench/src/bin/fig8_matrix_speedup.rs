@@ -1,0 +1,4 @@
+//! Regenerates Figure 8: MSC vs manual OpenMP on Matrix.
+fn main() {
+    print!("{}", msc_bench::figures::fig8().expect("fig8"));
+}

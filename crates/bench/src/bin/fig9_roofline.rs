@@ -1,0 +1,4 @@
+//! Regenerates Figure 9: roofline analysis on Sunway and Matrix.
+fn main() {
+    print!("{}", msc_bench::figures::fig9().expect("fig9"));
+}

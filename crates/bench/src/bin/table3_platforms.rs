@@ -1,0 +1,4 @@
+//! Regenerates Table 3: platform configurations.
+fn main() {
+    print!("{}", msc_bench::tables::table3());
+}

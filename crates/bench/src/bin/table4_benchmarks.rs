@@ -1,0 +1,4 @@
+//! Regenerates Table 4: stencil benchmark characteristics (paper vs IR).
+fn main() {
+    print!("{}", msc_bench::tables::table4());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table 5: MSC parameter settings per benchmark/target.
+fn main() {
+    print!("{}", msc_bench::tables::table5());
+}

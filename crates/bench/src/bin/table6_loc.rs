@@ -1,0 +1,4 @@
+//! Regenerates Table 6: lines-of-code comparison.
+fn main() {
+    print!("{}", msc_bench::tables::table6());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table 7: strong/weak scaling configurations.
+fn main() {
+    print!("{}", msc_bench::tables::table7());
+}

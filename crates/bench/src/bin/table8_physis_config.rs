@@ -1,0 +1,4 @@
+//! Regenerates Table 8: MSC configurations for the Physis comparison.
+fn main() {
+    print!("{}", msc_bench::tables::table8());
+}

@@ -1,0 +1,289 @@
+//! Ablation studies for the design choices DESIGN.md calls out.
+
+use crate::table::render;
+use msc_core::analysis::StencilStats;
+use msc_core::catalog::{benchmark, BenchmarkId};
+use msc_core::error::Result;
+use msc_core::prelude::*;
+use msc_core::schedule::{preset_for_grid, ExecPlan, Target, WindowPlan};
+use msc_machine::model::Precision;
+use msc_machine::presets::{sunway_cg, taihulight_network};
+use msc_sim::{simulate_step, StepInputs};
+
+/// SPM staging + DMA vs direct global access on Sunway — the mechanism
+/// behind Figure 7. Returns `(spm_time, direct_time)` per benchmark.
+pub fn spm_ablation() -> Result<Vec<(&'static str, f64, f64)>> {
+    let m = sunway_cg();
+    BenchmarkId::all()
+        .into_iter()
+        .map(|id| {
+            let b = benchmark(id);
+            let grid = b.default_grid();
+            let p = b.program(&grid, DType::F64, 2)?;
+            let stats = StencilStats::of(&p.stencil, DType::F64)?;
+            let reach = p.stencil.reach();
+
+            let spm_sched = preset_for_grid(b.ndim, b.points(), Target::SunwayCG, &grid);
+            let mut direct_sched = spm_sched.clone();
+            direct_sched.cache_read = None;
+            direct_sched.cache_write = None;
+            direct_sched.compute_at.clear();
+
+            let spm = simulate_step(
+                &StepInputs {
+                    stats,
+                    reach: reach.clone(),
+                    plan: &ExecPlan::lower(&spm_sched, b.ndim, &grid)?,
+                    prec: Precision::Fp64,
+                },
+                &m,
+            );
+            let direct = simulate_step(
+                &StepInputs {
+                    stats,
+                    reach,
+                    plan: &ExecPlan::lower(&direct_sched, b.ndim, &grid)?,
+                    prec: Precision::Fp64,
+                },
+                &m,
+            );
+            Ok((b.name, spm.time_s, direct.time_s))
+        })
+        .collect()
+}
+
+pub fn spm_ablation_report() -> Result<String> {
+    let rows: Vec<Vec<String>> = spm_ablation()?
+        .iter()
+        .map(|(n, spm, direct)| {
+            vec![
+                n.to_string(),
+                format!("{:.2}", spm * 1e3),
+                format!("{:.2}", direct * 1e3),
+                format!("{:.1}x", direct / spm),
+            ]
+        })
+        .collect();
+    Ok(format!(
+        "Ablation — SPM staging vs direct global access (Sunway CG, ms/step)\n{}",
+        render(&["benchmark", "SPM+DMA", "direct", "gain"], &rows)
+    ))
+}
+
+/// Asynchronous vs master-coordinated halo exchange across scales — why
+/// the communication library is asynchronous (§4.4, §5.5).
+pub fn async_halo_ablation() -> Vec<(usize, f64, f64)> {
+    let net = taihulight_network();
+    [64usize, 128, 256, 512, 1024]
+        .into_iter()
+        .map(|procs| {
+            // 3d7pt on 256^3 sub-grids: 6 faces x 2 states.
+            let bytes = 6.0 * 256.0 * 256.0 * 8.0 * 2.0;
+            let asy = net.exchange_time_s(12, bytes, procs);
+            let coord = net.coordinated_exchange_time_s(12, bytes, procs);
+            (procs, asy, coord)
+        })
+        .collect()
+}
+
+pub fn async_halo_report() -> String {
+    let rows: Vec<Vec<String>> = async_halo_ablation()
+        .iter()
+        .map(|(p, a, c)| {
+            vec![
+                p.to_string(),
+                format!("{:.3}", a * 1e3),
+                format!("{:.3}", c * 1e3),
+                format!("{:.0}x", c / a),
+            ]
+        })
+        .collect();
+    format!(
+        "Ablation — asynchronous vs coordinated halo exchange (ms/round)\n{}",
+        render(&["procs", "async", "coordinated", "penalty"], &rows)
+    )
+}
+
+/// Sliding time window vs keep-all-timesteps memory footprint (Figure 5).
+pub fn window_ablation(steps: usize) -> Result<Vec<(&'static str, usize, usize)>> {
+    BenchmarkId::all()
+        .into_iter()
+        .map(|id| {
+            let b = benchmark(id);
+            let p = b.program(&b.default_grid(), DType::F64, steps)?;
+            let per_step = p.grid.padded_elems() * 8;
+            let window = WindowPlan::for_max_dt(p.stencil.max_dt())?;
+            Ok((b.name, window.window * per_step, steps.max(window.window) * per_step))
+        })
+        .collect()
+}
+
+pub fn window_report(steps: usize) -> Result<String> {
+    let rows: Vec<Vec<String>> = window_ablation(steps)?
+        .iter()
+        .map(|(n, w, all)| {
+            vec![
+                n.to_string(),
+                format!("{:.2}", *w as f64 / 1e9),
+                format!("{:.2}", *all as f64 / 1e9),
+                format!("{:.0}x", *all as f64 / *w as f64),
+            ]
+        })
+        .collect();
+    Ok(format!(
+        "Ablation — sliding window vs keep-all buffers over {steps} steps (GB)\n{}",
+        render(&["benchmark", "window", "keep-all", "savings"], &rows)
+    ))
+}
+
+/// Tile-size sweep on Sunway for 3d7pt: time per step as the innermost
+/// tile extent varies (what the auto-tuner searches over).
+pub fn tile_sweep() -> Result<Vec<(Vec<usize>, f64)>> {
+    let b = benchmark(BenchmarkId::S3d7ptStar);
+    let grid = b.default_grid();
+    let p = b.program(&grid, DType::F64, 2)?;
+    let stats = StencilStats::of(&p.stencil, DType::F64)?;
+    let reach = p.stencil.reach();
+    let m = sunway_cg();
+    let mut out = Vec::new();
+    for tz in [8usize, 16, 32, 64, 128, 256] {
+        let mut sched = preset_for_grid(3, 7, Target::SunwayCG, &grid);
+        sched.tile(&[2, 8, tz]);
+        let plan = ExecPlan::lower(&sched, 3, &grid)?;
+        let rep = simulate_step(
+            &StepInputs {
+                stats,
+                reach: reach.clone(),
+                plan: &plan,
+                prec: Precision::Fp64,
+            },
+            &m,
+        );
+        out.push((vec![2, 8, tz], rep.time_s));
+    }
+    Ok(out)
+}
+
+pub fn tile_sweep_report() -> Result<String> {
+    let rows: Vec<Vec<String>> = tile_sweep()?
+        .iter()
+        .map(|(t, s)| vec![format!("{t:?}"), format!("{:.2}", s * 1e3)])
+        .collect();
+    Ok(format!(
+        "Ablation — 3d7pt tile sweep on Sunway CG (ms/step)\n{}",
+        render(&["tile", "time"], &rows)
+    ))
+}
+
+/// Temporal-tiling depth sweep on Sunway for 3d7pt: per-step time as the
+/// time-tile depth varies — DMA passes drop ~1/tt while redundant halo
+/// compute grows, so an optimum appears in the middle (§2.1's classic
+/// trade-off).
+pub fn temporal_sweep() -> Result<Vec<(usize, f64, f64)>> {
+    let b = benchmark(BenchmarkId::S3d7ptStar);
+    let grid = b.default_grid();
+    let p = b.program(&grid, DType::F64, 2)?;
+    let stats = StencilStats::of(&p.stencil, DType::F64)?;
+    let reach = p.stencil.reach();
+    let m = sunway_cg();
+    let mut out = Vec::new();
+    for tt in [1usize, 2, 3, 4, 6, 8] {
+        let mut sched = preset_for_grid(3, 7, Target::SunwayCG, &grid);
+        sched.tile(&[8, 16, 64]).tile_time(tt);
+        let plan = ExecPlan::lower(&sched, 3, &grid)?;
+        let rep = simulate_step(
+            &StepInputs {
+                stats,
+                reach: reach.clone(),
+                plan: &plan,
+                prec: Precision::Fp64,
+            },
+            &m,
+        );
+        out.push((tt, rep.time_s, rep.dram_bytes));
+    }
+    Ok(out)
+}
+
+pub fn temporal_sweep_report() -> Result<String> {
+    let rows: Vec<Vec<String>> = temporal_sweep()?
+        .iter()
+        .map(|(tt, t, bytes)| {
+            vec![
+                tt.to_string(),
+                format!("{:.2}", t * 1e3),
+                format!("{:.1}", bytes / 1e6),
+            ]
+        })
+        .collect();
+    Ok(format!(
+        "Ablation — temporal tiling depth (3d7pt, Sunway CG; ms/step, MB DMA/step)\n{}",
+        render(&["tt", "time", "DMA"], &rows)
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spm_always_wins_on_sunway() {
+        for (name, spm, direct) in spm_ablation().unwrap() {
+            assert!(direct > 2.0 * spm, "{name}: {direct} vs {spm}");
+        }
+    }
+
+    #[test]
+    fn coordination_penalty_grows_with_scale() {
+        let rows = async_halo_ablation();
+        let first = rows.first().unwrap();
+        let last = rows.last().unwrap();
+        assert!(last.2 / last.1 > first.2 / first.1);
+    }
+
+    #[test]
+    fn window_savings_scale_with_steps() {
+        let w10 = window_ablation(10).unwrap();
+        let w100 = window_ablation(100).unwrap();
+        for (a, b) in w10.iter().zip(&w100) {
+            assert_eq!(a.1, b.1, "window footprint is step-independent");
+            assert!(b.2 > a.2);
+        }
+    }
+
+    #[test]
+    fn larger_rows_amortize_dma_startup() {
+        let sweep = tile_sweep().unwrap();
+        // Startup amortizes until the halo overhead curve flattens.
+        assert!(sweep.first().unwrap().1 > sweep.last().unwrap().1 * 0.9);
+    }
+
+    #[test]
+    fn temporal_tiling_reduces_dma_traffic() {
+        let sweep = temporal_sweep().unwrap();
+        let (_, _, bytes1) = sweep[0];
+        let (_, _, bytes4) = sweep.iter().find(|(tt, _, _)| *tt == 4).copied().unwrap();
+        assert!(bytes4 < bytes1, "tt=4 DMA {bytes4} >= tt=1 {bytes1}");
+    }
+
+    #[test]
+    fn temporal_tiling_has_an_interior_optimum_or_monotone_gain() {
+        // Deep time tiles eventually pay more in redundant compute than
+        // they save in DMA; time must not keep improving forever.
+        let sweep = temporal_sweep().unwrap();
+        let t1 = sweep[0].1;
+        let best = sweep.iter().map(|(_, t, _)| *t).fold(f64::MAX, f64::min);
+        let deepest = sweep.last().unwrap().1;
+        assert!(best < t1, "temporal tiling should beat tt=1 somewhere");
+        assert!(deepest > best * 0.99, "no free lunch at extreme depth");
+    }
+
+    #[test]
+    fn reports_render() {
+        spm_ablation_report().unwrap();
+        async_halo_report();
+        window_report(100).unwrap();
+        tile_sweep_report().unwrap();
+        temporal_sweep_report().unwrap();
+    }
+}

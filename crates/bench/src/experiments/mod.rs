@@ -1,0 +1,5 @@
+//! Experiment regenerators, one per table/figure of the paper.
+
+pub mod ablations;
+pub mod figures;
+pub mod tables;

@@ -1,0 +1,229 @@
+//! Machine-readable experiment output: a minimal JSON value type and
+//! emitter (dependency-free), used by `all_experiments --json` so
+//! downstream tooling can diff reproduction runs.
+
+use std::fmt;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    pub fn obj(fields: Vec<(&str, Json)>) -> Json {
+        Json::Obj(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    pub fn s(v: impl Into<String>) -> Json {
+        Json::Str(v.into())
+    }
+
+    pub fn n(v: f64) -> Json {
+        Json::Num(v)
+    }
+}
+
+fn escape(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut buf = String::new();
+        self.write(&mut buf, 0);
+        f.write_str(&buf)
+    }
+}
+
+impl Json {
+    fn write(&self, out: &mut String, indent: usize) {
+        let pad = |n: usize| "  ".repeat(n);
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(v) => {
+                if v.is_finite() {
+                    if v.fract() == 0.0 && v.abs() < 1e15 {
+                        out.push_str(&format!("{}", *v as i64));
+                    } else {
+                        out.push_str(&format!("{v}"));
+                    }
+                } else {
+                    out.push_str("null"); // JSON has no NaN/Inf
+                }
+            }
+            Json::Str(s) => escape(s, out),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    out.push_str(&pad(indent + 1));
+                    item.write(out, indent + 1);
+                    if i + 1 < items.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                out.push_str(&pad(indent));
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    out.push_str(&pad(indent + 1));
+                    escape(k, out);
+                    out.push_str(": ");
+                    v.write(out, indent + 1);
+                    if i + 1 < fields.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                out.push_str(&pad(indent));
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Dump every speedup-style experiment as one JSON document.
+pub fn experiments_json() -> msc_core::error::Result<Json> {
+    use crate::figures;
+    use msc_machine::model::Precision;
+
+    let speedups = |rows: &[figures::SpeedupRow]| {
+        Json::Arr(
+            rows.iter()
+                .map(|r| {
+                    Json::obj(vec![
+                        ("benchmark", Json::s(r.name)),
+                        ("speedup", Json::n(r.speedup)),
+                    ])
+                })
+                .collect(),
+        )
+    };
+
+    let fig10 = |mode: figures::scaling::Mode| -> msc_core::error::Result<Json> {
+        use figures::scaling::*;
+        let mut out = Vec::new();
+        for platform in [Platform::Sunway, Platform::Tianhe3] {
+            for dim in [2usize, 3] {
+                let pts = series(dim, mode, platform)?;
+                out.push(Json::obj(vec![
+                    ("platform", Json::s(format!("{platform:?}"))),
+                    ("dim", Json::n(dim as f64)),
+                    (
+                        "points",
+                        Json::Arr(
+                            pts.iter()
+                                .map(|p| {
+                                    Json::obj(vec![
+                                        ("cores", Json::n(p.cores as f64)),
+                                        ("gflops", Json::n(p.gflops)),
+                                        ("ideal", Json::n(p.ideal_gflops)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ]));
+            }
+        }
+        Ok(Json::Arr(out))
+    };
+
+    Ok(Json::obj(vec![
+        ("fig7_fp64", speedups(&figures::fig7_rows(Precision::Fp64)?)),
+        ("fig7_fp32", speedups(&figures::fig7_rows(Precision::Fp32)?)),
+        ("fig8_fp64", speedups(&figures::fig8_rows(Precision::Fp64)?)),
+        ("fig10_strong", fig10(figures::scaling::Mode::Strong)?),
+        ("fig10_weak", fig10(figures::scaling::Mode::Weak)?),
+        (
+            "fig12",
+            Json::Arr(
+                figures::fig12_rows()?
+                    .iter()
+                    .map(|(aot, msc)| {
+                        Json::obj(vec![
+                            ("benchmark", Json::s(aot.name)),
+                            ("halide_aot", Json::n(aot.speedup)),
+                            ("msc", Json::n(msc.speedup)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("fig13", speedups(&figures::fig13_rows()?)),
+        ("fig14", speedups(&figures::fig14_rows()?)),
+    ]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(Json::Null.to_string(), "null");
+        assert_eq!(Json::Bool(true).to_string(), "true");
+        assert_eq!(Json::n(3.0).to_string(), "3");
+        assert_eq!(Json::n(3.5).to_string(), "3.5");
+        assert_eq!(Json::n(f64::NAN).to_string(), "null");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(Json::s("a\"b\\c\nd").to_string(), r#""a\"b\\c\nd""#);
+    }
+
+    #[test]
+    fn nested_structure_renders() {
+        let j = Json::obj(vec![
+            ("name", Json::s("x")),
+            ("vals", Json::Arr(vec![Json::n(1.0), Json::n(2.0)])),
+            ("empty", Json::Arr(vec![])),
+        ]);
+        let s = j.to_string();
+        assert!(s.contains("\"name\": \"x\""));
+        assert!(s.contains("\"empty\": []"));
+        assert!(s.starts_with('{') && s.ends_with('}'));
+    }
+
+    #[test]
+    fn experiments_document_builds() {
+        let j = experiments_json().unwrap();
+        let s = j.to_string();
+        assert!(s.contains("fig7_fp64"));
+        assert!(s.contains("fig13"));
+        assert!(s.contains("2d169pt_box"));
+        // Must be parseable by a strict reader: balanced braces.
+        assert_eq!(s.matches('{').count(), s.matches('}').count());
+        assert_eq!(s.matches('[').count(), s.matches(']').count());
+    }
+}

@@ -1,0 +1,160 @@
+//! End-to-end codegen verification: the generated CPU C is compiled with
+//! the host compiler, executed, and its interior checksum compared with
+//! the functional executor running the very same program — the strongest
+//! form of the paper's correctness methodology (§5.1).
+
+use msc_codegen::compile_to_source;
+use msc_core::catalog::{benchmark, BenchmarkId};
+use msc_core::prelude::*;
+use msc_core::schedule::Target;
+use msc_exec::driver::{run_program, Executor};
+use msc_exec::Grid;
+use std::process::Command;
+
+/// The deterministic input generator mirrored in the generated C
+/// (`msc_input`).
+fn msc_input(lin: u64) -> f64 {
+    let x = lin.wrapping_mul(2654435761).wrapping_add(12345) as u32;
+    x as f64 / 4294967296.0
+}
+
+fn host_cc() -> Option<&'static str> {
+    for cc in ["cc", "gcc", "clang"] {
+        if Command::new(cc).arg("--version").output().is_ok() {
+            return Some(match cc {
+                "cc" => "cc",
+                "gcc" => "gcc",
+                _ => "clang",
+            });
+        }
+    }
+    None
+}
+
+fn run_case(id: BenchmarkId, grid: &[usize], steps: usize) {
+    let Some(cc) = host_cc() else {
+        eprintln!("no host C compiler; skipping");
+        return;
+    };
+    let b = benchmark(id);
+    let program = b.program(grid, DType::F64, steps).unwrap();
+    let pkg = compile_to_source(&program, Target::Cpu).unwrap();
+    let dir = std::env::temp_dir().join(format!("msc_e2e_{}", b.name));
+    let _ = std::fs::remove_dir_all(&dir);
+    pkg.write_to(&dir).unwrap();
+
+    // Build (without OpenMP to keep the host dependency minimal; the
+    // pragma is inert without -fopenmp).
+    let exe = dir.join("prog");
+    let out = Command::new(cc)
+        .args(["-O2", "-std=c99", "-o"])
+        .arg(&exe)
+        .arg(dir.join("main.c"))
+        .arg("-lm")
+        .output()
+        .expect("compiler invocation failed");
+    assert!(
+        out.status.success(),
+        "cc failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let run = Command::new(&exe).output().expect("generated binary failed");
+    assert!(run.status.success());
+    let c_sum: f64 = String::from_utf8_lossy(&run.stdout)
+        .trim()
+        .parse()
+        .expect("checksum parse");
+
+    // Functional executor from the identical initial state.
+    let mut init: Grid<f64> = Grid::zeros(&program.grid.shape, &program.grid.halo);
+    for (lin, v) in init.as_mut_slice().iter_mut().enumerate() {
+        *v = msc_input(lin as u64);
+    }
+    let (result, _) = run_program(&program, &Executor::Reference, &init).unwrap();
+    let rust_sum = result.interior_sum();
+
+    let rel = (c_sum - rust_sum).abs() / rust_sum.abs().max(1.0);
+    assert!(
+        rel < 1e-12,
+        "{}: C checksum {c_sum} vs executor {rust_sum} (rel {rel})",
+        b.name
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn generated_c_matches_executor_3d7pt() {
+    run_case(BenchmarkId::S3d7ptStar, &[16, 16, 16], 4);
+}
+
+#[test]
+fn generated_c_matches_executor_2d9pt_box() {
+    run_case(BenchmarkId::S2d9ptBox, &[24, 24], 5);
+}
+
+#[test]
+fn generated_c_matches_executor_high_order_2d121pt() {
+    run_case(BenchmarkId::S2d121ptBox, &[32, 32], 3);
+}
+
+#[test]
+fn generated_c_matches_executor_3d25pt() {
+    run_case(BenchmarkId::S3d25ptStar, &[16, 16, 16], 3);
+}
+
+#[test]
+fn generated_c_compiles_and_agrees_with_openmp_enabled() {
+    // The same checksum must hold when the pragmas are live: OpenMP
+    // parallelism may not change results (the tiles are disjoint).
+    let Some(cc) = host_cc() else {
+        return;
+    };
+    // Probe OpenMP support.
+    let dir = std::env::temp_dir().join("msc_e2e_omp");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(
+        dir.join("probe.c"),
+        "#include <omp.h>\nint main(void){return omp_get_max_threads() > 0 ? 0 : 1;}\n",
+    )
+    .unwrap();
+    let probe = Command::new(cc)
+        .args(["-fopenmp", "-o"])
+        .arg(dir.join("probe"))
+        .arg(dir.join("probe.c"))
+        .output()
+        .expect("cc probe");
+    if !probe.status.success() {
+        eprintln!("host compiler lacks OpenMP; skipping");
+        return;
+    }
+
+    let b = benchmark(BenchmarkId::S3d13ptStar);
+    let program = b.program(&[20, 20, 20], DType::F64, 4).unwrap();
+    let pkg = compile_to_source(&program, Target::Cpu).unwrap();
+    pkg.write_to(&dir).unwrap();
+    let mut sums = Vec::new();
+    for flags in [vec!["-O2", "-std=c99"], vec!["-O2", "-std=c99", "-fopenmp"]] {
+        let exe = dir.join(format!("prog{}", flags.len()));
+        let out = Command::new(cc)
+            .args(&flags)
+            .arg("-o")
+            .arg(&exe)
+            .arg(dir.join("main.c"))
+            .arg("-lm")
+            .output()
+            .expect("cc");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let run = Command::new(&exe).output().expect("run");
+        let sum: f64 = String::from_utf8_lossy(&run.stdout).trim().parse().unwrap();
+        sums.push(sum);
+    }
+    let rel = (sums[0] - sums[1]).abs() / sums[0].abs().max(1.0);
+    assert!(rel < 1e-12, "serial {} vs openmp {}", sums[0], sums[1]);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,62 @@
+//! Golden-file regression tests: the generated C for a fixed program must
+//! not drift silently. Regenerate the fixtures with
+//! `UPDATE_GOLDEN=1 cargo test -p msc-codegen --test golden`.
+
+use msc_codegen::compile_to_source;
+use msc_core::catalog::{benchmark, BenchmarkId};
+use msc_core::prelude::*;
+use msc_core::schedule::Target;
+use std::path::PathBuf;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+fn check(name: &str, contents: &str) {
+    let path = golden_dir().join(name);
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::write(&path, contents).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(&path)
+        .unwrap_or_else(|_| panic!("missing golden file {name}; run with UPDATE_GOLDEN=1"));
+    assert_eq!(
+        golden, contents,
+        "generated `{name}` drifted from the golden file; \
+         run UPDATE_GOLDEN=1 cargo test -p msc-codegen --test golden if intentional"
+    );
+}
+
+fn fixed_program() -> StencilProgram {
+    let b = benchmark(BenchmarkId::S3d7ptStar);
+    let mut p = b.program(&[64, 64, 64], DType::F64, 8).unwrap();
+    p.mpi_grid = Some(vec![2, 2, 2]);
+    p
+}
+
+#[test]
+fn golden_cpu_main() {
+    let pkg = compile_to_source(&fixed_program(), Target::Cpu).unwrap();
+    check("cpu_main.c", pkg.file("main.c").unwrap());
+}
+
+#[test]
+fn golden_sunway_master_and_slave() {
+    let pkg = compile_to_source(&fixed_program(), Target::SunwayCG).unwrap();
+    check("sunway_master.c", pkg.file("master.c").unwrap());
+    check("sunway_slave.c", pkg.file("slave.c").unwrap());
+}
+
+#[test]
+fn golden_mpi_driver() {
+    let pkg = compile_to_source(&fixed_program(), Target::SunwayCG).unwrap();
+    check("mpi_main.c", pkg.file("mpi_main.c").unwrap());
+}
+
+#[test]
+fn golden_makefiles() {
+    let sun = compile_to_source(&fixed_program(), Target::SunwayCG).unwrap();
+    check("Makefile.sunway", sun.file("Makefile").unwrap());
+    let cpu = compile_to_source(&fixed_program(), Target::Cpu).unwrap();
+    check("Makefile.cpu", cpu.file("Makefile").unwrap());
+}

@@ -1,0 +1,300 @@
+//! Cartesian domain decomposition (paper §4.4, Figure 6): the global grid
+//! is divided evenly over an MPI process grid; every sub-tensor carries a
+//! halo and is dissected into the outer halo region (received), the inner
+//! halo regions (sent), and the inner region.
+
+use crate::region::Region;
+use msc_core::error::{MscError, Result};
+
+/// Cartesian decomposition of a global grid over a process grid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CartDecomp {
+    /// Global grid extents.
+    pub global: Vec<usize>,
+    /// Processes per dimension.
+    pub procs: Vec<usize>,
+    /// Halo width per dimension (the stencil reach).
+    pub reach: Vec<usize>,
+    /// Per-dimension periodicity: `true` wraps the domain (torus).
+    pub periodic: Vec<bool>,
+}
+
+impl CartDecomp {
+    /// Build and validate: the grid must divide evenly (the paper's
+    /// Tables 7/8 configurations all do) and each sub-extent must be at
+    /// least the halo width.
+    pub fn new(global: &[usize], procs: &[usize], reach: &[usize]) -> Result<CartDecomp> {
+        if global.len() != procs.len() || global.len() != reach.len() {
+            return Err(MscError::DimMismatch {
+                expected: global.len(),
+                got: procs.len().min(reach.len()),
+            });
+        }
+        for (d, ((&g, &p), &r)) in global.iter().zip(procs).zip(reach).enumerate() {
+            if p == 0 {
+                return Err(MscError::InvalidConfig(format!("zero procs in dim {d}")));
+            }
+            if g % p != 0 {
+                return Err(MscError::InvalidConfig(format!(
+                    "global extent {g} not divisible by {p} procs in dim {d}"
+                )));
+            }
+            if g / p < r {
+                return Err(MscError::InvalidConfig(format!(
+                    "sub-extent {} smaller than halo {r} in dim {d}",
+                    g / p
+                )));
+            }
+        }
+        Ok(CartDecomp {
+            global: global.to_vec(),
+            procs: procs.to_vec(),
+            reach: reach.to_vec(),
+            periodic: vec![false; global.len()],
+        })
+    }
+
+    /// Make the given dimensions periodic (torus topology): boundary
+    /// ranks exchange with the opposite side, and single-process
+    /// dimensions wrap onto themselves.
+    pub fn with_periodicity(mut self, periodic: &[bool]) -> Result<CartDecomp> {
+        if periodic.len() != self.ndim() {
+            return Err(MscError::DimMismatch {
+                expected: self.ndim(),
+                got: periodic.len(),
+            });
+        }
+        self.periodic = periodic.to_vec();
+        Ok(self)
+    }
+
+    pub fn ndim(&self) -> usize {
+        self.global.len()
+    }
+
+    /// Total ranks.
+    pub fn n_ranks(&self) -> usize {
+        self.procs.iter().product()
+    }
+
+    /// Per-rank sub-grid extents.
+    pub fn sub_extent(&self) -> Vec<usize> {
+        self.global
+            .iter()
+            .zip(&self.procs)
+            .map(|(&g, &p)| g / p)
+            .collect()
+    }
+
+    /// Cartesian coordinates of a rank (row-major, dim 0 slowest).
+    pub fn coords_of(&self, rank: usize) -> Vec<usize> {
+        let mut rem = rank;
+        let mut coords = vec![0usize; self.ndim()];
+        for d in (0..self.ndim()).rev() {
+            coords[d] = rem % self.procs[d];
+            rem /= self.procs[d];
+        }
+        coords
+    }
+
+    /// Rank of Cartesian coordinates.
+    pub fn rank_of(&self, coords: &[usize]) -> usize {
+        coords
+            .iter()
+            .zip(&self.procs)
+            .fold(0usize, |acc, (&c, &p)| acc * p + c)
+    }
+
+    /// Global origin (interior coordinates) of a rank's sub-grid.
+    pub fn origin_of(&self, rank: usize) -> Vec<usize> {
+        let sub = self.sub_extent();
+        self.coords_of(rank)
+            .iter()
+            .zip(&sub)
+            .map(|(&c, &s)| c * s)
+            .collect()
+    }
+
+    /// Neighbour rank along `dim` in direction `dir` (±1); `None` at the
+    /// (non-periodic) domain boundary.
+    pub fn neighbor(&self, rank: usize, dim: usize, dir: i64) -> Option<usize> {
+        let mut coords = self.coords_of(rank);
+        let p = self.procs[dim] as i64;
+        let c = coords[dim] as i64 + dir;
+        let c = if self.periodic[dim] {
+            (c % p + p) % p
+        } else if c < 0 || c >= p {
+            return None;
+        } else {
+            c
+        };
+        coords[dim] = c as usize;
+        Some(self.rank_of(&coords))
+    }
+
+    /// Number of face neighbours of a rank.
+    pub fn n_neighbors(&self, rank: usize) -> usize {
+        (0..self.ndim())
+            .flat_map(|d| [(d, -1), (d, 1)])
+            .filter(|&(d, dir)| self.neighbor(rank, d, dir).is_some())
+            .count()
+    }
+
+    /// Extent of dimension `dd` for an exchange of dimension `dim` under
+    /// dimension-ordered exchange: dims already exchanged (`dd < dim`)
+    /// span the full padded range so corner data propagates (required for
+    /// box stencils); later dims span the interior only.
+    fn exch_span(&self, dim: usize, dd: usize) -> (usize, usize) {
+        let sub = self.sub_extent();
+        let h = self.reach[dd];
+        if dd < dim {
+            (0, sub[dd] + 2 * h)
+        } else {
+            (h, sub[dd])
+        }
+    }
+
+    /// Inner halo region (data to *send*) for the face of `dim` in
+    /// direction `dir`, in local padded coordinates.
+    pub fn send_region(&self, dim: usize, dir: i64) -> Region {
+        let sub = self.sub_extent();
+        let h = self.reach[dim];
+        let mut start = vec![0usize; self.ndim()];
+        let mut extent = vec![0usize; self.ndim()];
+        for dd in 0..self.ndim() {
+            let (s, e) = self.exch_span(dim, dd);
+            start[dd] = s;
+            extent[dd] = e;
+        }
+        if dir > 0 {
+            start[dim] = self.reach[dim] + sub[dim] - h;
+        } else {
+            start[dim] = self.reach[dim];
+        }
+        extent[dim] = h;
+        Region::new(start, extent)
+    }
+
+    /// Outer halo region (data to *receive*) for the face of `dim` in
+    /// direction `dir`, in local padded coordinates.
+    pub fn recv_region(&self, dim: usize, dir: i64) -> Region {
+        let sub = self.sub_extent();
+        let h = self.reach[dim];
+        let mut start = vec![0usize; self.ndim()];
+        let mut extent = vec![0usize; self.ndim()];
+        for dd in 0..self.ndim() {
+            let (s, e) = self.exch_span(dim, dd);
+            start[dd] = s;
+            extent[dd] = e;
+        }
+        if dir > 0 {
+            start[dim] = self.reach[dim] + sub[dim];
+        } else {
+            start[dim] = 0;
+        }
+        extent[dim] = h;
+        Region::new(start, extent)
+    }
+
+    /// Bytes a rank sends per exchange round per live state, for an
+    /// element of `elem_bytes` (feeds the network model and the tuner).
+    pub fn send_bytes_per_rank(&self, rank: usize, elem_bytes: usize) -> usize {
+        (0..self.ndim())
+            .flat_map(|d| [(d, -1i64), (d, 1)])
+            .filter(|&(d, dir)| self.neighbor(rank, d, dir).is_some())
+            .map(|(d, dir)| self.send_region(d, dir).len() * elem_bytes)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d2x2() -> CartDecomp {
+        // The paper's Figure 6: 8x8 grid, 2x2 MPI grid.
+        CartDecomp::new(&[8, 8], &[2, 2], &[1, 1]).unwrap()
+    }
+
+    #[test]
+    fn figure6_subtensors() {
+        let d = d2x2();
+        assert_eq!(d.n_ranks(), 4);
+        assert_eq!(d.sub_extent(), vec![4, 4]);
+        assert_eq!(d.origin_of(0), vec![0, 0]);
+        assert_eq!(d.origin_of(3), vec![4, 4]);
+    }
+
+    #[test]
+    fn coords_roundtrip() {
+        let d = CartDecomp::new(&[64, 64, 64], &[4, 2, 8], &[1, 1, 1]).unwrap();
+        for rank in 0..d.n_ranks() {
+            assert_eq!(d.rank_of(&d.coords_of(rank)), rank);
+        }
+    }
+
+    #[test]
+    fn neighbors_respect_boundaries() {
+        let d = d2x2();
+        // Rank 0 = coords (0,0): neighbours only in + directions.
+        assert_eq!(d.neighbor(0, 0, -1), None);
+        assert_eq!(d.neighbor(0, 0, 1), Some(2));
+        assert_eq!(d.neighbor(0, 1, 1), Some(1));
+        assert_eq!(d.n_neighbors(0), 2);
+        // Middle rank of a 3x3 grid has 4 neighbours.
+        let d3 = CartDecomp::new(&[9, 9], &[3, 3], &[1, 1]).unwrap();
+        assert_eq!(d3.n_neighbors(4), 4);
+    }
+
+    #[test]
+    fn send_recv_regions_are_mirrors() {
+        // What rank A sends in dim d, dir +1 must be shaped like what its
+        // +1 neighbour receives in dim d, dir -1.
+        let d = CartDecomp::new(&[12, 8], &[2, 2], &[2, 1]).unwrap();
+        for dim in 0..2 {
+            for dir in [-1i64, 1] {
+                let s = d.send_region(dim, dir);
+                let r = d.recv_region(dim, -dir);
+                assert_eq!(s.extent, r.extent, "dim {dim} dir {dir}");
+            }
+        }
+    }
+
+    #[test]
+    fn send_region_is_interior_recv_is_halo() {
+        let d = d2x2();
+        let s = d.send_region(0, 1);
+        // Last interior row: padded coord 4 (halo 1 + sub 4 - 1).
+        assert_eq!(s.start[0], 4);
+        assert_eq!(s.extent[0], 1);
+        let r = d.recv_region(0, 1);
+        assert_eq!(r.start[0], 5); // outer halo row
+    }
+
+    #[test]
+    fn dimension_ordered_exchange_covers_corners() {
+        // Exchanging dim 1 after dim 0: the dim-1 faces span the full
+        // padded dim-0 range, carrying corner data.
+        let d = d2x2();
+        let s = d.send_region(1, 1);
+        assert_eq!(s.start[0], 0);
+        assert_eq!(s.extent[0], 6); // full padded range of dim 0
+        assert_eq!(s.extent[1], 1);
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert!(CartDecomp::new(&[10, 10], &[3, 1], &[1, 1]).is_err()); // indivisible
+        assert!(CartDecomp::new(&[8, 8], &[8, 1], &[2, 2]).is_err()); // sub < halo
+        assert!(CartDecomp::new(&[8, 8], &[0, 1], &[1, 1]).is_err());
+        assert!(CartDecomp::new(&[8, 8], &[2], &[1, 1]).is_err());
+    }
+
+    #[test]
+    fn send_bytes_count_faces() {
+        let d = d2x2();
+        // Rank 0: two faces; dim-0 face = 1x4 interior elems, dim-1 face
+        // = 6x1 padded-x elems.
+        assert_eq!(d.send_bytes_per_rank(0, 8), (4 + 6) * 8);
+    }
+}

@@ -1,0 +1,592 @@
+//! Full distributed execution: every MPI rank (thread) owns a sub-grid,
+//! computes its tiles locally, and exchanges halos through the runtime —
+//! the complete large-scale code path MSC generates (paper §4.4).
+//!
+//! The headline property, tested here and in the integration suite: a
+//! distributed run is **bit-identical** to the single-node run of the
+//! same program, for any process grid.
+
+use crate::decomp::CartDecomp;
+use crate::halo::HaloExchange;
+use crate::region::Region;
+use crate::runtime::World;
+use msc_core::error::{MscError, Result};
+use msc_core::prelude::*;
+use msc_core::schedule::plan::ExecPlan;
+use msc_core::schedule::WindowPlan;
+use msc_exec::boundary::{self, Boundary};
+use msc_exec::compiled::CompiledStencil;
+use msc_exec::{tiled, Grid, Scalar};
+
+/// Per-run communication statistics, aggregated over ranks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CommStats {
+    pub messages: u64,
+    pub steps: usize,
+    pub ranks: usize,
+}
+
+/// Extract the local padded grid of `rank` from the global grid (the
+/// global grid's halo is the physical boundary; interior-facing local
+/// halos are filled with the neighbouring ranks' data, which equals the
+/// global values at initialization).
+fn scatter<T: Scalar>(global: &Grid<T>, decomp: &CartDecomp, rank: usize) -> Grid<T> {
+    let sub = decomp.sub_extent();
+    let origin = decomp.origin_of(rank);
+    let mut local: Grid<T> = Grid::zeros(&sub, &decomp.reach);
+    // Local padded coordinate i maps to global *padded* coordinate
+    // origin + i (both halos have width `reach`).
+    let src_region = Region::new(origin.clone(), local.padded.clone());
+    let buf = src_region.pack(global);
+    let dst_region = Region::new(vec![0; sub.len()], local.padded.clone());
+    dst_region.unpack(&mut local, &buf);
+    local
+}
+
+/// Run `program` over a `procs` Cartesian process grid, starting from the
+/// global `init` grid, with Dirichlet boundaries. `make_plan` builds the
+/// per-rank execution plan for the sub-grid shape. Returns the gathered
+/// global result and stats.
+pub fn run_distributed<T: Scalar>(
+    program: &StencilProgram,
+    procs: &[usize],
+    init: &Grid<T>,
+    make_plan: impl Fn(&[usize]) -> Result<ExecPlan> + Sync,
+) -> Result<(Grid<T>, CommStats)> {
+    run_distributed_bc(program, procs, init, Boundary::Dirichlet, make_plan)
+}
+
+/// Like [`run_distributed`] with an explicit boundary condition. Under
+/// periodic boundaries the process grid becomes a torus: boundary ranks
+/// exchange with the opposite side (single-process dimensions wrap onto
+/// themselves through self-messages).
+pub fn run_distributed_bc<T: Scalar>(
+    program: &StencilProgram,
+    procs: &[usize],
+    init: &Grid<T>,
+    bc: Boundary,
+    make_plan: impl Fn(&[usize]) -> Result<ExecPlan> + Sync,
+) -> Result<(Grid<T>, CommStats)> {
+    let decomp = build_decomp(program, procs, bc)?;
+    let exchanger = HaloExchange::new(decomp);
+    run_distributed_with(program, init, bc, &exchanger, make_plan)
+}
+
+/// Build and validate the decomposition for a program/process-grid pair.
+pub fn build_decomp(
+    program: &StencilProgram,
+    procs: &[usize],
+    bc: Boundary,
+) -> Result<CartDecomp> {
+    let reach = program.stencil.reach();
+    // The grid's halo must equal the stencil reach for scatter/gather
+    // coordinates to line up.
+    if program.grid.halo != reach {
+        return Err(MscError::InvalidConfig(format!(
+            "distributed run requires grid halo {:?} == stencil reach {:?}",
+            program.grid.halo, reach
+        )));
+    }
+    let mut decomp = CartDecomp::new(&program.grid.shape, procs, &reach)?;
+    if bc == Boundary::Periodic {
+        decomp = decomp.with_periodicity(&vec![true; reach.len()])?;
+    }
+    Ok(decomp)
+}
+
+/// Run with a caller-supplied halo-exchange backend (the paper's
+/// pluggable-library design: swap MSC's asynchronous exchanger for a
+/// GCL-style one without touching the driver).
+pub fn run_distributed_with<T: Scalar, B: crate::backend::HaloBackend>(
+    program: &StencilProgram,
+    init: &Grid<T>,
+    bc: Boundary,
+    exchanger: &B,
+    make_plan: impl Fn(&[usize]) -> Result<ExecPlan> + Sync,
+) -> Result<(Grid<T>, CommStats)> {
+    run_distributed_exec(program, init, bc, exchanger, None, make_plan)
+}
+
+/// Like [`run_distributed_with`], with each rank staging its tiles
+/// through a bounded SPM when `spm_capacity` is given (the full
+/// large-scale Sunway code path: DMA-staged tiles + asynchronous halo
+/// exchange).
+pub fn run_distributed_exec<T: Scalar, B: crate::backend::HaloBackend>(
+    program: &StencilProgram,
+    init: &Grid<T>,
+    bc: Boundary,
+    exchanger: &B,
+    spm_capacity: Option<usize>,
+    make_plan: impl Fn(&[usize]) -> Result<ExecPlan> + Sync,
+) -> Result<(Grid<T>, CommStats)> {
+    let reach = program.stencil.reach();
+    let decomp = exchanger.decomp().clone();
+    let sub = decomp.sub_extent();
+    let plan = make_plan(&sub)?;
+    if plan.grid != sub {
+        return Err(MscError::InvalidConfig(format!(
+            "plan grid {:?} != sub-grid {:?}",
+            plan.grid, sub
+        )));
+    }
+    // Seed with wrapped halos so step 0 reads correct periodic images.
+    let mut seeded = init.clone();
+    boundary::apply(&mut seeded, bc);
+    let seeded = &seeded;
+
+    let rank_results: Vec<Result<(Vec<T>, u64)>> =
+        World::run(decomp.n_ranks(), |mut ctx| -> Result<(Vec<T>, u64)> {
+            let local_init = scatter(seeded, &decomp, ctx.rank);
+            let compiled = CompiledStencil::compile(program, &local_init)?;
+            let window = WindowPlan::for_max_dt(compiled.max_dt)?;
+            let mut ring: Vec<Grid<T>> =
+                (0..window.window).map(|_| local_init.clone()).collect();
+
+            for s in 0..program.timesteps {
+                let t = compiled.max_dt + s;
+                let out_slot = window.output_slot(t);
+                let mut out = std::mem::replace(&mut ring[out_slot], Grid::zeros(&[1], &[0]));
+                {
+                    let inputs: Vec<&Grid<T>> = (1..=compiled.max_dt)
+                        .map(|dt| &ring[window.input_slot(t, dt).expect("window fits")])
+                        .collect();
+                    match spm_capacity {
+                        None => {
+                            tiled::step(&compiled, &plan, &inputs, &mut out);
+                        }
+                        Some(cap) => {
+                            msc_exec::spm::step(&compiled, &plan, &inputs, &mut out, cap)?;
+                        }
+                    }
+                }
+                // Publish the new state's halo to the neighbours before
+                // anyone (including us) reads it next step.
+                if s + 1 < program.timesteps {
+                    exchanger.exchange(&mut ctx, &mut out, out_slot);
+                }
+                ring[out_slot] = out;
+            }
+
+            let last = window.output_slot(compiled.max_dt + program.timesteps - 1);
+            let interior =
+                Region::new(decomp.reach.clone(), sub.clone()).pack(&ring[last]);
+            Ok((interior, ctx.sent_msgs))
+        });
+
+    // Gather interiors, then refresh the global halo to match what a
+    // single-node run's final state carries.
+    let mut global: Grid<T> = seeded.clone();
+    let mut stats = CommStats {
+        messages: 0,
+        steps: program.timesteps,
+        ranks: decomp.n_ranks(),
+    };
+    for (rank, res) in rank_results.into_iter().enumerate() {
+        let (interior, msgs) = res?;
+        stats.messages += msgs;
+        let origin = decomp.origin_of(rank);
+        let dst = Region::new(
+            origin.iter().zip(&reach).map(|(&o, &r)| o + r).collect(),
+            sub.clone(),
+        );
+        dst.unpack(&mut global, &interior);
+    }
+    boundary::apply(&mut global, bc);
+    Ok((global, stats))
+}
+
+/// Distributed iterate-to-convergence: every rank advances its sub-grid,
+/// exchanges halos, and the step-to-step RMS update is reduced globally
+/// with [`crate::collectives::allreduce`]; all ranks stop together once
+/// it falls below `tol`. Returns the gathered state, the step count, and
+/// the final residual.
+pub fn run_distributed_until_converged<T: Scalar>(
+    program: &StencilProgram,
+    procs: &[usize],
+    init: &Grid<T>,
+    bc: Boundary,
+    tol: f64,
+    max_steps: usize,
+    make_plan: impl Fn(&[usize]) -> Result<ExecPlan> + Sync,
+) -> Result<(Grid<T>, usize, f64)> {
+    use crate::collectives::{allreduce, ReduceOp};
+    if tol <= 0.0 || max_steps == 0 {
+        return Err(MscError::InvalidConfig(
+            "convergence needs a positive tolerance and at least one step".into(),
+        ));
+    }
+    let decomp = build_decomp(program, procs, bc)?;
+    let sub = decomp.sub_extent();
+    let plan = make_plan(&sub)?;
+    if plan.grid != sub {
+        return Err(MscError::InvalidConfig(format!(
+            "plan grid {:?} != sub-grid {:?}",
+            plan.grid, sub
+        )));
+    }
+    let exchanger = HaloExchange::new(decomp.clone());
+    let mut seeded = init.clone();
+    boundary::apply(&mut seeded, bc);
+    let seeded_ref = &seeded;
+    let global_points: f64 = program.grid.shape.iter().product::<usize>() as f64;
+    let reach = program.stencil.reach();
+
+    let rank_results: Vec<Result<(Vec<T>, usize, f64)>> =
+        World::run(decomp.n_ranks(), |mut ctx| -> Result<(Vec<T>, usize, f64)> {
+            let local_init = scatter(seeded_ref, &decomp, ctx.rank);
+            let compiled = CompiledStencil::compile(program, &local_init)?;
+            let window = WindowPlan::for_max_dt(compiled.max_dt)?;
+            let mut ring: Vec<Grid<T>> =
+                (0..window.window).map(|_| local_init.clone()).collect();
+            let mut steps = 0;
+            let mut rms = f64::INFINITY;
+
+            for s in 0..max_steps {
+                let t = compiled.max_dt + s;
+                let out_slot = window.output_slot(t);
+                let prev_slot = window.input_slot(t, 1).expect("window has t-1");
+                let prev = ring[prev_slot].clone();
+                let mut out =
+                    std::mem::replace(&mut ring[out_slot], Grid::zeros(&[1], &[0]));
+                {
+                    let inputs: Vec<&Grid<T>> = (1..=compiled.max_dt)
+                        .map(|dt| &ring[window.input_slot(t, dt).expect("window fits")])
+                        .collect();
+                    tiled::step(&compiled, &plan, &inputs, &mut out);
+                }
+                // Local squared update, reduced globally.
+                let mut local_sq = 0.0;
+                out.for_each_interior(|pos| {
+                    let d = out.get(pos).to_f64() - prev.get(pos).to_f64();
+                    local_sq += d * d;
+                });
+                let total = allreduce(&mut ctx, local_sq, ReduceOp::Sum, t as u64);
+                rms = (total / global_points).sqrt();
+                steps = s + 1;
+                let done = rms < tol || s + 1 == max_steps;
+                if !done {
+                    exchanger.exchange(&mut ctx, &mut out, out_slot);
+                }
+                ring[out_slot] = out;
+                if done {
+                    break;
+                }
+            }
+            let last = window.output_slot(compiled.max_dt + steps - 1);
+            let interior = Region::new(decomp.reach.clone(), sub.clone()).pack(&ring[last]);
+            Ok((interior, steps, rms))
+        });
+
+    let mut global: Grid<T> = seeded.clone();
+    let mut steps = 0;
+    let mut rms = f64::INFINITY;
+    for (rank, res) in rank_results.into_iter().enumerate() {
+        let (interior, s, r) = res?;
+        steps = s;
+        rms = r;
+        let origin = decomp.origin_of(rank);
+        let dst = Region::new(
+            origin.iter().zip(&reach).map(|(&o, &r)| o + r).collect(),
+            sub.clone(),
+        );
+        dst.unpack(&mut global, &interior);
+    }
+    boundary::apply(&mut global, bc);
+    Ok((global, steps, rms))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msc_core::catalog::{all_benchmarks, benchmark, BenchmarkId};
+    use msc_exec::driver::{run_program, Executor};
+    use msc_core::schedule::Schedule;
+
+    fn simple_plan(sub: &[usize]) -> Result<ExecPlan> {
+        let mut s = Schedule::default();
+        let tile: Vec<usize> = sub.iter().map(|&x| (x / 2).max(1)).collect();
+        s.tile(&tile);
+        s.parallel("xo", 2);
+        ExecPlan::lower(&s, sub.len(), sub)
+    }
+
+    #[test]
+    fn distributed_2d_is_bit_identical_to_single_node() {
+        let p = benchmark(BenchmarkId::S2d9ptBox)
+            .program(&[16, 16], DType::F64, 5)
+            .unwrap();
+        let init: Grid<f64> = Grid::random(&p.grid.shape, &p.grid.halo, 42);
+        let (single, _) = run_program(&p, &Executor::Reference, &init).unwrap();
+        let (multi, stats) = run_distributed(&p, &[2, 2], &init, simple_plan).unwrap();
+        assert_eq!(single.as_slice(), multi.as_slice());
+        assert_eq!(stats.ranks, 4);
+        assert!(stats.messages > 0);
+    }
+
+    #[test]
+    fn distributed_3d_is_bit_identical_to_single_node() {
+        let p = benchmark(BenchmarkId::S3d7ptStar)
+            .program(&[12, 12, 12], DType::F64, 4)
+            .unwrap();
+        let init: Grid<f64> = Grid::random(&p.grid.shape, &p.grid.halo, 7);
+        let (single, _) = run_program(&p, &Executor::Reference, &init).unwrap();
+        let (multi, _) = run_distributed(&p, &[2, 1, 3], &init, simple_plan).unwrap();
+        assert_eq!(single.as_slice(), multi.as_slice());
+    }
+
+    #[test]
+    fn all_benchmarks_distributed_match_reference() {
+        for b in all_benchmarks() {
+            let grid: Vec<usize> = match b.ndim {
+                2 => vec![32, 32],
+                _ => vec![16, 16, 16],
+            };
+            let p = b.program(&grid, DType::F64, 3).unwrap();
+            let init: Grid<f64> = Grid::random(&p.grid.shape, &p.grid.halo, 99);
+            let (single, _) = run_program(&p, &Executor::Reference, &init).unwrap();
+            let procs: Vec<usize> = match b.ndim {
+                2 => vec![2, 2],
+                _ => vec![2, 2, 1],
+            };
+            let (multi, _) = run_distributed(&p, &procs, &init, simple_plan).unwrap();
+            assert_eq!(single.as_slice(), multi.as_slice(), "{}", b.name);
+        }
+    }
+
+    #[test]
+    fn distributed_spm_execution_is_bit_identical() {
+        // The full Sunway path: SPM-staged tiles on every rank + halo
+        // exchange, still bitwise equal to the serial single-node run.
+        use msc_exec::Boundary;
+        let p = benchmark(BenchmarkId::S3d7ptStar)
+            .program(&[12, 12, 16], DType::F64, 4)
+            .unwrap();
+        let init: Grid<f64> = Grid::random(&p.grid.shape, &p.grid.halo, 44);
+        let (single, _) = run_program(&p, &Executor::Reference, &init).unwrap();
+        let decomp = build_decomp(&p, &[2, 1, 2], Boundary::Dirichlet).unwrap();
+        let backend = HaloExchange::new(decomp);
+        let (multi, _) = run_distributed_exec(
+            &p,
+            &init,
+            Boundary::Dirichlet,
+            &backend,
+            Some(1 << 20),
+            simple_plan,
+        )
+        .unwrap();
+        assert_eq!(single.as_slice(), multi.as_slice());
+    }
+
+    #[test]
+    fn distributed_spm_overflow_propagates_as_error() {
+        use msc_exec::Boundary;
+        let p = benchmark(BenchmarkId::S3d7ptStar)
+            .program(&[16, 16, 16], DType::F64, 2)
+            .unwrap();
+        let init: Grid<f64> = Grid::random(&p.grid.shape, &p.grid.halo, 1);
+        let decomp = build_decomp(&p, &[1, 1, 1], Boundary::Dirichlet).unwrap();
+        let backend = HaloExchange::new(decomp);
+        let r = run_distributed_exec(
+            &p,
+            &init,
+            Boundary::Dirichlet,
+            &backend,
+            Some(128), // absurdly small SPM
+            simple_plan,
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn distributed_convergence_matches_single_node() {
+        use msc_exec::convergence::run_until_converged;
+        use msc_exec::Boundary;
+        let b = benchmark(BenchmarkId::S2d9ptBox);
+        let p = b.program(&[24, 24], DType::F64, 1).unwrap();
+        let init: Grid<f64> = Grid::random(&p.grid.shape, &p.grid.halo, 3);
+        let single = run_until_converged(
+            &p,
+            &Executor::Reference,
+            &init,
+            Boundary::Dirichlet,
+            1e-5,
+            2000,
+        )
+        .unwrap();
+        let (multi, steps, rms) = run_distributed_until_converged(
+            &p,
+            &[2, 2],
+            &init,
+            Boundary::Dirichlet,
+            1e-5,
+            2000,
+            simple_plan,
+        )
+        .unwrap();
+        assert!(single.converged);
+        assert_eq!(steps, single.steps, "step counts must agree");
+        assert!(rms < 1e-5);
+        assert_eq!(single.state.as_slice(), multi.as_slice());
+    }
+
+    #[test]
+    fn distributed_convergence_respects_max_steps() {
+        let b = benchmark(BenchmarkId::S2d9ptStar);
+        let p = b.program(&[16, 16], DType::F64, 1).unwrap();
+        let init: Grid<f64> = Grid::random(&p.grid.shape, &p.grid.halo, 5);
+        let (_, steps, rms) = run_distributed_until_converged(
+            &p,
+            &[2, 2],
+            &init,
+            msc_exec::Boundary::Dirichlet,
+            1e-300,
+            6,
+            simple_plan,
+        )
+        .unwrap();
+        assert_eq!(steps, 6);
+        assert!(rms > 0.0);
+    }
+
+    #[test]
+    fn single_rank_degenerates_to_local_run() {
+        let p = benchmark(BenchmarkId::S2d9ptStar)
+            .program(&[8, 8], DType::F64, 3)
+            .unwrap();
+        let init: Grid<f64> = Grid::random(&p.grid.shape, &p.grid.halo, 3);
+        let (single, _) = run_program(&p, &Executor::Reference, &init).unwrap();
+        let (multi, stats) = run_distributed(&p, &[1, 1], &init, simple_plan).unwrap();
+        assert_eq!(single.as_slice(), multi.as_slice());
+        assert_eq!(stats.messages, 0);
+    }
+
+    #[test]
+    fn periodic_distributed_matches_periodic_single_node() {
+        use msc_exec::driver::run_program_bc;
+        let p = benchmark(BenchmarkId::S2d9ptBox)
+            .program(&[12, 18], DType::F64, 4)
+            .unwrap();
+        let init: Grid<f64> = Grid::random(&p.grid.shape, &p.grid.halo, 77);
+        let (single, _) =
+            run_program_bc(&p, &Executor::Reference, &init, Boundary::Periodic).unwrap();
+        let (multi, _) =
+            run_distributed_bc(&p, &[2, 3], &init, Boundary::Periodic, simple_plan).unwrap();
+        assert_eq!(single.as_slice(), multi.as_slice());
+    }
+
+    #[test]
+    fn periodic_single_process_dimension_wraps_through_self_messages() {
+        use msc_exec::driver::run_program_bc;
+        let p = benchmark(BenchmarkId::S3d7ptStar)
+            .program(&[8, 8, 12], DType::F64, 3)
+            .unwrap();
+        let init: Grid<f64> = Grid::random(&p.grid.shape, &p.grid.halo, 9);
+        let (single, _) =
+            run_program_bc(&p, &Executor::Reference, &init, Boundary::Periodic).unwrap();
+        // procs = [1, 1, 2]: dims 0 and 1 wrap onto the same rank.
+        let (multi, stats) =
+            run_distributed_bc(&p, &[1, 1, 2], &init, Boundary::Periodic, simple_plan).unwrap();
+        assert_eq!(single.as_slice(), multi.as_slice());
+        assert!(stats.messages > 0);
+    }
+
+    #[test]
+    fn periodic_averaging_conserves_mass() {
+        use msc_exec::driver::run_program_bc;
+        // On a torus, a unit-coefficient-sum stencil loses nothing at the
+        // boundary: the interior sum is invariant.
+        let p = benchmark(BenchmarkId::S2d9ptStar)
+            .program(&[16, 16], DType::F64, 10)
+            .unwrap();
+        let init: Grid<f64> = Grid::random(&p.grid.shape, &p.grid.halo, 13);
+        let before = {
+            let mut g = init.clone();
+            msc_exec::boundary::apply(&mut g, Boundary::Periodic);
+            g.interior_sum()
+        };
+        let (out, _) =
+            run_program_bc(&p, &Executor::Reference, &init, Boundary::Periodic).unwrap();
+        let after = out.interior_sum();
+        assert!(
+            (before - after).abs() / before.abs() < 1e-12,
+            "{before} vs {after}"
+        );
+    }
+
+    #[test]
+    fn gcl_style_backend_is_bit_identical_for_box_stencils() {
+        use crate::backend::FullNeighborExchange;
+        use msc_exec::Boundary;
+        // 2d121pt has reach 5: corners really matter.
+        let p = benchmark(BenchmarkId::S2d121ptBox)
+            .program(&[30, 40], DType::F64, 4)
+            .unwrap();
+        let init: Grid<f64> = Grid::random(&p.grid.shape, &p.grid.halo, 17);
+        let (single, _) = run_program(&p, &Executor::Reference, &init).unwrap();
+        let decomp = build_decomp(&p, &[2, 2], Boundary::Dirichlet).unwrap();
+        let backend = FullNeighborExchange::new(decomp);
+        let (multi, stats) =
+            run_distributed_with(&p, &init, Boundary::Dirichlet, &backend, simple_plan).unwrap();
+        assert_eq!(single.as_slice(), multi.as_slice());
+        // 2x2 grid: each rank has 3 neighbours (2 faces + 1 corner), so
+        // 4 ranks x 3 msgs x (steps-1) rounds.
+        assert_eq!(stats.messages, 4 * 3 * 3);
+    }
+
+    #[test]
+    fn gcl_style_backend_works_on_periodic_torus() {
+        use crate::backend::FullNeighborExchange;
+        use msc_exec::driver::run_program_bc;
+        use msc_exec::Boundary;
+        let p = benchmark(BenchmarkId::S2d9ptBox)
+            .program(&[12, 12], DType::F64, 3)
+            .unwrap();
+        let init: Grid<f64> = Grid::random(&p.grid.shape, &p.grid.halo, 51);
+        let (single, _) =
+            run_program_bc(&p, &Executor::Reference, &init, Boundary::Periodic).unwrap();
+        let decomp = build_decomp(&p, &[2, 2], Boundary::Periodic).unwrap();
+        let backend = FullNeighborExchange::new(decomp);
+        let (multi, _) =
+            run_distributed_with(&p, &init, Boundary::Periodic, &backend, simple_plan).unwrap();
+        assert_eq!(single.as_slice(), multi.as_slice());
+    }
+
+    #[test]
+    fn backends_agree_with_each_other() {
+        use crate::backend::FullNeighborExchange;
+        use msc_exec::Boundary;
+        let p = benchmark(BenchmarkId::S3d13ptStar)
+            .program(&[12, 12, 12], DType::F64, 3)
+            .unwrap();
+        let init: Grid<f64> = Grid::random(&p.grid.shape, &p.grid.halo, 8);
+        let (a, sa) = run_distributed(&p, &[2, 2, 1], &init, simple_plan).unwrap();
+        let decomp = build_decomp(&p, &[2, 2, 1], Boundary::Dirichlet).unwrap();
+        let backend = FullNeighborExchange::new(decomp);
+        let (b, sb) =
+            run_distributed_with(&p, &init, Boundary::Dirichlet, &backend, simple_plan).unwrap();
+        assert_eq!(a.as_slice(), b.as_slice());
+        // The GCL-style backend sends more messages (explicit corners).
+        assert!(sb.messages > sa.messages, "{} vs {}", sb.messages, sa.messages);
+    }
+
+    #[test]
+    fn dirichlet_and_periodic_differ() {
+        use msc_exec::driver::run_program_bc;
+        let p = benchmark(BenchmarkId::S2d9ptBox)
+            .program(&[10, 10], DType::F64, 3)
+            .unwrap();
+        let init: Grid<f64> = Grid::random(&p.grid.shape, &p.grid.halo, 21);
+        let (a, _) = run_program_bc(&p, &Executor::Reference, &init, Boundary::Dirichlet).unwrap();
+        let (b, _) = run_program_bc(&p, &Executor::Reference, &init, Boundary::Periodic).unwrap();
+        assert_ne!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn mismatched_process_grid_rejected() {
+        let p = benchmark(BenchmarkId::S2d9ptStar)
+            .program(&[10, 10], DType::F64, 2)
+            .unwrap();
+        let init: Grid<f64> = Grid::random(&p.grid.shape, &p.grid.halo, 3);
+        assert!(run_distributed(&p, &[3, 1], &init, simple_plan).is_err());
+    }
+}

@@ -1,0 +1,40 @@
+//! # msc-comm — the MSC communication library
+//!
+//! The paper's communication library (§4.4) has three parts: domain
+//! decomposition, asynchronous halo exchange, and performance
+//! auto-tuning (the tuner lives in `msc-tune`). This crate implements the
+//! first two against a *real message-passing runtime*: ranks are OS
+//! threads, `isend`/`irecv` are non-blocking operations over channels,
+//! and the halo data genuinely travels between rank-local grids. Nothing
+//! is shared — every access a rank makes to remote data must have been
+//! received through a message, exactly as in MPI.
+//!
+//! * [`region`] — rectangular sub-regions of a padded grid (pack/unpack);
+//! * [`decomp`] — Cartesian domain decomposition: sub-grids, neighbour
+//!   ranks, inner (send) and outer (receive) halo regions, with
+//!   dimension-ordered exchange so box-stencil corners propagate;
+//! * [`runtime`] — the message-passing world: `isend`, `irecv`,
+//!   `wait`, tags, out-of-order delivery buffering;
+//! * [`halo`] — the halo-exchange operation built from the above;
+//! * [`distributed`] — a full multi-rank stencil driver used to validate
+//!   that large-scale execution is bit-identical to single-node runs.
+
+pub mod backend;
+pub mod collectives;
+pub mod decomp;
+pub mod distributed;
+pub mod halo;
+pub mod region;
+pub mod runtime;
+
+pub use backend::{FullNeighborExchange, HaloBackend};
+pub use collectives::{allreduce, barrier, broadcast, ReduceOp};
+pub use decomp::CartDecomp;
+pub use distributed::{
+    build_decomp, run_distributed, run_distributed_bc, run_distributed_exec,
+    run_distributed_until_converged,
+    run_distributed_with,
+};
+pub use halo::HaloExchange;
+pub use region::Region;
+pub use runtime::{RankCtx, World};

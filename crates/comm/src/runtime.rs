@@ -1,0 +1,216 @@
+//! The message-passing runtime: ranks are OS threads, messages travel
+//! over channels, and `isend`/`irecv` follow MPI's non-blocking
+//! semantics. Delivery between a pair of ranks is matched by `(src, tag)`
+//! with out-of-order buffering, like MPI's unexpected-message queue.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A point-to-point message.
+#[derive(Debug, Clone)]
+pub struct Message<T> {
+    pub src: usize,
+    pub tag: u64,
+    pub payload: Vec<T>,
+}
+
+/// A posted receive: resolved by [`RankCtx::wait`].
+#[derive(Debug)]
+pub struct RecvRequest {
+    src: usize,
+    tag: u64,
+}
+
+/// Per-rank endpoint handed to each rank's closure.
+pub struct RankCtx<T> {
+    pub rank: usize,
+    pub n_ranks: usize,
+    senders: Arc<Vec<Sender<Message<T>>>>,
+    inbox: Receiver<Message<T>>,
+    /// Unexpected-message queue: messages that arrived before their
+    /// matching irecv was waited on.
+    stash: Vec<Message<T>>,
+    /// Bytes sent (diagnostics).
+    pub sent_msgs: u64,
+}
+
+impl<T: Send + Clone + 'static> RankCtx<T> {
+    /// Non-blocking send: enqueue and return immediately (the paper's
+    /// `MPI_isend`; channel buffering plays the role of the eager
+    /// protocol).
+    pub fn isend(&mut self, dst: usize, tag: u64, payload: Vec<T>) {
+        self.senders[dst]
+            .send(Message {
+                src: self.rank,
+                tag,
+                payload,
+            })
+            .expect("destination rank hung up");
+        self.sent_msgs += 1;
+    }
+
+    /// Non-blocking receive: record interest in `(src, tag)` (the paper's
+    /// `MPI_irecv`). Completion happens in [`RankCtx::wait`].
+    pub fn irecv(&mut self, src: usize, tag: u64) -> RecvRequest {
+        RecvRequest { src, tag }
+    }
+
+    /// Block until the matching message arrives; unrelated messages are
+    /// stashed for later requests.
+    pub fn wait(&mut self, req: RecvRequest) -> Vec<T> {
+        if let Some(pos) = self
+            .stash
+            .iter()
+            .position(|m| m.src == req.src && m.tag == req.tag)
+        {
+            return self.stash.swap_remove(pos).payload;
+        }
+        loop {
+            let msg = self.inbox.recv().expect("world shut down mid-wait");
+            if msg.src == req.src && msg.tag == req.tag {
+                return msg.payload;
+            }
+            self.stash.push(msg);
+        }
+    }
+
+    /// Wait on several requests, returning payloads in request order.
+    pub fn wait_all(&mut self, reqs: Vec<RecvRequest>) -> Vec<Vec<T>> {
+        reqs.into_iter().map(|r| self.wait(r)).collect()
+    }
+}
+
+/// A world of `n` ranks. Spawns one thread per rank and joins them.
+pub struct World;
+
+impl World {
+    /// Run `f(ctx)` on every rank concurrently; returns the per-rank
+    /// results in rank order. Panics in any rank propagate.
+    pub fn run<T, R, F>(n_ranks: usize, f: F) -> Vec<R>
+    where
+        T: Send + Clone + 'static,
+        R: Send,
+        F: Fn(RankCtx<T>) -> R + Sync,
+    {
+        assert!(n_ranks > 0, "world needs at least one rank");
+        let mut senders = Vec::with_capacity(n_ranks);
+        let mut receivers = Vec::with_capacity(n_ranks);
+        for _ in 0..n_ranks {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let senders = Arc::new(senders);
+
+        let mut results: HashMap<usize, R> = HashMap::new();
+        crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (rank, inbox) in receivers.into_iter().enumerate() {
+                let senders = Arc::clone(&senders);
+                let f = &f;
+                handles.push(scope.spawn(move |_| {
+                    let ctx = RankCtx {
+                        rank,
+                        n_ranks,
+                        senders,
+                        inbox,
+                        stash: Vec::new(),
+                        sent_msgs: 0,
+                    };
+                    (rank, f(ctx))
+                }));
+            }
+            for h in handles {
+                let (rank, r) = h.join().expect("rank thread panicked");
+                results.insert(rank, r);
+            }
+        })
+        .expect("world scope failed");
+        (0..n_ranks)
+            .map(|r| results.remove(&r).expect("missing rank result"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_pass() {
+        // Each rank sends its rank id to the next; sums must match.
+        let results: Vec<usize> = World::run(4, |mut ctx: RankCtx<usize>| {
+            let next = (ctx.rank + 1) % ctx.n_ranks;
+            let prev = (ctx.rank + ctx.n_ranks - 1) % ctx.n_ranks;
+            ctx.isend(next, 7, vec![ctx.rank]);
+            let req = ctx.irecv(prev, 7);
+            ctx.wait(req)[0]
+        });
+        assert_eq!(results, vec![3, 0, 1, 2]);
+    }
+
+    #[test]
+    fn out_of_order_tags_are_matched() {
+        let results: Vec<f64> = World::run(2, |mut ctx: RankCtx<f64>| {
+            if ctx.rank == 0 {
+                // Send tag 2 first, then tag 1.
+                ctx.isend(1, 2, vec![2.0]);
+                ctx.isend(1, 1, vec![1.0]);
+                0.0
+            } else {
+                // Receive tag 1 first: tag 2 must be stashed, not lost.
+                let r1 = ctx.irecv(0, 1);
+                let v1 = ctx.wait(r1)[0];
+                let r2 = ctx.irecv(0, 2);
+                let v2 = ctx.wait(r2)[0];
+                v1 * 10.0 + v2
+            }
+        });
+        assert_eq!(results[1], 12.0);
+    }
+
+    #[test]
+    fn wait_all_preserves_request_order() {
+        let results: Vec<Vec<i64>> = World::run(3, |mut ctx: RankCtx<i64>| {
+            if ctx.rank == 0 {
+                let reqs = vec![ctx.irecv(2, 0), ctx.irecv(1, 0)];
+                ctx.wait_all(reqs).into_iter().flatten().collect()
+            } else {
+                ctx.isend(0, 0, vec![ctx.rank as i64]);
+                vec![]
+            }
+        });
+        assert_eq!(results[0], vec![2, 1]);
+    }
+
+    #[test]
+    fn all_to_all() {
+        let n = 5;
+        let sums: Vec<usize> = World::run(n, move |mut ctx: RankCtx<usize>| {
+            for dst in 0..ctx.n_ranks {
+                if dst != ctx.rank {
+                    ctx.isend(dst, 0, vec![ctx.rank * 100]);
+                }
+            }
+            let mut sum = 0;
+            for src in 0..ctx.n_ranks {
+                if src != ctx.rank {
+                    let req = ctx.irecv(src, 0);
+                    sum += ctx.wait(req)[0];
+                }
+            }
+            sum
+        });
+        for (rank, s) in sums.iter().enumerate() {
+            let expect: usize = (0..n).filter(|&r| r != rank).map(|r| r * 100).sum();
+            assert_eq!(*s, expect);
+        }
+    }
+
+    #[test]
+    fn single_rank_world() {
+        let r: Vec<u32> = World::run(1, |ctx: RankCtx<f32>| ctx.rank as u32);
+        assert_eq!(r, vec![0]);
+    }
+}

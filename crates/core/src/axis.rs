@@ -1,0 +1,139 @@
+//! Nested-loop IR (`Axis`, paper Table 2): each axis records its
+//! identifier, its order inside the nest, its iteration range, and stride.
+
+use std::fmt;
+
+/// One axis of a (possibly tiled) loop nest.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Axis {
+    /// Identifier (`id_var`), e.g. `x`, `xo`, `xi`.
+    pub name: String,
+    /// Position in the nest, 0 = outermost (`order`).
+    pub order: usize,
+    /// Inclusive start.
+    pub start: i64,
+    /// Exclusive end.
+    pub end: i64,
+    /// Stride (usually 1).
+    pub stride: i64,
+}
+
+impl Axis {
+    /// New unit-stride axis over `[0, extent)`.
+    pub fn new(name: &str, order: usize, extent: usize) -> Axis {
+        Axis {
+            name: name.to_string(),
+            order,
+            start: 0,
+            end: extent as i64,
+            stride: 1,
+        }
+    }
+
+    /// Number of iterations the axis performs.
+    pub fn trip_count(&self) -> usize {
+        if self.end <= self.start || self.stride <= 0 {
+            return 0;
+        }
+        ((self.end - self.start + self.stride - 1) / self.stride) as usize
+    }
+
+    /// Split this axis by `factor`, producing `(outer, inner)` axes named
+    /// `<name>o` / `<name>i`. The outer axis covers `ceil(extent/factor)`
+    /// tiles; remainder tiles are handled by the executor/codegen clamping
+    /// the inner extent.
+    pub fn split(&self, factor: usize) -> (Axis, Axis) {
+        let extent = self.trip_count();
+        let outer_extent = extent.div_ceil(factor.max(1));
+        let outer = Axis {
+            name: format!("{}o", self.name),
+            order: self.order,
+            start: 0,
+            end: outer_extent as i64,
+            stride: 1,
+        };
+        let inner = Axis {
+            name: format!("{}i", self.name),
+            order: self.order + 1,
+            start: 0,
+            end: factor as i64,
+            stride: 1,
+        };
+        (outer, inner)
+    }
+}
+
+impl fmt::Display for Axis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} in [{}, {}) step {}",
+            self.name, self.start, self.end, self.stride
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trip_count_unit_stride() {
+        assert_eq!(Axis::new("x", 0, 256).trip_count(), 256);
+    }
+
+    #[test]
+    fn trip_count_strided() {
+        let a = Axis {
+            name: "x".into(),
+            order: 0,
+            start: 0,
+            end: 10,
+            stride: 3,
+        };
+        assert_eq!(a.trip_count(), 4); // 0,3,6,9
+    }
+
+    #[test]
+    fn trip_count_empty_and_degenerate() {
+        let a = Axis {
+            name: "x".into(),
+            order: 0,
+            start: 5,
+            end: 5,
+            stride: 1,
+        };
+        assert_eq!(a.trip_count(), 0);
+        let b = Axis {
+            name: "x".into(),
+            order: 0,
+            start: 0,
+            end: 5,
+            stride: 0,
+        };
+        assert_eq!(b.trip_count(), 0);
+    }
+
+    #[test]
+    fn split_exact() {
+        let (o, i) = Axis::new("x", 0, 256).split(8);
+        assert_eq!(o.name, "xo");
+        assert_eq!(i.name, "xi");
+        assert_eq!(o.trip_count(), 32);
+        assert_eq!(i.trip_count(), 8);
+        assert_eq!(i.order, 1);
+    }
+
+    #[test]
+    fn split_with_remainder_rounds_up() {
+        let (o, i) = Axis::new("x", 0, 100).split(32);
+        assert_eq!(o.trip_count(), 4); // 3 full + 1 remainder tile
+        assert_eq!(i.trip_count(), 32);
+    }
+
+    #[test]
+    fn display_format() {
+        let a = Axis::new("zi", 5, 32);
+        assert_eq!(a.to_string(), "zi in [0, 32) step 1");
+    }
+}

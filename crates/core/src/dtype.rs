@@ -1,0 +1,98 @@
+//! Scalar data types supported by the DSL (paper §4.2: `i32`, `f32`, `f64`).
+
+use std::fmt;
+
+/// Scalar element type of a tensor or variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DType {
+    /// 32-bit signed integer.
+    I32,
+    /// 32-bit IEEE-754 float (single precision).
+    F32,
+    /// 64-bit IEEE-754 float (double precision).
+    F64,
+}
+
+impl DType {
+    /// Size of one element in bytes.
+    pub const fn size_bytes(self) -> usize {
+        match self {
+            DType::I32 | DType::F32 => 4,
+            DType::F64 => 8,
+        }
+    }
+
+    /// The C type name used by the AOT code generator.
+    pub const fn c_name(self) -> &'static str {
+        match self {
+            DType::I32 => "int32_t",
+            DType::F32 => "float",
+            DType::F64 => "double",
+        }
+    }
+
+    /// Whether the type is a floating-point type.
+    pub const fn is_float(self) -> bool {
+        matches!(self, DType::F32 | DType::F64)
+    }
+
+    /// The correctness bound of the paper (§5.1): relative errors of the
+    /// generated codes against serial references must stay below this.
+    pub const fn paper_error_bound(self) -> f64 {
+        match self {
+            DType::F32 => 1e-5,
+            DType::F64 => 1e-10,
+            // Integer stencils must be bit exact.
+            DType::I32 => 0.0,
+        }
+    }
+}
+
+impl fmt::Display for DType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DType::I32 => "i32",
+            DType::F32 => "f32",
+            DType::F64 => "f64",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_match_c_abi() {
+        assert_eq!(DType::I32.size_bytes(), 4);
+        assert_eq!(DType::F32.size_bytes(), 4);
+        assert_eq!(DType::F64.size_bytes(), 8);
+    }
+
+    #[test]
+    fn c_names() {
+        assert_eq!(DType::F64.c_name(), "double");
+        assert_eq!(DType::F32.c_name(), "float");
+        assert_eq!(DType::I32.c_name(), "int32_t");
+    }
+
+    #[test]
+    fn float_classification() {
+        assert!(DType::F32.is_float());
+        assert!(DType::F64.is_float());
+        assert!(!DType::I32.is_float());
+    }
+
+    #[test]
+    fn display_is_lowercase_shorthand() {
+        assert_eq!(DType::F64.to_string(), "f64");
+        assert_eq!(DType::I32.to_string(), "i32");
+    }
+
+    #[test]
+    fn error_bounds_follow_paper() {
+        assert_eq!(DType::F32.paper_error_bound(), 1e-5);
+        assert_eq!(DType::F64.paper_error_bound(), 1e-10);
+    }
+}

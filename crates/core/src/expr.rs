@@ -1,0 +1,730 @@
+//! Expression IR (paper Table 2): value assignment, unary/binary math
+//! operators, external function calls, and index-calculation expressions.
+//!
+//! Expressions are plain trees. A stencil kernel body is a single
+//! expression over *relative* tensor accesses such as `B[k-1, j, i]`;
+//! the surrounding loop nest is represented separately by
+//! [`crate::axis::Axis`] and the schedule.
+
+use crate::error::{MscError, Result};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Binary operators available in kernel expressions (`OperatorExpr`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Min,
+    Max,
+}
+
+impl BinOp {
+    /// C source spelling; `Min`/`Max` lower to `fmin`/`fmax` calls.
+    pub fn c_symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Min => "fmin",
+            BinOp::Max => "fmax",
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    Neg,
+    Abs,
+    Sqrt,
+}
+
+/// A single relative access into a tensor: `tensor[i0+o0, i1+o1, ...]`
+/// optionally reaching `time_back` timesteps into the past.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Access {
+    pub tensor: String,
+    /// Spatial offsets, one per grid dimension, outermost first.
+    pub offsets: Vec<i64>,
+    /// How many timesteps back this access reads (0 = current input state).
+    pub time_back: usize,
+}
+
+/// One tap of a compiled linear stencil: coefficient times a relative
+/// access. The executor fast path iterates taps directly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tap {
+    pub offset: Vec<i64>,
+    pub coeff: f64,
+}
+
+/// A coefficient in a variable-coefficient stencil: a constant, or a
+/// scaled read of a coefficient tensor.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VarCoeff {
+    Const(f64),
+    Tensor {
+        name: String,
+        offset: Vec<i64>,
+        scale: f64,
+    },
+}
+
+/// One tap of a variable-coefficient stencil:
+/// `coeff(x) * grid[x + offset]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VarTap {
+    pub offset: Vec<i64>,
+    pub coeff: VarCoeff,
+}
+
+/// Expression tree node (paper: `AssignExpr` is represented by the kernel
+/// itself writing its output tensor; the remaining forms are below).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Floating-point literal.
+    Const(f64),
+    /// Integer literal.
+    ConstI(i64),
+    /// Reference to a scalar DSL variable (e.g. a coefficient).
+    Var(String),
+    /// Relative tensor access (`IndexExpr` folded into the access).
+    Access(Access),
+    /// Unary operator.
+    Unary(UnOp, Box<Expr>),
+    /// Binary operator.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// External function call (`CallFuncExpr`).
+    Call(String, Vec<Expr>),
+}
+
+impl Expr {
+    /// Build a relative access expression.
+    pub fn at(tensor: &str, offsets: &[i64]) -> Expr {
+        Expr::Access(Access {
+            tensor: tensor.to_string(),
+            offsets: offsets.to_vec(),
+            time_back: 0,
+        })
+    }
+
+    /// Relative access reading `time_back` steps into the past.
+    pub fn at_time(tensor: &str, offsets: &[i64], time_back: usize) -> Expr {
+        Expr::Access(Access {
+            tensor: tensor.to_string(),
+            offsets: offsets.to_vec(),
+            time_back,
+        })
+    }
+
+    /// Floating constant.
+    pub fn c(v: f64) -> Expr {
+        Expr::Const(v)
+    }
+
+    /// Count additive operations (`+`, `-`) in the tree.
+    pub fn count_adds(&self) -> usize {
+        self.fold(0, &mut |acc, e| {
+            acc + match e {
+                Expr::Binary(BinOp::Add | BinOp::Sub, _, _) => 1,
+                _ => 0,
+            }
+        })
+    }
+
+    /// Count multiplicative operations (`*`) in the tree. Divisions are
+    /// counted separately by [`Expr::count_divs`].
+    pub fn count_muls(&self) -> usize {
+        self.fold(0, &mut |acc, e| {
+            acc + match e {
+                Expr::Binary(BinOp::Mul, _, _) => 1,
+                _ => 0,
+            }
+        })
+    }
+
+    /// Count divisions.
+    pub fn count_divs(&self) -> usize {
+        self.fold(0, &mut |acc, e| {
+            acc + match e {
+                Expr::Binary(BinOp::Div, _, _) => 1,
+                _ => 0,
+            }
+        })
+    }
+
+    /// Total arithmetic operations (`+ - ×`), the metric of the paper's
+    /// Table 4 "Ops(+-×)" column.
+    pub fn count_ops(&self) -> usize {
+        self.count_adds() + self.count_muls()
+    }
+
+    /// Collect every distinct tensor access in the tree, in canonical
+    /// (sorted) order.
+    pub fn accesses(&self) -> Vec<Access> {
+        let mut set = std::collections::BTreeSet::new();
+        self.visit(&mut |e| {
+            if let Expr::Access(a) = e {
+                set.insert(a.clone());
+            }
+        });
+        set.into_iter().collect()
+    }
+
+    /// Number of distinct points read (across all tensors/time offsets).
+    pub fn num_points(&self) -> usize {
+        self.accesses().len()
+    }
+
+    /// Maximum absolute spatial offset per dimension — the reach of the
+    /// stencil, used to validate halo widths.
+    pub fn reach(&self, ndim: usize) -> Vec<usize> {
+        let mut reach = vec![0usize; ndim];
+        for a in self.accesses() {
+            for (d, &o) in a.offsets.iter().enumerate() {
+                if d < ndim {
+                    reach[d] = reach[d].max(o.unsigned_abs() as usize);
+                }
+            }
+        }
+        reach
+    }
+
+    /// Evaluate the expression with `lookup` resolving tensor accesses and
+    /// `vars` resolving scalar variables. Used by the naive serial
+    /// reference executor.
+    pub fn eval(
+        &self,
+        lookup: &mut dyn FnMut(&Access) -> f64,
+        vars: &BTreeMap<String, f64>,
+    ) -> Result<f64> {
+        Ok(match self {
+            Expr::Const(v) => *v,
+            Expr::ConstI(v) => *v as f64,
+            Expr::Var(name) => *vars.get(name).ok_or_else(|| MscError::Undefined {
+                kind: "variable",
+                name: name.clone(),
+            })?,
+            Expr::Access(a) => lookup(a),
+            Expr::Unary(op, a) => {
+                let v = a.eval(lookup, vars)?;
+                match op {
+                    UnOp::Neg => -v,
+                    UnOp::Abs => v.abs(),
+                    UnOp::Sqrt => v.sqrt(),
+                }
+            }
+            Expr::Binary(op, a, b) => {
+                let x = a.eval(lookup, vars)?;
+                let y = b.eval(lookup, vars)?;
+                match op {
+                    BinOp::Add => x + y,
+                    BinOp::Sub => x - y,
+                    BinOp::Mul => x * y,
+                    BinOp::Div => x / y,
+                    BinOp::Min => x.min(y),
+                    BinOp::Max => x.max(y),
+                }
+            }
+            Expr::Call(name, args) => {
+                let vals: Result<Vec<f64>> =
+                    args.iter().map(|e| e.eval(lookup, vars)).collect();
+                let vals = vals?;
+                match (name.as_str(), vals.as_slice()) {
+                    ("exp", [x]) => x.exp(),
+                    ("sin", [x]) => x.sin(),
+                    ("cos", [x]) => x.cos(),
+                    ("pow", [x, y]) => x.powf(*y),
+                    _ => {
+                        return Err(MscError::UnsupportedExpr(format!(
+                            "unknown external function `{name}` with {} args",
+                            vals.len()
+                        )))
+                    }
+                }
+            }
+        })
+    }
+
+    /// Attempt to flatten the expression into a linear combination of
+    /// accesses of a *single* tensor at a *single* time offset:
+    /// `sum_i coeff_i * T[x + o_i]`. This is the executor/codegen fast
+    /// path; returns `Err` for non-linear or multi-tensor expressions.
+    pub fn to_taps(&self) -> Result<Vec<Tap>> {
+        let mut taps: BTreeMap<Vec<i64>, f64> = BTreeMap::new();
+        let mut tensor: Option<(String, usize)> = None;
+        self.linearize(1.0, &mut taps, &mut tensor)?;
+        Ok(taps
+            .into_iter()
+            .map(|(offset, coeff)| Tap { offset, coeff })
+            .collect())
+    }
+
+    fn linearize(
+        &self,
+        scale: f64,
+        taps: &mut BTreeMap<Vec<i64>, f64>,
+        tensor: &mut Option<(String, usize)>,
+    ) -> Result<()> {
+        match self {
+            Expr::Access(a) => {
+                match tensor {
+                    Some((name, tb)) => {
+                        if *name != a.tensor || *tb != a.time_back {
+                            return Err(MscError::UnsupportedExpr(
+                                "linear form requires a single tensor and time offset".into(),
+                            ));
+                        }
+                    }
+                    None => *tensor = Some((a.tensor.clone(), a.time_back)),
+                }
+                *taps.entry(a.offsets.clone()).or_insert(0.0) += scale;
+                Ok(())
+            }
+            Expr::Binary(BinOp::Add, a, b) => {
+                a.linearize(scale, taps, tensor)?;
+                b.linearize(scale, taps, tensor)
+            }
+            Expr::Binary(BinOp::Sub, a, b) => {
+                a.linearize(scale, taps, tensor)?;
+                b.linearize(-scale, taps, tensor)
+            }
+            Expr::Binary(BinOp::Mul, a, b) => {
+                if let Some(c) = a.as_const() {
+                    b.linearize(scale * c, taps, tensor)
+                } else if let Some(c) = b.as_const() {
+                    a.linearize(scale * c, taps, tensor)
+                } else {
+                    Err(MscError::UnsupportedExpr(
+                        "non-constant multiplication in linear stencil".into(),
+                    ))
+                }
+            }
+            Expr::Unary(UnOp::Neg, a) => a.linearize(-scale, taps, tensor),
+            Expr::Const(c) if *c == 0.0 => Ok(()),
+            other => Err(MscError::UnsupportedExpr(format!(
+                "cannot linearize node: {other}"
+            ))),
+        }
+    }
+
+    /// Flatten into a *variable-coefficient* linear form over accesses of
+    /// `grid`: `Σ_i coeff_i(x) · grid[x + off_i]`, where each coefficient
+    /// is either a constant or `scale · C[x + o]` for a coefficient
+    /// tensor `C` (the WRF/POP2 kernel form of the paper's §5.6).
+    pub fn to_var_taps(&self, grid: &str) -> Result<Vec<VarTap>> {
+        let mut taps = Vec::new();
+        self.linearize_var(1.0, None, grid, &mut taps)?;
+        Ok(taps)
+    }
+
+    fn linearize_var(
+        &self,
+        scale: f64,
+        coeff: Option<&Access>,
+        grid: &str,
+        taps: &mut Vec<VarTap>,
+    ) -> Result<()> {
+        match self {
+            Expr::Access(a) if a.tensor == grid => {
+                taps.push(VarTap {
+                    offset: a.offsets.clone(),
+                    coeff: match coeff {
+                        None => VarCoeff::Const(scale),
+                        Some(c) => VarCoeff::Tensor {
+                            name: c.tensor.clone(),
+                            offset: c.offsets.clone(),
+                            scale,
+                        },
+                    },
+                });
+                Ok(())
+            }
+            Expr::Access(a) => Err(MscError::UnsupportedExpr(format!(
+                "coefficient tensor `{}` must multiply a `{grid}` access",
+                a.tensor
+            ))),
+            Expr::Binary(BinOp::Add, a, b) => {
+                a.linearize_var(scale, coeff, grid, taps)?;
+                b.linearize_var(scale, coeff, grid, taps)
+            }
+            Expr::Binary(BinOp::Sub, a, b) => {
+                a.linearize_var(scale, coeff, grid, taps)?;
+                b.linearize_var(-scale, coeff, grid, taps)
+            }
+            Expr::Unary(UnOp::Neg, a) => a.linearize_var(-scale, coeff, grid, taps),
+            Expr::Binary(BinOp::Mul, a, b) => {
+                // Constant factor on either side.
+                if let Some(c) = a.as_const() {
+                    return b.linearize_var(scale * c, coeff, grid, taps);
+                }
+                if let Some(c) = b.as_const() {
+                    return a.linearize_var(scale * c, coeff, grid, taps);
+                }
+                // Coefficient-tensor factor: an access to a non-grid
+                // tensor multiplying a grid subtree.
+                let as_coeff = |e: &Expr| match e {
+                    Expr::Access(a) if a.tensor != grid => Some(a.clone()),
+                    _ => None,
+                };
+                if coeff.is_none() {
+                    if let Some(c) = as_coeff(a) {
+                        return b.linearize_var(scale, Some(&c), grid, taps);
+                    }
+                    if let Some(c) = as_coeff(b) {
+                        return a.linearize_var(scale, Some(&c), grid, taps);
+                    }
+                }
+                Err(MscError::UnsupportedExpr(
+                    "product of two non-constant factors in variable-coefficient form".into(),
+                ))
+            }
+            Expr::Const(c) if *c == 0.0 => Ok(()),
+            other => Err(MscError::UnsupportedExpr(format!(
+                "cannot linearize node in variable-coefficient form: {other}"
+            ))),
+        }
+    }
+
+    /// Evaluate the expression if it is a compile-time constant
+    /// (constants, integer literals, negation, constant arithmetic).
+    pub fn as_const(&self) -> Option<f64> {
+        match self {
+            Expr::Const(v) => Some(*v),
+            Expr::ConstI(v) => Some(*v as f64),
+            Expr::Unary(UnOp::Neg, a) => a.as_const().map(|v| -v),
+            Expr::Binary(op, a, b) => {
+                let (x, y) = (a.as_const()?, b.as_const()?);
+                Some(match op {
+                    BinOp::Add => x + y,
+                    BinOp::Sub => x - y,
+                    BinOp::Mul => x * y,
+                    BinOp::Div => x / y,
+                    BinOp::Min => x.min(y),
+                    BinOp::Max => x.max(y),
+                })
+            }
+            _ => None,
+        }
+    }
+
+    /// Render the expression as C source, with `idx` the names of the loop
+    /// index variables (outermost first) and `indexer` mapping an access to
+    /// a C lvalue string.
+    pub fn to_c(&self, indexer: &dyn Fn(&Access) -> String) -> String {
+        match self {
+            Expr::Const(v) => {
+                if v.fract() == 0.0 && v.abs() < 1e15 {
+                    format!("{v:.1}")
+                } else {
+                    format!("{v}")
+                }
+            }
+            Expr::ConstI(v) => format!("{v}"),
+            Expr::Var(name) => name.clone(),
+            Expr::Access(a) => indexer(a),
+            Expr::Unary(op, a) => match op {
+                UnOp::Neg => format!("(-{})", a.to_c(indexer)),
+                UnOp::Abs => format!("fabs({})", a.to_c(indexer)),
+                UnOp::Sqrt => format!("sqrt({})", a.to_c(indexer)),
+            },
+            Expr::Binary(op, a, b) => match op {
+                BinOp::Min | BinOp::Max => format!(
+                    "{}({}, {})",
+                    op.c_symbol(),
+                    a.to_c(indexer),
+                    b.to_c(indexer)
+                ),
+                _ => format!(
+                    "({} {} {})",
+                    a.to_c(indexer),
+                    op.c_symbol(),
+                    b.to_c(indexer)
+                ),
+            },
+            Expr::Call(name, args) => {
+                let args: Vec<String> = args.iter().map(|e| e.to_c(indexer)).collect();
+                format!("{}({})", name, args.join(", "))
+            }
+        }
+    }
+
+    fn visit(&self, f: &mut dyn FnMut(&Expr)) {
+        f(self);
+        match self {
+            Expr::Unary(_, a) => a.visit(f),
+            Expr::Binary(_, a, b) => {
+                a.visit(f);
+                b.visit(f);
+            }
+            Expr::Call(_, args) => {
+                for a in args {
+                    a.visit(f);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn fold<T>(&self, init: T, f: &mut dyn FnMut(T, &Expr) -> T) -> T {
+        let mut acc = f(init, self);
+        match self {
+            Expr::Unary(_, a) => acc = a.fold(acc, f),
+            Expr::Binary(_, a, b) => {
+                acc = a.fold(acc, f);
+                acc = b.fold(acc, f);
+            }
+            Expr::Call(_, args) => {
+                for a in args {
+                    acc = a.fold(acc, f);
+                }
+            }
+            _ => {}
+        }
+        acc
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.to_c(&|a| {
+            let offs: Vec<String> = a
+                .offsets
+                .iter()
+                .map(|o| match o.cmp(&0) {
+                    std::cmp::Ordering::Equal => "".to_string(),
+                    std::cmp::Ordering::Greater => format!("+{o}"),
+                    std::cmp::Ordering::Less => format!("{o}"),
+                })
+                .collect();
+            let idx_names = ["k", "j", "i"];
+            let start = 3usize.saturating_sub(a.offsets.len());
+            let parts: Vec<String> = offs
+                .iter()
+                .enumerate()
+                .map(|(d, o)| format!("{}{}", idx_names.get(start + d).unwrap_or(&"i"), o))
+                .collect();
+            if a.time_back > 0 {
+                format!("{}[t-{}][{}]", a.tensor, a.time_back, parts.join(","))
+            } else {
+                format!("{}[{}]", a.tensor, parts.join(","))
+            }
+        });
+        f.write_str(&s)
+    }
+}
+
+impl std::ops::Add for Expr {
+    type Output = Expr;
+    fn add(self, rhs: Expr) -> Expr {
+        Expr::Binary(BinOp::Add, Box::new(self), Box::new(rhs))
+    }
+}
+
+impl std::ops::Sub for Expr {
+    type Output = Expr;
+    fn sub(self, rhs: Expr) -> Expr {
+        Expr::Binary(BinOp::Sub, Box::new(self), Box::new(rhs))
+    }
+}
+
+impl std::ops::Mul for Expr {
+    type Output = Expr;
+    fn mul(self, rhs: Expr) -> Expr {
+        Expr::Binary(BinOp::Mul, Box::new(self), Box::new(rhs))
+    }
+}
+
+impl std::ops::Mul<Expr> for f64 {
+    type Output = Expr;
+    fn mul(self, rhs: Expr) -> Expr {
+        Expr::Binary(BinOp::Mul, Box::new(Expr::Const(self)), Box::new(rhs))
+    }
+}
+
+impl std::ops::Neg for Expr {
+    type Output = Expr;
+    fn neg(self) -> Expr {
+        Expr::Unary(UnOp::Neg, Box::new(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lap1d() -> Expr {
+        // 0.5*B[i-1] - 1.0*B[i] + 0.5*B[i+1]
+        0.5 * Expr::at("B", &[-1]) - 1.0 * Expr::at("B", &[0]) + 0.5 * Expr::at("B", &[1])
+    }
+
+    #[test]
+    fn op_counts() {
+        let e = lap1d();
+        assert_eq!(e.count_muls(), 3);
+        assert_eq!(e.count_adds(), 2);
+        assert_eq!(e.count_ops(), 5);
+    }
+
+    #[test]
+    fn access_collection_is_sorted_and_deduped() {
+        let e = lap1d() + 2.0 * Expr::at("B", &[1]);
+        let acc = e.accesses();
+        assert_eq!(acc.len(), 3);
+        assert_eq!(acc[0].offsets, vec![-1]);
+        assert_eq!(acc[2].offsets, vec![1]);
+    }
+
+    #[test]
+    fn reach_takes_max_abs_offset() {
+        let e = Expr::at("B", &[-3, 0, 1]) + Expr::at("B", &[2, -1, 0]);
+        assert_eq!(e.reach(3), vec![3, 1, 1]);
+    }
+
+    #[test]
+    fn eval_simple() {
+        let e = lap1d();
+        let mut lookup = |a: &Access| match a.offsets[0] {
+            -1 => 1.0,
+            0 => 2.0,
+            1 => 3.0,
+            _ => unreachable!(),
+        };
+        let v = e.eval(&mut lookup, &BTreeMap::new()).unwrap();
+        assert!((v - (0.5 - 2.0 + 1.5)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn eval_vars_and_calls() {
+        let e = Expr::Call("pow".into(), vec![Expr::Var("a".into()), Expr::c(2.0)]);
+        let mut vars = BTreeMap::new();
+        vars.insert("a".to_string(), 3.0);
+        let v = e.eval(&mut |_| 0.0, &vars).unwrap();
+        assert_eq!(v, 9.0);
+    }
+
+    #[test]
+    fn eval_unknown_var_errors() {
+        let e = Expr::Var("missing".into());
+        assert!(e.eval(&mut |_| 0.0, &BTreeMap::new()).is_err());
+    }
+
+    #[test]
+    fn taps_merge_duplicate_offsets() {
+        let e = 0.25 * Expr::at("B", &[1]) + 0.25 * Expr::at("B", &[1]);
+        let taps = e.to_taps().unwrap();
+        assert_eq!(taps.len(), 1);
+        assert!((taps[0].coeff - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn taps_handle_sub_and_neg() {
+        let e = -(Expr::at("B", &[0])) - 2.0 * Expr::at("B", &[1]);
+        let taps = e.to_taps().unwrap();
+        assert_eq!(taps.len(), 2);
+        let t0 = taps.iter().find(|t| t.offset == vec![0]).unwrap();
+        let t1 = taps.iter().find(|t| t.offset == vec![1]).unwrap();
+        assert_eq!(t0.coeff, -1.0);
+        assert_eq!(t1.coeff, -2.0);
+    }
+
+    #[test]
+    fn taps_reject_multi_tensor() {
+        let e = Expr::at("A", &[0]) + Expr::at("B", &[0]);
+        assert!(e.to_taps().is_err());
+    }
+
+    #[test]
+    fn taps_reject_nonlinear() {
+        let e = Expr::at("B", &[0]) * Expr::at("B", &[1]);
+        assert!(e.to_taps().is_err());
+    }
+
+    #[test]
+    fn taps_linear_matches_eval() {
+        let e = lap1d();
+        let taps = e.to_taps().unwrap();
+        let grid = |o: i64| (o + 10) as f64 * 1.5;
+        let via_taps: f64 = taps.iter().map(|t| t.coeff * grid(t.offset[0])).sum();
+        let mut lookup = |a: &Access| grid(a.offsets[0]);
+        let via_eval = e.eval(&mut lookup, &BTreeMap::new()).unwrap();
+        assert!((via_taps - via_eval).abs() < 1e-12);
+    }
+
+    #[test]
+    fn var_taps_extract_coefficient_tensors() {
+        // C[0]*B[-1] + 2.0*C[0]*B[1] + 0.5*B[0]
+        let e = Expr::at("C", &[0]) * Expr::at("B", &[-1])
+            + 2.0 * (Expr::at("C", &[0]) * Expr::at("B", &[1]))
+            + 0.5 * Expr::at("B", &[0]);
+        let taps = e.to_var_taps("B").unwrap();
+        assert_eq!(taps.len(), 3);
+        assert_eq!(
+            taps[0].coeff,
+            VarCoeff::Tensor {
+                name: "C".into(),
+                offset: vec![0],
+                scale: 1.0
+            }
+        );
+        assert_eq!(
+            taps[1].coeff,
+            VarCoeff::Tensor {
+                name: "C".into(),
+                offset: vec![0],
+                scale: 2.0
+            }
+        );
+        assert_eq!(taps[2].coeff, VarCoeff::Const(0.5));
+    }
+
+    #[test]
+    fn var_taps_handle_distribution_over_sums() {
+        // C[0,0] * (B[-1,0] - B[1,0])
+        let e = Expr::at("C", &[0, 0]) * (Expr::at("B", &[-1, 0]) - Expr::at("B", &[1, 0]));
+        let taps = e.to_var_taps("B").unwrap();
+        assert_eq!(taps.len(), 2);
+        match &taps[1].coeff {
+            VarCoeff::Tensor { scale, .. } => assert_eq!(*scale, -1.0),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn var_taps_reject_bilinear_products() {
+        let e = Expr::at("B", &[0]) * Expr::at("B", &[1]);
+        assert!(e.to_var_taps("B").is_err());
+        // Coefficient times coefficient times grid is also rejected.
+        let e = Expr::at("C", &[0]) * (Expr::at("D", &[0]) * Expr::at("B", &[0]));
+        assert!(e.to_var_taps("B").is_err());
+    }
+
+    #[test]
+    fn var_taps_reject_bare_coefficient_terms() {
+        let e = Expr::at("C", &[0]) + Expr::at("B", &[0]);
+        assert!(e.to_var_taps("B").is_err());
+    }
+
+    #[test]
+    fn c_rendering() {
+        let e = 2.0 * Expr::at("B", &[0, 1]);
+        let c = e.to_c(&|a| format!("B[{}][{}]", a.offsets[0], a.offsets[1]));
+        assert_eq!(c, "(2.0 * B[0][1])");
+    }
+
+    #[test]
+    fn display_shows_relative_indices() {
+        let e = Expr::at("B", &[-1, 0, 2]);
+        assert_eq!(e.to_string(), "B[k-1,j,i+2]");
+    }
+
+    #[test]
+    fn display_shows_time_offsets() {
+        let e = Expr::at_time("B", &[0, 0], 2);
+        assert!(e.to_string().contains("t-2"));
+    }
+}

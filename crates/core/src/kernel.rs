@@ -1,0 +1,256 @@
+//! `Kernel` IR node: one basic spatial stencil sweep (e.g. a 3D Laplacian
+//! operator), composed of tensor accesses, nested loops, and an expression
+//! (paper Table 2). Kernels carry their own [`Schedule`].
+
+use crate::error::{MscError, Result};
+use crate::expr::{Expr, Tap};
+use crate::schedule::Schedule;
+
+/// A basic stencil kernel: `out(x) = expr(in(x + offsets...))`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Kernel {
+    pub name: String,
+    /// Name of the input grid tensor the expression reads.
+    pub input: String,
+    /// Number of spatial dimensions.
+    pub ndim: usize,
+    /// The update expression over relative accesses.
+    pub expr: Expr,
+    /// Optimization primitives applied to this kernel.
+    pub schedule: Schedule,
+}
+
+impl Kernel {
+    /// Define a kernel from an arbitrary expression. The input tensor name
+    /// is inferred from the expression's accesses (all accesses must hit
+    /// one tensor).
+    pub fn new(name: &str, ndim: usize, expr: Expr) -> Result<Kernel> {
+        let accesses = expr.accesses();
+        let input = accesses
+            .first()
+            .map(|a| a.tensor.clone())
+            .ok_or_else(|| MscError::UnsupportedExpr("kernel reads no tensor".into()))?;
+        for a in &accesses {
+            if a.offsets.len() != ndim {
+                return Err(MscError::DimMismatch {
+                    expected: ndim,
+                    got: a.offsets.len(),
+                });
+            }
+        }
+        Ok(Kernel {
+            name: name.to_string(),
+            input,
+            ndim,
+            expr,
+            schedule: Schedule::default(),
+        })
+    }
+
+    /// Star-shaped stencil of the given radius: the centre point plus
+    /// `2*ndim*radius` points along the axes. `coeffs[0]` weights the
+    /// centre; `coeffs[d]` weights the points at axis distance `d`
+    /// (`coeffs.len() == radius + 1`).
+    pub fn star(name: &str, ndim: usize, radius: usize, coeffs: &[f64]) -> Result<Kernel> {
+        if coeffs.len() != radius + 1 {
+            return Err(MscError::InvalidConfig(format!(
+                "star kernel `{name}` needs {} coefficients, got {}",
+                radius + 1,
+                coeffs.len()
+            )));
+        }
+        let input = "B";
+        let mut expr = coeffs[0] * Expr::at(input, &vec![0i64; ndim]);
+        for dim in 0..ndim {
+            for d in 1..=radius as i64 {
+                for sign in [-1i64, 1] {
+                    let mut off = vec![0i64; ndim];
+                    off[dim] = sign * d;
+                    expr = expr + coeffs[d as usize] * Expr::at(input, &off);
+                }
+            }
+        }
+        Kernel::new(name, ndim, expr)
+    }
+
+    /// Star stencil with normalized coefficients (centre weight
+    /// `center_w`, the rest sharing `1 - center_w` equally) — numerically
+    /// stable under iteration (weighted-Jacobi style).
+    pub fn star_normalized(name: &str, ndim: usize, radius: usize) -> Kernel {
+        let center_w = 0.5;
+        let others = 2 * ndim * radius;
+        let w = (1.0 - center_w) / others as f64;
+        let coeffs: Vec<f64> = std::iter::once(center_w)
+            .chain(std::iter::repeat_n(w, radius))
+            .collect();
+        Kernel::star(name, ndim, radius, &coeffs).expect("normalized star is well-formed")
+    }
+
+    /// Box-shaped stencil: all `(2*radius+1)^ndim` points of the
+    /// hyper-rectangle. The centre has weight `center_w`; every other
+    /// point shares `1 - center_w` equally, so iteration stays stable.
+    pub fn boxed(name: &str, ndim: usize, radius: usize, center_w: f64) -> Result<Kernel> {
+        if ndim == 0 || ndim > 3 {
+            return Err(MscError::InvalidConfig(format!(
+                "box kernel `{name}` must be 1D/2D/3D"
+            )));
+        }
+        let side = 2 * radius as i64 + 1;
+        let points = (side as usize).pow(ndim as u32);
+        let w = (1.0 - center_w) / (points - 1).max(1) as f64;
+        let input = "B";
+        let mut expr: Option<Expr> = None;
+        let mut off = vec![-(radius as i64); ndim];
+        loop {
+            let coeff = if off.iter().all(|&o| o == 0) {
+                center_w
+            } else {
+                w
+            };
+            let term = coeff * Expr::at(input, &off);
+            expr = Some(match expr {
+                Some(e) => e + term,
+                None => term,
+            });
+            // Odometer increment over the box.
+            let mut d = ndim;
+            loop {
+                if d == 0 {
+                    return Kernel::new(name, ndim, expr.unwrap());
+                }
+                d -= 1;
+                off[d] += 1;
+                if off[d] <= radius as i64 {
+                    break;
+                }
+                off[d] = -(radius as i64);
+            }
+        }
+    }
+
+    /// Number of distinct grid points the kernel reads.
+    pub fn points(&self) -> usize {
+        self.expr.num_points()
+    }
+
+    /// Per-dimension reach (max |offset|).
+    pub fn reach(&self) -> Vec<usize> {
+        self.expr.reach(self.ndim)
+    }
+
+    /// Compile to the linear fast-path form.
+    pub fn to_op(&self) -> Result<StencilOp> {
+        let taps = self.expr.to_taps()?;
+        Ok(StencilOp {
+            ndim: self.ndim,
+            radius: self.reach(),
+            taps,
+        })
+    }
+
+    /// Mutable access to the schedule, mirroring the paper's
+    /// `S_3d7pt.tile(...)` call style.
+    pub fn sched(&mut self) -> &mut Schedule {
+        &mut self.schedule
+    }
+}
+
+/// Compiled linear stencil: an explicit tap list the executor and code
+/// generator iterate directly (this is what MSC's tensor IR buys over
+/// subscript-expression evaluation, §5.5).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StencilOp {
+    pub ndim: usize,
+    pub radius: Vec<usize>,
+    pub taps: Vec<Tap>,
+}
+
+impl StencilOp {
+    /// Number of taps (stencil points).
+    pub fn points(&self) -> usize {
+        self.taps.len()
+    }
+
+    /// Sum of coefficients — 1.0 for averaging stencils, useful for
+    /// stability checks.
+    pub fn coeff_sum(&self) -> f64 {
+        self.taps.iter().map(|t| t.coeff).sum()
+    }
+
+    /// Arithmetic per point: one multiply per tap plus `taps-1` adds.
+    pub fn flops_per_point(&self) -> usize {
+        2 * self.taps.len() - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn star_point_counts_match_paper_benchmarks() {
+        // (ndim, radius) -> points, per Table 4.
+        assert_eq!(Kernel::star_normalized("s", 2, 2).points(), 9); // 2d9pt_star
+        assert_eq!(Kernel::star_normalized("s", 3, 1).points(), 7); // 3d7pt_star
+        assert_eq!(Kernel::star_normalized("s", 3, 2).points(), 13); // 3d13pt_star
+        assert_eq!(Kernel::star_normalized("s", 3, 4).points(), 25); // 3d25pt_star
+        assert_eq!(Kernel::star_normalized("s", 3, 5).points(), 31); // 3d31pt_star
+    }
+
+    #[test]
+    fn box_point_counts_match_paper_benchmarks() {
+        assert_eq!(Kernel::boxed("b", 2, 1, 0.5).unwrap().points(), 9); // 2d9pt_box
+        assert_eq!(Kernel::boxed("b", 2, 5, 0.5).unwrap().points(), 121); // 2d121pt_box
+        assert_eq!(Kernel::boxed("b", 2, 6, 0.5).unwrap().points(), 169); // 2d169pt_box
+    }
+
+    #[test]
+    fn reach_equals_radius() {
+        let k = Kernel::star_normalized("s", 3, 4);
+        assert_eq!(k.reach(), vec![4, 4, 4]);
+        let b = Kernel::boxed("b", 2, 6, 0.5).unwrap();
+        assert_eq!(b.reach(), vec![6, 6]);
+    }
+
+    #[test]
+    fn normalized_kernels_have_unit_coeff_sum() {
+        for k in [
+            Kernel::star_normalized("s", 2, 2),
+            Kernel::star_normalized("s", 3, 5),
+            Kernel::boxed("b", 2, 5, 0.5).unwrap(),
+        ] {
+            let op = k.to_op().unwrap();
+            assert!((op.coeff_sum() - 1.0).abs() < 1e-12, "{}", op.coeff_sum());
+        }
+    }
+
+    #[test]
+    fn op_taps_equal_points() {
+        let k = Kernel::boxed("b", 3, 1, 0.4).unwrap();
+        let op = k.to_op().unwrap();
+        assert_eq!(op.points(), 27);
+        assert_eq!(op.flops_per_point(), 53);
+    }
+
+    #[test]
+    fn star_rejects_wrong_coeff_count() {
+        assert!(Kernel::star("s", 3, 2, &[1.0]).is_err());
+    }
+
+    #[test]
+    fn kernel_infers_input_tensor() {
+        let k = Kernel::star_normalized("s", 3, 1);
+        assert_eq!(k.input, "B");
+    }
+
+    #[test]
+    fn kernel_rejects_mismatched_access_dims() {
+        let e = Expr::at("B", &[0, 0]) + Expr::at("B", &[0, 0, 0]);
+        assert!(Kernel::new("bad", 2, e).is_err());
+    }
+
+    #[test]
+    fn kernel_with_no_access_is_rejected() {
+        assert!(Kernel::new("bad", 2, Expr::c(1.0)).is_err());
+    }
+}

@@ -1,0 +1,931 @@
+//! Textual frontend for the MSC DSL: a hand-written lexer and
+//! recursive-descent parser for `.msc` files. The paper embeds MSC in
+//! C++ (Listing 1); this repository embeds it in Rust *and* provides a
+//! standalone surface syntax so stencils can be compiled from plain text
+//! by the `mscc` driver:
+//!
+//! ```text
+//! stencil 3d7pt {
+//!     grid B: f64[256, 256, 256] halo 1 window 3;
+//!     kernel S = 0.4*B[0,0,0] + 0.1*B[-1,0,0] + 0.1*B[1,0,0]
+//!              + 0.1*B[0,-1,0] + 0.1*B[0,1,0]
+//!              + 0.1*B[0,0,-1] + 0.1*B[0,0,1];
+//!     combine res[t] = 0.6*S[t-1] + 0.4*S[t-2];
+//!     schedule { tile 8 8 32; reorder xo yo zo xi yi zi; parallel xo 64; spm zo; }
+//!     mpi 4 4 4;
+//!     run 10;
+//!     target sunway;
+//! }
+//! ```
+
+use crate::dsl::StencilProgram;
+use crate::dtype::DType;
+use crate::error::{MscError, Result};
+use crate::expr::Expr;
+use crate::kernel::Kernel;
+use crate::schedule::{BufferScope, Target};
+use crate::stencil::{Stencil, TimeTerm};
+use crate::tensor::SpNode;
+
+/// A parsed `.msc` file: the validated program plus the requested
+/// code-generation target (if any).
+#[derive(Debug, Clone)]
+pub struct ParsedProgram {
+    pub program: StencilProgram,
+    pub target: Option<Target>,
+}
+
+/// Parse an `.msc` source string.
+pub fn parse(source: &str) -> Result<ParsedProgram> {
+    Parser::new(source)?.program()
+}
+
+/// Render a validated program back to `.msc` surface syntax (the inverse
+/// of [`parse`], up to schedule-primitive ordering). Useful for saving
+/// builder-constructed or auto-scheduled programs as files.
+pub fn to_msc_source(program: &StencilProgram, target: Option<Target>) -> String {
+    let mut s = String::new();
+    s += &format!("stencil {} {{\n", program.name);
+    let g = &program.grid;
+    s += &format!(
+        "    grid {}: {}[{}] halo {} window {};\n",
+        g.name,
+        g.dtype,
+        g.shape
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(", "),
+        g.halo[0],
+        g.time_window
+    );
+    for k in &program.stencil.kernels {
+        let taps = k.expr.to_taps().expect("printable kernels are linear");
+        let terms: Vec<String> = taps
+            .iter()
+            .map(|t| {
+                let offs = t
+                    .offset
+                    .iter()
+                    .map(ToString::to_string)
+                    .collect::<Vec<_>>()
+                    .join(",");
+                format!("{:?}*{}[{}]", t.coeff, k.input, offs)
+            })
+            .collect();
+        s += &format!("    kernel {} = {};\n", k.name, terms.join(" + "));
+    }
+    // The combine grammar carries signs as separators, so emit absolute
+    // weights with explicit +/- joiners.
+    let mut combo = String::new();
+    for (i, t) in program.stencil.terms.iter().enumerate() {
+        if i == 0 {
+            if t.weight < 0.0 {
+                combo += "-";
+            }
+        } else if t.weight < 0.0 {
+            combo += " - ";
+        } else {
+            combo += " + ";
+        }
+        combo += &format!("{:?}*{}[t-{}]", t.weight.abs(), t.kernel, t.dt);
+    }
+    s += &format!("    combine res[t] = {combo};\n");
+
+    let sched = &program.stencil.kernels[0].schedule;
+    if !sched.tile_factors.is_empty() || sched.parallel.is_some() {
+        s += "    schedule {";
+        if !sched.tile_factors.is_empty() {
+            s += &format!(
+                " tile {};",
+                sched
+                    .tile_factors
+                    .iter()
+                    .map(ToString::to_string)
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            );
+        }
+        if !sched.loop_order.is_empty() {
+            s += &format!(" reorder {};", sched.loop_order.join(" "));
+        }
+        if let Some((axis, n)) = &sched.parallel {
+            s += &format!(" parallel {axis} {n};");
+        }
+        if let Some(ca) = sched.compute_at.first() {
+            s += &format!(" spm {};", ca.axis);
+        }
+        if sched.double_buffer {
+            s += " stream;";
+        }
+        if sched.time_tile > 1 {
+            s += &format!(" tile_time {};", sched.time_tile);
+        }
+        s += " }\n";
+    }
+    if let Some(mpi) = &program.mpi_grid {
+        s += &format!(
+            "    mpi {};\n",
+            mpi.iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join(" ")
+        );
+    }
+    s += &format!("    run {};\n", program.timesteps);
+    if let Some(t) = target {
+        s += &format!("    target {};\n", t.as_str());
+    }
+    s += "}\n";
+    s
+}
+
+// ---------------------------------------------------------------- lexer
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Num(f64),
+    Int(i64),
+    Sym(char),
+    Eof,
+}
+
+impl std::fmt::Display for Tok {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "`{s}`"),
+            Tok::Num(v) => write!(f, "number {v}"),
+            Tok::Int(v) => write!(f, "integer {v}"),
+            Tok::Sym(c) => write!(f, "`{c}`"),
+            Tok::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+fn lex(src: &str) -> Result<Vec<(Tok, usize)>> {
+    let mut toks = Vec::new();
+    let bytes: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    let mut line = 1;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if bytes.get(i + 1) == Some(&'/') => {
+                while i < bytes.len() && bytes[i] != '\n' {
+                    i += 1;
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_') {
+                    i += 1;
+                }
+                toks.push((Tok::Ident(bytes[start..i].iter().collect()), line));
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                let mut is_float = false;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_digit()
+                        || bytes[i] == '.'
+                        || bytes[i] == 'e'
+                        || bytes[i] == 'E'
+                        || ((bytes[i] == '+' || bytes[i] == '-')
+                            && matches!(bytes.get(i - 1), Some('e') | Some('E'))))
+                {
+                    if bytes[i] == '.' || bytes[i] == 'e' || bytes[i] == 'E' {
+                        is_float = true;
+                    }
+                    i += 1;
+                }
+                // Benchmark names like `3d7pt` start with digits: if a
+                // plain integer runs straight into letters, re-lex the
+                // whole run as an identifier.
+                if !is_float
+                    && i < bytes.len()
+                    && (bytes[i].is_ascii_alphabetic() || bytes[i] == '_')
+                {
+                    while i < bytes.len()
+                        && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_')
+                    {
+                        i += 1;
+                    }
+                    toks.push((Tok::Ident(bytes[start..i].iter().collect()), line));
+                    continue;
+                }
+                let text: String = bytes[start..i].iter().collect();
+                if is_float {
+                    let v = text.parse::<f64>().map_err(|_| {
+                        MscError::InvalidConfig(format!("line {line}: bad number `{text}`"))
+                    })?;
+                    toks.push((Tok::Num(v), line));
+                } else {
+                    let v = text.parse::<i64>().map_err(|_| {
+                        MscError::InvalidConfig(format!("line {line}: bad integer `{text}`"))
+                    })?;
+                    toks.push((Tok::Int(v), line));
+                }
+            }
+            '{' | '}' | '[' | ']' | '(' | ')' | ':' | ';' | ',' | '=' | '+' | '-' | '*' => {
+                toks.push((Tok::Sym(c), line));
+                i += 1;
+            }
+            other => {
+                return Err(MscError::InvalidConfig(format!(
+                    "line {line}: unexpected character `{other}`"
+                )))
+            }
+        }
+    }
+    toks.push((Tok::Eof, line));
+    Ok(toks)
+}
+
+// --------------------------------------------------------------- parser
+
+struct Parser {
+    toks: Vec<(Tok, usize)>,
+    pos: usize,
+}
+
+#[derive(Debug, Default)]
+struct ScheduleSpec {
+    tile: Vec<usize>,
+    reorder: Vec<String>,
+    parallel: Option<(String, usize)>,
+    spm_axis: Option<String>,
+    stream: bool,
+    time_tile: usize,
+}
+
+impl Parser {
+    fn new(src: &str) -> Result<Parser> {
+        Ok(Parser {
+            toks: lex(src)?,
+            pos: 0,
+        })
+    }
+
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].0
+    }
+
+    fn line(&self) -> usize {
+        self.toks[self.pos].1
+    }
+
+    fn next(&mut self) -> Tok {
+        let t = self.toks[self.pos].0.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, msg: &str) -> MscError {
+        MscError::InvalidConfig(format!("line {}: {msg}, found {}", self.line(), self.peek()))
+    }
+
+    fn expect_sym(&mut self, c: char) -> Result<()> {
+        match self.next() {
+            Tok::Sym(s) if s == c => Ok(()),
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                Err(self.err(&format!("expected `{c}`")))
+            }
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String> {
+        match self.next() {
+            Tok::Ident(s) => Ok(s),
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                Err(self.err("expected identifier"))
+            }
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<()> {
+        let id = self.expect_ident()?;
+        if id == kw {
+            Ok(())
+        } else {
+            self.pos = self.pos.saturating_sub(1);
+            Err(self.err(&format!("expected keyword `{kw}`")))
+        }
+    }
+
+    fn expect_uint(&mut self) -> Result<usize> {
+        match self.next() {
+            Tok::Int(v) if v >= 0 => Ok(v as usize),
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                Err(self.err("expected a non-negative integer"))
+            }
+        }
+    }
+
+    fn expect_int(&mut self) -> Result<i64> {
+        let neg = matches!(self.peek(), Tok::Sym('-'));
+        if neg {
+            self.next();
+        }
+        match self.next() {
+            Tok::Int(v) => Ok(if neg { -v } else { v }),
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                Err(self.err("expected an integer"))
+            }
+        }
+    }
+
+    // program := "stencil" IDENT "{" item* "}"
+    fn program(&mut self) -> Result<ParsedProgram> {
+        self.expect_keyword("stencil")?;
+        let name = self.expect_ident()?;
+        self.expect_sym('{')?;
+
+        let mut grid: Option<SpNode> = None;
+        let mut kernels: Vec<Kernel> = Vec::new();
+        let mut terms: Vec<TimeTerm> = Vec::new();
+        let mut schedule = ScheduleSpec::default();
+        let mut mpi: Option<Vec<usize>> = None;
+        let mut timesteps = 1usize;
+        let mut target: Option<Target> = None;
+
+        loop {
+            match self.peek().clone() {
+                Tok::Sym('}') => {
+                    self.next();
+                    break;
+                }
+                Tok::Ident(kw) => match kw.as_str() {
+                    "grid" => grid = Some(self.grid_item()?),
+                    "kernel" => kernels.push(self.kernel_item(grid.as_ref())?),
+                    "combine" => terms = self.combine_item()?,
+                    "schedule" => schedule = self.schedule_item()?,
+                    "mpi" => mpi = Some(self.int_list_item("mpi")?),
+                    "run" => {
+                        self.expect_keyword("run")?;
+                        timesteps = self.expect_uint()?;
+                        self.expect_sym(';')?;
+                    }
+                    "target" => {
+                        self.expect_keyword("target")?;
+                        let t = self.expect_ident()?;
+                        target = Some(match t.as_str() {
+                            "sunway" => Target::SunwayCG,
+                            "matrix" => Target::Matrix,
+                            "cpu" => Target::Cpu,
+                            other => {
+                                return Err(MscError::InvalidConfig(format!(
+                                    "unknown target `{other}` (expected sunway/matrix/cpu)"
+                                )))
+                            }
+                        });
+                        self.expect_sym(';')?;
+                    }
+                    _ => return Err(self.err("expected a program item")),
+                },
+                _ => return Err(self.err("expected a program item or `}`")),
+            }
+        }
+
+        // Assemble and validate through the same path as the builder API.
+        let grid = grid.ok_or_else(|| {
+            MscError::InvalidConfig(format!("stencil `{name}` declares no grid"))
+        })?;
+        if kernels.is_empty() {
+            return Err(MscError::InvalidConfig(format!(
+                "stencil `{name}` declares no kernels"
+            )));
+        }
+        // Apply the schedule to every kernel.
+        for k in &mut kernels {
+            let input = k.input.clone();
+            let ndim = k.ndim;
+            let s = k.sched();
+            if !schedule.tile.is_empty() {
+                s.tile(&schedule.tile);
+            }
+            if !schedule.reorder.is_empty() {
+                let names: Vec<&str> = schedule.reorder.iter().map(String::as_str).collect();
+                s.reorder(&names);
+            }
+            if let Some((axis, n)) = &schedule.parallel {
+                s.parallel(axis, *n);
+            }
+            if let Some(axis) = &schedule.spm_axis {
+                // Default DMA point: the innermost outer (tile) axis.
+                let axis = if axis.is_empty() {
+                    match ndim {
+                        2 => "yo".to_string(),
+                        3 => "zo".to_string(),
+                        _ => "xo".to_string(),
+                    }
+                } else {
+                    axis.clone()
+                };
+                s.cache_read(&input, "buffer_read", BufferScope::Global)
+                    .cache_write("buffer_write", BufferScope::Global)
+                    .compute_at("buffer_read", &axis)
+                    .compute_at("buffer_write", &axis);
+            }
+            if schedule.stream {
+                s.stream();
+            }
+            if schedule.time_tile > 1 {
+                s.tile_time(schedule.time_tile);
+            }
+        }
+        if terms.is_empty() {
+            terms = vec![TimeTerm {
+                dt: 1,
+                weight: 1.0,
+                kernel: kernels[0].name.clone(),
+            }];
+        }
+        let stencil = Stencil::new(&name, kernels, terms)?;
+        let mut builder = StencilProgram::builder(&name).grid(grid).timesteps(timesteps);
+        for k in stencil.kernels.clone() {
+            builder = builder.kernel(k);
+        }
+        builder = builder.combine(
+            &stencil
+                .terms
+                .iter()
+                .map(|t| (t.dt, t.weight, t.kernel.as_str()))
+                .collect::<Vec<_>>(),
+        );
+        if let Some(m) = mpi {
+            builder = builder.mpi_grid(&m);
+        }
+        Ok(ParsedProgram {
+            program: builder.build()?,
+            target,
+        })
+    }
+
+    // grid := "grid" IDENT ":" type "[" INT,* "]" "halo" INT "window" INT ";"
+    fn grid_item(&mut self) -> Result<SpNode> {
+        self.expect_keyword("grid")?;
+        let name = self.expect_ident()?;
+        self.expect_sym(':')?;
+        let ty = self.expect_ident()?;
+        let dtype = match ty.as_str() {
+            "f32" => DType::F32,
+            "f64" => DType::F64,
+            "i32" => DType::I32,
+            other => {
+                return Err(MscError::InvalidConfig(format!(
+                    "unknown element type `{other}`"
+                )))
+            }
+        };
+        self.expect_sym('[')?;
+        let mut shape = vec![self.expect_uint()?];
+        while matches!(self.peek(), Tok::Sym(',')) {
+            self.next();
+            shape.push(self.expect_uint()?);
+        }
+        self.expect_sym(']')?;
+        self.expect_keyword("halo")?;
+        let halo = self.expect_uint()?;
+        self.expect_keyword("window")?;
+        let window = self.expect_uint()?;
+        self.expect_sym(';')?;
+        SpNode::new(&name, dtype, &shape, halo, window)
+    }
+
+    // kernel := "kernel" IDENT "=" expr ";"
+    fn kernel_item(&mut self, grid: Option<&SpNode>) -> Result<Kernel> {
+        self.expect_keyword("kernel")?;
+        let name = self.expect_ident()?;
+        self.expect_sym('=')?;
+        let expr = self.expr()?;
+        self.expect_sym(';')?;
+        let ndim = grid
+            .map(|g| g.ndim())
+            .or_else(|| expr.accesses().first().map(|a| a.offsets.len()))
+            .ok_or_else(|| MscError::InvalidConfig("kernel before grid declaration".into()))?;
+        Kernel::new(&name, ndim, expr)
+    }
+
+    // expr := term (("+" | "-") term)*
+    fn expr(&mut self) -> Result<Expr> {
+        let mut e = self.term()?;
+        loop {
+            match self.peek() {
+                Tok::Sym('+') => {
+                    self.next();
+                    e = e + self.term()?;
+                }
+                Tok::Sym('-') => {
+                    self.next();
+                    e = e - self.term()?;
+                }
+                _ => return Ok(e),
+            }
+        }
+    }
+
+    // term := factor ("*" factor)*
+    fn term(&mut self) -> Result<Expr> {
+        let mut e = self.factor()?;
+        while matches!(self.peek(), Tok::Sym('*')) {
+            self.next();
+            e = e * self.factor()?;
+        }
+        Ok(e)
+    }
+
+    // factor := NUMBER | INT | IDENT "[" off,* "]" | "(" expr ")" | "-" factor
+    fn factor(&mut self) -> Result<Expr> {
+        match self.next() {
+            Tok::Num(v) => Ok(Expr::c(v)),
+            Tok::Int(v) => Ok(Expr::c(v as f64)),
+            Tok::Sym('-') => Ok(-self.factor()?),
+            Tok::Sym('(') => {
+                let e = self.expr()?;
+                self.expect_sym(')')?;
+                Ok(e)
+            }
+            Tok::Ident(tensor) => {
+                self.expect_sym('[')?;
+                let mut offs = vec![self.expect_int()?];
+                while matches!(self.peek(), Tok::Sym(',')) {
+                    self.next();
+                    offs.push(self.expect_int()?);
+                }
+                self.expect_sym(']')?;
+                Ok(Expr::at(&tensor, &offs))
+            }
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                Err(self.err("expected a factor"))
+            }
+        }
+    }
+
+    // combine := "combine" IDENT "[" "t" "]" "=" cterm (("+"|"-") cterm)* ";"
+    fn combine_item(&mut self) -> Result<Vec<TimeTerm>> {
+        self.expect_keyword("combine")?;
+        let _res = self.expect_ident()?;
+        self.expect_sym('[')?;
+        self.expect_keyword("t")?;
+        self.expect_sym(']')?;
+        self.expect_sym('=')?;
+        let mut terms = Vec::new();
+        let mut sign = 1.0;
+        // Optional leading sign on the first term.
+        if matches!(self.peek(), Tok::Sym('-')) {
+            self.next();
+            sign = -1.0;
+        }
+        loop {
+            // cterm := (NUMBER "*")? IDENT "[" "t" "-" INT "]"
+            let weight = match self.peek().clone() {
+                Tok::Num(v) => {
+                    self.next();
+                    self.expect_sym('*')?;
+                    v
+                }
+                Tok::Int(v) => {
+                    self.next();
+                    self.expect_sym('*')?;
+                    v as f64
+                }
+                _ => 1.0,
+            };
+            let kernel = self.expect_ident()?;
+            self.expect_sym('[')?;
+            self.expect_keyword("t")?;
+            self.expect_sym('-')?;
+            let dt = self.expect_uint()?;
+            self.expect_sym(']')?;
+            terms.push(TimeTerm {
+                dt,
+                weight: sign * weight,
+                kernel,
+            });
+            match self.peek() {
+                Tok::Sym('+') => {
+                    self.next();
+                    sign = 1.0;
+                }
+                Tok::Sym('-') => {
+                    self.next();
+                    sign = -1.0;
+                }
+                Tok::Sym(';') => {
+                    self.next();
+                    return Ok(terms);
+                }
+                _ => return Err(self.err("expected `+`, `-`, or `;`")),
+            }
+        }
+    }
+
+    // schedule := "schedule" "{" sitem* "}"
+    fn schedule_item(&mut self) -> Result<ScheduleSpec> {
+        self.expect_keyword("schedule")?;
+        self.expect_sym('{')?;
+        let mut spec = ScheduleSpec::default();
+        loop {
+            match self.peek().clone() {
+                Tok::Sym('}') => {
+                    self.next();
+                    return Ok(spec);
+                }
+                Tok::Ident(kw) => {
+                    self.next();
+                    match kw.as_str() {
+                        "tile" => {
+                            while let Tok::Int(_) = self.peek() {
+                                spec.tile.push(self.expect_uint()?);
+                            }
+                            self.expect_sym(';')?;
+                        }
+                        "reorder" => {
+                            while let Tok::Ident(_) = self.peek() {
+                                spec.reorder.push(self.expect_ident()?);
+                            }
+                            self.expect_sym(';')?;
+                        }
+                        "parallel" => {
+                            let axis = self.expect_ident()?;
+                            let n = self.expect_uint()?;
+                            spec.parallel = Some((axis, n));
+                            self.expect_sym(';')?;
+                        }
+                        "stream" => {
+                            spec.stream = true;
+                            self.expect_sym(';')?;
+                        }
+                        "tile_time" => {
+                            spec.time_tile = self.expect_uint()?;
+                            self.expect_sym(';')?;
+                        }
+                        "spm" => {
+                            let axis = if let Tok::Ident(_) = self.peek() {
+                                self.expect_ident()?
+                            } else {
+                                // Default DMA point: the innermost outer axis.
+                                String::new()
+                            };
+                            spec.spm_axis = Some(axis);
+                            self.expect_sym(';')?;
+                        }
+                        _ => {
+                            return Err(
+                                self.err("expected tile/reorder/parallel/spm/stream/tile_time")
+                            )
+                        }
+                    }
+                }
+                _ => return Err(self.err("expected a schedule item or `}`")),
+            }
+        }
+    }
+
+    fn int_list_item(&mut self, kw: &str) -> Result<Vec<usize>> {
+        self.expect_keyword(kw)?;
+        let mut v = Vec::new();
+        while let Tok::Int(_) = self.peek() {
+            v.push(self.expect_uint()?);
+        }
+        self.expect_sym(';')?;
+        Ok(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LISTING1: &str = r#"
+        // The paper's Listing 1 in surface syntax.
+        stencil 3d7pt {
+            grid B: f64[64, 64, 64] halo 1 window 3;
+            kernel S = 0.4*B[0,0,0] + 0.1*B[-1,0,0] + 0.1*B[1,0,0]
+                     + 0.1*B[0,-1,0] + 0.1*B[0,1,0]
+                     + 0.1*B[0,0,-1] + 0.1*B[0,0,1];
+            combine res[t] = 0.6*S[t-1] + 0.4*S[t-2];
+            schedule { tile 8 8 32; reorder xo yo zo xi yi zi; parallel xo 64; spm zo; }
+            mpi 4 4 4;
+            run 10;
+            target sunway;
+        }
+    "#;
+
+    #[test]
+    fn parses_listing1() {
+        let parsed = parse(LISTING1).unwrap();
+        let p = &parsed.program;
+        assert_eq!(p.name, "3d7pt");
+        assert_eq!(p.grid.shape, vec![64, 64, 64]);
+        assert_eq!(p.stencil.time_window(), 3);
+        assert_eq!(p.stencil.kernels[0].points(), 7);
+        assert_eq!(p.mpi_grid, Some(vec![4, 4, 4]));
+        assert_eq!(p.timesteps, 10);
+        assert_eq!(parsed.target, Some(Target::SunwayCG));
+        let sched = &p.stencil.kernels[0].schedule;
+        assert_eq!(sched.tile_factors, vec![8, 8, 32]);
+        assert_eq!(sched.n_threads(), 64);
+        assert!(sched.uses_spm());
+        assert_eq!(sched.compute_at[0].axis, "zo");
+    }
+
+    #[test]
+    fn parsed_kernel_has_unit_coefficient_sum() {
+        let parsed = parse(LISTING1).unwrap();
+        let op = parsed.program.stencil.kernels[0].to_op().unwrap();
+        assert!((op.coeff_sum() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wave_equation_with_two_kernels() {
+        let src = r#"
+            stencil wave {
+                grid B: f64[32, 32] halo 1 window 3;
+                kernel lap = 1.6*B[0,0] + 0.1*B[-1,0] + 0.1*B[1,0]
+                           + 0.1*B[0,-1] + 0.1*B[0,1];
+                kernel id = 1.0*B[0,0];
+                combine u[t] = 1.0*lap[t-1] - 1.0*id[t-2];
+                run 5;
+            }
+        "#;
+        let parsed = parse(src).unwrap();
+        assert_eq!(parsed.program.stencil.kernels.len(), 2);
+        assert_eq!(parsed.program.stencil.terms[1].weight, -1.0);
+        assert!(parsed.target.is_none());
+    }
+
+    #[test]
+    fn negative_weights_and_parens() {
+        let src = r#"
+            stencil s {
+                grid B: f32[16, 16] halo 2 window 2;
+                kernel k = 2.0 * (B[0,0] - 0.5*B[-2,0]) + (-0.25)*B[2,0];
+                run 1;
+            }
+        "#;
+        let parsed = parse(src).unwrap();
+        let taps = parsed.program.stencil.kernels[0].to_op().unwrap();
+        assert_eq!(taps.points(), 3);
+        let t = taps.taps.iter().find(|t| t.offset == vec![2, 0]).unwrap();
+        assert!((t.coeff + 0.25).abs() < 1e-12);
+        let t = taps.taps.iter().find(|t| t.offset == vec![-2, 0]).unwrap();
+        assert!((t.coeff + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_combine_is_t_minus_1() {
+        let src = r#"
+            stencil s {
+                grid B: f64[8, 8] halo 1 window 2;
+                kernel k = 0.5*B[0,0] + 0.5*B[1,0];
+            }
+        "#;
+        let p = parse(src).unwrap().program;
+        assert_eq!(p.stencil.terms.len(), 1);
+        assert_eq!(p.stencil.terms[0].dt, 1);
+    }
+
+    #[test]
+    fn error_messages_carry_line_numbers() {
+        let src = "stencil s {\n  grid B f64[8] halo 1 window 2;\n}";
+        let e = parse(src).unwrap_err().to_string();
+        assert!(e.contains("line 2"), "{e}");
+    }
+
+    #[test]
+    fn rejects_missing_grid() {
+        let src = "stencil s { kernel k = 1.0*B[0]; run 1; }";
+        // kernel-before-grid infers ndim from the access; build then
+        // fails on the missing grid.
+        assert!(parse(src).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_target_and_type() {
+        let bad_target = r#"
+            stencil s { grid B: f64[8] halo 1 window 2;
+                kernel k = 1.0*B[0]; target gpu; }
+        "#;
+        assert!(parse(bad_target).is_err());
+        let bad_type = "stencil s { grid B: f16[8] halo 1 window 2; }";
+        assert!(parse(bad_type).is_err());
+    }
+
+    #[test]
+    fn rejects_halo_smaller_than_reach() {
+        let src = r#"
+            stencil s {
+                grid B: f64[16, 16] halo 1 window 2;
+                kernel k = 0.5*B[0,0] + 0.5*B[2,0];
+            }
+        "#;
+        assert!(matches!(parse(src), Err(MscError::HaloTooSmall { .. })));
+    }
+
+    #[test]
+    fn comments_and_whitespace_are_ignored()  {
+        let src = "// header\nstencil s { // inline\n grid B: f64[8] halo 1 window 2;\n kernel k = 1.0*B[0]; }";
+        assert!(parse(src).is_ok());
+    }
+
+    #[test]
+    fn parsed_program_executes_like_builder_program() {
+        // The surface syntax and the builder API must produce identical
+        // programs.
+        let parsed = parse(LISTING1).unwrap().program;
+        let built = crate::catalog::benchmark(crate::catalog::BenchmarkId::S3d7ptStar);
+        let k = built.kernel();
+        // Same shape class: 7 taps, reach 1.
+        assert_eq!(parsed.stencil.kernels[0].points(), k.points());
+        assert_eq!(parsed.stencil.reach(), vec![1, 1, 1]);
+    }
+
+
+    #[test]
+    fn pretty_printer_round_trips() {
+        // parse -> print -> parse must preserve semantics exactly.
+        let a = parse(LISTING1).unwrap();
+        let text = to_msc_source(&a.program, a.target);
+        let b = parse(&text).unwrap();
+        assert_eq!(a.program.grid, b.program.grid);
+        assert_eq!(a.program.timesteps, b.program.timesteps);
+        assert_eq!(a.program.mpi_grid, b.program.mpi_grid);
+        assert_eq!(a.target, b.target);
+        // Kernels agree tap-for-tap.
+        let ta = a.program.stencil.kernels[0].to_op().unwrap();
+        let tb = b.program.stencil.kernels[0].to_op().unwrap();
+        assert_eq!(ta.taps, tb.taps);
+        // Schedules agree.
+        assert_eq!(
+            a.program.stencil.kernels[0].schedule,
+            b.program.stencil.kernels[0].schedule
+        );
+        // Temporal combination agrees.
+        assert_eq!(a.program.stencil.terms, b.program.stencil.terms);
+    }
+
+
+    #[test]
+    fn pretty_printer_handles_negative_weights() {
+        let src = r#"
+            stencil wave {
+                grid B: f64[16, 16] halo 1 window 3;
+                kernel p = 1.6*B[0,0] + 0.1*B[-1,0] + 0.1*B[1,0]
+                         + 0.1*B[0,-1] + 0.1*B[0,1];
+                kernel id = 1.0*B[0,0];
+                combine u[t] = -1.0*id[t-2] + 1.0*p[t-1];
+                run 2;
+            }
+        "#;
+        let a = parse(src).unwrap();
+        let text = to_msc_source(&a.program, None);
+        let b = parse(&text).unwrap();
+        assert_eq!(a.program.stencil.terms, b.program.stencil.terms);
+    }
+
+    #[test]
+    fn pretty_printer_emits_extension_primitives() {
+        let src = r#"
+            stencil s {
+                grid B: f64[64, 64] halo 1 window 2;
+                kernel k = 0.5*B[0,0] + 0.5*B[1,0];
+                schedule { tile 8 64; reorder xo yo xi yi; parallel xo 8; spm yo; stream; tile_time 3; }
+                run 2;
+            }
+        "#;
+        let parsed = parse(src).unwrap();
+        let text = to_msc_source(&parsed.program, None);
+        assert!(text.contains("stream;"));
+        assert!(text.contains("tile_time 3;"));
+        let again = parse(&text).unwrap();
+        assert_eq!(
+            parsed.program.stencil.kernels[0].schedule,
+            again.program.stencil.kernels[0].schedule
+        );
+    }
+
+    #[test]
+    fn scientific_notation_coefficients() {
+        let src = r#"
+            stencil s { grid B: f64[8] halo 1 window 2;
+                kernel k = 2.5e-1*B[0] + 7.5e-1*B[1]; }
+        "#;
+        let p = parse(src).unwrap().program;
+        let op = p.stencil.kernels[0].to_op().unwrap();
+        assert!((op.coeff_sum() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,254 @@
+//! Schedule legality checks: a schedule must describe a valid rewriting of
+//! the kernel's loop nest before lowering.
+
+use crate::error::{MscError, Result};
+use crate::schedule::primitives::{parse_split_axis, Schedule};
+
+/// Validate `schedule` for an `ndim`-dimensional kernel over `grid`.
+///
+/// Rules enforced:
+/// 1. Tile factors, if present, cover every dimension, are ≥ 1 and no
+///    larger than the grid extent.
+/// 2. The reorder list is a permutation of the axes produced by tiling
+///    (`xo..zo, xi..zi` for a tiled nest; `x..z` conceptually for an
+///    untiled nest, which we represent by an empty order).
+/// 3. Every outer axis appears before its own inner axis (`xo` before
+///    `xi`): splitting requires the tile loop to enclose the point loop.
+/// 4. The parallel axis, if any, is the outermost loop of the final order
+///    (the paper parallelizes the outermost `xo`).
+/// 5. `compute_at` axes must be *outer* axes — DMA at an inner axis would
+///    transfer per point.
+pub fn check(schedule: &Schedule, ndim: usize, grid: &[usize]) -> Result<()> {
+    if grid.len() != ndim {
+        return Err(MscError::DimMismatch {
+            expected: ndim,
+            got: grid.len(),
+        });
+    }
+    let tiled = !schedule.tile_factors.is_empty();
+    if tiled {
+        if schedule.tile_factors.len() != ndim {
+            return Err(MscError::IllegalSchedule(format!(
+                "tile() got {} factors for a {}D kernel",
+                schedule.tile_factors.len(),
+                ndim
+            )));
+        }
+        for (d, (&f, &g)) in schedule.tile_factors.iter().zip(grid).enumerate() {
+            if f == 0 {
+                return Err(MscError::IllegalSchedule(format!(
+                    "tile factor for dim {d} is zero"
+                )));
+            }
+            if f > g {
+                return Err(MscError::IllegalSchedule(format!(
+                    "tile factor {f} exceeds extent {g} in dim {d}"
+                )));
+            }
+        }
+    }
+
+    if !schedule.loop_order.is_empty() {
+        if !tiled {
+            return Err(MscError::IllegalSchedule(
+                "reorder() requires tile() first (only split axes can be reordered)".into(),
+            ));
+        }
+        if schedule.loop_order.len() != 2 * ndim {
+            return Err(MscError::IllegalSchedule(format!(
+                "reorder() needs all {} split axes, got {}",
+                2 * ndim,
+                schedule.loop_order.len()
+            )));
+        }
+        let mut seen = vec![[false; 2]; ndim];
+        let mut outer_pos = vec![usize::MAX; ndim];
+        for (pos, name) in schedule.loop_order.iter().enumerate() {
+            let (dim, inner) = parse_split_axis(name)?;
+            if dim >= ndim {
+                return Err(MscError::IllegalSchedule(format!(
+                    "axis `{name}` names dim {dim} of a {ndim}D kernel"
+                )));
+            }
+            if seen[dim][inner as usize] {
+                return Err(MscError::IllegalSchedule(format!(
+                    "axis `{name}` appears twice in reorder()"
+                )));
+            }
+            seen[dim][inner as usize] = true;
+            if !inner {
+                outer_pos[dim] = pos;
+            } else if outer_pos[dim] == usize::MAX {
+                return Err(MscError::IllegalSchedule(format!(
+                    "inner axis `{name}` precedes its outer axis"
+                )));
+            }
+        }
+    }
+
+    if let Some((axis, n)) = &schedule.parallel {
+        if *n == 0 {
+            return Err(MscError::IllegalSchedule(
+                "parallel() with zero threads".into(),
+            ));
+        }
+        let order = effective_order(schedule, ndim);
+        if order.first().map(String::as_str) != Some(axis.as_str()) {
+            return Err(MscError::IllegalSchedule(format!(
+                "parallel axis `{axis}` must be the outermost loop (outermost is `{}`)",
+                order.first().cloned().unwrap_or_default()
+            )));
+        }
+    }
+
+    for ca in &schedule.compute_at {
+        let (_, inner) = parse_split_axis(&ca.axis)?;
+        if inner {
+            return Err(MscError::IllegalSchedule(format!(
+                "compute_at(`{}`, `{}`): DMA must attach to an outer (tile) axis",
+                ca.buffer, ca.axis
+            )));
+        }
+        let known = schedule.cache_read.as_ref().map(|c| c.buffer.clone())
+            == Some(ca.buffer.clone())
+            || schedule.cache_write.as_ref().map(|c| c.buffer.clone()) == Some(ca.buffer.clone());
+        if !known {
+            return Err(MscError::Undefined {
+                kind: "buffer",
+                name: ca.buffer.clone(),
+            });
+        }
+    }
+
+    if schedule.double_buffer && !schedule.uses_spm() {
+        return Err(MscError::IllegalSchedule(
+            "stream() requires cache_read/cache_write (SPM staging) first".into(),
+        ));
+    }
+
+    if schedule.uses_spm() && schedule.compute_at.is_empty() {
+        return Err(MscError::IllegalSchedule(
+            "cache_read/cache_write without compute_at: no DMA point specified".into(),
+        ));
+    }
+
+    Ok(())
+}
+
+/// The loop order the schedule will lower to: explicit `reorder` if given,
+/// otherwise the canonical all-outer-then-all-inner order for tiled nests.
+pub fn effective_order(schedule: &Schedule, ndim: usize) -> Vec<String> {
+    if !schedule.loop_order.is_empty() {
+        schedule.loop_order.clone()
+    } else {
+        Schedule::canonical_order(ndim)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::primitives::BufferScope;
+
+    fn sunway_sched() -> Schedule {
+        let mut s = Schedule::default();
+        s.tile(&[8, 8, 32])
+            .reorder(&["xo", "yo", "zo", "xi", "yi", "zi"])
+            .parallel("xo", 64)
+            .cache_read("B", "buffer_read", BufferScope::Global)
+            .cache_write("buffer_write", BufferScope::Global)
+            .compute_at("buffer_read", "zo")
+            .compute_at("buffer_write", "zo");
+        s
+    }
+
+    const GRID: [usize; 3] = [256, 256, 256];
+
+    #[test]
+    fn paper_listing2_schedule_is_legal() {
+        assert!(check(&sunway_sched(), 3, &GRID).is_ok());
+    }
+
+    #[test]
+    fn wrong_tile_arity() {
+        let mut s = sunway_sched();
+        s.tile(&[8, 8]);
+        assert!(check(&s, 3, &GRID).is_err());
+    }
+
+    #[test]
+    fn zero_or_oversized_tile() {
+        let mut s = sunway_sched();
+        s.tile(&[0, 8, 32]);
+        assert!(check(&s, 3, &GRID).is_err());
+        s.tile(&[8, 8, 512]);
+        assert!(check(&s, 3, &GRID).is_err());
+    }
+
+    #[test]
+    fn reorder_must_be_permutation() {
+        let mut s = sunway_sched();
+        s.reorder(&["xo", "yo", "zo", "xi", "yi", "xi"]);
+        assert!(check(&s, 3, &GRID).is_err());
+        s.reorder(&["xo", "yo", "zo", "xi", "yi"]);
+        assert!(check(&s, 3, &GRID).is_err());
+    }
+
+    #[test]
+    fn inner_before_outer_rejected() {
+        let mut s = sunway_sched();
+        s.reorder(&["xi", "xo", "yo", "zo", "yi", "zi"]);
+        assert!(check(&s, 3, &GRID).is_err());
+    }
+
+    #[test]
+    fn parallel_must_be_outermost() {
+        let mut s = sunway_sched();
+        s.parallel("yo", 64);
+        assert!(check(&s, 3, &GRID).is_err());
+    }
+
+    #[test]
+    fn zero_threads_rejected() {
+        let mut s = sunway_sched();
+        s.parallel("xo", 0);
+        assert!(check(&s, 3, &GRID).is_err());
+    }
+
+    #[test]
+    fn compute_at_inner_axis_rejected() {
+        let mut s = sunway_sched();
+        s.compute_at("buffer_read", "zi");
+        assert!(check(&s, 3, &GRID).is_err());
+    }
+
+    #[test]
+    fn compute_at_unknown_buffer_rejected() {
+        let mut s = sunway_sched();
+        s.compute_at("mystery", "zo");
+        assert!(matches!(
+            check(&s, 3, &GRID),
+            Err(MscError::Undefined { .. })
+        ));
+    }
+
+    #[test]
+    fn spm_without_dma_point_rejected() {
+        let mut s = Schedule::default();
+        s.tile(&[8, 8, 32])
+            .cache_read("B", "buffer_read", BufferScope::Global);
+        assert!(check(&s, 3, &GRID).is_err());
+    }
+
+    #[test]
+    fn reorder_without_tile_rejected() {
+        let mut s = Schedule::default();
+        s.reorder(&["xo", "yo", "xi", "yi"]);
+        assert!(check(&s, 2, &[64, 64]).is_err());
+    }
+
+    #[test]
+    fn untiled_serial_schedule_is_legal() {
+        assert!(check(&Schedule::default(), 3, &GRID).is_ok());
+    }
+}

@@ -1,0 +1,208 @@
+//! Loop-nest statement tree: the structured form of a lowered kernel that
+//! the AOT C code generator walks (paper Figure 4(c)-(e)).
+
+use crate::axis::Axis;
+use crate::error::Result;
+use crate::kernel::Kernel;
+use crate::schedule::plan::ExecPlan;
+use crate::schedule::primitives::Schedule;
+
+/// A statement in the lowered nest.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// Plain `for` loop.
+    For { axis: Axis, body: Vec<Stmt> },
+    /// Parallel loop: OpenMP `parallel for` on homogeneous targets,
+    /// athread task striping on Sunway.
+    ParallelFor {
+        axis: Axis,
+        n_threads: usize,
+        body: Vec<Stmt>,
+    },
+    /// DMA get: main memory → SPM read buffer.
+    DmaGet { buffer: String, tensor: String },
+    /// DMA put: SPM write buffer → main memory.
+    DmaPut { buffer: String, tensor: String },
+    /// The stencil point update.
+    Compute { kernel: String },
+}
+
+impl Stmt {
+    /// Depth-first count of loops in the tree.
+    pub fn count_loops(&self) -> usize {
+        match self {
+            Stmt::For { body, .. } | Stmt::ParallelFor { body, .. } => {
+                1 + body.iter().map(Stmt::count_loops).sum::<usize>()
+            }
+            _ => 0,
+        }
+    }
+
+    /// Whether the subtree contains any DMA statement.
+    pub fn has_dma(&self) -> bool {
+        match self {
+            Stmt::DmaGet { .. } | Stmt::DmaPut { .. } => true,
+            Stmt::For { body, .. } | Stmt::ParallelFor { body, .. } => {
+                body.iter().any(Stmt::has_dma)
+            }
+            _ => false,
+        }
+    }
+}
+
+/// Build the loop tree for a scheduled kernel over `grid`.
+///
+/// Loops follow the plan's order; if the schedule stages through SPM, the
+/// DMA get/put statements wrap the loops below `dma_depth` (paper
+/// Figure 4(e): "transfer the read/write buffers at the beginning/end of
+/// the `zo` loop").
+pub fn build(kernel: &Kernel, grid: &[usize]) -> Result<Stmt> {
+    let plan = ExecPlan::lower(&kernel.schedule, kernel.ndim, grid)?;
+    build_from_plan(kernel, &plan, &kernel.schedule)
+}
+
+/// Build the loop tree from an already-lowered plan.
+pub fn build_from_plan(kernel: &Kernel, plan: &ExecPlan, schedule: &Schedule) -> Result<Stmt> {
+    // Innermost body: the compute statement, optionally bracketed by DMA.
+    let mut body = vec![Stmt::Compute {
+        kernel: kernel.name.clone(),
+    }];
+
+    // Walk loops inside-out.
+    for (depth, lv) in plan.order.iter().enumerate().rev() {
+        let extent = if lv.inner {
+            plan.tile[lv.dim]
+        } else {
+            plan.tiles_along(lv.dim)
+        };
+        let suffix = if lv.inner { "i" } else { "o" };
+        let base = ["x", "y", "z"][lv.dim];
+        let axis = Axis::new(&format!("{base}{suffix}"), depth, extent);
+
+        // When creating the loop at the `compute_at` axis, bracket its body
+        // with the DMA get/put so transfers happen once per tile, at the
+        // beginning/end of that loop's body (paper Figure 4(e)).
+        let at_dma_axis = plan.use_spm && depth + 1 == plan.dma_depth;
+        let mut wrapped = Vec::new();
+        if at_dma_axis {
+            if let Some(cr) = &schedule.cache_read {
+                wrapped.push(Stmt::DmaGet {
+                    buffer: cr.buffer.clone(),
+                    tensor: cr.tensor.clone(),
+                });
+            }
+        }
+        wrapped.extend(body);
+        if at_dma_axis {
+            if let Some(cw) = &schedule.cache_write {
+                wrapped.push(Stmt::DmaPut {
+                    buffer: cw.buffer.clone(),
+                    tensor: kernel.input.clone(),
+                });
+            }
+        }
+        body = wrapped;
+
+        let is_parallel = depth == 0 && plan.n_threads > 1;
+        let stmt = if is_parallel {
+            Stmt::ParallelFor {
+                axis,
+                n_threads: plan.n_threads,
+                body,
+            }
+        } else {
+            Stmt::For { axis, body }
+        };
+        body = vec![stmt];
+    }
+    Ok(body.into_iter().next().expect("nest has at least one loop"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::primitives::BufferScope;
+
+    fn sunway_kernel() -> Kernel {
+        let mut k = Kernel::star_normalized("S_3d7pt", 3, 1);
+        k.sched()
+            .tile(&[8, 8, 32])
+            .reorder(&["xo", "yo", "zo", "xi", "yi", "zi"])
+            .parallel("xo", 64)
+            .cache_read("B", "buffer_read", BufferScope::Global)
+            .cache_write("buffer_write", BufferScope::Global)
+            .compute_at("buffer_read", "zo")
+            .compute_at("buffer_write", "zo");
+        k
+    }
+
+    #[test]
+    fn six_loop_nest_after_tiling() {
+        let tree = build(&sunway_kernel(), &[256, 256, 256]).unwrap();
+        assert_eq!(tree.count_loops(), 6);
+    }
+
+    #[test]
+    fn outermost_is_parallel() {
+        let tree = build(&sunway_kernel(), &[256, 256, 256]).unwrap();
+        match &tree {
+            Stmt::ParallelFor {
+                axis, n_threads, ..
+            } => {
+                assert_eq!(axis.name, "xo");
+                assert_eq!(*n_threads, 64);
+            }
+            other => panic!("expected parallel outer loop, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dma_wraps_inner_loops_at_zo() {
+        let tree = build(&sunway_kernel(), &[256, 256, 256]).unwrap();
+        // Descend to depth 3 (inside zo): its body must start with DmaGet
+        // and end with DmaPut.
+        fn descend(s: &Stmt, depth: usize) -> &Vec<Stmt> {
+            match s {
+                Stmt::For { body, .. } | Stmt::ParallelFor { body, .. } => {
+                    if depth == 0 {
+                        body
+                    } else {
+                        descend(&body[0], depth - 1)
+                    }
+                }
+                _ => panic!("expected a loop"),
+            }
+        }
+        // After xo(0), yo(1), zo(2): zo's body holds DMA + xi loop + DMA.
+        let outer = descend(&tree, 0); // xo body
+        let zo_body = match &outer[0] {
+            Stmt::For { axis, body } if axis.name == "yo" => match &body[0] {
+                Stmt::For { axis, body } if axis.name == "zo" => body,
+                other => panic!("expected zo, got {other:?}"),
+            },
+            other => panic!("expected yo, got {other:?}"),
+        };
+        assert!(matches!(zo_body.first(), Some(Stmt::DmaGet { .. })));
+        assert!(matches!(zo_body.last(), Some(Stmt::DmaPut { .. })));
+    }
+
+    #[test]
+    fn untiled_serial_kernel_has_ndim_loops_no_dma() {
+        let k = Kernel::star_normalized("S", 2, 1);
+        let tree = build(&k, &[64, 64]).unwrap();
+        assert_eq!(tree.count_loops(), 2);
+        assert!(!tree.has_dma());
+    }
+
+    #[test]
+    fn matrix_style_schedule_has_no_dma() {
+        let mut k = Kernel::star_normalized("S", 3, 1);
+        k.sched()
+            .tile(&[2, 8, 256])
+            .reorder(&["xo", "yo", "zo", "xi", "yi", "zi"])
+            .parallel("xo", 32);
+        let tree = build(&k, &[256, 256, 256]).unwrap();
+        assert_eq!(tree.count_loops(), 6);
+        assert!(!tree.has_dma());
+    }
+}

@@ -1,0 +1,122 @@
+//! Sliding time window (paper §4.3, Figure 5): instead of storing the
+//! output of every timestep, keep only the `window` most recent states in
+//! a ring of buffers and recycle the oldest slot for each new output.
+
+use crate::error::{MscError, Result};
+
+/// Plan mapping logical timesteps to physical buffer slots.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WindowPlan {
+    /// Number of live buffers (`max_dt + 1`).
+    pub window: usize,
+}
+
+impl WindowPlan {
+    /// Build a plan for a stencil whose largest temporal dependency is
+    /// `max_dt` (window = `max_dt + 1`, paper Figure 5: deps on `t-1`,
+    /// `t-2` → width three).
+    pub fn for_max_dt(max_dt: usize) -> Result<WindowPlan> {
+        if max_dt == 0 {
+            return Err(MscError::InvalidConfig(
+                "sliding window needs at least one temporal dependency".into(),
+            ));
+        }
+        Ok(WindowPlan {
+            window: max_dt + 1,
+        })
+    }
+
+    /// Physical slot holding the state of logical timestep `t`.
+    pub fn slot_of(&self, t: usize) -> usize {
+        t % self.window
+    }
+
+    /// Slot that timestep `t`'s *output* is written into — it recycles the
+    /// slot of timestep `t - window`, which is no longer needed.
+    pub fn output_slot(&self, t: usize) -> usize {
+        self.slot_of(t)
+    }
+
+    /// Slot read for the dependency `t - dt`. Errors if `dt` exceeds what
+    /// the window retains.
+    pub fn input_slot(&self, t: usize, dt: usize) -> Result<usize> {
+        if dt == 0 || dt >= self.window {
+            return Err(MscError::TimeWindowTooSmall {
+                tensor: "<window>".into(),
+                window: self.window,
+                required: dt + 1,
+            });
+        }
+        if dt > t {
+            return Err(MscError::InvalidConfig(format!(
+                "timestep {t} cannot depend {dt} steps back"
+            )));
+        }
+        Ok(self.slot_of(t - dt))
+    }
+
+    /// Buffers kept live versus the keep-everything scheme after
+    /// `total_steps` steps (paper Figure 5(b) vs 5(c)).
+    pub fn buffers_saved(&self, total_steps: usize) -> usize {
+        total_steps.saturating_sub(self.window)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_width_matches_paper_figure5() {
+        // Dependencies on t-1 and t-2 -> window of three.
+        let w = WindowPlan::for_max_dt(2).unwrap();
+        assert_eq!(w.window, 3);
+    }
+
+    #[test]
+    fn slots_rotate_and_never_collide_with_live_inputs() {
+        let w = WindowPlan::for_max_dt(2).unwrap();
+        for t in 2..50 {
+            let out = w.output_slot(t);
+            let in1 = w.input_slot(t, 1).unwrap();
+            let in2 = w.input_slot(t, 2).unwrap();
+            assert_ne!(out, in1, "t={t}");
+            assert_ne!(out, in2, "t={t}");
+            assert_ne!(in1, in2, "t={t}");
+        }
+    }
+
+    #[test]
+    fn output_recycles_oldest() {
+        let w = WindowPlan::for_max_dt(2).unwrap();
+        // Output slot at t equals the slot that held t-3 (t - window).
+        for t in 3..20 {
+            assert_eq!(w.output_slot(t), w.slot_of(t - 3));
+        }
+    }
+
+    #[test]
+    fn dt_beyond_window_rejected() {
+        let w = WindowPlan::for_max_dt(2).unwrap();
+        assert!(w.input_slot(10, 3).is_err());
+        assert!(w.input_slot(10, 0).is_err());
+    }
+
+    #[test]
+    fn dt_before_start_rejected() {
+        let w = WindowPlan::for_max_dt(2).unwrap();
+        assert!(w.input_slot(1, 2).is_err());
+    }
+
+    #[test]
+    fn zero_dep_window_rejected() {
+        assert!(WindowPlan::for_max_dt(0).is_err());
+    }
+
+    #[test]
+    fn savings_grow_linearly() {
+        let w = WindowPlan::for_max_dt(2).unwrap();
+        assert_eq!(w.buffers_saved(3), 0);
+        assert_eq!(w.buffers_saved(100), 97);
+    }
+}

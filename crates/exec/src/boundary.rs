@@ -1,0 +1,163 @@
+//! Boundary conditions. The halo cells of an `SpNode` grid hold the
+//! physical boundary: Dirichlet runs leave them at their initial values;
+//! periodic runs wrap the domain by copying the opposite interior edge
+//! strips into the halo after every update (paper §4.2: MSC "handles the
+//! halo regions automatically").
+
+use crate::grid::{Grid, Scalar};
+
+/// Boundary condition applied to the outermost halo.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Boundary {
+    /// Halo cells keep their initial values (the paper's default).
+    #[default]
+    Dirichlet,
+    /// The domain wraps: `u[-i] = u[N-i]`, `u[N-1+i] = u[i-1]`.
+    Periodic,
+}
+
+/// Refresh the halo of `grid` according to `boundary`. Dimension-ordered
+/// like the halo exchange so corner cells are correct for box stencils.
+pub fn apply<T: Scalar>(grid: &mut Grid<T>, boundary: Boundary) {
+    if boundary == Boundary::Dirichlet {
+        return;
+    }
+    let ndim = grid.ndim();
+    for d in 0..ndim {
+        let h = grid.halo[d];
+        if h == 0 {
+            continue;
+        }
+        let n = grid.shape[d];
+        assert!(
+            n >= h,
+            "periodic wrap needs extent >= halo in dim {d} ({n} < {h})"
+        );
+        // Copy rows across dim d: dims before d span the full padded
+        // range (already wrapped), dims after d span the interior.
+        copy_wrapped_dim(grid, d);
+    }
+}
+
+/// For dimension `d`: padded rows `0..h` receive rows `n..n+h` (the high
+/// interior edge), and rows `h+n..h+n+h` receive rows `h..2h` (the low
+/// interior edge).
+fn copy_wrapped_dim<T: Scalar>(grid: &mut Grid<T>, d: usize) {
+    let ndim = grid.ndim();
+    let h = grid.halo[d];
+    let n = grid.shape[d];
+    let strides = grid.strides.clone();
+    let padded = grid.padded.clone();
+    let halo = grid.halo.clone();
+    let shape = grid.shape.clone();
+
+    // Iteration space over the other dimensions: `(start, extent)` pairs.
+    // Dims already wrapped (dd < d) span the full padded range so corner
+    // cells propagate; later dims span the interior only.
+    let spans: Vec<(usize, usize)> = (0..ndim)
+        .map(|dd| {
+            if dd < d {
+                (0, padded[dd])
+            } else {
+                (halo[dd], shape[dd])
+            }
+        })
+        .collect();
+
+    let data = grid.as_mut_slice();
+    let other_dims: Vec<usize> = (0..ndim).filter(|&dd| dd != d).collect();
+    let mut counters = vec![0usize; other_dims.len()];
+    loop {
+        // Linear index of this "row" position with dim d = 0.
+        let base: usize = other_dims
+            .iter()
+            .zip(&counters)
+            .map(|(&dd, &c)| (spans[dd].0 + c) * strides[dd])
+            .sum();
+        for k in 0..h {
+            // low halo <- high interior
+            data[base + k * strides[d]] = data[base + (n + k) * strides[d]];
+            // high halo <- low interior
+            data[base + (h + n + k) * strides[d]] = data[base + (h + k) * strides[d]];
+        }
+        // Odometer over the other dims (innermost varies fastest).
+        let mut pos = other_dims.len();
+        loop {
+            if pos == 0 {
+                return;
+            }
+            pos -= 1;
+            counters[pos] += 1;
+            if counters[pos] < spans[other_dims[pos]].1 {
+                break;
+            }
+            counters[pos] = 0;
+        }
+        if counters.iter().all(|&c| c == 0) {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dirichlet_is_a_no_op() {
+        let mut g: Grid<f64> = Grid::random(&[4, 4], &[1, 1], 3);
+        let before = g.clone();
+        apply(&mut g, Boundary::Dirichlet);
+        assert_eq!(g, before);
+    }
+
+    #[test]
+    fn periodic_wraps_1d() {
+        let mut g: Grid<f64> = Grid::zeros(&[4], &[1]);
+        for i in 0..4 {
+            g.set(&[i], (i + 1) as f64);
+        }
+        apply(&mut g, Boundary::Periodic);
+        assert_eq!(g.get_rel(&[0], &[-1]), 4.0); // left halo = last interior
+        assert_eq!(g.get_rel(&[3], &[1]), 1.0); // right halo = first interior
+    }
+
+    #[test]
+    fn periodic_wraps_2d_including_corners() {
+        let mut g: Grid<f64> = Grid::zeros(&[3, 3], &[1, 1]);
+        for x in 0..3 {
+            for y in 0..3 {
+                g.set(&[x, y], (x * 3 + y) as f64);
+            }
+        }
+        apply(&mut g, Boundary::Periodic);
+        // Edges.
+        assert_eq!(g.get_rel(&[0, 0], &[-1, 0]), g.get(&[2, 0]));
+        assert_eq!(g.get_rel(&[0, 0], &[0, -1]), g.get(&[0, 2]));
+        assert_eq!(g.get_rel(&[2, 2], &[1, 0]), g.get(&[0, 2]));
+        // Corner: (-1,-1) must equal interior (2,2).
+        assert_eq!(g.get_rel(&[0, 0], &[-1, -1]), g.get(&[2, 2]));
+        assert_eq!(g.get_rel(&[2, 2], &[1, 1]), g.get(&[0, 0]));
+    }
+
+    #[test]
+    fn periodic_wraps_3d_wide_halo() {
+        let mut g: Grid<f64> = Grid::zeros(&[4, 4, 4], &[2, 2, 2]);
+        let mut cells: Vec<Vec<usize>> = Vec::new();
+        g.for_each_interior(|pos| cells.push(pos.to_vec()));
+        for (i, pos) in cells.iter().enumerate() {
+            g.set(pos, i as f64 + 1.0);
+        }
+        apply(&mut g, Boundary::Periodic);
+        // Offset -2 in every dim wraps to interior (2,2,2).
+        assert_eq!(g.get_rel(&[0, 0, 0], &[-2, -2, -2]), g.get(&[2, 2, 2]));
+        assert_eq!(g.get_rel(&[3, 3, 3], &[2, 2, 2]), g.get(&[1, 1, 1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "periodic wrap needs extent >= halo")]
+    fn wrap_smaller_than_halo_panics() {
+        let mut g: Grid<f64> = Grid::zeros(&[2], &[3]);
+        apply(&mut g, Boundary::Periodic);
+    }
+}

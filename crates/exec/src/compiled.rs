@@ -1,0 +1,168 @@
+//! Compilation of a `StencilProgram` to the executor's fast-path form:
+//! per time term, a flat tap list with *linearized* offsets into the
+//! padded grid buffer. This mirrors what MSC's tensor IR buys over
+//! subscript-expression evaluation (paper §5.5: "MSC can directly index
+//! the data due to its design of tensor IR").
+
+use crate::grid::{Grid, Scalar};
+use msc_core::error::Result;
+use msc_core::prelude::*;
+
+/// One temporal term, compiled: read the state `dt` steps back, apply the
+/// taps, scale by `weight`.
+#[derive(Debug, Clone)]
+pub struct CompiledTerm<T> {
+    pub dt: usize,
+    pub weight: T,
+    /// `(linear_offset, coefficient)` pairs over the padded buffer.
+    pub taps: Vec<(isize, T)>,
+    /// The same taps with their multi-dimensional offsets, kept for
+    /// relinearization against other layouts (SPM tile buffers).
+    pub taps_nd: Vec<(Vec<i64>, T)>,
+}
+
+/// A fully compiled temporal stencil.
+#[derive(Debug, Clone)]
+pub struct CompiledStencil<T> {
+    pub ndim: usize,
+    pub reach: Vec<usize>,
+    pub max_dt: usize,
+    pub terms: Vec<CompiledTerm<T>>,
+}
+
+impl<T: Scalar> CompiledStencil<T> {
+    /// Compile `program` against the layout of `grid` (strides/halo must
+    /// match every state buffer the stencil reads).
+    pub fn compile(program: &StencilProgram, grid: &Grid<T>) -> Result<CompiledStencil<T>> {
+        let stencil = &program.stencil;
+        let mut terms = Vec::with_capacity(stencil.terms.len());
+        for term in &stencil.terms {
+            let kernel = stencil.kernel(&term.kernel)?;
+            let op = kernel.to_op()?;
+            let taps = op
+                .taps
+                .iter()
+                .map(|t| {
+                    let lin: isize = t
+                        .offset
+                        .iter()
+                        .zip(&grid.strides)
+                        .map(|(&o, &s)| o as isize * s as isize)
+                        .sum();
+                    (lin, T::from_f64(t.coeff))
+                })
+                .collect();
+            let taps_nd = op
+                .taps
+                .iter()
+                .map(|t| (t.offset.clone(), T::from_f64(t.coeff)))
+                .collect();
+            terms.push(CompiledTerm {
+                dt: term.dt,
+                weight: T::from_f64(term.weight),
+                taps,
+                taps_nd,
+            });
+        }
+        Ok(CompiledStencil {
+            ndim: stencil.ndim(),
+            reach: stencil.reach(),
+            max_dt: stencil.max_dt(),
+            terms,
+        })
+    }
+
+    /// Evaluate the update at the padded linear index `base`, reading from
+    /// `states`, where `states[term.dt - 1]` is the buffer `dt` steps
+    /// back.
+    ///
+    /// # Safety-adjacent contract
+    /// `base` must be an interior point of a buffer with the layout the
+    /// stencil was compiled for; every `base + tap offset` then lands in
+    /// bounds (halo included), enforced here with slice indexing.
+    #[inline]
+    pub fn apply_at(&self, states: &[&[T]], base: usize) -> T {
+        let mut out = T::default();
+        for term in &self.terms {
+            let src = states[term.dt - 1];
+            let mut acc = T::default();
+            for &(off, coeff) in &term.taps {
+                acc = acc + coeff * src[(base as isize + off) as usize];
+            }
+            out = out + term.weight * acc;
+        }
+        out
+    }
+
+    /// Total taps across terms (points read per output point).
+    pub fn total_taps(&self) -> usize {
+        self.terms.iter().map(|t| t.taps.len()).sum()
+    }
+
+    /// Flops per output point: per term, `2*taps-1` for the weighted sum
+    /// plus one weight multiply; plus `terms-1` combining adds.
+    pub fn flops_per_point(&self) -> usize {
+        let per_term: usize = self.terms.iter().map(|t| 2 * t.taps.len()).sum();
+        per_term + self.terms.len() - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msc_core::catalog::{benchmark, BenchmarkId};
+
+    fn program() -> StencilProgram {
+        benchmark(BenchmarkId::S3d7ptStar)
+            .program(&[8, 8, 8], DType::F64, 2)
+            .unwrap()
+    }
+
+    #[test]
+    fn compile_produces_term_per_dependency() {
+        let p = program();
+        let g: Grid<f64> = Grid::for_tensor(&p.grid);
+        let c = CompiledStencil::compile(&p, &g).unwrap();
+        assert_eq!(c.terms.len(), 2);
+        assert_eq!(c.terms[0].dt, 1);
+        assert_eq!(c.terms[1].dt, 2);
+        assert_eq!(c.total_taps(), 14);
+        assert_eq!(c.max_dt, 2);
+    }
+
+    #[test]
+    fn linear_offsets_match_strides() {
+        let p = program();
+        let g: Grid<f64> = Grid::for_tensor(&p.grid);
+        let c = CompiledStencil::compile(&p, &g).unwrap();
+        // 3d7pt taps: +/- strides in each dim and 0.
+        let offs: Vec<isize> = c.terms[0].taps.iter().map(|t| t.0).collect();
+        let sz = g.strides[0] as isize;
+        let sy = g.strides[1] as isize;
+        assert!(offs.contains(&0));
+        assert!(offs.contains(&sz) && offs.contains(&-sz));
+        assert!(offs.contains(&sy) && offs.contains(&-sy));
+        assert!(offs.contains(&1) && offs.contains(&-1));
+    }
+
+    #[test]
+    fn apply_at_on_constant_field_preserves_value() {
+        // Coefficients sum to 1 per kernel and term weights sum to 1, so a
+        // constant field is a fixed point.
+        let p = program();
+        let g: Grid<f64> = Grid::from_fn(&p.grid.shape, &p.grid.halo, |_| 3.25);
+        let c = CompiledStencil::compile(&p, &g).unwrap();
+        let base = g.index(&[4, 4, 4]);
+        let v = c.apply_at(&[g.as_slice(), g.as_slice()], base);
+        assert!((v - 3.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flops_per_point_counts_combination() {
+        let p = program();
+        let g: Grid<f64> = Grid::for_tensor(&p.grid);
+        let c = CompiledStencil::compile(&p, &g).unwrap();
+        // 2 terms x (2*7) + 1 combine add = 29.
+        assert_eq!(c.flops_per_point(), 29);
+    }
+}

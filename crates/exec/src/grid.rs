@@ -1,0 +1,324 @@
+//! Padded grid storage: an `SpNode`-shaped buffer with halo cells, generic
+//! over the element type so fp32 runs really do arithmetic in `f32`.
+
+use msc_core::tensor::SpNode;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Element scalar: the two floating types the DSL generates code for.
+pub trait Scalar:
+    Copy
+    + Send
+    + Sync
+    + Default
+    + PartialOrd
+    + std::ops::Add<Output = Self>
+    + std::ops::Sub<Output = Self>
+    + std::ops::Mul<Output = Self>
+    + std::fmt::Debug
+    + 'static
+{
+    fn from_f64(v: f64) -> Self;
+    fn to_f64(self) -> f64;
+}
+
+impl Scalar for f64 {
+    fn from_f64(v: f64) -> Self {
+        v
+    }
+    fn to_f64(self) -> f64 {
+        self
+    }
+}
+
+impl Scalar for f32 {
+    fn from_f64(v: f64) -> Self {
+        v as f32
+    }
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+}
+
+/// Layout metadata of a grid, detached from its storage — cheap to move
+/// into worker threads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GridLayout {
+    pub shape: Vec<usize>,
+    pub halo: Vec<usize>,
+    pub padded: Vec<usize>,
+    pub strides: Vec<usize>,
+}
+
+impl GridLayout {
+    /// Linear index of an interior coordinate.
+    #[inline]
+    pub fn index(&self, pos: &[usize]) -> usize {
+        pos.iter()
+            .zip(&self.halo)
+            .zip(&self.strides)
+            .map(|((&p, &h), &s)| (p + h) * s)
+            .sum()
+    }
+
+    pub fn ndim(&self) -> usize {
+        self.shape.len()
+    }
+}
+
+/// A dense row-major grid with halo padding on every side.
+///
+/// Coordinates passed to [`Grid::get`]/[`Grid::set`] are *interior*
+/// coordinates; the halo offset is added internally. Negative interior
+/// coordinates (reads into the halo) are reached through
+/// [`Grid::get_rel`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Grid<T> {
+    /// Interior shape.
+    pub shape: Vec<usize>,
+    /// Halo width per dimension.
+    pub halo: Vec<usize>,
+    /// Padded shape (`shape + 2*halo`).
+    pub padded: Vec<usize>,
+    /// Row-major strides over the padded buffer.
+    pub strides: Vec<usize>,
+    data: Vec<T>,
+}
+
+impl<T: Scalar> Grid<T> {
+    /// Zero-filled grid.
+    pub fn zeros(shape: &[usize], halo: &[usize]) -> Grid<T> {
+        assert_eq!(shape.len(), halo.len(), "shape/halo rank mismatch");
+        let padded: Vec<usize> = shape.iter().zip(halo).map(|(&s, &h)| s + 2 * h).collect();
+        let mut strides = vec![1usize; padded.len()];
+        for d in (0..padded.len().saturating_sub(1)).rev() {
+            strides[d] = strides[d + 1] * padded[d + 1];
+        }
+        let n: usize = padded.iter().product();
+        Grid {
+            shape: shape.to_vec(),
+            halo: halo.to_vec(),
+            padded,
+            strides,
+            data: vec![T::default(); n],
+        }
+    }
+
+    /// Grid shaped like an `SpNode` (one timestep buffer).
+    pub fn for_tensor(t: &SpNode) -> Grid<T> {
+        Grid::zeros(&t.shape, &t.halo)
+    }
+
+    /// Deterministic random fill of the whole padded buffer (including
+    /// halos) in `[0, 1)` — the substitution for the paper's
+    /// `/data/rand.data` input.
+    pub fn random(shape: &[usize], halo: &[usize], seed: u64) -> Grid<T> {
+        let mut g = Grid::zeros(shape, halo);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for v in &mut g.data {
+            *v = T::from_f64(rng.gen::<f64>());
+        }
+        g
+    }
+
+    /// Fill from a function of interior coordinates (halo filled with the
+    /// clamped boundary value).
+    pub fn from_fn(shape: &[usize], halo: &[usize], f: impl Fn(&[usize]) -> f64) -> Grid<T> {
+        let mut g = Grid::zeros(shape, halo);
+        let padded = g.padded.clone();
+        let mut idx = vec![0usize; padded.len()];
+        loop {
+            // Clamp padded coords into the interior.
+            let interior: Vec<usize> = idx
+                .iter()
+                .zip(&g.halo)
+                .zip(&g.shape)
+                .map(|((&p, &h), &s)| p.saturating_sub(h).min(s - 1))
+                .collect();
+            let lin = idx
+                .iter()
+                .zip(&g.strides)
+                .map(|(&i, &s)| i * s)
+                .sum::<usize>();
+            g.data[lin] = T::from_f64(f(&interior));
+            // Odometer.
+            let mut d = padded.len();
+            loop {
+                if d == 0 {
+                    return g;
+                }
+                d -= 1;
+                idx[d] += 1;
+                if idx[d] < padded[d] {
+                    break;
+                }
+                idx[d] = 0;
+            }
+        }
+    }
+
+    /// Number of spatial dimensions.
+    pub fn ndim(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Detach the layout metadata.
+    pub fn layout(&self) -> GridLayout {
+        GridLayout {
+            shape: self.shape.clone(),
+            halo: self.halo.clone(),
+            padded: self.padded.clone(),
+            strides: self.strides.clone(),
+        }
+    }
+
+    /// Linear index of an interior coordinate.
+    #[inline]
+    pub fn index(&self, pos: &[usize]) -> usize {
+        pos.iter()
+            .zip(&self.halo)
+            .zip(&self.strides)
+            .map(|((&p, &h), &s)| (p + h) * s)
+            .sum()
+    }
+
+    /// Interior read.
+    #[inline]
+    pub fn get(&self, pos: &[usize]) -> T {
+        self.data[self.index(pos)]
+    }
+
+    /// Interior write.
+    #[inline]
+    pub fn set(&mut self, pos: &[usize], v: T) {
+        let i = self.index(pos);
+        self.data[i] = v;
+    }
+
+    /// Read relative to an interior coordinate, allowed to land in the
+    /// halo (offsets up to the halo width).
+    #[inline]
+    pub fn get_rel(&self, pos: &[usize], off: &[i64]) -> T {
+        let lin: usize = pos
+            .iter()
+            .zip(off)
+            .zip(self.halo.iter().zip(&self.strides))
+            .map(|((&p, &o), (&h, &s))| (((p + h) as i64 + o) as usize) * s)
+            .sum();
+        self.data[lin]
+    }
+
+    /// Raw padded buffer.
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Raw padded buffer, mutable.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Total interior points.
+    pub fn interior_len(&self) -> usize {
+        self.shape.iter().product()
+    }
+
+    /// Visit every interior coordinate.
+    pub fn for_each_interior(&self, mut f: impl FnMut(&[usize])) {
+        let mut idx = vec![0usize; self.ndim()];
+        loop {
+            f(&idx);
+            let mut d = self.ndim();
+            loop {
+                if d == 0 {
+                    return;
+                }
+                d -= 1;
+                idx[d] += 1;
+                if idx[d] < self.shape[d] {
+                    break;
+                }
+                idx[d] = 0;
+            }
+        }
+    }
+
+    /// Sum of interior values in f64 (diagnostics).
+    pub fn interior_sum(&self) -> f64 {
+        let mut s = 0.0;
+        self.for_each_interior(|pos| s += self.get(pos).to_f64());
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn padded_layout_and_strides() {
+        let g: Grid<f64> = Grid::zeros(&[4, 6], &[1, 2]);
+        assert_eq!(g.padded, vec![6, 10]);
+        assert_eq!(g.strides, vec![10, 1]);
+        assert_eq!(g.as_slice().len(), 60);
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut g: Grid<f64> = Grid::zeros(&[3, 3, 3], &[1, 1, 1]);
+        g.set(&[0, 1, 2], 7.5);
+        assert_eq!(g.get(&[0, 1, 2]), 7.5);
+        assert_eq!(g.get(&[0, 1, 1]), 0.0);
+    }
+
+    #[test]
+    fn get_rel_reads_halo() {
+        let mut g: Grid<f64> = Grid::zeros(&[2, 2], &[1, 1]);
+        // Write into the halo through the raw buffer: padded coord (0,1)
+        // is halo row above interior (0,0).
+        let lin = 1;
+        g.as_mut_slice()[lin] = 9.0;
+        assert_eq!(g.get_rel(&[0, 0], &[-1, 0]), 9.0);
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let a: Grid<f64> = Grid::random(&[8, 8], &[1, 1], 42);
+        let b: Grid<f64> = Grid::random(&[8, 8], &[1, 1], 42);
+        let c: Grid<f64> = Grid::random(&[8, 8], &[1, 1], 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn from_fn_fills_interior_and_clamps_halo() {
+        let g: Grid<f64> = Grid::from_fn(&[3, 3], &[1, 1], |p| (p[0] * 3 + p[1]) as f64);
+        assert_eq!(g.get(&[2, 2]), 8.0);
+        // Halo above (0,0) clamps to interior (0,0).
+        assert_eq!(g.get_rel(&[0, 0], &[-1, 0]), 0.0);
+        // Halo beyond (2,2) clamps to interior (2,2).
+        assert_eq!(g.get_rel(&[2, 2], &[1, 1]), 8.0);
+    }
+
+    #[test]
+    fn interior_iteration_covers_all_points() {
+        let g: Grid<f32> = Grid::zeros(&[3, 4, 5], &[1, 1, 1]);
+        let mut count = 0;
+        g.for_each_interior(|_| count += 1);
+        assert_eq!(count, 60);
+        assert_eq!(g.interior_len(), 60);
+    }
+
+    #[test]
+    fn f32_grid_truncates() {
+        let g: Grid<f32> = Grid::from_fn(&[1], &[0], |_| 1.0 + 1e-12);
+        assert_eq!(g.get(&[0]), 1.0f32);
+    }
+
+    #[test]
+    fn index_accounts_for_halo() {
+        let g: Grid<f64> = Grid::zeros(&[2, 2], &[2, 2]);
+        // interior (0,0) sits at padded (2,2): 2*6 + 2 = 14.
+        assert_eq!(g.index(&[0, 0]), 14);
+    }
+}

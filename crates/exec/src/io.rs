@@ -1,0 +1,141 @@
+//! Binary grid I/O: a small self-describing format (magic, dims, halo,
+//! element width, raw little-endian payload) so generated C programs,
+//! the `mscc` driver, and downstream tooling can exchange grid states —
+//! the role of the paper's `/data/rand.data` input files.
+
+use crate::grid::{Grid, Scalar};
+use msc_core::error::{MscError, Result};
+use std::io::{Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"MSCGRID1";
+
+fn io_err(e: std::io::Error) -> MscError {
+    MscError::InvalidConfig(format!("grid I/O failed: {e}"))
+}
+
+/// Write the full padded buffer of `grid` to `path`.
+pub fn save<T: Scalar>(grid: &Grid<T>, path: &Path) -> Result<()> {
+    let mut f = std::fs::File::create(path).map_err(io_err)?;
+    f.write_all(MAGIC).map_err(io_err)?;
+    let ndim = grid.ndim() as u64;
+    f.write_all(&ndim.to_le_bytes()).map_err(io_err)?;
+    for d in 0..grid.ndim() {
+        f.write_all(&(grid.shape[d] as u64).to_le_bytes())
+            .map_err(io_err)?;
+        f.write_all(&(grid.halo[d] as u64).to_le_bytes())
+            .map_err(io_err)?;
+    }
+    let elem = std::mem::size_of::<T>() as u64;
+    f.write_all(&elem.to_le_bytes()).map_err(io_err)?;
+    // Payload: elements as little-endian f64/f32 bit patterns.
+    let mut buf = Vec::with_capacity(grid.as_slice().len() * elem as usize);
+    for v in grid.as_slice() {
+        if elem == 8 {
+            buf.extend_from_slice(&v.to_f64().to_le_bytes());
+        } else {
+            buf.extend_from_slice(&(v.to_f64() as f32).to_le_bytes());
+        }
+    }
+    f.write_all(&buf).map_err(io_err)
+}
+
+/// Load a grid previously written by [`save`]. The element width in the
+/// file must match `T`.
+pub fn load<T: Scalar>(path: &Path) -> Result<Grid<T>> {
+    let mut f = std::fs::File::open(path).map_err(io_err)?;
+    let mut magic = [0u8; 8];
+    f.read_exact(&mut magic).map_err(io_err)?;
+    if &magic != MAGIC {
+        return Err(MscError::InvalidConfig(format!(
+            "{} is not an MSC grid file",
+            path.display()
+        )));
+    }
+    let mut u64buf = [0u8; 8];
+    let mut read_u64 = |f: &mut std::fs::File| -> Result<u64> {
+        f.read_exact(&mut u64buf).map_err(io_err)?;
+        Ok(u64::from_le_bytes(u64buf))
+    };
+    let ndim = read_u64(&mut f)? as usize;
+    if ndim == 0 || ndim > 3 {
+        return Err(MscError::InvalidConfig(format!("bad rank {ndim}")));
+    }
+    let mut shape = Vec::with_capacity(ndim);
+    let mut halo = Vec::with_capacity(ndim);
+    for _ in 0..ndim {
+        shape.push(read_u64(&mut f)? as usize);
+        halo.push(read_u64(&mut f)? as usize);
+    }
+    let elem = read_u64(&mut f)? as usize;
+    if elem != std::mem::size_of::<T>() {
+        return Err(MscError::InvalidConfig(format!(
+            "element width {elem} in file, {} requested",
+            std::mem::size_of::<T>()
+        )));
+    }
+    let mut grid: Grid<T> = Grid::zeros(&shape, &halo);
+    let n = grid.as_slice().len();
+    let mut payload = vec![0u8; n * elem];
+    f.read_exact(&mut payload).map_err(io_err)?;
+    for (i, v) in grid.as_mut_slice().iter_mut().enumerate() {
+        let b = &payload[i * elem..(i + 1) * elem];
+        *v = if elem == 8 {
+            T::from_f64(f64::from_le_bytes(b.try_into().unwrap()))
+        } else {
+            T::from_f64(f32::from_le_bytes(b.try_into().unwrap()) as f64)
+        };
+    }
+    Ok(grid)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("msc_io_{name}"))
+    }
+
+    #[test]
+    fn roundtrip_f64_3d() {
+        let g: Grid<f64> = Grid::random(&[6, 7, 8], &[1, 2, 1], 9);
+        let p = tmp("a.grid");
+        save(&g, &p).unwrap();
+        let g2: Grid<f64> = load(&p).unwrap();
+        assert_eq!(g, g2);
+        let _ = std::fs::remove_file(&p);
+    }
+
+    #[test]
+    fn roundtrip_f32() {
+        let g: Grid<f32> = Grid::random(&[10, 10], &[2, 2], 3);
+        let p = tmp("b.grid");
+        save(&g, &p).unwrap();
+        let g2: Grid<f32> = load(&p).unwrap();
+        assert_eq!(g, g2);
+        let _ = std::fs::remove_file(&p);
+    }
+
+    #[test]
+    fn element_width_mismatch_rejected() {
+        let g: Grid<f64> = Grid::random(&[4], &[1], 1);
+        let p = tmp("c.grid");
+        save(&g, &p).unwrap();
+        assert!(load::<f32>(&p).is_err());
+        let _ = std::fs::remove_file(&p);
+    }
+
+    #[test]
+    fn garbage_file_rejected() {
+        let p = tmp("d.grid");
+        std::fs::write(&p, b"not a grid").unwrap();
+        assert!(load::<f64>(&p).is_err());
+        let _ = std::fs::remove_file(&p);
+    }
+
+    #[test]
+    fn missing_file_is_an_error_not_a_panic() {
+        assert!(load::<f64>(&tmp("missing.grid")).is_err());
+    }
+}

@@ -1,0 +1,450 @@
+//! Overlapped temporal tiling (paper §2.1, refs [16, 21]): each staged
+//! tile advances `tt` timesteps locally before writing back, recomputing
+//! a shrinking (trapezoid) halo region redundantly so tiles stay
+//! independent. The grid is traversed once per `tt` steps instead of once
+//! per step — the classic trade of redundant flops for memory traffic.
+//!
+//! Restrictions: a single temporal dependency (`dt = 1`) and Dirichlet
+//! boundaries — multi-`dt` stencils would need several in-flight local
+//! states per tile.
+
+use crate::compiled::CompiledStencil;
+use crate::grid::{Grid, GridLayout, Scalar};
+use msc_core::error::{MscError, Result};
+use msc_core::prelude::*;
+use msc_core::schedule::plan::{ExecPlan, TileRange};
+
+/// Statistics of a temporally tiled run.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct TemporalStats {
+    pub steps: usize,
+    pub blocks: usize,
+    /// Stencil point-updates actually computed (≥ steps × grid points).
+    pub computed_points: u64,
+    /// The redundant-computation factor: computed / (steps × points).
+    pub redundancy: f64,
+}
+
+struct SendPtr<T>(*mut T);
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+/// Per-dimension staged range and per-step compute regions of one tile.
+struct TileGeometry {
+    /// Staged range in padded coordinates `[ps, pe)` per dim.
+    ps: Vec<usize>,
+    pe: Vec<usize>,
+    /// Local buffer strides.
+    strides: Vec<usize>,
+    len: usize,
+}
+
+impl TileGeometry {
+    fn new(tile: &TileRange, layout: &GridLayout, reach: &[usize], tt: usize) -> TileGeometry {
+        let ndim = layout.ndim();
+        let mut ps = vec![0usize; ndim];
+        let mut pe = vec![0usize; ndim];
+        for d in 0..ndim {
+            let h = layout.halo[d];
+            let lo = (tile.origin[d] + h).saturating_sub(tt * reach[d] + reach[d]);
+            let hi = (tile.origin[d] + tile.extent[d] + h + tt * reach[d] + reach[d])
+                .min(layout.padded[d]);
+            ps[d] = lo;
+            pe[d] = hi;
+        }
+        let shape: Vec<usize> = (0..ndim).map(|d| pe[d] - ps[d]).collect();
+        let mut strides = vec![1usize; ndim];
+        for d in (0..ndim.saturating_sub(1)).rev() {
+            strides[d] = strides[d + 1] * shape[d + 1];
+        }
+        let len = shape.iter().product();
+        TileGeometry {
+            ps,
+            pe,
+            strides,
+            len,
+        }
+    }
+
+    /// Compute region for local step `s` (1-based) of `tt`, in padded
+    /// coordinates: the tile grown by `(tt - s) * reach`, clamped to the
+    /// interior.
+    fn compute_region(
+        &self,
+        tile: &TileRange,
+        layout: &GridLayout,
+        reach: &[usize],
+        tt: usize,
+        s: usize,
+    ) -> (Vec<usize>, Vec<usize>) {
+        let ndim = layout.ndim();
+        let grow = tt - s;
+        let mut lo = vec![0usize; ndim];
+        let mut hi = vec![0usize; ndim];
+        for d in 0..ndim {
+            let h = layout.halo[d];
+            lo[d] = (tile.origin[d] + h).saturating_sub(grow * reach[d]).max(h);
+            hi[d] = (tile.origin[d] + tile.extent[d] + h + grow * reach[d])
+                .min(h + layout.shape[d]);
+        }
+        (lo, hi)
+    }
+}
+
+/// Copy a padded-coordinate box between the global buffer and a local
+/// buffer (`to_local` selects direction).
+fn copy_box<T: Scalar>(
+    global: &mut [T],
+    local: &mut [T],
+    layout: &GridLayout,
+    geo: &TileGeometry,
+    lo: &[usize],
+    hi: &[usize],
+    to_local: bool,
+) {
+    let ndim = layout.ndim();
+    let row = hi[ndim - 1] - lo[ndim - 1];
+    if row == 0 {
+        return;
+    }
+    let mut c = lo.to_vec();
+    loop {
+        let g: usize = (0..ndim).map(|d| c[d] * layout.strides[d]).sum();
+        let l: usize = (0..ndim).map(|d| (c[d] - geo.ps[d]) * geo.strides[d]).sum();
+        if to_local {
+            local[l..l + row].copy_from_slice(&global[g..g + row]);
+        } else {
+            global[g..g + row].copy_from_slice(&local[l..l + row]);
+        }
+        let mut d = ndim - 1;
+        loop {
+            if d == 0 {
+                return;
+            }
+            d -= 1;
+            c[d] += 1;
+            if c[d] < hi[d] {
+                break;
+            }
+            c[d] = lo[d];
+        }
+    }
+}
+
+/// Run `program` with overlapped temporal tiling of depth `tt`. Returns
+/// the final state (bit-identical to [`crate::driver::run_program`]) and
+/// the redundancy accounting.
+pub fn run_temporal_tiled<T: Scalar>(
+    program: &StencilProgram,
+    plan: &ExecPlan,
+    tt: usize,
+    init: &Grid<T>,
+) -> Result<(Grid<T>, TemporalStats)> {
+    let compiled = CompiledStencil::compile(program, init)?;
+    if compiled.max_dt != 1 {
+        return Err(MscError::UnsupportedExpr(
+            "temporal tiling requires a single t-1 dependency".into(),
+        ));
+    }
+    if tt == 0 {
+        return Err(MscError::InvalidConfig("time tile must be >= 1".into()));
+    }
+    let reach = compiled.reach.clone();
+    let layout = init.layout();
+    let ndim = layout.ndim();
+    let taps = compiled.terms[0]
+        .taps_nd
+        .iter()
+        .map(|(off, c)| (off.clone(), *c))
+        .collect::<Vec<_>>();
+    let weight = compiled.terms[0].weight;
+
+    let tiles = plan.tiles();
+    let n_threads = plan.n_threads.min(tiles.len()).max(1);
+    let mut cur = init.clone();
+    let mut next = init.clone();
+    let mut stats = TemporalStats::default();
+    let mut remaining = program.timesteps;
+
+    while remaining > 0 {
+        let block = tt.min(remaining);
+        let computed = std::sync::atomic::AtomicU64::new(0);
+        {
+            let src = cur.as_slice();
+            let dst_ptr = SendPtr(next.as_mut_slice().as_mut_ptr());
+            let layout_ref = &layout;
+            let tiles_ref = &tiles;
+            let reach_ref = &reach;
+            let taps_ref = &taps;
+            let computed_ref = &computed;
+
+            let work = |my_id: usize| {
+                let dst_ptr = &dst_ptr;
+                let mut local_a: Vec<T> = Vec::new();
+                let mut local_b: Vec<T> = Vec::new();
+                let mut done = 0u64;
+                for tile in tiles_ref.iter().skip(my_id).step_by(n_threads) {
+                    let geo = TileGeometry::new(tile, layout_ref, reach_ref, block);
+                    local_a.clear();
+                    local_a.resize(geo.len, T::default());
+                    local_b.clear();
+                    local_b.resize(geo.len, T::default());
+                    // Stage: copy the whole extended box into BOTH
+                    // ping-pong buffers (untouched cells — the physical
+                    // halo — must be readable in every local step).
+                    let ps = geo.ps.clone();
+                    let pe = geo.pe.clone();
+                    // SAFETY: staging reads from the shared `src`.
+                    {
+                        // Read-only copy: use a local shim over src.
+                        let mut c = ps.clone();
+                        let row = pe[ndim - 1] - ps[ndim - 1];
+                        loop {
+                            let g: usize =
+                                (0..ndim).map(|d| c[d] * layout_ref.strides[d]).sum();
+                            let l: usize = (0..ndim)
+                                .map(|d| (c[d] - geo.ps[d]) * geo.strides[d])
+                                .sum();
+                            local_a[l..l + row].copy_from_slice(&src[g..g + row]);
+                            local_b[l..l + row].copy_from_slice(&src[g..g + row]);
+                            let mut d = ndim - 1;
+                            let mut finished = false;
+                            loop {
+                                if d == 0 {
+                                    finished = true;
+                                    break;
+                                }
+                                d -= 1;
+                                c[d] += 1;
+                                if c[d] < pe[d] {
+                                    break;
+                                }
+                                c[d] = ps[d];
+                            }
+                            if finished {
+                                break;
+                            }
+                        }
+                    }
+
+                    // Local taps against the buffer strides.
+                    let local_taps: Vec<(isize, T)> = taps_ref
+                        .iter()
+                        .map(|(off, c)| {
+                            let lin: isize = off
+                                .iter()
+                                .zip(&geo.strides)
+                                .map(|(&o, &s)| o as isize * s as isize)
+                                .sum();
+                            (lin, *c)
+                        })
+                        .collect();
+
+                    // Ping-pong local steps over shrinking regions.
+                    for s in 1..=block {
+                        let (lo, hi) =
+                            geo.compute_region(tile, layout_ref, reach_ref, block, s);
+                        if (0..ndim).any(|d| lo[d] >= hi[d]) {
+                            continue;
+                        }
+                        let (read, write) = if s % 2 == 1 {
+                            (&local_a, &mut local_b)
+                        } else {
+                            (&local_b, &mut local_a)
+                        };
+                        let row = hi[ndim - 1] - lo[ndim - 1];
+                        let mut c = lo.clone();
+                        loop {
+                            let base: usize = (0..ndim)
+                                .map(|d| (c[d] - geo.ps[d]) * geo.strides[d])
+                                .sum();
+                            for i in 0..row {
+                                let mut acc = T::default();
+                                for &(off, coeff) in &local_taps {
+                                    acc = acc
+                                        + coeff * read[((base + i) as isize + off) as usize];
+                                }
+                                write[base + i] = weight * acc;
+                            }
+                            done += row as u64;
+                            let mut d = ndim - 1;
+                            let mut finished = false;
+                            loop {
+                                if d == 0 {
+                                    finished = true;
+                                    break;
+                                }
+                                d -= 1;
+                                c[d] += 1;
+                                if c[d] < hi[d] {
+                                    break;
+                                }
+                                c[d] = lo[d];
+                            }
+                            if finished {
+                                break;
+                            }
+                        }
+                    }
+
+                    // Write back the tile interior from the final buffer.
+                    let final_buf = if block % 2 == 1 { &local_b } else { &local_a };
+                    let lo: Vec<usize> = (0..ndim)
+                        .map(|d| tile.origin[d] + layout_ref.halo[d])
+                        .collect();
+                    let hi: Vec<usize> = (0..ndim)
+                        .map(|d| lo[d] + tile.extent[d])
+                        .collect();
+                    let row = hi[ndim - 1] - lo[ndim - 1];
+                    let mut c = lo.clone();
+                    loop {
+                        let g: usize = (0..ndim).map(|d| c[d] * layout_ref.strides[d]).sum();
+                        let l: usize = (0..ndim)
+                            .map(|d| (c[d] - geo.ps[d]) * geo.strides[d])
+                            .sum();
+                        // SAFETY: tile interiors are disjoint.
+                        unsafe {
+                            std::ptr::copy_nonoverlapping(
+                                final_buf.as_ptr().add(l),
+                                dst_ptr.0.add(g),
+                                row,
+                            );
+                        }
+                        let mut d = ndim - 1;
+                        let mut finished = false;
+                        loop {
+                            if d == 0 {
+                                finished = true;
+                                break;
+                            }
+                            d -= 1;
+                            c[d] += 1;
+                            if c[d] < hi[d] {
+                                break;
+                            }
+                            c[d] = lo[d];
+                        }
+                        if finished {
+                            break;
+                        }
+                    }
+                }
+                computed_ref.fetch_add(done, std::sync::atomic::Ordering::Relaxed);
+            };
+
+            if n_threads == 1 {
+                work(0);
+            } else {
+                crossbeam::thread::scope(|scope| {
+                    let work = &work;
+                    for my_id in 0..n_threads {
+                        scope.spawn(move |_| work(my_id));
+                    }
+                })
+                .expect("temporal tile worker panicked");
+            }
+        }
+        std::mem::swap(&mut cur, &mut next);
+        // `next` (the old cur) will be fully overwritten tile-by-tile in
+        // the next block; its halo already matches (Dirichlet, never
+        // written).
+        stats.blocks += 1;
+        stats.steps += block;
+        stats.computed_points += computed.load(std::sync::atomic::Ordering::Relaxed);
+        remaining -= block;
+    }
+
+    let ideal = (program.timesteps as u64) * init.interior_len() as u64;
+    stats.redundancy = stats.computed_points as f64 / ideal as f64;
+    let _ = copy_box::<T>; // retained for symmetry / external use
+    Ok((cur, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{run_program, Executor};
+    use msc_core::catalog::{benchmark, BenchmarkId};
+    use msc_core::schedule::Schedule;
+
+    fn single_dep_program(
+        id: BenchmarkId,
+        grid: &[usize],
+        steps: usize,
+    ) -> StencilProgram {
+        let b = benchmark(id);
+        let mut builder = StencilProgram::builder(b.name)
+            .kernel(b.kernel())
+            .combine(&[(1, 1.0, b.name)])
+            .timesteps(steps);
+        builder = match grid.len() {
+            2 => builder.grid_2d("B", DType::F64, [grid[0], grid[1]], b.radius, 2),
+            _ => builder.grid_3d("B", DType::F64, [grid[0], grid[1], grid[2]], b.radius, 2),
+        };
+        builder.build().unwrap()
+    }
+
+    fn plan_for(ndim: usize, grid: &[usize], tile: &[usize], threads: usize) -> ExecPlan {
+        let mut s = Schedule::default();
+        s.tile(tile);
+        s.parallel("xo", threads);
+        ExecPlan::lower(&s, ndim, grid).unwrap()
+    }
+
+    #[test]
+    fn temporal_tiling_is_bit_identical_2d() {
+        let p = single_dep_program(BenchmarkId::S2d9ptBox, &[24, 24], 7);
+        let init: Grid<f64> = Grid::random(&p.grid.shape, &p.grid.halo, 4);
+        let (reference, _) = run_program(&p, &Executor::Reference, &init).unwrap();
+        for tt in [1usize, 2, 3, 7, 10] {
+            let plan = plan_for(2, &[24, 24], &[8, 12], 3);
+            let (out, stats) = run_temporal_tiled(&p, &plan, tt, &init).unwrap();
+            assert_eq!(out.as_slice(), reference.as_slice(), "tt={tt}");
+            assert_eq!(stats.steps, 7);
+        }
+    }
+
+    #[test]
+    fn temporal_tiling_is_bit_identical_3d_star() {
+        let p = single_dep_program(BenchmarkId::S3d13ptStar, &[14, 14, 14], 5);
+        let init: Grid<f64> = Grid::random(&p.grid.shape, &p.grid.halo, 6);
+        let (reference, _) = run_program(&p, &Executor::Reference, &init).unwrap();
+        let plan = plan_for(3, &[14, 14, 14], &[7, 7, 14], 4);
+        let (out, _) = run_temporal_tiled(&p, &plan, 3, &init).unwrap();
+        assert_eq!(out.as_slice(), reference.as_slice());
+    }
+
+    #[test]
+    fn redundancy_grows_with_time_tile_depth() {
+        let p = single_dep_program(BenchmarkId::S2d9ptBox, &[32, 32], 8);
+        let init: Grid<f64> = Grid::random(&p.grid.shape, &p.grid.halo, 1);
+        let plan = plan_for(2, &[32, 32], &[8, 8], 2);
+        let (_, s1) = run_temporal_tiled(&p, &plan, 1, &init).unwrap();
+        let (_, s4) = run_temporal_tiled(&p, &plan, 4, &init).unwrap();
+        assert!((s1.redundancy - 1.0).abs() < 1e-12, "{}", s1.redundancy);
+        assert!(s4.redundancy > 1.2, "{}", s4.redundancy);
+        assert_eq!(s1.blocks, 8);
+        assert_eq!(s4.blocks, 2);
+    }
+
+    #[test]
+    fn multi_dt_stencils_are_rejected() {
+        let b = benchmark(BenchmarkId::S2d9ptBox);
+        let p = b.program(&[16, 16], DType::F64, 4).unwrap(); // two deps
+        let init: Grid<f64> = Grid::zeros(&p.grid.shape, &p.grid.halo);
+        let plan = plan_for(2, &[16, 16], &[8, 8], 1);
+        assert!(run_temporal_tiled(&p, &plan, 2, &init).is_err());
+    }
+
+    #[test]
+    fn partial_final_block_is_handled() {
+        // 5 steps with tt=3: blocks of 3 + 2.
+        let p = single_dep_program(BenchmarkId::S2d9ptStar, &[20, 20], 5);
+        let init: Grid<f64> = Grid::random(&p.grid.shape, &p.grid.halo, 11);
+        let (reference, _) = run_program(&p, &Executor::Reference, &init).unwrap();
+        let plan = plan_for(2, &[20, 20], &[10, 10], 2);
+        let (out, stats) = run_temporal_tiled(&p, &plan, 3, &init).unwrap();
+        assert_eq!(out.as_slice(), reference.as_slice());
+        assert_eq!(stats.blocks, 2);
+    }
+}

@@ -1,0 +1,175 @@
+//! The scheduled executor: tiles from the kernel's `ExecPlan`, executed by
+//! a pool of worker threads with the paper's round-robin task striping
+//! (`mod(task_id, n_threads) == my_id`, Figure 4(d)).
+
+use crate::compiled::CompiledStencil;
+use crate::grid::{Grid, GridLayout, Scalar};
+use msc_core::schedule::plan::{ExecPlan, TileRange};
+
+/// Raw mutable pointer that may cross threads. Safety: workers write
+/// disjoint tiles (the tile set partitions the interior, verified by
+/// `msc_core::schedule::plan` tests), so no two threads touch the same
+/// element.
+struct SendPtr<T>(*mut T);
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+/// Compute one tile into `out_ptr` (the padded output buffer).
+fn compute_tile<T: Scalar>(
+    stencil: &CompiledStencil<T>,
+    states: &[&[T]],
+    out: &GridLayout,
+    out_ptr: *mut T,
+    tile: &TileRange,
+) {
+    let ndim = out.ndim();
+    let inner_extent = tile.extent[ndim - 1];
+    let mut pos = tile.origin.clone();
+    loop {
+        pos[ndim - 1] = tile.origin[ndim - 1];
+        let base = out.index(&pos);
+        for i in 0..inner_extent {
+            let v = stencil.apply_at(states, base + i);
+            // SAFETY: `base + i` indexes this tile's row, disjoint from
+            // every other tile.
+            unsafe { *out_ptr.add(base + i) = v };
+        }
+        let mut d = ndim - 1;
+        loop {
+            if d == 0 {
+                return;
+            }
+            d -= 1;
+            pos[d] += 1;
+            if pos[d] < tile.origin[d] + tile.extent[d] {
+                break;
+            }
+            pos[d] = tile.origin[d];
+        }
+    }
+}
+
+/// Perform one timestep using the plan's tiling and threading.
+///
+/// Returns the number of tiles executed.
+pub fn step<T: Scalar>(
+    stencil: &CompiledStencil<T>,
+    plan: &ExecPlan,
+    states: &[&Grid<T>],
+    out: &mut Grid<T>,
+) -> usize {
+    let tiles = plan.tiles();
+    let n_threads = plan.n_threads.min(tiles.len()).max(1);
+    let state_slices: Vec<&[T]> = states.iter().map(|g| g.as_slice()).collect();
+    let layout = out.layout();
+    let ptr = SendPtr(out.as_mut_slice().as_mut_ptr());
+
+    if n_threads == 1 {
+        for tile in &tiles {
+            compute_tile(stencil, &state_slices, &layout, ptr.0, tile);
+        }
+        return tiles.len();
+    }
+
+    crossbeam::thread::scope(|scope| {
+        let ptr_ref = &ptr;
+        let tiles_ref = &tiles;
+        let states_ref = &state_slices;
+        let layout_ref = &layout;
+        for my_id in 0..n_threads {
+            scope.spawn(move |_| {
+                // Round-robin striping: task_id % n_threads == my_id.
+                for tile in tiles_ref.iter().skip(my_id).step_by(n_threads) {
+                    compute_tile(stencil, states_ref, layout_ref, ptr_ref.0, tile);
+                }
+            });
+        }
+    })
+    .expect("tile worker panicked");
+    tiles.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use crate::verify::max_rel_error;
+    use msc_core::catalog::{all_benchmarks, benchmark, BenchmarkId};
+    use msc_core::prelude::*;
+    use msc_core::schedule::Schedule;
+
+    fn plan_for(p: &StencilProgram, tile: &[usize], threads: usize) -> ExecPlan {
+        let mut s = Schedule::default();
+        s.tile(tile);
+        s.parallel("xo", threads);
+        ExecPlan::lower(&s, p.grid.ndim(), &p.grid.shape).unwrap()
+    }
+
+    #[test]
+    fn tiled_matches_reference_3d() {
+        let p = benchmark(BenchmarkId::S3d13ptStar)
+            .program(&[16, 16, 16], DType::F64, 1)
+            .unwrap();
+        let init: Grid<f64> = Grid::random(&p.grid.shape, &p.grid.halo, 7);
+        let c = CompiledStencil::compile(&p, &init).unwrap();
+        let mut ref_out = init.clone();
+        reference::step(&c, &[&init, &init], &mut ref_out);
+        let plan = plan_for(&p, &[4, 8, 16], 4);
+        let mut tiled_out = init.clone();
+        let n = step(&c, &plan, &[&init, &init], &mut tiled_out);
+        assert_eq!(n, plan.num_tiles());
+        assert_eq!(max_rel_error(&tiled_out, &ref_out), 0.0);
+    }
+
+    #[test]
+    fn tiled_matches_reference_all_benchmarks_single_step() {
+        for b in all_benchmarks() {
+            let grid = b.test_grid();
+            let p = b.program(&grid, DType::F64, 1).unwrap();
+            let init: Grid<f64> = Grid::random(&p.grid.shape, &p.grid.halo, 11);
+            let c = CompiledStencil::compile(&p, &init).unwrap();
+            let mut ref_out = init.clone();
+            reference::step(&c, &[&init, &init], &mut ref_out);
+            let tile: Vec<usize> = grid.iter().map(|&g| (g / 3).max(1)).collect();
+            let plan = plan_for(&p, &tile, 8);
+            let mut t_out = init.clone();
+            step(&c, &plan, &[&init, &init], &mut t_out);
+            assert_eq!(max_rel_error(&t_out, &ref_out), 0.0, "{}", b.name);
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let p = benchmark(BenchmarkId::S2d9ptStar)
+            .program(&[32, 32], DType::F64, 1)
+            .unwrap();
+        let init: Grid<f64> = Grid::random(&p.grid.shape, &p.grid.halo, 3);
+        let c = CompiledStencil::compile(&p, &init).unwrap();
+        let mut outs = Vec::new();
+        for threads in [1, 2, 7, 64] {
+            let plan = plan_for(&p, &[8, 8], threads);
+            let mut out = init.clone();
+            step(&c, &plan, &[&init, &init], &mut out);
+            outs.push(out);
+        }
+        for o in &outs[1..] {
+            assert_eq!(o.as_slice(), outs[0].as_slice());
+        }
+    }
+
+    #[test]
+    fn remainder_tiles_are_computed() {
+        // 10x10 grid with 3x4 tiles exercises clamped tiles.
+        let p = benchmark(BenchmarkId::S2d9ptBox)
+            .program(&[10, 10], DType::F64, 1)
+            .unwrap();
+        let init: Grid<f64> = Grid::random(&p.grid.shape, &p.grid.halo, 5);
+        let c = CompiledStencil::compile(&p, &init).unwrap();
+        let mut ref_out = init.clone();
+        reference::step(&c, &[&init, &init], &mut ref_out);
+        let plan = plan_for(&p, &[3, 4], 3);
+        let mut out = init.clone();
+        step(&c, &plan, &[&init, &init], &mut out);
+        assert_eq!(out.as_slice(), ref_out.as_slice());
+    }
+}

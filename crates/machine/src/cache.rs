@@ -1,0 +1,108 @@
+//! Cache hierarchy model for coherent many-cores (Matrix MT2000+, Xeon).
+//!
+//! Stencil sweeps are bandwidth-bound; what differs between machines and
+//! schedules is how much DRAM traffic the cache filters out. The model
+//! charges compulsory traffic (one read + one write per point) when the
+//! stencil's working set fits the last-level capacity available to a
+//! core, degrading smoothly toward one miss per stencil tap when it does
+//! not.
+
+/// Analytic cache model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheModel {
+    /// Private L1 data capacity per core, bytes.
+    pub l1_bytes: usize,
+    /// Last-level capacity *available per core* (shared capacity divided
+    /// by sharers), bytes.
+    pub llc_bytes_per_core: usize,
+    /// Cache line size, bytes.
+    pub line_bytes: usize,
+}
+
+impl CacheModel {
+    /// Multiplier on compulsory *read* traffic for a stencil streaming a
+    /// window of `window_rows` rows (the `2r+1` planes a stencil keeps
+    /// live), each of `row_bytes` bytes.
+    ///
+    /// When the whole window fits in the core's cache share, each row is
+    /// fetched from DRAM exactly once (amplification 1.0). When only `h`
+    /// rows fit, each step of the stream re-fetches the `window_rows - h`
+    /// evicted rows in addition to the one compulsory new row.
+    pub fn read_amplification(&self, window_rows: usize, row_bytes: f64) -> f64 {
+        let cap = self.llc_bytes_per_core as f64;
+        let held = (cap / row_bytes.max(1.0)).floor();
+        let w = window_rows as f64;
+        if held >= w {
+            1.0
+        } else {
+            (w - held + 1.0).min(w).max(1.0)
+        }
+    }
+
+    /// Traffic multiplier for scattered single-element accesses: the full
+    /// line is moved for `elem_bytes` of payload.
+    pub fn line_amplification(&self, elem_bytes: usize) -> f64 {
+        self.line_bytes as f64 / elem_bytes as f64
+    }
+
+    /// Working set of one stencil row-window: the `2r+1` rows (2D) or
+    /// planes (3D) the stencil keeps live while streaming, each of
+    /// `row_bytes` bytes.
+    pub fn stencil_working_set(radius: usize, row_bytes: f64) -> f64 {
+        (2 * radius + 1) as f64 * row_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache() -> CacheModel {
+        CacheModel {
+            l1_bytes: 32 * 1024,
+            llc_bytes_per_core: 512 * 1024,
+            line_bytes: 64,
+        }
+    }
+
+    #[test]
+    fn fitting_window_is_compulsory_only() {
+        let c = cache();
+        // 13 rows of 16 KB = 208 KB < 512 KB share.
+        assert_eq!(c.read_amplification(13, 16.0 * 1024.0), 1.0);
+    }
+
+    #[test]
+    fn amplification_counts_evicted_rows() {
+        let c = cache();
+        // 13 rows of 64 KB: only 8 fit -> 13 - 8 + 1 = 6 fetches per row.
+        assert_eq!(c.read_amplification(13, 64.0 * 1024.0), 6.0);
+    }
+
+    #[test]
+    fn amplification_bounded_by_window() {
+        let c = cache();
+        // Rows far larger than the cache: every window row misses.
+        assert_eq!(c.read_amplification(13, 1e9), 13.0);
+    }
+
+    #[test]
+    fn amplification_monotone_in_row_bytes() {
+        let c = cache();
+        let a1 = c.read_amplification(13, 40.0 * 1024.0);
+        let a2 = c.read_amplification(13, 80.0 * 1024.0);
+        assert!(a1 <= a2);
+    }
+
+    #[test]
+    fn line_amplification_for_doubles() {
+        assert_eq!(cache().line_amplification(8), 8.0);
+    }
+
+    #[test]
+    fn working_set_scales_with_radius() {
+        let row = 4096.0 * 8.0;
+        assert_eq!(CacheModel::stencil_working_set(1, row), 3.0 * row);
+        assert_eq!(CacheModel::stencil_working_set(6, row), 13.0 * row);
+    }
+}

@@ -1,0 +1,77 @@
+//! DMA engine model for cache-less many-cores (Sunway CPE clusters).
+//!
+//! CPEs reach main memory through DMA block transfers; throughput depends
+//! heavily on transfer size (startup cost) and contiguity (coalescing —
+//! the earthquake-simulation Gordon Bell work the paper cites leaned on
+//! coalesced DMA for exactly this reason).
+
+/// Analytic DMA model: `time = startup + bytes / bw`, with an efficiency
+/// penalty for strided (non-contiguous) transfers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DmaEngine {
+    /// Peak aggregate DMA bandwidth of the core cluster, GB/s.
+    pub bw_gbps: f64,
+    /// Per-transfer startup latency, microseconds.
+    pub startup_us: f64,
+    /// Efficiency multiplier for strided transfers in (0, 1].
+    pub strided_efficiency: f64,
+}
+
+impl DmaEngine {
+    /// Seconds to transfer `bytes` contiguously.
+    pub fn contiguous_time_s(&self, bytes: f64) -> f64 {
+        self.startup_us * 1e-6 + bytes / (self.bw_gbps * 1e9)
+    }
+
+    /// Seconds to transfer `bytes` as `rows` separate contiguous rows
+    /// (2D/3D tile reads): each row pays startup, and the stream runs at
+    /// strided efficiency.
+    pub fn tile_time_s(&self, bytes: f64, rows: usize) -> f64 {
+        let eff_bw = self.bw_gbps * self.strided_efficiency;
+        self.startup_us * 1e-6 * rows as f64 + bytes / (eff_bw * 1e9)
+    }
+
+    /// Effective bandwidth (GB/s) achieved moving `bytes` in `rows` rows.
+    pub fn effective_bw_gbps(&self, bytes: f64, rows: usize) -> f64 {
+        bytes / self.tile_time_s(bytes, rows) / 1e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dma() -> DmaEngine {
+        DmaEngine {
+            bw_gbps: 28.0,
+            startup_us: 0.5,
+            strided_efficiency: 0.85,
+        }
+    }
+
+    #[test]
+    fn contiguous_time_has_startup_floor() {
+        let d = dma();
+        assert!(d.contiguous_time_s(0.0) > 0.0);
+        let t1 = d.contiguous_time_s(1e6);
+        let t2 = d.contiguous_time_s(2e6);
+        assert!(t2 > t1);
+        assert!(t2 < 2.0 * t1); // startup amortizes
+    }
+
+    #[test]
+    fn more_rows_cost_more() {
+        let d = dma();
+        assert!(d.tile_time_s(1e6, 64) > d.tile_time_s(1e6, 8));
+    }
+
+    #[test]
+    fn effective_bw_below_peak_and_grows_with_size() {
+        let d = dma();
+        let small = d.effective_bw_gbps(8.0 * 1024.0, 8);
+        let large = d.effective_bw_gbps(8.0 * 1024.0 * 1024.0, 8);
+        assert!(small < large);
+        assert!(large < d.bw_gbps);
+        assert!(large > 0.5 * d.bw_gbps);
+    }
+}

@@ -1,0 +1,27 @@
+//! # msc-machine — architectural models of the paper's platforms
+//!
+//! The paper evaluates MSC on hardware we cannot access (Sunway SW26010
+//! core groups on TaihuLight, Matrix MT2000+ nodes on the prototype
+//! Tianhe-3, and a two-socket Xeon E5-2680v4 server). This crate models
+//! those machines: core counts, frequencies, peak flops, memory systems
+//! (64 KB scratchpad + DMA on Sunway, coherent caches on Matrix/Xeon),
+//! and the interconnects between nodes.
+//!
+//! The models are *analytic*: the timing simulator (`msc-sim`) charges
+//! compute and memory traffic against them deterministically, which is
+//! what lets the repository reproduce the paper's figures on any host.
+//! See DESIGN.md §2 for the substitution rationale.
+
+pub mod cache;
+pub mod dma;
+pub mod model;
+pub mod network;
+pub mod presets;
+pub mod roofline;
+
+pub use cache::CacheModel;
+pub use dma::DmaEngine;
+pub use model::{MachineModel, MemorySystem, Precision};
+pub use network::NetworkModel;
+pub use presets::{matrix_processor, sunway_cg, sunway_node, tianhe3_network, taihulight_network, xeon_server};
+pub use roofline::Roofline;

@@ -1,0 +1,167 @@
+//! Core machine description: compute throughput plus a memory system.
+
+use crate::cache::CacheModel;
+use crate::dma::DmaEngine;
+
+/// Floating-point precision of a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Precision {
+    Fp32,
+    Fp64,
+}
+
+impl Precision {
+    pub fn bytes(self) -> usize {
+        match self {
+            Precision::Fp32 => 4,
+            Precision::Fp64 => 8,
+        }
+    }
+}
+
+/// The memory system attached to the compute cores.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MemorySystem {
+    /// Cache-less cores with software-managed scratchpad memory and a DMA
+    /// engine (Sunway CPEs). `direct_bw_gbps` is the effective bandwidth
+    /// of discrete global loads/stores issued directly by the cores —
+    /// the path OpenACC-style code takes — which on SW26010 is an order
+    /// of magnitude below DMA bandwidth.
+    Scratchpad {
+        spm_bytes_per_core: usize,
+        dma: DmaEngine,
+        direct_bw_gbps: f64,
+    },
+    /// Cache-coherent hierarchy (Matrix, Xeon).
+    Cache(CacheModel),
+}
+
+/// An analytic model of one processor (or one Sunway core group).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineModel {
+    pub name: &'static str,
+    /// Compute cores participating in kernels (CPEs, Matrix cores, Xeon
+    /// cores).
+    pub cores: usize,
+    pub freq_ghz: f64,
+    /// Double-precision flops per core per cycle.
+    pub flops_per_cycle_fp64: f64,
+    /// Ratio of fp32 to fp64 throughput (2.0 for packed-SIMD machines).
+    pub fp32_ratio: f64,
+    /// Aggregate DRAM bandwidth available to this model, GB/s.
+    pub mem_bw_gbps: f64,
+    /// Fraction of peak flops stencil inner loops sustain (instruction
+    /// mix, dependency chains, no perfect FMA balance). Peak figures stay
+    /// untouched for rooflines; the simulator charges sustained compute.
+    pub compute_efficiency: f64,
+    pub memory: MemorySystem,
+}
+
+impl MachineModel {
+    /// Peak floating-point throughput in GFlop/s for a precision.
+    pub fn peak_gflops(&self, prec: Precision) -> f64 {
+        let fp64 = self.cores as f64 * self.freq_ghz * self.flops_per_cycle_fp64;
+        match prec {
+            Precision::Fp64 => fp64,
+            Precision::Fp32 => fp64 * self.fp32_ratio,
+        }
+    }
+
+    /// Time in seconds to execute `flops` at the *sustained* stencil rate
+    /// (peak × compute efficiency).
+    pub fn compute_time_s(&self, flops: f64, prec: Precision) -> f64 {
+        flops / (self.peak_gflops(prec) * self.compute_efficiency * 1e9)
+    }
+
+    /// Time in seconds to move `bytes` over DRAM at full bandwidth.
+    pub fn mem_time_s(&self, bytes: f64) -> f64 {
+        bytes / (self.mem_bw_gbps * 1e9)
+    }
+
+    /// Scratchpad capacity per core, if the machine has one.
+    pub fn spm_bytes(&self) -> Option<usize> {
+        match &self.memory {
+            MemorySystem::Scratchpad {
+                spm_bytes_per_core, ..
+            } => Some(*spm_bytes_per_core),
+            MemorySystem::Cache(_) => None,
+        }
+    }
+
+    /// Whether kernels must be staged through SPM via DMA.
+    pub fn is_cacheless(&self) -> bool {
+        matches!(self.memory, MemorySystem::Scratchpad { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets::*;
+
+    #[test]
+    fn sunway_cg_peak_matches_paper() {
+        // SW26010: 3.06 TFlops over 4 CGs -> ~742-765 GFlops per CG of
+        // CPE throughput (64 CPEs x 1.45 GHz x 8 flops/cycle).
+        let m = sunway_cg();
+        let peak = m.peak_gflops(Precision::Fp64);
+        assert!((peak - 742.4).abs() < 1.0, "peak = {peak}");
+    }
+
+    #[test]
+    fn matrix_chip_peak_matches_paper() {
+        // Full MT2000+: 128 cores x 2.0 GHz x 8 flops/cycle = 2048 GFlops
+        // ("around 2.048 TFlops", paper §2.2). Our preset models the
+        // 32-core supernode allocation: a quarter of that.
+        let m = matrix_processor();
+        let peak = m.peak_gflops(Precision::Fp64);
+        assert!((peak * 4.0 - 2048.0).abs() < 1.0, "peak = {peak}");
+    }
+
+    #[test]
+    fn xeon_peak() {
+        // 28 cores x 2.4 GHz x 16 dp flops/cycle (AVX2 FMA) ~ 1075 GFlops.
+        let m = xeon_server();
+        let peak = m.peak_gflops(Precision::Fp64);
+        assert!((peak - 1075.2).abs() < 1.0, "peak = {peak}");
+    }
+
+    #[test]
+    fn fp32_doubles_throughput() {
+        let m = sunway_cg();
+        assert_eq!(
+            m.peak_gflops(Precision::Fp32),
+            2.0 * m.peak_gflops(Precision::Fp64)
+        );
+    }
+
+    #[test]
+    fn compute_and_mem_times() {
+        let m = sunway_cg();
+        let t = m.compute_time_s(m.peak_gflops(Precision::Fp64) * 1e9, Precision::Fp64);
+        assert!((t - 1.0 / m.compute_efficiency).abs() < 1e-9);
+        let tm = m.mem_time_s(m.mem_bw_gbps * 1e9);
+        assert!((tm - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sustained_rate_is_a_proper_fraction_of_peak() {
+        for m in [sunway_cg(), matrix_processor(), xeon_server()] {
+            assert!(m.compute_efficiency > 0.0 && m.compute_efficiency <= 1.0);
+        }
+    }
+
+    #[test]
+    fn sunway_is_cacheless_matrix_is_not() {
+        assert!(sunway_cg().is_cacheless());
+        assert_eq!(sunway_cg().spm_bytes(), Some(64 * 1024));
+        assert!(!matrix_processor().is_cacheless());
+        assert_eq!(matrix_processor().spm_bytes(), None);
+    }
+
+    #[test]
+    fn precision_bytes() {
+        assert_eq!(Precision::Fp32.bytes(), 4);
+        assert_eq!(Precision::Fp64.bytes(), 8);
+    }
+}

@@ -1,0 +1,152 @@
+//! Interconnect model for multi-node (MPI) runs.
+//!
+//! Halo exchange in MSC is fully asynchronous (paper §4.4): every process
+//! posts isend/irecv to all neighbours and the exchange completes when the
+//! slowest link drains. The model therefore charges, per exchange round:
+//! per-message latency, payload over link bandwidth, and a congestion term
+//! that grows with the number of simultaneous messages in the fabric —
+//! the term responsible for the 2D strong-scaling dip on the prototype
+//! Tianhe-3 (paper §5.3: "halo regions of 2D stencils are exchanged more
+//! frequently, which leads to network congestion").
+
+/// Analytic network model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkModel {
+    pub name: &'static str,
+    /// Per-message latency, microseconds.
+    pub latency_us: f64,
+    /// Per-node injection bandwidth, GB/s.
+    pub bw_gbps: f64,
+    /// Congestion coefficient: extra microseconds per message scaled by
+    /// the square root of the number of communicating nodes.
+    pub congestion_us_per_msg: f64,
+}
+
+impl NetworkModel {
+    /// Point-to-point time for one message of `bytes`.
+    pub fn message_time_s(&self, bytes: f64) -> f64 {
+        self.latency_us * 1e-6 + bytes / (self.bw_gbps * 1e9)
+    }
+
+    /// Message size below which the per-message software/congestion
+    /// overhead does not amortize.
+    pub const SMALL_MSG_BYTES: f64 = 64.0 * 1024.0;
+
+    /// Wire time for one asynchronous halo-exchange round where each node
+    /// sends `msgs_per_node` messages totalling `bytes_per_node`. This
+    /// part overlaps with computation.
+    pub fn exchange_time_s(&self, msgs_per_node: usize, bytes_per_node: f64, nodes: usize) -> f64 {
+        let _ = nodes;
+        self.latency_us * 1e-6 * msgs_per_node as f64 + bytes_per_node / (self.bw_gbps * 1e9)
+    }
+
+    /// CPU-side software overhead of issuing/progressing the exchange:
+    /// per message, growing with fabric endpoint count, and — crucially —
+    /// *not* overlappable with computation. Large messages amortize it
+    /// (weight `SMALL_MSG_BYTES / size`); small ones pay in full. This is
+    /// the term behind the paper's observation that 2D stencils (many
+    /// small faces) deviate from ideal strong scaling on the prototype
+    /// Tianhe-3 while 3D stencils (large faces) do not.
+    pub fn software_overhead_s(
+        &self,
+        msgs_per_node: usize,
+        bytes_per_node: f64,
+        nodes: usize,
+    ) -> f64 {
+        if msgs_per_node == 0 {
+            return 0.0;
+        }
+        let msg_size = bytes_per_node / msgs_per_node as f64;
+        let weight = (Self::SMALL_MSG_BYTES / msg_size.max(1.0)).min(1.0);
+        self.congestion_us_per_msg * 1e-6
+            * msgs_per_node as f64
+            * weight
+            * (nodes as f64).sqrt()
+    }
+
+    /// Time for a *synchronous, master-coordinated* exchange (the Physis
+    /// RPC-runtime pattern, paper §5.5): all `nodes * msgs_per_node`
+    /// messages serialize through one coordinator.
+    pub fn coordinated_exchange_time_s(
+        &self,
+        msgs_per_node: usize,
+        bytes_per_node: f64,
+        nodes: usize,
+    ) -> f64 {
+        let total_msgs = msgs_per_node * nodes;
+        let rpc_overhead = self.latency_us * 1e-6 * 2.0; // request + grant
+        total_msgs as f64 * rpc_overhead
+            + self.latency_us * 1e-6 * total_msgs as f64
+            + bytes_per_node * nodes as f64 / (self.bw_gbps * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net() -> NetworkModel {
+        NetworkModel {
+            name: "test",
+            latency_us: 1.0,
+            bw_gbps: 8.0,
+            congestion_us_per_msg: 0.05,
+        }
+    }
+
+    #[test]
+    fn message_time_latency_floor() {
+        let n = net();
+        assert!(n.message_time_s(0.0) >= 1e-6);
+        assert!(n.message_time_s(8e9) > 0.9);
+    }
+
+    #[test]
+    fn wire_time_is_scale_independent() {
+        let n = net();
+        let t64 = n.exchange_time_s(6, 1e6, 64);
+        let t1024 = n.exchange_time_s(6, 1e6, 1024);
+        assert_eq!(t64, t1024, "wire time depends on payload, not fabric size");
+    }
+
+    #[test]
+    fn software_overhead_grows_with_nodes() {
+        let n = net();
+        let small = n.software_overhead_s(6, 6.0 * 8.0 * 1024.0, 64);
+        let big = n.software_overhead_s(6, 6.0 * 8.0 * 1024.0, 1024);
+        assert!(big > 3.0 * small);
+    }
+
+    #[test]
+    fn large_messages_amortize_software_overhead() {
+        let n = net();
+        // 8 KB vs 1 MB messages: same count, very different overhead.
+        let tiny = n.software_overhead_s(6, 6.0 * 8.0 * 1024.0, 256);
+        let large = n.software_overhead_s(6, 6.0 * 1024.0 * 1024.0, 256);
+        assert!(tiny > 10.0 * large, "tiny {tiny} vs large {large}");
+    }
+
+    #[test]
+    fn zero_messages_zero_overhead() {
+        assert_eq!(net().software_overhead_s(0, 0.0, 128), 0.0);
+    }
+
+    #[test]
+    fn coordinated_exchange_serializes_with_nodes() {
+        let n = net();
+        let async_t = n.exchange_time_s(6, 1e6, 512);
+        let coord_t = n.coordinated_exchange_time_s(6, 1e6, 512);
+        assert!(
+            coord_t > 10.0 * async_t,
+            "coordinated {coord_t} vs async {async_t}"
+        );
+    }
+
+    #[test]
+    fn latency_grows_with_message_count() {
+        let n = net();
+        let few = n.exchange_time_s(4, 1e6, 256);
+        let many = n.exchange_time_s(26, 1e6, 256);
+        assert!(many > few);
+    }
+}

@@ -1,0 +1,79 @@
+//! Roofline model (paper §5.2.2, Figure 9): attainable performance as a
+//! function of operational intensity.
+
+use crate::model::{MachineModel, Precision};
+
+/// Roofline of one machine at one precision.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Roofline {
+    /// Peak compute, GFlop/s.
+    pub peak_gflops: f64,
+    /// Peak memory bandwidth, GB/s.
+    pub bw_gbps: f64,
+}
+
+impl Roofline {
+    pub fn of(machine: &MachineModel, prec: Precision) -> Roofline {
+        Roofline {
+            peak_gflops: machine.peak_gflops(prec),
+            bw_gbps: machine.mem_bw_gbps,
+        }
+    }
+
+    /// The ridge point: the operational intensity (flops/byte) at which
+    /// the memory roof meets the compute roof.
+    pub fn ridge_point(&self) -> f64 {
+        self.peak_gflops / self.bw_gbps
+    }
+
+    /// Attainable GFlop/s at operational intensity `oi` (flops/byte).
+    pub fn attainable_gflops(&self, oi: f64) -> f64 {
+        (oi * self.bw_gbps).min(self.peak_gflops)
+    }
+
+    /// Whether a kernel at intensity `oi` is memory-bound (left of the
+    /// ridge).
+    pub fn is_memory_bound(&self, oi: f64) -> bool {
+        oi < self.ridge_point()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets::{matrix_processor, sunway_cg};
+
+    #[test]
+    fn ridge_point_is_consistent() {
+        let r = Roofline {
+            peak_gflops: 742.4,
+            bw_gbps: 32.0,
+        };
+        let ridge = r.ridge_point();
+        assert!((r.attainable_gflops(ridge) - r.peak_gflops).abs() < 1e-9);
+        assert!(r.is_memory_bound(ridge * 0.5));
+        assert!(!r.is_memory_bound(ridge * 2.0));
+    }
+
+    #[test]
+    fn attainable_clamps_at_peak() {
+        let r = Roofline {
+            peak_gflops: 100.0,
+            bw_gbps: 10.0,
+        };
+        assert_eq!(r.attainable_gflops(5.0), 50.0);
+        assert_eq!(r.attainable_gflops(1000.0), 100.0);
+    }
+
+    #[test]
+    fn matrix_ridge_is_lower_than_sunway() {
+        // Paper Fig. 9: 2d169pt is compute-bound on Sunway but still
+        // memory-bound on Matrix "due to the limited bandwidth" — in
+        // roofline terms the achieved-intensity gap matters, but the CG's
+        // ridge must be materially high.
+        let s = Roofline::of(&sunway_cg(), Precision::Fp64);
+        let m = Roofline::of(&matrix_processor(), Precision::Fp64);
+        assert!(s.ridge_point() > 15.0, "sunway ridge {}", s.ridge_point());
+        assert!(m.ridge_point() > 5.0, "matrix ridge {}", m.ridge_point());
+    }
+}

@@ -1,0 +1,238 @@
+//! Multi-node simulation: per-step time = kernel time on the sub-grid +
+//! asynchronous halo-exchange time (paper §5.3, Figure 10).
+
+use crate::report::StepReport;
+use crate::step::{simulate_step, StepInputs};
+use msc_core::analysis::StencilStats;
+use msc_core::error::{MscError, Result};
+use msc_core::schedule::plan::ExecPlan;
+use msc_machine::model::{MachineModel, Precision};
+use msc_machine::NetworkModel;
+
+/// Configuration of one distributed run.
+#[derive(Debug, Clone)]
+pub struct DistributedConfig {
+    /// Global grid extents.
+    pub global_grid: Vec<usize>,
+    /// MPI process grid (one process per node/CG).
+    pub mpi_grid: Vec<usize>,
+    /// Stencil reach per dimension (halo width).
+    pub reach: Vec<usize>,
+    /// Live input states exchanged per step.
+    pub n_states: usize,
+    pub prec: Precision,
+}
+
+impl DistributedConfig {
+    /// Number of processes.
+    pub fn n_procs(&self) -> usize {
+        self.mpi_grid.iter().product()
+    }
+
+    /// Per-process sub-grid (requires even divisibility, like the paper's
+    /// configurations in Tables 7/8).
+    pub fn sub_grid(&self) -> Result<Vec<usize>> {
+        self.global_grid
+            .iter()
+            .zip(&self.mpi_grid)
+            .map(|(&g, &p)| {
+                if p == 0 || g % p != 0 {
+                    Err(MscError::InvalidConfig(format!(
+                        "grid extent {g} not divisible by process count {p}"
+                    )))
+                } else {
+                    Ok(g / p)
+                }
+            })
+            .collect()
+    }
+
+    /// Face-neighbour halo exchange volume per process per step: for each
+    /// dimension with more than one process, two faces of
+    /// `reach[d] * (sub-grid cross-section)` elements. Only the freshly
+    /// computed state is exchanged each step — older window states were
+    /// published when they were fresh (see `msc-comm::distributed`).
+    pub fn halo_bytes_per_proc(&self) -> Result<f64> {
+        let sub = self.sub_grid()?;
+        let elem = self.prec.bytes() as f64;
+        let mut bytes = 0.0;
+        for d in 0..sub.len() {
+            if self.mpi_grid[d] < 2 {
+                continue;
+            }
+            let cross: f64 = sub
+                .iter()
+                .enumerate()
+                .filter(|&(dd, _)| dd != d)
+                .map(|(_, &s)| s as f64)
+                .product();
+            bytes += 2.0 * self.reach[d] as f64 * cross * elem;
+        }
+        Ok(bytes)
+    }
+
+    /// Messages per process per step (two per partitioned dimension).
+    pub fn msgs_per_proc(&self) -> usize {
+        let dims = self.mpi_grid.iter().filter(|&&p| p > 1).count();
+        2 * dims
+    }
+}
+
+/// Result of a distributed step simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DistributedReport {
+    /// Per-step wall time (compute + non-overlapped communication).
+    pub step_time_s: f64,
+    pub kernel: StepReport,
+    pub comm_s: f64,
+    /// Aggregate achieved GFlop/s over all processes.
+    pub total_gflops: f64,
+}
+
+/// Simulate one distributed timestep: each process runs the kernel on its
+/// sub-grid and the asynchronous halo exchange overlaps partially with
+/// computation (MSC interleaves communication and computation, §3; we
+/// charge the non-overlapped remainder).
+pub fn simulate_distributed(
+    cfg: &DistributedConfig,
+    stats: &StencilStats,
+    plan: &ExecPlan,
+    machine: &MachineModel,
+    network: &NetworkModel,
+) -> Result<DistributedReport> {
+    let sub = cfg.sub_grid()?;
+    if plan.grid != sub {
+        return Err(MscError::InvalidConfig(format!(
+            "plan grid {:?} must equal the sub-grid {:?}",
+            plan.grid, sub
+        )));
+    }
+    let kernel = simulate_step(
+        &StepInputs {
+            stats: *stats,
+            reach: cfg.reach.clone(),
+            plan,
+            prec: cfg.prec,
+        },
+        machine,
+    );
+
+    let halo_bytes = cfg.halo_bytes_per_proc()?;
+    let msgs = cfg.msgs_per_proc();
+    // Wire time overlaps with interior computation (MSC interleaves
+    // communication and computation, §3); at most half the kernel time
+    // can hide it.
+    let wire_s = network.exchange_time_s(msgs, halo_bytes, cfg.n_procs());
+    let hidden = (kernel.time_s * 0.5).min(wire_s);
+    // Pack/unpack touches the halo bytes once on each side, and the
+    // per-message software overhead cannot be hidden.
+    let pack_s = machine.mem_time_s(2.0 * halo_bytes);
+    let sw_s = network.software_overhead_s(msgs, halo_bytes, cfg.n_procs());
+    let comm_s = wire_s - hidden + pack_s + sw_s;
+    let step_time_s = kernel.time_s + comm_s;
+
+    let total_flops = kernel.flops * cfg.n_procs() as f64;
+    Ok(DistributedReport {
+        step_time_s,
+        kernel,
+        comm_s,
+        total_gflops: total_flops / step_time_s / 1e9,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msc_core::analysis::StencilStats;
+    use msc_core::catalog::{benchmark, BenchmarkId};
+    use msc_core::prelude::*;
+    use msc_core::schedule::{preset_for, Target};
+    use msc_machine::presets::{sunway_cg, taihulight_network};
+
+    fn cfg(global: Vec<usize>, mpi: Vec<usize>) -> DistributedConfig {
+        DistributedConfig {
+            global_grid: global,
+            mpi_grid: mpi,
+            reach: vec![1, 1, 1],
+            n_states: 2,
+            prec: Precision::Fp64,
+        }
+    }
+
+    fn run(c: &DistributedConfig) -> DistributedReport {
+        let b = benchmark(BenchmarkId::S3d7ptStar);
+        let p = b.program(&c.global_grid, DType::F64, 2).unwrap();
+        let stats = StencilStats::of(&p.stencil, DType::F64).unwrap();
+        let sub = c.sub_grid().unwrap();
+        let sched = preset_for(3, 7, Target::SunwayCG);
+        let plan = ExecPlan::lower(&sched, 3, &sub).unwrap();
+        simulate_distributed(c, &stats, &plan, &sunway_cg(), &taihulight_network()).unwrap()
+    }
+
+    #[test]
+    fn sub_grid_division() {
+        let c = cfg(vec![2048, 1024, 1024], vec![8, 4, 4]);
+        assert_eq!(c.sub_grid().unwrap(), vec![256, 256, 256]);
+        assert_eq!(c.n_procs(), 128);
+    }
+
+    #[test]
+    fn indivisible_grid_rejected() {
+        let c = cfg(vec![100, 100, 100], vec![3, 1, 1]);
+        assert!(c.sub_grid().is_err());
+    }
+
+    #[test]
+    fn halo_volume_and_messages() {
+        let c = cfg(vec![2048, 1024, 1024], vec![8, 4, 4]);
+        // Per dim: 2 faces x 256^2 x 8B (one fresh state); 3 dims.
+        let expect = 3.0 * 2.0 * 256.0 * 256.0 * 8.0;
+        assert!((c.halo_bytes_per_proc().unwrap() - expect).abs() < 1.0);
+        assert_eq!(c.msgs_per_proc(), 6);
+    }
+
+    #[test]
+    fn unpartitioned_dims_exchange_nothing() {
+        let c = cfg(vec![256, 256, 256], vec![1, 1, 1]);
+        assert_eq!(c.halo_bytes_per_proc().unwrap(), 0.0);
+        assert_eq!(c.msgs_per_proc(), 0);
+    }
+
+    #[test]
+    fn weak_scaling_keeps_step_time_nearly_flat() {
+        // Same sub-grid per process, more processes: step time grows only
+        // by congestion.
+        let t128 = run(&cfg(vec![2048, 1024, 1024], vec![8, 4, 4]));
+        let t1024 = run(&cfg(vec![4096, 4096, 1024], vec![16, 16, 4]));
+        let ratio = t1024.step_time_s / t128.step_time_s;
+        assert!(ratio < 1.25, "weak scaling step ratio {ratio}");
+        // Aggregate throughput scales near 8x.
+        let speedup = t1024.total_gflops / t128.total_gflops;
+        assert!(speedup > 6.0, "weak speedup {speedup}");
+    }
+
+    #[test]
+    fn strong_scaling_shrinks_step_time() {
+        let base = cfg(vec![2048, 2048, 1024], vec![8, 4, 4]);
+        let scaled = cfg(vec![2048, 2048, 1024], vec![16, 8, 8]);
+        let t_base = run(&base);
+        let t_scaled = run(&scaled);
+        assert!(t_scaled.step_time_s < t_base.step_time_s);
+        let speedup = t_scaled.total_gflops / t_base.total_gflops;
+        assert!(speedup > 4.0 && speedup <= 8.2, "strong speedup {speedup}");
+    }
+
+    #[test]
+    fn plan_grid_mismatch_rejected() {
+        let c = cfg(vec![512, 512, 512], vec![2, 2, 2]);
+        let b = benchmark(BenchmarkId::S3d7ptStar);
+        let p = b.program(&c.global_grid, DType::F64, 2).unwrap();
+        let stats = StencilStats::of(&p.stencil, DType::F64).unwrap();
+        let sched = preset_for(3, 7, Target::SunwayCG);
+        let plan = ExecPlan::lower(&sched, 3, &[128, 128, 128]).unwrap();
+        assert!(
+            simulate_distributed(&c, &stats, &plan, &sunway_cg(), &taihulight_network())
+                .is_err()
+        );
+    }
+}

@@ -1,0 +1,23 @@
+//! # msc-sim — deterministic timing simulation of stencil execution
+//!
+//! The paper's performance numbers were measured on Sunway TaihuLight,
+//! the prototype Tianhe-3, and a Xeon server. This crate predicts those
+//! numbers analytically: it charges the compute, DMA, cache and DRAM
+//! traffic of a scheduled stencil step against the machine models of
+//! `msc-machine`. Because the model is closed-form, every figure of the
+//! paper regenerates identically on any host — the *shapes* (who wins,
+//! crossovers, scaling curvature) are the reproduction target, not the
+//! absolute microseconds (DESIGN.md §2).
+//!
+//! * [`step`] — single-processor kernel-step simulation (Figures 7/8/9);
+//! * [`distributed`] — multi-node simulation combining the kernel time
+//!   with the halo-exchange network model (Figure 10);
+//! * [`report`] — the result types.
+
+pub mod distributed;
+pub mod report;
+pub mod step;
+
+pub use distributed::{simulate_distributed, DistributedConfig, DistributedReport};
+pub use report::{Bound, StepReport};
+pub use step::{simulate_step, StepInputs};

@@ -1,0 +1,54 @@
+//! Simulation result types.
+
+/// Whether a simulated step was limited by memory or compute — the
+/// roofline classification of Figure 9.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Bound {
+    Memory,
+    Compute,
+}
+
+/// Timing report of one simulated stencil step on one processor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepReport {
+    /// Predicted wall time of the step, seconds.
+    pub time_s: f64,
+    /// Total floating-point operations of the step.
+    pub flops: f64,
+    /// DRAM bytes moved (after SPM/cache filtering).
+    pub dram_bytes: f64,
+    /// Time attributable to compute at peak.
+    pub compute_s: f64,
+    /// Time attributable to data movement (DMA or DRAM).
+    pub mem_s: f64,
+    /// Achieved operational intensity at the DRAM level, flops/byte.
+    pub oi_dram: f64,
+    /// Limiting resource.
+    pub bound: Bound,
+}
+
+impl StepReport {
+    /// Achieved GFlop/s.
+    pub fn gflops(&self) -> f64 {
+        self.flops / self.time_s / 1e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gflops_derivation() {
+        let r = StepReport {
+            time_s: 0.5,
+            flops: 1e9,
+            dram_bytes: 1e8,
+            compute_s: 0.1,
+            mem_s: 0.5,
+            oi_dram: 10.0,
+            bound: Bound::Memory,
+        };
+        assert!((r.gflops() - 2.0).abs() < 1e-12);
+    }
+}

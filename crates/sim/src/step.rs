@@ -1,0 +1,470 @@
+//! Single-processor step simulation: charge one timestep of a scheduled
+//! stencil against a machine model.
+
+use crate::report::{Bound, StepReport};
+use msc_core::analysis::StencilStats;
+use msc_core::schedule::plan::ExecPlan;
+use msc_machine::model::{MachineModel, MemorySystem, Precision};
+use msc_machine::CacheModel;
+
+/// Everything the simulator needs to know about one scheduled stencil.
+#[derive(Debug, Clone)]
+pub struct StepInputs<'a> {
+    /// Per-point statistics of the temporal stencil.
+    pub stats: StencilStats,
+    /// Per-dimension stencil reach.
+    pub reach: Vec<usize>,
+    /// The lowered execution plan (grid, tiles, threads, SPM usage).
+    pub plan: &'a ExecPlan,
+    pub prec: Precision,
+}
+
+impl<'a> StepInputs<'a> {
+    fn n_points(&self) -> f64 {
+        self.plan.grid.iter().product::<usize>() as f64
+    }
+
+    fn elem(&self) -> f64 {
+        self.prec.bytes() as f64
+    }
+
+    /// Live input states read each step (= temporal dependencies).
+    fn n_states(&self) -> f64 {
+        self.stats.time_deps as f64
+    }
+}
+
+/// Redundant-computation factor of overlapped temporal tiling: the mean
+/// over local steps of the shrinking compute-region volume relative to
+/// the tile volume.
+fn temporal_redundancy(plan: &ExecPlan, reach: &[usize]) -> f64 {
+    let tt = plan.time_tile.max(1);
+    if tt == 1 {
+        return 1.0;
+    }
+    let tile_elems = plan.tile_elems() as f64;
+    let mut total = 0.0;
+    for s in 1..=tt {
+        let grow = (tt - s) as f64;
+        total += plan
+            .tile
+            .iter()
+            .zip(reach)
+            .map(|(&t, &r)| t as f64 + 2.0 * grow * r as f64)
+            .product::<f64>();
+    }
+    total / (tt as f64 * tile_elems)
+}
+
+/// Simulate one timestep of `inputs` on `machine`.
+///
+/// Three lowering paths (matching the paper's Figure 4):
+/// * SPM path — cache-less machine with `cache_read/cache_write`
+///   primitives: DMA tile+halo in, compute from SPM, DMA tile out;
+/// * direct path — cache-less machine *without* SPM staging (what naive
+///   directive code degenerates to): every tap is a discrete global
+///   load;
+/// * cache path — coherent-cache machine: DRAM traffic is compulsory
+///   when the streaming working set fits the per-core cache share,
+///   amplified toward one miss per tap when it does not.
+///
+/// Temporal tiling (`tile_time`) scales flops by the redundancy factor
+/// and divides staging traffic by the depth.
+pub fn simulate_step(inputs: &StepInputs, machine: &MachineModel) -> StepReport {
+    let redundancy = temporal_redundancy(inputs.plan, &inputs.reach);
+    let flops = inputs.stats.flops_per_point() * inputs.n_points() * redundancy;
+    let compute_s = machine.compute_time_s(flops, inputs.prec);
+
+    let (dram_bytes, mem_s) = match &machine.memory {
+        MemorySystem::Scratchpad {
+            dma,
+            direct_bw_gbps,
+            ..
+        } => {
+            if inputs.plan.use_spm {
+                spm_traffic(inputs, machine, dma)
+            } else {
+                // Discrete global loads for every tap; writes too.
+                let bytes = (inputs.stats.read_bytes + inputs.stats.write_bytes) as f64
+                    / 8.0
+                    * inputs.elem()
+                    * inputs.n_points();
+                (bytes, bytes / (direct_bw_gbps * 1e9))
+            }
+        }
+        MemorySystem::Cache(cache) => cache_traffic(inputs, machine, cache),
+    };
+
+    // On SPM machines DMA and compute serialize unless the schedule
+    // enables double-buffered streaming (`stream()`, the paper's §5.6
+    // extension); on cached machines hardware prefetch overlaps them.
+    let time_s = if machine.is_cacheless() && inputs.plan.use_spm {
+        if inputs.plan.double_buffer {
+            compute_s.max(mem_s).max(machine.mem_time_s(dram_bytes))
+        } else {
+            (compute_s + mem_s).max(machine.mem_time_s(dram_bytes))
+        }
+    } else {
+        compute_s.max(mem_s)
+    };
+
+    StepReport {
+        time_s,
+        flops,
+        dram_bytes,
+        compute_s,
+        mem_s,
+        oi_dram: flops / dram_bytes,
+        bound: if compute_s >= mem_s {
+            Bound::Compute
+        } else {
+            Bound::Memory
+        },
+    }
+}
+
+/// DMA traffic and time of the SPM path.
+fn spm_traffic(
+    inputs: &StepInputs,
+    machine: &MachineModel,
+    dma: &msc_machine::DmaEngine,
+) -> (f64, f64) {
+    let plan = inputs.plan;
+    let elem = inputs.elem();
+    let tt = plan.time_tile.max(1) as f64;
+    let n_tiles = plan.num_tiles() as f64;
+    // Temporal tiling stages a (tt*reach)-extended tile once per tt
+    // steps; per-step traffic divides by tt.
+    let ext_reach: Vec<usize> = inputs
+        .reach
+        .iter()
+        .map(|&r| r * plan.time_tile.max(1))
+        .collect();
+    let tile_in = plan.tile_elems_with_halo(&ext_reach) as f64;
+    let tile_out = plan.tile_elems() as f64;
+    let get_bytes = inputs.n_states() * tile_in * elem * n_tiles / tt;
+    let put_bytes = tile_out * elem * n_tiles / tt;
+    let bytes = get_bytes + put_bytes;
+
+    // Rows per tile: a DMA transfer per contiguous row of the staged
+    // buffers.
+    let ndim = plan.ndim;
+    let rows_in: f64 = inputs.n_states()
+        * plan.tile[..ndim - 1]
+            .iter()
+            .zip(&inputs.reach)
+            .map(|(&t, &r)| (t + 2 * r) as f64)
+            .product::<f64>();
+    let rows_out: f64 = plan.tile[..ndim - 1].iter().map(|&t| t as f64).product();
+    let rows_total = (rows_in + rows_out) * n_tiles / tt;
+
+    // Startups serialize per core; rows are striped across cores. The
+    // byte stream shares the aggregate DMA bandwidth.
+    let cores = plan.n_threads.max(1) as f64;
+    let startup_s = dma.startup_us * 1e-6 * rows_total / cores;
+    let stream_s = bytes / (dma.bw_gbps * dma.strided_efficiency * 1e9);
+    let _ = machine;
+    (bytes, startup_s + stream_s)
+}
+
+/// DRAM traffic and time of the cache path.
+fn cache_traffic(
+    inputs: &StepInputs,
+    machine: &MachineModel,
+    cache: &CacheModel,
+) -> (f64, f64) {
+    let plan = inputs.plan;
+    let elem = inputs.elem();
+    let ndim = plan.ndim;
+    let r0 = inputs.reach[0];
+
+    // Streaming row window: (2*r0 + 1) live planes of the tile
+    // cross-section (halo included), each of `row_bytes`.
+    let cross_section: f64 = plan.tile[1..]
+        .iter()
+        .zip(&inputs.reach[1..])
+        .map(|(&t, &r)| (t + 2 * r) as f64)
+        .product::<f64>()
+        .max(1.0);
+    let row_bytes = cross_section * elem;
+    let window_rows = 2 * r0 + 1;
+    let amp = cache.read_amplification(window_rows, row_bytes);
+
+    // Reads: each live state streamed once (amplified by window
+    // evictions); overlapped tile halos in the *non-streamed* dims are
+    // refetched per tile (the streamed dim's overlap is already part of
+    // the row window). Writes: streamed once.
+    let halo_over: f64 = if ndim > 1 {
+        plan.tile[1..]
+            .iter()
+            .zip(&inputs.reach[1..])
+            .map(|(&t, &r)| (t + 2 * r) as f64 / t as f64)
+            .product()
+    } else {
+        1.0
+    };
+    let n_points = inputs.n_points();
+    let read_bytes = inputs.n_states() * amp * halo_over * n_points * elem;
+    let write_bytes = n_points * elem;
+    let bytes = read_bytes + write_bytes;
+    (bytes, machine.mem_time_s(bytes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msc_core::analysis::StencilStats;
+    use msc_core::catalog::{benchmark, BenchmarkId};
+    use msc_core::prelude::*;
+    use msc_core::schedule::{preset_for, Target};
+    use msc_machine::presets::{matrix_processor, sunway_cg, xeon_server};
+
+    fn inputs_for(id: BenchmarkId, target: Target) -> (StencilStats, Vec<usize>, ExecPlan) {
+        let b = benchmark(id);
+        let p = b.program(&b.default_grid(), DType::F64, 2).unwrap();
+        let stats = StencilStats::of(&p.stencil, DType::F64).unwrap();
+        let sched = preset_for(b.ndim, b.points(), target);
+        let plan = ExecPlan::lower(&sched, b.ndim, &p.grid.shape).unwrap();
+        (stats, p.stencil.reach(), plan)
+    }
+
+    #[test]
+    fn sunway_spm_step_is_fast_and_memory_sane() {
+        let (stats, reach, plan) = inputs_for(BenchmarkId::S3d7ptStar, Target::SunwayCG);
+        let m = sunway_cg();
+        let r = simulate_step(
+            &StepInputs {
+                stats,
+                reach,
+                plan: &plan,
+                prec: Precision::Fp64,
+            },
+            &m,
+        );
+        // 256^3 x ~50 B/pt at ~24 GB/s effective: tens of milliseconds.
+        assert!(r.time_s > 1e-3 && r.time_s < 0.2, "time {}", r.time_s);
+        assert!(r.gflops() > 1.0 && r.gflops() < m.peak_gflops(Precision::Fp64));
+        assert_eq!(r.bound, Bound::Memory);
+    }
+
+    #[test]
+    fn direct_path_is_far_slower_than_spm_path() {
+        // The Figure 7 mechanism: same machine, with vs without SPM
+        // staging.
+        let b = benchmark(BenchmarkId::S3d13ptStar);
+        let p = b.program(&b.default_grid(), DType::F64, 2).unwrap();
+        let stats = StencilStats::of(&p.stencil, DType::F64).unwrap();
+        let m = sunway_cg();
+
+        let spm_sched = preset_for(3, 13, Target::SunwayCG);
+        let spm_plan = ExecPlan::lower(&spm_sched, 3, &p.grid.shape).unwrap();
+        let mut direct_sched = preset_for(3, 13, Target::SunwayCG);
+        direct_sched.cache_read = None;
+        direct_sched.cache_write = None;
+        direct_sched.compute_at.clear();
+        let direct_plan = ExecPlan::lower(&direct_sched, 3, &p.grid.shape).unwrap();
+
+        let reach = p.stencil.reach();
+        let fast = simulate_step(
+            &StepInputs {
+                stats,
+                reach: reach.clone(),
+                plan: &spm_plan,
+                prec: Precision::Fp64,
+            },
+            &m,
+        );
+        let slow = simulate_step(
+            &StepInputs {
+                stats,
+                reach,
+                plan: &direct_plan,
+                prec: Precision::Fp64,
+            },
+            &m,
+        );
+        let speedup = slow.time_s / fast.time_s;
+        assert!(speedup > 5.0, "speedup only {speedup}");
+    }
+
+    #[test]
+    fn fp32_is_faster_than_fp64() {
+        let (stats64, reach, plan) = inputs_for(BenchmarkId::S2d9ptStar, Target::SunwayCG);
+        let b = benchmark(BenchmarkId::S2d9ptStar);
+        let p = b.program(&b.default_grid(), DType::F32, 2).unwrap();
+        let stats32 = StencilStats::of(&p.stencil, DType::F32).unwrap();
+        let m = sunway_cg();
+        let t64 = simulate_step(
+            &StepInputs {
+                stats: stats64,
+                reach: reach.clone(),
+                plan: &plan,
+                prec: Precision::Fp64,
+            },
+            &m,
+        );
+        let t32 = simulate_step(
+            &StepInputs {
+                stats: stats32,
+                reach,
+                plan: &plan,
+                prec: Precision::Fp32,
+            },
+            &m,
+        );
+        assert!(t32.time_s < t64.time_s);
+    }
+
+    #[test]
+    fn high_order_2d_is_compute_bound_on_sunway() {
+        // Figure 9a: 2d169pt sits right of the CG ridge point.
+        let (stats, reach, plan) = inputs_for(BenchmarkId::S2d169ptBox, Target::SunwayCG);
+        let r = simulate_step(
+            &StepInputs {
+                stats,
+                reach,
+                plan: &plan,
+                prec: Precision::Fp64,
+            },
+            &sunway_cg(),
+        );
+        assert_eq!(r.bound, Bound::Compute, "oi={} gf={}", r.oi_dram, r.gflops());
+    }
+
+    #[test]
+    fn high_order_2d_is_memory_bound_on_matrix() {
+        // Figure 9b: the same stencil stays memory-bound on Matrix.
+        let (stats, reach, plan) = inputs_for(BenchmarkId::S2d169ptBox, Target::Matrix);
+        let r = simulate_step(
+            &StepInputs {
+                stats,
+                reach,
+                plan: &plan,
+                prec: Precision::Fp64,
+            },
+            &matrix_processor(),
+        );
+        assert_eq!(r.bound, Bound::Memory, "oi={} gf={}", r.oi_dram, r.gflops());
+    }
+
+    #[test]
+    fn low_order_stencils_are_memory_bound_everywhere() {
+        for target in [Target::SunwayCG, Target::Matrix, Target::Cpu] {
+            let (stats, reach, plan) = inputs_for(BenchmarkId::S3d7ptStar, target);
+            let m = match target {
+                Target::SunwayCG => sunway_cg(),
+                Target::Matrix => matrix_processor(),
+                Target::Cpu => xeon_server(),
+            };
+            let r = simulate_step(
+                &StepInputs {
+                    stats,
+                    reach,
+                    plan: &plan,
+                    prec: Precision::Fp64,
+                },
+                &m,
+            );
+            assert_eq!(r.bound, Bound::Memory, "{target:?}");
+        }
+    }
+
+    #[test]
+    fn streaming_overlaps_dma_with_compute() {
+        // stream() (paper §5.6) turns compute+dma into max(compute, dma):
+        // biggest win where the two are balanced (high-order 2D).
+        let b = benchmark(BenchmarkId::S2d121ptBox);
+        let p = b.program(&b.default_grid(), DType::F64, 2).unwrap();
+        let stats = StencilStats::of(&p.stencil, DType::F64).unwrap();
+        let m = sunway_cg();
+        let reach = p.stencil.reach();
+        let base = preset_for(2, 121, Target::SunwayCG);
+        let mut streamed = base.clone();
+        streamed.stream();
+        let plan_base = ExecPlan::lower(&base, 2, &p.grid.shape).unwrap();
+        let plan_stream = ExecPlan::lower(&streamed, 2, &p.grid.shape).unwrap();
+        let t_base = simulate_step(
+            &StepInputs { stats, reach: reach.clone(), plan: &plan_base, prec: Precision::Fp64 },
+            &m,
+        );
+        let t_stream = simulate_step(
+            &StepInputs { stats, reach, plan: &plan_stream, prec: Precision::Fp64 },
+            &m,
+        );
+        let gain = t_base.time_s / t_stream.time_s;
+        assert!(gain > 1.2 && gain < 2.0, "streaming gain {gain}");
+        assert_eq!(t_base.dram_bytes, t_stream.dram_bytes);
+    }
+
+    #[test]
+    fn streaming_gain_is_small_when_memory_dominates() {
+        // 3d31pt is heavily DMA-bound: overlap can only hide the small
+        // compute term.
+        let b = benchmark(BenchmarkId::S3d31ptStar);
+        let p = b.program(&b.default_grid(), DType::F64, 2).unwrap();
+        let stats = StencilStats::of(&p.stencil, DType::F64).unwrap();
+        let m = sunway_cg();
+        let reach = p.stencil.reach();
+        let base = preset_for(3, 31, Target::SunwayCG);
+        let mut streamed = base.clone();
+        streamed.stream();
+        let t_base = simulate_step(
+            &StepInputs {
+                stats,
+                reach: reach.clone(),
+                plan: &ExecPlan::lower(&base, 3, &p.grid.shape).unwrap(),
+                prec: Precision::Fp64,
+            },
+            &m,
+        );
+        let t_stream = simulate_step(
+            &StepInputs {
+                stats,
+                reach,
+                plan: &ExecPlan::lower(&streamed, 3, &p.grid.shape).unwrap(),
+                prec: Precision::Fp64,
+            },
+            &m,
+        );
+        let gain = t_base.time_s / t_stream.time_s;
+        assert!(gain < 1.3, "gain {gain}");
+    }
+
+    #[test]
+    fn tiling_reduces_cache_traffic_for_high_order_2d() {
+        // Table 5's (2, 2048) 2D tiles keep the streaming window in
+        // cache; whole-row processing does not.
+        let b = benchmark(BenchmarkId::S2d121ptBox);
+        let p = b.program(&b.default_grid(), DType::F64, 2).unwrap();
+        let stats = StencilStats::of(&p.stencil, DType::F64).unwrap();
+        let m = matrix_processor();
+        let reach = p.stencil.reach();
+
+        let tiled = preset_for(2, 121, Target::Matrix);
+        let tiled_plan = ExecPlan::lower(&tiled, 2, &p.grid.shape).unwrap();
+        let mut whole = msc_core::schedule::Schedule::default();
+        whole.parallel.take();
+        let whole_plan = ExecPlan::lower(&whole, 2, &p.grid.shape).unwrap();
+
+        let rt = simulate_step(
+            &StepInputs {
+                stats,
+                reach: reach.clone(),
+                plan: &tiled_plan,
+                prec: Precision::Fp64,
+            },
+            &m,
+        );
+        let rw = simulate_step(
+            &StepInputs {
+                stats,
+                reach,
+                plan: &whole_plan,
+                prec: Precision::Fp64,
+            },
+            &m,
+        );
+        assert!(rt.dram_bytes < rw.dram_bytes, "{} vs {}", rt.dram_bytes, rw.dram_bytes);
+        assert!(rt.time_s < rw.time_s);
+    }
+}

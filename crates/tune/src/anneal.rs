@@ -1,0 +1,149 @@
+//! Generic simulated annealing with a deterministic (seeded) RNG and a
+//! best-so-far trace — the search algorithm behind Figure 11.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Annealing options.
+#[derive(Debug, Clone)]
+pub struct AnnealOptions {
+    pub iterations: usize,
+    pub initial_temp: f64,
+    /// Geometric cooling factor per iteration.
+    pub cooling: f64,
+    pub seed: u64,
+}
+
+impl Default for AnnealOptions {
+    fn default() -> AnnealOptions {
+        AnnealOptions {
+            iterations: 20_000,
+            initial_temp: 1.0,
+            cooling: 0.9995,
+            seed: 1,
+        }
+    }
+}
+
+/// One point of the convergence trace (Figure 11's x/y pair).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TracePoint {
+    pub iteration: usize,
+    pub best_cost: f64,
+}
+
+/// Minimize `cost` over states produced by `neighbor`, starting from
+/// `init`. Returns `(best_state, best_cost, trace)`; the trace records
+/// every improvement of the best-so-far cost.
+pub fn anneal<S: Clone>(
+    init: S,
+    mut cost: impl FnMut(&S) -> Option<f64>,
+    mut neighbor: impl FnMut(&S, &mut StdRng) -> S,
+    opts: &AnnealOptions,
+) -> (S, f64, Vec<TracePoint>) {
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let mut current = init.clone();
+    let mut current_cost = cost(&current).expect("initial state must be feasible");
+    let mut best = current.clone();
+    let mut best_cost = current_cost;
+    let mut trace = vec![TracePoint {
+        iteration: 0,
+        best_cost,
+    }];
+    let mut temp = opts.initial_temp;
+
+    for it in 1..=opts.iterations {
+        let cand = neighbor(&current, &mut rng);
+        if let Some(c) = cost(&cand) {
+            let accept = c < current_cost || {
+                let delta = (c - current_cost) / current_cost.max(1e-30);
+                rng.gen::<f64>() < (-delta / temp.max(1e-12)).exp()
+            };
+            if accept {
+                current = cand;
+                current_cost = c;
+                if c < best_cost {
+                    best = current.clone();
+                    best_cost = c;
+                    trace.push(TracePoint {
+                        iteration: it,
+                        best_cost,
+                    });
+                }
+            }
+        }
+        temp *= opts.cooling;
+    }
+    trace.push(TracePoint {
+        iteration: opts.iterations,
+        best_cost,
+    });
+    (best, best_cost, trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Quadratic bowl over integers: min at x = 17.
+    fn bowl_cost(x: &i64) -> Option<f64> {
+        Some(((x - 17) * (x - 17)) as f64)
+    }
+
+    fn bowl_neighbor(x: &i64, rng: &mut StdRng) -> i64 {
+        x + rng.gen_range(-3..=3)
+    }
+
+    #[test]
+    fn finds_the_minimum_of_a_bowl() {
+        let opts = AnnealOptions {
+            iterations: 5000,
+            ..Default::default()
+        };
+        let (best, cost, _) = anneal(100, bowl_cost, bowl_neighbor, &opts);
+        assert_eq!(best, 17, "cost {cost}");
+        assert_eq!(cost, 0.0);
+    }
+
+    #[test]
+    fn trace_is_monotone_nonincreasing() {
+        let opts = AnnealOptions::default();
+        let (_, _, trace) = anneal(100, bowl_cost, bowl_neighbor, &opts);
+        for w in trace.windows(2) {
+            assert!(w[1].best_cost <= w[0].best_cost);
+            assert!(w[1].iteration >= w[0].iteration);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let opts = AnnealOptions {
+            iterations: 2000,
+            seed: 9,
+            ..Default::default()
+        };
+        let a = anneal(50, bowl_cost, bowl_neighbor, &opts);
+        let b = anneal(50, bowl_cost, bowl_neighbor, &opts);
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.2, b.2);
+    }
+
+    #[test]
+    fn infeasible_neighbors_are_skipped() {
+        // Only even states are feasible; the search must still improve.
+        let cost = |x: &i64| {
+            if x % 2 == 0 {
+                Some((x - 10).abs() as f64)
+            } else {
+                None
+            }
+        };
+        let opts = AnnealOptions {
+            iterations: 3000,
+            ..Default::default()
+        };
+        let (best, c, _) = anneal(100, cost, |x, rng| x + rng.gen_range(-4..=4), &opts);
+        assert_eq!(best % 2, 0);
+        assert!(c <= 2.0);
+    }
+}

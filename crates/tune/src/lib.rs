@@ -1,0 +1,34 @@
+//! # msc-tune — performance auto-tuning
+//!
+//! The paper's communication library ships an auto-tuner (§4.4,
+//! "Performance auto-tuning"): an analytical performance model fitted by
+//! **multivariable linear regression** predicts the stencil step time
+//! from a configuration's features (kernel computation, packing/
+//! unpacking, transfer volume, MPI startup), and **simulated annealing**
+//! searches the joint space of tile sizes and MPI grid shapes. §5.4 /
+//! Figure 11 evaluates it on a 8192×128×128 `3d7pt_star` domain over
+//! 128 Sunway CGs, improving performance 3.28× over the starting
+//! configuration with two independent runs converging to the same
+//! optimum.
+//!
+//! * [`linreg`] — least-squares fitting via normal equations;
+//! * [`perf_model`] — configuration features and the fitted model;
+//! * [`mod@anneal`] — the seeded simulated-annealing loop with a best-so-far
+//!   trace;
+//! * [`tuner`] — the end-to-end search of Figure 11.
+
+pub mod anneal;
+pub mod auto_schedule;
+pub mod inspector;
+pub mod linreg;
+pub mod perf_model;
+pub mod single_node;
+pub mod tuner;
+
+pub use anneal::{anneal, AnnealOptions, TracePoint};
+pub use auto_schedule::{auto_schedule, AutoSchedule};
+pub use linreg::LinearModel;
+pub use perf_model::{Config, PerfModel};
+pub use inspector::{inspect, InspectorResult, SubgridWork};
+pub use single_node::{sweep_tiles, SingleNodeResult};
+pub use tuner::{tune, TuneProblem, TuneResult};

@@ -1,0 +1,151 @@
+//! Multivariable linear regression by ordinary least squares, solved with
+//! normal equations and partial-pivot Gaussian elimination. Small and
+//! dependency-free — the model has a handful of features.
+
+#![allow(clippy::needless_range_loop)] // dimension loops index several parallel arrays
+
+use msc_core::error::{MscError, Result};
+
+/// A fitted linear model `y = θ · x`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearModel {
+    pub theta: Vec<f64>,
+}
+
+impl LinearModel {
+    /// Fit by OLS. `xs` are feature rows (all the same length), `ys` the
+    /// targets. Requires at least as many samples as features.
+    pub fn fit(xs: &[Vec<f64>], ys: &[f64]) -> Result<LinearModel> {
+        let n = xs.len();
+        if n == 0 || n != ys.len() {
+            return Err(MscError::InvalidConfig(
+                "regression needs matching, non-empty samples".into(),
+            ));
+        }
+        let k = xs[0].len();
+        if xs.iter().any(|x| x.len() != k) {
+            return Err(MscError::InvalidConfig("ragged feature rows".into()));
+        }
+        if n < k {
+            return Err(MscError::InvalidConfig(format!(
+                "need at least {k} samples for {k} features, got {n}"
+            )));
+        }
+        // Normal equations: (XᵀX) θ = Xᵀy.
+        let mut a = vec![vec![0.0f64; k]; k];
+        let mut b = vec![0.0f64; k];
+        for (x, &y) in xs.iter().zip(ys) {
+            for i in 0..k {
+                b[i] += x[i] * y;
+                for j in 0..k {
+                    a[i][j] += x[i] * x[j];
+                }
+            }
+        }
+        // Tikhonov nudge for numerical safety on collinear features.
+        for (i, row) in a.iter_mut().enumerate() {
+            row[i] += 1e-9;
+        }
+        let theta = solve(a, b)?;
+        Ok(LinearModel { theta })
+    }
+
+    /// Predict `θ · x`.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        self.theta.iter().zip(x).map(|(t, v)| t * v).sum()
+    }
+
+    /// Coefficient of determination on a dataset.
+    pub fn r_squared(&self, xs: &[Vec<f64>], ys: &[f64]) -> f64 {
+        let mean = ys.iter().sum::<f64>() / ys.len() as f64;
+        let ss_tot: f64 = ys.iter().map(|y| (y - mean).powi(2)).sum();
+        let ss_res: f64 = xs
+            .iter()
+            .zip(ys)
+            .map(|(x, y)| (y - self.predict(x)).powi(2))
+            .sum();
+        if ss_tot == 0.0 {
+            1.0
+        } else {
+            1.0 - ss_res / ss_tot
+        }
+    }
+}
+
+/// Solve `A x = b` by Gaussian elimination with partial pivoting.
+fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Result<Vec<f64>> {
+    let n = b.len();
+    for col in 0..n {
+        // Pivot.
+        let pivot = (col..n)
+            .max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs()))
+            .unwrap();
+        if a[pivot][col].abs() < 1e-30 {
+            return Err(MscError::InvalidConfig(
+                "singular normal-equation matrix".into(),
+            ));
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        for row in (col + 1)..n {
+            let f = a[row][col] / a[col][col];
+            for k in col..n {
+                a[row][k] -= f * a[col][k];
+            }
+            b[row] -= f * b[col];
+        }
+    }
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut s = b[row];
+        for k in (row + 1)..n {
+            s -= a[row][k] * x[k];
+        }
+        x[row] = s / a[row][row];
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_exact_linear_relation() {
+        // y = 2 + 3a - 0.5b.
+        let xs: Vec<Vec<f64>> = (0..20)
+            .map(|i| vec![1.0, i as f64, (i * i % 7) as f64])
+            .collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 2.0 + 3.0 * x[1] - 0.5 * x[2]).collect();
+        let m = LinearModel::fit(&xs, &ys).unwrap();
+        assert!((m.theta[0] - 2.0).abs() < 1e-6);
+        assert!((m.theta[1] - 3.0).abs() < 1e-6);
+        assert!((m.theta[2] + 0.5).abs() < 1e-6);
+        assert!(m.r_squared(&xs, &ys) > 0.999999);
+    }
+
+    #[test]
+    fn noisy_fit_has_reasonable_r2() {
+        let xs: Vec<Vec<f64>> = (0..50).map(|i| vec![1.0, i as f64]).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, x)| 5.0 * x[1] + if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
+        let m = LinearModel::fit(&xs, &ys).unwrap();
+        assert!(m.r_squared(&xs, &ys) > 0.99);
+    }
+
+    #[test]
+    fn underdetermined_rejected() {
+        let xs = vec![vec![1.0, 2.0, 3.0]];
+        let ys = vec![1.0];
+        assert!(LinearModel::fit(&xs, &ys).is_err());
+    }
+
+    #[test]
+    fn mismatched_rows_rejected() {
+        assert!(LinearModel::fit(&[vec![1.0], vec![1.0, 2.0]], &[1.0, 2.0]).is_err());
+        assert!(LinearModel::fit(&[], &[]).is_err());
+    }
+}

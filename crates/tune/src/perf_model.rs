@@ -1,0 +1,213 @@
+//! The analytical performance model (paper §4.4): predicts large-scale
+//! stencil step time from a configuration's features — kernel
+//! computation, DMA/memory traffic, packing/unpacking, message transfer,
+//! and MPI startup — with coefficients fitted by linear regression
+//! against simulator measurements.
+
+use crate::linreg::LinearModel;
+use msc_core::analysis::StencilStats;
+use msc_core::error::{MscError, Result};
+use msc_core::schedule::{preset_for_grid, ExecPlan, Target};
+use msc_machine::model::{MachineModel, Precision};
+use msc_machine::NetworkModel;
+use msc_sim::{simulate_distributed, DistributedConfig};
+
+/// One tunable configuration: tile sizes plus the MPI process grid shape
+/// (the two parameter families §5.4 tunes).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Config {
+    pub tile: Vec<usize>,
+    pub mpi_grid: Vec<usize>,
+}
+
+/// The tuning context: everything fixed during a search.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    pub global_grid: Vec<usize>,
+    pub reach: Vec<usize>,
+    pub stats: StencilStats,
+    pub n_procs: usize,
+    pub prec: Precision,
+    pub points: usize,
+}
+
+impl Workload {
+    /// Ground-truth evaluation: full simulator step time for a config.
+    pub fn measure(
+        &self,
+        cfg: &Config,
+        machine: &MachineModel,
+        network: &NetworkModel,
+    ) -> Result<f64> {
+        let dc = DistributedConfig {
+            global_grid: self.global_grid.clone(),
+            mpi_grid: cfg.mpi_grid.clone(),
+            reach: self.reach.clone(),
+            n_states: self.stats.time_deps,
+            prec: self.prec,
+        };
+        let sub = dc.sub_grid()?;
+        let mut sched = preset_for_grid(sub.len(), self.points, Target::SunwayCG, &sub);
+        let tile: Vec<usize> = cfg.tile.iter().zip(&sub).map(|(&t, &s)| t.min(s)).collect();
+        sched.tile(&tile);
+        let plan = ExecPlan::lower(&sched, sub.len(), &sub)?;
+        let rep = simulate_distributed(&dc, &self.stats, &plan, machine, network)?;
+        Ok(rep.step_time_s)
+    }
+
+    /// Feature vector of a config for the regression model:
+    /// `[1, flops/proc, tile halo overhead, n_tiles/core, halo bytes,
+    /// msgs]`.
+    pub fn features(&self, cfg: &Config) -> Result<Vec<f64>> {
+        let dc = DistributedConfig {
+            global_grid: self.global_grid.clone(),
+            mpi_grid: cfg.mpi_grid.clone(),
+            reach: self.reach.clone(),
+            n_states: self.stats.time_deps,
+            prec: self.prec,
+        };
+        let sub = dc.sub_grid()?;
+        let sub_points: f64 = sub.iter().product::<usize>() as f64;
+        let tile: Vec<usize> = cfg.tile.iter().zip(&sub).map(|(&t, &s)| t.min(s)).collect();
+        let tile_elems: f64 = tile.iter().product::<usize>() as f64;
+        let tile_halo: f64 = tile
+            .iter()
+            .zip(&self.reach)
+            .map(|(&t, &r)| (t + 2 * r) as f64)
+            .product();
+        Ok(vec![
+            1.0,
+            self.stats.flops_per_point() * sub_points * 1e-9,
+            tile_halo / tile_elems, // overlapped-halo DMA overhead
+            sub_points / tile_elems, // per-core task count (startup costs)
+            dc.halo_bytes_per_proc()? * 1e-6,
+            dc.msgs_per_proc() as f64,
+        ])
+    }
+}
+
+/// The fitted performance model.
+#[derive(Debug, Clone)]
+pub struct PerfModel {
+    pub model: LinearModel,
+}
+
+impl PerfModel {
+    /// Fit against simulator measurements of `samples`.
+    pub fn fit(
+        workload: &Workload,
+        samples: &[Config],
+        machine: &MachineModel,
+        network: &NetworkModel,
+    ) -> Result<PerfModel> {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for cfg in samples {
+            // Skip infeasible configs rather than failing the fit.
+            let (Ok(x), Ok(y)) = (
+                workload.features(cfg),
+                workload.measure(cfg, machine, network),
+            ) else {
+                continue;
+            };
+            xs.push(x);
+            ys.push(y);
+        }
+        if xs.len() < 8 {
+            return Err(MscError::InvalidConfig(format!(
+                "too few feasible samples to fit the model ({})",
+                xs.len()
+            )));
+        }
+        Ok(PerfModel {
+            model: LinearModel::fit(&xs, &ys)?,
+        })
+    }
+
+    /// Predicted step time for a config (may be slightly negative for
+    /// extreme extrapolations; clamped at zero).
+    pub fn predict(&self, workload: &Workload, cfg: &Config) -> Result<f64> {
+        Ok(self.model.predict(&workload.features(cfg)?).max(0.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msc_core::catalog::{benchmark, BenchmarkId};
+    use msc_core::prelude::*;
+    use msc_machine::presets::{sunway_cg, taihulight_network};
+
+    pub fn fig11_workload() -> Workload {
+        let b = benchmark(BenchmarkId::S3d7ptStar);
+        let p = b.program(&[8192, 128, 128], DType::F64, 2).unwrap();
+        Workload {
+            global_grid: vec![8192, 128, 128],
+            reach: p.stencil.reach(),
+            stats: StencilStats::of(&p.stencil, DType::F64).unwrap(),
+            n_procs: 128,
+            prec: Precision::Fp64,
+            points: b.points(),
+        }
+    }
+
+    fn sample_configs() -> Vec<Config> {
+        let mut v = Vec::new();
+        for &tx in &[2usize, 4, 8] {
+            for &ty in &[4usize, 8, 16] {
+                for &tz in &[16usize, 32, 64] {
+                    for mpi in [[128, 1, 1], [32, 2, 2], [8, 4, 4], [64, 2, 1]] {
+                        v.push(Config {
+                            tile: vec![tx, ty, tz],
+                            mpi_grid: mpi.to_vec(),
+                        });
+                    }
+                }
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn model_fits_simulator_reasonably() {
+        let w = fig11_workload();
+        let m = sunway_cg();
+        let n = taihulight_network();
+        let samples = sample_configs();
+        let pm = PerfModel::fit(&w, &samples, &m, &n).unwrap();
+        // Check prediction quality on the training configs.
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for c in &samples {
+            xs.push(w.features(c).unwrap());
+            ys.push(w.measure(c, &m, &n).unwrap());
+        }
+        let r2 = pm.model.r_squared(&xs, &ys);
+        assert!(r2 > 0.7, "R^2 = {r2}");
+    }
+
+    #[test]
+    fn features_are_finite_and_positive_scale() {
+        let w = fig11_workload();
+        let f = w
+            .features(&Config {
+                tile: vec![2, 8, 64],
+                mpi_grid: vec![8, 4, 4],
+            })
+            .unwrap();
+        assert_eq!(f.len(), 6);
+        assert!(f.iter().all(|v| v.is_finite() && *v >= 0.0));
+    }
+
+    #[test]
+    fn measure_rejects_indivisible_mpi_grid() {
+        let w = fig11_workload();
+        let cfg = Config {
+            tile: vec![2, 8, 64],
+            mpi_grid: vec![3, 4, 4],
+        };
+        assert!(w
+            .measure(&cfg, &sunway_cg(), &taihulight_network())
+            .is_err());
+    }
+}

@@ -1,0 +1,60 @@
+//! Auto-tuning demo (the paper's §5.4 / Figure 11 workflow at reduced
+//! iteration count): fit the regression performance model, anneal over
+//! tile sizes × MPI grid shapes, and report the convergence trace.
+//!
+//! Run with: `cargo run --release --example autotune`
+
+use msc::core::analysis::StencilStats;
+use msc::core::catalog::{benchmark, BenchmarkId};
+use msc::prelude::*;
+use msc::tune::{tune, AnnealOptions, Config, TuneProblem};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let b = benchmark(BenchmarkId::S3d7ptStar);
+    let program = b.program(&[8192, 128, 128], DType::F64, 2)?;
+    let machine = msc::machine::presets::sunway_cg();
+    let network = msc::machine::presets::taihulight_network();
+
+    let problem = TuneProblem {
+        workload: msc::tune::perf_model::Workload {
+            global_grid: vec![8192, 128, 128],
+            reach: program.stencil.reach(),
+            stats: StencilStats::of(&program.stencil, DType::F64)?,
+            n_procs: 128,
+            prec: Precision::Fp64,
+            points: b.points(),
+        },
+        machine: &machine,
+        network: &network,
+        options: AnnealOptions {
+            iterations: 8000,
+            seed: 7,
+            ..Default::default()
+        },
+    };
+
+    // Deliberately poor starting point, like Figure 11's first iterations.
+    let start = Config {
+        tile: vec![1, 1, 4],
+        mpi_grid: vec![128, 1, 1],
+    };
+    let result = tune(&problem, start)?;
+
+    println!("auto-tuning 3d7pt_star on 8192x128x128 over 128 CGs");
+    println!("convergence trace (best-so-far model cost):");
+    for p in result.trace.iter().take(15) {
+        println!("  iter {:>6}: {:.4} ms", p.iteration, p.best_cost * 1e3);
+    }
+    println!(
+        "best: tile {:?}, MPI grid {:?}",
+        result.best.tile, result.best.mpi_grid
+    );
+    println!(
+        "step time {:.3} ms -> {:.3} ms: {:.2}x improvement (paper: 3.28x)",
+        result.initial_time_s * 1e3,
+        result.best_time_s * 1e3,
+        result.improvement()
+    );
+    assert!(result.improvement() > 1.5);
+    Ok(())
+}

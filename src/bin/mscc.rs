@@ -1,0 +1,253 @@
+//! `mscc` — the MSC compiler driver.
+//!
+//! Compiles a `.msc` stencil description to a C source package (plus
+//! Makefile) for a target, optionally running the program functionally
+//! and printing a simulated performance report:
+//!
+//! ```text
+//! mscc stencil.msc                      # emit code for the file's target
+//! mscc stencil.msc -o outdir            # choose the output directory
+//! mscc stencil.msc --target matrix      # override the target
+//! mscc stencil.msc --run                # execute functionally, print stats
+//! mscc stencil.msc --simulate           # predicted time on the target model
+//! mscc stencil.msc --stats              # static kernel statistics
+//! mscc stencil.msc --autoschedule       # pick tiles/stream/tile_time automatically
+//! mscc stencil.msc --run --dump out.grid  # save the final state (MSCGRID1 format)
+//! ```
+
+use msc::core::analysis::StencilStats;
+use msc::core::schedule::ExecPlan;
+use msc::prelude::*;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    input: PathBuf,
+    outdir: Option<PathBuf>,
+    target: Option<Target>,
+    run: bool,
+    simulate: bool,
+    stats: bool,
+    autoschedule: bool,
+    dump: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut input = None;
+    let mut outdir = None;
+    let mut target = None;
+    let mut run = false;
+    let mut simulate = false;
+    let mut stats = false;
+    let mut autoschedule = false;
+    let mut dump = None;
+    let mut argv = std::env::args().skip(1);
+    while let Some(a) = argv.next() {
+        match a.as_str() {
+            "-o" | "--out" => {
+                outdir = Some(PathBuf::from(
+                    argv.next().ok_or("missing directory after -o")?,
+                ))
+            }
+            "--target" => {
+                let t = argv.next().ok_or("missing target name")?;
+                target = Some(match t.as_str() {
+                    "sunway" => Target::SunwayCG,
+                    "matrix" => Target::Matrix,
+                    "cpu" => Target::Cpu,
+                    other => return Err(format!("unknown target `{other}`")),
+                });
+            }
+            "--run" => run = true,
+            "--simulate" => simulate = true,
+            "--stats" => stats = true,
+            "--autoschedule" => autoschedule = true,
+            "--dump" => dump = Some(PathBuf::from(argv.next().ok_or("missing path after --dump")?)),
+            "-h" | "--help" => {
+                return Err("usage: mscc <file.msc> [-o DIR] [--target sunway|matrix|cpu] [--run] [--simulate] [--stats] [--autoschedule]".into())
+            }
+            other if input.is_none() && !other.starts_with('-') => {
+                input = Some(PathBuf::from(other))
+            }
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    Ok(Args {
+        input: input.ok_or("no input file (try --help)")?,
+        outdir,
+        target,
+        run,
+        simulate,
+        stats,
+        autoschedule,
+        dump,
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("mscc: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match drive(args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("mscc: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn drive(args: Args) -> Result<(), Box<dyn std::error::Error>> {
+    let source = std::fs::read_to_string(&args.input)
+        .map_err(|e| format!("cannot read {}: {e}", args.input.display()))?;
+    let parsed = msc::core::parse::parse(&source)?;
+    let mut program = parsed.program;
+    let target = args
+        .target
+        .or(parsed.target)
+        .unwrap_or(Target::Cpu);
+
+    println!(
+        "compiled `{}`: {}D grid {:?}, {} kernels, window {}, {} timesteps, target {}",
+        program.name,
+        program.grid.ndim(),
+        program.grid.shape,
+        program.stencil.kernels.len(),
+        program.stencil.time_window(),
+        program.timesteps,
+        target.as_str()
+    );
+
+    if args.autoschedule {
+        let machine = match target {
+            Target::SunwayCG => msc::machine::presets::sunway_cg(),
+            Target::Matrix => msc::machine::presets::matrix_processor(),
+            Target::Cpu => msc::machine::presets::xeon_server(),
+        };
+        let stats = StencilStats::of(&program.stencil, program.grid.dtype)?;
+        let auto = msc::tune::auto_schedule(
+            &program.grid.shape,
+            &stats,
+            &program.stencil.reach(),
+            program.stencil.kernels[0].points(),
+            &machine,
+            target,
+            if program.grid.dtype == DType::F32 {
+                Precision::Fp32
+            } else {
+                Precision::Fp64
+            },
+        )?;
+        for d in &auto.decisions {
+            println!("autoschedule: {d}");
+        }
+        println!(
+            "autoschedule: selected tile {:?}, stream {}, tile_time {} ({:.3} ms/step predicted)",
+            auto.schedule.tile_factors,
+            auto.schedule.double_buffer,
+            auto.schedule.time_tile,
+            auto.predicted_s * 1e3
+        );
+        for k in &mut program.stencil.kernels {
+            k.schedule = auto.schedule.clone();
+        }
+    }
+
+    if args.stats {
+        let dtype = program.grid.dtype;
+        let s = StencilStats::of(&program.stencil, dtype)?;
+        println!(
+            "per point: {} reads ({} B), {} B written, {} flops; reach {:?}",
+            s.points,
+            s.read_bytes,
+            s.write_bytes,
+            s.ops(),
+            program.stencil.reach()
+        );
+    }
+
+    if args.simulate {
+        let machine = match target {
+            Target::SunwayCG => msc::machine::presets::sunway_cg(),
+            Target::Matrix => msc::machine::presets::matrix_processor(),
+            Target::Cpu => msc::machine::presets::xeon_server(),
+        };
+        let sched = effective_schedule(&program, target);
+        let plan = ExecPlan::lower(&sched, program.grid.ndim(), &program.grid.shape)?;
+        let stats = StencilStats::of(&program.stencil, program.grid.dtype)?;
+        let rep = simulate_step(
+            &StepInputs {
+                stats,
+                reach: program.stencil.reach(),
+                plan: &plan,
+                prec: if program.grid.dtype == DType::F32 {
+                    Precision::Fp32
+                } else {
+                    Precision::Fp64
+                },
+            },
+            &machine,
+        );
+        println!(
+            "simulated on {}: {:.3} ms/step, {:.1} GFlop/s, {:?}-bound (OI {:.2} F/B)",
+            machine.name,
+            rep.time_s * 1e3,
+            rep.gflops(),
+            rep.bound,
+            rep.oi_dram
+        );
+    }
+
+    if args.run {
+        let init: Grid<f64> = Grid::random(&program.grid.shape, &program.grid.halo, 42);
+        let sched = effective_schedule(&program, target);
+        let plan = ExecPlan::lower(&sched, program.grid.ndim(), &program.grid.shape)?;
+        let t0 = std::time::Instant::now();
+        let (out, stats) = run_program(&program, &Executor::Tiled(plan), &init)?;
+        let dt = t0.elapsed();
+        println!(
+            "ran {} steps in {:.1} ms ({} tiles); interior checksum {:.6e}",
+            stats.steps,
+            dt.as_secs_f64() * 1e3,
+            stats.tiles_executed,
+            out.interior_sum()
+        );
+        let (reference, _) = run_program(&program, &Executor::Reference, &init)?;
+        println!(
+            "verified vs serial reference: max rel err {:.2e}",
+            max_rel_error(&out, &reference)
+        );
+        if let Some(path) = &args.dump {
+            msc::exec::io::save(&out, path)?;
+            println!("dumped final state to {}", path.display());
+        }
+    }
+
+    let dir = args
+        .outdir
+        .unwrap_or_else(|| PathBuf::from(format!("{}_{}", program.name, target.as_str())));
+    let pkg = compile_to_source(&program, target)?;
+    pkg.write_to(&dir)?;
+    println!(
+        "wrote {:?} ({} LoC) to {}",
+        pkg.file_names(),
+        pkg.total_loc(),
+        dir.display()
+    );
+    Ok(())
+}
+
+/// The kernel's own schedule if any primitives were given, else the
+/// Table 5 preset clamped to the grid.
+fn effective_schedule(program: &StencilProgram, target: Target) -> msc::core::schedule::Schedule {
+    let k = &program.stencil.kernels[0];
+    if k.schedule.tile_factors.is_empty() && k.schedule.parallel.is_none() {
+        preset_for_grid(k.ndim, k.points(), target, &program.grid.shape)
+    } else {
+        k.schedule.clone()
+    }
+}

@@ -1,0 +1,83 @@
+//! Every `.msc` file shipped under `examples/dsl/` must parse, validate,
+//! lower, execute (scaled down), and generate code for its target.
+
+use msc::core::parse::parse;
+use msc::core::schedule::ExecPlan;
+use msc::prelude::*;
+
+fn dsl_files() -> Vec<std::path::PathBuf> {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("examples/dsl");
+    let mut files: Vec<_> = std::fs::read_dir(&dir)
+        .expect("examples/dsl exists")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "msc"))
+        .collect();
+    files.sort();
+    assert!(!files.is_empty(), "no .msc examples found");
+    files
+}
+
+#[test]
+fn all_dsl_examples_parse_and_validate() {
+    for f in dsl_files() {
+        let src = std::fs::read_to_string(&f).unwrap();
+        let parsed = parse(&src).unwrap_or_else(|e| panic!("{}: {e}", f.display()));
+        let p = &parsed.program;
+        assert!(p.timesteps >= 1, "{}", f.display());
+        assert!(!p.stencil.kernels.is_empty());
+        // The declared schedule must lower against the declared grid.
+        for k in &p.stencil.kernels {
+            ExecPlan::lower(&k.schedule, k.ndim, &p.grid.shape)
+                .unwrap_or_else(|e| panic!("{}: schedule illegal: {e}", f.display()));
+        }
+    }
+}
+
+#[test]
+fn all_dsl_examples_generate_code_for_their_target() {
+    for f in dsl_files() {
+        let src = std::fs::read_to_string(&f).unwrap();
+        let parsed = parse(&src).unwrap();
+        let target = parsed.target.unwrap_or(Target::Cpu);
+        let pkg = compile_to_source(&parsed.program, target)
+            .unwrap_or_else(|e| panic!("{}: {e}", f.display()));
+        assert!(pkg.total_loc() > 20, "{}", f.display());
+    }
+}
+
+#[test]
+fn all_dsl_examples_execute_and_verify_scaled_down() {
+    for f in dsl_files() {
+        let src = std::fs::read_to_string(&f).unwrap();
+        let parsed = parse(&src).unwrap();
+        let mut p = parsed.program;
+        // Scale the grid down so the test stays fast, respecting the
+        // stencil reach and the declared tile divisibility loosely.
+        let reach = p.stencil.reach();
+        let small: Vec<usize> = p
+            .grid
+            .shape
+            .iter()
+            .zip(&reach)
+            .map(|(_, &r)| (8 * (r + 1)).max(16))
+            .collect();
+        p.grid.shape = small.clone();
+        p.timesteps = 3;
+        p.mpi_grid = None;
+        let init: Grid<f64> = Grid::random(&p.grid.shape, &p.grid.halo, 7);
+        let (a, _) = run_program(&p, &Executor::Reference, &init)
+            .unwrap_or_else(|e| panic!("{}: {e}", f.display()));
+        // Tiled run with a clamped version of the declared schedule.
+        let mut sched = p.stencil.kernels[0].schedule.clone();
+        let tile: Vec<usize> = small.iter().map(|&g| (g / 2).max(1)).collect();
+        sched.tile(&tile);
+        sched.cache_read = None;
+        sched.cache_write = None;
+        sched.compute_at.clear();
+        sched.double_buffer = false;
+        let plan = ExecPlan::lower(&sched, p.grid.ndim(), &p.grid.shape).unwrap();
+        let (b, _) = run_program(&p, &Executor::Tiled(plan), &init).unwrap();
+        assert_eq!(a.as_slice(), b.as_slice(), "{}", f.display());
+    }
+}

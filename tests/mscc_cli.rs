@@ -1,0 +1,105 @@
+//! Integration tests of the `mscc` compiler driver binary.
+
+use std::process::Command;
+
+fn mscc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_mscc"))
+}
+
+fn dsl(name: &str) -> String {
+    format!("{}/examples/dsl/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn compiles_run_verifies_and_emits() {
+    let dir = std::env::temp_dir().join("mscc_cli_test");
+    let _ = std::fs::remove_dir_all(&dir);
+    let out = mscc()
+        .arg(dsl("wave2d.msc"))
+        .arg("-o")
+        .arg(&dir)
+        .args(["--run", "--stats", "--simulate"])
+        .output()
+        .expect("mscc runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.contains("compiled `wave2d`"));
+    assert!(stdout.contains("verified vs serial reference: max rel err 0.00e0"));
+    assert!(stdout.contains("simulated on"));
+    assert!(dir.join("main.c").exists());
+    assert!(dir.join("Makefile").exists());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn autoschedule_reports_decisions() {
+    let dir = std::env::temp_dir().join("mscc_cli_auto");
+    let out = mscc()
+        .arg(dsl("3d7pt.msc"))
+        .arg("-o")
+        .arg(&dir)
+        .arg("--autoschedule")
+        .output()
+        .expect("mscc runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.contains("autoschedule: tile sweep"));
+    assert!(stdout.contains("autoschedule: selected tile"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn target_override_switches_output_files() {
+    let dir = std::env::temp_dir().join("mscc_cli_target");
+    let out = mscc()
+        .arg(dsl("3d7pt.msc"))
+        .arg("-o")
+        .arg(&dir)
+        .args(["--target", "cpu"])
+        .output()
+        .expect("mscc runs");
+    assert!(out.status.success());
+    assert!(dir.join("main.c").exists(), "cpu target emits main.c");
+    assert!(!dir.join("slave.c").exists(), "no athread slave for cpu");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn dump_writes_loadable_grid() {
+    let dir = std::env::temp_dir().join("mscc_cli_dump");
+    let _ = std::fs::create_dir_all(&dir);
+    let grid_path = dir.join("out.grid");
+    let out = mscc()
+        .arg(dsl("wave2d.msc"))
+        .arg("-o")
+        .arg(&dir)
+        .args(["--run", "--dump"])
+        .arg(&grid_path)
+        .output()
+        .expect("mscc runs");
+    assert!(out.status.success());
+    let g: msc::prelude::Grid<f64> = msc::exec::io::load(&grid_path).unwrap();
+    assert_eq!(g.shape, vec![128, 128]);
+    assert!(g.interior_sum().is_finite());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bad_input_fails_with_diagnostic() {
+    let dir = std::env::temp_dir().join("mscc_cli_bad");
+    let _ = std::fs::create_dir_all(&dir);
+    let bad = dir.join("bad.msc");
+    std::fs::write(&bad, "stencil x { grid B f64[8]; }").unwrap();
+    let out = mscc().arg(&bad).output().expect("mscc runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("line 1"), "{err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn missing_file_reports_cleanly() {
+    let out = mscc().arg("/nonexistent.msc").output().expect("mscc runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+}
