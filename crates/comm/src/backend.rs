@@ -18,6 +18,7 @@ use crate::halo::HaloExchange;
 use crate::region::Region;
 use crate::runtime::RankCtx;
 use msc_exec::{Grid, Scalar};
+use msc_trace::Counter;
 
 /// A halo-exchange strategy: publish the halo of `grid` for this rank.
 /// Returns the number of messages sent.
@@ -154,6 +155,7 @@ impl HaloBackend for FullNeighborExchange {
         grid: &mut Grid<T>,
         slot: usize,
     ) -> usize {
+        let _span = msc_trace::span("halo_exchange");
         let ndim = self.decomp.ndim();
         let offsets = Self::offsets(ndim);
         let mut sent = 0;
@@ -161,7 +163,15 @@ impl HaloBackend for FullNeighborExchange {
         // Phase 1: post everything.
         for (i, v) in offsets.iter().enumerate() {
             if let Some(nb) = self.neighbor_at(ctx.rank, v) {
-                let payload = self.send_block(v).pack(grid);
+                let payload = {
+                    let _t = msc_trace::timed(Counter::PackNanos);
+                    self.send_block(v).pack(grid)
+                };
+                let bytes = (payload.len() * std::mem::size_of::<T>()) as u64;
+                ctx.counters.bump(Counter::HaloMessages, 1);
+                ctx.counters.bump(Counter::HaloBytes, bytes);
+                msc_trace::record(Counter::HaloMessages, 1);
+                msc_trace::record(Counter::HaloBytes, bytes);
                 ctx.isend(nb, Self::tag(slot, i), payload);
                 sent += 1;
                 // The matching inbound message comes from the neighbour's
@@ -175,6 +185,7 @@ impl HaloBackend for FullNeighborExchange {
         // Phase 2: complete and unpack.
         for (v, req) in pending {
             let data = ctx.wait(req);
+            let _t = msc_trace::timed(Counter::UnpackNanos);
             self.recv_block(&v).unpack(grid, &data);
         }
         sent

@@ -17,13 +17,49 @@ use msc_core::schedule::WindowPlan;
 use msc_exec::boundary::{self, Boundary};
 use msc_exec::compiled::CompiledStencil;
 use msc_exec::{tiled, Grid, Scalar};
+use msc_trace::{Counter, CounterSet, Profile};
 
 /// Per-run communication statistics, aggregated over ranks.
+///
+/// Like [`msc_exec::driver::RunStats`], this is a thin view over the
+/// trace counter vocabulary: each rank accumulates a [`CounterSet`]
+/// (halo messages/bytes from the exchanger, DMA and tile counters from
+/// the executors) and the gather loop merges them all into `counters`.
+/// The headline fields stay as plain members for ergonomic access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CommStats {
     pub messages: u64,
     pub steps: usize,
     pub ranks: usize,
+    /// Merged counters across all ranks: halo traffic plus whatever the
+    /// per-rank executors recorded (DMA bytes/rows, SPM peak, tiles).
+    pub counters: CounterSet,
+}
+
+impl CommStats {
+    pub fn halo_messages(&self) -> u64 {
+        self.counters.get(Counter::HaloMessages)
+    }
+    pub fn halo_bytes(&self) -> u64 {
+        self.counters.get(Counter::HaloBytes)
+    }
+    pub fn dma_get_bytes(&self) -> u64 {
+        self.counters.get(Counter::DmaGetBytes)
+    }
+    pub fn dma_put_bytes(&self) -> u64 {
+        self.counters.get(Counter::DmaPutBytes)
+    }
+    pub fn spm_peak_bytes(&self) -> u64 {
+        self.counters.get(Counter::SpmPeakBytes)
+    }
+    pub fn tiles_executed(&self) -> u64 {
+        self.counters.get(Counter::TilesExecuted)
+    }
+
+    /// Wrap into a counters-only [`Profile`] for reporting.
+    pub fn profile(&self, label: impl Into<String>) -> Profile {
+        Profile::from_counters(label, self.counters)
+    }
 }
 
 /// Extract the local padded grid of `rank` from the global grid (the
@@ -134,13 +170,14 @@ pub fn run_distributed_exec<T: Scalar, B: crate::backend::HaloBackend>(
     boundary::apply(&mut seeded, bc);
     let seeded = &seeded;
 
-    let rank_results: Vec<Result<(Vec<T>, u64)>> =
-        World::run(decomp.n_ranks(), |mut ctx| -> Result<(Vec<T>, u64)> {
+    let rank_results: Vec<Result<(Vec<T>, u64, CounterSet)>> =
+        World::run(decomp.n_ranks(), |mut ctx| -> Result<(Vec<T>, u64, CounterSet)> {
             let local_init = scatter(seeded, &decomp, ctx.rank);
             let compiled = CompiledStencil::compile(program, &local_init)?;
             let window = WindowPlan::for_max_dt(compiled.max_dt)?;
             let mut ring: Vec<Grid<T>> =
                 (0..window.window).map(|_| local_init.clone()).collect();
+            let mut counters = CounterSet::new();
 
             for s in 0..program.timesteps {
                 let t = compiled.max_dt + s;
@@ -152,10 +189,13 @@ pub fn run_distributed_exec<T: Scalar, B: crate::backend::HaloBackend>(
                         .collect();
                     match spm_capacity {
                         None => {
-                            tiled::step(&compiled, &plan, &inputs, &mut out);
+                            let tiles = tiled::step(&compiled, &plan, &inputs, &mut out);
+                            counters.bump(Counter::TilesExecuted, tiles as u64);
                         }
                         Some(cap) => {
-                            msc_exec::spm::step(&compiled, &plan, &inputs, &mut out, cap)?;
+                            let st =
+                                msc_exec::spm::step(&compiled, &plan, &inputs, &mut out, cap)?;
+                            counters.merge(&st.counters());
                         }
                     }
                 }
@@ -170,7 +210,8 @@ pub fn run_distributed_exec<T: Scalar, B: crate::backend::HaloBackend>(
             let last = window.output_slot(compiled.max_dt + program.timesteps - 1);
             let interior =
                 Region::new(decomp.reach.clone(), sub.clone()).pack(&ring[last]);
-            Ok((interior, ctx.sent_msgs))
+            counters.merge(&ctx.counters);
+            Ok((interior, ctx.sent_msgs, counters))
         });
 
     // Gather interiors, then refresh the global halo to match what a
@@ -180,10 +221,12 @@ pub fn run_distributed_exec<T: Scalar, B: crate::backend::HaloBackend>(
         messages: 0,
         steps: program.timesteps,
         ranks: decomp.n_ranks(),
+        counters: CounterSet::new(),
     };
     for (rank, res) in rank_results.into_iter().enumerate() {
-        let (interior, msgs) = res?;
+        let (interior, msgs, counters) = res?;
         stats.messages += msgs;
+        stats.counters.merge(&counters);
         let origin = decomp.origin_of(rank);
         let dst = Region::new(
             origin.iter().zip(&reach).map(|(&o, &r)| o + r).collect(),
@@ -191,6 +234,9 @@ pub fn run_distributed_exec<T: Scalar, B: crate::backend::HaloBackend>(
         );
         dst.unpack(&mut global, &interior);
     }
+    // Steps and rank count are run-global, not per-rank sums.
+    stats.counters.set(Counter::Steps, program.timesteps as u64);
+    stats.counters.set(Counter::Ranks, decomp.n_ranks() as u64);
     boundary::apply(&mut global, bc);
     Ok((global, stats))
 }
@@ -365,7 +411,7 @@ mod tests {
         let (single, _) = run_program(&p, &Executor::Reference, &init).unwrap();
         let decomp = build_decomp(&p, &[2, 1, 2], Boundary::Dirichlet).unwrap();
         let backend = HaloExchange::new(decomp);
-        let (multi, _) = run_distributed_exec(
+        let (multi, stats) = run_distributed_exec(
             &p,
             &init,
             Boundary::Dirichlet,
@@ -375,6 +421,30 @@ mod tests {
         )
         .unwrap();
         assert_eq!(single.as_slice(), multi.as_slice());
+        // The per-rank SPM executors' DMA traffic must survive the
+        // gather: these used to be silently dropped.
+        assert!(stats.dma_get_bytes() > 0);
+        assert!(stats.dma_put_bytes() > 0);
+        assert!(stats.spm_peak_bytes() > 0);
+        assert!(stats.tiles_executed() > 0);
+    }
+
+    #[test]
+    fn comm_stats_unify_halo_and_executor_counters() {
+        let p = benchmark(BenchmarkId::S2d9ptBox)
+            .program(&[16, 16], DType::F64, 5)
+            .unwrap();
+        let init: Grid<f64> = Grid::random(&p.grid.shape, &p.grid.halo, 42);
+        let (_, stats) = run_distributed(&p, &[2, 2], &init, simple_plan).unwrap();
+        // Only halo traffic flows in run_distributed, so the unified
+        // counter must agree with the legacy message count.
+        assert_eq!(stats.halo_messages(), stats.messages);
+        assert!(stats.halo_bytes() > 0);
+        assert!(stats.tiles_executed() > 0);
+        assert_eq!(stats.counters.get(msc_trace::Counter::Steps), 5);
+        assert_eq!(stats.counters.get(msc_trace::Counter::Ranks), 4);
+        // No SPM in this run: DMA counters stay zero.
+        assert_eq!(stats.dma_get_bytes(), 0);
     }
 
     #[test]

@@ -6,6 +6,7 @@
 use crate::decomp::CartDecomp;
 use crate::runtime::RankCtx;
 use msc_exec::{Grid, Scalar};
+use msc_trace::Counter;
 
 /// Halo-exchange operator bound to a decomposition.
 #[derive(Debug, Clone)]
@@ -36,6 +37,7 @@ impl HaloExchange {
         grid: &mut Grid<T>,
         slot: usize,
     ) -> usize {
+        let _span = msc_trace::span("halo_exchange");
         let mut sent = 0;
         for dim in 0..self.decomp.ndim() {
             if self.decomp.reach[dim] == 0 {
@@ -44,7 +46,15 @@ impl HaloExchange {
             let mut pending = Vec::new();
             for dir in [-1i64, 1] {
                 if let Some(nb) = self.decomp.neighbor(ctx.rank, dim, dir) {
-                    let payload = self.decomp.send_region(dim, dir).pack(grid);
+                    let payload = {
+                        let _t = msc_trace::timed(Counter::PackNanos);
+                        self.decomp.send_region(dim, dir).pack(grid)
+                    };
+                    let bytes = (payload.len() * std::mem::size_of::<T>()) as u64;
+                    ctx.counters.bump(Counter::HaloMessages, 1);
+                    ctx.counters.bump(Counter::HaloBytes, bytes);
+                    msc_trace::record(Counter::HaloMessages, 1);
+                    msc_trace::record(Counter::HaloBytes, bytes);
                     ctx.isend(nb, Self::tag(slot, dim, dir), payload);
                     sent += 1;
                     // The neighbour sends back with the *opposite*
@@ -55,6 +65,7 @@ impl HaloExchange {
             }
             for (dir, req) in pending {
                 let data = ctx.wait(req);
+                let _t = msc_trace::timed(Counter::UnpackNanos);
                 self.decomp.recv_region(dim, dir).unpack(grid, &data);
             }
         }

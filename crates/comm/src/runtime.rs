@@ -4,6 +4,7 @@
 //! with out-of-order buffering, like MPI's unexpected-message queue.
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use msc_trace::CounterSet;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -31,8 +32,13 @@ pub struct RankCtx<T> {
     /// Unexpected-message queue: messages that arrived before their
     /// matching irecv was waited on.
     stash: Vec<Message<T>>,
-    /// Bytes sent (diagnostics).
+    /// Messages sent (diagnostics).
     pub sent_msgs: u64,
+    /// Per-rank trace counters (halo messages/bytes and anything callers
+    /// bump). Always accumulated — cheap local adds — and folded into
+    /// [`crate::distributed::CommStats`] at gather time, so stats survive
+    /// even when global tracing is disabled.
+    pub counters: CounterSet,
 }
 
 impl<T: Send + Clone + 'static> RankCtx<T> {
@@ -59,6 +65,7 @@ impl<T: Send + Clone + 'static> RankCtx<T> {
     /// Block until the matching message arrives; unrelated messages are
     /// stashed for later requests.
     pub fn wait(&mut self, req: RecvRequest) -> Vec<T> {
+        let _span = msc_trace::span("recv_wait");
         if let Some(pos) = self
             .stash
             .iter()
@@ -110,6 +117,7 @@ impl World {
                 let senders = Arc::clone(&senders);
                 let f = &f;
                 handles.push(scope.spawn(move |_| {
+                    let _span = msc_trace::span("rank");
                     let ctx = RankCtx {
                         rank,
                         n_ranks,
@@ -117,6 +125,7 @@ impl World {
                         inbox,
                         stash: Vec::new(),
                         sent_msgs: 0,
+                        counters: CounterSet::new(),
                     };
                     (rank, f(ctx))
                 }));

@@ -10,6 +10,7 @@ use msc_core::error::Result;
 use msc_core::prelude::*;
 use msc_core::schedule::plan::ExecPlan;
 use msc_core::schedule::WindowPlan;
+use msc_trace::{Counter, CounterSet, Profile};
 
 /// Which execution strategy to use for each timestep.
 #[derive(Debug, Clone)]
@@ -24,6 +25,11 @@ pub enum Executor {
 }
 
 /// Aggregate statistics of a run.
+///
+/// A thin view over the trace counter vocabulary: the driver accumulates
+/// a [`CounterSet`] while stepping (the executors publish the same
+/// numbers to the global tracer when tracing is enabled) and this struct
+/// is projected out of it at the end via [`RunStats::from_counters`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct RunStats {
     pub steps: usize,
@@ -32,6 +38,34 @@ pub struct RunStats {
     pub dma_put_bytes: u64,
     pub dma_rows: u64,
     pub spm_peak_bytes: usize,
+    /// The full counter set the headline fields were projected from
+    /// (also carries counters without a dedicated field, e.g. computed
+    /// points).
+    pub counters: CounterSet,
+}
+
+impl RunStats {
+    /// Project the run-level fields out of a counter set.
+    pub fn from_counters(c: &CounterSet) -> RunStats {
+        RunStats {
+            steps: c.get(Counter::Steps) as usize,
+            tiles_executed: c.get(Counter::TilesExecuted),
+            dma_get_bytes: c.get(Counter::DmaGetBytes),
+            dma_put_bytes: c.get(Counter::DmaPutBytes),
+            dma_rows: c.get(Counter::DmaRows),
+            spm_peak_bytes: c.get(Counter::SpmPeakBytes) as usize,
+            counters: *c,
+        }
+    }
+
+    pub fn computed_points(&self) -> u64 {
+        self.counters.get(Counter::ComputedPoints)
+    }
+
+    /// Wrap into a counters-only [`Profile`] for reporting.
+    pub fn profile(&self, label: impl Into<String>) -> Profile {
+        Profile::from_counters(label, self.counters)
+    }
 }
 
 /// Run `program.timesteps` updates starting from `init` (all window slots
@@ -58,9 +92,10 @@ pub fn run_program_bc<T: Scalar>(
     let mut seeded = init.clone();
     boundary::apply(&mut seeded, boundary_cond);
     let mut ring: Vec<Grid<T>> = (0..window.window).map(|_| seeded.clone()).collect();
-    let mut stats = RunStats::default();
+    let mut counters = CounterSet::new();
 
     for s in 0..program.timesteps {
+        let _step_span = msc_trace::span("step");
         let t = compiled.max_dt + s;
         let out_slot = window.output_slot(t);
 
@@ -74,28 +109,30 @@ pub fn run_program_bc<T: Scalar>(
             match executor {
                 Executor::Reference => {
                     reference::step(&compiled, &inputs, &mut out);
-                    stats.tiles_executed += 1;
+                    counters.bump(Counter::TilesExecuted, 1);
+                    msc_trace::record(Counter::TilesExecuted, 1);
                 }
                 Executor::Tiled(plan) => {
-                    stats.tiles_executed += tiled::step(&compiled, plan, &inputs, &mut out) as u64;
+                    let tiles = tiled::step(&compiled, plan, &inputs, &mut out) as u64;
+                    counters.bump(Counter::TilesExecuted, tiles);
                 }
                 Executor::Spm { plan, spm_capacity } => {
                     let s = spm::step(&compiled, plan, &inputs, &mut out, *spm_capacity)?;
-                    stats.tiles_executed += s.tiles;
-                    stats.dma_get_bytes += s.dma_get_bytes;
-                    stats.dma_put_bytes += s.dma_put_bytes;
-                    stats.dma_rows += s.dma_rows;
-                    stats.spm_peak_bytes = stats.spm_peak_bytes.max(s.spm_peak_bytes);
+                    counters.merge(&s.counters());
                 }
             }
         }
         boundary::apply(&mut out, boundary_cond);
         ring[out_slot] = out;
-        stats.steps += 1;
+        counters.bump(Counter::Steps, 1);
+        msc_trace::record(Counter::Steps, 1);
+        let points: u64 = program.grid.shape.iter().product::<usize>() as u64;
+        counters.bump(Counter::ComputedPoints, points);
+        msc_trace::record(Counter::ComputedPoints, points);
     }
 
     let last = window.output_slot(compiled.max_dt + program.timesteps - 1);
-    Ok((ring.swap_remove(last), stats))
+    Ok((ring.swap_remove(last), RunStats::from_counters(&counters)))
 }
 
 #[cfg(test)]

@@ -17,6 +17,7 @@ use crate::compiled::CompiledStencil;
 use crate::grid::{Grid, GridLayout, Scalar};
 use msc_core::error::{MscError, Result};
 use msc_core::schedule::plan::{ExecPlan, TileRange};
+use msc_trace::{Counter, CounterSet};
 
 /// DMA / SPM accounting for one step.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -40,6 +41,17 @@ impl SpmStats {
         self.dma_rows += other.dma_rows;
         self.spm_peak_bytes = self.spm_peak_bytes.max(other.spm_peak_bytes);
         self.tiles += other.tiles;
+    }
+
+    /// The same numbers in the shared trace-counter vocabulary.
+    pub fn counters(&self) -> CounterSet {
+        let mut c = CounterSet::new();
+        c.set(Counter::DmaGetBytes, self.dma_get_bytes);
+        c.set(Counter::DmaPutBytes, self.dma_put_bytes);
+        c.set(Counter::DmaRows, self.dma_rows);
+        c.set(Counter::SpmPeakBytes, self.spm_peak_bytes as u64);
+        c.set(Counter::TilesExecuted, self.tiles);
+        c
     }
 }
 
@@ -236,6 +248,7 @@ pub fn step<T: Scalar>(
     out: &mut Grid<T>,
     spm_capacity: usize,
 ) -> Result<SpmStats> {
+    let _span = msc_trace::span("spm_step");
     let probe: SpmWorker<T> = SpmWorker::new(plan, &stencil.reach);
     // Double-buffered streaming keeps two copies of each buffer alive so
     // the DMA of tile k+1 overlaps the compute of tile k.
@@ -254,6 +267,7 @@ pub fn step<T: Scalar>(
     let ptr = SendPtr(out.as_mut_slice().as_mut_ptr());
 
     let run_worker = |my_id: usize| -> SpmStats {
+        let _ws = msc_trace::span("spm_worker");
         // Capture the whole SendPtr (not just its field) so the closure
         // inherits its Send/Sync, not the raw pointer's.
         let ptr = &ptr;
@@ -277,21 +291,42 @@ pub fn step<T: Scalar>(
         stats
     };
 
-    if n_threads == 1 {
-        return Ok(run_worker(0));
-    }
-
-    let mut total = SpmStats::default();
-    crossbeam::thread::scope(|scope| {
-        let run = &run_worker;
-        let handles: Vec<_> = (0..n_threads)
-            .map(|my_id| scope.spawn(move |_| run(my_id)))
-            .collect();
-        for h in handles {
-            total.merge(&h.join().expect("SPM worker panicked"));
-        }
-    })
-    .expect("SPM scope failed");
+    let total = if n_threads == 1 {
+        run_worker(0)
+    } else {
+        let mut total = SpmStats::default();
+        crossbeam::thread::scope(|scope| {
+            let run = &run_worker;
+            let handles: Vec<_> = (0..n_threads)
+                .map(|my_id| {
+                    scope.spawn(move |_| {
+                        let stats = run(my_id);
+                        let finished_ns = if msc_trace::enabled() {
+                            msc_trace::spans::now_ns()
+                        } else {
+                            0
+                        };
+                        (stats, finished_ns)
+                    })
+                })
+                .collect();
+            let mut finished = Vec::with_capacity(n_threads);
+            for h in handles {
+                let (stats, fin) = h.join().expect("SPM worker panicked");
+                total.merge(&stats);
+                finished.push(fin);
+            }
+            // Imbalance at the implicit end-of-step barrier.
+            if msc_trace::enabled() {
+                let last = finished.iter().copied().max().unwrap_or(0);
+                let wait: u64 = finished.iter().map(|&f| last - f).sum();
+                msc_trace::record(Counter::BarrierWaitNanos, wait);
+            }
+        })
+        .expect("SPM scope failed");
+        total
+    };
+    msc_trace::record_set(&total.counters());
     Ok(total)
 }
 

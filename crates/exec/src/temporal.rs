@@ -167,6 +167,7 @@ pub fn run_temporal_tiled<T: Scalar>(
     let mut remaining = program.timesteps;
 
     while remaining > 0 {
+        let _block_span = msc_trace::span("temporal_block");
         let block = tt.min(remaining);
         let computed = std::sync::atomic::AtomicU64::new(0);
         {
@@ -179,6 +180,7 @@ pub fn run_temporal_tiled<T: Scalar>(
             let computed_ref = &computed;
 
             let work = |my_id: usize| {
+                let _ws = msc_trace::span("temporal_worker");
                 let dst_ptr = &dst_ptr;
                 let mut local_a: Vec<T> = Vec::new();
                 let mut local_b: Vec<T> = Vec::new();
@@ -348,9 +350,13 @@ pub fn run_temporal_tiled<T: Scalar>(
         // `next` (the old cur) will be fully overwritten tile-by-tile in
         // the next block; its halo already matches (Dirichlet, never
         // written).
+        let block_points = computed.load(std::sync::atomic::Ordering::Relaxed);
         stats.blocks += 1;
         stats.steps += block;
-        stats.computed_points += computed.load(std::sync::atomic::Ordering::Relaxed);
+        stats.computed_points += block_points;
+        msc_trace::record(msc_trace::Counter::TemporalBlocks, 1);
+        msc_trace::record(msc_trace::Counter::Steps, block as u64);
+        msc_trace::record(msc_trace::Counter::ComputedPoints, block_points);
         remaining -= block;
     }
 

@@ -5,6 +5,7 @@
 use crate::compiled::CompiledStencil;
 use crate::grid::{Grid, GridLayout, Scalar};
 use msc_core::schedule::plan::{ExecPlan, TileRange};
+use msc_trace::Counter;
 
 /// Raw mutable pointer that may cross threads. Safety: workers write
 /// disjoint tiles (the tile set partitions the interior, verified by
@@ -58,6 +59,7 @@ pub fn step<T: Scalar>(
     states: &[&Grid<T>],
     out: &mut Grid<T>,
 ) -> usize {
+    let _span = msc_trace::span("tiled_step");
     let tiles = plan.tiles();
     let n_threads = plan.n_threads.min(tiles.len()).max(1);
     let state_slices: Vec<&[T]> = states.iter().map(|g| g.as_slice()).collect();
@@ -68,6 +70,7 @@ pub fn step<T: Scalar>(
         for tile in &tiles {
             compute_tile(stencil, &state_slices, &layout, ptr.0, tile);
         }
+        msc_trace::record(Counter::TilesExecuted, tiles.len() as u64);
         return tiles.len();
     }
 
@@ -76,16 +79,36 @@ pub fn step<T: Scalar>(
         let tiles_ref = &tiles;
         let states_ref = &state_slices;
         let layout_ref = &layout;
-        for my_id in 0..n_threads {
-            scope.spawn(move |_| {
-                // Round-robin striping: task_id % n_threads == my_id.
-                for tile in tiles_ref.iter().skip(my_id).step_by(n_threads) {
-                    compute_tile(stencil, states_ref, layout_ref, ptr_ref.0, tile);
-                }
-            });
+        let handles: Vec<_> = (0..n_threads)
+            .map(|my_id| {
+                scope.spawn(move |_| {
+                    let _ws = msc_trace::span("tile_worker");
+                    // Round-robin striping: task_id % n_threads == my_id.
+                    for tile in tiles_ref.iter().skip(my_id).step_by(n_threads) {
+                        compute_tile(stencil, states_ref, layout_ref, ptr_ref.0, tile);
+                    }
+                    if msc_trace::enabled() {
+                        msc_trace::spans::now_ns()
+                    } else {
+                        0
+                    }
+                })
+            })
+            .collect();
+        let finished: Vec<u64> = handles
+            .into_iter()
+            .map(|h| h.join().expect("tile worker panicked"))
+            .collect();
+        // Imbalance at the implicit end-of-step barrier: how long each
+        // worker idled waiting for the slowest one.
+        if msc_trace::enabled() {
+            let last = finished.iter().copied().max().unwrap_or(0);
+            let wait: u64 = finished.iter().map(|&f| last - f).sum();
+            msc_trace::record(Counter::BarrierWaitNanos, wait);
         }
     })
     .expect("tile worker panicked");
+    msc_trace::record(Counter::TilesExecuted, tiles.len() as u64);
     tiles.len()
 }
 

@@ -199,6 +199,7 @@ impl<T: Scalar> CompiledVarStencil<T> {
         unsafe impl<T> Send for SendPtr<T> {}
         unsafe impl<T> Sync for SendPtr<T> {}
 
+        let _span = msc_trace::span("varcoeff_step");
         let tiles = plan.tiles();
         let n_threads = plan.n_threads.min(tiles.len()).max(1);
         let layout = out.layout();
@@ -237,6 +238,7 @@ impl<T: Scalar> CompiledVarStencil<T> {
             for t in &tiles {
                 run_tile(t, &ptr);
             }
+            msc_trace::record(msc_trace::Counter::TilesExecuted, tiles.len() as u64);
             return tiles.len();
         }
         crossbeam::thread::scope(|scope| {
@@ -245,6 +247,7 @@ impl<T: Scalar> CompiledVarStencil<T> {
             let ptr_ref = &ptr;
             for my_id in 0..n_threads {
                 scope.spawn(move |_| {
+                    let _ws = msc_trace::span("varcoeff_worker");
                     for t in tiles_ref.iter().skip(my_id).step_by(n_threads) {
                         run(t, ptr_ref);
                     }
@@ -252,6 +255,7 @@ impl<T: Scalar> CompiledVarStencil<T> {
             }
         })
         .expect("varcoeff worker panicked");
+        msc_trace::record(msc_trace::Counter::TilesExecuted, tiles.len() as u64);
         tiles.len()
     }
 }

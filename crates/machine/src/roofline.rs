@@ -1,7 +1,10 @@
 //! Roofline model (paper §5.2.2, Figure 9): attainable performance as a
-//! function of operational intensity.
+//! function of operational intensity — plus *measured* kernel placement,
+//! where a runtime [`Profile`] from `msc-trace` supplies the achieved
+//! coordinates instead of an analytic estimate.
 
 use crate::model::{MachineModel, Precision};
+use msc_trace::{Counter, Profile};
 
 /// Roofline of one machine at one precision.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -36,6 +39,100 @@ impl Roofline {
     pub fn is_memory_bound(&self, oi: f64) -> bool {
         oi < self.ridge_point()
     }
+
+    /// Place a measured kernel on this roofline.
+    pub fn place(&self, kernel: &MeasuredKernel) -> Placement {
+        let oi = kernel.intensity();
+        let achieved_gflops = kernel.achieved_gflops();
+        let attainable_gflops = self.attainable_gflops(oi);
+        Placement {
+            oi,
+            achieved_gflops,
+            attainable_gflops,
+            memory_bound: self.is_memory_bound(oi),
+            efficiency: if attainable_gflops > 0.0 {
+                achieved_gflops / attainable_gflops
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+/// A kernel's measured roofline coordinates: floating-point work done,
+/// bytes moved, and elapsed wall time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeasuredKernel {
+    pub name: String,
+    /// Floating-point operations executed.
+    pub flops: f64,
+    /// Bytes moved to/from memory.
+    pub bytes: f64,
+    /// Elapsed wall time in seconds.
+    pub elapsed_s: f64,
+}
+
+impl MeasuredKernel {
+    pub fn new(name: impl Into<String>, flops: f64, bytes: f64, elapsed_s: f64) -> MeasuredKernel {
+        MeasuredKernel {
+            name: name.into(),
+            flops,
+            bytes,
+            elapsed_s,
+        }
+    }
+
+    /// Build from a runtime [`Profile`]: flops come from the computed-point
+    /// counter scaled by the kernel's flops/point, bytes from measured DMA
+    /// traffic (falling back to halo traffic when no SPM staging ran), and
+    /// elapsed time from the span timeline. Any coordinate the profile did
+    /// not capture comes out zero; [`Roofline::place`] guards the ratios.
+    pub fn from_profile(profile: &Profile, flops_per_point: f64) -> MeasuredKernel {
+        let flops = profile.get(Counter::ComputedPoints) as f64 * flops_per_point;
+        let dma =
+            profile.get(Counter::DmaGetBytes) + profile.get(Counter::DmaPutBytes);
+        let bytes = if dma > 0 {
+            dma as f64
+        } else {
+            profile.get(Counter::HaloBytes) as f64
+        };
+        let elapsed_s = profile.timeline_ns() as f64 * 1e-9;
+        MeasuredKernel::new(profile.label.clone(), flops, bytes, elapsed_s)
+    }
+
+    /// Measured operational intensity (flops/byte); zero when no bytes
+    /// were observed.
+    pub fn intensity(&self) -> f64 {
+        if self.bytes > 0.0 {
+            self.flops / self.bytes
+        } else {
+            0.0
+        }
+    }
+
+    /// Achieved GFlop/s; zero when no time was observed.
+    pub fn achieved_gflops(&self) -> f64 {
+        if self.elapsed_s > 0.0 {
+            self.flops / self.elapsed_s * 1e-9
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Where a measured kernel lands relative to the roofs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Placement {
+    /// Measured operational intensity, flops/byte.
+    pub oi: f64,
+    /// Measured performance, GFlop/s.
+    pub achieved_gflops: f64,
+    /// The roofline's bound at the measured intensity, GFlop/s.
+    pub attainable_gflops: f64,
+    /// Left of the ridge point?
+    pub memory_bound: bool,
+    /// achieved / attainable, in [0, 1] for a sane measurement.
+    pub efficiency: f64,
 }
 
 #[cfg(test)]
@@ -63,6 +160,44 @@ mod tests {
         };
         assert_eq!(r.attainable_gflops(5.0), 50.0);
         assert_eq!(r.attainable_gflops(1000.0), 100.0);
+    }
+
+    #[test]
+    fn measured_placement_lands_on_the_right_side_of_the_ridge() {
+        let r = Roofline {
+            peak_gflops: 100.0,
+            bw_gbps: 10.0,
+        }; // ridge at oi = 10
+        // 1 GFlop over 0.1 GB in 0.1 s: oi 10^1, achieved 10 GFlop/s.
+        let mem = MeasuredKernel::new("mem", 1e9, 1e9, 0.1);
+        let p = r.place(&mem);
+        assert!((p.oi - 1.0).abs() < 1e-12);
+        assert!(p.memory_bound);
+        assert!((p.attainable_gflops - 10.0).abs() < 1e-9);
+        assert!((p.efficiency - 1.0).abs() < 1e-9);
+        // Same flops over far fewer bytes: compute-bound, half-efficient.
+        let cmp = MeasuredKernel::new("cmp", 1e10, 1e8, 0.2);
+        let p = r.place(&cmp);
+        assert!(!p.memory_bound);
+        assert!((p.achieved_gflops - 50.0).abs() < 1e-9);
+        assert!((p.efficiency - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn measured_kernel_from_profile_uses_dma_traffic() {
+        use msc_trace::{Counter, CounterSet, Profile};
+        let mut c = CounterSet::new();
+        c.set(Counter::ComputedPoints, 1_000_000);
+        c.set(Counter::DmaGetBytes, 8_000_000);
+        c.set(Counter::DmaPutBytes, 2_000_000);
+        let p = Profile::from_counters("spm-run", c);
+        let k = MeasuredKernel::from_profile(&p, 10.0);
+        assert_eq!(k.name, "spm-run");
+        assert!((k.flops - 1e7).abs() < 1e-6);
+        assert!((k.intensity() - 1.0).abs() < 1e-12);
+        // No spans captured: elapsed unknown, achieved rate degrades to 0
+        // instead of dividing by zero.
+        assert_eq!(k.achieved_gflops(), 0.0);
     }
 
     #[test]

@@ -1,0 +1,304 @@
+//! Typed counters: the fixed metric vocabulary shared by the executors,
+//! the halo runtime, and the stats views built on top of them.
+//!
+//! Two representations:
+//!
+//! * the **global accumulator** — sharded `AtomicU64` banks behind the
+//!   process-wide enable flag, fed by [`record`]/[`record_max`] on hot
+//!   paths and drained by [`snapshot`];
+//! * [`CounterSet`] — a plain `Copy` array of values used wherever stats
+//!   are passed around or merged without atomics (per-rank results,
+//!   `RunStats`, `CommStats`).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// How a counter combines when two sets (threads, ranks, shards) merge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MergeMode {
+    /// Totals add (bytes moved, tiles executed, ...).
+    Sum,
+    /// Merged value is the maximum (peak footprints).
+    Max,
+}
+
+macro_rules! counters {
+    ($( $variant:ident => ($name:literal, $unit:literal, $mode:ident) ),+ $(,)?) => {
+        /// The metric vocabulary. Every counter has a stable name, a
+        /// unit, and a merge mode; adding a variant automatically
+        /// extends `CounterSet`, the global banks, and both exporters.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+        #[repr(usize)]
+        pub enum Counter {
+            $( $variant ),+
+        }
+
+        impl Counter {
+            pub const COUNT: usize = [$( Counter::$variant ),+].len();
+            pub const ALL: [Counter; Counter::COUNT] = [$( Counter::$variant ),+];
+
+            /// Stable snake_case identifier (used in exports).
+            pub fn name(self) -> &'static str {
+                match self { $( Counter::$variant => $name ),+ }
+            }
+
+            pub fn unit(self) -> &'static str {
+                match self { $( Counter::$variant => $unit ),+ }
+            }
+
+            pub fn merge_mode(self) -> MergeMode {
+                match self { $( Counter::$variant => MergeMode::$mode ),+ }
+            }
+        }
+    };
+}
+
+counters! {
+    Steps            => ("steps", "count", Sum),
+    TilesExecuted    => ("tiles_executed", "count", Sum),
+    DmaGetBytes      => ("dma_get_bytes", "bytes", Sum),
+    DmaPutBytes      => ("dma_put_bytes", "bytes", Sum),
+    DmaRows          => ("dma_rows", "count", Sum),
+    SpmPeakBytes     => ("spm_peak_bytes", "bytes", Max),
+    HaloMessages     => ("halo_messages", "count", Sum),
+    HaloBytes        => ("halo_bytes", "bytes", Sum),
+    PackNanos        => ("pack_time", "ns", Sum),
+    UnpackNanos      => ("unpack_time", "ns", Sum),
+    BarrierWaitNanos => ("barrier_wait", "ns", Sum),
+    Ranks            => ("ranks", "count", Max),
+    TemporalBlocks   => ("temporal_blocks", "count", Sum),
+    ComputedPoints   => ("computed_points", "count", Sum),
+}
+
+/// A plain, copyable vector of counter values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CounterSet {
+    vals: [u64; Counter::COUNT],
+}
+
+impl CounterSet {
+    pub const fn new() -> CounterSet {
+        CounterSet {
+            vals: [0; Counter::COUNT],
+        }
+    }
+
+    #[inline]
+    pub fn get(&self, c: Counter) -> u64 {
+        self.vals[c as usize]
+    }
+
+    #[inline]
+    pub fn set(&mut self, c: Counter, v: u64) {
+        self.vals[c as usize] = v;
+    }
+
+    /// Accumulate into one counter following its merge mode.
+    #[inline]
+    pub fn bump(&mut self, c: Counter, v: u64) {
+        let slot = &mut self.vals[c as usize];
+        match c.merge_mode() {
+            MergeMode::Sum => *slot += v,
+            MergeMode::Max => *slot = (*slot).max(v),
+        }
+    }
+
+    /// Merge another set in, counter by counter, honoring merge modes.
+    pub fn merge(&mut self, other: &CounterSet) {
+        for c in Counter::ALL {
+            self.bump(c, other.get(c));
+        }
+    }
+
+    pub fn is_zero(&self) -> bool {
+        self.vals.iter().all(|&v| v == 0)
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (Counter, u64)> + '_ {
+        Counter::ALL.iter().map(move |&c| (c, self.get(c)))
+    }
+}
+
+/// Number of independent atomic banks. Threads pick a bank by a cheap
+/// thread-local index so concurrent workers rarely contend on the same
+/// cache line; [`snapshot`] folds the banks back together.
+const SHARDS: usize = 16;
+
+#[repr(align(64))]
+struct Shard {
+    vals: [AtomicU64; Counter::COUNT],
+}
+
+impl Shard {
+    const fn new() -> Shard {
+        #[allow(clippy::declare_interior_mutable_const)]
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        Shard {
+            vals: [ZERO; Counter::COUNT],
+        }
+    }
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static BANKS: [Shard; SHARDS] = [const { Shard::new() }; SHARDS];
+static NEXT_SHARD: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static MY_SHARD: usize =
+        (NEXT_SHARD.fetch_add(1, Ordering::Relaxed) as usize) % SHARDS;
+}
+
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Globally enable or disable tracing.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Release);
+}
+
+/// RAII enable: turns tracing on, restores the previous state on drop.
+pub struct EnableGuard {
+    was: bool,
+}
+
+impl EnableGuard {
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> EnableGuard {
+        let was = enabled();
+        set_enabled(true);
+        EnableGuard { was }
+    }
+}
+
+impl Drop for EnableGuard {
+    fn drop(&mut self) {
+        set_enabled(self.was);
+    }
+}
+
+/// Accumulate `v` into counter `c` (no-op unless tracing is enabled).
+/// Sum-mode counters add; max-mode counters take the running maximum.
+#[inline]
+pub fn record(c: Counter, v: u64) {
+    if !enabled() {
+        return;
+    }
+    record_always(c, v);
+}
+
+/// Alias for [`record`] that reads better at max-mode call sites.
+#[inline]
+pub fn record_max(c: Counter, v: u64) {
+    record(c, v);
+}
+
+fn record_always(c: Counter, v: u64) {
+    MY_SHARD.with(|&s| {
+        let slot = &BANKS[s].vals[c as usize];
+        match c.merge_mode() {
+            MergeMode::Sum => {
+                slot.fetch_add(v, Ordering::Relaxed);
+            }
+            MergeMode::Max => {
+                slot.fetch_max(v, Ordering::Relaxed);
+            }
+        }
+    });
+}
+
+/// Publish a locally accumulated [`CounterSet`] into the global banks
+/// (no-op unless tracing is enabled). Lets hot loops count into a plain
+/// stack value and pay for atomics once.
+pub fn record_set(set: &CounterSet) {
+    if !enabled() {
+        return;
+    }
+    for (c, v) in set.iter() {
+        if v != 0 {
+            record_always(c, v);
+        }
+    }
+}
+
+/// Fold every bank into a plain [`CounterSet`].
+pub fn snapshot() -> CounterSet {
+    let mut out = CounterSet::new();
+    for bank in &BANKS {
+        for c in Counter::ALL {
+            out.bump(c, bank.vals[c as usize].load(Ordering::Relaxed));
+        }
+    }
+    out
+}
+
+/// Zero all banks.
+pub fn reset_counters() {
+    for bank in &BANKS {
+        for v in &bank.vals {
+            v.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::GLOBAL_TEST_LOCK;
+
+    #[test]
+    fn counter_set_merges_by_mode() {
+        let mut a = CounterSet::new();
+        a.set(Counter::DmaGetBytes, 100);
+        a.set(Counter::SpmPeakBytes, 64);
+        let mut b = CounterSet::new();
+        b.set(Counter::DmaGetBytes, 11);
+        b.set(Counter::SpmPeakBytes, 512);
+        a.merge(&b);
+        assert_eq!(a.get(Counter::DmaGetBytes), 111);
+        assert_eq!(a.get(Counter::SpmPeakBytes), 512);
+    }
+
+    #[test]
+    fn disabled_record_is_inert() {
+        let _g = GLOBAL_TEST_LOCK.lock().unwrap();
+        reset_counters();
+        set_enabled(false);
+        let before = snapshot();
+        record(Counter::TilesExecuted, 42);
+        record_max(Counter::SpmPeakBytes, 1 << 20);
+        assert_eq!(snapshot(), before);
+    }
+
+    #[test]
+    fn enabled_record_accumulates_across_threads() {
+        let _g = GLOBAL_TEST_LOCK.lock().unwrap();
+        reset_counters();
+        {
+            let _e = EnableGuard::new();
+            std::thread::scope(|s| {
+                for _ in 0..8 {
+                    s.spawn(|| {
+                        for _ in 0..100 {
+                            record(Counter::TilesExecuted, 1);
+                        }
+                        record_max(Counter::SpmPeakBytes, 4096);
+                    });
+                }
+            });
+        }
+        let snap = snapshot();
+        assert_eq!(snap.get(Counter::TilesExecuted), 800);
+        assert_eq!(snap.get(Counter::SpmPeakBytes), 4096);
+        reset_counters();
+        assert!(snapshot().is_zero());
+    }
+
+    #[test]
+    fn names_and_units_are_stable() {
+        assert_eq!(Counter::DmaGetBytes.name(), "dma_get_bytes");
+        assert_eq!(Counter::PackNanos.unit(), "ns");
+        assert_eq!(Counter::SpmPeakBytes.merge_mode(), MergeMode::Max);
+        assert_eq!(Counter::ALL.len(), Counter::COUNT);
+    }
+}

@@ -1,0 +1,231 @@
+//! Profile exporters: a human-readable table and chrome://tracing JSON.
+//!
+//! Both renderings are deterministic for a given [`Profile`] — counters
+//! appear in declaration order, span aggregates sorted by name, raw
+//! events in (start, thread) order — so they can be golden-file tested
+//! and diffed across runs.
+
+use crate::counters::Counter;
+use crate::profile::Profile;
+use crate::spans::SpanKind;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Render the human-readable report: non-zero counters with units,
+/// followed by per-name span aggregates (count / total / mean).
+pub fn table(p: &Profile) -> String {
+    let mut out = String::new();
+    let label = if p.label.is_empty() { "run" } else { &p.label };
+    let _ = writeln!(out, "== profile: {label} ==");
+
+    let _ = writeln!(out, "{:<18} {:>16} unit", "counter", "value");
+    for (c, v) in p.counters.iter() {
+        if v == 0 {
+            continue;
+        }
+        match c.unit() {
+            "ns" => {
+                let _ = writeln!(out, "{:<18} {:>16.3} ms", c.name(), v as f64 / 1e6);
+            }
+            unit => {
+                let _ = writeln!(out, "{:<18} {:>16} {}", c.name(), v, unit);
+            }
+        }
+    }
+    if p.counters.is_zero() {
+        let _ = writeln!(out, "(no counters recorded)");
+    }
+
+    // Aggregate the timeline per span name.
+    let mut agg: BTreeMap<&str, (u64, u64)> = BTreeMap::new();
+    for s in p.spans.iter().filter(|s| s.kind == SpanKind::Complete) {
+        let e = agg.entry(s.name).or_insert((0, 0));
+        e.0 += 1;
+        e.1 += s.dur_ns;
+    }
+    if !agg.is_empty() {
+        let _ = writeln!(
+            out,
+            "{:<18} {:>8} {:>12} {:>12}",
+            "span", "count", "total ms", "mean us"
+        );
+        for (name, (count, total_ns)) in &agg {
+            let _ = writeln!(
+                out,
+                "{:<18} {:>8} {:>12.3} {:>12.3}",
+                name,
+                count,
+                *total_ns as f64 / 1e6,
+                *total_ns as f64 / 1e3 / *count as f64,
+            );
+        }
+    }
+    if p.dropped_spans > 0 {
+        let _ = writeln!(out, "!! dropped spans: {}", p.dropped_spans);
+    }
+    out
+}
+
+/// Render the profile as chrome://tracing "trace event format" JSON
+/// (load via chrome://tracing or https://ui.perfetto.dev).
+///
+/// Spans become `"X"` complete events and instants become `"i"` events,
+/// with microsecond timestamps relative to the trace epoch; counters are
+/// attached under `otherData` so the report is self-contained.
+pub fn chrome_json(p: &Profile) -> String {
+    let mut out = String::from("{\n  \"traceEvents\": [\n");
+
+    // Name the process after the profile label; also guarantees the
+    // event array is non-empty, so every span gets a comma prefix.
+    let _ = write!(
+        out,
+        "    {{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 0, \"tid\": 0, \"args\": {{\"name\": {}}}}}",
+        json_string(if p.label.is_empty() { "msc" } else { &p.label })
+    );
+
+    for s in &p.spans {
+        out.push_str(",\n");
+        let ts_us = s.start_ns as f64 / 1e3;
+        match s.kind {
+            SpanKind::Complete => {
+                let dur_us = s.dur_ns as f64 / 1e3;
+                let _ = write!(
+                    out,
+                    "    {{\"name\": {}, \"cat\": \"msc\", \"ph\": \"X\", \"ts\": {}, \"dur\": {}, \"pid\": 0, \"tid\": {}}}",
+                    json_string(s.name),
+                    json_f64(ts_us),
+                    json_f64(dur_us),
+                    s.thread
+                );
+            }
+            SpanKind::Instant => {
+                let _ = write!(
+                    out,
+                    "    {{\"name\": {}, \"cat\": \"msc\", \"ph\": \"i\", \"ts\": {}, \"s\": \"t\", \"pid\": 0, \"tid\": {}}}",
+                    json_string(s.name),
+                    json_f64(ts_us),
+                    s.thread
+                );
+            }
+        }
+    }
+
+    out.push_str("\n  ],\n  \"displayTimeUnit\": \"ms\",\n  \"otherData\": {\n");
+    let mut first_counter = true;
+    for c in Counter::ALL {
+        let v = p.counters.get(c);
+        if v == 0 {
+            continue;
+        }
+        if !first_counter {
+            out.push_str(",\n");
+        }
+        first_counter = false;
+        let _ = write!(out, "    {}: {}", json_string(c.name()), v);
+    }
+    if p.dropped_spans > 0 {
+        if !first_counter {
+            out.push_str(",\n");
+        }
+        let _ = write!(out, "    \"dropped_spans\": {}", p.dropped_spans);
+    }
+    out.push_str("\n  }\n}\n");
+    out
+}
+
+/// Minimal JSON string escaping (control chars, quote, backslash).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Format a microsecond value without float noise: integers print bare,
+/// fractions keep three decimals (nanosecond resolution).
+fn json_f64(v: f64) -> String {
+    if v.fract() == 0.0 {
+        format!("{}", v as u64)
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counters::CounterSet;
+    use crate::spans::SpanRecord;
+
+    fn sample_profile() -> Profile {
+        let mut c = CounterSet::new();
+        c.set(Counter::TilesExecuted, 12);
+        c.set(Counter::PackNanos, 1_500_000);
+        let mut p = Profile::from_counters("sample", c);
+        p.spans = vec![
+            SpanRecord {
+                name: "step",
+                thread: 0,
+                start_ns: 1_000,
+                dur_ns: 2_500,
+                kind: SpanKind::Complete,
+            },
+            SpanRecord {
+                name: "mark",
+                thread: 1,
+                start_ns: 2_000,
+                dur_ns: 0,
+                kind: SpanKind::Instant,
+            },
+        ];
+        p
+    }
+
+    #[test]
+    fn table_lists_nonzero_counters_and_span_aggregates() {
+        let t = table(&sample_profile());
+        assert!(t.contains("tiles_executed"));
+        assert!(t.contains("12"));
+        assert!(t.contains("pack_time"));
+        assert!(t.contains("1.500 ms"));
+        assert!(t.contains("step"));
+        assert!(!t.contains("dma_get_bytes"), "zero counters are elided");
+    }
+
+    #[test]
+    fn chrome_json_is_structurally_sound() {
+        let j = chrome_json(&sample_profile());
+        assert!(j.contains("\"traceEvents\""));
+        assert!(j.contains("\"ph\": \"X\""));
+        assert!(j.contains("\"ph\": \"i\""));
+        assert!(j.contains("\"tiles_executed\": 12"));
+        // Balanced braces/brackets — cheap structural sanity.
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn json_string_escapes() {
+        assert_eq!(json_string("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn json_f64_formats() {
+        assert_eq!(json_f64(3.0), "3");
+        assert_eq!(json_f64(2.5), "2.500");
+    }
+}

@@ -1,0 +1,62 @@
+//! msc-trace: low-overhead runtime tracing and metrics.
+//!
+//! This crate is the observability spine of the workspace. The executors
+//! (msc-exec), the halo-exchange runtime (msc-comm) and the CLI publish
+//! their hot-path measurements through it, and the auto-tuner (msc-tune)
+//! reads them back as [`Profile`]s to calibrate its performance model —
+//! closing the modeled-vs-measured loop described in the paper's
+//! auto-tuning section.
+//!
+//! Three layers:
+//!
+//! * [`counters`] — a fixed vocabulary of typed counters ([`Counter`])
+//!   accumulated in sharded process-global atomics, plus the plain-value
+//!   [`CounterSet`] used by stats views like `RunStats`/`CommStats`;
+//! * [`spans`] — per-thread fixed-capacity span buffers written without
+//!   locks on the hot path, recording named begin/end intervals
+//!   ([`span`]) and instants ([`event`]);
+//! * [`profile`] / [`export`] — [`Profile`] snapshots that merge across
+//!   threads and ranks, rendered as a human-readable table
+//!   ([`Profile::to_table`]) or chrome://tracing JSON
+//!   ([`Profile::to_chrome_json`]).
+//!
+//! Tracing is **disabled by default** and gated on one process-global
+//! flag checked first thing in every recording call: a disabled
+//! [`record`] is a relaxed atomic load and branch, and a disabled
+//! [`span`] constructs an inert guard without reading the clock. Runs
+//! with tracing disabled are bit-identical to untraced runs — the
+//! recording paths touch no shared mutable state.
+
+pub mod counters;
+pub mod export;
+pub mod profile;
+pub mod spans;
+
+pub use counters::{
+    record, record_max, record_set, reset_counters, set_enabled, snapshot, Counter, CounterSet,
+    EnableGuard, MergeMode,
+};
+pub use profile::Profile;
+pub use spans::{event, reset_spans, span, timed, SpanGuard, SpanKind, SpanRecord, TimedScope};
+
+/// True when tracing is globally enabled.
+#[inline]
+pub fn enabled() -> bool {
+    counters::enabled()
+}
+
+/// Reset all global trace state (counters and span buffers).
+///
+/// Intended for test setup and between CLI runs; callers must ensure no
+/// spans are being recorded concurrently.
+pub fn reset() {
+    counters::reset_counters();
+    spans::reset_spans();
+}
+
+/// Unit tests in this crate share the process-global banks and span
+/// buffers; tests asserting exact totals serialize on this lock.
+#[cfg(test)]
+pub(crate) mod testutil {
+    pub(crate) static GLOBAL_TEST_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+}

@@ -1,0 +1,78 @@
+//! Golden-file regression tests for the exporters: the chrome://tracing
+//! JSON and the human-readable table for a fixed profile must not drift
+//! silently. Regenerate with
+//! `UPDATE_GOLDEN=1 cargo test -p msc-trace --test golden_exports`.
+
+use msc_trace::{Counter, CounterSet, Profile, SpanKind, SpanRecord};
+use std::path::PathBuf;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+fn check(name: &str, contents: &str) {
+    let path = golden_dir().join(name);
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::create_dir_all(golden_dir()).unwrap();
+        std::fs::write(&path, contents).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(&path)
+        .unwrap_or_else(|_| panic!("missing golden file {name}; run with UPDATE_GOLDEN=1"));
+    assert_eq!(
+        golden, contents,
+        "exported `{name}` drifted from the golden file; \
+         run UPDATE_GOLDEN=1 cargo test -p msc-trace --test golden_exports if intentional"
+    );
+}
+
+/// A fully deterministic profile: hand-written timestamps, no clocks.
+fn fixed_profile() -> Profile {
+    let mut c = CounterSet::new();
+    c.set(Counter::Steps, 4);
+    c.set(Counter::TilesExecuted, 64);
+    c.set(Counter::DmaGetBytes, 1_048_576);
+    c.set(Counter::DmaPutBytes, 524_288);
+    c.set(Counter::DmaRows, 128);
+    c.set(Counter::SpmPeakBytes, 65_536);
+    c.set(Counter::HaloMessages, 12);
+    c.set(Counter::HaloBytes, 98_304);
+    c.set(Counter::PackNanos, 1_500_000);
+    c.set(Counter::UnpackNanos, 1_250_000);
+    c.set(Counter::BarrierWaitNanos, 3_000_000);
+    c.set(Counter::Ranks, 4);
+    let mut p = Profile::from_counters("golden-run", c);
+    let span = |name: &'static str, thread, start_ns, dur_ns, kind| SpanRecord {
+        name,
+        thread,
+        start_ns,
+        dur_ns,
+        kind,
+    };
+    p.spans = vec![
+        span("step", 0, 1_000, 40_000, SpanKind::Complete),
+        span("tiled_step", 0, 2_000, 30_000, SpanKind::Complete),
+        span("tile_worker", 1, 3_000, 25_000, SpanKind::Complete),
+        span("tile_worker", 2, 3_500, 27_500, SpanKind::Complete),
+        span("halo_exchange", 0, 35_000, 5_000, SpanKind::Complete),
+        span("checkpoint", 0, 41_000, 0, SpanKind::Instant),
+    ];
+    p
+}
+
+#[test]
+fn golden_chrome_trace_json() {
+    check("chrome_trace.json", &fixed_profile().to_chrome_json());
+}
+
+#[test]
+fn golden_profile_table() {
+    check("profile_table.txt", &fixed_profile().to_table());
+}
+
+#[test]
+fn chrome_json_is_stable_across_renders() {
+    let p = fixed_profile();
+    assert_eq!(p.to_chrome_json(), p.to_chrome_json());
+    assert_eq!(p.to_table(), p.to_table());
+}

@@ -91,7 +91,7 @@ mod tests {
     }
 
     fn bowl_neighbor(x: &i64, rng: &mut StdRng) -> i64 {
-        x + rng.gen_range(-3..=3)
+        x + rng.gen_range(-3i64..=3)
     }
 
     #[test]
@@ -142,7 +142,7 @@ mod tests {
             iterations: 3000,
             ..Default::default()
         };
-        let (best, c, _) = anneal(100, cost, |x, rng| x + rng.gen_range(-4..=4), &opts);
+        let (best, c, _) = anneal(100, cost, |x, rng| x + rng.gen_range(-4i64..=4), &opts);
         assert_eq!(best % 2, 0);
         assert!(c <= 2.0);
     }

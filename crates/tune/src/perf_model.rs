@@ -11,6 +11,7 @@ use msc_core::schedule::{preset_for_grid, ExecPlan, Target};
 use msc_machine::model::{MachineModel, Precision};
 use msc_machine::NetworkModel;
 use msc_sim::{simulate_distributed, DistributedConfig};
+use msc_trace::{Counter, Profile};
 
 /// One tunable configuration: tile sizes plus the MPI process grid shape
 /// (the two parameter families §5.4 tunes).
@@ -86,6 +87,42 @@ impl Workload {
     }
 }
 
+/// One *measured* observation: a configuration plus the per-step time
+/// actually observed when running it — the feedback edge that lets the
+/// model calibrate against reality instead of the simulator.
+#[derive(Debug, Clone)]
+pub struct MeasuredSample {
+    pub cfg: Config,
+    /// Observed seconds per timestep.
+    pub step_time_s: f64,
+}
+
+impl MeasuredSample {
+    pub fn new(cfg: Config, step_time_s: f64) -> MeasuredSample {
+        MeasuredSample { cfg, step_time_s }
+    }
+
+    /// Derive the per-step time from a runtime [`Profile`]: the recorded
+    /// span timeline divided by the step counter. Requires a profile
+    /// captured with tracing enabled (otherwise there is no timeline to
+    /// divide).
+    pub fn from_profile(cfg: Config, profile: &Profile) -> Result<MeasuredSample> {
+        let steps = profile.get(Counter::Steps);
+        let span_ns = profile.timeline_ns();
+        if steps == 0 || span_ns == 0 {
+            return Err(MscError::InvalidConfig(format!(
+                "profile '{}' has no measured timeline ({} steps, {} ns) — \
+                 was tracing enabled?",
+                profile.label, steps, span_ns
+            )));
+        }
+        Ok(MeasuredSample {
+            cfg,
+            step_time_s: span_ns as f64 * 1e-9 / steps as f64,
+        })
+    }
+}
+
 /// The fitted performance model.
 #[derive(Debug, Clone)]
 pub struct PerfModel {
@@ -116,6 +153,33 @@ impl PerfModel {
         if xs.len() < 8 {
             return Err(MscError::InvalidConfig(format!(
                 "too few feasible samples to fit the model ({})",
+                xs.len()
+            )));
+        }
+        Ok(PerfModel {
+            model: LinearModel::fit(&xs, &ys)?,
+        })
+    }
+
+    /// Calibrate from measured runs instead of simulator sweeps: trace
+    /// profiles come in as [`MeasuredSample`]s, fitted coefficients come
+    /// out. Infeasible configs and non-positive times are skipped.
+    pub fn fit_measured(workload: &Workload, samples: &[MeasuredSample]) -> Result<PerfModel> {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for s in samples {
+            let Ok(x) = workload.features(&s.cfg) else {
+                continue;
+            };
+            if !s.step_time_s.is_finite() || s.step_time_s <= 0.0 {
+                continue;
+            }
+            xs.push(x);
+            ys.push(s.step_time_s);
+        }
+        if xs.len() < 8 {
+            return Err(MscError::InvalidConfig(format!(
+                "too few usable measured samples to calibrate ({})",
                 xs.len()
             )));
         }
@@ -184,6 +248,73 @@ mod tests {
         }
         let r2 = pm.model.r_squared(&xs, &ys);
         assert!(r2 > 0.7, "R^2 = {r2}");
+    }
+
+    #[test]
+    fn measured_sample_divides_timeline_by_steps() {
+        use msc_trace::{CounterSet, SpanKind, SpanRecord};
+        let mut c = CounterSet::new();
+        c.set(msc_trace::Counter::Steps, 4);
+        let mut p = msc_trace::Profile::from_counters("run", c);
+        p.spans.push(SpanRecord {
+            name: "step",
+            thread: 0,
+            start_ns: 1_000,
+            dur_ns: 2_000,
+            kind: SpanKind::Complete,
+        });
+        p.spans.push(SpanRecord {
+            name: "step",
+            thread: 0,
+            start_ns: 7_000,
+            dur_ns: 2_000,
+            kind: SpanKind::Complete,
+        });
+        let cfg = Config {
+            tile: vec![2, 8, 64],
+            mpi_grid: vec![8, 4, 4],
+        };
+        // Timeline spans [1000, 9000] ns over 4 steps: 2 µs/step.
+        let s = MeasuredSample::from_profile(cfg.clone(), &p).unwrap();
+        assert!((s.step_time_s - 2e-6).abs() < 1e-15);
+        // A counters-only profile (tracing disabled) has no timeline.
+        let empty = msc_trace::Profile::from_counters("cold", c);
+        assert!(MeasuredSample::from_profile(cfg, &empty).is_err());
+    }
+
+    #[test]
+    fn measured_calibration_reproduces_tile_ranking() {
+        // Feed the fit *measured* samples (here: simulator ground truth
+        // standing in for trace-profile times) and check the calibrated
+        // model ranks configurations like the measurements do.
+        let w = fig11_workload();
+        let m = sunway_cg();
+        let n = taihulight_network();
+        let samples: Vec<MeasuredSample> = sample_configs()
+            .into_iter()
+            .filter_map(|c| {
+                let t = w.measure(&c, &m, &n).ok()?;
+                Some(MeasuredSample::new(c, t))
+            })
+            .collect();
+        assert!(samples.len() >= 8);
+        let pm = PerfModel::fit_measured(&w, &samples).unwrap();
+
+        let mut by_measured: Vec<&MeasuredSample> = samples.iter().collect();
+        by_measured.sort_by(|a, b| a.step_time_s.total_cmp(&b.step_time_s));
+        let mut by_predicted: Vec<&MeasuredSample> = samples.iter().collect();
+        by_predicted.sort_by(|a, b| {
+            let pa = pm.predict(&w, &a.cfg).unwrap();
+            let pb = pm.predict(&w, &b.cfg).unwrap();
+            pa.total_cmp(&pb)
+        });
+        // The model's top pick must be among the measured top decile.
+        let decile = by_measured.len().div_ceil(10);
+        let best_pred = &by_predicted[0].cfg;
+        assert!(
+            by_measured[..decile].iter().any(|s| &s.cfg == best_pred),
+            "predicted best {best_pred:?} not in measured top {decile}"
+        );
     }
 
     #[test]

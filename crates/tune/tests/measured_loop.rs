@@ -1,0 +1,81 @@
+//! The measured feedback loop, end to end: run real executors under
+//! tracing, capture `msc-trace` profiles, convert them to
+//! [`MeasuredSample`]s, and calibrate the performance model from them —
+//! the paper's regression-fitted model with measurements instead of
+//! simulator sweeps.
+
+use msc_core::analysis::StencilStats;
+use msc_core::catalog::{benchmark, BenchmarkId};
+use msc_core::prelude::*;
+use msc_core::schedule::{plan::ExecPlan, Schedule};
+use msc_exec::driver::{run_program, Executor};
+use msc_exec::Grid;
+use msc_machine::model::Precision;
+use msc_tune::perf_model::{Config, MeasuredSample, PerfModel, Workload};
+
+fn plan_for(sub: &[usize], tile: &[usize]) -> ExecPlan {
+    let mut s = Schedule::default();
+    s.tile(tile);
+    s.parallel("xo", 2);
+    ExecPlan::lower(&s, sub.len(), sub).unwrap()
+}
+
+#[test]
+fn profiles_from_real_runs_calibrate_the_model() {
+    let b = benchmark(BenchmarkId::S3d7ptStar);
+    let shape = [32usize, 32, 32];
+    let p = b.program(&shape, DType::F64, 3).unwrap();
+    let init: Grid<f64> = Grid::random(&p.grid.shape, &p.grid.halo, 5);
+
+    let tiles: [[usize; 3]; 9] = [
+        [4, 4, 32],
+        [4, 8, 32],
+        [4, 16, 32],
+        [8, 8, 32],
+        [8, 16, 16],
+        [8, 32, 32],
+        [16, 16, 32],
+        [16, 32, 8],
+        [32, 32, 32],
+    ];
+    let mut samples = Vec::new();
+    for tile in &tiles {
+        msc_trace::reset();
+        let stats = {
+            let _e = msc_trace::EnableGuard::new();
+            let (_, stats) =
+                run_program(&p, &Executor::Tiled(plan_for(&shape, tile)), &init).unwrap();
+            stats
+        };
+        assert_eq!(stats.steps, 3);
+        let profile = msc_trace::Profile::capture(format!("tile {tile:?}"));
+        // The global tracer saw the same run the local stats view did.
+        assert_eq!(profile.get(msc_trace::Counter::Steps), 3);
+        assert_eq!(
+            profile.get(msc_trace::Counter::TilesExecuted),
+            stats.tiles_executed
+        );
+        let cfg = Config {
+            tile: tile.to_vec(),
+            mpi_grid: vec![1, 1, 1],
+        };
+        let sample = MeasuredSample::from_profile(cfg, &profile).unwrap();
+        assert!(sample.step_time_s > 0.0, "tile {tile:?} measured no time");
+        samples.push(sample);
+    }
+    msc_trace::reset();
+
+    let w = Workload {
+        global_grid: shape.to_vec(),
+        reach: p.stencil.reach(),
+        stats: StencilStats::of(&p.stencil, DType::F64).unwrap(),
+        n_procs: 1,
+        prec: Precision::Fp64,
+        points: b.points(),
+    };
+    let pm = PerfModel::fit_measured(&w, &samples).unwrap();
+    for s in &samples {
+        let pred = pm.predict(&w, &s.cfg).unwrap();
+        assert!(pred.is_finite() && pred >= 0.0, "cfg {:?} -> {pred}", s.cfg);
+    }
+}

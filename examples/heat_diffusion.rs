@@ -23,11 +23,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     });
 
+    // Run under tracing and print the measured profile afterwards.
+    msc::trace::set_enabled(true);
     let (out, _) = run_program(&program, &Executor::Reference, &init)?;
+    msc::trace::set_enabled(false);
     let centre = out.get(&[N / 2, N / 2]);
     let corner = out.get(&[2, 2]);
     println!("after {} steps: centre {:.2}, corner {:.4}", program.timesteps, centre, corner);
     assert!(centre < 100.0 && centre > corner, "heat must diffuse outward");
+    print!("{}", msc::trace::Profile::capture("heat_diffusion").to_table());
+    msc::trace::reset();
 
     // Generate the OpenMP package.
     let pkg = compile_to_source(&program, Target::Cpu)?;

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Full local verification: what CI runs, in the same order.
+# The workspace builds fully offline (see DESIGN.md §6) — every external
+# dependency is a vendored shim, so --offline is load-bearing, not an
+# optimization.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release) =="
+cargo build --workspace --release --offline
+
+echo "== tests =="
+cargo test -q --workspace --offline
+
+echo "== clippy =="
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "== examples & benches compile =="
+cargo build --workspace --examples --benches --offline
+
+echo "verify: all green"

@@ -1,0 +1,149 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the two facilities it uses, implemented over std:
+//!
+//! * [`thread::scope`] — scoped spawning (std's `std::thread::scope`
+//!   wrapped in crossbeam's `Result`-returning signature; spawn closures
+//!   receive a placeholder scope argument, which every caller ignores);
+//! * [`channel`] — unbounded MPSC channels (std's `std::sync::mpsc`,
+//!   whose `Sender` has been `Sync` since Rust 1.72, which is what the
+//!   message-passing runtime needs to share senders behind an `Arc`).
+
+pub mod thread {
+    use std::any::Any;
+
+    /// Handle to a thread spawned inside a [`scope`].
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    /// Scope wrapper mirroring `crossbeam::thread::Scope`.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a worker. The closure receives a placeholder argument
+        /// where crossbeam passes a nested `&Scope` (all callers in this
+        /// workspace write `|_|`, so nested spawning is not supported).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(()) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(())),
+            }
+        }
+    }
+
+    /// Run `f` with a scope that joins all spawned threads on exit.
+    ///
+    /// Crossbeam reports panics of *unjoined* children as `Err`; std's
+    /// scope propagates them as a panic instead, so this wrapper only
+    /// ever returns `Ok` — callers' `.unwrap()`/`.expect()` stay correct
+    /// either way.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+pub mod channel {
+    use std::sync::mpsc;
+
+    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+
+    /// Unbounded sending half (clonable, `Sync`).
+    pub struct Sender<T> {
+        inner: mpsc::Sender<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Sender<T> {
+            Sender {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.inner.send(value)
+        }
+    }
+
+    /// Receiving half.
+    pub struct Receiver<T> {
+        inner: mpsc::Receiver<T>,
+    }
+
+    impl<T> Receiver<T> {
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner.recv()
+        }
+
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.inner.try_recv()
+        }
+    }
+
+    /// Create an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender { inner: tx }, Receiver { inner: rx })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_and_returns() {
+        let data = [1, 2, 3];
+        let sum = super::thread::scope(|s| {
+            let h = s.spawn(|_| data.iter().sum::<i32>());
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(sum, 6);
+    }
+
+    #[test]
+    fn channel_delivers_across_threads() {
+        let (tx, rx) = super::channel::unbounded::<usize>();
+        super::thread::scope(|s| {
+            for i in 0..4 {
+                let tx = tx.clone();
+                s.spawn(move |_| tx.send(i).unwrap());
+            }
+        })
+        .unwrap();
+        let mut got: Vec<usize> = (0..4).map(|_| rx.recv().unwrap()).collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn senders_are_shareable_behind_arc() {
+        use std::sync::Arc;
+        let (tx, rx) = super::channel::unbounded::<u32>();
+        let shared = Arc::new(vec![tx]);
+        super::thread::scope(|s| {
+            for _ in 0..3 {
+                let shared = Arc::clone(&shared);
+                s.spawn(move |_| shared[0].send(7).unwrap());
+            }
+        })
+        .unwrap();
+        assert_eq!((0..3).map(|_| rx.recv().unwrap()).sum::<u32>(), 21);
+    }
+}

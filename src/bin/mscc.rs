@@ -13,7 +13,11 @@
 //! mscc stencil.msc --stats              # static kernel statistics
 //! mscc stencil.msc --autoschedule       # pick tiles/stream/tile_time automatically
 //! mscc stencil.msc --run --dump out.grid  # save the final state (MSCGRID1 format)
+//! mscc stencil.msc --profile            # run under tracing, print the profile table
+//! mscc stencil.msc --trace out.json     # run under tracing, write chrome://tracing JSON
 //! ```
+//!
+//! `--profile` and `--trace` imply `--run`; both may be combined.
 
 use msc::core::analysis::StencilStats;
 use msc::core::schedule::ExecPlan;
@@ -30,6 +34,8 @@ struct Args {
     stats: bool,
     autoschedule: bool,
     dump: Option<PathBuf>,
+    profile: bool,
+    trace: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -41,6 +47,8 @@ fn parse_args() -> Result<Args, String> {
     let mut stats = false;
     let mut autoschedule = false;
     let mut dump = None;
+    let mut profile = false;
+    let mut trace = None;
     let mut argv = std::env::args().skip(1);
     while let Some(a) = argv.next() {
         match a.as_str() {
@@ -63,8 +71,14 @@ fn parse_args() -> Result<Args, String> {
             "--stats" => stats = true,
             "--autoschedule" => autoschedule = true,
             "--dump" => dump = Some(PathBuf::from(argv.next().ok_or("missing path after --dump")?)),
+            "--profile" => profile = true,
+            "--trace" => {
+                trace = Some(PathBuf::from(
+                    argv.next().ok_or("missing path after --trace")?,
+                ))
+            }
             "-h" | "--help" => {
-                return Err("usage: mscc <file.msc> [-o DIR] [--target sunway|matrix|cpu] [--run] [--simulate] [--stats] [--autoschedule]".into())
+                return Err("usage: mscc <file.msc> [-o DIR] [--target sunway|matrix|cpu] [--run] [--simulate] [--stats] [--autoschedule] [--profile] [--trace OUT.json]".into())
             }
             other if input.is_none() && !other.starts_with('-') => {
                 input = Some(PathBuf::from(other))
@@ -76,11 +90,14 @@ fn parse_args() -> Result<Args, String> {
         input: input.ok_or("no input file (try --help)")?,
         outdir,
         target,
-        run,
+        // Tracing flags are about observing a run, so they imply one.
+        run: run || profile || trace.is_some(),
         simulate,
         stats,
         autoschedule,
         dump,
+        profile,
+        trace,
     })
 }
 
@@ -203,12 +220,20 @@ fn drive(args: Args) -> Result<(), Box<dyn std::error::Error>> {
     }
 
     if args.run {
+        let tracing = args.profile || args.trace.is_some();
         let init: Grid<f64> = Grid::random(&program.grid.shape, &program.grid.halo, 42);
         let sched = effective_schedule(&program, target);
         let plan = ExecPlan::lower(&sched, program.grid.ndim(), &program.grid.shape)?;
+        if tracing {
+            msc::trace::reset();
+            msc::trace::set_enabled(true);
+        }
         let t0 = std::time::Instant::now();
         let (out, stats) = run_program(&program, &Executor::Tiled(plan), &init)?;
         let dt = t0.elapsed();
+        if tracing {
+            msc::trace::set_enabled(false);
+        }
         println!(
             "ran {} steps in {:.1} ms ({} tiles); interior checksum {:.6e}",
             stats.steps,
@@ -216,6 +241,18 @@ fn drive(args: Args) -> Result<(), Box<dyn std::error::Error>> {
             stats.tiles_executed,
             out.interior_sum()
         );
+        if tracing {
+            let prof = msc::trace::Profile::capture(program.name.clone());
+            if args.profile {
+                print!("{}", prof.to_table());
+            }
+            if let Some(path) = &args.trace {
+                std::fs::write(path, prof.to_chrome_json())
+                    .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+                println!("wrote chrome://tracing profile to {}", path.display());
+            }
+            msc::trace::reset();
+        }
         let (reference, _) = run_program(&program, &Executor::Reference, &init)?;
         println!(
             "verified vs serial reference: max rel err {:.2e}",

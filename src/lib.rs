@@ -20,6 +20,8 @@
 //!   driver;
 //! * [`tune`] (`msc-tune`) — regression performance model + simulated
 //!   annealing auto-tuner;
+//! * [`trace`] (`msc-trace`) — low-overhead runtime tracing and metrics:
+//!   counters, span timelines, profiles, chrome://tracing export;
 //! * [`baselines`] (`msc-baselines`) — OpenACC/OpenMP/Halide/Patus/
 //!   Physis comparison models;
 //! * [`mod@bench`] (`msc-bench`) — the per-table/figure experiment harness.
@@ -53,6 +55,7 @@ pub use msc_core as core;
 pub use msc_exec as exec;
 pub use msc_machine as machine;
 pub use msc_sim as sim;
+pub use msc_trace as trace;
 pub use msc_tune as tune;
 
 /// One-stop imports for examples and downstream users.
