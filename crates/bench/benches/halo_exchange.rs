@@ -41,7 +41,7 @@ fn bench_exchange(c: &mut Criterion) {
                 let ex = ex.clone();
                 World::run(d.n_ranks(), move |mut ctx| {
                     let mut g: Grid<f64> = Grid::random(&d.sub_extent(), &d.reach, 7);
-                    ex.exchange(&mut ctx, &mut g, 0)
+                    ex.exchange(&mut ctx, &mut g, 0).unwrap()
                 })
             });
         });

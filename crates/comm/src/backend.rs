@@ -14,18 +14,24 @@
 //! Both are verified bit-identical against single-node execution.
 
 use crate::decomp::CartDecomp;
+use crate::error::CommError;
 use crate::halo::HaloExchange;
 use crate::region::Region;
-use crate::runtime::RankCtx;
+use crate::runtime::{RankCtx, Wire};
 use msc_exec::{Grid, Scalar};
 use msc_trace::Counter;
 
 /// A halo-exchange strategy: publish the halo of `grid` for this rank.
-/// Returns the number of messages sent.
+/// Returns the number of messages sent; unrecoverable faults (timeout,
+/// dead peer, chaos kill) surface as [`CommError`].
 pub trait HaloBackend: Sync {
     fn name(&self) -> &'static str;
-    fn exchange<T: Scalar>(&self, ctx: &mut RankCtx<T>, grid: &mut Grid<T>, slot: usize)
-        -> usize;
+    fn exchange<T: Scalar + Wire>(
+        &self,
+        ctx: &mut RankCtx<T>,
+        grid: &mut Grid<T>,
+        slot: usize,
+    ) -> Result<usize, CommError>;
     fn decomp(&self) -> &CartDecomp;
 }
 
@@ -34,12 +40,12 @@ impl HaloBackend for HaloExchange {
         "dimension-ordered-async"
     }
 
-    fn exchange<T: Scalar>(
+    fn exchange<T: Scalar + Wire>(
         &self,
         ctx: &mut RankCtx<T>,
         grid: &mut Grid<T>,
         slot: usize,
-    ) -> usize {
+    ) -> Result<usize, CommError> {
         HaloExchange::exchange(self, ctx, grid, slot)
     }
 
@@ -149,13 +155,14 @@ impl HaloBackend for FullNeighborExchange {
         "full-neighbor-gcl"
     }
 
-    fn exchange<T: Scalar>(
+    fn exchange<T: Scalar + Wire>(
         &self,
         ctx: &mut RankCtx<T>,
         grid: &mut Grid<T>,
         slot: usize,
-    ) -> usize {
+    ) -> Result<usize, CommError> {
         let _span = msc_trace::span("halo_exchange");
+        ctx.begin_exchange()?;
         let ndim = self.decomp.ndim();
         let offsets = Self::offsets(ndim);
         let mut sent = 0;
@@ -172,7 +179,7 @@ impl HaloBackend for FullNeighborExchange {
                 ctx.counters.bump(Counter::HaloBytes, bytes);
                 msc_trace::record(Counter::HaloMessages, 1);
                 msc_trace::record(Counter::HaloBytes, bytes);
-                ctx.isend(nb, Self::tag(slot, i), payload);
+                ctx.isend(nb, Self::tag(slot, i), payload)?;
                 sent += 1;
                 // The matching inbound message comes from the neighbour's
                 // *opposite* offset.
@@ -184,11 +191,11 @@ impl HaloBackend for FullNeighborExchange {
         }
         // Phase 2: complete and unpack.
         for (v, req) in pending {
-            let data = ctx.wait(req);
+            let data = ctx.wait(req)?;
             let _t = msc_trace::timed(Counter::UnpackNanos);
             self.recv_block(&v).unpack(grid, &data);
         }
-        sent
+        Ok(sent)
     }
 
     fn decomp(&self) -> &CartDecomp {
@@ -226,7 +233,7 @@ mod tests {
         let ex = FullNeighborExchange::new(d.clone());
         let sent: Vec<usize> = World::run(9, |mut ctx| {
             let mut g: Grid<f64> = Grid::zeros(&d.sub_extent(), &d.reach);
-            HaloBackend::exchange(&ex, &mut ctx, &mut g, 0)
+            HaloBackend::exchange(&ex, &mut ctx, &mut g, 0).unwrap()
         });
         assert_eq!(sent[4], 8); // centre rank
         assert_eq!(sent[0], 3); // corner rank

@@ -1,0 +1,190 @@
+//! Checkpoint/restart for the distributed time loop.
+//!
+//! Every `K` steps each rank snapshots its window of sub-grids into a
+//! checkpoint directory using the `MSCGRID1` format from
+//! [`msc_exec::io`]. A checkpoint of step `s` is a set of per-rank,
+//! per-window-slot grid files plus one completion **marker** per rank;
+//! step `s` is restartable only when all `n_ranks` markers exist, so a
+//! rank that dies mid-write can never produce a half checkpoint that a
+//! restart would trust. Grid files are written to a temporary name and
+//! atomically renamed before the marker appears.
+//!
+//! Layout inside the directory:
+//!
+//! ```text
+//! ckpt_s<step>_r<rank>_w<slot>.grid   one MSCGRID1 file per window slot
+//! ckpt_s<step>_r<rank>.ok            marker: this rank's step-s files are complete
+//! ```
+
+use msc_core::error::{MscError, Result};
+use msc_exec::grid::{Grid, Scalar};
+use msc_exec::io;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+
+/// A directory of step-stamped grid snapshots shared by all ranks of a
+/// world (they write disjoint files, so no locking is needed).
+#[derive(Debug, Clone)]
+pub struct CheckpointStore {
+    dir: PathBuf,
+    n_ranks: usize,
+}
+
+impl CheckpointStore {
+    /// Open (creating if needed) a checkpoint directory for a world of
+    /// `n_ranks` ranks.
+    pub fn new(dir: &Path, n_ranks: usize) -> Result<CheckpointStore> {
+        std::fs::create_dir_all(dir).map_err(|e| {
+            MscError::InvalidConfig(format!(
+                "cannot create checkpoint dir {}: {e}",
+                dir.display()
+            ))
+        })?;
+        Ok(CheckpointStore {
+            dir: dir.to_path_buf(),
+            n_ranks,
+        })
+    }
+
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn grid_path(&self, step: u64, rank: usize, slot: usize) -> PathBuf {
+        self.dir.join(format!("ckpt_s{step}_r{rank}_w{slot}.grid"))
+    }
+
+    fn marker_path(&self, step: u64, rank: usize) -> PathBuf {
+        self.dir.join(format!("ckpt_s{step}_r{rank}.ok"))
+    }
+
+    /// Snapshot one rank's window of grids for step `step` (the number
+    /// of fully completed timesteps). Returns the bytes written. The
+    /// marker is written last, after every grid file is in place.
+    pub fn save_rank<T: Scalar>(
+        &self,
+        step: u64,
+        rank: usize,
+        window: &[Grid<T>],
+    ) -> Result<u64> {
+        let mut bytes = 0u64;
+        for (slot, grid) in window.iter().enumerate() {
+            let final_path = self.grid_path(step, rank, slot);
+            let tmp_path = final_path.with_extension("grid.tmp");
+            io::save(grid, &tmp_path)?;
+            bytes += std::fs::metadata(&tmp_path).map(|m| m.len()).unwrap_or(0);
+            std::fs::rename(&tmp_path, &final_path).map_err(|e| {
+                MscError::InvalidConfig(format!(
+                    "cannot publish checkpoint {}: {e}",
+                    final_path.display()
+                ))
+            })?;
+        }
+        std::fs::write(self.marker_path(step, rank), format!("{}\n", window.len())).map_err(
+            |e| MscError::InvalidConfig(format!("cannot write checkpoint marker: {e}")),
+        )?;
+        Ok(bytes)
+    }
+
+    /// Load one rank's window back from the checkpoint of step `step`.
+    pub fn load_rank<T: Scalar>(
+        &self,
+        step: u64,
+        rank: usize,
+        n_slots: usize,
+    ) -> Result<Vec<Grid<T>>> {
+        (0..n_slots)
+            .map(|slot| io::load(&self.grid_path(step, rank, slot)))
+            .collect()
+    }
+
+    /// The most recent step for which *every* rank's marker exists —
+    /// the step a restart may resume from. `None` if no complete
+    /// checkpoint has been taken yet.
+    pub fn latest_complete(&self) -> Option<u64> {
+        let entries = std::fs::read_dir(&self.dir).ok()?;
+        let mut ranks_seen: HashMap<u64, usize> = HashMap::new();
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            // Parse `ckpt_s<step>_r<rank>.ok`.
+            let Some(rest) = name.strip_prefix("ckpt_s") else { continue };
+            let Some(rest) = rest.strip_suffix(".ok") else { continue };
+            let Some((step_str, _rank_str)) = rest.split_once("_r") else { continue };
+            if let Ok(step) = step_str.parse::<u64>() {
+                *ranks_seen.entry(step).or_insert(0) += 1;
+            }
+        }
+        ranks_seen
+            .into_iter()
+            .filter(|&(_, n)| n >= self.n_ranks)
+            .map(|(step, _)| step)
+            .max()
+    }
+
+    /// Delete every checkpoint file in the store (used by tests and by
+    /// drivers that finished cleanly and no longer need restart data).
+    pub fn clear(&self) -> Result<()> {
+        if let Ok(entries) = std::fs::read_dir(&self.dir) {
+            for entry in entries.flatten() {
+                if let Some(name) = entry.file_name().to_str() {
+                    if name.starts_with("ckpt_s") {
+                        let _ = std::fs::remove_file(entry.path());
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_store(name: &str, n_ranks: usize) -> CheckpointStore {
+        let dir = std::env::temp_dir().join(format!("msc_ckpt_{name}"));
+        let store = CheckpointStore::new(&dir, n_ranks).unwrap();
+        store.clear().unwrap();
+        store
+    }
+
+    #[test]
+    fn roundtrip_one_rank() {
+        let store = tmp_store("roundtrip", 1);
+        let window: Vec<Grid<f64>> = vec![
+            Grid::random(&[6, 6], &[1, 1], 1),
+            Grid::random(&[6, 6], &[1, 1], 2),
+        ];
+        let bytes = store.save_rank(10, 0, &window).unwrap();
+        assert!(bytes > 0);
+        assert_eq!(store.latest_complete(), Some(10));
+        let back: Vec<Grid<f64>> = store.load_rank(10, 0, 2).unwrap();
+        assert_eq!(back, window);
+        store.clear().unwrap();
+    }
+
+    #[test]
+    fn incomplete_checkpoint_is_invisible() {
+        // Two ranks expected, only one wrote: the step must not be
+        // offered for restart.
+        let store = tmp_store("incomplete", 2);
+        let window: Vec<Grid<f64>> = vec![Grid::random(&[4, 4], &[1, 1], 3)];
+        store.save_rank(5, 0, &window).unwrap();
+        assert_eq!(store.latest_complete(), None);
+        store.save_rank(5, 1, &window).unwrap();
+        assert_eq!(store.latest_complete(), Some(5));
+        store.clear().unwrap();
+    }
+
+    #[test]
+    fn latest_wins_over_older() {
+        let store = tmp_store("latest", 1);
+        let window: Vec<Grid<f32>> = vec![Grid::random(&[4], &[1], 9)];
+        store.save_rank(4, 0, &window).unwrap();
+        store.save_rank(8, 0, &window).unwrap();
+        assert_eq!(store.latest_complete(), Some(8));
+        store.clear().unwrap();
+        assert_eq!(store.latest_complete(), None);
+    }
+}

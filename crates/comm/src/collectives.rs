@@ -2,9 +2,12 @@
 //! broadcast, and allreduce. Convergence-driven large-scale solvers
 //! (paper §1: iterate "until convergence") need a global residual
 //! reduction every step — these primitives provide it with the same
-//! message-only discipline as the halo exchange.
+//! message-only discipline as the halo exchange, and like the halo
+//! exchange they surface communication faults as typed [`CommError`]
+//! values rather than panicking.
 
-use crate::runtime::RankCtx;
+use crate::error::CommError;
+use crate::runtime::{RankCtx, Wire};
 use msc_exec::Scalar;
 
 /// Reduction operators for [`allreduce`].
@@ -33,12 +36,12 @@ const COLLECTIVE_TAG_BASE: u64 = 1 << 32;
 /// returns the reduction of all ranks' contributions. `round` must be
 /// identical across ranks and distinct between concurrent collectives
 /// (use the timestep number).
-pub fn allreduce<T: Scalar>(
+pub fn allreduce<T: Scalar + Wire>(
     ctx: &mut RankCtx<T>,
     value: f64,
     op: ReduceOp,
     round: u64,
-) -> f64 {
+) -> Result<f64, CommError> {
     let n = ctx.n_ranks;
     let mut acc = value;
     // Recursive doubling handles power-of-two rank counts directly; for
@@ -51,48 +54,53 @@ pub fn allreduce<T: Scalar>(
         // Tail rank: contribute to a partner in the core, then receive
         // the final result.
         let partner = ctx.rank - p2;
-        ctx.isend(partner, tag(0), vec![T::from_f64(acc)]);
+        ctx.isend(partner, tag(0), vec![T::from_f64(acc)])?;
         let req = ctx.irecv(partner, tag(64));
-        return ctx.wait(req)[0].to_f64();
+        return Ok(ctx.wait(req)?[0].to_f64());
     }
     if ctx.rank + p2 < n {
         let req = ctx.irecv(ctx.rank + p2, tag(0));
-        acc = op.apply(acc, ctx.wait(req)[0].to_f64());
+        acc = op.apply(acc, ctx.wait(req)?[0].to_f64());
     }
 
     let mut stride = 1usize;
     let mut phase = 1u64;
     while stride < p2 {
         let partner = ctx.rank ^ stride;
-        ctx.isend(partner, tag(phase), vec![T::from_f64(acc)]);
+        ctx.isend(partner, tag(phase), vec![T::from_f64(acc)])?;
         let req = ctx.irecv(partner, tag(phase));
-        acc = op.apply(acc, ctx.wait(req)[0].to_f64());
+        acc = op.apply(acc, ctx.wait(req)?[0].to_f64());
         stride <<= 1;
         phase += 1;
     }
 
     if ctx.rank + p2 < n {
-        ctx.isend(ctx.rank + p2, tag(64), vec![T::from_f64(acc)]);
+        ctx.isend(ctx.rank + p2, tag(64), vec![T::from_f64(acc)])?;
     }
-    acc
+    Ok(acc)
 }
 
 /// Barrier: complete when every rank has entered (an allreduce of zeros).
-pub fn barrier<T: Scalar>(ctx: &mut RankCtx<T>, round: u64) {
-    allreduce(ctx, 0.0, ReduceOp::Sum, round);
+pub fn barrier<T: Scalar + Wire>(ctx: &mut RankCtx<T>, round: u64) -> Result<(), CommError> {
+    allreduce(ctx, 0.0, ReduceOp::Sum, round)?;
+    Ok(())
 }
 
 /// Broadcast `value` from rank 0 to all ranks.
-pub fn broadcast<T: Scalar>(ctx: &mut RankCtx<T>, value: f64, round: u64) -> f64 {
+pub fn broadcast<T: Scalar + Wire>(
+    ctx: &mut RankCtx<T>,
+    value: f64,
+    round: u64,
+) -> Result<f64, CommError> {
     let tag = COLLECTIVE_TAG_BASE | (round << 8) | 128;
     if ctx.rank == 0 {
         for dst in 1..ctx.n_ranks {
-            ctx.isend(dst, tag, vec![T::from_f64(value)]);
+            ctx.isend(dst, tag, vec![T::from_f64(value)])?;
         }
-        value
+        Ok(value)
     } else {
         let req = ctx.irecv(0, tag);
-        ctx.wait(req)[0].to_f64()
+        Ok(ctx.wait(req)?[0].to_f64())
     }
 }
 
@@ -104,7 +112,7 @@ mod tests {
     fn run_allreduce(n: usize, op: ReduceOp) -> Vec<f64> {
         World::run(n, move |mut ctx: RankCtx<f64>| {
             let v = (ctx.rank + 1) as f64;
-            allreduce(&mut ctx, v, op, 7)
+            allreduce(&mut ctx, v, op, 7).unwrap()
         })
     }
 
@@ -135,8 +143,8 @@ mod tests {
     fn consecutive_rounds_do_not_collide() {
         let r: Vec<(f64, f64)> = World::run(4, |mut ctx: RankCtx<f64>| {
             let me = ctx.rank as f64;
-            let a = allreduce(&mut ctx, me, ReduceOp::Sum, 0);
-            let b = allreduce(&mut ctx, 1.0, ReduceOp::Sum, 1);
+            let a = allreduce(&mut ctx, me, ReduceOp::Sum, 0).unwrap();
+            let b = allreduce(&mut ctx, 1.0, ReduceOp::Sum, 1).unwrap();
             (a, b)
         });
         for (a, b) in r {
@@ -149,7 +157,7 @@ mod tests {
     fn broadcast_from_root() {
         let r: Vec<f64> = World::run(5, |mut ctx: RankCtx<f64>| {
             let v = if ctx.rank == 0 { 42.5 } else { -1.0 };
-            broadcast(&mut ctx, v, 3)
+            broadcast(&mut ctx, v, 3).unwrap()
         });
         assert!(r.iter().all(|&v| v == 42.5));
     }
@@ -159,7 +167,7 @@ mod tests {
         // All ranks pass the barrier; nothing to assert beyond
         // termination and message accounting.
         let msgs: Vec<u64> = World::run(4, |mut ctx: RankCtx<f64>| {
-            barrier(&mut ctx, 9);
+            barrier(&mut ctx, 9).unwrap();
             ctx.sent_msgs
         });
         assert!(msgs.iter().all(|&m| m >= 2));

@@ -6,10 +6,12 @@
 //! distributed run is **bit-identical** to the single-node run of the
 //! same program, for any process grid.
 
+use crate::checkpoint::CheckpointStore;
 use crate::decomp::CartDecomp;
+use crate::fault::FaultPlan;
 use crate::halo::HaloExchange;
 use crate::region::Region;
-use crate::runtime::World;
+use crate::runtime::{ReliabilityConfig, Wire, World, WorldConfig};
 use msc_core::error::{MscError, Result};
 use msc_core::prelude::*;
 use msc_core::schedule::plan::ExecPlan;
@@ -18,6 +20,9 @@ use msc_exec::boundary::{self, Boundary};
 use msc_exec::compiled::CompiledStencil;
 use msc_exec::{tiled, Grid, Scalar};
 use msc_trace::{Counter, CounterSet, Profile};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Per-run communication statistics, aggregated over ranks.
 ///
@@ -31,6 +36,10 @@ pub struct CommStats {
     pub messages: u64,
     pub steps: usize,
     pub ranks: usize,
+    /// How many times the run was restarted from a checkpoint (or from
+    /// the initial state) after a detected rank failure. Zero for plain
+    /// drivers; only [`run_distributed_resilient`] can restart.
+    pub restarts: usize,
     /// Merged counters across all ranks: halo traffic plus whatever the
     /// per-rank executors recorded (DMA bytes/rows, SPM peak, tiles).
     pub counters: CounterSet,
@@ -54,6 +63,15 @@ impl CommStats {
     }
     pub fn tiles_executed(&self) -> u64 {
         self.counters.get(Counter::TilesExecuted)
+    }
+    pub fn retransmits(&self) -> u64 {
+        self.counters.get(Counter::RetransmitCount)
+    }
+    pub fn faults_injected(&self) -> u64 {
+        self.counters.get(Counter::FaultsInjected)
+    }
+    pub fn checkpoint_bytes(&self) -> u64 {
+        self.counters.get(Counter::CheckpointBytes)
     }
 
     /// Wrap into a counters-only [`Profile`] for reporting.
@@ -83,7 +101,7 @@ fn scatter<T: Scalar>(global: &Grid<T>, decomp: &CartDecomp, rank: usize) -> Gri
 /// global `init` grid, with Dirichlet boundaries. `make_plan` builds the
 /// per-rank execution plan for the sub-grid shape. Returns the gathered
 /// global result and stats.
-pub fn run_distributed<T: Scalar>(
+pub fn run_distributed<T: Scalar + Wire>(
     program: &StencilProgram,
     procs: &[usize],
     init: &Grid<T>,
@@ -96,7 +114,7 @@ pub fn run_distributed<T: Scalar>(
 /// periodic boundaries the process grid becomes a torus: boundary ranks
 /// exchange with the opposite side (single-process dimensions wrap onto
 /// themselves through self-messages).
-pub fn run_distributed_bc<T: Scalar>(
+pub fn run_distributed_bc<T: Scalar + Wire>(
     program: &StencilProgram,
     procs: &[usize],
     init: &Grid<T>,
@@ -133,7 +151,7 @@ pub fn build_decomp(
 /// Run with a caller-supplied halo-exchange backend (the paper's
 /// pluggable-library design: swap MSC's asynchronous exchanger for a
 /// GCL-style one without touching the driver).
-pub fn run_distributed_with<T: Scalar, B: crate::backend::HaloBackend>(
+pub fn run_distributed_with<T: Scalar + Wire, B: crate::backend::HaloBackend>(
     program: &StencilProgram,
     init: &Grid<T>,
     bc: Boundary,
@@ -147,12 +165,88 @@ pub fn run_distributed_with<T: Scalar, B: crate::backend::HaloBackend>(
 /// through a bounded SPM when `spm_capacity` is given (the full
 /// large-scale Sunway code path: DMA-staged tiles + asynchronous halo
 /// exchange).
-pub fn run_distributed_exec<T: Scalar, B: crate::backend::HaloBackend>(
+pub fn run_distributed_exec<T: Scalar + Wire, B: crate::backend::HaloBackend>(
     program: &StencilProgram,
     init: &Grid<T>,
     bc: Boundary,
     exchanger: &B,
     spm_capacity: Option<usize>,
+    make_plan: impl Fn(&[usize]) -> Result<ExecPlan> + Sync,
+) -> Result<(Grid<T>, CommStats)> {
+    // Legacy entry point: no chaos, no checkpoints, no restarts.
+    let opts = RunOptions {
+        max_restarts: 0,
+        ..RunOptions::default()
+    };
+    run_distributed_opts(program, init, bc, exchanger, spm_capacity, &opts, make_plan)
+}
+
+/// Fault-tolerance options for [`run_distributed_resilient`].
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    /// Seeded chaos plan injected into every rank's channel layer; also
+    /// switches the runtime's ack/retransmit reliability protocol on.
+    pub chaos: Option<Arc<FaultPlan>>,
+    /// Reliability-protocol tunables (polls, backoff, retry budget).
+    pub reliability: ReliabilityConfig,
+    /// Directory for checkpoint snapshots; checkpointing is active only
+    /// when this is set *and* `checkpoint_every > 0`.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Snapshot the window ring every K completed steps.
+    pub checkpoint_every: usize,
+    /// How many times a failed run may be restarted (from the latest
+    /// complete checkpoint if one exists, else from the initial state).
+    pub max_restarts: usize,
+}
+
+impl Default for RunOptions {
+    fn default() -> RunOptions {
+        RunOptions {
+            chaos: None,
+            reliability: ReliabilityConfig::default(),
+            checkpoint_dir: None,
+            checkpoint_every: 0,
+            max_restarts: 3,
+        }
+    }
+}
+
+/// Fault-tolerant distributed run: chaos injection, reliable halo
+/// delivery, periodic checkpoints, and restart-on-failure. With default
+/// options it behaves exactly like [`run_distributed_bc`].
+pub fn run_distributed_resilient<T: Scalar + Wire>(
+    program: &StencilProgram,
+    procs: &[usize],
+    init: &Grid<T>,
+    bc: Boundary,
+    opts: &RunOptions,
+    make_plan: impl Fn(&[usize]) -> Result<ExecPlan> + Sync,
+) -> Result<(Grid<T>, CommStats)> {
+    let decomp = build_decomp(program, procs, bc)?;
+    let exchanger = HaloExchange::new(decomp);
+    run_distributed_opts(program, init, bc, &exchanger, None, opts, make_plan)
+}
+
+/// Is this error a communication fault a restart could heal (a killed or
+/// dead rank, a timeout, a poisoned world), as opposed to a programming
+/// or configuration error that would fail identically again?
+fn is_restartable(e: &MscError) -> bool {
+    matches!(e, MscError::Comm(_))
+}
+
+/// The full driver: every public `run_distributed*` entry point funnels
+/// here. One attempt spawns the world, runs the time loop with optional
+/// SPM staging, chaos injection, and periodic checkpoints; a failed
+/// attempt (typed communication error — never a panic) is retried from
+/// the latest complete checkpoint up to `opts.max_restarts` times.
+#[allow(clippy::too_many_arguments)]
+pub fn run_distributed_opts<T: Scalar + Wire, B: crate::backend::HaloBackend>(
+    program: &StencilProgram,
+    init: &Grid<T>,
+    bc: Boundary,
+    exchanger: &B,
+    spm_capacity: Option<usize>,
+    opts: &RunOptions,
     make_plan: impl Fn(&[usize]) -> Result<ExecPlan> + Sync,
 ) -> Result<(Grid<T>, CommStats)> {
     let reach = program.stencil.reach();
@@ -165,80 +259,150 @@ pub fn run_distributed_exec<T: Scalar, B: crate::backend::HaloBackend>(
             plan.grid, sub
         )));
     }
+    let store = match &opts.checkpoint_dir {
+        Some(dir) if opts.checkpoint_every > 0 => {
+            Some(CheckpointStore::new(dir, decomp.n_ranks())?)
+        }
+        _ => None,
+    };
     // Seed with wrapped halos so step 0 reads correct periodic images.
     let mut seeded = init.clone();
     boundary::apply(&mut seeded, bc);
     let seeded = &seeded;
 
-    let rank_results: Vec<Result<(Vec<T>, u64, CounterSet)>> =
-        World::run(decomp.n_ranks(), |mut ctx| -> Result<(Vec<T>, u64, CounterSet)> {
-            let local_init = scatter(seeded, &decomp, ctx.rank);
-            let compiled = CompiledStencil::compile(program, &local_init)?;
-            let window = WindowPlan::for_max_dt(compiled.max_dt)?;
-            let mut ring: Vec<Grid<T>> =
-                (0..window.window).map(|_| local_init.clone()).collect();
-            let mut counters = CounterSet::new();
+    let mut restarts = 0usize;
+    loop {
+        // Every rank resumes from the same checkpoint step, decided once
+        // per attempt before the world spawns.
+        let resume = store.as_ref().and_then(|s| s.latest_complete());
+        let world_cfg = WorldConfig {
+            fault: opts.chaos.clone(),
+            reliability: opts.reliability.clone(),
+            reliable: None,
+        };
+        let plan = &plan;
+        let store_ref = store.as_ref();
+        let run = World::try_run_with(
+            decomp.n_ranks(),
+            world_cfg,
+            |mut ctx| -> Result<(Vec<T>, u64, CounterSet)> {
+                let local_init = scatter(seeded, &decomp, ctx.rank);
+                let compiled = CompiledStencil::compile(program, &local_init)?;
+                let window = WindowPlan::for_max_dt(compiled.max_dt)?;
+                let mut ring: Vec<Grid<T>> =
+                    (0..window.window).map(|_| local_init.clone()).collect();
+                let mut start = 0usize;
+                if let (Some(st), Some(step)) = (store_ref, resume) {
+                    ring = st.load_rank(step, ctx.rank, window.window)?;
+                    start = step as usize;
+                }
+                let mut counters = CounterSet::new();
 
-            for s in 0..program.timesteps {
-                let t = compiled.max_dt + s;
-                let out_slot = window.output_slot(t);
-                let mut out = std::mem::replace(&mut ring[out_slot], Grid::zeros(&[1], &[0]));
-                {
-                    let inputs: Vec<&Grid<T>> = (1..=compiled.max_dt)
-                        .map(|dt| &ring[window.input_slot(t, dt).expect("window fits")])
-                        .collect();
-                    match spm_capacity {
-                        None => {
-                            let tiles = tiled::step(&compiled, &plan, &inputs, &mut out);
-                            counters.bump(Counter::TilesExecuted, tiles as u64);
+                for s in start..program.timesteps {
+                    let t = compiled.max_dt + s;
+                    let out_slot = window.output_slot(t);
+                    let mut out =
+                        std::mem::replace(&mut ring[out_slot], Grid::zeros(&[1], &[0]));
+                    {
+                        let inputs: Vec<&Grid<T>> = (1..=compiled.max_dt)
+                            .map(|dt| window.input_slot(t, dt).map(|slot| &ring[slot]))
+                            .collect::<Result<_>>()?;
+                        match spm_capacity {
+                            None => {
+                                let tiles = tiled::step(&compiled, plan, &inputs, &mut out);
+                                counters.bump(Counter::TilesExecuted, tiles as u64);
+                            }
+                            Some(cap) => {
+                                let st =
+                                    msc_exec::spm::step(&compiled, plan, &inputs, &mut out, cap)?;
+                                counters.merge(&st.counters());
+                            }
                         }
-                        Some(cap) => {
-                            let st =
-                                msc_exec::spm::step(&compiled, &plan, &inputs, &mut out, cap)?;
-                            counters.merge(&st.counters());
+                    }
+                    // Publish the new state's halo to the neighbours before
+                    // anyone (including us) reads it next step.
+                    if s + 1 < program.timesteps {
+                        exchanger.exchange(&mut ctx, &mut out, out_slot)?;
+                    }
+                    ring[out_slot] = out;
+                    // Snapshot after the step (and its exchange) fully
+                    // completed, so a restart resumes with halos as fresh
+                    // as the original run had them.
+                    if let Some(st) = store_ref {
+                        if (s + 1) % opts.checkpoint_every == 0 && s + 1 < program.timesteps {
+                            let t0 = Instant::now();
+                            let bytes = st.save_rank((s + 1) as u64, ctx.rank, &ring)?;
+                            let nanos = t0.elapsed().as_nanos() as u64;
+                            counters.bump(Counter::CheckpointBytes, bytes);
+                            counters.bump(Counter::CheckpointNanos, nanos);
+                            msc_trace::record(Counter::CheckpointBytes, bytes);
+                            msc_trace::record(Counter::CheckpointNanos, nanos);
                         }
                     }
                 }
-                // Publish the new state's halo to the neighbours before
-                // anyone (including us) reads it next step.
-                if s + 1 < program.timesteps {
-                    exchanger.exchange(&mut ctx, &mut out, out_slot);
-                }
-                ring[out_slot] = out;
-            }
 
-            let last = window.output_slot(compiled.max_dt + program.timesteps - 1);
-            let interior =
-                Region::new(decomp.reach.clone(), sub.clone()).pack(&ring[last]);
-            counters.merge(&ctx.counters);
-            Ok((interior, ctx.sent_msgs, counters))
-        });
-
-    // Gather interiors, then refresh the global halo to match what a
-    // single-node run's final state carries.
-    let mut global: Grid<T> = seeded.clone();
-    let mut stats = CommStats {
-        messages: 0,
-        steps: program.timesteps,
-        ranks: decomp.n_ranks(),
-        counters: CounterSet::new(),
-    };
-    for (rank, res) in rank_results.into_iter().enumerate() {
-        let (interior, msgs, counters) = res?;
-        stats.messages += msgs;
-        stats.counters.merge(&counters);
-        let origin = decomp.origin_of(rank);
-        let dst = Region::new(
-            origin.iter().zip(&reach).map(|(&o, &r)| o + r).collect(),
-            sub.clone(),
+                let last = window.output_slot(compiled.max_dt + program.timesteps - 1);
+                let interior =
+                    Region::new(decomp.reach.clone(), sub.clone()).pack(&ring[last]);
+                // Keep servicing the fabric until every rank is done,
+                // then fold protocol counters into the rank's stats.
+                ctx.finalize();
+                counters.merge(&ctx.counters);
+                Ok((interior, ctx.sent_msgs, counters))
+            },
         );
-        dst.unpack(&mut global, &interior);
+
+        // Classify the attempt: total success gathers and returns; a
+        // communication fault restarts (budget permitting); anything
+        // else — a genuine program/configuration error — propagates.
+        let failure: MscError = match run {
+            Ok(rank_results) => {
+                if rank_results.iter().all(|r| r.is_ok()) {
+                    let mut global: Grid<T> = seeded.clone();
+                    let mut stats = CommStats {
+                        messages: 0,
+                        steps: program.timesteps,
+                        ranks: decomp.n_ranks(),
+                        restarts,
+                        counters: CounterSet::new(),
+                    };
+                    for (rank, res) in rank_results.into_iter().enumerate() {
+                        let (interior, msgs, counters) = res?;
+                        stats.messages += msgs;
+                        stats.counters.merge(&counters);
+                        let origin = decomp.origin_of(rank);
+                        let dst = Region::new(
+                            origin.iter().zip(&reach).map(|(&o, &r)| o + r).collect(),
+                            sub.clone(),
+                        );
+                        dst.unpack(&mut global, &interior);
+                    }
+                    // Steps and rank count are run-global, not per-rank sums.
+                    stats.counters.set(Counter::Steps, program.timesteps as u64);
+                    stats.counters.set(Counter::Ranks, decomp.n_ranks() as u64);
+                    boundary::apply(&mut global, bc);
+                    return Ok((global, stats));
+                }
+                // Surface a non-restartable error immediately; otherwise
+                // report the lowest-rank communication fault.
+                let errs: Vec<&MscError> = rank_results
+                    .iter()
+                    .filter_map(|r| r.as_ref().err())
+                    .collect();
+                if let Some(hard) = errs.iter().find(|e| !is_restartable(e)) {
+                    return Err((*hard).clone());
+                }
+                errs[0].clone()
+            }
+            // A panicking rank poisons the world — typed, and restartable
+            // like any other failure.
+            Err(poison) => poison.into(),
+        };
+        if restarts >= opts.max_restarts {
+            return Err(failure);
+        }
+        restarts += 1;
     }
-    // Steps and rank count are run-global, not per-rank sums.
-    stats.counters.set(Counter::Steps, program.timesteps as u64);
-    stats.counters.set(Counter::Ranks, decomp.n_ranks() as u64);
-    boundary::apply(&mut global, bc);
-    Ok((global, stats))
 }
 
 /// Distributed iterate-to-convergence: every rank advances its sub-grid,
@@ -246,7 +410,7 @@ pub fn run_distributed_exec<T: Scalar, B: crate::backend::HaloBackend>(
 /// with [`crate::collectives::allreduce`]; all ranks stop together once
 /// it falls below `tol`. Returns the gathered state, the step count, and
 /// the final residual.
-pub fn run_distributed_until_converged<T: Scalar>(
+pub fn run_distributed_until_converged<T: Scalar + Wire>(
     program: &StencilProgram,
     procs: &[usize],
     init: &Grid<T>,
@@ -278,7 +442,7 @@ pub fn run_distributed_until_converged<T: Scalar>(
     let reach = program.stencil.reach();
 
     let rank_results: Vec<Result<(Vec<T>, usize, f64)>> =
-        World::run(decomp.n_ranks(), |mut ctx| -> Result<(Vec<T>, usize, f64)> {
+        World::try_run(decomp.n_ranks(), |mut ctx| -> Result<(Vec<T>, usize, f64)> {
             let local_init = scatter(seeded_ref, &decomp, ctx.rank);
             let compiled = CompiledStencil::compile(program, &local_init)?;
             let window = WindowPlan::for_max_dt(compiled.max_dt)?;
@@ -290,14 +454,14 @@ pub fn run_distributed_until_converged<T: Scalar>(
             for s in 0..max_steps {
                 let t = compiled.max_dt + s;
                 let out_slot = window.output_slot(t);
-                let prev_slot = window.input_slot(t, 1).expect("window has t-1");
+                let prev_slot = window.input_slot(t, 1)?;
                 let prev = ring[prev_slot].clone();
                 let mut out =
                     std::mem::replace(&mut ring[out_slot], Grid::zeros(&[1], &[0]));
                 {
                     let inputs: Vec<&Grid<T>> = (1..=compiled.max_dt)
-                        .map(|dt| &ring[window.input_slot(t, dt).expect("window fits")])
-                        .collect();
+                        .map(|dt| window.input_slot(t, dt).map(|slot| &ring[slot]))
+                        .collect::<Result<_>>()?;
                     tiled::step(&compiled, &plan, &inputs, &mut out);
                 }
                 // Local squared update, reduced globally.
@@ -306,12 +470,12 @@ pub fn run_distributed_until_converged<T: Scalar>(
                     let d = out.get(pos).to_f64() - prev.get(pos).to_f64();
                     local_sq += d * d;
                 });
-                let total = allreduce(&mut ctx, local_sq, ReduceOp::Sum, t as u64);
+                let total = allreduce(&mut ctx, local_sq, ReduceOp::Sum, t as u64)?;
                 rms = (total / global_points).sqrt();
                 steps = s + 1;
                 let done = rms < tol || s + 1 == max_steps;
                 if !done {
-                    exchanger.exchange(&mut ctx, &mut out, out_slot);
+                    exchanger.exchange(&mut ctx, &mut out, out_slot)?;
                 }
                 ring[out_slot] = out;
                 if done {
@@ -320,8 +484,10 @@ pub fn run_distributed_until_converged<T: Scalar>(
             }
             let last = window.output_slot(compiled.max_dt + steps - 1);
             let interior = Region::new(decomp.reach.clone(), sub.clone()).pack(&ring[last]);
+            ctx.finalize();
             Ok((interior, steps, rms))
-        });
+        })
+        .map_err(MscError::from)?;
 
     let mut global: Grid<T> = seeded.clone();
     let mut steps = 0;

@@ -1,0 +1,94 @@
+//! Typed communication errors. The runtime used to panic on every
+//! anomaly (`expect("destination rank hung up")`, `expect("world shut
+//! down mid-wait")`); at scale, transient faults are the norm, so they
+//! surface as values a driver can react to — retry, restart from a
+//! checkpoint, or report with enough context to debug.
+
+use msc_core::error::MscError;
+use std::fmt;
+
+/// A fault observed by the message-passing runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommError {
+    /// A posted receive never completed: the pending `(src, tag)` pair,
+    /// how many retransmit requests were sent before giving up, and how
+    /// many unrelated messages sat in the unexpected-message stash.
+    Timeout {
+        src: usize,
+        tag: u64,
+        pending: usize,
+        stash_depth: usize,
+    },
+    /// A peer's endpoint is gone — its thread exited or panicked, so the
+    /// send (or a retransmit request) had nowhere to go.
+    RankDead { rank: usize },
+    /// A payload arrived whose checksum does not match (only reachable
+    /// with the reliability protocol disabled; under it, corrupt frames
+    /// are dropped and retransmitted transparently).
+    Corrupt { src: usize, tag: u64 },
+    /// The chaos plan killed this rank at the given exchange round.
+    Killed { rank: usize, exchange: u64 },
+    /// A rank's closure panicked; the world's results are unusable.
+    WorldPoisoned { rank: usize, message: String },
+}
+
+impl fmt::Display for CommError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommError::Timeout {
+                src,
+                tag,
+                pending,
+                stash_depth,
+            } => write!(
+                f,
+                "receive timed out waiting for (src {src}, tag {tag}) after {pending} retransmit \
+                 request(s); {stash_depth} unrelated message(s) stashed"
+            ),
+            CommError::RankDead { rank } => write!(f, "rank {rank} is dead (endpoint hung up)"),
+            CommError::Corrupt { src, tag } => {
+                write!(f, "corrupt payload from (src {src}, tag {tag}): checksum mismatch")
+            }
+            CommError::Killed { rank, exchange } => {
+                write!(f, "chaos plan killed rank {rank} at exchange {exchange}")
+            }
+            CommError::WorldPoisoned { rank, message } => {
+                write!(f, "world poisoned: rank {rank} panicked: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
+impl From<CommError> for MscError {
+    fn from(e: CommError) -> MscError {
+        MscError::Comm(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timeout_display_names_pending_pair() {
+        let e = CommError::Timeout {
+            src: 3,
+            tag: 0x207,
+            pending: 5,
+            stash_depth: 2,
+        };
+        let s = e.to_string();
+        assert!(s.contains("src 3"), "{s}");
+        assert!(s.contains(&format!("tag {}", 0x207)), "{s}");
+        assert!(s.contains("5 retransmit"), "{s}");
+    }
+
+    #[test]
+    fn converts_into_msc_error() {
+        let e: MscError = CommError::RankDead { rank: 7 }.into();
+        assert!(e.to_string().contains("rank 7"));
+        assert!(e.to_string().contains("communication failure"));
+    }
+}

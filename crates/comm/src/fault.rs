@@ -1,0 +1,278 @@
+//! Deterministic, seed-driven fault injection for the message-passing
+//! runtime — the chaos half of the fault-tolerance layer.
+//!
+//! Every data frame is identified by `(src, dst, tag, seq, attempt)`;
+//! the plan hashes that identity with its seed to decide the frame's
+//! fate. The schedule is therefore a pure function of the seed and the
+//! message stream — independent of thread timing — so the same seed
+//! reproduces the same faults run after run, and a restarted attempt
+//! replays the same drops it survived before.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// What the injector does to one transmitted data frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Pass through untouched.
+    Deliver,
+    /// Silently lose the frame.
+    Drop,
+    /// Deliver the frame twice.
+    Duplicate,
+    /// Hold the frame back; it is released after a later frame, so the
+    /// receiver observes reordering.
+    Delay,
+    /// Flip one bit of one payload element (the checksum still covers
+    /// the original payload, so receivers detect the damage).
+    Corrupt { elem: u64, bit: u32 },
+}
+
+/// Kill one rank when it enters its `exchange`-th halo exchange
+/// (1-based). One-shot: after firing once it never fires again, even
+/// across checkpoint restarts of the same plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KillSpec {
+    pub rank: usize,
+    pub exchange: u64,
+}
+
+/// A seeded chaos schedule, shared (via `Arc`) by every rank of a world
+/// and across restart attempts.
+#[derive(Debug)]
+pub struct FaultPlan {
+    pub seed: u64,
+    /// Probability a data frame is dropped.
+    pub drop_p: f64,
+    /// Probability a data frame is duplicated.
+    pub dup_p: f64,
+    /// Probability a data frame is delayed past its successors.
+    pub delay_p: f64,
+    /// Probability one payload bit is flipped.
+    pub corrupt_p: f64,
+    pub kill: Option<KillSpec>,
+    kill_fired: AtomicBool,
+}
+
+/// splitmix64 — the mixing function behind fault decisions and payload
+/// checksums (public within the crate so the runtime shares it).
+pub(crate) fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (probabilities zero, no kill).
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            drop_p: 0.0,
+            dup_p: 0.0,
+            delay_p: 0.0,
+            corrupt_p: 0.0,
+            kill: None,
+            kill_fired: AtomicBool::new(false),
+        }
+    }
+
+    pub fn with_kill(mut self, rank: usize, exchange: u64) -> FaultPlan {
+        self.kill = Some(KillSpec { rank, exchange });
+        self
+    }
+
+    /// Parse a `seed:spec` string, e.g.
+    /// `42:drop=0.05,dup=0.02,delay=0.1,corrupt=0.01,kill=1@3`.
+    /// The spec part may be empty (a plan with no faults).
+    pub fn parse(s: &str) -> Result<FaultPlan, String> {
+        let (seed_str, spec) = s
+            .split_once(':')
+            .ok_or_else(|| format!("chaos spec `{s}` must look like `seed:drop=0.05,...`"))?;
+        let seed: u64 = seed_str
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad chaos seed `{seed_str}`"))?;
+        let mut plan = FaultPlan::new(seed);
+        for part in spec.split(',').filter(|p| !p.trim().is_empty()) {
+            let (key, val) = part
+                .split_once('=')
+                .ok_or_else(|| format!("bad chaos clause `{part}` (expected key=value)"))?;
+            let key = key.trim();
+            let val = val.trim();
+            let parse_p = |v: &str| -> Result<f64, String> {
+                let p: f64 = v.parse().map_err(|_| format!("bad probability `{v}`"))?;
+                if !(0.0..=1.0).contains(&p) {
+                    return Err(format!("probability `{v}` outside [0, 1]"));
+                }
+                Ok(p)
+            };
+            match key {
+                "drop" => plan.drop_p = parse_p(val)?,
+                "dup" => plan.dup_p = parse_p(val)?,
+                "delay" | "reorder" => plan.delay_p = parse_p(val)?,
+                "corrupt" => plan.corrupt_p = parse_p(val)?,
+                "kill" => {
+                    let (r, k) = val
+                        .split_once('@')
+                        .ok_or_else(|| format!("bad kill clause `{val}` (expected rank@exchange)"))?;
+                    plan.kill = Some(KillSpec {
+                        rank: r.parse().map_err(|_| format!("bad kill rank `{r}`"))?,
+                        exchange: k.parse().map_err(|_| format!("bad kill exchange `{k}`"))?,
+                    });
+                }
+                other => return Err(format!("unknown chaos clause `{other}`")),
+            }
+        }
+        if plan.drop_p + plan.dup_p + plan.delay_p + plan.corrupt_p > 1.0 {
+            return Err("fault probabilities sum past 1.0".into());
+        }
+        Ok(plan)
+    }
+
+    /// Decide the fate of one data frame. Pure in the frame identity:
+    /// retransmissions (`attempt > 0`) re-roll, so a frame that was
+    /// dropped once is not doomed forever.
+    pub fn decide(&self, src: usize, dst: usize, tag: u64, seq: u64, attempt: u32) -> FaultAction {
+        if self.drop_p + self.dup_p + self.delay_p + self.corrupt_p == 0.0 {
+            return FaultAction::Deliver;
+        }
+        let id = ((src as u64) << 40) ^ ((dst as u64) << 20) ^ (attempt as u64);
+        let mut h = splitmix(self.seed ^ splitmix(id));
+        h = splitmix(h ^ tag);
+        h = splitmix(h ^ seq);
+        let u = (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let mut t = self.drop_p;
+        if u < t {
+            return FaultAction::Drop;
+        }
+        t += self.dup_p;
+        if u < t {
+            return FaultAction::Duplicate;
+        }
+        t += self.delay_p;
+        if u < t {
+            return FaultAction::Delay;
+        }
+        t += self.corrupt_p;
+        if u < t {
+            let h2 = splitmix(h);
+            return FaultAction::Corrupt {
+                elem: h2 >> 32,
+                bit: (h2 & 63) as u32,
+            };
+        }
+        FaultAction::Deliver
+    }
+
+    /// True exactly once, for the configured rank, the first time its
+    /// exchange counter reaches the kill point.
+    pub fn should_kill(&self, rank: usize, exchange: u64) -> bool {
+        match self.kill {
+            Some(k) if k.rank == rank && exchange >= k.exchange => self
+                .kill_fired
+                .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok(),
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lossy(seed: u64) -> FaultPlan {
+        let mut p = FaultPlan::new(seed);
+        p.drop_p = 0.2;
+        p.dup_p = 0.1;
+        p.delay_p = 0.1;
+        p.corrupt_p = 0.05;
+        p
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let a = lossy(42);
+        let b = lossy(42);
+        for src in 0..4 {
+            for dst in 0..4 {
+                for seq in 0..64 {
+                    assert_eq!(
+                        a.decide(src, dst, 7, seq, 0),
+                        b.decide(src, dst, 7, seq, 0),
+                        "({src},{dst},{seq})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let a = lossy(1);
+        let b = lossy(2);
+        let differs = (0..256).any(|seq| a.decide(0, 1, 0, seq, 0) != b.decide(0, 1, 0, seq, 0));
+        assert!(differs);
+    }
+
+    #[test]
+    fn retransmissions_reroll() {
+        // With drop_p well below 1, some retransmission attempt of any
+        // message must survive — the attempt number feeds the hash.
+        let p = lossy(9);
+        for seq in 0..32 {
+            let delivered = (0..64).any(|attempt| {
+                !matches!(p.decide(0, 1, 3, seq, attempt), FaultAction::Drop)
+            });
+            assert!(delivered, "seq {seq} dropped on every attempt");
+        }
+    }
+
+    #[test]
+    fn fault_rates_roughly_match_probabilities() {
+        let p = lossy(1234);
+        let n = 20_000;
+        let drops = (0..n)
+            .filter(|&seq| matches!(p.decide(0, 1, 0, seq, 0), FaultAction::Drop))
+            .count();
+        let rate = drops as f64 / n as f64;
+        assert!((rate - 0.2).abs() < 0.02, "drop rate {rate}");
+    }
+
+    #[test]
+    fn kill_fires_exactly_once() {
+        let p = FaultPlan::new(0).with_kill(2, 3);
+        assert!(!p.should_kill(2, 1));
+        assert!(!p.should_kill(1, 3)); // wrong rank
+        assert!(p.should_kill(2, 3));
+        assert!(!p.should_kill(2, 3)); // one-shot
+        assert!(!p.should_kill(2, 4)); // stays dead
+    }
+
+    #[test]
+    fn parse_full_spec() {
+        let p = FaultPlan::parse("42:drop=0.05,dup=0.02,delay=0.1,corrupt=0.01,kill=1@3").unwrap();
+        assert_eq!(p.seed, 42);
+        assert_eq!(p.drop_p, 0.05);
+        assert_eq!(p.dup_p, 0.02);
+        assert_eq!(p.delay_p, 0.1);
+        assert_eq!(p.corrupt_p, 0.01);
+        assert_eq!(p.kill, Some(KillSpec { rank: 1, exchange: 3 }));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(FaultPlan::parse("no-colon").is_err());
+        assert!(FaultPlan::parse("x:drop=0.1").is_err());
+        assert!(FaultPlan::parse("1:drop=1.5").is_err());
+        assert!(FaultPlan::parse("1:kill=2").is_err());
+        assert!(FaultPlan::parse("1:mystery=0.5").is_err());
+        assert!(FaultPlan::parse("1:drop=0.9,dup=0.9").is_err());
+    }
+
+    #[test]
+    fn empty_spec_is_a_noop_plan() {
+        let p = FaultPlan::parse("7:").unwrap();
+        assert_eq!(p.decide(0, 1, 0, 0, 0), FaultAction::Deliver);
+    }
+}

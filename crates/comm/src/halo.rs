@@ -4,7 +4,8 @@
 //! corner values propagate (required for box stencils).
 
 use crate::decomp::CartDecomp;
-use crate::runtime::RankCtx;
+use crate::error::CommError;
+use crate::runtime::{RankCtx, Wire};
 use msc_exec::{Grid, Scalar};
 use msc_trace::Counter;
 
@@ -26,18 +27,20 @@ impl HaloExchange {
     }
 
     /// Exchange the halo of `grid` for this rank. Returns the number of
-    /// messages sent.
+    /// messages sent; faults that recovery cannot hide surface as
+    /// [`CommError`].
     ///
     /// Dimension-ordered: for each dim, both faces are posted
     /// asynchronously and waited before moving to the next dim, because
     /// the next dim's faces include the halo just received.
-    pub fn exchange<T: Scalar>(
+    pub fn exchange<T: Scalar + Wire>(
         &self,
         ctx: &mut RankCtx<T>,
         grid: &mut Grid<T>,
         slot: usize,
-    ) -> usize {
+    ) -> Result<usize, CommError> {
         let _span = msc_trace::span("halo_exchange");
+        ctx.begin_exchange()?;
         let mut sent = 0;
         for dim in 0..self.decomp.ndim() {
             if self.decomp.reach[dim] == 0 {
@@ -55,7 +58,7 @@ impl HaloExchange {
                     ctx.counters.bump(Counter::HaloBytes, bytes);
                     msc_trace::record(Counter::HaloMessages, 1);
                     msc_trace::record(Counter::HaloBytes, bytes);
-                    ctx.isend(nb, Self::tag(slot, dim, dir), payload);
+                    ctx.isend(nb, Self::tag(slot, dim, dir), payload)?;
                     sent += 1;
                     // The neighbour sends back with the *opposite*
                     // direction tag (its face toward us).
@@ -64,12 +67,12 @@ impl HaloExchange {
                 }
             }
             for (dir, req) in pending {
-                let data = ctx.wait(req);
+                let data = ctx.wait(req)?;
                 let _t = msc_trace::timed(Counter::UnpackNanos);
                 self.decomp.recv_region(dim, dir).unpack(grid, &data);
             }
         }
-        sent
+        Ok(sent)
     }
 }
 
@@ -136,7 +139,7 @@ mod tests {
                     f64::NAN
                 }
             });
-            ex.exchange(&mut ctx, &mut g, 0);
+            ex.exchange(&mut ctx, &mut g, 0).unwrap();
             g
         });
         // Verify: every padded cell that maps inside the global domain
@@ -211,7 +214,7 @@ mod tests {
         let ex = HaloExchange::new(decomp.clone());
         let counts: Vec<usize> = World::run(4, |mut ctx| {
             let mut g: Grid<f64> = Grid::zeros(&decomp.sub_extent(), &decomp.reach);
-            ex.exchange(&mut ctx, &mut g, 0)
+            ex.exchange(&mut ctx, &mut g, 0).unwrap()
         });
         for (rank, &c) in counts.iter().enumerate() {
             assert_eq!(c, decomp.n_neighbors(rank), "rank {rank}");

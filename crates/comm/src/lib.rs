@@ -14,27 +14,39 @@
 //!   ranks, inner (send) and outer (receive) halo regions, with
 //!   dimension-ordered exchange so box-stencil corners propagate;
 //! * [`runtime`] — the message-passing world: `isend`, `irecv`,
-//!   `wait`, tags, out-of-order delivery buffering;
+//!   `wait`, tags, out-of-order delivery buffering, plus the
+//!   ack/retransmit reliability protocol and typed [`CommError`]s;
 //! * [`halo`] — the halo-exchange operation built from the above;
+//! * [`fault`] — deterministic seed-driven chaos injection (drops,
+//!   duplicates, reordering, bit corruption, rank kills);
+//! * [`checkpoint`] — periodic window-ring snapshots the resilient
+//!   driver restarts from after a rank failure;
 //! * [`distributed`] — a full multi-rank stencil driver used to validate
-//!   that large-scale execution is bit-identical to single-node runs.
+//!   that large-scale execution is bit-identical to single-node runs,
+//!   even under injected faults.
 
 pub mod backend;
+pub mod checkpoint;
 pub mod collectives;
 pub mod decomp;
 pub mod distributed;
+pub mod error;
+pub mod fault;
 pub mod halo;
 pub mod region;
 pub mod runtime;
 
 pub use backend::{FullNeighborExchange, HaloBackend};
+pub use checkpoint::CheckpointStore;
 pub use collectives::{allreduce, barrier, broadcast, ReduceOp};
 pub use decomp::CartDecomp;
 pub use distributed::{
     build_decomp, run_distributed, run_distributed_bc, run_distributed_exec,
-    run_distributed_until_converged,
-    run_distributed_with,
+    run_distributed_opts, run_distributed_resilient, run_distributed_until_converged,
+    run_distributed_with, CommStats, RunOptions,
 };
+pub use error::CommError;
+pub use fault::{FaultAction, FaultPlan, KillSpec};
 pub use halo::HaloExchange;
 pub use region::Region;
-pub use runtime::{RankCtx, World};
+pub use runtime::{RankCtx, RecvRequest, ReliabilityConfig, Wire, World, WorldConfig};

@@ -2,37 +2,192 @@
 //! over channels, and `isend`/`irecv` follow MPI's non-blocking
 //! semantics. Delivery between a pair of ranks is matched by `(src, tag)`
 //! with out-of-order buffering, like MPI's unexpected-message queue.
+//!
+//! On top of the raw channels sits a **reliability protocol** sized for
+//! the chaos runtime (see [`crate::fault`]): every data frame carries a
+//! per-`(src → dst)` sequence number and a payload checksum; receivers
+//! acknowledge and deduplicate frames, and a receive that stalls sends
+//! bounded, backed-off retransmit requests back to the source. Injected
+//! drops, duplicates, reorderings, and bit flips therefore heal
+//! transparently, while genuine failures surface as typed
+//! [`CommError`] values instead of panics or deadlocks.
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use msc_trace::CounterSet;
-use std::collections::HashMap;
+use crate::error::CommError;
+use crate::fault::{splitmix, FaultAction, FaultPlan};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use msc_trace::{Counter, CounterSet};
+use std::collections::{HashMap, HashSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-/// A point-to-point message.
-#[derive(Debug, Clone)]
-pub struct Message<T> {
-    pub src: usize,
-    pub tag: u64,
-    pub payload: Vec<T>,
+/// Payload element that can cross the wire: hashable for checksums and
+/// bit-flippable for corruption injection. Implemented for the float
+/// types the stencil executors move and the integer types tests use.
+pub trait Wire: Clone + Send + 'static {
+    /// Stable bit pattern feeding the frame checksum.
+    fn wire_bits(&self) -> u64;
+    /// Flip one bit (modulo the type's width) — corruption injection.
+    fn flip_bit(&mut self, bit: u32);
 }
 
-/// A posted receive: resolved by [`RankCtx::wait`].
+macro_rules! wire_int {
+    ($($t:ty),+) => {$(
+        impl Wire for $t {
+            fn wire_bits(&self) -> u64 {
+                *self as u64
+            }
+            fn flip_bit(&mut self, bit: u32) {
+                *self ^= (1 as $t) << (bit % <$t>::BITS);
+            }
+        }
+    )+};
+}
+wire_int!(u32, u64, usize, i32, i64);
+
+impl Wire for f64 {
+    fn wire_bits(&self) -> u64 {
+        self.to_bits()
+    }
+    fn flip_bit(&mut self, bit: u32) {
+        *self = f64::from_bits(self.to_bits() ^ (1u64 << (bit % 64)));
+    }
+}
+
+impl Wire for f32 {
+    fn wire_bits(&self) -> u64 {
+        self.to_bits() as u64
+    }
+    fn flip_bit(&mut self, bit: u32) {
+        *self = f32::from_bits(self.to_bits() ^ (1u32 << (bit % 32)));
+    }
+}
+
+fn checksum<T: Wire>(tag: u64, seq: u64, payload: &[T]) -> u64 {
+    let mut h = splitmix(tag ^ seq.rotate_left(17));
+    for v in payload {
+        h = splitmix(h ^ v.wire_bits());
+    }
+    splitmix(h ^ payload.len() as u64)
+}
+
+/// Frame body: data, a delivery acknowledgement, or a retransmit
+/// request ("send me everything of yours I have not acknowledged").
+#[derive(Debug, Clone)]
+enum Body<T> {
+    Data(Vec<T>),
+    Ack,
+    Resend,
+}
+
+/// A point-to-point frame. `seq` numbers the `(src → dst)` data stream;
+/// for `Ack` frames it names the acknowledged sequence number.
+#[derive(Debug, Clone)]
+struct Frame<T> {
+    src: usize,
+    tag: u64,
+    seq: u64,
+    attempt: u32,
+    checksum: u64,
+    body: Body<T>,
+}
+
+/// A posted receive: resolved by [`RankCtx::wait`] and friends.
 #[derive(Debug)]
 pub struct RecvRequest {
     src: usize,
     tag: u64,
 }
 
+impl RecvRequest {
+    pub fn src(&self) -> usize {
+        self.src
+    }
+    pub fn tag(&self) -> u64 {
+        self.tag
+    }
+}
+
+/// Tunables of the reliability protocol.
+#[derive(Debug, Clone)]
+pub struct ReliabilityConfig {
+    /// Initial receive poll before the first retransmit request.
+    pub poll: Duration,
+    /// Poll growth factor per retry (bounded backoff).
+    pub backoff: f64,
+    /// Ceiling on the backed-off poll interval.
+    pub poll_cap: Duration,
+    /// Retransmit requests before a wait gives up with
+    /// [`CommError::Timeout`].
+    pub max_attempts: u32,
+    /// Hard deadline for waits when the reliability protocol is off —
+    /// converts the old "deadlock forever on a lost message" failure
+    /// mode into a diagnosable timeout.
+    pub plain_deadline: Duration,
+}
+
+impl Default for ReliabilityConfig {
+    fn default() -> ReliabilityConfig {
+        ReliabilityConfig {
+            poll: Duration::from_millis(4),
+            backoff: 1.7,
+            poll_cap: Duration::from_millis(200),
+            max_attempts: 40,
+            plain_deadline: Duration::from_secs(60),
+        }
+    }
+}
+
+/// World construction options: a chaos plan and protocol tunables.
+#[derive(Debug, Clone, Default)]
+pub struct WorldConfig {
+    /// Seeded fault injector applied to every data frame.
+    pub fault: Option<Arc<FaultPlan>>,
+    pub reliability: ReliabilityConfig,
+    /// Force the ack/retransmit protocol on (`Some(true)`) or off
+    /// (`Some(false)`); by default it is on exactly when a fault plan is
+    /// present, so fault-free runs pay no ack traffic.
+    pub reliable: Option<bool>,
+}
+
+/// Shared world state: how many ranks have left the communication fabric
+/// (finished, errored, or panicked). [`RankCtx::finalize`] polls it so
+/// finished ranks keep servicing retransmit requests until everyone is
+/// done, and departure is also counted on drop so a dead rank never
+/// wedges its peers.
+struct WorldShared {
+    departed: AtomicUsize,
+}
+
 /// Per-rank endpoint handed to each rank's closure.
 pub struct RankCtx<T> {
     pub rank: usize,
     pub n_ranks: usize,
-    senders: Arc<Vec<Sender<Message<T>>>>,
-    inbox: Receiver<Message<T>>,
-    /// Unexpected-message queue: messages that arrived before their
+    senders: Arc<Vec<Sender<Frame<T>>>>,
+    inbox: Receiver<Frame<T>>,
+    /// Unexpected-message queue: data frames that arrived before their
     /// matching irecv was waited on.
-    stash: Vec<Message<T>>,
-    /// Messages sent (diagnostics).
+    stash: Vec<Frame<T>>,
+    /// Next sequence number per destination stream.
+    next_seq: Vec<u64>,
+    /// Delivered sequence numbers per source (duplicate suppression).
+    delivered: Vec<HashSet<u64>>,
+    /// Sent-but-unacknowledged data frames per destination — the
+    /// retransmit buffer (pruned as acks drain in).
+    unacked: Vec<Vec<Frame<T>>>,
+    /// Frames the injector is holding back, released after later sends.
+    delayed: Vec<(usize, Frame<T>)>,
+    fault: Option<Arc<FaultPlan>>,
+    cfg: ReliabilityConfig,
+    reliable: bool,
+    /// Halo-exchange rounds entered (drives kill injection).
+    exchanges: u64,
+    shared: Arc<WorldShared>,
+    departed_marked: bool,
+    /// Messages sent (diagnostics). Counts first transmissions of data
+    /// frames only — acks, retransmissions, and control traffic are
+    /// protocol overhead, not messages.
     pub sent_msgs: u64,
     /// Per-rank trace counters (halo messages/bytes and anything callers
     /// bump). Always accumulated — cheap local adds — and folded into
@@ -41,19 +196,52 @@ pub struct RankCtx<T> {
     pub counters: CounterSet,
 }
 
-impl<T: Send + Clone + 'static> RankCtx<T> {
+impl<T> RankCtx<T> {
+    fn mark_departed(&mut self) {
+        if !self.departed_marked {
+            self.departed_marked = true;
+            self.shared.departed.fetch_add(1, Ordering::AcqRel);
+        }
+    }
+}
+
+impl<T> Drop for RankCtx<T> {
+    fn drop(&mut self) {
+        // A rank that exits (or unwinds) without calling `finalize`
+        // still counts as departed, so peers polling in `finalize`
+        // cannot wait for it forever.
+        self.mark_departed();
+    }
+}
+
+impl<T: Wire> RankCtx<T> {
     /// Non-blocking send: enqueue and return immediately (the paper's
     /// `MPI_isend`; channel buffering plays the role of the eager
-    /// protocol).
-    pub fn isend(&mut self, dst: usize, tag: u64, payload: Vec<T>) {
-        self.senders[dst]
-            .send(Message {
-                src: self.rank,
-                tag,
-                payload,
-            })
-            .expect("destination rank hung up");
+    /// protocol). A hung-up destination is a typed
+    /// [`CommError::RankDead`], not a panic.
+    pub fn isend(&mut self, dst: usize, tag: u64, payload: Vec<T>) -> Result<(), CommError> {
+        let seq = self.next_seq[dst];
+        self.next_seq[dst] += 1;
+        let frame = Frame {
+            src: self.rank,
+            tag,
+            seq,
+            attempt: 0,
+            checksum: checksum(tag, seq, &payload),
+            body: Body::Data(payload),
+        };
+        if self.reliable {
+            self.unacked[dst].push(frame.clone());
+        }
+        // Frames the injector delayed are released *after* this newer
+        // frame, which is exactly the reordering being simulated.
+        let held = std::mem::take(&mut self.delayed);
+        self.transmit(dst, frame)?;
+        for (d, f) in held {
+            let _ = self.raw_send(d, f);
+        }
         self.sent_msgs += 1;
+        Ok(())
     }
 
     /// Non-blocking receive: record interest in `(src, tag)` (the paper's
@@ -62,29 +250,378 @@ impl<T: Send + Clone + 'static> RankCtx<T> {
         RecvRequest { src, tag }
     }
 
-    /// Block until the matching message arrives; unrelated messages are
-    /// stashed for later requests.
-    pub fn wait(&mut self, req: RecvRequest) -> Vec<T> {
-        let _span = msc_trace::span("recv_wait");
-        if let Some(pos) = self
-            .stash
-            .iter()
-            .position(|m| m.src == req.src && m.tag == req.tag)
-        {
-            return self.stash.swap_remove(pos).payload;
-        }
-        loop {
-            let msg = self.inbox.recv().expect("world shut down mid-wait");
-            if msg.src == req.src && msg.tag == req.tag {
-                return msg.payload;
+    /// Bump the exchange-round counter and apply any configured kill —
+    /// drivers call this once per halo-exchange round.
+    pub fn begin_exchange(&mut self) -> Result<(), CommError> {
+        self.exchanges += 1;
+        if let Some(plan) = &self.fault {
+            if plan.should_kill(self.rank, self.exchanges) {
+                return Err(CommError::Killed {
+                    rank: self.rank,
+                    exchange: self.exchanges,
+                });
             }
-            self.stash.push(msg);
         }
+        Ok(())
+    }
+
+    /// Block until the matching message arrives; unrelated messages are
+    /// stashed for later requests. Under the reliability protocol a
+    /// stalled wait requests retransmission with bounded backoff; without
+    /// it, a generous hard deadline turns a lost message into
+    /// [`CommError::Timeout`] instead of a deadlock.
+    pub fn wait(&mut self, req: RecvRequest) -> Result<Vec<T>, CommError> {
+        let deadline = self.cfg.plain_deadline;
+        self.wait_deadline(req, deadline)
+    }
+
+    /// Like [`RankCtx::wait`] with an explicit overall deadline.
+    pub fn wait_timeout(&mut self, req: RecvRequest, deadline: Duration) -> Result<Vec<T>, CommError> {
+        self.wait_deadline(req, deadline)
+    }
+
+    /// Poll for completion without blocking: drains every frame already
+    /// in the inbox, then checks the stash. `Ok(None)` means "not yet".
+    pub fn try_wait(&mut self, req: &RecvRequest) -> Result<Option<Vec<T>>, CommError> {
+        while let Ok(frame) = self.inbox.try_recv() {
+            self.process_frame(frame)?;
+        }
+        Ok(self.take_stashed(req.src, req.tag))
     }
 
     /// Wait on several requests, returning payloads in request order.
-    pub fn wait_all(&mut self, reqs: Vec<RecvRequest>) -> Vec<Vec<T>> {
+    pub fn wait_all(&mut self, reqs: Vec<RecvRequest>) -> Result<Vec<Vec<T>>, CommError> {
         reqs.into_iter().map(|r| self.wait(r)).collect()
+    }
+
+    /// Complete whichever pending request's message arrives first,
+    /// `swap_remove`-ing it from `reqs` and returning its former index
+    /// with the payload. Callers holding per-request state in a parallel
+    /// vector mirror the `swap_remove` to stay aligned. Unlike
+    /// [`RankCtx::wait_all`], nothing stalls on the slowest first
+    /// request while later messages sit in the inbox.
+    pub fn wait_any(&mut self, reqs: &mut Vec<RecvRequest>) -> Result<(usize, Vec<T>), CommError> {
+        assert!(!reqs.is_empty(), "wait_any needs at least one request");
+        let _span = msc_trace::span("recv_wait");
+        let start = Instant::now();
+        let mut poll = self.cfg.poll;
+        let mut attempts = 0u32;
+        let mut resends = 0usize;
+        loop {
+            if let Some(pos) = self
+                .stash
+                .iter()
+                .position(|m| reqs.iter().any(|r| r.src == m.src && r.tag == m.tag))
+            {
+                let m = self.stash.swap_remove(pos);
+                let idx = reqs
+                    .iter()
+                    .position(|r| r.src == m.src && r.tag == m.tag)
+                    .unwrap();
+                reqs.swap_remove(idx);
+                let Body::Data(payload) = m.body else { unreachable!("stash holds data") };
+                return Ok((idx, payload));
+            }
+            self.flush_delayed();
+            let step = if self.reliable {
+                poll
+            } else {
+                self.cfg
+                    .plain_deadline
+                    .saturating_sub(start.elapsed())
+                    .min(Duration::from_millis(250))
+            };
+            match self.inbox.recv_timeout(step) {
+                Ok(frame) => self.process_frame(frame)?,
+                Err(RecvTimeoutError::Timeout) => {
+                    let first = &reqs[0];
+                    if self.reliable {
+                        attempts += 1;
+                        self.counters.bump(Counter::TimeoutCount, 1);
+                        msc_trace::record(Counter::TimeoutCount, 1);
+                        if attempts > self.cfg.max_attempts {
+                            return Err(CommError::Timeout {
+                                src: first.src,
+                                tag: first.tag,
+                                pending: resends,
+                                stash_depth: self.stash.len(),
+                            });
+                        }
+                        // Nudge every stalled source; a dead one is a
+                        // hard error (nobody will ever retransmit).
+                        let srcs: HashSet<usize> = reqs.iter().map(|r| r.src).collect();
+                        for src in srcs {
+                            self.raw_send(
+                                src,
+                                Frame {
+                                    src: self.rank,
+                                    tag: 0,
+                                    seq: 0,
+                                    attempt: 0,
+                                    checksum: 0,
+                                    body: Body::Resend,
+                                },
+                            )?;
+                            resends += 1;
+                        }
+                        poll = Duration::from_secs_f64(
+                            (poll.as_secs_f64() * self.cfg.backoff)
+                                .min(self.cfg.poll_cap.as_secs_f64()),
+                        );
+                    } else if start.elapsed() >= self.cfg.plain_deadline {
+                        self.counters.bump(Counter::TimeoutCount, 1);
+                        msc_trace::record(Counter::TimeoutCount, 1);
+                        return Err(CommError::Timeout {
+                            src: first.src,
+                            tag: first.tag,
+                            pending: 0,
+                            stash_depth: self.stash.len(),
+                        });
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(CommError::RankDead { rank: reqs[0].src });
+                }
+            }
+        }
+    }
+
+    fn wait_deadline(&mut self, req: RecvRequest, deadline: Duration) -> Result<Vec<T>, CommError> {
+        let _span = msc_trace::span("recv_wait");
+        if let Some(payload) = self.take_stashed(req.src, req.tag) {
+            return Ok(payload);
+        }
+        let start = Instant::now();
+        let mut poll = self.cfg.poll;
+        let mut attempts = 0u32;
+        let mut resends = 0usize;
+        loop {
+            self.flush_delayed();
+            let step = if self.reliable {
+                poll
+            } else {
+                deadline
+                    .saturating_sub(start.elapsed())
+                    .min(Duration::from_millis(250))
+            };
+            match self.inbox.recv_timeout(step) {
+                Ok(frame) => {
+                    self.process_frame(frame)?;
+                    if let Some(payload) = self.take_stashed(req.src, req.tag) {
+                        return Ok(payload);
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    let timed_out = if self.reliable {
+                        attempts += 1;
+                        attempts > self.cfg.max_attempts
+                    } else {
+                        start.elapsed() >= deadline
+                    };
+                    self.counters.bump(Counter::TimeoutCount, 1);
+                    msc_trace::record(Counter::TimeoutCount, 1);
+                    if timed_out {
+                        return Err(CommError::Timeout {
+                            src: req.src,
+                            tag: req.tag,
+                            pending: resends,
+                            stash_depth: self.stash.len(),
+                        });
+                    }
+                    if self.reliable {
+                        // Receiver-driven recovery: ask the source to
+                        // retransmit everything it still owes us. A dead
+                        // source is a hard error.
+                        self.raw_send(
+                            req.src,
+                            Frame {
+                                src: self.rank,
+                                tag: 0,
+                                seq: 0,
+                                attempt: 0,
+                                checksum: 0,
+                                body: Body::Resend,
+                            },
+                        )?;
+                        resends += 1;
+                        poll = Duration::from_secs_f64(
+                            (poll.as_secs_f64() * self.cfg.backoff)
+                                .min(self.cfg.poll_cap.as_secs_f64()),
+                        );
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(CommError::RankDead { rank: req.src });
+                }
+            }
+        }
+    }
+
+    fn take_stashed(&mut self, src: usize, tag: u64) -> Option<Vec<T>> {
+        let pos = self
+            .stash
+            .iter()
+            .position(|m| m.src == src && m.tag == tag)?;
+        let m = self.stash.swap_remove(pos);
+        let Body::Data(payload) = m.body else { unreachable!("stash holds data") };
+        Some(payload)
+    }
+
+    /// Handle one inbound frame: bookkeeping for acks and retransmit
+    /// requests, checksum + duplicate screening for data.
+    fn process_frame(&mut self, frame: Frame<T>) -> Result<(), CommError> {
+        match frame.body {
+            Body::Ack => {
+                self.unacked[frame.src].retain(|f| f.seq != frame.seq);
+                Ok(())
+            }
+            Body::Resend => {
+                let requester = frame.src;
+                let mut pending: Vec<Frame<T>> = self.unacked[requester]
+                    .iter_mut()
+                    .map(|f| {
+                        f.attempt += 1;
+                        f.clone()
+                    })
+                    .collect();
+                for f in pending.drain(..) {
+                    self.counters.bump(Counter::RetransmitCount, 1);
+                    msc_trace::record(Counter::RetransmitCount, 1);
+                    // The requester may have died since asking; that is
+                    // its problem, not ours.
+                    let _ = self.transmit(requester, f);
+                }
+                Ok(())
+            }
+            Body::Data(ref payload) => {
+                if frame.checksum != checksum(frame.tag, frame.seq, payload) {
+                    if self.reliable {
+                        // Damaged in flight: drop it and nudge the source
+                        // for a clean copy (best effort — our own poll
+                        // timeout re-requests if this nudge is lost).
+                        let _ = self.raw_send(
+                            frame.src,
+                            Frame {
+                                src: self.rank,
+                                tag: 0,
+                                seq: 0,
+                                attempt: 0,
+                                checksum: 0,
+                                body: Body::Resend,
+                            },
+                        );
+                        return Ok(());
+                    }
+                    return Err(CommError::Corrupt {
+                        src: frame.src,
+                        tag: frame.tag,
+                    });
+                }
+                if self.reliable {
+                    // Acknowledge receipt so the sender can prune its
+                    // retransmit buffer (best effort: an exited sender
+                    // no longer cares).
+                    let _ = self.raw_send(
+                        frame.src,
+                        Frame {
+                            src: self.rank,
+                            tag: frame.tag,
+                            seq: frame.seq,
+                            attempt: 0,
+                            checksum: 0,
+                            body: Body::Ack,
+                        },
+                    );
+                }
+                // Idempotent delivery: duplicates (injected or from
+                // over-eager retransmission) are dropped here.
+                if !self.delivered[frame.src].insert(frame.seq) {
+                    return Ok(());
+                }
+                self.stash.push(frame);
+                Ok(())
+            }
+        }
+    }
+
+    /// Send through the fault injector (data frames only).
+    fn transmit(&mut self, dst: usize, frame: Frame<T>) -> Result<(), CommError> {
+        let action = match (&self.fault, &frame.body) {
+            (Some(plan), Body::Data(_)) => {
+                plan.decide(self.rank, dst, frame.tag, frame.seq, frame.attempt)
+            }
+            _ => FaultAction::Deliver,
+        };
+        match action {
+            FaultAction::Deliver => self.raw_send(dst, frame),
+            FaultAction::Drop => {
+                self.note_fault();
+                Ok(())
+            }
+            FaultAction::Delay => {
+                self.note_fault();
+                self.delayed.push((dst, frame));
+                Ok(())
+            }
+            FaultAction::Duplicate => {
+                self.note_fault();
+                self.raw_send(dst, frame.clone())?;
+                self.raw_send(dst, frame)
+            }
+            FaultAction::Corrupt { elem, bit } => {
+                self.note_fault();
+                let mut f = frame;
+                if let Body::Data(p) = &mut f.body {
+                    if !p.is_empty() {
+                        let i = (elem % p.len() as u64) as usize;
+                        p[i].flip_bit(bit);
+                    }
+                }
+                // Checksum still covers the original payload, so the
+                // receiver detects the damage and re-requests.
+                self.raw_send(dst, f)
+            }
+        }
+    }
+
+    fn note_fault(&mut self) {
+        self.counters.bump(Counter::FaultsInjected, 1);
+        msc_trace::record(Counter::FaultsInjected, 1);
+    }
+
+    fn raw_send(&self, dst: usize, frame: Frame<T>) -> Result<(), CommError> {
+        self.senders[dst]
+            .send(frame)
+            .map_err(|_| CommError::RankDead { rank: dst })
+    }
+
+    fn flush_delayed(&mut self) {
+        for (dst, frame) in std::mem::take(&mut self.delayed) {
+            let _ = self.raw_send(dst, frame);
+        }
+    }
+
+    /// Cooperative teardown: release any injector-held frames, then keep
+    /// servicing acks and retransmit requests until every rank has
+    /// departed (finished, errored, or died). Ranks that block on late
+    /// halo messages can therefore still be served by peers that already
+    /// finished computing. Call it as the last communication act of a
+    /// rank body; ranks that skip it (or die) are counted out on drop.
+    pub fn finalize(&mut self) {
+        self.flush_delayed();
+        self.mark_departed();
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while self.shared.departed.load(Ordering::Acquire) < self.n_ranks
+            && Instant::now() < deadline
+        {
+            match self.inbox.recv_timeout(Duration::from_millis(1)) {
+                Ok(frame) => {
+                    let _ = self.process_frame(frame);
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
     }
 }
 
@@ -93,14 +630,45 @@ pub struct World;
 
 impl World {
     /// Run `f(ctx)` on every rank concurrently; returns the per-rank
-    /// results in rank order. Panics in any rank propagate.
+    /// results in rank order. Panics in any rank propagate — a thin
+    /// wrapper over [`World::try_run`] for tests and infallible callers.
     pub fn run<T, R, F>(n_ranks: usize, f: F) -> Vec<R>
     where
-        T: Send + Clone + 'static,
+        T: Wire,
+        R: Send,
+        F: Fn(RankCtx<T>) -> R + Sync,
+    {
+        match Self::try_run(n_ranks, f) {
+            Ok(results) => results,
+            Err(e) => panic!("rank thread panicked: {e}"),
+        }
+    }
+
+    /// Like [`World::run`], but a panicking rank poisons the world as a
+    /// typed [`CommError::WorldPoisoned`] naming the failing rank,
+    /// instead of nuking every rank's result with a joined panic.
+    pub fn try_run<T, R, F>(n_ranks: usize, f: F) -> Result<Vec<R>, CommError>
+    where
+        T: Wire,
+        R: Send,
+        F: Fn(RankCtx<T>) -> R + Sync,
+    {
+        Self::try_run_with(n_ranks, WorldConfig::default(), f)
+    }
+
+    /// Full-control entry point: chaos plan + reliability tunables.
+    pub fn try_run_with<T, R, F>(
+        n_ranks: usize,
+        cfg: WorldConfig,
+        f: F,
+    ) -> Result<Vec<R>, CommError>
+    where
+        T: Wire,
         R: Send,
         F: Fn(RankCtx<T>) -> R + Sync,
     {
         assert!(n_ranks > 0, "world needs at least one rank");
+        let reliable = cfg.reliable.unwrap_or(cfg.fault.is_some());
         let mut senders = Vec::with_capacity(n_ranks);
         let mut receivers = Vec::with_capacity(n_ranks);
         for _ in 0..n_ranks {
@@ -109,12 +677,19 @@ impl World {
             receivers.push(rx);
         }
         let senders = Arc::new(senders);
+        let shared = Arc::new(WorldShared {
+            departed: AtomicUsize::new(0),
+        });
 
         let mut results: HashMap<usize, R> = HashMap::new();
+        let mut poisoned: Option<(usize, String)> = None;
         crossbeam::thread::scope(|scope| {
             let mut handles = Vec::new();
             for (rank, inbox) in receivers.into_iter().enumerate() {
                 let senders = Arc::clone(&senders);
+                let shared = Arc::clone(&shared);
+                let fault = cfg.fault.clone();
+                let reliability = cfg.reliability.clone();
                 let f = &f;
                 handles.push(scope.spawn(move |_| {
                     let _span = msc_trace::span("rank");
@@ -124,21 +699,67 @@ impl World {
                         senders,
                         inbox,
                         stash: Vec::new(),
+                        next_seq: vec![0; n_ranks],
+                        delivered: vec![HashSet::new(); n_ranks],
+                        unacked: vec![Vec::new(); n_ranks],
+                        delayed: Vec::new(),
+                        fault,
+                        cfg: reliability,
+                        reliable,
+                        exchanges: 0,
+                        shared,
+                        departed_marked: false,
                         sent_msgs: 0,
                         counters: CounterSet::new(),
                     };
-                    (rank, f(ctx))
+                    let out = catch_unwind(AssertUnwindSafe(|| f(ctx)));
+                    (rank, out)
                 }));
             }
             for h in handles {
-                let (rank, r) = h.join().expect("rank thread panicked");
-                results.insert(rank, r);
+                match h.join() {
+                    Ok((rank, Ok(r))) => {
+                        results.insert(rank, r);
+                    }
+                    Ok((rank, Err(payload))) => {
+                        let message = payload
+                            .downcast_ref::<&str>()
+                            .map(|s| s.to_string())
+                            .or_else(|| payload.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "non-string panic payload".into());
+                        match &poisoned {
+                            Some((r, _)) if *r <= rank => {}
+                            _ => poisoned = Some((rank, message)),
+                        }
+                    }
+                    // The closure catches its own panics, so an outer
+                    // join failure should be unreachable; treat it as
+                    // poison rather than crashing the caller.
+                    Err(_) => {
+                        if poisoned.is_none() {
+                            poisoned = Some((usize::MAX, "rank join failed".into()));
+                        }
+                    }
+                }
             }
         })
-        .expect("world scope failed");
-        (0..n_ranks)
-            .map(|r| results.remove(&r).expect("missing rank result"))
-            .collect()
+        .expect("scope itself never fails: rank panics are caught per-thread");
+        if let Some((rank, message)) = poisoned {
+            return Err(CommError::WorldPoisoned { rank, message });
+        }
+        let mut out = Vec::with_capacity(n_ranks);
+        for r in 0..n_ranks {
+            match results.remove(&r) {
+                Some(v) => out.push(v),
+                None => {
+                    return Err(CommError::WorldPoisoned {
+                        rank: r,
+                        message: "rank produced no result".into(),
+                    })
+                }
+            }
+        }
+        Ok(out)
     }
 }
 
@@ -152,9 +773,9 @@ mod tests {
         let results: Vec<usize> = World::run(4, |mut ctx: RankCtx<usize>| {
             let next = (ctx.rank + 1) % ctx.n_ranks;
             let prev = (ctx.rank + ctx.n_ranks - 1) % ctx.n_ranks;
-            ctx.isend(next, 7, vec![ctx.rank]);
+            ctx.isend(next, 7, vec![ctx.rank]).unwrap();
             let req = ctx.irecv(prev, 7);
-            ctx.wait(req)[0]
+            ctx.wait(req).unwrap()[0]
         });
         assert_eq!(results, vec![3, 0, 1, 2]);
     }
@@ -164,15 +785,15 @@ mod tests {
         let results: Vec<f64> = World::run(2, |mut ctx: RankCtx<f64>| {
             if ctx.rank == 0 {
                 // Send tag 2 first, then tag 1.
-                ctx.isend(1, 2, vec![2.0]);
-                ctx.isend(1, 1, vec![1.0]);
+                ctx.isend(1, 2, vec![2.0]).unwrap();
+                ctx.isend(1, 1, vec![1.0]).unwrap();
                 0.0
             } else {
                 // Receive tag 1 first: tag 2 must be stashed, not lost.
                 let r1 = ctx.irecv(0, 1);
-                let v1 = ctx.wait(r1)[0];
+                let v1 = ctx.wait(r1).unwrap()[0];
                 let r2 = ctx.irecv(0, 2);
-                let v2 = ctx.wait(r2)[0];
+                let v2 = ctx.wait(r2).unwrap()[0];
                 v1 * 10.0 + v2
             }
         });
@@ -184,13 +805,64 @@ mod tests {
         let results: Vec<Vec<i64>> = World::run(3, |mut ctx: RankCtx<i64>| {
             if ctx.rank == 0 {
                 let reqs = vec![ctx.irecv(2, 0), ctx.irecv(1, 0)];
-                ctx.wait_all(reqs).into_iter().flatten().collect()
+                ctx.wait_all(reqs)
+                    .unwrap()
+                    .into_iter()
+                    .flatten()
+                    .collect()
             } else {
-                ctx.isend(0, 0, vec![ctx.rank as i64]);
+                ctx.isend(0, 0, vec![ctx.rank as i64]).unwrap();
                 vec![]
             }
         });
         assert_eq!(results[0], vec![2, 1]);
+    }
+
+    #[test]
+    fn wait_any_completes_in_arrival_order() {
+        // Rank 1 delays its message; wait_any must hand back rank 2's
+        // payload first instead of stalling on the first posted request.
+        let results: Vec<Vec<i64>> = World::run(3, |mut ctx: RankCtx<i64>| {
+            if ctx.rank == 0 {
+                let mut reqs = vec![ctx.irecv(1, 0), ctx.irecv(2, 0)];
+                let mut arrivals = Vec::new();
+                while !reqs.is_empty() {
+                    let (_, payload) = ctx.wait_any(&mut reqs).unwrap();
+                    arrivals.push(payload[0]);
+                }
+                arrivals
+            } else {
+                if ctx.rank == 1 {
+                    std::thread::sleep(Duration::from_millis(80));
+                }
+                ctx.isend(0, 0, vec![ctx.rank as i64 * 10]).unwrap();
+                vec![]
+            }
+        });
+        assert_eq!(results[0], vec![20, 10]);
+    }
+
+    #[test]
+    fn try_wait_polls_without_blocking() {
+        let results: Vec<u64> = World::run(2, |mut ctx: RankCtx<u64>| {
+            if ctx.rank == 0 {
+                std::thread::sleep(Duration::from_millis(30));
+                ctx.isend(1, 5, vec![99]).unwrap();
+                0
+            } else {
+                let req = ctx.irecv(0, 5);
+                let mut polls = 0u64;
+                loop {
+                    if let Some(v) = ctx.try_wait(&req).unwrap() {
+                        assert!(polls > 0, "first poll should find nothing");
+                        return v[0];
+                    }
+                    polls += 1;
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            }
+        });
+        assert_eq!(results[1], 99);
     }
 
     #[test]
@@ -199,14 +871,14 @@ mod tests {
         let sums: Vec<usize> = World::run(n, move |mut ctx: RankCtx<usize>| {
             for dst in 0..ctx.n_ranks {
                 if dst != ctx.rank {
-                    ctx.isend(dst, 0, vec![ctx.rank * 100]);
+                    ctx.isend(dst, 0, vec![ctx.rank * 100]).unwrap();
                 }
             }
             let mut sum = 0;
             for src in 0..ctx.n_ranks {
                 if src != ctx.rank {
                     let req = ctx.irecv(src, 0);
-                    sum += ctx.wait(req)[0];
+                    sum += ctx.wait(req).unwrap()[0];
                 }
             }
             sum
@@ -221,5 +893,216 @@ mod tests {
     fn single_rank_world() {
         let r: Vec<u32> = World::run(1, |ctx: RankCtx<f32>| ctx.rank as u32);
         assert_eq!(r, vec![0]);
+    }
+
+    #[test]
+    fn try_run_reports_poisoned_rank() {
+        let err = World::try_run(3, |ctx: RankCtx<f64>| {
+            if ctx.rank == 1 {
+                panic!("deliberate test panic in rank 1");
+            }
+            ctx.rank
+        })
+        .unwrap_err();
+        match err {
+            CommError::WorldPoisoned { rank, message } => {
+                assert_eq!(rank, 1);
+                assert!(message.contains("deliberate test panic"), "{message}");
+            }
+            other => panic!("expected WorldPoisoned, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn send_to_exited_rank_is_rank_dead() {
+        let results: Vec<Option<CommError>> = World::run(2, |mut ctx: RankCtx<f64>| {
+            if ctx.rank == 1 {
+                return None; // exit immediately; endpoint drops
+            }
+            std::thread::sleep(Duration::from_millis(60));
+            ctx.isend(1, 0, vec![1.0]).err()
+        });
+        assert_eq!(results[0], Some(CommError::RankDead { rank: 1 }));
+    }
+
+    #[test]
+    fn reliable_wait_survives_heavy_drop() {
+        let mut plan = FaultPlan::new(77);
+        plan.drop_p = 0.5;
+        let cfg = WorldConfig {
+            fault: Some(Arc::new(plan)),
+            reliability: ReliabilityConfig {
+                poll: Duration::from_millis(2),
+                max_attempts: 60,
+                ..Default::default()
+            },
+            reliable: None,
+        };
+        let results: Vec<(usize, u64)> = World::try_run_with(4, cfg, |mut ctx: RankCtx<usize>| {
+            for dst in 0..ctx.n_ranks {
+                if dst != ctx.rank {
+                    for tag in 0..8u64 {
+                        ctx.isend(dst, tag, vec![ctx.rank * 1000 + tag as usize])
+                            .unwrap();
+                    }
+                }
+            }
+            let mut sum = 0usize;
+            for src in 0..ctx.n_ranks {
+                if src != ctx.rank {
+                    for tag in 0..8u64 {
+                        let req = ctx.irecv(src, tag);
+                        sum += ctx.wait(req).unwrap()[0];
+                    }
+                }
+            }
+            let retransmits = ctx.counters.get(Counter::RetransmitCount)
+                + ctx.counters.get(Counter::FaultsInjected);
+            ctx.finalize();
+            (sum, retransmits)
+        })
+        .unwrap();
+        for (rank, (sum, _)) in results.iter().enumerate() {
+            let want: usize = (0..4)
+                .filter(|&s| s != rank)
+                .flat_map(|s| (0..8).map(move |t| s * 1000 + t))
+                .sum();
+            assert_eq!(*sum, want, "rank {rank}");
+        }
+        // With drop_p = 0.5 over 96 data frames, faults must have fired
+        // somewhere and recovery must have retransmitted.
+        let total: u64 = results.iter().map(|(_, r)| r).sum();
+        assert!(total > 0, "no faults or retransmits recorded");
+    }
+
+    #[test]
+    fn duplicates_are_deduplicated() {
+        let mut plan = FaultPlan::new(5);
+        plan.dup_p = 1.0; // every data frame sent twice
+        let cfg = WorldConfig {
+            fault: Some(Arc::new(plan)),
+            ..Default::default()
+        };
+        let results: Vec<usize> = World::try_run_with(3, cfg, |mut ctx: RankCtx<usize>| {
+            for dst in 0..ctx.n_ranks {
+                if dst != ctx.rank {
+                    ctx.isend(dst, 0, vec![ctx.rank + 1]).unwrap();
+                }
+            }
+            let mut sum = 0;
+            for src in 0..ctx.n_ranks {
+                if src != ctx.rank {
+                    let req = ctx.irecv(src, 0);
+                    sum += ctx.wait(req).unwrap()[0];
+                }
+            }
+            // A second receive of the duplicated payload must NOT be
+            // available: the duplicate was suppressed on arrival.
+            for src in 0..ctx.n_ranks {
+                if src != ctx.rank {
+                    let req = ctx.irecv(src, 0);
+                    assert!(ctx.try_wait(&req).unwrap().is_none(), "duplicate leaked");
+                }
+            }
+            ctx.finalize();
+            sum
+        })
+        .unwrap();
+        for (rank, s) in results.iter().enumerate() {
+            let want: usize = (0..3).filter(|&r| r != rank).map(|r| r + 1).sum();
+            assert_eq!(*s, want);
+        }
+    }
+
+    #[test]
+    fn corrupt_frame_without_reliability_is_typed_error() {
+        let mut plan = FaultPlan::new(3);
+        plan.corrupt_p = 1.0;
+        let cfg = WorldConfig {
+            fault: Some(Arc::new(plan)),
+            reliable: Some(false), // detection without recovery
+            ..Default::default()
+        };
+        let results: Vec<Option<CommError>> =
+            World::try_run_with(2, cfg, |mut ctx: RankCtx<f64>| {
+                if ctx.rank == 0 {
+                    ctx.isend(1, 9, vec![1.0, 2.0, 3.0]).unwrap();
+                    None
+                } else {
+                    let req = ctx.irecv(0, 9);
+                    ctx.wait_timeout(req, Duration::from_secs(5)).err()
+                }
+            })
+            .unwrap();
+        assert_eq!(results[1], Some(CommError::Corrupt { src: 0, tag: 9 }));
+    }
+
+    #[test]
+    fn timeout_error_names_the_pending_pair() {
+        let cfg = WorldConfig {
+            reliable: Some(true),
+            reliability: ReliabilityConfig {
+                poll: Duration::from_millis(1),
+                max_attempts: 3,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let results: Vec<Option<CommError>> =
+            World::try_run_with(2, cfg, |mut ctx: RankCtx<f64>| {
+                if ctx.rank == 0 {
+                    // Send something on a *different* tag so the stash is
+                    // non-empty, then stay alive servicing the fabric.
+                    ctx.isend(1, 11, vec![4.0]).unwrap();
+                    ctx.finalize();
+                    None
+                } else {
+                    let req = ctx.irecv(0, 99); // never sent
+                    let err = ctx.wait(req).err();
+                    ctx.finalize();
+                    err
+                }
+            })
+            .unwrap();
+        match results[1].as_ref().unwrap() {
+            CommError::Timeout {
+                src,
+                tag,
+                pending,
+                stash_depth,
+            } => {
+                assert_eq!(*src, 0);
+                assert_eq!(*tag, 99);
+                assert!(*pending > 0, "should have requested retransmits");
+                assert_eq!(*stash_depth, 1, "tag-11 message should be stashed");
+            }
+            other => panic!("expected Timeout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn kill_plan_fires_via_begin_exchange() {
+        let plan = Arc::new(FaultPlan::new(0).with_kill(1, 2));
+        let cfg = WorldConfig {
+            fault: Some(plan),
+            ..Default::default()
+        };
+        let results: Vec<Result<u64, CommError>> =
+            World::try_run_with(2, cfg, |mut ctx: RankCtx<f64>| {
+                for _ in 0..4 {
+                    ctx.begin_exchange()?;
+                }
+                ctx.finalize();
+                Ok(ctx.sent_msgs)
+            })
+            .unwrap();
+        assert!(results[0].is_ok());
+        assert_eq!(
+            results[1],
+            Err(CommError::Killed {
+                rank: 1,
+                exchange: 2
+            })
+        );
     }
 }

@@ -1,0 +1,345 @@
+//! Chaos-suite integration tests: the distributed stencil driver must
+//! produce **bit-identical** results under injected communication
+//! faults (drops, duplicates, reordering, bit corruption), survive a
+//! killed rank by restarting from a checkpoint, and report every fault
+//! it healed through the trace counters.
+//!
+//! All fault schedules are seed-driven and deterministic, so these tests
+//! are exact, not statistical.
+
+use msc_comm::{
+    build_decomp, run_distributed, run_distributed_opts, run_distributed_resilient,
+    FaultPlan, FullNeighborExchange, HaloExchange, ReliabilityConfig, RunOptions,
+};
+use msc_core::catalog::{benchmark, BenchmarkId};
+use msc_core::error::Result;
+use msc_core::prelude::*;
+use msc_core::schedule::plan::ExecPlan;
+use msc_core::schedule::Schedule;
+use msc_exec::driver::{run_program, Executor};
+use msc_exec::{Boundary, Grid};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn simple_plan(sub: &[usize]) -> Result<ExecPlan> {
+    let mut s = Schedule::default();
+    let tile: Vec<usize> = sub.iter().map(|&x| (x / 2).max(1)).collect();
+    s.tile(&tile);
+    s.parallel("xo", 2);
+    ExecPlan::lower(&s, sub.len(), sub)
+}
+
+/// A lossy-but-recoverable plan: drops, duplicates, reordering, and
+/// corruption all at once.
+fn lossy_plan(seed: u64) -> Arc<FaultPlan> {
+    let mut p = FaultPlan::new(seed);
+    p.drop_p = 0.10;
+    p.dup_p = 0.05;
+    p.delay_p = 0.10;
+    p.corrupt_p = 0.05;
+    Arc::new(p)
+}
+
+/// Faster polls than the defaults so injected drops are re-requested
+/// quickly and the suite stays snappy.
+fn fast_reliability() -> ReliabilityConfig {
+    ReliabilityConfig {
+        poll: Duration::from_millis(2),
+        max_attempts: 80,
+        ..ReliabilityConfig::default()
+    }
+}
+
+fn chaos_opts(seed: u64) -> RunOptions {
+    RunOptions {
+        chaos: Some(lossy_plan(seed)),
+        reliability: fast_reliability(),
+        ..RunOptions::default()
+    }
+}
+
+fn ckpt_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("msc_chaos_{name}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn chaotic_run_is_bit_identical_to_fault_free() {
+    // The headline robustness claim: with drops, duplicates, reordering,
+    // AND corruption injected into every rank's channels, the reliable
+    // runtime heals everything and the result is bitwise equal to both
+    // the fault-free distributed run and the single-node reference.
+    let p = benchmark(BenchmarkId::S2d9ptBox)
+        .program(&[16, 16], DType::F64, 5)
+        .unwrap();
+    let init: Grid<f64> = Grid::random(&p.grid.shape, &p.grid.halo, 42);
+    let (single, _) = run_program(&p, &Executor::Reference, &init).unwrap();
+    let (plain, _) = run_distributed(&p, &[2, 2], &init, simple_plan).unwrap();
+    let (chaotic, stats) = run_distributed_resilient(
+        &p,
+        &[2, 2],
+        &init,
+        Boundary::Dirichlet,
+        &chaos_opts(1337),
+        simple_plan,
+    )
+    .unwrap();
+    assert_eq!(single.as_slice(), chaotic.as_slice());
+    assert_eq!(plain.as_slice(), chaotic.as_slice());
+    // The chaos must actually have happened — and been healed.
+    assert!(stats.faults_injected() > 0, "no faults injected");
+    assert!(stats.retransmits() > 0, "no retransmissions recorded");
+    assert_eq!(stats.restarts, 0, "recoverable faults must not restart");
+}
+
+#[test]
+fn chaotic_gcl_backend_is_bit_identical_too() {
+    // Same property through the full-neighbor (GCL-style) backend, whose
+    // corner messages exercise different tags and message sizes.
+    let p = benchmark(BenchmarkId::S2d9ptBox)
+        .program(&[12, 12], DType::F64, 4)
+        .unwrap();
+    let init: Grid<f64> = Grid::random(&p.grid.shape, &p.grid.halo, 7);
+    let (single, _) = run_program(&p, &Executor::Reference, &init).unwrap();
+    let decomp = build_decomp(&p, &[2, 2], Boundary::Dirichlet).unwrap();
+    let backend = FullNeighborExchange::new(decomp);
+    let (chaotic, stats) = run_distributed_opts(
+        &p,
+        &init,
+        Boundary::Dirichlet,
+        &backend,
+        None,
+        &chaos_opts(2024),
+        simple_plan,
+    )
+    .unwrap();
+    assert_eq!(single.as_slice(), chaotic.as_slice());
+    assert!(stats.faults_injected() > 0);
+}
+
+#[test]
+fn same_seed_same_fault_schedule_different_seed_differs() {
+    // Determinism of the injector at the system level: two runs with the
+    // same seed inject exactly the same number of faults; a different
+    // seed gives a different schedule (counted over the same traffic).
+    let p = benchmark(BenchmarkId::S2d9ptStar)
+        .program(&[12, 12], DType::F64, 5)
+        .unwrap();
+    let init: Grid<f64> = Grid::random(&p.grid.shape, &p.grid.halo, 3);
+    let run = |seed: u64| {
+        let (_, stats) = run_distributed_resilient(
+            &p,
+            &[2, 2],
+            &init,
+            Boundary::Dirichlet,
+            &chaos_opts(seed),
+            simple_plan,
+        )
+        .unwrap();
+        stats.faults_injected()
+    };
+    let a1 = run(11);
+    let a2 = run(11);
+    let b = run(12);
+    assert_eq!(a1, a2, "same seed must give the same schedule");
+    assert!(a1 > 0);
+    // First-transmission traffic is identical, so a differing injection
+    // count demonstrates a differing schedule. (Equal counts with a
+    // different pattern are possible in principle; these seeds differ.)
+    assert_ne!(a1, b, "different seeds should differ on this workload");
+}
+
+#[test]
+fn killed_rank_restarts_from_checkpoint_and_matches_golden() {
+    // The full story: checkpoints every 2 steps, chaos kills rank 1 at
+    // its 4th halo exchange. The driver restarts from the last complete
+    // checkpoint and the final state still matches the fault-free
+    // single-node golden run bit for bit.
+    let p = benchmark(BenchmarkId::S2d9ptBox)
+        .program(&[16, 16], DType::F64, 6)
+        .unwrap();
+    let init: Grid<f64> = Grid::random(&p.grid.shape, &p.grid.halo, 99);
+    let (golden, _) = run_program(&p, &Executor::Reference, &init).unwrap();
+
+    let dir = ckpt_dir("kill_restart");
+    let opts = RunOptions {
+        chaos: Some(Arc::new(FaultPlan::new(5).with_kill(1, 4))),
+        reliability: fast_reliability(),
+        checkpoint_dir: Some(dir.clone()),
+        checkpoint_every: 2,
+        max_restarts: 2,
+    };
+    let (out, stats) = run_distributed_resilient(
+        &p,
+        &[2, 2],
+        &init,
+        Boundary::Dirichlet,
+        &opts,
+        simple_plan,
+    )
+    .unwrap();
+    assert_eq!(golden.as_slice(), out.as_slice());
+    assert_eq!(stats.restarts, 1, "the kill must have forced one restart");
+    assert!(stats.checkpoint_bytes() > 0, "checkpoints must have been written");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn kill_without_checkpoints_restarts_from_scratch() {
+    // No checkpoint directory: the restart replays from the initial
+    // state. Still bit-identical — just more recomputation.
+    let p = benchmark(BenchmarkId::S2d9ptStar)
+        .program(&[12, 12], DType::F64, 4)
+        .unwrap();
+    let init: Grid<f64> = Grid::random(&p.grid.shape, &p.grid.halo, 21);
+    let (golden, _) = run_program(&p, &Executor::Reference, &init).unwrap();
+    let opts = RunOptions {
+        chaos: Some(Arc::new(FaultPlan::new(8).with_kill(2, 2))),
+        reliability: fast_reliability(),
+        ..RunOptions::default()
+    };
+    let (out, stats) = run_distributed_resilient(
+        &p,
+        &[2, 2],
+        &init,
+        Boundary::Dirichlet,
+        &opts,
+        simple_plan,
+    )
+    .unwrap();
+    assert_eq!(golden.as_slice(), out.as_slice());
+    assert_eq!(stats.restarts, 1);
+    assert_eq!(stats.checkpoint_bytes(), 0);
+}
+
+#[test]
+fn kill_with_exhausted_restart_budget_is_a_typed_error() {
+    // max_restarts = 0: the kill becomes a typed error carried out of the
+    // driver — never a panic. (A one-shot kill with budget >= 1 succeeds;
+    // with 0 budget the first failure is final.)
+    let p = benchmark(BenchmarkId::S2d9ptStar)
+        .program(&[12, 12], DType::F64, 4)
+        .unwrap();
+    let init: Grid<f64> = Grid::random(&p.grid.shape, &p.grid.halo, 2);
+    let opts = RunOptions {
+        chaos: Some(Arc::new(FaultPlan::new(3).with_kill(0, 1))),
+        reliability: fast_reliability(),
+        max_restarts: 0,
+        ..RunOptions::default()
+    };
+    let err = run_distributed_resilient(
+        &p,
+        &[2, 2],
+        &init,
+        Boundary::Dirichlet,
+        &opts,
+        simple_plan,
+    )
+    .unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("communication failure"), "{msg}");
+}
+
+#[test]
+fn periodic_chaos_run_matches_periodic_single_node() {
+    // Torus topology + chaos: wraparound self-messages go through the
+    // same injector and reliability protocol.
+    use msc_exec::driver::run_program_bc;
+    let p = benchmark(BenchmarkId::S2d9ptBox)
+        .program(&[12, 12], DType::F64, 3)
+        .unwrap();
+    let init: Grid<f64> = Grid::random(&p.grid.shape, &p.grid.halo, 51);
+    let (single, _) =
+        run_program_bc(&p, &Executor::Reference, &init, Boundary::Periodic).unwrap();
+    let (multi, _) = run_distributed_resilient(
+        &p,
+        &[2, 2],
+        &init,
+        Boundary::Periodic,
+        &chaos_opts(77),
+        simple_plan,
+    )
+    .unwrap();
+    assert_eq!(single.as_slice(), multi.as_slice());
+}
+
+#[test]
+fn resilient_defaults_degenerate_to_plain_run() {
+    // With no chaos and no checkpoints the resilient entry point is the
+    // plain driver: same bits, same message count, no protocol overhead.
+    let p = benchmark(BenchmarkId::S2d9ptBox)
+        .program(&[16, 16], DType::F64, 5)
+        .unwrap();
+    let init: Grid<f64> = Grid::random(&p.grid.shape, &p.grid.halo, 42);
+    let (plain, plain_stats) = run_distributed(&p, &[2, 2], &init, simple_plan).unwrap();
+    let (res, res_stats) = run_distributed_resilient(
+        &p,
+        &[2, 2],
+        &init,
+        Boundary::Dirichlet,
+        &RunOptions::default(),
+        simple_plan,
+    )
+    .unwrap();
+    assert_eq!(plain.as_slice(), res.as_slice());
+    assert_eq!(plain_stats.messages, res_stats.messages);
+    assert_eq!(res_stats.faults_injected(), 0);
+    assert_eq!(res_stats.retransmits(), 0);
+    assert_eq!(res_stats.restarts, 0);
+}
+
+#[test]
+fn checkpoint_files_use_grid_format_and_resume_step() {
+    // The checkpoint store's on-disk artifacts are plain MSCGRID1 files;
+    // after a run with --checkpoint-every style options the directory
+    // holds complete, loadable snapshots.
+    let p = benchmark(BenchmarkId::S2d9ptStar)
+        .program(&[12, 12], DType::F64, 5)
+        .unwrap();
+    let init: Grid<f64> = Grid::random(&p.grid.shape, &p.grid.halo, 10);
+    let dir = ckpt_dir("format");
+    let opts = RunOptions {
+        checkpoint_dir: Some(dir.clone()),
+        checkpoint_every: 2,
+        ..RunOptions::default()
+    };
+    run_distributed_resilient(&p, &[2, 2], &init, Boundary::Dirichlet, &opts, simple_plan)
+        .unwrap();
+    let store = msc_comm::CheckpointStore::new(&dir, 4).unwrap();
+    let latest = store.latest_complete().expect("a complete checkpoint");
+    assert_eq!(latest, 4, "steps 2 and 4 checkpointed; 4 is latest");
+    // Every slot of every rank loads as a well-formed grid.
+    for rank in 0..4 {
+        let grids: Vec<Grid<f64>> = store.load_rank(latest, rank, 2).unwrap();
+        assert_eq!(grids.len(), 2);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn spm_staged_chaos_run_is_bit_identical() {
+    // Chaos composed with the SPM/DMA execution path: reliability and
+    // the staged executor are orthogonal.
+    let p = benchmark(BenchmarkId::S3d7ptStar)
+        .program(&[12, 12, 16], DType::F64, 4)
+        .unwrap();
+    let init: Grid<f64> = Grid::random(&p.grid.shape, &p.grid.halo, 44);
+    let (single, _) = run_program(&p, &Executor::Reference, &init).unwrap();
+    let decomp = build_decomp(&p, &[2, 1, 2], Boundary::Dirichlet).unwrap();
+    let backend = HaloExchange::new(decomp);
+    let (multi, stats) = run_distributed_opts(
+        &p,
+        &init,
+        Boundary::Dirichlet,
+        &backend,
+        Some(1 << 20),
+        &chaos_opts(4321),
+        simple_plan,
+    )
+    .unwrap();
+    assert_eq!(single.as_slice(), multi.as_slice());
+    assert!(stats.faults_injected() > 0);
+    assert!(stats.dma_get_bytes() > 0, "SPM path must still run");
+}

@@ -33,6 +33,10 @@ pub enum MscError {
     DimMismatch { expected: usize, got: usize },
     /// Invalid user-provided configuration (grid shape, process grid, ...).
     InvalidConfig(String),
+    /// A communication-layer fault (lost/corrupt message, dead rank,
+    /// poisoned world). Carries the rendered `CommError` from `msc-comm`,
+    /// which owns the typed representation.
+    Comm(String),
 }
 
 impl fmt::Display for MscError {
@@ -63,6 +67,7 @@ impl fmt::Display for MscError {
                 write!(f, "dimension mismatch: expected {expected}, got {got}")
             }
             MscError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            MscError::Comm(msg) => write!(f, "communication failure: {msg}"),
         }
     }
 }

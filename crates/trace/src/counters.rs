@@ -67,6 +67,11 @@ counters! {
     Ranks            => ("ranks", "count", Max),
     TemporalBlocks   => ("temporal_blocks", "count", Sum),
     ComputedPoints   => ("computed_points", "count", Sum),
+    RetransmitCount  => ("retransmits", "count", Sum),
+    TimeoutCount     => ("timeouts", "count", Sum),
+    FaultsInjected   => ("faults_injected", "count", Sum),
+    CheckpointBytes  => ("checkpoint_bytes", "bytes", Sum),
+    CheckpointNanos  => ("checkpoint_time", "ns", Sum),
 }
 
 /// A plain, copyable vector of counter values.

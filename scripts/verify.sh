@@ -12,6 +12,11 @@ cargo build --workspace --release --offline
 echo "== tests =="
 cargo test -q --workspace --offline
 
+echo "== chaos suite (fixed seeds) =="
+# Fault-injected runs must stay bit-identical to fault-free references;
+# seeds are fixed so failures reproduce exactly.
+cargo test -q -p msc-comm --test chaos --offline
+
 echo "== clippy =="
 cargo clippy --workspace --all-targets --offline -- -D warnings
 

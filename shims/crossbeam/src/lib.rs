@@ -61,7 +61,7 @@ pub mod thread {
 pub mod channel {
     use std::sync::mpsc;
 
-    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
 
     /// Unbounded sending half (clonable, `Sync`).
     pub struct Sender<T> {
@@ -94,6 +94,13 @@ pub mod channel {
 
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
             self.inner.try_recv()
+        }
+
+        /// Block for at most `timeout` — the facility the reliability
+        /// layer needs to turn "lost message" from a deadlock into a
+        /// diagnosable timeout.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            self.inner.recv_timeout(timeout)
         }
     }
 

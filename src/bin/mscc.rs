@@ -15,15 +15,25 @@
 //! mscc stencil.msc --run --dump out.grid  # save the final state (MSCGRID1 format)
 //! mscc stencil.msc --profile            # run under tracing, print the profile table
 //! mscc stencil.msc --trace out.json     # run under tracing, write chrome://tracing JSON
+//! mscc stencil.msc --procs 2x2          # distributed run over a 2x2 process grid
+//! mscc stencil.msc --procs 2x2 --chaos 42:drop=0.05,dup=0.02,corrupt=0.01
+//!                                       # ...with seeded fault injection
+//! mscc stencil.msc --procs 2x2 --chaos 1:kill=1@3 --checkpoint-every 2
+//!                                       # kill a rank, restart from checkpoint
 //! ```
 //!
 //! `--profile` and `--trace` imply `--run`; both may be combined.
+//! `--chaos` and `--checkpoint-every` imply a distributed run (default
+//! process grid `2x1[x1...]` unless `--procs` is given); the result is
+//! always verified bit-exactly against the serial reference.
 
+use msc::comm::{run_distributed_resilient, FaultPlan, RunOptions};
 use msc::core::analysis::StencilStats;
 use msc::core::schedule::ExecPlan;
 use msc::prelude::*;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 struct Args {
     input: PathBuf,
@@ -36,6 +46,10 @@ struct Args {
     dump: Option<PathBuf>,
     profile: bool,
     trace: Option<PathBuf>,
+    procs: Option<Vec<usize>>,
+    chaos: Option<String>,
+    checkpoint_every: usize,
+    checkpoint_dir: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -49,6 +63,10 @@ fn parse_args() -> Result<Args, String> {
     let mut dump = None;
     let mut profile = false;
     let mut trace = None;
+    let mut procs = None;
+    let mut chaos = None;
+    let mut checkpoint_every = 0usize;
+    let mut checkpoint_dir = None;
     let mut argv = std::env::args().skip(1);
     while let Some(a) = argv.next() {
         match a.as_str() {
@@ -77,8 +95,31 @@ fn parse_args() -> Result<Args, String> {
                     argv.next().ok_or("missing path after --trace")?,
                 ))
             }
+            "--procs" => {
+                let spec = argv.next().ok_or("missing process grid after --procs")?;
+                let grid: Result<Vec<usize>, _> =
+                    spec.split('x').map(|p| p.trim().parse::<usize>()).collect();
+                let grid = grid.map_err(|_| format!("bad process grid `{spec}` (try 2x2)"))?;
+                if grid.is_empty() || grid.contains(&0) {
+                    return Err(format!("bad process grid `{spec}`"));
+                }
+                procs = Some(grid);
+            }
+            "--chaos" => chaos = Some(argv.next().ok_or("missing spec after --chaos")?),
+            "--checkpoint-every" => {
+                checkpoint_every = argv
+                    .next()
+                    .ok_or("missing step count after --checkpoint-every")?
+                    .parse()
+                    .map_err(|_| "bad step count after --checkpoint-every".to_string())?;
+            }
+            "--checkpoint-dir" => {
+                checkpoint_dir = Some(PathBuf::from(
+                    argv.next().ok_or("missing directory after --checkpoint-dir")?,
+                ))
+            }
             "-h" | "--help" => {
-                return Err("usage: mscc <file.msc> [-o DIR] [--target sunway|matrix|cpu] [--run] [--simulate] [--stats] [--autoschedule] [--profile] [--trace OUT.json]".into())
+                return Err("usage: mscc <file.msc> [-o DIR] [--target sunway|matrix|cpu] [--run] [--simulate] [--stats] [--autoschedule] [--profile] [--trace OUT.json] [--procs PxQ] [--chaos SEED:SPEC] [--checkpoint-every K] [--checkpoint-dir DIR]".into())
             }
             other if input.is_none() && !other.starts_with('-') => {
                 input = Some(PathBuf::from(other))
@@ -98,6 +139,10 @@ fn parse_args() -> Result<Args, String> {
         dump,
         profile,
         trace,
+        procs,
+        chaos,
+        checkpoint_every,
+        checkpoint_dir,
     })
 }
 
@@ -219,7 +264,94 @@ fn drive(args: Args) -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    if args.run {
+    let distributed =
+        args.procs.is_some() || args.chaos.is_some() || args.checkpoint_every > 0;
+    if distributed {
+        let ndim = program.grid.ndim();
+        let procs = match &args.procs {
+            Some(p) if p.len() == ndim => p.clone(),
+            Some(p) => {
+                return Err(
+                    format!("--procs has {} dims but the grid is {}D", p.len(), ndim).into(),
+                )
+            }
+            None => {
+                let mut p = vec![1; ndim];
+                p[0] = 2;
+                p
+            }
+        };
+        let mut opts = RunOptions::default();
+        if let Some(spec) = &args.chaos {
+            opts.chaos = Some(Arc::new(FaultPlan::parse(spec)?));
+        }
+        if args.checkpoint_every > 0 {
+            let dir = args
+                .checkpoint_dir
+                .clone()
+                .unwrap_or_else(|| std::env::temp_dir().join(format!("mscc_ckpt_{}", program.name)));
+            // Snapshots from an earlier invocation must never be resumed.
+            let _ = std::fs::remove_dir_all(&dir);
+            opts.checkpoint_dir = Some(dir);
+            opts.checkpoint_every = args.checkpoint_every;
+        }
+        let init: Grid<f64> = Grid::random(&program.grid.shape, &program.grid.halo, 42);
+        let t0 = std::time::Instant::now();
+        let (out, stats) = run_distributed_resilient(
+            &program,
+            &procs,
+            &init,
+            Boundary::Dirichlet,
+            &opts,
+            |sub| {
+                let mut s = msc::core::schedule::Schedule::default();
+                let tile: Vec<usize> = sub.iter().map(|&x| (x / 2).max(1)).collect();
+                s.tile(&tile);
+                s.parallel("xo", 2);
+                ExecPlan::lower(&s, sub.len(), sub)
+            },
+        )?;
+        let dt = t0.elapsed();
+        println!(
+            "distributed run over {} ranks {:?}: {} steps in {:.1} ms; {} halo msgs, \
+             {} faults injected, {} retransmits, {} restarts, {} checkpoint bytes; \
+             interior checksum {:.6e}",
+            stats.ranks,
+            procs,
+            stats.steps,
+            dt.as_secs_f64() * 1e3,
+            stats.messages,
+            stats.faults_injected(),
+            stats.retransmits(),
+            stats.restarts,
+            stats.checkpoint_bytes(),
+            out.interior_sum()
+        );
+        let (reference, _) = run_program(&program, &Executor::Reference, &init)?;
+        if out.as_slice() != reference.as_slice() {
+            return Err(format!(
+                "distributed result differs from serial reference (max rel err {:.2e})",
+                max_rel_error(&out, &reference)
+            )
+            .into());
+        }
+        println!("verified vs serial reference: bit-identical");
+        if args.profile || args.trace.is_some() {
+            let prof = stats.profile(format!("{} (distributed)", program.name));
+            if args.profile {
+                print!("{}", prof.to_table());
+            }
+            if let Some(path) = &args.trace {
+                std::fs::write(path, prof.to_chrome_json())
+                    .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+                println!("wrote chrome://tracing profile to {}", path.display());
+            }
+        }
+        if let Some(path) = &args.dump {
+            msc::exec::io::save(&out, path)?;
+            println!("dumped final state to {}", path.display());
+        }
+    } else if args.run {
         let tracing = args.profile || args.trace.is_some();
         let init: Grid<f64> = Grid::random(&program.grid.shape, &program.grid.halo, 42);
         let sched = effective_schedule(&program, target);

@@ -85,6 +85,62 @@ fn dump_writes_loadable_grid() {
 }
 
 #[test]
+fn chaos_run_heals_and_verifies_bit_exactly() {
+    let dir = std::env::temp_dir().join("mscc_cli_chaos");
+    let _ = std::fs::remove_dir_all(&dir);
+    let out = mscc()
+        .arg(dsl("wave2d.msc"))
+        .arg("-o")
+        .arg(&dir)
+        .args(["--procs", "2x2", "--chaos", "42:drop=0.05,dup=0.02,corrupt=0.01"])
+        .output()
+        .expect("mscc runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.contains("distributed run over 4 ranks"), "{stdout}");
+    assert!(stdout.contains("verified vs serial reference: bit-identical"), "{stdout}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn killed_rank_restarts_from_checkpoint_via_cli() {
+    let dir = std::env::temp_dir().join("mscc_cli_kill");
+    let ckpt = std::env::temp_dir().join("mscc_cli_kill_ckpt");
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&ckpt);
+    let out = mscc()
+        .arg(dsl("wave2d.msc"))
+        .arg("-o")
+        .arg(&dir)
+        .args(["--procs", "2x1", "--chaos", "1:kill=1@3", "--checkpoint-every", "2"])
+        .arg("--checkpoint-dir")
+        .arg(&ckpt)
+        .arg("--profile")
+        .output()
+        .expect("mscc runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.contains("1 restarts"), "{stdout}");
+    assert!(stdout.contains("verified vs serial reference: bit-identical"), "{stdout}");
+    // Checkpoint activity must surface in the profile table.
+    assert!(stdout.contains("checkpoint_bytes"), "{stdout}");
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&ckpt);
+}
+
+#[test]
+fn bad_chaos_spec_is_a_clean_error() {
+    let out = mscc()
+        .arg(dsl("wave2d.msc"))
+        .args(["--chaos", "not-a-spec"])
+        .output()
+        .expect("mscc runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("chaos spec"), "{err}");
+}
+
+#[test]
 fn bad_input_fails_with_diagnostic() {
     let dir = std::env::temp_dir().join("mscc_cli_bad");
     let _ = std::fs::create_dir_all(&dir);

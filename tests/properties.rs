@@ -215,7 +215,7 @@ proptest! {
                 }
                 for tag in 0..n_msgs as u64 {
                     let v = (ctx.rank * 1000) as f64 + tag as f64;
-                    ctx.isend(dst, tag, vec![v]);
+                    ctx.isend(dst, tag, vec![v]).unwrap();
                 }
             }
             // Receive in a rank-specific shuffled order.
@@ -228,7 +228,7 @@ proptest! {
             let mut sum = 0.0;
             for (src, tag) in order {
                 let req = ctx.irecv(src, tag);
-                let v = ctx.wait(req)[0];
+                let v = ctx.wait(req).unwrap()[0];
                 // Payload integrity, not just delivery.
                 assert_eq!(v, (src * 1000) as f64 + tag as f64);
                 sum += v;
