@@ -9,6 +9,7 @@
 
 pub mod experiments;
 pub mod results;
+pub mod suite;
 pub mod table;
 
 pub use experiments::*;

@@ -1,0 +1,512 @@
+//! Recorded benchmark trajectory: a fixed, schema-versioned suite whose
+//! results are committed at the repo root (`BENCH_0003.json`) so the
+//! project's performance history rides along with its code history.
+//!
+//! The suite runs two serial and two distributed stencil workloads and
+//! records two kinds of metric per case:
+//!
+//! * **count** metrics (computed points, tiles, halo messages) — exact
+//!   and deterministic; any change between two recordings is a
+//!   correctness-level regression and always flagged by [`diff`];
+//! * **time** metrics (wall time, halo-wait p90) — machine- and
+//!   load-dependent; [`diff`] flags them only past a relative threshold,
+//!   and `--counts-only` skips them entirely for noisy CI boxes.
+//!
+//! [`validate`] checks any recording against the schema before it is
+//! trusted, and [`scale_times`] produces a deliberately slowed copy so
+//! the regression gate can prove it fires (`mscc bench --doctor`).
+
+use crate::results::Json;
+use msc_comm::run_distributed;
+use msc_core::catalog::{benchmark, BenchmarkId};
+use msc_core::error::Result;
+use msc_core::prelude::*;
+use msc_core::schedule::plan::ExecPlan;
+use msc_core::schedule::Schedule;
+use msc_exec::driver::{run_program, Executor};
+use msc_exec::Grid;
+use msc_trace::Hist;
+use std::time::Instant;
+
+/// Schema version of the trajectory document; bump on layout changes.
+pub const SCHEMA_VERSION: u64 = 3;
+
+/// Canonical file name of the committed trajectory recording.
+pub const BENCH_FILE: &str = "BENCH_0003.json";
+
+/// Default relative slowdown on a time metric that counts as a
+/// regression (ISSUE: >15%).
+pub const DEFAULT_THRESHOLD: f64 = 0.15;
+
+struct CaseSpec {
+    name: &'static str,
+    bench: BenchmarkId,
+    grid: &'static [usize],
+    quick_grid: &'static [usize],
+    steps: usize,
+    /// `None` runs serially; `Some` runs distributed over this grid.
+    procs: Option<&'static [usize]>,
+}
+
+/// The fixed suite. Order and names are part of the schema: diffs match
+/// cases by name.
+const SUITE: &[CaseSpec] = &[
+    CaseSpec {
+        name: "s2d9pt_box_serial",
+        bench: BenchmarkId::S2d9ptBox,
+        grid: &[64, 64],
+        quick_grid: &[32, 32],
+        steps: 8,
+        procs: None,
+    },
+    CaseSpec {
+        name: "s3d7pt_star_serial",
+        bench: BenchmarkId::S3d7ptStar,
+        grid: &[32, 32, 32],
+        quick_grid: &[16, 16, 16],
+        steps: 4,
+        procs: None,
+    },
+    CaseSpec {
+        name: "s2d9pt_box_dist_2x2",
+        bench: BenchmarkId::S2d9ptBox,
+        grid: &[64, 64],
+        quick_grid: &[32, 32],
+        steps: 8,
+        procs: Some(&[2, 2]),
+    },
+    CaseSpec {
+        name: "s3d7pt_star_dist_2x2x1",
+        bench: BenchmarkId::S3d7ptStar,
+        grid: &[32, 32, 32],
+        quick_grid: &[16, 16, 16],
+        steps: 4,
+        procs: Some(&[2, 2, 1]),
+    },
+];
+
+fn sub_plan(sub: &[usize]) -> Result<ExecPlan> {
+    let mut s = Schedule::default();
+    let tile: Vec<usize> = sub.iter().map(|&x| (x / 2).max(1)).collect();
+    s.tile(&tile);
+    s.parallel("xo", 2);
+    ExecPlan::lower(&s, sub.len(), sub)
+}
+
+fn metric(name: &str, kind: &str, value: f64) -> Json {
+    Json::obj(vec![
+        ("name", Json::s(name)),
+        ("kind", Json::s(kind)),
+        ("value", Json::n(value)),
+    ])
+}
+
+fn run_case(spec: &CaseSpec, quick: bool) -> Result<Json> {
+    let grid = if quick { spec.quick_grid } else { spec.grid };
+    let p = benchmark(spec.bench).program(grid, DType::F64, spec.steps)?;
+    let init: Grid<f64> = Grid::random(&p.grid.shape, &p.grid.halo, 42);
+    let mut metrics = Vec::new();
+    let wall_ns;
+    match spec.procs {
+        None => {
+            let plan = sub_plan(grid)?;
+            let t0 = Instant::now();
+            let (_, stats) = run_program(&p, &Executor::Tiled(plan), &init)?;
+            wall_ns = t0.elapsed().as_nanos() as f64;
+            metrics.push(metric("wall_ns", "time", wall_ns));
+            metrics.push(metric(
+                "computed_points",
+                "count",
+                stats.computed_points() as f64,
+            ));
+            metrics.push(metric("tiles_executed", "count", stats.tiles_executed as f64));
+            metrics.push(metric("steps", "count", stats.steps as f64));
+        }
+        Some(procs) => {
+            let t0 = Instant::now();
+            let (_, stats) = run_distributed(&p, procs, &init, sub_plan)?;
+            wall_ns = t0.elapsed().as_nanos() as f64;
+            metrics.push(metric("wall_ns", "time", wall_ns));
+            metrics.push(metric("halo_messages", "count", stats.messages as f64));
+            metrics.push(metric("retransmits", "count", stats.retransmits() as f64));
+            metrics.push(metric("steps", "count", stats.steps as f64));
+            let wait = stats.hists.get(Hist::HaloWaitNanos);
+            if !wait.is_empty() {
+                metrics.push(metric("halo_wait_p90_ns", "time", wait.p90() as f64));
+            }
+        }
+    }
+    let points_per_step: usize = grid.iter().product();
+    let total_points = (points_per_step * spec.steps) as f64;
+    metrics.push(metric(
+        "mpoints_per_s",
+        "time",
+        total_points / (wall_ns / 1e9) / 1e6,
+    ));
+    Ok(Json::obj(vec![
+        ("name", Json::s(spec.name)),
+        (
+            "grid",
+            Json::Arr(grid.iter().map(|&g| Json::n(g as f64)).collect()),
+        ),
+        ("steps", Json::n(spec.steps as f64)),
+        (
+            "procs",
+            match spec.procs {
+                None => Json::Null,
+                Some(p) => Json::Arr(p.iter().map(|&g| Json::n(g as f64)).collect()),
+            },
+        ),
+        ("metrics", Json::Arr(metrics)),
+    ]))
+}
+
+/// Run the whole suite and return the trajectory document. `quick`
+/// shrinks the grids for CI smoke runs (same cases, same metric names —
+/// quick and full recordings still schema-validate identically, but
+/// should only be count-diffed against each other).
+pub fn run_suite(quick: bool) -> Result<Json> {
+    let cases = SUITE
+        .iter()
+        .map(|spec| run_case(spec, quick))
+        .collect::<Result<Vec<_>>>()?;
+    Ok(Json::obj(vec![
+        ("schema_version", Json::n(SCHEMA_VERSION as f64)),
+        ("suite", Json::s("msc-bench-trajectory")),
+        ("mode", Json::s(if quick { "quick" } else { "full" })),
+        ("cases", Json::Arr(cases)),
+    ]))
+}
+
+fn require<'a>(doc: &'a Json, key: &str, ctx: &str) -> std::result::Result<&'a Json, String> {
+    doc.get(key).ok_or_else(|| format!("{ctx}: missing `{key}`"))
+}
+
+/// Schema-check a trajectory document: version, required fields, and
+/// well-formed metric entries with a known kind.
+pub fn validate(doc: &Json) -> std::result::Result<(), String> {
+    let version = require(doc, "schema_version", "document")?
+        .as_f64()
+        .ok_or("schema_version must be a number")?;
+    if version != SCHEMA_VERSION as f64 {
+        return Err(format!(
+            "schema_version {version} != supported {SCHEMA_VERSION}"
+        ));
+    }
+    require(doc, "suite", "document")?
+        .as_str()
+        .ok_or("suite must be a string")?;
+    let cases = require(doc, "cases", "document")?
+        .as_arr()
+        .ok_or("cases must be an array")?;
+    if cases.is_empty() {
+        return Err("cases is empty".into());
+    }
+    for case in cases {
+        let name = require(case, "name", "case")?
+            .as_str()
+            .ok_or("case name must be a string")?;
+        let metrics = require(case, "metrics", name)?
+            .as_arr()
+            .ok_or_else(|| format!("{name}: metrics must be an array"))?;
+        if metrics.is_empty() {
+            return Err(format!("{name}: no metrics"));
+        }
+        for m in metrics {
+            let mname = require(m, "name", name)?
+                .as_str()
+                .ok_or_else(|| format!("{name}: metric name must be a string"))?;
+            let kind = require(m, "kind", mname)?
+                .as_str()
+                .ok_or_else(|| format!("{mname}: kind must be a string"))?;
+            if kind != "time" && kind != "count" {
+                return Err(format!("{mname}: unknown metric kind `{kind}`"));
+            }
+            let value = require(m, "value", mname)?
+                .as_f64()
+                .ok_or_else(|| format!("{mname}: value must be a number"))?;
+            if !value.is_finite() {
+                return Err(format!("{mname}: non-finite value"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// One regression found by [`diff`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    pub case: String,
+    pub metric: String,
+    pub old: f64,
+    pub new: f64,
+    pub detail: String,
+}
+
+impl std::fmt::Display for Regression {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}/{}: {} -> {} ({})",
+            self.case, self.metric, self.old, self.new, self.detail
+        )
+    }
+}
+
+fn metrics_of(case: &Json) -> Vec<(&str, &str, f64)> {
+    case.get("metrics")
+        .and_then(Json::as_arr)
+        .map(|ms| {
+            ms.iter()
+                .filter_map(|m| {
+                    Some((
+                        m.get("name")?.as_str()?,
+                        m.get("kind")?.as_str()?,
+                        m.get("value")?.as_f64()?,
+                    ))
+                })
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+/// Compare two validated recordings. Count metrics must match exactly;
+/// time metrics regress when `new > old * (1 + threshold)` (pass
+/// `counts_only` to skip them on noisy machines). A case or metric
+/// present in `old` but missing from `new` is itself a regression —
+/// the trajectory must never silently lose coverage.
+pub fn diff(
+    old: &Json,
+    new: &Json,
+    threshold: f64,
+    counts_only: bool,
+) -> std::result::Result<Vec<Regression>, String> {
+    validate(old)?;
+    validate(new)?;
+    let mut regressions = Vec::new();
+    let old_cases = old.get("cases").and_then(Json::as_arr).unwrap_or(&[]);
+    let new_cases = new.get("cases").and_then(Json::as_arr).unwrap_or(&[]);
+    for oc in old_cases {
+        let name = oc.get("name").and_then(Json::as_str).unwrap_or("?");
+        let Some(nc) = new_cases
+            .iter()
+            .find(|c| c.get("name").and_then(Json::as_str) == Some(name))
+        else {
+            regressions.push(Regression {
+                case: name.into(),
+                metric: "<case>".into(),
+                old: 0.0,
+                new: 0.0,
+                detail: "case missing from new recording".into(),
+            });
+            continue;
+        };
+        let new_metrics = metrics_of(nc);
+        for (mname, kind, old_v) in metrics_of(oc) {
+            let Some(&(_, _, new_v)) =
+                new_metrics.iter().find(|(n, _, _)| *n == mname)
+            else {
+                regressions.push(Regression {
+                    case: name.into(),
+                    metric: mname.into(),
+                    old: old_v,
+                    new: 0.0,
+                    detail: "metric missing from new recording".into(),
+                });
+                continue;
+            };
+            match kind {
+                "count" => {
+                    if new_v != old_v {
+                        regressions.push(Regression {
+                            case: name.into(),
+                            metric: mname.into(),
+                            old: old_v,
+                            new: new_v,
+                            detail: "count metric changed".into(),
+                        });
+                    }
+                }
+                _ if counts_only => {}
+                // Throughput-style time metrics regress downward; raw
+                // latencies regress upward.
+                _ if mname.contains("per_s") => {
+                    if new_v < old_v * (1.0 - threshold) {
+                        regressions.push(Regression {
+                            case: name.into(),
+                            metric: mname.into(),
+                            old: old_v,
+                            new: new_v,
+                            detail: format!(
+                                "throughput dropped {:.0}% (> {:.0}% threshold)",
+                                (1.0 - new_v / old_v) * 100.0,
+                                threshold * 100.0
+                            ),
+                        });
+                    }
+                }
+                _ => {
+                    if new_v > old_v * (1.0 + threshold) {
+                        regressions.push(Regression {
+                            case: name.into(),
+                            metric: mname.into(),
+                            old: old_v,
+                            new: new_v,
+                            detail: format!(
+                                "slowed {:.0}% (> {:.0}% threshold)",
+                                (new_v / old_v - 1.0) * 100.0,
+                                threshold * 100.0
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    Ok(regressions)
+}
+
+/// Return a copy of `doc` with every time metric slowed by `factor`
+/// (latencies multiplied, throughputs divided). Used by
+/// `mscc bench --doctor` to prove the [`diff`] gate fires.
+pub fn scale_times(doc: &Json, factor: f64) -> Json {
+    fn rewrite(j: &Json, factor: f64) -> Json {
+        match j {
+            Json::Arr(items) => Json::Arr(items.iter().map(|i| rewrite(i, factor)).collect()),
+            Json::Obj(fields) => {
+                let is_time_metric = j.get("kind").and_then(Json::as_str) == Some("time");
+                let name = j.get("name").and_then(Json::as_str).unwrap_or("");
+                Json::Obj(
+                    fields
+                        .iter()
+                        .map(|(k, v)| {
+                            if is_time_metric && k == "value" {
+                                let v0 = v.as_f64().unwrap_or(0.0);
+                                let scaled = if name.contains("per_s") {
+                                    v0 / factor
+                                } else {
+                                    v0 * factor
+                                };
+                                (k.clone(), Json::n(scaled))
+                            } else {
+                                (k.clone(), rewrite(v, factor))
+                            }
+                        })
+                        .collect(),
+                )
+            }
+            other => other.clone(),
+        }
+    }
+    rewrite(doc, factor)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_suite_runs_and_validates() {
+        let doc = run_suite(true).unwrap();
+        validate(&doc).unwrap();
+        let text = doc.to_string();
+        let back = Json::parse(&text).unwrap();
+        validate(&back).unwrap();
+        assert_eq!(
+            back.get("cases").and_then(Json::as_arr).map(|c| c.len()),
+            Some(4)
+        );
+    }
+
+    #[test]
+    fn self_diff_is_clean_and_doctored_diff_fires() {
+        let doc = run_suite(true).unwrap();
+        assert!(diff(&doc, &doc, DEFAULT_THRESHOLD, false).unwrap().is_empty());
+        let slowed = scale_times(&doc, 1.2);
+        let regs = diff(&doc, &slowed, DEFAULT_THRESHOLD, false).unwrap();
+        assert!(!regs.is_empty(), "20% slowdown must trip a 15% gate");
+        assert!(regs.iter().all(|r| r.detail.contains("%")), "{regs:?}");
+        // Counts are untouched by the doctoring, so counts-only stays clean.
+        assert!(diff(&doc, &slowed, DEFAULT_THRESHOLD, true).unwrap().is_empty());
+    }
+
+    #[test]
+    fn count_changes_always_flag() {
+        let doc = run_suite(true).unwrap();
+        // Hand-edit one count metric.
+        let text = doc.to_string();
+        let mut edited = Json::parse(&text).unwrap();
+        if let Json::Obj(fields) = &mut edited {
+            for (k, v) in fields.iter_mut() {
+                if k != "cases" {
+                    continue;
+                }
+                if let Json::Arr(cases) = v {
+                    if let Json::Obj(cf) = &mut cases[0] {
+                        for (ck, cv) in cf.iter_mut() {
+                            if ck != "metrics" {
+                                continue;
+                            }
+                            if let Json::Arr(ms) = cv {
+                                for m in ms.iter_mut() {
+                                    if m.get("kind").and_then(Json::as_str) == Some("count") {
+                                        if let Json::Obj(mf) = m {
+                                            for (mk, mv) in mf.iter_mut() {
+                                                if mk == "value" {
+                                                    *mv = Json::n(
+                                                        mv.as_f64().unwrap() + 1.0,
+                                                    );
+                                                }
+                                            }
+                                        }
+                                        break;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let regs = diff(&doc, &edited, DEFAULT_THRESHOLD, true).unwrap();
+        assert_eq!(regs.len(), 1, "{regs:?}");
+        assert!(regs[0].detail.contains("count"), "{regs:?}");
+    }
+
+    #[test]
+    fn missing_case_is_a_regression() {
+        let doc = run_suite(true).unwrap();
+        let mut pruned = doc.clone();
+        if let Json::Obj(fields) = &mut pruned {
+            for (k, v) in fields.iter_mut() {
+                if k == "cases" {
+                    if let Json::Arr(cases) = v {
+                        cases.pop();
+                    }
+                }
+            }
+        }
+        let regs = diff(&doc, &pruned, DEFAULT_THRESHOLD, true).unwrap();
+        assert!(regs.iter().any(|r| r.detail.contains("case missing")));
+    }
+
+    #[test]
+    fn validator_rejects_bad_documents() {
+        for (bad, why) in [
+            ("{}", "missing version"),
+            ("{\"schema_version\": 2, \"suite\": \"x\", \"cases\": []}", "old version"),
+            (
+                "{\"schema_version\": 3, \"suite\": \"x\", \"cases\": []}",
+                "no cases",
+            ),
+            (
+                "{\"schema_version\": 3, \"suite\": \"x\", \"cases\": [{\"name\": \"c\", \
+                 \"metrics\": [{\"name\": \"m\", \"kind\": \"weird\", \"value\": 1}]}]}",
+                "bad kind",
+            ),
+        ] {
+            let doc = Json::parse(bad).unwrap();
+            assert!(validate(&doc).is_err(), "{why}");
+        }
+    }
+}

@@ -171,7 +171,7 @@ impl HaloBackend for FullNeighborExchange {
         for (i, v) in offsets.iter().enumerate() {
             if let Some(nb) = self.neighbor_at(ctx.rank, v) {
                 let payload = {
-                    let _t = msc_trace::timed(Counter::PackNanos);
+                    let _t = msc_trace::timed_hist(Counter::PackNanos, msc_trace::Hist::PackHistNanos);
                     self.send_block(v).pack(grid)
                 };
                 let bytes = (payload.len() * std::mem::size_of::<T>()) as u64;
@@ -192,7 +192,7 @@ impl HaloBackend for FullNeighborExchange {
         // Phase 2: complete and unpack.
         for (v, req) in pending {
             let data = ctx.wait(req)?;
-            let _t = msc_trace::timed(Counter::UnpackNanos);
+            let _t = msc_trace::timed_hist(Counter::UnpackNanos, msc_trace::Hist::UnpackHistNanos);
             self.recv_block(&v).unpack(grid, &data);
         }
         Ok(sent)

@@ -19,7 +19,7 @@ use msc_core::schedule::WindowPlan;
 use msc_exec::boundary::{self, Boundary};
 use msc_exec::compiled::CompiledStencil;
 use msc_exec::{tiled, Grid, Scalar};
-use msc_trace::{Counter, CounterSet, Profile};
+use msc_trace::{Counter, CounterSet, FlightKind, Hist, HistSet, Profile};
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Instant;
@@ -43,6 +43,9 @@ pub struct CommStats {
     /// Merged counters across all ranks: halo traffic plus whatever the
     /// per-rank executors recorded (DMA bytes/rows, SPM peak, tiles).
     pub counters: CounterSet,
+    /// Merged latency histograms across all ranks (halo wait, retransmit
+    /// recovery delay, per-step wall time).
+    pub hists: HistSet,
 }
 
 impl CommStats {
@@ -74,9 +77,12 @@ impl CommStats {
         self.counters.get(Counter::CheckpointBytes)
     }
 
-    /// Wrap into a counters-only [`Profile`] for reporting.
+    /// Wrap into a timeline-free [`Profile`] (counters + histograms)
+    /// for reporting.
     pub fn profile(&self, label: impl Into<String>) -> Profile {
-        Profile::from_counters(label, self.counters)
+        let mut p = Profile::from_counters(label, self.counters);
+        p.hists = self.hists;
+        p
     }
 }
 
@@ -285,7 +291,7 @@ pub fn run_distributed_opts<T: Scalar + Wire, B: crate::backend::HaloBackend>(
         let run = World::try_run_with(
             decomp.n_ranks(),
             world_cfg,
-            |mut ctx| -> Result<(Vec<T>, u64, CounterSet)> {
+            |mut ctx| -> Result<(Vec<T>, u64, CounterSet, HistSet)> {
                 let local_init = scatter(seeded, &decomp, ctx.rank);
                 let compiled = CompiledStencil::compile(program, &local_init)?;
                 let window = WindowPlan::for_max_dt(compiled.max_dt)?;
@@ -297,8 +303,14 @@ pub fn run_distributed_opts<T: Scalar + Wire, B: crate::backend::HaloBackend>(
                     start = step as usize;
                 }
                 let mut counters = CounterSet::new();
+                let mut hists = HistSet::new();
 
                 for s in start..program.timesteps {
+                    // Rank-tagged step span (arg = step index) feeding the
+                    // straggler report, plus the step-wall histogram.
+                    let _step_span =
+                        msc_trace::span_arg(msc_trace::stitch::STEP_SPAN, s as u64);
+                    let step_t0 = Instant::now();
                     let t = compiled.max_dt + s;
                     let out_slot = window.output_slot(t);
                     let mut out =
@@ -337,8 +349,18 @@ pub fn run_distributed_opts<T: Scalar + Wire, B: crate::backend::HaloBackend>(
                             counters.bump(Counter::CheckpointNanos, nanos);
                             msc_trace::record(Counter::CheckpointBytes, bytes);
                             msc_trace::record(Counter::CheckpointNanos, nanos);
+                            msc_trace::flight(
+                                FlightKind::Checkpoint,
+                                ctx.rank as u32,
+                                ctx.rank as u32,
+                                bytes,
+                                (s + 1) as u64,
+                            );
                         }
                     }
+                    let wall = step_t0.elapsed().as_nanos() as u64;
+                    hists.add(Hist::StepWallNanos, wall);
+                    msc_trace::record_hist(Hist::StepWallNanos, wall);
                 }
 
                 let last = window.output_slot(compiled.max_dt + program.timesteps - 1);
@@ -348,7 +370,8 @@ pub fn run_distributed_opts<T: Scalar + Wire, B: crate::backend::HaloBackend>(
                 // then fold protocol counters into the rank's stats.
                 ctx.finalize();
                 counters.merge(&ctx.counters);
-                Ok((interior, ctx.sent_msgs, counters))
+                hists.merge(&ctx.hists);
+                Ok((interior, ctx.sent_msgs, counters, hists))
             },
         );
 
@@ -365,11 +388,13 @@ pub fn run_distributed_opts<T: Scalar + Wire, B: crate::backend::HaloBackend>(
                         ranks: decomp.n_ranks(),
                         restarts,
                         counters: CounterSet::new(),
+                        hists: HistSet::new(),
                     };
                     for (rank, res) in rank_results.into_iter().enumerate() {
-                        let (interior, msgs, counters) = res?;
+                        let (interior, msgs, counters, hists) = res?;
                         stats.messages += msgs;
                         stats.counters.merge(&counters);
+                        stats.hists.merge(&hists);
                         let origin = decomp.origin_of(rank);
                         let dst = Region::new(
                             origin.iter().zip(&reach).map(|(&o, &r)| o + r).collect(),
@@ -401,6 +426,10 @@ pub fn run_distributed_opts<T: Scalar + Wire, B: crate::backend::HaloBackend>(
         if restarts >= opts.max_restarts {
             return Err(failure);
         }
+        // Attach the black-box timeline to the restart decision too: the
+        // dump shows the fault the restart is healing.
+        msc_trace::flight(FlightKind::Restart, 0, 0, 0, restarts as u64 + 1);
+        let _ = msc_trace::dump_on_error("restart");
         restarts += 1;
     }
 }

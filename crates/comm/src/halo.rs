@@ -50,7 +50,7 @@ impl HaloExchange {
             for dir in [-1i64, 1] {
                 if let Some(nb) = self.decomp.neighbor(ctx.rank, dim, dir) {
                     let payload = {
-                        let _t = msc_trace::timed(Counter::PackNanos);
+                        let _t = msc_trace::timed_hist(Counter::PackNanos, msc_trace::Hist::PackHistNanos);
                         self.decomp.send_region(dim, dir).pack(grid)
                     };
                     let bytes = (payload.len() * std::mem::size_of::<T>()) as u64;
@@ -68,7 +68,7 @@ impl HaloExchange {
             }
             for (dir, req) in pending {
                 let data = ctx.wait(req)?;
-                let _t = msc_trace::timed(Counter::UnpackNanos);
+                let _t = msc_trace::timed_hist(Counter::UnpackNanos, msc_trace::Hist::UnpackHistNanos);
                 self.decomp.recv_region(dim, dir).unpack(grid, &data);
             }
         }

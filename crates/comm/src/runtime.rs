@@ -15,7 +15,7 @@
 use crate::error::CommError;
 use crate::fault::{splitmix, FaultAction, FaultPlan};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
-use msc_trace::{Counter, CounterSet};
+use msc_trace::{Counter, CounterSet, FlightKind, Hist, HistSet};
 use std::collections::{HashMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -194,6 +194,10 @@ pub struct RankCtx<T> {
     /// [`crate::distributed::CommStats`] at gather time, so stats survive
     /// even when global tracing is disabled.
     pub counters: CounterSet,
+    /// Per-rank latency histograms (halo wait, retransmit recovery
+    /// delay), accumulated like [`RankCtx::counters`] and merged into
+    /// `CommStats` at gather time.
+    pub hists: HistSet,
 }
 
 impl<T> RankCtx<T> {
@@ -233,6 +237,11 @@ impl<T: Wire> RankCtx<T> {
         if self.reliable {
             self.unacked[dst].push(frame.clone());
         }
+        msc_trace::flight(FlightKind::Send, self.rank as u32, dst as u32, tag, seq);
+        msc_trace::flow_send(
+            "halo_send",
+            msc_trace::message_id(self.rank as u32, dst as u32, tag as u32, seq as u32),
+        );
         // Frames the injector delayed are released *after* this newer
         // frame, which is exactly the reordering being simulated.
         let held = std::mem::take(&mut self.delayed);
@@ -256,6 +265,14 @@ impl<T: Wire> RankCtx<T> {
         self.exchanges += 1;
         if let Some(plan) = &self.fault {
             if plan.should_kill(self.rank, self.exchanges) {
+                msc_trace::flight(
+                    FlightKind::Kill,
+                    self.rank as u32,
+                    self.rank as u32,
+                    0,
+                    self.exchanges,
+                );
+                let _ = msc_trace::dump_on_error("killed");
                 return Err(CommError::Killed {
                     rank: self.rank,
                     exchange: self.exchanges,
@@ -320,6 +337,7 @@ impl<T: Wire> RankCtx<T> {
                     .unwrap();
                 reqs.swap_remove(idx);
                 let Body::Data(payload) = m.body else { unreachable!("stash holds data") };
+                self.note_wait_done(start, resends);
                 return Ok((idx, payload));
             }
             self.flush_delayed();
@@ -340,17 +358,23 @@ impl<T: Wire> RankCtx<T> {
                         self.counters.bump(Counter::TimeoutCount, 1);
                         msc_trace::record(Counter::TimeoutCount, 1);
                         if attempts > self.cfg.max_attempts {
-                            return Err(CommError::Timeout {
-                                src: first.src,
-                                tag: first.tag,
-                                pending: resends,
-                                stash_depth: self.stash.len(),
-                            });
+                            return Err(self.note_timeout(
+                                first.src,
+                                first.tag,
+                                resends,
+                            ));
                         }
                         // Nudge every stalled source; a dead one is a
                         // hard error (nobody will ever retransmit).
                         let srcs: HashSet<usize> = reqs.iter().map(|r| r.src).collect();
                         for src in srcs {
+                            msc_trace::flight(
+                                FlightKind::ResendRequest,
+                                self.rank as u32,
+                                src as u32,
+                                first.tag,
+                                0,
+                            );
                             self.raw_send(
                                 src,
                                 Frame {
@@ -371,19 +395,52 @@ impl<T: Wire> RankCtx<T> {
                     } else if start.elapsed() >= self.cfg.plain_deadline {
                         self.counters.bump(Counter::TimeoutCount, 1);
                         msc_trace::record(Counter::TimeoutCount, 1);
-                        return Err(CommError::Timeout {
-                            src: first.src,
-                            tag: first.tag,
-                            pending: 0,
-                            stash_depth: self.stash.len(),
-                        });
+                        return Err(self.note_timeout(first.src, first.tag, 0));
                     }
                 }
                 Err(RecvTimeoutError::Disconnected) => {
-                    return Err(CommError::RankDead { rank: reqs[0].src });
+                    return Err(self.note_rank_dead(reqs[0].src));
                 }
             }
         }
+    }
+
+    /// Successful wait bookkeeping: halo-wait histogram sample, plus the
+    /// recovery-delay histogram when retransmits were needed.
+    fn note_wait_done(&mut self, start: Instant, resends: usize) {
+        let waited = start.elapsed().as_nanos() as u64;
+        self.hists.add(Hist::HaloWaitNanos, waited);
+        msc_trace::record_hist(Hist::HaloWaitNanos, waited);
+        if resends > 0 {
+            self.hists.add(Hist::RetransmitDelayNanos, waited);
+            msc_trace::record_hist(Hist::RetransmitDelayNanos, waited);
+        }
+    }
+
+    /// Build the hard timeout error, leaving a flight record and dumping
+    /// the recorder: the failing (src, tag) pair's last moments ship with
+    /// the error.
+    fn note_timeout(&mut self, src: usize, tag: u64, pending: usize) -> CommError {
+        msc_trace::flight(FlightKind::Timeout, src as u32, self.rank as u32, tag, 0);
+        let _ = msc_trace::dump_on_error("timeout");
+        CommError::Timeout {
+            src,
+            tag,
+            pending,
+            stash_depth: self.stash.len(),
+        }
+    }
+
+    fn note_rank_dead(&mut self, rank: usize) -> CommError {
+        msc_trace::flight(
+            FlightKind::Error,
+            rank as u32,
+            self.rank as u32,
+            0,
+            0,
+        );
+        let _ = msc_trace::dump_on_error("rank_dead");
+        CommError::RankDead { rank }
     }
 
     fn wait_deadline(&mut self, req: RecvRequest, deadline: Duration) -> Result<Vec<T>, CommError> {
@@ -408,6 +465,7 @@ impl<T: Wire> RankCtx<T> {
                 Ok(frame) => {
                     self.process_frame(frame)?;
                     if let Some(payload) = self.take_stashed(req.src, req.tag) {
+                        self.note_wait_done(start, resends);
                         return Ok(payload);
                     }
                 }
@@ -421,17 +479,19 @@ impl<T: Wire> RankCtx<T> {
                     self.counters.bump(Counter::TimeoutCount, 1);
                     msc_trace::record(Counter::TimeoutCount, 1);
                     if timed_out {
-                        return Err(CommError::Timeout {
-                            src: req.src,
-                            tag: req.tag,
-                            pending: resends,
-                            stash_depth: self.stash.len(),
-                        });
+                        return Err(self.note_timeout(req.src, req.tag, resends));
                     }
                     if self.reliable {
                         // Receiver-driven recovery: ask the source to
                         // retransmit everything it still owes us. A dead
                         // source is a hard error.
+                        msc_trace::flight(
+                            FlightKind::ResendRequest,
+                            self.rank as u32,
+                            req.src as u32,
+                            req.tag,
+                            0,
+                        );
                         self.raw_send(
                             req.src,
                             Frame {
@@ -451,7 +511,7 @@ impl<T: Wire> RankCtx<T> {
                     }
                 }
                 Err(RecvTimeoutError::Disconnected) => {
-                    return Err(CommError::RankDead { rank: req.src });
+                    return Err(self.note_rank_dead(req.src));
                 }
             }
         }
@@ -472,6 +532,13 @@ impl<T: Wire> RankCtx<T> {
     fn process_frame(&mut self, frame: Frame<T>) -> Result<(), CommError> {
         match frame.body {
             Body::Ack => {
+                msc_trace::flight(
+                    FlightKind::Ack,
+                    frame.src as u32,
+                    self.rank as u32,
+                    frame.tag,
+                    frame.seq,
+                );
                 self.unacked[frame.src].retain(|f| f.seq != frame.seq);
                 Ok(())
             }
@@ -487,6 +554,13 @@ impl<T: Wire> RankCtx<T> {
                 for f in pending.drain(..) {
                     self.counters.bump(Counter::RetransmitCount, 1);
                     msc_trace::record(Counter::RetransmitCount, 1);
+                    msc_trace::flight(
+                        FlightKind::Retransmit,
+                        self.rank as u32,
+                        requester as u32,
+                        f.tag,
+                        f.seq,
+                    );
                     // The requester may have died since asking; that is
                     // its problem, not ours.
                     let _ = self.transmit(requester, f);
@@ -495,6 +569,13 @@ impl<T: Wire> RankCtx<T> {
             }
             Body::Data(ref payload) => {
                 if frame.checksum != checksum(frame.tag, frame.seq, payload) {
+                    msc_trace::flight(
+                        FlightKind::Corrupt,
+                        frame.src as u32,
+                        self.rank as u32,
+                        frame.tag,
+                        frame.seq,
+                    );
                     if self.reliable {
                         // Damaged in flight: drop it and nudge the source
                         // for a clean copy (best effort — our own poll
@@ -512,6 +593,7 @@ impl<T: Wire> RankCtx<T> {
                         );
                         return Ok(());
                     }
+                    let _ = msc_trace::dump_on_error("corrupt");
                     return Err(CommError::Corrupt {
                         src: frame.src,
                         tag: frame.tag,
@@ -538,6 +620,22 @@ impl<T: Wire> RankCtx<T> {
                 if !self.delivered[frame.src].insert(frame.seq) {
                     return Ok(());
                 }
+                msc_trace::flight(
+                    FlightKind::Deliver,
+                    frame.src as u32,
+                    self.rank as u32,
+                    frame.tag,
+                    frame.seq,
+                );
+                msc_trace::flow_recv(
+                    "halo_recv",
+                    msc_trace::message_id(
+                        frame.src as u32,
+                        self.rank as u32,
+                        frame.tag as u32,
+                        frame.seq as u32,
+                    ),
+                );
                 self.stash.push(frame);
                 Ok(())
             }
@@ -552,24 +650,25 @@ impl<T: Wire> RankCtx<T> {
             }
             _ => FaultAction::Deliver,
         };
+        let (tag, seq) = (frame.tag, frame.seq);
         match action {
             FaultAction::Deliver => self.raw_send(dst, frame),
             FaultAction::Drop => {
-                self.note_fault();
+                self.note_fault(dst, tag, seq);
                 Ok(())
             }
             FaultAction::Delay => {
-                self.note_fault();
+                self.note_fault(dst, tag, seq);
                 self.delayed.push((dst, frame));
                 Ok(())
             }
             FaultAction::Duplicate => {
-                self.note_fault();
+                self.note_fault(dst, tag, seq);
                 self.raw_send(dst, frame.clone())?;
                 self.raw_send(dst, frame)
             }
             FaultAction::Corrupt { elem, bit } => {
-                self.note_fault();
+                self.note_fault(dst, tag, seq);
                 let mut f = frame;
                 if let Body::Data(p) = &mut f.body {
                     if !p.is_empty() {
@@ -584,9 +683,10 @@ impl<T: Wire> RankCtx<T> {
         }
     }
 
-    fn note_fault(&mut self) {
+    fn note_fault(&mut self, dst: usize, tag: u64, seq: u64) {
         self.counters.bump(Counter::FaultsInjected, 1);
         msc_trace::record(Counter::FaultsInjected, 1);
+        msc_trace::flight(FlightKind::FaultInjected, self.rank as u32, dst as u32, tag, seq);
     }
 
     fn raw_send(&self, dst: usize, frame: Frame<T>) -> Result<(), CommError> {
@@ -692,6 +792,9 @@ impl World {
                 let reliability = cfg.reliability.clone();
                 let f = &f;
                 handles.push(scope.spawn(move |_| {
+                    // Tag this thread's spans, flows, and flight records
+                    // with the rank id so cross-rank traces stitch.
+                    msc_trace::set_current_rank(rank as u32);
                     let _span = msc_trace::span("rank");
                     let ctx = RankCtx {
                         rank,
@@ -711,6 +814,7 @@ impl World {
                         departed_marked: false,
                         sent_msgs: 0,
                         counters: CounterSet::new(),
+                        hists: HistSet::new(),
                     };
                     let out = catch_unwind(AssertUnwindSafe(|| f(ctx)));
                     (rank, out)

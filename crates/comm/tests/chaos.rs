@@ -319,6 +319,67 @@ fn checkpoint_files_use_grid_format_and_resume_step() {
 }
 
 #[test]
+fn chaos_timeout_dumps_flight_recorder_json() {
+    // Observability v2: when the reliability protocol gives up on a
+    // message (here: every frame dropped, tiny retry budget), the
+    // always-on flight recorder is dumped as JSON naming the failing
+    // (src, dst, tag) identity alongside the surrounding send traffic.
+    let dir = std::env::temp_dir().join("msc_chaos_flight_timeout");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    msc_trace::set_flight_dump_dir(Some(dir.clone()));
+
+    let p = benchmark(BenchmarkId::S2d9ptStar)
+        .program(&[12, 12], DType::F64, 3)
+        .unwrap();
+    let init: Grid<f64> = Grid::random(&p.grid.shape, &p.grid.halo, 6);
+    let mut plan = FaultPlan::new(9);
+    plan.drop_p = 1.0; // nothing ever arrives, resends included
+    let opts = RunOptions {
+        chaos: Some(Arc::new(plan)),
+        reliability: ReliabilityConfig {
+            poll: Duration::from_millis(1),
+            max_attempts: 4,
+            ..ReliabilityConfig::default()
+        },
+        max_restarts: 0,
+        ..RunOptions::default()
+    };
+    let err = run_distributed_resilient(
+        &p,
+        &[2, 2],
+        &init,
+        Boundary::Dirichlet,
+        &opts,
+        simple_plan,
+    )
+    .unwrap_err();
+    msc_trace::set_flight_dump_dir(None);
+    assert!(err.to_string().contains("communication failure"), "{err}");
+
+    // At least one rank must have written a timeout-slugged dump whose
+    // JSON carries the timeout event plus the sends that never landed.
+    let dumps: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("flight_") && n.contains("timeout"))
+        })
+        .collect();
+    assert!(!dumps.is_empty(), "no flight dump written to {}", dir.display());
+    let body = std::fs::read_to_string(&dumps[0]).unwrap();
+    assert!(body.contains("\"reason\": \"timeout\""), "{body}");
+    assert!(body.contains("\"kind\": \"timeout\""), "{body}");
+    assert!(body.contains("\"kind\": \"send\""), "{body}");
+    for field in ["\"src\":", "\"dst\":", "\"tag\":", "\"seq\":"] {
+        assert!(body.contains(field), "missing {field} in {body}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn spm_staged_chaos_run_is_bit_identical() {
     // Chaos composed with the SPM/DMA execution path: reliability and
     // the staged executor are orthogonal.

@@ -95,7 +95,8 @@ pub fn run_program_bc<T: Scalar>(
     let mut counters = CounterSet::new();
 
     for s in 0..program.timesteps {
-        let _step_span = msc_trace::span("step");
+        let _step_span = msc_trace::span_arg("step", s as u64);
+        let step_t0 = std::time::Instant::now();
         let t = compiled.max_dt + s;
         let out_slot = window.output_slot(t);
 
@@ -129,6 +130,10 @@ pub fn run_program_bc<T: Scalar>(
         let points: u64 = program.grid.shape.iter().product::<usize>() as u64;
         counters.bump(Counter::ComputedPoints, points);
         msc_trace::record(Counter::ComputedPoints, points);
+        msc_trace::record_hist(
+            msc_trace::Hist::StepWallNanos,
+            step_t0.elapsed().as_nanos() as u64,
+        );
     }
 
     let last = window.output_slot(compiled.max_dt + program.timesteps - 1);

@@ -7,7 +7,7 @@
 
 use crate::counters::Counter;
 use crate::profile::Profile;
-use crate::spans::SpanKind;
+use crate::spans::{SpanKind, NO_RANK};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
@@ -34,6 +34,33 @@ pub fn table(p: &Profile) -> String {
     }
     if p.counters.is_zero() {
         let _ = writeln!(out, "(no counters recorded)");
+    }
+
+    // Latency distributions: conservative log2-bucket quantiles
+    // (see crate::histogram) next to the exact mean and max.
+    if !p.hists.is_empty() {
+        let _ = writeln!(
+            out,
+            "{:<18} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10}",
+            "histogram", "count", "mean us", "p50 us", "p90 us", "p99 us", "max us"
+        );
+        for (h, hist) in p.hists.iter() {
+            if hist.is_empty() {
+                continue;
+            }
+            let us = |v: u64| v as f64 / 1e3;
+            let _ = writeln!(
+                out,
+                "{:<18} {:>8} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>10.3}",
+                h.name(),
+                hist.count(),
+                hist.mean() / 1e3,
+                us(hist.p50()),
+                us(hist.p90()),
+                us(hist.p99()),
+                us(hist.max()),
+            );
+        }
     }
 
     // Aggregate the timeline per span name.
@@ -66,12 +93,27 @@ pub fn table(p: &Profile) -> String {
     out
 }
 
+/// chrome://tracing process id for a rank tag: stitched traces give each
+/// rank its own process row (`rank + 1`); records made outside any rank
+/// (serial runs, worker pools) stay on pid 0.
+pub fn pid_of_rank(rank: u32) -> u64 {
+    if rank == NO_RANK {
+        0
+    } else {
+        rank as u64 + 1
+    }
+}
+
 /// Render the profile as chrome://tracing "trace event format" JSON
 /// (load via chrome://tracing or https://ui.perfetto.dev).
 ///
 /// Spans become `"X"` complete events and instants become `"i"` events,
-/// with microsecond timestamps relative to the trace epoch; counters are
-/// attached under `otherData` so the report is self-contained.
+/// with microsecond timestamps relative to the trace epoch. Stitched
+/// cross-rank traces put each rank in its own process row (see
+/// [`pid_of_rank`]) with `"s"`/`"f"` flow events drawing sender→receiver
+/// arrows keyed on the packed message identity; non-empty histograms
+/// become `"C"` counter tracks. Counters are attached under `otherData`
+/// so the report is self-contained.
 pub fn chrome_json(p: &Profile) -> String {
     let mut out = String::from("{\n  \"traceEvents\": [\n");
 
@@ -83,31 +125,91 @@ pub fn chrome_json(p: &Profile) -> String {
         json_string(if p.label.is_empty() { "msc" } else { &p.label })
     );
 
+    // One process-name metadata row per rank present in the timeline.
+    let mut ranks: Vec<u32> = p
+        .spans
+        .iter()
+        .map(|s| s.rank)
+        .filter(|&r| r != NO_RANK)
+        .collect();
+    ranks.sort_unstable();
+    ranks.dedup();
+    for r in &ranks {
+        let _ = write!(
+            out,
+            ",\n    {{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": {}, \"tid\": 0, \"args\": {{\"name\": {}}}}}",
+            pid_of_rank(*r),
+            json_string(&format!("rank {r}"))
+        );
+    }
+
     for s in &p.spans {
         out.push_str(",\n");
         let ts_us = s.start_ns as f64 / 1e3;
+        let pid = pid_of_rank(s.rank);
         match s.kind {
             SpanKind::Complete => {
                 let dur_us = s.dur_ns as f64 / 1e3;
                 let _ = write!(
                     out,
-                    "    {{\"name\": {}, \"cat\": \"msc\", \"ph\": \"X\", \"ts\": {}, \"dur\": {}, \"pid\": 0, \"tid\": {}}}",
+                    "    {{\"name\": {}, \"cat\": \"msc\", \"ph\": \"X\", \"ts\": {}, \"dur\": {}, \"pid\": {}, \"tid\": {}}}",
                     json_string(s.name),
                     json_f64(ts_us),
                     json_f64(dur_us),
+                    pid,
                     s.thread
                 );
             }
             SpanKind::Instant => {
                 let _ = write!(
                     out,
-                    "    {{\"name\": {}, \"cat\": \"msc\", \"ph\": \"i\", \"ts\": {}, \"s\": \"t\", \"pid\": 0, \"tid\": {}}}",
+                    "    {{\"name\": {}, \"cat\": \"msc\", \"ph\": \"i\", \"ts\": {}, \"s\": \"t\", \"pid\": {}, \"tid\": {}}}",
                     json_string(s.name),
                     json_f64(ts_us),
+                    pid,
+                    s.thread
+                );
+            }
+            SpanKind::FlowStart => {
+                let _ = write!(
+                    out,
+                    "    {{\"name\": {}, \"cat\": \"flow\", \"ph\": \"s\", \"id\": {}, \"ts\": {}, \"pid\": {}, \"tid\": {}}}",
+                    json_string(s.name),
+                    s.arg,
+                    json_f64(ts_us),
+                    pid,
+                    s.thread
+                );
+            }
+            SpanKind::FlowEnd => {
+                let _ = write!(
+                    out,
+                    "    {{\"name\": {}, \"cat\": \"flow\", \"ph\": \"f\", \"bp\": \"e\", \"id\": {}, \"ts\": {}, \"pid\": {}, \"tid\": {}}}",
+                    json_string(s.name),
+                    s.arg,
+                    json_f64(ts_us),
+                    pid,
                     s.thread
                 );
             }
         }
+    }
+
+    // Histogram summaries as counter tracks (one "C" sample per series,
+    // values in nanoseconds).
+    for (h, hist) in p.hists.iter() {
+        if hist.is_empty() {
+            continue;
+        }
+        let _ = write!(
+            out,
+            ",\n    {{\"name\": {}, \"cat\": \"hist\", \"ph\": \"C\", \"ts\": 0, \"pid\": 0, \"args\": {{\"p50_ns\": {}, \"p90_ns\": {}, \"p99_ns\": {}, \"max_ns\": {}}}}}",
+            json_string(&format!("hist:{}", h.name())),
+            hist.p50(),
+            hist.p90(),
+            hist.p99(),
+            hist.max()
+        );
     }
 
     out.push_str("\n  ],\n  \"displayTimeUnit\": \"ms\",\n  \"otherData\": {\n");
@@ -134,7 +236,7 @@ pub fn chrome_json(p: &Profile) -> String {
 }
 
 /// Minimal JSON string escaping (control chars, quote, backslash).
-fn json_string(s: &str) -> String {
+pub(crate) fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for ch in s.chars() {
@@ -182,6 +284,7 @@ mod tests {
                 start_ns: 1_000,
                 dur_ns: 2_500,
                 kind: SpanKind::Complete,
+                ..SpanRecord::EMPTY
             },
             SpanRecord {
                 name: "mark",
@@ -189,8 +292,33 @@ mod tests {
                 start_ns: 2_000,
                 dur_ns: 0,
                 kind: SpanKind::Instant,
+                ..SpanRecord::EMPTY
             },
         ];
+        p
+    }
+
+    fn stitched_profile() -> Profile {
+        let mut p = sample_profile();
+        p.spans.push(SpanRecord {
+            name: "halo_send",
+            thread: 2,
+            rank: 0,
+            start_ns: 3_000,
+            kind: SpanKind::FlowStart,
+            arg: 0xdead,
+            ..SpanRecord::EMPTY
+        });
+        p.spans.push(SpanRecord {
+            name: "halo_recv",
+            thread: 3,
+            rank: 1,
+            start_ns: 4_000,
+            kind: SpanKind::FlowEnd,
+            arg: 0xdead,
+            ..SpanRecord::EMPTY
+        });
+        p.hists.add(crate::histogram::Hist::HaloWaitNanos, 1_000);
         p
     }
 
@@ -215,6 +343,36 @@ mod tests {
         // Balanced braces/brackets — cheap structural sanity.
         assert_eq!(j.matches('{').count(), j.matches('}').count());
         assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn table_includes_histogram_rows() {
+        let t = table(&stitched_profile());
+        assert!(t.contains("histogram"));
+        assert!(t.contains("halo_wait"));
+        assert!(t.contains("p99 us"));
+    }
+
+    #[test]
+    fn chrome_json_stitches_ranks_flows_and_hist_tracks() {
+        let j = chrome_json(&stitched_profile());
+        // Per-rank process rows with names.
+        assert!(j.contains("\"pid\": 1, \"tid\": 0, \"args\": {\"name\": \"rank 0\"}"));
+        assert!(j.contains("\"pid\": 2, \"tid\": 0, \"args\": {\"name\": \"rank 1\"}"));
+        // Flow events share the message id across ranks.
+        assert!(j.contains("\"ph\": \"s\", \"id\": 57005"));
+        assert!(j.contains("\"ph\": \"f\", \"bp\": \"e\", \"id\": 57005"));
+        // Histogram counter track.
+        assert!(j.contains("\"hist:halo_wait\""));
+        assert!(j.contains("\"ph\": \"C\""));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+
+    #[test]
+    fn pid_mapping_keeps_unranked_on_zero() {
+        assert_eq!(pid_of_rank(NO_RANK), 0);
+        assert_eq!(pid_of_rank(0), 1);
+        assert_eq!(pid_of_rank(3), 4);
     }
 
     #[test]

@@ -1,0 +1,385 @@
+//! Fixed-bucket log2 latency histograms.
+//!
+//! Counters answer "how much in total"; histograms answer "how was it
+//! distributed" — the paper's scaling study (§6) and every straggler
+//! hunt need the tail, not the mean. The design mirrors [`crate::counters`]:
+//!
+//! * a fixed vocabulary ([`Hist`]) with stable names and units;
+//! * a **global accumulator** of atomic buckets behind the same
+//!   process-wide enable flag — [`record_hist`] on a hot path is a
+//!   relaxed load, a `leading_zeros`, and one `fetch_add`, with **no
+//!   allocation ever**;
+//! * a plain `Copy` value type ([`Histogram`], grouped into [`HistSet`])
+//!   for per-rank accumulation and merging without atomics.
+//!
+//! Buckets are powers of two: bucket `i` holds samples `v` with
+//! `2^(i-1) <= v < 2^i` (bucket 0 holds zero). Exact `count`, `sum`
+//! and `max` ride along so means and true maxima are not quantized;
+//! quantiles are reported as the upper bound of the covering bucket,
+//! clamped to the observed maximum — a conservative (never
+//! under-reporting) estimate with at most 2x resolution error.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of log2 buckets. The top bucket saturates: it absorbs every
+/// sample of `2^(BUCKETS-2)` ns (~1.6 days) and beyond.
+pub const BUCKETS: usize = 48;
+
+macro_rules! hists {
+    ($( $variant:ident => ($name:literal, $unit:literal) ),+ $(,)?) => {
+        /// The histogram vocabulary. Every histogram has a stable name
+        /// and a unit; adding a variant automatically extends
+        /// [`HistSet`], the global banks, and both exporters.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+        #[repr(usize)]
+        pub enum Hist {
+            $( $variant ),+
+        }
+
+        impl Hist {
+            pub const COUNT: usize = [$( Hist::$variant ),+].len();
+            pub const ALL: [Hist; Hist::COUNT] = [$( Hist::$variant ),+];
+
+            /// Stable snake_case identifier (used in exports).
+            pub fn name(self) -> &'static str {
+                match self { $( Hist::$variant => $name ),+ }
+            }
+
+            pub fn unit(self) -> &'static str {
+                match self { $( Hist::$variant => $unit ),+ }
+            }
+        }
+    };
+}
+
+hists! {
+    HaloWaitNanos        => ("halo_wait", "ns"),
+    RetransmitDelayNanos => ("retransmit_delay", "ns"),
+    PackHistNanos        => ("pack_hist", "ns"),
+    UnpackHistNanos      => ("unpack_hist", "ns"),
+    StepWallNanos        => ("step_wall", "ns"),
+}
+
+/// Bucket index for a sample: 0 for 0, else `floor(log2 v) + 1`,
+/// clamped into the top (saturating) bucket.
+#[inline]
+pub fn bucket_of(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        ((64 - v.leading_zeros()) as usize).min(BUCKETS - 1)
+    }
+}
+
+/// Inclusive upper bound of a bucket (what a quantile in this bucket is
+/// reported as, before clamping to the observed max).
+#[inline]
+pub fn bucket_upper(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 63 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// One plain, copyable latency histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    pub const fn new() -> Histogram {
+        Histogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn add(&mut self, v: u64) {
+        self.buckets[bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Fold another histogram in (bucketwise sum; max of maxima).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Quantile estimate (`q` in [0, 1]): upper bound of the bucket
+    /// containing the q-th sample, clamped to the observed max. Exact
+    /// for max (q = 1) and never under-reports.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return bucket_upper(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Raw bucket counts (for exporters and tests).
+    pub fn buckets(&self) -> &[u64; BUCKETS] {
+        &self.buckets
+    }
+}
+
+/// A plain, copyable vector of histograms — one per [`Hist`] variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistSet {
+    hists: [Histogram; Hist::COUNT],
+}
+
+impl Default for HistSet {
+    fn default() -> HistSet {
+        HistSet::new()
+    }
+}
+
+impl HistSet {
+    pub const fn new() -> HistSet {
+        HistSet {
+            hists: [Histogram::new(); Hist::COUNT],
+        }
+    }
+
+    #[inline]
+    pub fn get(&self, h: Hist) -> &Histogram {
+        &self.hists[h as usize]
+    }
+
+    /// Record one sample into histogram `h`.
+    #[inline]
+    pub fn add(&mut self, h: Hist, v: u64) {
+        self.hists[h as usize].add(v);
+    }
+
+    /// Merge another set in, histogram by histogram.
+    pub fn merge(&mut self, other: &HistSet) {
+        for (a, b) in self.hists.iter_mut().zip(&other.hists) {
+            a.merge(b);
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.hists.iter().all(|h| h.is_empty())
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (Hist, &Histogram)> + '_ {
+        Hist::ALL.iter().map(move |&h| (h, self.get(h)))
+    }
+}
+
+/// Global atomic banks, one histogram per [`Hist`] variant. Unlike the
+/// sharded counters, waits and steps are orders of magnitude rarer than
+/// counter bumps, so a single bank with relaxed `fetch_add`s suffices.
+struct Bank {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Bank {
+    const fn new() -> Bank {
+        #[allow(clippy::declare_interior_mutable_const)]
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        Bank {
+            buckets: [ZERO; BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+static BANKS: [Bank; Hist::COUNT] = [const { Bank::new() }; Hist::COUNT];
+
+/// Record one sample into the global histogram `h` (no-op unless tracing
+/// is enabled). Allocation-free: a branch, a `leading_zeros`, and four
+/// relaxed atomic ops.
+#[inline]
+pub fn record_hist(h: Hist, v: u64) {
+    if !crate::counters::enabled() {
+        return;
+    }
+    let bank = &BANKS[h as usize];
+    bank.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+    bank.count.fetch_add(1, Ordering::Relaxed);
+    bank.sum.fetch_add(v, Ordering::Relaxed);
+    bank.max.fetch_max(v, Ordering::Relaxed);
+}
+
+/// Fold the global banks into a plain [`HistSet`].
+pub fn snapshot_hists() -> HistSet {
+    let mut out = HistSet::new();
+    for (h, bank) in Hist::ALL.iter().zip(&BANKS) {
+        let dst = &mut out.hists[*h as usize];
+        for (d, s) in dst.buckets.iter_mut().zip(&bank.buckets) {
+            *d = s.load(Ordering::Relaxed);
+        }
+        dst.count = bank.count.load(Ordering::Relaxed);
+        dst.sum = bank.sum.load(Ordering::Relaxed);
+        dst.max = bank.max.load(Ordering::Relaxed);
+    }
+    out
+}
+
+/// Zero all global histogram banks.
+pub fn reset_hists() {
+    for bank in &BANKS {
+        for b in &bank.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        bank.count.store(0, Ordering::Relaxed);
+        bank.sum.store(0, Ordering::Relaxed);
+        bank.max.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counters::{set_enabled, EnableGuard};
+    use crate::testutil::GLOBAL_TEST_LOCK;
+
+    #[test]
+    fn buckets_are_log2() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1023), 10);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+        assert_eq!(bucket_upper(0), 0);
+        assert_eq!(bucket_upper(1), 1);
+        assert_eq!(bucket_upper(10), 1023);
+    }
+
+    #[test]
+    fn quantiles_are_conservative_and_clamped() {
+        let mut h = Histogram::new();
+        for v in [10u64, 20, 30, 40, 1000] {
+            h.add(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.max(), 1000);
+        assert_eq!(h.mean(), 220.0);
+        // p50 -> 3rd sample (30), reported as its bucket's upper bound 31.
+        assert_eq!(h.p50(), 31);
+        // p99 -> 5th sample: bucket upper 1023, clamped to the true max.
+        assert_eq!(h.p99(), 1000);
+        assert_eq!(h.quantile(1.0), 1000);
+        // Empty histogram reports zeros.
+        assert_eq!(Histogram::new().p99(), 0);
+    }
+
+    #[test]
+    fn merge_sums_buckets_and_maxes_max() {
+        let mut a = Histogram::new();
+        a.add(5);
+        a.add(7);
+        let mut b = Histogram::new();
+        b.add(5000);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.max(), 5000);
+        assert_eq!(a.buckets()[bucket_of(5)], 2);
+        assert_eq!(a.buckets()[bucket_of(5000)], 1);
+    }
+
+    #[test]
+    fn disabled_record_hist_is_inert() {
+        let _g = GLOBAL_TEST_LOCK.lock().unwrap();
+        reset_hists();
+        set_enabled(false);
+        record_hist(Hist::HaloWaitNanos, 42);
+        assert!(snapshot_hists().is_empty());
+    }
+
+    #[test]
+    fn enabled_record_hist_accumulates() {
+        let _g = GLOBAL_TEST_LOCK.lock().unwrap();
+        reset_hists();
+        {
+            let _e = EnableGuard::new();
+            record_hist(Hist::StepWallNanos, 100);
+            record_hist(Hist::StepWallNanos, 200);
+            record_hist(Hist::PackHistNanos, 7);
+        }
+        let s = snapshot_hists();
+        assert_eq!(s.get(Hist::StepWallNanos).count(), 2);
+        assert_eq!(s.get(Hist::StepWallNanos).max(), 200);
+        assert_eq!(s.get(Hist::PackHistNanos).count(), 1);
+        assert!(s.get(Hist::HaloWaitNanos).is_empty());
+        reset_hists();
+        assert!(snapshot_hists().is_empty());
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(Hist::HaloWaitNanos.name(), "halo_wait");
+        assert_eq!(Hist::StepWallNanos.unit(), "ns");
+        assert_eq!(Hist::ALL.len(), Hist::COUNT);
+    }
+}

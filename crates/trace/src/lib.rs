@@ -20,6 +20,17 @@
 //!   ([`Profile::to_table`]) or chrome://tracing JSON
 //!   ([`Profile::to_chrome_json`]).
 //!
+//! Observability v2 (DESIGN.md §8) adds:
+//!
+//! * [`histogram`] — fixed-bucket log2 latency distributions
+//!   ([`record_hist`]) behind the same enable gate as counters;
+//! * [`stitch`] — cross-rank trace stitching: rank-tagged spans
+//!   ([`spans::set_current_rank`]), flow events correlated by message
+//!   identity ([`stitch::message_id`]), the per-step straggler report,
+//!   and a structural validator for the chrome export;
+//! * [`recorder`] — an always-on flight recorder (fixed-memory ring per
+//!   thread) dumped as JSON when a comm fault or restart fires.
+//!
 //! Tracing is **disabled by default** and gated on one process-global
 //! flag checked first thing in every recording call: a disabled
 //! [`record`] is a relaxed atomic load and branch, and a disabled
@@ -29,15 +40,30 @@
 
 pub mod counters;
 pub mod export;
+pub mod histogram;
 pub mod profile;
+pub mod recorder;
 pub mod spans;
+pub mod stitch;
 
 pub use counters::{
     record, record_max, record_set, reset_counters, set_enabled, snapshot, Counter, CounterSet,
     EnableGuard, MergeMode,
 };
+pub use histogram::{record_hist, reset_hists, snapshot_hists, Hist, HistSet, Histogram};
 pub use profile::Profile;
-pub use spans::{event, reset_spans, span, timed, SpanGuard, SpanKind, SpanRecord, TimedScope};
+pub use recorder::{
+    dump_on_error, flight, flight_json, reset_flight, set_flight_dump_dir, snapshot_flight,
+    FlightKind, FlightRecord,
+};
+pub use spans::{
+    event, flow_recv, flow_send, reset_spans, set_current_rank, span, span_arg, timed, timed_hist,
+    SpanGuard, SpanKind, SpanRecord, TimedScope, NO_RANK,
+};
+pub use stitch::{
+    message_id, render_straggler_report, straggler_report, unpack_message_id, validate_chrome_json,
+    ChromeSummary, StepStats,
+};
 
 /// True when tracing is globally enabled.
 #[inline]
@@ -45,12 +71,15 @@ pub fn enabled() -> bool {
     counters::enabled()
 }
 
-/// Reset all global trace state (counters and span buffers).
+/// Reset all global trace state (counters, histograms and span buffers).
+/// The flight recorder is left alone: it is a crash-forensics ring and
+/// survives resets so restarts keep their pre-restart timeline.
 ///
 /// Intended for test setup and between CLI runs; callers must ensure no
 /// spans are being recorded concurrently.
 pub fn reset() {
     counters::reset_counters();
+    histogram::reset_hists();
     spans::reset_spans();
 }
 

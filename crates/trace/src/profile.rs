@@ -3,6 +3,7 @@
 //! and for feeding back into the auto-tuner.
 
 use crate::counters::{self, Counter, CounterSet};
+use crate::histogram::{self, HistSet};
 use crate::spans::{self, SpanRecord};
 
 /// Aggregated trace data from one run (or one rank of a run).
@@ -19,6 +20,8 @@ pub struct Profile {
     /// Short run identifier carried into reports (e.g. benchmark name).
     pub label: String,
     pub counters: CounterSet,
+    /// Latency distributions (halo wait, retransmit delay, step wall…).
+    pub hists: HistSet,
     /// Completed spans and instant events, sorted by (start, thread).
     pub spans: Vec<SpanRecord>,
     /// Spans lost to per-thread buffer saturation.
@@ -32,6 +35,7 @@ impl Profile {
         Profile {
             label: label.into(),
             counters: counters::snapshot(),
+            hists: histogram::snapshot_hists(),
             spans,
             dropped_spans,
         }
@@ -43,6 +47,7 @@ impl Profile {
         Profile {
             label: label.into(),
             counters,
+            hists: HistSet::new(),
             spans: Vec::new(),
             dropped_spans: 0,
         }
@@ -51,6 +56,7 @@ impl Profile {
     /// Fold another profile (e.g. another rank) into this one.
     pub fn merge(&mut self, other: &Profile) {
         self.counters.merge(&other.counters);
+        self.hists.merge(&other.hists);
         self.spans.extend(other.spans.iter().copied());
         self.spans.sort_by_key(|r| (r.start_ns, r.thread));
         self.dropped_spans += other.dropped_spans;
@@ -97,6 +103,7 @@ mod tests {
             start_ns,
             dur_ns,
             kind: SpanKind::Complete,
+            ..SpanRecord::EMPTY
         }
     }
 
@@ -127,6 +134,18 @@ mod tests {
         assert_eq!(a.spans[0].thread, 1);
         assert_eq!(a.dropped_spans, 1);
         assert_eq!(a.timeline_ns(), 40); // [20, 60]
+    }
+
+    #[test]
+    fn merge_folds_histograms() {
+        use crate::histogram::Hist;
+        let mut a = Profile::from_counters("rank0", CounterSet::new());
+        a.hists.add(Hist::StepWallNanos, 100);
+        let mut b = Profile::from_counters("rank1", CounterSet::new());
+        b.hists.add(Hist::StepWallNanos, 900);
+        a.merge(&b);
+        assert_eq!(a.hists.get(Hist::StepWallNanos).count(), 2);
+        assert_eq!(a.hists.get(Hist::StepWallNanos).max(), 900);
     }
 
     #[test]

@@ -19,6 +19,10 @@ use std::time::Instant;
 /// Maximum records retained per thread before saturation.
 const CAPACITY: usize = 1 << 14;
 
+/// Rank value of spans recorded outside any rank thread (serial runs,
+/// the main thread, worker pools).
+pub const NO_RANK: u32 = u32::MAX;
+
 /// What a record represents in the timeline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SpanKind {
@@ -26,6 +30,11 @@ pub enum SpanKind {
     Complete,
     /// A point-in-time marker (chrome `"i"` instant event).
     Instant,
+    /// Start of a cross-rank flow (chrome `"s"` event); `arg` carries
+    /// the message identity linking it to the matching [`FlowEnd`].
+    FlowStart,
+    /// End of a cross-rank flow (chrome `"f"` event).
+    FlowEnd,
 }
 
 /// One recorded span or event.
@@ -34,20 +43,33 @@ pub struct SpanRecord {
     pub name: &'static str,
     /// Small dense id of the recording thread (assigned at registration).
     pub thread: u32,
+    /// Rank this record was made on ([`NO_RANK`] outside rank threads).
+    pub rank: u32,
     /// Nanoseconds since the process trace epoch.
     pub start_ns: u64,
     pub dur_ns: u64,
     pub kind: SpanKind,
+    /// Free-form correlation value: the packed message identity for
+    /// flow records (see [`crate::stitch::message_id`]), 0 otherwise.
+    pub arg: u64,
 }
 
 impl SpanRecord {
-    const EMPTY: SpanRecord = SpanRecord {
+    pub const EMPTY: SpanRecord = SpanRecord {
         name: "",
         thread: 0,
+        rank: NO_RANK,
         start_ns: 0,
         dur_ns: 0,
         kind: SpanKind::Instant,
+        arg: 0,
     };
+}
+
+impl Default for SpanRecord {
+    fn default() -> SpanRecord {
+        SpanRecord::EMPTY
+    }
 }
 
 struct ThreadBuf {
@@ -80,6 +102,7 @@ impl ThreadBuf {
     /// Owner-thread-only append.
     fn push(&self, mut rec: SpanRecord) {
         rec.thread = self.thread;
+        rec.rank = current_rank();
         let n = self.len.load(Ordering::Relaxed);
         if n < self.slots.len() {
             unsafe { *self.slots[n].get() = rec };
@@ -103,6 +126,20 @@ thread_local! {
         registry().lock().unwrap().push(Arc::clone(&buf));
         buf
     };
+    static CURRENT_RANK: std::cell::Cell<u32> = const { std::cell::Cell::new(NO_RANK) };
+}
+
+/// Tag every record made on the calling thread with `rank` from now on.
+/// The distributed runtime calls this at rank-thread startup so cross-
+/// rank traces can be stitched; threads never shared across ranks keep
+/// [`NO_RANK`].
+pub fn set_current_rank(rank: u32) {
+    CURRENT_RANK.with(|r| r.set(rank));
+}
+
+/// The calling thread's rank tag ([`NO_RANK`] if never set).
+pub fn current_rank() -> u32 {
+    CURRENT_RANK.with(|r| r.get())
 }
 
 /// Nanoseconds since the process trace epoch (first call wins the epoch).
@@ -118,14 +155,23 @@ pub fn now_ns() -> u64 {
 pub struct SpanGuard {
     name: &'static str,
     start_ns: Option<u64>,
+    arg: u64,
 }
 
 /// Open a named interval covering the guard's lifetime.
 #[inline]
 pub fn span(name: &'static str) -> SpanGuard {
+    span_arg(name, 0)
+}
+
+/// Open a named interval carrying a correlation value (e.g. the step
+/// index, read back by [`crate::stitch::straggler_report`]).
+#[inline]
+pub fn span_arg(name: &'static str, arg: u64) -> SpanGuard {
     SpanGuard {
         name,
         start_ns: enabled().then(now_ns),
+        arg,
     }
 }
 
@@ -136,10 +182,11 @@ impl Drop for SpanGuard {
             MY_BUF.with(|b| {
                 b.push(SpanRecord {
                     name: self.name,
-                    thread: 0,
                     start_ns,
                     dur_ns,
                     kind: SpanKind::Complete,
+                    arg: self.arg,
+                    ..SpanRecord::EMPTY
                 })
             });
         }
@@ -155,19 +202,50 @@ pub fn event(name: &'static str) {
     MY_BUF.with(|b| {
         b.push(SpanRecord {
             name,
-            thread: 0,
             start_ns: now_ns(),
-            dur_ns: 0,
             kind: SpanKind::Instant,
+            ..SpanRecord::EMPTY
+        })
+    });
+}
+
+/// Record the start of a cross-rank flow (e.g. a halo send). `id` is the
+/// packed message identity ([`crate::stitch::message_id`]); the exporter
+/// draws an arrow to the matching [`flow_recv`] with the same id.
+#[inline]
+pub fn flow_send(name: &'static str, id: u64) {
+    flow(name, id, SpanKind::FlowStart);
+}
+
+/// Record the end of a cross-rank flow (e.g. a halo delivery).
+#[inline]
+pub fn flow_recv(name: &'static str, id: u64) {
+    flow(name, id, SpanKind::FlowEnd);
+}
+
+#[inline]
+fn flow(name: &'static str, id: u64, kind: SpanKind) {
+    if !enabled() {
+        return;
+    }
+    MY_BUF.with(|b| {
+        b.push(SpanRecord {
+            name,
+            start_ns: now_ns(),
+            kind,
+            arg: id,
+            ..SpanRecord::EMPTY
         })
     });
 }
 
 /// RAII interval that also adds its duration to a counter on drop
-/// (e.g. pack/unpack/barrier-wait time).
+/// (e.g. pack/unpack/barrier-wait time), and optionally to a latency
+/// histogram.
 #[must_use = "a timed scope measures the scope it is bound to"]
 pub struct TimedScope {
     counter: crate::counters::Counter,
+    hist: Option<crate::histogram::Hist>,
     inner: SpanGuard,
 }
 
@@ -177,6 +255,18 @@ pub struct TimedScope {
 pub fn timed(counter: crate::counters::Counter) -> TimedScope {
     TimedScope {
         counter,
+        hist: None,
+        inner: span(counter.name()),
+    }
+}
+
+/// Like [`timed`], but the duration additionally lands as one sample in
+/// histogram `h` — total time *and* distribution from one guard.
+#[inline]
+pub fn timed_hist(counter: crate::counters::Counter, h: crate::histogram::Hist) -> TimedScope {
+    TimedScope {
+        counter,
+        hist: Some(h),
         inner: span(counter.name()),
     }
 }
@@ -185,7 +275,11 @@ impl Drop for TimedScope {
     fn drop(&mut self) {
         if let Some(start_ns) = self.inner.start_ns {
             // The inner guard records the span; we add the duration.
-            crate::counters::record(self.counter, now_ns().saturating_sub(start_ns));
+            let dur = now_ns().saturating_sub(start_ns);
+            crate::counters::record(self.counter, dur);
+            if let Some(h) = self.hist {
+                crate::histogram::record_hist(h, dur);
+            }
         }
     }
 }
@@ -272,6 +366,43 @@ mod tests {
         assert!(counters::snapshot().get(Counter::PackNanos) > 0);
         counters::reset_counters();
         reset_spans();
+    }
+
+    #[test]
+    fn rank_tags_and_flow_records_land() {
+        let _g = crate::testutil::GLOBAL_TEST_LOCK.lock().unwrap();
+        reset_spans();
+        {
+            let _e = EnableGuard::new();
+            std::thread::scope(|s| {
+                s.spawn(|| {
+                    set_current_rank(3);
+                    let _sp = span("ranked");
+                    flow_send("halo", 0xbeef);
+                });
+            });
+            event("unranked");
+        }
+        let (recs, _) = collect_spans();
+        let ranked = recs.iter().find(|r| r.name == "ranked").unwrap();
+        assert_eq!(ranked.rank, 3);
+        let fl = recs.iter().find(|r| r.kind == SpanKind::FlowStart).unwrap();
+        assert_eq!(fl.rank, 3);
+        assert_eq!(fl.arg, 0xbeef);
+        let un = recs.iter().find(|r| r.name == "unranked").unwrap();
+        assert_eq!(un.rank, NO_RANK);
+        reset_spans();
+    }
+
+    #[test]
+    fn disabled_flow_records_nothing() {
+        let _g = crate::testutil::GLOBAL_TEST_LOCK.lock().unwrap();
+        reset_spans();
+        counters::set_enabled(false);
+        flow_send("halo", 1);
+        flow_recv("halo", 1);
+        let (recs, _) = collect_spans();
+        assert!(recs.is_empty());
     }
 
     #[test]

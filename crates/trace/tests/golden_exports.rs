@@ -3,7 +3,7 @@
 //! silently. Regenerate with
 //! `UPDATE_GOLDEN=1 cargo test -p msc-trace --test golden_exports`.
 
-use msc_trace::{Counter, CounterSet, Profile, SpanKind, SpanRecord};
+use msc_trace::{message_id, Counter, CounterSet, Hist, Profile, SpanKind, SpanRecord};
 use std::path::PathBuf;
 
 fn golden_dir() -> PathBuf {
@@ -48,15 +48,52 @@ fn fixed_profile() -> Profile {
         start_ns,
         dur_ns,
         kind,
+        ..SpanRecord::EMPTY
+    };
+    let ranked = |name: &'static str, rank, thread, start_ns, dur_ns, kind, arg| SpanRecord {
+        name,
+        rank,
+        thread,
+        start_ns,
+        dur_ns,
+        kind,
+        arg,
     };
     p.spans = vec![
         span("step", 0, 1_000, 40_000, SpanKind::Complete),
         span("tiled_step", 0, 2_000, 30_000, SpanKind::Complete),
         span("tile_worker", 1, 3_000, 25_000, SpanKind::Complete),
         span("tile_worker", 2, 3_500, 27_500, SpanKind::Complete),
+        // A stitched pair of ranks: step spans plus one halo flow.
+        ranked("step", 0, 3, 10_000, 8_000, SpanKind::Complete, 0),
+        ranked("step", 1, 4, 10_500, 9_500, SpanKind::Complete, 0),
+        ranked(
+            "halo_send",
+            0,
+            3,
+            12_000,
+            0,
+            SpanKind::FlowStart,
+            message_id(0, 1, 7, 0),
+        ),
+        ranked(
+            "halo_recv",
+            1,
+            4,
+            13_000,
+            0,
+            SpanKind::FlowEnd,
+            message_id(0, 1, 7, 0),
+        ),
         span("halo_exchange", 0, 35_000, 5_000, SpanKind::Complete),
         span("checkpoint", 0, 41_000, 0, SpanKind::Instant),
     ];
+    for v in [120_000u64, 150_000, 180_000, 950_000] {
+        p.hists.add(Hist::HaloWaitNanos, v);
+    }
+    for v in [9_800_000u64, 10_200_000, 10_500_000, 11_000_000] {
+        p.hists.add(Hist::StepWallNanos, v);
+    }
     p
 }
 
@@ -75,4 +112,22 @@ fn chrome_json_is_stable_across_renders() {
     let p = fixed_profile();
     assert_eq!(p.to_chrome_json(), p.to_chrome_json());
     assert_eq!(p.to_table(), p.to_table());
+}
+
+#[test]
+fn golden_profile_passes_structural_validator() {
+    let summary = msc_trace::validate_chrome_json(&fixed_profile().to_chrome_json())
+        .expect("own export must validate");
+    assert_eq!(summary.ranks, vec![0, 1]);
+    assert_eq!(summary.flow_pairs, 1);
+    assert_eq!(summary.unmatched_flows, 0);
+}
+
+#[test]
+fn golden_straggler_report() {
+    let stats = msc_trace::straggler_report(&fixed_profile());
+    check(
+        "straggler_report.txt",
+        &msc_trace::render_straggler_report(&stats),
+    );
 }

@@ -99,6 +99,7 @@ fn merged_span_timelines_stay_sorted_and_counted() {
         start_ns,
         dur_ns: 1,
         kind: SpanKind::Complete,
+        ..SpanRecord::EMPTY
     };
     let mut a = Profile::from_counters("a", CounterSet::new());
     a.spans = vec![rec(5), rec(10)];

@@ -262,6 +262,7 @@ mod tests {
             start_ns: 1_000,
             dur_ns: 2_000,
             kind: SpanKind::Complete,
+            ..SpanRecord::EMPTY
         });
         p.spans.push(SpanRecord {
             name: "step",
@@ -269,6 +270,7 @@ mod tests {
             start_ns: 7_000,
             dur_ns: 2_000,
             kind: SpanKind::Complete,
+            ..SpanRecord::EMPTY
         });
         let cfg = Config {
             tile: vec![2, 8, 64],

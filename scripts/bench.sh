@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Benchmark-trajectory helper (DESIGN.md §8.4).
+#
+#   scripts/bench.sh record   — run the full fixed suite, overwrite
+#                               BENCH_0003.json at the repo root
+#   scripts/bench.sh smoke    — CI gate: record a quick run, validate its
+#                               schema, count-diff it against the committed
+#                               baseline, and prove the regression gate
+#                               fires on a doctored 20% slowdown
+#
+# Count metrics (points, tiles, halo messages) are deterministic, so the
+# smoke diff uses --counts-only and stays green on noisy shared runners;
+# time metrics are recorded but only gated when comparing full runs on
+# comparable hardware (mscc bench --diff OLD NEW).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MSCC=target/release/mscc
+BASELINE=BENCH_0003.json
+
+cargo build --release --offline --bin mscc
+
+case "${1:-smoke}" in
+  record)
+    "$MSCC" bench --out "$BASELINE"
+    "$MSCC" bench --validate "$BASELINE"
+    ;;
+  smoke)
+    tmp=$(mktemp -d)
+    trap 'rm -rf "$tmp"' EXIT
+    "$MSCC" bench --quick --out "$tmp/quick.json"
+    "$MSCC" bench --validate "$tmp/quick.json"
+    "$MSCC" bench --validate "$BASELINE"
+    # Quick grids shrink the workload, so only the deterministic count
+    # metrics are comparable... to another quick run. Structure-level
+    # regression (missing cases/metrics) is still checked against the
+    # committed baseline via a second quick recording.
+    "$MSCC" bench --quick --out "$tmp/quick2.json"
+    "$MSCC" bench --diff "$tmp/quick.json" "$tmp/quick2.json" --counts-only
+    # The gate must actually fire: a doctored 20% slowdown of the quick
+    # run has to make --diff exit nonzero.
+    "$MSCC" bench --doctor "$tmp/quick.json" "$tmp/slowed.json"
+    if "$MSCC" bench --diff "$tmp/quick.json" "$tmp/slowed.json"; then
+      echo "bench smoke: regression gate did NOT fire on a 20% slowdown" >&2
+      exit 1
+    fi
+    echo "bench smoke: all green"
+    ;;
+  *)
+    echo "usage: scripts/bench.sh [record|smoke]" >&2
+    exit 2
+    ;;
+esac

@@ -23,4 +23,7 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 echo "== examples & benches compile =="
 cargo build --workspace --examples --benches --offline
 
+echo "== bench smoke (trajectory schema + regression gate) =="
+scripts/bench.sh smoke
+
 echo "verify: all green"

@@ -16,10 +16,14 @@
 //! mscc stencil.msc --profile            # run under tracing, print the profile table
 //! mscc stencil.msc --trace out.json     # run under tracing, write chrome://tracing JSON
 //! mscc stencil.msc --procs 2x2          # distributed run over a 2x2 process grid
+//! mscc stencil.msc --procs 2x2 --trace out.json
+//!                                       # ...stitched cross-rank trace + straggler report
 //! mscc stencil.msc --procs 2x2 --chaos 42:drop=0.05,dup=0.02,corrupt=0.01
 //!                                       # ...with seeded fault injection
 //! mscc stencil.msc --procs 2x2 --chaos 1:kill=1@3 --checkpoint-every 2
 //!                                       # kill a rank, restart from checkpoint
+//! mscc bench --out BENCH_0003.json      # record the benchmark trajectory
+//! mscc bench --diff OLD.json NEW.json   # exit nonzero on perf regression
 //! ```
 //!
 //! `--profile` and `--trace` imply `--run`; both may be combined.
@@ -27,6 +31,8 @@
 //! process grid `2x1[x1...]` unless `--procs` is given); the result is
 //! always verified bit-exactly against the serial reference.
 
+use msc::bench::results::Json;
+use msc::bench::suite;
 use msc::comm::{run_distributed_resilient, FaultPlan, RunOptions};
 use msc::core::analysis::StencilStats;
 use msc::core::schedule::ExecPlan;
@@ -34,6 +40,56 @@ use msc::prelude::*;
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
+
+/// Grouped flag reference. Every flag the parser accepts must appear
+/// here — `tests/mscc_cli.rs::help_documents_every_flag` enforces it.
+const HELP: &str = "\
+mscc — MSC stencil compiler driver
+
+usage:
+  mscc <file.msc> [options]    compile a stencil (and optionally run it)
+  mscc bench [options]         record or check the benchmark trajectory
+
+input / output:
+  -o, --out DIR            output directory for the generated C package
+      --target NAME        code generation target: sunway | matrix | cpu
+      --dump PATH          save the final state to PATH (MSCGRID1 format)
+
+execution:
+      --run                execute functionally and print run statistics
+      --simulate           print the predicted time on the target machine model
+      --stats              print static kernel statistics
+      --autoschedule       pick tiles/stream/tile_time automatically
+
+distributed:
+      --procs PxQ[xR]      run over a process grid (e.g. 2x2), verified
+                           bit-exactly against the serial reference
+      --chaos SEED:SPEC    seeded fault injection (drop=,dup=,delay=,
+                           corrupt=, kill=RANK@N); implies distributed
+      --checkpoint-every K write a checkpoint every K steps
+      --checkpoint-dir DIR checkpoint directory (default: temp dir)
+
+observability:
+      --profile            run under tracing; print the counter and latency-
+                           histogram tables (distributed runs also print the
+                           per-step straggler report)
+      --trace OUT.json     run under tracing; write chrome://tracing JSON
+                           (distributed runs stitch all ranks into one
+                           timeline with send->recv flow arrows)
+      --flight-dir DIR     dump the always-on flight recorder to DIR as JSON
+                           when a communication fault or restart fires
+
+bench subcommand (mscc bench):
+      --quick              small grids — CI smoke mode
+      --out FILE           write the recording to FILE (default BENCH_0003.json)
+      --validate FILE      schema-check a recording and exit
+      --diff OLD NEW       compare two recordings; exit nonzero on regression
+      --threshold PCT      time-metric regression threshold in percent (default 15)
+      --counts-only        diff only deterministic count metrics
+      --doctor IN OUT      write a 20%-slowed copy of IN (regression-gate self-test)
+
+  -h, --help               show this help
+";
 
 struct Args {
     input: PathBuf,
@@ -50,9 +106,83 @@ struct Args {
     chaos: Option<String>,
     checkpoint_every: usize,
     checkpoint_dir: Option<PathBuf>,
+    flight_dir: Option<PathBuf>,
 }
 
-fn parse_args() -> Result<Args, String> {
+struct BenchArgs {
+    quick: bool,
+    out: PathBuf,
+    validate: Option<PathBuf>,
+    diff: Option<(PathBuf, PathBuf)>,
+    doctor: Option<(PathBuf, PathBuf)>,
+    threshold: f64,
+    counts_only: bool,
+}
+
+enum Cli {
+    Compile(Box<Args>),
+    Bench(BenchArgs),
+    Help,
+}
+
+fn parse_cli() -> Result<Cli, String> {
+    let mut argv = std::env::args().skip(1).peekable();
+    if argv.peek().map(String::as_str) == Some("bench") {
+        argv.next();
+        return parse_bench_args(argv).map(Cli::Bench);
+    }
+    parse_args(argv)
+}
+
+fn parse_bench_args(
+    mut argv: impl Iterator<Item = String>,
+) -> Result<BenchArgs, String> {
+    let mut b = BenchArgs {
+        quick: false,
+        out: PathBuf::from(suite::BENCH_FILE),
+        validate: None,
+        diff: None,
+        doctor: None,
+        threshold: suite::DEFAULT_THRESHOLD,
+        counts_only: false,
+    };
+    let path = |argv: &mut dyn Iterator<Item = String>, flag: &str| {
+        argv.next()
+            .map(PathBuf::from)
+            .ok_or(format!("missing path after {flag}"))
+    };
+    while let Some(a) = argv.next() {
+        match a.as_str() {
+            "--quick" => b.quick = true,
+            "--out" => b.out = path(&mut argv, "--out")?,
+            "--validate" => b.validate = Some(path(&mut argv, "--validate")?),
+            "--diff" => {
+                b.diff = Some((path(&mut argv, "--diff")?, path(&mut argv, "--diff")?))
+            }
+            "--doctor" => {
+                b.doctor =
+                    Some((path(&mut argv, "--doctor")?, path(&mut argv, "--doctor")?))
+            }
+            "--threshold" => {
+                let pct: f64 = argv
+                    .next()
+                    .ok_or("missing percent after --threshold")?
+                    .parse()
+                    .map_err(|_| "bad percent after --threshold".to_string())?;
+                if !(0.0..=100.0).contains(&pct) {
+                    return Err("--threshold must be within 0..=100".into());
+                }
+                b.threshold = pct / 100.0;
+            }
+            "--counts-only" => b.counts_only = true,
+            "-h" | "--help" => return Err("__help__".into()),
+            other => return Err(format!("unexpected bench argument `{other}`")),
+        }
+    }
+    Ok(b)
+}
+
+fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Cli, String> {
     let mut input = None;
     let mut outdir = None;
     let mut target = None;
@@ -67,7 +197,7 @@ fn parse_args() -> Result<Args, String> {
     let mut chaos = None;
     let mut checkpoint_every = 0usize;
     let mut checkpoint_dir = None;
-    let mut argv = std::env::args().skip(1);
+    let mut flight_dir = None;
     while let Some(a) = argv.next() {
         match a.as_str() {
             "-o" | "--out" => {
@@ -118,16 +248,19 @@ fn parse_args() -> Result<Args, String> {
                     argv.next().ok_or("missing directory after --checkpoint-dir")?,
                 ))
             }
-            "-h" | "--help" => {
-                return Err("usage: mscc <file.msc> [-o DIR] [--target sunway|matrix|cpu] [--run] [--simulate] [--stats] [--autoschedule] [--profile] [--trace OUT.json] [--procs PxQ] [--chaos SEED:SPEC] [--checkpoint-every K] [--checkpoint-dir DIR]".into())
+            "--flight-dir" => {
+                flight_dir = Some(PathBuf::from(
+                    argv.next().ok_or("missing directory after --flight-dir")?,
+                ))
             }
+            "-h" | "--help" => return Ok(Cli::Help),
             other if input.is_none() && !other.starts_with('-') => {
                 input = Some(PathBuf::from(other))
             }
             other => return Err(format!("unexpected argument `{other}`")),
         }
     }
-    Ok(Args {
+    Ok(Cli::Compile(Box::new(Args {
         input: input.ok_or("no input file (try --help)")?,
         outdir,
         target,
@@ -143,24 +276,101 @@ fn parse_args() -> Result<Args, String> {
         chaos,
         checkpoint_every,
         checkpoint_dir,
-    })
+        flight_dir,
+    })))
 }
 
 fn main() -> ExitCode {
-    let args = match parse_args() {
-        Ok(a) => a,
+    let cli = match parse_cli() {
+        Ok(c) => c,
+        Err(e) if e == "__help__" => {
+            print!("{HELP}");
+            return ExitCode::SUCCESS;
+        }
         Err(e) => {
             eprintln!("mscc: {e}");
             return ExitCode::FAILURE;
         }
     };
-    match drive(args) {
+    let result = match cli {
+        Cli::Help => {
+            print!("{HELP}");
+            return ExitCode::SUCCESS;
+        }
+        Cli::Compile(args) => drive(*args),
+        Cli::Bench(args) => drive_bench(args),
+    };
+    match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("mscc: {e}");
             ExitCode::FAILURE
         }
     }
+}
+
+fn load_recording(path: &PathBuf) -> Result<Json, Box<dyn std::error::Error>> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    Json::parse(&text).map_err(|e| format!("{}: {e}", path.display()).into())
+}
+
+fn drive_bench(args: BenchArgs) -> Result<(), Box<dyn std::error::Error>> {
+    if let Some(path) = &args.validate {
+        let doc = load_recording(path)?;
+        suite::validate(&doc).map_err(|e| format!("{}: {e}", path.display()))?;
+        println!(
+            "{}: valid trajectory recording (schema v{})",
+            path.display(),
+            suite::SCHEMA_VERSION
+        );
+        return Ok(());
+    }
+    if let Some((old_path, new_path)) = &args.diff {
+        let old = load_recording(old_path)?;
+        let new = load_recording(new_path)?;
+        let regs = suite::diff(&old, &new, args.threshold, args.counts_only)?;
+        if regs.is_empty() {
+            println!(
+                "no regressions: {} vs {} (threshold {:.0}%{})",
+                old_path.display(),
+                new_path.display(),
+                args.threshold * 100.0,
+                if args.counts_only { ", counts only" } else { "" }
+            );
+            return Ok(());
+        }
+        for r in &regs {
+            eprintln!("regression: {r}");
+        }
+        return Err(format!("{} regression(s) found", regs.len()).into());
+    }
+    if let Some((input, out)) = &args.doctor {
+        let doc = load_recording(input)?;
+        suite::validate(&doc).map_err(|e| format!("{}: {e}", input.display()))?;
+        let slowed = suite::scale_times(&doc, 1.2);
+        std::fs::write(out, format!("{slowed}\n"))
+            .map_err(|e| format!("cannot write {}: {e}", out.display()))?;
+        println!(
+            "wrote 20%-slowed copy of {} to {} (regression-gate self-test input)",
+            input.display(),
+            out.display()
+        );
+        return Ok(());
+    }
+    let doc = suite::run_suite(args.quick)?;
+    suite::validate(&doc).map_err(|e| format!("recorded document invalid: {e}"))?;
+    std::fs::write(&args.out, format!("{doc}\n"))
+        .map_err(|e| format!("cannot write {}: {e}", args.out.display()))?;
+    let cases = doc.get("cases").and_then(Json::as_arr).map_or(0, |c| c.len());
+    println!(
+        "recorded {} benchmark case(s) to {} (schema v{}, {} mode)",
+        cases,
+        args.out.display(),
+        suite::SCHEMA_VERSION,
+        if args.quick { "quick" } else { "full" }
+    );
+    Ok(())
 }
 
 fn drive(args: Args) -> Result<(), Box<dyn std::error::Error>> {
@@ -172,6 +382,12 @@ fn drive(args: Args) -> Result<(), Box<dyn std::error::Error>> {
         .target
         .or(parsed.target)
         .unwrap_or(Target::Cpu);
+
+    if let Some(dir) = &args.flight_dir {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+        msc::trace::set_flight_dump_dir(Some(dir.clone()));
+    }
 
     println!(
         "compiled `{}`: {}D grid {:?}, {} kernels, window {}, {} timesteps, target {}",
@@ -295,6 +511,11 @@ fn drive(args: Args) -> Result<(), Box<dyn std::error::Error>> {
             opts.checkpoint_dir = Some(dir);
             opts.checkpoint_every = args.checkpoint_every;
         }
+        let tracing = args.profile || args.trace.is_some();
+        if tracing {
+            msc::trace::reset();
+            msc::trace::set_enabled(true);
+        }
         let init: Grid<f64> = Grid::random(&program.grid.shape, &program.grid.halo, 42);
         let t0 = std::time::Instant::now();
         let (out, stats) = run_distributed_resilient(
@@ -312,6 +533,9 @@ fn drive(args: Args) -> Result<(), Box<dyn std::error::Error>> {
             },
         )?;
         let dt = t0.elapsed();
+        if tracing {
+            msc::trace::set_enabled(false);
+        }
         println!(
             "distributed run over {} ranks {:?}: {} steps in {:.1} ms; {} halo msgs, \
              {} faults injected, {} retransmits, {} restarts, {} checkpoint bytes; \
@@ -336,16 +560,30 @@ fn drive(args: Args) -> Result<(), Box<dyn std::error::Error>> {
             .into());
         }
         println!("verified vs serial reference: bit-identical");
-        if args.profile || args.trace.is_some() {
-            let prof = stats.profile(format!("{} (distributed)", program.name));
+        if tracing {
+            // CommStats carries the authoritative counters and latency
+            // histograms (merged across ranks by the driver); the global
+            // capture contributes the rank-tagged span timeline recorded
+            // by the worker threads. Stitched together they are one
+            // cross-rank profile.
+            let mut prof = stats.profile(format!("{} (distributed)", program.name));
+            let spans = msc::trace::Profile::capture(String::new()).spans;
+            prof.spans = spans;
+            let report = msc::trace::straggler_report(&prof);
+            print!("{}", msc::trace::render_straggler_report(&report));
             if args.profile {
                 print!("{}", prof.to_table());
             }
             if let Some(path) = &args.trace {
                 std::fs::write(path, prof.to_chrome_json())
                     .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
-                println!("wrote chrome://tracing profile to {}", path.display());
+                println!(
+                    "wrote stitched chrome://tracing profile ({} ranks) to {}",
+                    stats.ranks,
+                    path.display()
+                );
             }
+            msc::trace::reset();
         }
         if let Some(path) = &args.dump {
             msc::exec::io::save(&out, path)?;

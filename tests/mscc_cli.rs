@@ -159,3 +159,147 @@ fn missing_file_reports_cleanly() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
 }
+
+#[test]
+fn help_documents_every_flag() {
+    // The grouped help screen must mention every flag the parser
+    // accepts — compile-mode, observability, and bench-mode alike.
+    // Keep this list in sync with the match arms in src/bin/mscc.rs.
+    let out = mscc().arg("--help").output().expect("mscc runs");
+    assert!(out.status.success(), "--help must exit 0");
+    let help = String::from_utf8_lossy(&out.stdout);
+    for flag in [
+        "-o", "--out", "--target", "--run", "--simulate", "--stats",
+        "--autoschedule", "--dump", "--profile", "--trace", "--procs",
+        "--chaos", "--checkpoint-every", "--checkpoint-dir", "--flight-dir",
+        "--quick", "--validate", "--diff", "--threshold", "--counts-only",
+        "--doctor", "-h", "--help",
+    ] {
+        assert!(help.contains(flag), "help does not document `{flag}`:\n{help}");
+    }
+    // Grouped layout: each section header present.
+    for section in ["input / output:", "execution:", "distributed:", "observability:", "bench subcommand"] {
+        assert!(help.contains(section), "missing section `{section}`:\n{help}");
+    }
+}
+
+#[test]
+fn distributed_trace_stitches_all_ranks_with_flows() {
+    // The tentpole end-to-end: a 2x2 distributed run under --trace must
+    // write one merged chrome://tracing document with span rows from all
+    // four ranks and matched send->recv flow arrows, and print the
+    // per-step straggler report to stdout.
+    let dir = std::env::temp_dir().join("mscc_cli_stitch");
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::create_dir_all(&dir);
+    let trace_path = dir.join("stitched.json");
+    let out = mscc()
+        .arg(dsl("wave2d.msc"))
+        .arg("-o")
+        .arg(&dir)
+        .args(["--procs", "2x2", "--trace"])
+        .arg(&trace_path)
+        .output()
+        .expect("mscc runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.contains("critical path: rank"), "{stdout}");
+    assert!(stdout.contains("slowest"), "{stdout}");
+    assert!(stdout.contains("wrote stitched chrome://tracing profile (4 ranks)"), "{stdout}");
+
+    let json = std::fs::read_to_string(&trace_path).unwrap();
+    let summary = msc::trace::validate_chrome_json(&json).expect("structurally valid");
+    assert_eq!(summary.ranks, vec![0, 1, 2, 3], "spans from all four ranks");
+    assert!(summary.flow_pairs > 0, "halo send->recv flow arrows present");
+    assert_eq!(summary.unmatched_flows, 0, "every flow id pairs up");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn flight_dir_captures_comm_fault_dump() {
+    // --flight-dir wires the always-on flight recorder: a chaos kill
+    // must leave a structured JSON dump naming the failure.
+    let dir = std::env::temp_dir().join("mscc_cli_flight");
+    let flight = std::env::temp_dir().join("mscc_cli_flight_dumps");
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&flight);
+    let out = mscc()
+        .arg(dsl("wave2d.msc"))
+        .arg("-o")
+        .arg(&dir)
+        .args(["--procs", "2x1", "--chaos", "1:kill=1@3", "--checkpoint-every", "2"])
+        .arg("--flight-dir")
+        .arg(&flight)
+        .output()
+        .expect("mscc runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    let dumps: Vec<_> = std::fs::read_dir(&flight)
+        .expect("flight dir exists")
+        .filter_map(|e| e.ok())
+        .filter(|e| {
+            let n = e.file_name();
+            let n = n.to_string_lossy().into_owned();
+            n.starts_with("flight_") && n.ends_with(".json")
+        })
+        .collect();
+    assert!(!dumps.is_empty(), "kill must dump the flight recorder");
+    let body = std::fs::read_to_string(dumps[0].path()).unwrap();
+    assert!(body.contains("\"flight_recorder\""), "{body}");
+    assert!(body.contains("\"reason\""), "{body}");
+    assert!(body.contains("\"kind\""), "{body}");
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&flight);
+}
+
+#[test]
+fn bench_records_validates_and_gates_regressions() {
+    // The recorded-trajectory cycle: record (quick grids), validate the
+    // schema, self-diff clean, then prove the gate fires on a doctored
+    // 20% slowdown — with a nonzero exit code.
+    let dir = std::env::temp_dir().join("mscc_cli_bench");
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::create_dir_all(&dir);
+    let base = dir.join("base.json");
+    let slowed = dir.join("slowed.json");
+
+    let rec = mscc()
+        .args(["bench", "--quick", "--out"])
+        .arg(&base)
+        .output()
+        .expect("mscc runs");
+    assert!(rec.status.success(), "{}", String::from_utf8_lossy(&rec.stderr));
+    let text = std::fs::read_to_string(&base).unwrap();
+    assert!(text.contains("\"schema_version\": 3"), "{text}");
+
+    let val = mscc().args(["bench", "--validate"]).arg(&base).output().unwrap();
+    assert!(val.status.success());
+
+    let clean = mscc()
+        .args(["bench", "--diff"])
+        .arg(&base)
+        .arg(&base)
+        .arg("--counts-only")
+        .output()
+        .unwrap();
+    assert!(clean.status.success(), "self-diff must be clean");
+
+    let doc = mscc()
+        .args(["bench", "--doctor"])
+        .arg(&base)
+        .arg(&slowed)
+        .output()
+        .unwrap();
+    assert!(doc.status.success());
+
+    let gate = mscc()
+        .args(["bench", "--diff"])
+        .arg(&base)
+        .arg(&slowed)
+        .output()
+        .unwrap();
+    assert!(!gate.status.success(), "20% slowdown must exit nonzero");
+    let err = String::from_utf8_lossy(&gate.stderr);
+    assert!(err.contains("regression"), "{err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
