@@ -1,9 +1,10 @@
 //! Recorded benchmark trajectory: a fixed, schema-versioned suite whose
-//! results are committed at the repo root (`BENCH_0003.json`) so the
+//! results are committed at the repo root (`BENCH_0004.json`) so the
 //! project's performance history rides along with its code history.
 //!
-//! The suite runs two serial and two distributed stencil workloads and
-//! records two kinds of metric per case:
+//! The suite runs two serial and two distributed stencil workloads, plus
+//! a scheduler A/B case (persistent worker pool vs per-step thread
+//! respawn), and records two kinds of metric per case:
 //!
 //! * **count** metrics (computed points, tiles, halo messages) — exact
 //!   and deterministic; any change between two recordings is a
@@ -29,10 +30,10 @@ use msc_trace::Hist;
 use std::time::Instant;
 
 /// Schema version of the trajectory document; bump on layout changes.
-pub const SCHEMA_VERSION: u64 = 3;
+pub const SCHEMA_VERSION: u64 = 4;
 
 /// Canonical file name of the committed trajectory recording.
-pub const BENCH_FILE: &str = "BENCH_0003.json";
+pub const BENCH_FILE: &str = "BENCH_0004.json";
 
 /// Default relative slowdown on a time metric that counts as a
 /// regression (ISSUE: >15%).
@@ -46,6 +47,9 @@ struct CaseSpec {
     steps: usize,
     /// `None` runs serially; `Some` runs distributed over this grid.
     procs: Option<&'static [usize]>,
+    /// Run the case twice — persistent worker pool vs per-step thread
+    /// respawn — and record both walls plus the speedup. Serial only.
+    pool_compare: bool,
 }
 
 /// The fixed suite. Order and names are part of the schema: diffs match
@@ -58,6 +62,7 @@ const SUITE: &[CaseSpec] = &[
         quick_grid: &[32, 32],
         steps: 8,
         procs: None,
+        pool_compare: false,
     },
     CaseSpec {
         name: "s3d7pt_star_serial",
@@ -66,6 +71,7 @@ const SUITE: &[CaseSpec] = &[
         quick_grid: &[16, 16, 16],
         steps: 4,
         procs: None,
+        pool_compare: false,
     },
     CaseSpec {
         name: "s2d9pt_box_dist_2x2",
@@ -74,6 +80,7 @@ const SUITE: &[CaseSpec] = &[
         quick_grid: &[32, 32],
         steps: 8,
         procs: Some(&[2, 2]),
+        pool_compare: false,
     },
     CaseSpec {
         name: "s3d7pt_star_dist_2x2x1",
@@ -82,6 +89,16 @@ const SUITE: &[CaseSpec] = &[
         quick_grid: &[16, 16, 16],
         steps: 4,
         procs: Some(&[2, 2, 1]),
+        pool_compare: false,
+    },
+    CaseSpec {
+        name: "s3d7pt_star_pool_vs_respawn",
+        bench: BenchmarkId::S3d7ptStar,
+        grid: &[12, 12, 12],
+        quick_grid: &[8, 8, 8],
+        steps: 100,
+        procs: None,
+        pool_compare: true,
     },
 ];
 
@@ -107,32 +124,69 @@ fn run_case(spec: &CaseSpec, quick: bool) -> Result<Json> {
     let init: Grid<f64> = Grid::random(&p.grid.shape, &p.grid.halo, 42);
     let mut metrics = Vec::new();
     let wall_ns;
-    match spec.procs {
-        None => {
-            let plan = sub_plan(grid)?;
-            let t0 = Instant::now();
-            let (_, stats) = run_program(&p, &Executor::Tiled(plan), &init)?;
-            wall_ns = t0.elapsed().as_nanos() as f64;
-            metrics.push(metric("wall_ns", "time", wall_ns));
-            metrics.push(metric(
-                "computed_points",
-                "count",
-                stats.computed_points() as f64,
-            ));
-            metrics.push(metric("tiles_executed", "count", stats.tiles_executed as f64));
-            metrics.push(metric("steps", "count", stats.steps as f64));
-        }
-        Some(procs) => {
-            let t0 = Instant::now();
-            let (_, stats) = run_distributed(&p, procs, &init, sub_plan)?;
-            wall_ns = t0.elapsed().as_nanos() as f64;
-            metrics.push(metric("wall_ns", "time", wall_ns));
-            metrics.push(metric("halo_messages", "count", stats.messages as f64));
-            metrics.push(metric("retransmits", "count", stats.retransmits() as f64));
-            metrics.push(metric("steps", "count", stats.steps as f64));
-            let wait = stats.hists.get(Hist::HaloWaitNanos);
-            if !wait.is_empty() {
-                metrics.push(metric("halo_wait_p90_ns", "time", wait.p90() as f64));
+    if spec.pool_compare {
+        // A/B the schedulers on the identical program: persistent pool
+        // first, then the legacy per-step respawn path. Only scheduling
+        // differs, so the counts are shared and the outputs bit-identical
+        // (enforced by crates/exec/tests/pool_determinism.rs).
+        let exec = Executor::Tiled(sub_plan(grid)?);
+        msc_exec::pool::set_persistent(true);
+        let t0 = Instant::now();
+        let (_, stats) = run_program(&p, &exec, &init)?;
+        let pool_ns = t0.elapsed().as_nanos() as f64;
+        msc_exec::pool::set_persistent(false);
+        let t1 = Instant::now();
+        let respawn = run_program(&p, &exec, &init);
+        let respawn_ns = t1.elapsed().as_nanos() as f64;
+        msc_exec::pool::set_persistent(true);
+        respawn?;
+        wall_ns = pool_ns;
+        metrics.push(metric("wall_ns", "time", pool_ns));
+        metrics.push(metric("respawn_wall_ns", "time", respawn_ns));
+        metrics.push(metric("pool_speedup", "time", respawn_ns / pool_ns));
+        metrics.push(metric(
+            "computed_points",
+            "count",
+            stats.computed_points() as f64,
+        ));
+        metrics.push(metric(
+            "tiles_executed",
+            "count",
+            stats.tiles_executed as f64,
+        ));
+        metrics.push(metric("steps", "count", stats.steps as f64));
+    } else {
+        match spec.procs {
+            None => {
+                let plan = sub_plan(grid)?;
+                let t0 = Instant::now();
+                let (_, stats) = run_program(&p, &Executor::Tiled(plan), &init)?;
+                wall_ns = t0.elapsed().as_nanos() as f64;
+                metrics.push(metric("wall_ns", "time", wall_ns));
+                metrics.push(metric(
+                    "computed_points",
+                    "count",
+                    stats.computed_points() as f64,
+                ));
+                metrics.push(metric(
+                    "tiles_executed",
+                    "count",
+                    stats.tiles_executed as f64,
+                ));
+                metrics.push(metric("steps", "count", stats.steps as f64));
+            }
+            Some(procs) => {
+                let t0 = Instant::now();
+                let (_, stats) = run_distributed(&p, procs, &init, sub_plan)?;
+                wall_ns = t0.elapsed().as_nanos() as f64;
+                metrics.push(metric("wall_ns", "time", wall_ns));
+                metrics.push(metric("halo_messages", "count", stats.messages as f64));
+                metrics.push(metric("retransmits", "count", stats.retransmits() as f64));
+                metrics.push(metric("steps", "count", stats.steps as f64));
+                let wait = stats.hists.get(Hist::HaloWaitNanos);
+                if !wait.is_empty() {
+                    metrics.push(metric("halo_wait_p90_ns", "time", wait.p90() as f64));
+                }
             }
         }
     }
@@ -179,7 +233,8 @@ pub fn run_suite(quick: bool) -> Result<Json> {
 }
 
 fn require<'a>(doc: &'a Json, key: &str, ctx: &str) -> std::result::Result<&'a Json, String> {
-    doc.get(key).ok_or_else(|| format!("{ctx}: missing `{key}`"))
+    doc.get(key)
+        .ok_or_else(|| format!("{ctx}: missing `{key}`"))
 }
 
 /// Schema-check a trajectory document: version, required fields, and
@@ -303,9 +358,7 @@ pub fn diff(
         };
         let new_metrics = metrics_of(nc);
         for (mname, kind, old_v) in metrics_of(oc) {
-            let Some(&(_, _, new_v)) =
-                new_metrics.iter().find(|(n, _, _)| *n == mname)
-            else {
+            let Some(&(_, _, new_v)) = new_metrics.iter().find(|(n, _, _)| *n == mname) else {
                 regressions.push(Regression {
                     case: name.into(),
                     metric: mname.into(),
@@ -328,9 +381,9 @@ pub fn diff(
                     }
                 }
                 _ if counts_only => {}
-                // Throughput-style time metrics regress downward; raw
-                // latencies regress upward.
-                _ if mname.contains("per_s") => {
+                // Bigger-is-better time metrics (throughput, speedup
+                // ratios) regress downward; raw latencies regress upward.
+                _ if mname.contains("per_s") || mname.contains("speedup") => {
                     if new_v < old_v * (1.0 - threshold) {
                         regressions.push(Regression {
                             case: name.into(),
@@ -382,7 +435,7 @@ pub fn scale_times(doc: &Json, factor: f64) -> Json {
                         .map(|(k, v)| {
                             if is_time_metric && k == "value" {
                                 let v0 = v.as_f64().unwrap_or(0.0);
-                                let scaled = if name.contains("per_s") {
+                                let scaled = if name.contains("per_s") || name.contains("speedup") {
                                     v0 / factor
                                 } else {
                                     v0 * factor
@@ -414,20 +467,24 @@ mod tests {
         validate(&back).unwrap();
         assert_eq!(
             back.get("cases").and_then(Json::as_arr).map(|c| c.len()),
-            Some(4)
+            Some(5)
         );
     }
 
     #[test]
     fn self_diff_is_clean_and_doctored_diff_fires() {
         let doc = run_suite(true).unwrap();
-        assert!(diff(&doc, &doc, DEFAULT_THRESHOLD, false).unwrap().is_empty());
+        assert!(diff(&doc, &doc, DEFAULT_THRESHOLD, false)
+            .unwrap()
+            .is_empty());
         let slowed = scale_times(&doc, 1.2);
         let regs = diff(&doc, &slowed, DEFAULT_THRESHOLD, false).unwrap();
         assert!(!regs.is_empty(), "20% slowdown must trip a 15% gate");
         assert!(regs.iter().all(|r| r.detail.contains("%")), "{regs:?}");
         // Counts are untouched by the doctoring, so counts-only stays clean.
-        assert!(diff(&doc, &slowed, DEFAULT_THRESHOLD, true).unwrap().is_empty());
+        assert!(diff(&doc, &slowed, DEFAULT_THRESHOLD, true)
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
@@ -453,9 +510,7 @@ mod tests {
                                         if let Json::Obj(mf) = m {
                                             for (mk, mv) in mf.iter_mut() {
                                                 if mk == "value" {
-                                                    *mv = Json::n(
-                                                        mv.as_f64().unwrap() + 1.0,
-                                                    );
+                                                    *mv = Json::n(mv.as_f64().unwrap() + 1.0);
                                                 }
                                             }
                                         }
@@ -494,13 +549,16 @@ mod tests {
     fn validator_rejects_bad_documents() {
         for (bad, why) in [
             ("{}", "missing version"),
-            ("{\"schema_version\": 2, \"suite\": \"x\", \"cases\": []}", "old version"),
             (
                 "{\"schema_version\": 3, \"suite\": \"x\", \"cases\": []}",
+                "old version",
+            ),
+            (
+                "{\"schema_version\": 4, \"suite\": \"x\", \"cases\": []}",
                 "no cases",
             ),
             (
-                "{\"schema_version\": 3, \"suite\": \"x\", \"cases\": [{\"name\": \"c\", \
+                "{\"schema_version\": 4, \"suite\": \"x\", \"cases\": [{\"name\": \"c\", \
                  \"metrics\": [{\"name\": \"m\", \"kind\": \"weird\", \"value\": 1}]}]}",
                 "bad kind",
             ),

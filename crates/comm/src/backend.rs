@@ -17,9 +17,42 @@ use crate::decomp::CartDecomp;
 use crate::error::CommError;
 use crate::halo::HaloExchange;
 use crate::region::Region;
-use crate::runtime::{RankCtx, Wire};
+use crate::runtime::{RankCtx, RecvRequest, Wire};
 use msc_exec::{Grid, Scalar};
 use msc_trace::Counter;
+
+/// In-flight state of a split-phase halo exchange, between
+/// [`HaloBackend::exchange_begin`] and [`HaloBackend::exchange_finish`].
+/// Opaque to callers; each backend stores what its finish phase needs.
+pub struct PendingExchange {
+    sent: usize,
+    inner: PendingInner,
+}
+
+enum PendingInner {
+    /// Backend has no split-phase support; finish runs the full exchange.
+    NotStarted,
+    /// Everything already posted *and* completed in the begin phase (or
+    /// there was nothing to exchange).
+    Done,
+    /// Dimension-ordered: one dimension posted, the rest still to run.
+    DimOrdered {
+        dim: usize,
+        reqs: Vec<(i64, RecvRequest)>,
+    },
+    /// GCL-style: every neighbour posted, all waits still to run.
+    FullNeighbor {
+        reqs: Vec<(Vec<i64>, RecvRequest)>,
+    },
+}
+
+impl PendingExchange {
+    /// `true` if the begin phase actually posted messages, i.e. finish
+    /// will only wait/unpack (and possibly post later dimensions).
+    pub fn started(&self) -> bool {
+        !matches!(self.inner, PendingInner::NotStarted)
+    }
+}
 
 /// A halo-exchange strategy: publish the halo of `grid` for this rank.
 /// Returns the number of messages sent; unrecoverable faults (timeout,
@@ -33,6 +66,47 @@ pub trait HaloBackend: Sync {
         slot: usize,
     ) -> Result<usize, CommError>;
     fn decomp(&self) -> &CartDecomp;
+
+    /// Initiate the exchange: pack what can be packed without waiting and
+    /// post the isend/irecv pairs, reading **only** the inner halo band
+    /// of `grid` — the caller may keep computing interior cells (those at
+    /// least `reach` away from every face) while the messages are in
+    /// flight. Counts the chaos exchange round exactly once; the matching
+    /// [`HaloBackend::exchange_finish`] must not count another.
+    ///
+    /// The default implementation posts nothing and defers the whole
+    /// exchange to `exchange_finish`.
+    fn exchange_begin<T: Scalar + Wire>(
+        &self,
+        _ctx: &mut RankCtx<T>,
+        _grid: &Grid<T>,
+        _slot: usize,
+    ) -> Result<PendingExchange, CommError> {
+        Ok(PendingExchange {
+            sent: 0,
+            inner: PendingInner::NotStarted,
+        })
+    }
+
+    /// Complete an exchange started by [`HaloBackend::exchange_begin`]:
+    /// wait for the posted messages, unpack into the halo, and run any
+    /// remaining ordered phases. Returns the total number of messages
+    /// sent across both phases.
+    fn exchange_finish<T: Scalar + Wire>(
+        &self,
+        ctx: &mut RankCtx<T>,
+        grid: &mut Grid<T>,
+        slot: usize,
+        pending: PendingExchange,
+    ) -> Result<usize, CommError> {
+        match pending.inner {
+            PendingInner::NotStarted => self.exchange(ctx, grid, slot),
+            PendingInner::Done => Ok(pending.sent),
+            // The defaults never build these; a backend that overrides
+            // `exchange_begin` must override `exchange_finish` too.
+            _ => unreachable!("backend overrode exchange_begin but not exchange_finish"),
+        }
+    }
 }
 
 impl HaloBackend for HaloExchange {
@@ -51,6 +125,60 @@ impl HaloBackend for HaloExchange {
 
     fn decomp(&self) -> &CartDecomp {
         &self.decomp
+    }
+
+    /// Post the **first** exchanged dimension only. Its send regions read
+    /// the pure inner halo band, which boundary tiles have already
+    /// written; later dimensions' packs read halo cells received in
+    /// earlier phases (`exch_span` widens dims `< dim` to the padded
+    /// range), so they cannot be posted before their predecessors
+    /// complete and stay in the finish phase.
+    fn exchange_begin<T: Scalar + Wire>(
+        &self,
+        ctx: &mut RankCtx<T>,
+        grid: &Grid<T>,
+        slot: usize,
+    ) -> Result<PendingExchange, CommError> {
+        let _span = msc_trace::span("halo_exchange");
+        ctx.begin_exchange()?;
+        let Some(dim) = (0..self.decomp.ndim()).find(|&d| self.decomp.reach[d] > 0) else {
+            return Ok(PendingExchange {
+                sent: 0,
+                inner: PendingInner::Done,
+            });
+        };
+        let (sent, reqs) = self.post_dim(ctx, grid, slot, dim)?;
+        Ok(PendingExchange {
+            sent,
+            inner: PendingInner::DimOrdered { dim, reqs },
+        })
+    }
+
+    fn exchange_finish<T: Scalar + Wire>(
+        &self,
+        ctx: &mut RankCtx<T>,
+        grid: &mut Grid<T>,
+        slot: usize,
+        pending: PendingExchange,
+    ) -> Result<usize, CommError> {
+        let PendingInner::DimOrdered { dim, reqs } = pending.inner else {
+            return match pending.inner {
+                PendingInner::NotStarted => self.exchange(ctx, grid, slot),
+                _ => Ok(pending.sent),
+            };
+        };
+        let _span = msc_trace::span("halo_exchange");
+        let mut sent = pending.sent;
+        self.wait_dim(ctx, grid, dim, reqs)?;
+        for d in dim + 1..self.decomp.ndim() {
+            if self.decomp.reach[d] == 0 {
+                continue;
+            }
+            let (n, p) = self.post_dim(ctx, grid, slot, d)?;
+            sent += n;
+            self.wait_dim(ctx, grid, d, p)?;
+        }
+        Ok(sent)
     }
 }
 
@@ -161,12 +289,29 @@ impl HaloBackend for FullNeighborExchange {
         grid: &mut Grid<T>,
         slot: usize,
     ) -> Result<usize, CommError> {
+        let pending = HaloBackend::exchange_begin(self, ctx, grid, slot)?;
+        HaloBackend::exchange_finish(self, ctx, grid, slot, pending)
+    }
+
+    fn decomp(&self) -> &CartDecomp {
+        &self.decomp
+    }
+
+    /// Single-phase protocol: every send block reads the pure interior
+    /// (never a halo cell), so *all* `3^d − 1` messages can be posted up
+    /// front and the whole communication overlaps interior compute.
+    fn exchange_begin<T: Scalar + Wire>(
+        &self,
+        ctx: &mut RankCtx<T>,
+        grid: &Grid<T>,
+        slot: usize,
+    ) -> Result<PendingExchange, CommError> {
         let _span = msc_trace::span("halo_exchange");
         ctx.begin_exchange()?;
         let ndim = self.decomp.ndim();
         let offsets = Self::offsets(ndim);
         let mut sent = 0;
-        let mut pending = Vec::new();
+        let mut reqs = Vec::new();
         // Phase 1: post everything.
         for (i, v) in offsets.iter().enumerate() {
             if let Some(nb) = self.neighbor_at(ctx.rank, v) {
@@ -186,20 +331,36 @@ impl HaloBackend for FullNeighborExchange {
                 let neg: Vec<i64> = v.iter().map(|&o| -o).collect();
                 let neg_idx = offsets.iter().position(|o| o == &neg).expect("mirror");
                 let req = ctx.irecv(nb, Self::tag(slot, neg_idx));
-                pending.push((v.clone(), req));
+                reqs.push((v.clone(), req));
             }
         }
+        Ok(PendingExchange {
+            sent,
+            inner: PendingInner::FullNeighbor { reqs },
+        })
+    }
+
+    fn exchange_finish<T: Scalar + Wire>(
+        &self,
+        ctx: &mut RankCtx<T>,
+        grid: &mut Grid<T>,
+        slot: usize,
+        pending: PendingExchange,
+    ) -> Result<usize, CommError> {
+        let PendingInner::FullNeighbor { reqs } = pending.inner else {
+            return match pending.inner {
+                PendingInner::NotStarted => HaloBackend::exchange(self, ctx, grid, slot),
+                _ => Ok(pending.sent),
+            };
+        };
+        let _span = msc_trace::span("halo_exchange");
         // Phase 2: complete and unpack.
-        for (v, req) in pending {
+        for (v, req) in reqs {
             let data = ctx.wait(req)?;
             let _t = msc_trace::timed_hist(Counter::UnpackNanos, msc_trace::Hist::UnpackHistNanos);
             self.recv_block(&v).unpack(grid, &data);
         }
-        Ok(sent)
-    }
-
-    fn decomp(&self) -> &CartDecomp {
-        &self.decomp
+        Ok(pending.sent)
     }
 }
 

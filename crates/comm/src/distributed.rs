@@ -14,7 +14,7 @@ use crate::region::Region;
 use crate::runtime::{ReliabilityConfig, Wire, World, WorldConfig};
 use msc_core::error::{MscError, Result};
 use msc_core::prelude::*;
-use msc_core::schedule::plan::ExecPlan;
+use msc_core::schedule::plan::{ExecPlan, TileRange};
 use msc_core::schedule::WindowPlan;
 use msc_exec::boundary::{self, Boundary};
 use msc_exec::compiled::CompiledStencil;
@@ -203,6 +203,12 @@ pub struct RunOptions {
     /// How many times a failed run may be restarted (from the latest
     /// complete checkpoint if one exists, else from the initial state).
     pub max_restarts: usize,
+    /// Communication–computation overlap: compute boundary tiles first,
+    /// initiate the halo exchange, compute interior tiles while the
+    /// messages are in flight, then complete the exchange. Bit-identical
+    /// to the sequential schedule (same tile partition, same per-tile
+    /// arithmetic); on by default.
+    pub overlap: bool,
 }
 
 impl Default for RunOptions {
@@ -213,8 +219,42 @@ impl Default for RunOptions {
             checkpoint_dir: None,
             checkpoint_every: 0,
             max_restarts: 3,
+            overlap: true,
         }
     }
+}
+
+/// Partition the plan's tiles into (boundary, interior) for this rank:
+/// a tile is **boundary** iff it owns at least one cell of the inner
+/// halo band that some neighbour will receive — i.e. for some dim `d`
+/// with `reach[d] > 0`, the tile intersects the band of width `reach[d]`
+/// against a face that has a neighbour. Corner/edge blocks are covered
+/// because a diagonal neighbour only exists where the face neighbours
+/// do. The halo exchange may be initiated as soon as the boundary tiles
+/// have been computed; interior tiles touch none of the packed cells.
+fn split_tiles(
+    tiles: &[TileRange],
+    decomp: &CartDecomp,
+    rank: usize,
+) -> (Vec<TileRange>, Vec<TileRange>) {
+    let sub = decomp.sub_extent();
+    let mut boundary = Vec::new();
+    let mut interior = Vec::new();
+    for tile in tiles {
+        let is_boundary = (0..decomp.ndim()).any(|d| {
+            let r = decomp.reach[d];
+            r > 0
+                && ((decomp.neighbor(rank, d, -1).is_some() && tile.origin[d] < r)
+                    || (decomp.neighbor(rank, d, 1).is_some()
+                        && tile.origin[d] + tile.extent[d] > sub[d] - r))
+        });
+        if is_boundary {
+            boundary.push(tile.clone());
+        } else {
+            interior.push(tile.clone());
+        }
+    }
+    (boundary, interior)
 }
 
 /// Fault-tolerant distributed run: chaos injection, reliable halo
@@ -304,6 +344,11 @@ pub fn run_distributed_opts<T: Scalar + Wire, B: crate::backend::HaloBackend>(
                 }
                 let mut counters = CounterSet::new();
                 let mut hists = HistSet::new();
+                // Boundary/interior split for communication overlap,
+                // computed once per attempt from the fixed tile partition.
+                let tiles = plan.tiles();
+                let (boundary_tiles, interior_tiles) =
+                    split_tiles(&tiles, &decomp, ctx.rank);
 
                 for s in start..program.timesteps {
                     // Rank-tagged step span (arg = step index) feeding the
@@ -315,26 +360,87 @@ pub fn run_distributed_opts<T: Scalar + Wire, B: crate::backend::HaloBackend>(
                     let out_slot = window.output_slot(t);
                     let mut out =
                         std::mem::replace(&mut ring[out_slot], Grid::zeros(&[1], &[0]));
+                    let exchanging = s + 1 < program.timesteps;
                     {
                         let inputs: Vec<&Grid<T>> = (1..=compiled.max_dt)
                             .map(|dt| window.input_slot(t, dt).map(|slot| &ring[slot]))
                             .collect::<Result<_>>()?;
-                        match spm_capacity {
-                            None => {
-                                let tiles = tiled::step(&compiled, plan, &inputs, &mut out);
-                                counters.bump(Counter::TilesExecuted, tiles as u64);
+                        if exchanging && opts.overlap {
+                            // Overlapped schedule: boundary wave → initiate
+                            // the exchange → interior wave (concurrent with
+                            // the messages) → complete. The wait inside
+                            // `exchange_finish` still lands in the
+                            // HaloWait histogram via `ctx.wait`.
+                            match spm_capacity {
+                                None => {
+                                    tiled::step_tiles(
+                                        &compiled, plan, &inputs, &mut out, &boundary_tiles,
+                                    );
+                                    let pending =
+                                        exchanger.exchange_begin(&mut ctx, &out, out_slot)?;
+                                    let t0 = Instant::now();
+                                    tiled::step_tiles(
+                                        &compiled, plan, &inputs, &mut out, &interior_tiles,
+                                    );
+                                    let overlap_ns = t0.elapsed().as_nanos() as u64;
+                                    counters.bump(Counter::OverlapNanos, overlap_ns);
+                                    counters.bump(Counter::TilesExecuted, tiles.len() as u64);
+                                    msc_trace::record(Counter::OverlapNanos, overlap_ns);
+                                    msc_trace::record(
+                                        Counter::TilesExecuted,
+                                        tiles.len() as u64,
+                                    );
+                                    exchanger
+                                        .exchange_finish(&mut ctx, &mut out, out_slot, pending)?;
+                                }
+                                Some(cap) => {
+                                    let mut st = msc_exec::spm::step_tiles(
+                                        &compiled,
+                                        plan,
+                                        &inputs,
+                                        &mut out,
+                                        cap,
+                                        &boundary_tiles,
+                                    )?;
+                                    let pending =
+                                        exchanger.exchange_begin(&mut ctx, &out, out_slot)?;
+                                    let t0 = Instant::now();
+                                    st.merge(&msc_exec::spm::step_tiles(
+                                        &compiled,
+                                        plan,
+                                        &inputs,
+                                        &mut out,
+                                        cap,
+                                        &interior_tiles,
+                                    )?);
+                                    let overlap_ns = t0.elapsed().as_nanos() as u64;
+                                    counters.bump(Counter::OverlapNanos, overlap_ns);
+                                    counters.merge(&st.counters());
+                                    msc_trace::record(Counter::OverlapNanos, overlap_ns);
+                                    msc_trace::record_set(&st.counters());
+                                    exchanger
+                                        .exchange_finish(&mut ctx, &mut out, out_slot, pending)?;
+                                }
                             }
-                            Some(cap) => {
-                                let st =
-                                    msc_exec::spm::step(&compiled, plan, &inputs, &mut out, cap)?;
-                                counters.merge(&st.counters());
+                        } else {
+                            match spm_capacity {
+                                None => {
+                                    let n = tiled::step(&compiled, plan, &inputs, &mut out);
+                                    counters.bump(Counter::TilesExecuted, n as u64);
+                                }
+                                Some(cap) => {
+                                    let st = msc_exec::spm::step(
+                                        &compiled, plan, &inputs, &mut out, cap,
+                                    )?;
+                                    counters.merge(&st.counters());
+                                }
+                            }
+                            // Publish the new state's halo to the neighbours
+                            // before anyone (including us) reads it next step.
+                            if exchanging {
+                                exchanger.exchange(&mut ctx, &mut out, out_slot)?;
                             }
                         }
-                    }
-                    // Publish the new state's halo to the neighbours before
-                    // anyone (including us) reads it next step.
-                    if s + 1 < program.timesteps {
-                        exchanger.exchange(&mut ctx, &mut out, out_slot)?;
                     }
                     ring[out_slot] = out;
                     // Snapshot after the step (and its exchange) fully

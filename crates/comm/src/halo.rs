@@ -5,7 +5,7 @@
 
 use crate::decomp::CartDecomp;
 use crate::error::CommError;
-use crate::runtime::{RankCtx, Wire};
+use crate::runtime::{RankCtx, RecvRequest, Wire};
 use msc_exec::{Grid, Scalar};
 use msc_trace::Counter;
 
@@ -46,33 +46,62 @@ impl HaloExchange {
             if self.decomp.reach[dim] == 0 {
                 continue;
             }
-            let mut pending = Vec::new();
-            for dir in [-1i64, 1] {
-                if let Some(nb) = self.decomp.neighbor(ctx.rank, dim, dir) {
-                    let payload = {
-                        let _t = msc_trace::timed_hist(Counter::PackNanos, msc_trace::Hist::PackHistNanos);
-                        self.decomp.send_region(dim, dir).pack(grid)
-                    };
-                    let bytes = (payload.len() * std::mem::size_of::<T>()) as u64;
-                    ctx.counters.bump(Counter::HaloMessages, 1);
-                    ctx.counters.bump(Counter::HaloBytes, bytes);
-                    msc_trace::record(Counter::HaloMessages, 1);
-                    msc_trace::record(Counter::HaloBytes, bytes);
-                    ctx.isend(nb, Self::tag(slot, dim, dir), payload)?;
-                    sent += 1;
-                    // The neighbour sends back with the *opposite*
-                    // direction tag (its face toward us).
-                    let req = ctx.irecv(nb, Self::tag(slot, dim, -dir));
-                    pending.push((dir, req));
-                }
-            }
-            for (dir, req) in pending {
-                let data = ctx.wait(req)?;
-                let _t = msc_trace::timed_hist(Counter::UnpackNanos, msc_trace::Hist::UnpackHistNanos);
-                self.decomp.recv_region(dim, dir).unpack(grid, &data);
-            }
+            let (n, pending) = self.post_dim(ctx, grid, slot, dim)?;
+            sent += n;
+            self.wait_dim(ctx, grid, dim, pending)?;
         }
         Ok(sent)
+    }
+
+    /// Pack and post (isend + irecv) both faces of one dimension.
+    /// Reads only the inner halo band of `grid` for dims `>= dim`
+    /// (`exch_span` uses the full padded range only for dims `< dim`,
+    /// whose halo must already be fresh).
+    pub(crate) fn post_dim<T: Scalar + Wire>(
+        &self,
+        ctx: &mut RankCtx<T>,
+        grid: &Grid<T>,
+        slot: usize,
+        dim: usize,
+    ) -> Result<(usize, Vec<(i64, RecvRequest)>), CommError> {
+        let mut sent = 0;
+        let mut pending = Vec::new();
+        for dir in [-1i64, 1] {
+            if let Some(nb) = self.decomp.neighbor(ctx.rank, dim, dir) {
+                let payload = {
+                    let _t = msc_trace::timed_hist(Counter::PackNanos, msc_trace::Hist::PackHistNanos);
+                    self.decomp.send_region(dim, dir).pack(grid)
+                };
+                let bytes = (payload.len() * std::mem::size_of::<T>()) as u64;
+                ctx.counters.bump(Counter::HaloMessages, 1);
+                ctx.counters.bump(Counter::HaloBytes, bytes);
+                msc_trace::record(Counter::HaloMessages, 1);
+                msc_trace::record(Counter::HaloBytes, bytes);
+                ctx.isend(nb, Self::tag(slot, dim, dir), payload)?;
+                sent += 1;
+                // The neighbour sends back with the *opposite*
+                // direction tag (its face toward us).
+                let req = ctx.irecv(nb, Self::tag(slot, dim, -dir));
+                pending.push((dir, req));
+            }
+        }
+        Ok((sent, pending))
+    }
+
+    /// Complete one dimension's posted faces and unpack into the halo.
+    pub(crate) fn wait_dim<T: Scalar + Wire>(
+        &self,
+        ctx: &mut RankCtx<T>,
+        grid: &mut Grid<T>,
+        dim: usize,
+        pending: Vec<(i64, RecvRequest)>,
+    ) -> Result<(), CommError> {
+        for (dir, req) in pending {
+            let data = ctx.wait(req)?;
+            let _t = msc_trace::timed_hist(Counter::UnpackNanos, msc_trace::Hist::UnpackHistNanos);
+            self.decomp.recv_region(dim, dir).unpack(grid, &data);
+        }
+        Ok(())
     }
 }
 

@@ -170,6 +170,7 @@ fn killed_rank_restarts_from_checkpoint_and_matches_golden() {
         checkpoint_dir: Some(dir.clone()),
         checkpoint_every: 2,
         max_restarts: 2,
+        ..RunOptions::default()
     };
     let (out, stats) = run_distributed_resilient(
         &p,

@@ -25,6 +25,7 @@ pub mod compiled;
 pub mod driver;
 pub mod grid;
 pub mod io;
+pub mod pool;
 pub mod reference;
 pub mod spm;
 pub mod temporal;

@@ -15,6 +15,7 @@
 
 use crate::compiled::CompiledStencil;
 use crate::grid::{Grid, GridLayout, Scalar};
+use crate::pool::{self, SendPtr};
 use msc_core::error::{MscError, Result};
 use msc_core::schedule::plan::{ExecPlan, TileRange};
 use msc_trace::{Counter, CounterSet};
@@ -35,7 +36,8 @@ pub struct SpmStats {
 }
 
 impl SpmStats {
-    fn merge(&mut self, other: &SpmStats) {
+    /// Fold another step fragment in (sums traffic, maxes the peak).
+    pub fn merge(&mut self, other: &SpmStats) {
         self.dma_get_bytes += other.dma_get_bytes;
         self.dma_put_bytes += other.dma_put_bytes;
         self.dma_rows += other.dma_rows;
@@ -54,10 +56,6 @@ impl SpmStats {
         c
     }
 }
-
-struct SendPtr<T>(*mut T);
-unsafe impl<T> Send for SendPtr<T> {}
-unsafe impl<T> Sync for SendPtr<T> {}
 
 /// Per-worker SPM emulation: owns one read buffer and one write buffer
 /// ("global" scope in the paper — allocated once, reused across tiles and
@@ -249,6 +247,24 @@ pub fn step<T: Scalar>(
     spm_capacity: usize,
 ) -> Result<SpmStats> {
     let _span = msc_trace::span("spm_step");
+    let tiles = plan.tiles();
+    let total = step_tiles(stencil, plan, states, out, spm_capacity, &tiles)?;
+    msc_trace::record_set(&total.counters());
+    Ok(total)
+}
+
+/// SPM-stage exactly the given tiles (a subset of the plan's partition).
+/// Used by the distributed driver to run the boundary and interior waves
+/// of a step separately; does **not** publish the counters globally — the
+/// caller merges the returned fragments and owns the step's `record_set`.
+pub fn step_tiles<T: Scalar>(
+    stencil: &CompiledStencil<T>,
+    plan: &ExecPlan,
+    states: &[&Grid<T>],
+    out: &mut Grid<T>,
+    spm_capacity: usize,
+    tiles: &[TileRange],
+) -> Result<SpmStats> {
     let probe: SpmWorker<T> = SpmWorker::new(plan, &stencil.reach);
     // Double-buffered streaming keeps two copies of each buffer alive so
     // the DMA of tile k+1 overlaps the compute of tile k.
@@ -260,13 +276,12 @@ pub fn step<T: Scalar>(
     }
     drop(probe);
 
-    let tiles = plan.tiles();
-    let n_threads = plan.n_threads.min(tiles.len()).max(1);
     let layout = out.layout();
     let state_slices: Vec<&[T]> = states.iter().map(|g| g.as_slice()).collect();
-    let ptr = SendPtr(out.as_mut_slice().as_mut_ptr());
+    let ptr = SendPtr::new(out.as_mut_slice().as_mut_ptr());
+    let total = std::sync::Mutex::new(SpmStats::default());
 
-    let run_worker = |my_id: usize| -> SpmStats {
+    pool::run_tile_job(plan.n_threads, tiles.len(), &|q| {
         let _ws = msc_trace::span("spm_worker");
         // Capture the whole SendPtr (not just its field) so the closure
         // inherits its Send/Sync, not the raw pointer's.
@@ -276,58 +291,22 @@ pub fn step<T: Scalar>(
             spm_peak_bytes: worker.spm_bytes(),
             ..SpmStats::default()
         };
-        for tile in tiles.iter().skip(my_id).step_by(n_threads) {
+        for i in q.by_ref() {
+            let tile = &tiles[i];
             for (ti, term) in stencil.terms.iter().enumerate() {
                 let (gb, gr) = worker.dma_get(&layout, state_slices[term.dt - 1], tile);
                 worker.accumulate(&term.taps_nd, term.weight, tile, ti == 0);
                 stats.dma_get_bytes += gb;
                 stats.dma_rows += gr;
             }
-            let (pb, pr) = worker.dma_put(&layout, ptr.0, tile);
+            let (pb, pr) = worker.dma_put(&layout, ptr.get(), tile);
             stats.dma_put_bytes += pb;
             stats.dma_rows += pr;
             stats.tiles += 1;
         }
-        stats
-    };
-
-    let total = if n_threads == 1 {
-        run_worker(0)
-    } else {
-        let mut total = SpmStats::default();
-        crossbeam::thread::scope(|scope| {
-            let run = &run_worker;
-            let handles: Vec<_> = (0..n_threads)
-                .map(|my_id| {
-                    scope.spawn(move |_| {
-                        let stats = run(my_id);
-                        let finished_ns = if msc_trace::enabled() {
-                            msc_trace::spans::now_ns()
-                        } else {
-                            0
-                        };
-                        (stats, finished_ns)
-                    })
-                })
-                .collect();
-            let mut finished = Vec::with_capacity(n_threads);
-            for h in handles {
-                let (stats, fin) = h.join().expect("SPM worker panicked");
-                total.merge(&stats);
-                finished.push(fin);
-            }
-            // Imbalance at the implicit end-of-step barrier.
-            if msc_trace::enabled() {
-                let last = finished.iter().copied().max().unwrap_or(0);
-                let wait: u64 = finished.iter().map(|&f| last - f).sum();
-                msc_trace::record(Counter::BarrierWaitNanos, wait);
-            }
-        })
-        .expect("SPM scope failed");
-        total
-    };
-    msc_trace::record_set(&total.counters());
-    Ok(total)
+        total.lock().unwrap().merge(&stats);
+    });
+    Ok(total.into_inner().unwrap())
 }
 
 #[cfg(test)]

@@ -10,6 +10,7 @@
 
 use crate::compiled::CompiledStencil;
 use crate::grid::{Grid, GridLayout, Scalar};
+use crate::pool::{self, SendPtr};
 use msc_core::error::{MscError, Result};
 use msc_core::prelude::*;
 use msc_core::schedule::plan::{ExecPlan, TileRange};
@@ -24,10 +25,6 @@ pub struct TemporalStats {
     /// The redundant-computation factor: computed / (steps × points).
     pub redundancy: f64,
 }
-
-struct SendPtr<T>(*mut T);
-unsafe impl<T> Send for SendPtr<T> {}
-unsafe impl<T> Sync for SendPtr<T> {}
 
 /// Per-dimension staged range and per-step compute regions of one tile.
 struct TileGeometry {
@@ -160,7 +157,6 @@ pub fn run_temporal_tiled<T: Scalar>(
     let weight = compiled.terms[0].weight;
 
     let tiles = plan.tiles();
-    let n_threads = plan.n_threads.min(tiles.len()).max(1);
     let mut cur = init.clone();
     let mut next = init.clone();
     let mut stats = TemporalStats::default();
@@ -172,20 +168,21 @@ pub fn run_temporal_tiled<T: Scalar>(
         let computed = std::sync::atomic::AtomicU64::new(0);
         {
             let src = cur.as_slice();
-            let dst_ptr = SendPtr(next.as_mut_slice().as_mut_ptr());
+            let dst_ptr = SendPtr::new(next.as_mut_slice().as_mut_ptr());
             let layout_ref = &layout;
             let tiles_ref = &tiles;
             let reach_ref = &reach;
             let taps_ref = &taps;
             let computed_ref = &computed;
 
-            let work = |my_id: usize| {
+            let work = |q: &mut pool::TileQueue| {
                 let _ws = msc_trace::span("temporal_worker");
                 let dst_ptr = &dst_ptr;
                 let mut local_a: Vec<T> = Vec::new();
                 let mut local_b: Vec<T> = Vec::new();
                 let mut done = 0u64;
-                for tile in tiles_ref.iter().skip(my_id).step_by(n_threads) {
+                for ti in q.by_ref() {
+                    let tile = &tiles_ref[ti];
                     let geo = TileGeometry::new(tile, layout_ref, reach_ref, block);
                     local_a.clear();
                     local_a.resize(geo.len, T::default());
@@ -308,7 +305,7 @@ pub fn run_temporal_tiled<T: Scalar>(
                         unsafe {
                             std::ptr::copy_nonoverlapping(
                                 final_buf.as_ptr().add(l),
-                                dst_ptr.0.add(g),
+                                dst_ptr.get().add(g),
                                 row,
                             );
                         }
@@ -334,17 +331,7 @@ pub fn run_temporal_tiled<T: Scalar>(
                 computed_ref.fetch_add(done, std::sync::atomic::Ordering::Relaxed);
             };
 
-            if n_threads == 1 {
-                work(0);
-            } else {
-                crossbeam::thread::scope(|scope| {
-                    let work = &work;
-                    for my_id in 0..n_threads {
-                        scope.spawn(move |_| work(my_id));
-                    }
-                })
-                .expect("temporal tile worker panicked");
-            }
+            pool::run_tile_job(plan.n_threads, tiles.len(), &work);
         }
         std::mem::swap(&mut cur, &mut next);
         // `next` (the old cur) will be fully overwritten tile-by-tile in

@@ -4,16 +4,9 @@
 
 use crate::compiled::CompiledStencil;
 use crate::grid::{Grid, GridLayout, Scalar};
+use crate::pool::{self, SendPtr};
 use msc_core::schedule::plan::{ExecPlan, TileRange};
 use msc_trace::Counter;
-
-/// Raw mutable pointer that may cross threads. Safety: workers write
-/// disjoint tiles (the tile set partitions the interior, verified by
-/// `msc_core::schedule::plan` tests), so no two threads touch the same
-/// element.
-struct SendPtr<T>(*mut T);
-unsafe impl<T> Send for SendPtr<T> {}
-unsafe impl<T> Sync for SendPtr<T> {}
 
 /// Compute one tile into `out_ptr` (the padded output buffer).
 fn compute_tile<T: Scalar>(
@@ -61,54 +54,35 @@ pub fn step<T: Scalar>(
 ) -> usize {
     let _span = msc_trace::span("tiled_step");
     let tiles = plan.tiles();
-    let n_threads = plan.n_threads.min(tiles.len()).max(1);
+    let n = step_tiles(stencil, plan, states, out, &tiles);
+    msc_trace::record(Counter::TilesExecuted, n as u64);
+    n
+}
+
+/// Execute exactly the given tiles (a subset of the plan's partition)
+/// with the plan's threading. Used by the distributed driver to run the
+/// boundary and interior waves of a step separately; does **not** record
+/// `TilesExecuted` — the caller owns the counter for the whole step.
+///
+/// Returns the number of tiles executed.
+pub fn step_tiles<T: Scalar>(
+    stencil: &CompiledStencil<T>,
+    plan: &ExecPlan,
+    states: &[&Grid<T>],
+    out: &mut Grid<T>,
+    tiles: &[TileRange],
+) -> usize {
     let state_slices: Vec<&[T]> = states.iter().map(|g| g.as_slice()).collect();
     let layout = out.layout();
-    let ptr = SendPtr(out.as_mut_slice().as_mut_ptr());
+    let ptr = SendPtr::new(out.as_mut_slice().as_mut_ptr());
+    let parallel = pool::worker_count(plan.n_threads, tiles.len()) > 1;
 
-    if n_threads == 1 {
-        for tile in &tiles {
-            compute_tile(stencil, &state_slices, &layout, ptr.0, tile);
+    pool::run_tile_job(plan.n_threads, tiles.len(), &|q| {
+        let _ws = parallel.then(|| msc_trace::span("tile_worker"));
+        for i in q.by_ref() {
+            compute_tile(stencil, &state_slices, &layout, ptr.get(), &tiles[i]);
         }
-        msc_trace::record(Counter::TilesExecuted, tiles.len() as u64);
-        return tiles.len();
-    }
-
-    crossbeam::thread::scope(|scope| {
-        let ptr_ref = &ptr;
-        let tiles_ref = &tiles;
-        let states_ref = &state_slices;
-        let layout_ref = &layout;
-        let handles: Vec<_> = (0..n_threads)
-            .map(|my_id| {
-                scope.spawn(move |_| {
-                    let _ws = msc_trace::span("tile_worker");
-                    // Round-robin striping: task_id % n_threads == my_id.
-                    for tile in tiles_ref.iter().skip(my_id).step_by(n_threads) {
-                        compute_tile(stencil, states_ref, layout_ref, ptr_ref.0, tile);
-                    }
-                    if msc_trace::enabled() {
-                        msc_trace::spans::now_ns()
-                    } else {
-                        0
-                    }
-                })
-            })
-            .collect();
-        let finished: Vec<u64> = handles
-            .into_iter()
-            .map(|h| h.join().expect("tile worker panicked"))
-            .collect();
-        // Imbalance at the implicit end-of-step barrier: how long each
-        // worker idled waiting for the slowest one.
-        if msc_trace::enabled() {
-            let last = finished.iter().copied().max().unwrap_or(0);
-            let wait: u64 = finished.iter().map(|&f| last - f).sum();
-            msc_trace::record(Counter::BarrierWaitNanos, wait);
-        }
-    })
-    .expect("tile worker panicked");
-    msc_trace::record(Counter::TilesExecuted, tiles.len() as u64);
+    });
     tiles.len()
 }
 

@@ -195,17 +195,14 @@ impl<T: Scalar> CompiledVarStencil<T> {
         coeffs: &[&Grid<T>],
         out: &mut Grid<T>,
     ) -> usize {
-        struct SendPtr<T>(*mut T);
-        unsafe impl<T> Send for SendPtr<T> {}
-        unsafe impl<T> Sync for SendPtr<T> {}
+        use crate::pool::{self, SendPtr};
 
         let _span = msc_trace::span("varcoeff_step");
         let tiles = plan.tiles();
-        let n_threads = plan.n_threads.min(tiles.len()).max(1);
         let layout = out.layout();
         let coeff_slices: Vec<&[T]> = coeffs.iter().map(|g| g.as_slice()).collect();
         let in_slice = input.as_slice();
-        let ptr = SendPtr(out.as_mut_slice().as_mut_ptr());
+        let ptr = SendPtr::new(out.as_mut_slice().as_mut_ptr());
 
         let run_tile = |tile: &TileRange, ptr: &SendPtr<T>| {
             let ndim = layout.ndim();
@@ -217,7 +214,7 @@ impl<T: Scalar> CompiledVarStencil<T> {
                 for i in 0..inner {
                     let v = self.apply_at(in_slice, &coeff_slices, base + i);
                     // SAFETY: tiles are disjoint.
-                    unsafe { *ptr.0.add(base + i) = v };
+                    unsafe { *ptr.get().add(base + i) = v };
                 }
                 let mut d = ndim - 1;
                 loop {
@@ -234,27 +231,13 @@ impl<T: Scalar> CompiledVarStencil<T> {
             }
         };
 
-        if n_threads == 1 {
-            for t in &tiles {
-                run_tile(t, &ptr);
+        let parallel = pool::worker_count(plan.n_threads, tiles.len()) > 1;
+        pool::run_tile_job(plan.n_threads, tiles.len(), &|q| {
+            let _ws = parallel.then(|| msc_trace::span("varcoeff_worker"));
+            for i in q.by_ref() {
+                run_tile(&tiles[i], &ptr);
             }
-            msc_trace::record(msc_trace::Counter::TilesExecuted, tiles.len() as u64);
-            return tiles.len();
-        }
-        crossbeam::thread::scope(|scope| {
-            let run = &run_tile;
-            let tiles_ref = &tiles;
-            let ptr_ref = &ptr;
-            for my_id in 0..n_threads {
-                scope.spawn(move |_| {
-                    let _ws = msc_trace::span("varcoeff_worker");
-                    for t in tiles_ref.iter().skip(my_id).step_by(n_threads) {
-                        run(t, ptr_ref);
-                    }
-                });
-            }
-        })
-        .expect("varcoeff worker panicked");
+        });
         msc_trace::record(msc_trace::Counter::TilesExecuted, tiles.len() as u64);
         tiles.len()
     }

@@ -72,6 +72,10 @@ counters! {
     FaultsInjected   => ("faults_injected", "count", Sum),
     CheckpointBytes  => ("checkpoint_bytes", "bytes", Sum),
     CheckpointNanos  => ("checkpoint_time", "ns", Sum),
+    PoolSteals       => ("pool_steals", "count", Sum),
+    PoolParks        => ("pool_parks", "count", Sum),
+    PoolUnparks      => ("pool_unparks", "count", Sum),
+    OverlapNanos     => ("overlap_window", "ns", Sum),
 }
 
 /// A plain, copyable vector of counter values.

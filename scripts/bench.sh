@@ -2,7 +2,7 @@
 # Benchmark-trajectory helper (DESIGN.md §8.4).
 #
 #   scripts/bench.sh record   — run the full fixed suite, overwrite
-#                               BENCH_0003.json at the repo root
+#                               BENCH_0004.json at the repo root
 #   scripts/bench.sh smoke    — CI gate: record a quick run, validate its
 #                               schema, count-diff it against the committed
 #                               baseline, and prove the regression gate
@@ -16,14 +16,31 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 MSCC=target/release/mscc
-BASELINE=BENCH_0003.json
+BASELINE=BENCH_0004.json
 
 cargo build --release --offline --bin mscc
+
+# Extract the pool-vs-respawn speedup from a recording and fail when the
+# persistent pool is not at least MIN_SPEEDUP× the per-step respawn path.
+check_pool_speedup() {
+  python3 - "$1" "$2" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+need = float(sys.argv[2])
+case = next(c for c in doc["cases"] if c["name"] == "s3d7pt_star_pool_vs_respawn")
+got = next(m["value"] for m in case["metrics"] if m["name"] == "pool_speedup")
+print(f"pool_vs_respawn speedup: {got:.2f}x (need >= {need:.2f}x)")
+sys.exit(0 if got >= need else 1)
+PY
+}
 
 case "${1:-smoke}" in
   record)
     "$MSCC" bench --out "$BASELINE"
     "$MSCC" bench --validate "$BASELINE"
+    # The committed trajectory must show the persistent pool beating the
+    # per-step respawn scheduler by >= 10% on the 100-step 3D star case.
+    check_pool_speedup "$BASELINE" 1.10
     ;;
   smoke)
     tmp=$(mktemp -d)
@@ -44,6 +61,10 @@ case "${1:-smoke}" in
       echo "bench smoke: regression gate did NOT fire on a 20% slowdown" >&2
       exit 1
     fi
+    # The pool must beat respawn even on the quick grids (the smaller the
+    # tiles, the more the per-step spawn/join overhead dominates); a loose
+    # 1.0 floor keeps the gate meaningful without tripping on CI noise.
+    check_pool_speedup "$tmp/quick.json" 1.00
     echo "bench smoke: all green"
     ;;
   *)

@@ -22,7 +22,7 @@
 //!                                       # ...with seeded fault injection
 //! mscc stencil.msc --procs 2x2 --chaos 1:kill=1@3 --checkpoint-every 2
 //!                                       # kill a rank, restart from checkpoint
-//! mscc bench --out BENCH_0003.json      # record the benchmark trajectory
+//! mscc bench --out BENCH_0004.json      # record the benchmark trajectory
 //! mscc bench --diff OLD.json NEW.json   # exit nonzero on perf regression
 //! ```
 //!
@@ -60,6 +60,10 @@ execution:
       --simulate           print the predicted time on the target machine model
       --stats              print static kernel statistics
       --autoschedule       pick tiles/stream/tile_time automatically
+      --pool-threads N     cap the persistent worker pool at N threads;
+                           0 disables the pool and respawns worker threads
+                           every step (the pre-pool scheduler). Default:
+                           pool on, width decided by the plan
 
 distributed:
       --procs PxQ[xR]      run over a process grid (e.g. 2x2), verified
@@ -81,7 +85,7 @@ observability:
 
 bench subcommand (mscc bench):
       --quick              small grids — CI smoke mode
-      --out FILE           write the recording to FILE (default BENCH_0003.json)
+      --out FILE           write the recording to FILE (default BENCH_0004.json)
       --validate FILE      schema-check a recording and exit
       --diff OLD NEW       compare two recordings; exit nonzero on regression
       --threshold PCT      time-metric regression threshold in percent (default 15)
@@ -107,6 +111,7 @@ struct Args {
     checkpoint_every: usize,
     checkpoint_dir: Option<PathBuf>,
     flight_dir: Option<PathBuf>,
+    pool_threads: Option<usize>,
 }
 
 struct BenchArgs {
@@ -198,6 +203,7 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Cli, String> {
     let mut checkpoint_every = 0usize;
     let mut checkpoint_dir = None;
     let mut flight_dir = None;
+    let mut pool_threads = None;
     while let Some(a) = argv.next() {
         match a.as_str() {
             "-o" | "--out" => {
@@ -253,6 +259,14 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Cli, String> {
                     argv.next().ok_or("missing directory after --flight-dir")?,
                 ))
             }
+            "--pool-threads" => {
+                pool_threads = Some(
+                    argv.next()
+                        .ok_or("missing thread count after --pool-threads")?
+                        .parse()
+                        .map_err(|_| "bad thread count after --pool-threads".to_string())?,
+                )
+            }
             "-h" | "--help" => return Ok(Cli::Help),
             other if input.is_none() && !other.starts_with('-') => {
                 input = Some(PathBuf::from(other))
@@ -277,6 +291,7 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Cli, String> {
         checkpoint_every,
         checkpoint_dir,
         flight_dir,
+        pool_threads,
     })))
 }
 
@@ -387,6 +402,10 @@ fn drive(args: Args) -> Result<(), Box<dyn std::error::Error>> {
         std::fs::create_dir_all(dir)
             .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
         msc::trace::set_flight_dump_dir(Some(dir.clone()));
+    }
+
+    if let Some(n) = args.pool_threads {
+        msc::exec::pool::set_pool_threads(n);
     }
 
     println!(

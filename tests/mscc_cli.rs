@@ -270,7 +270,7 @@ fn bench_records_validates_and_gates_regressions() {
         .expect("mscc runs");
     assert!(rec.status.success(), "{}", String::from_utf8_lossy(&rec.stderr));
     let text = std::fs::read_to_string(&base).unwrap();
-    assert!(text.contains("\"schema_version\": 3"), "{text}");
+    assert!(text.contains("\"schema_version\": 4"), "{text}");
 
     let val = mscc().args(["bench", "--validate"]).arg(&base).output().unwrap();
     assert!(val.status.success());
