@@ -3,7 +3,6 @@
 //! the design point the paper credits for beating Halide-AOT on
 //! high-order stencils, §5.5).
 
-#![allow(clippy::needless_range_loop)] // dimension loops index several parallel arrays
 
 use msc_core::error::Result;
 use msc_core::prelude::*;
@@ -45,6 +44,7 @@ impl Layout {
     }
 
     /// `#define` block with the layout constants.
+    #[allow(clippy::needless_range_loop)] // dimension loop indexes several parallel arrays
     pub fn defines(&self) -> String {
         let mut s = String::new();
         let names = ["X", "Y", "Z"];

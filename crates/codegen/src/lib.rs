@@ -38,6 +38,9 @@ use msc_core::schedule::Target;
 /// Generate the full source package of a program for a target — the
 /// library entry point (paper Listing 1: `compile_to_source_code`).
 pub fn compile_to_source(program: &StencilProgram, target: Target) -> Result<CodePackage> {
+    // The lint gate: footprint/halo, window, race and capacity defects
+    // refuse codegen instead of becoming wrong generated C.
+    msc_lint::check_deny(program, Some(target))?;
     let mut pkg = CodePackage::new(&program.name, target);
     match target {
         Target::SunwayCG => {

@@ -3,7 +3,6 @@
 //! (paper §4.4) — pack, `MPI_Isend`/`MPI_Irecv`, `MPI_Waitall`, unpack,
 //! dimension-ordered so box-stencil corners propagate.
 
-#![allow(clippy::needless_range_loop)] // dimension loops index several parallel arrays
 
 use crate::ir_to_c::Layout;
 use msc_core::error::Result;
@@ -13,6 +12,7 @@ use msc_core::schedule::Target;
 /// Emit the sub-grid geometry and pack/unpack helpers of the generated
 /// MPI driver: face extents, region odometer copies, buffer allocation,
 /// and deterministic input loading.
+#[allow(clippy::needless_range_loop)] // dimension loops index several parallel arrays
 fn face_helpers(layout: &Layout, elem: &str) -> String {
     let ndim = layout.ndim;
     let dims = ["X", "Y", "Z"];

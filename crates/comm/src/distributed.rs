@@ -268,6 +268,8 @@ pub fn run_distributed_resilient<T: Scalar + Wire>(
     opts: &RunOptions,
     make_plan: impl Fn(&[usize]) -> Result<ExecPlan> + Sync,
 ) -> Result<(Grid<T>, CommStats)> {
+    // Lint gate (target-independent passes) before any rank spawns.
+    msc_lint::check_deny(program, None)?;
     let decomp = build_decomp(program, procs, bc)?;
     let exchanger = HaloExchange::new(decomp);
     run_distributed_opts(program, init, bc, &exchanger, None, opts, make_plan)

@@ -4,6 +4,7 @@
 
 use crate::dtype::DType;
 use crate::error::Result;
+use crate::footprint::Footprint;
 use crate::kernel::Kernel;
 use crate::stencil::Stencil;
 
@@ -24,12 +25,15 @@ pub struct KernelStats {
 }
 
 impl KernelStats {
-    /// Analyze a kernel for a given element type.
+    /// Analyze a kernel for a given element type. Reads are deduped by
+    /// inferred `(tensor, time, offset)` via the [`Footprint`] pass, so a
+    /// grid point referenced through two syntactic paths counts once.
     pub fn of(kernel: &Kernel, dtype: DType) -> KernelStats {
         let e = &kernel.expr;
+        let points = Footprint::of_kernel(kernel).distinct_points();
         KernelStats {
-            points: e.num_points(),
-            read_bytes: e.num_points() * dtype.size_bytes(),
+            points,
+            read_bytes: points * dtype.size_bytes(),
             write_bytes: dtype.size_bytes(),
             adds: e.count_adds(),
             muls: e.count_muls(),
@@ -81,17 +85,18 @@ pub struct StencilStats {
 impl StencilStats {
     /// Analyze a stencil: each time term performs its kernel sweep over
     /// its input state, plus `terms-1` adds and `terms` weight multiplies
-    /// to combine them.
+    /// to combine them. Reads are deduped by absolute `(tensor,
+    /// dt + time_back, offset)` across terms — two terms (or two kernels)
+    /// touching the same point of the same state load it once.
     pub fn of(stencil: &Stencil, dtype: DType) -> Result<StencilStats> {
-        let mut points = 0;
-        let mut read = 0;
+        let fp = Footprint::of_stencil(stencil)?;
+        let points = fp.distinct_points();
+        let read = points * dtype.size_bytes();
         let mut adds = 0;
         let mut muls = 0;
         for term in &stencil.terms {
             let k = stencil.kernel(&term.kernel)?;
             let ks = KernelStats::of(k, dtype);
-            points += ks.points;
-            read += ks.read_bytes;
             adds += ks.adds;
             muls += ks.muls;
         }
@@ -182,6 +187,44 @@ mod tests {
         assert_eq!(ss.time_deps, 2);
         // ops: 2*(13) + 1 combine add + 2 weight muls = 29
         assert_eq!(ss.ops(), 29.0);
+    }
+
+    #[test]
+    fn same_state_reads_across_terms_are_not_double_counted() {
+        // Two distinct kernels at the same dt sharing two grid points:
+        // the shared points load once per step, not once per term.
+        use crate::expr::Expr;
+        use crate::stencil::TimeTerm;
+        let k1 = Kernel::new("a", 1, Expr::at("B", &[-1]) + Expr::at("B", &[0])).unwrap();
+        let k2 = Kernel::new("b", 1, Expr::at("B", &[0]) + Expr::at("B", &[1])).unwrap();
+        let st = Stencil::new(
+            "overlap",
+            vec![k1, k2],
+            vec![
+                TimeTerm { dt: 1, weight: 0.5, kernel: "a".into() },
+                TimeTerm { dt: 1, weight: 0.5, kernel: "b".into() },
+            ],
+        )
+        .unwrap();
+        let ss = StencilStats::of(&st, DType::F64).unwrap();
+        assert_eq!(ss.points, 3); // {-1, 0, 1}, previously 4
+        assert_eq!(ss.read_bytes, 24);
+        // Arithmetic is still per-term: 2 adds + 1 combine add + 2 weight muls.
+        assert_eq!(ss.ops(), 5.0);
+    }
+
+    #[test]
+    fn duplicate_syntactic_reads_in_one_kernel_count_once() {
+        use crate::expr::Expr;
+        let k = Kernel::new(
+            "dup",
+            1,
+            Expr::at("B", &[1]) + 2.0 * Expr::at("B", &[1]) + Expr::at("B", &[0]),
+        )
+        .unwrap();
+        let s = KernelStats::of(&k, DType::F64);
+        assert_eq!(s.points, 2);
+        assert_eq!(s.read_bytes, 16);
     }
 
     #[test]

@@ -144,6 +144,21 @@ impl ProgramBuilder {
     /// enough for the stencil's reach; time window wide enough for the
     /// temporal dependencies; MPI grid dimensionality matches.
     pub fn build(self) -> Result<StencilProgram> {
+        self.assemble(true)
+    }
+
+    /// Assemble with only structural validation (grid and kernels present,
+    /// stencil well-formed, dimensionalities agree). Halo sufficiency and
+    /// time-window depth are **not** checked, so a program with a
+    /// too-narrow halo or too-shallow window can be constructed and then
+    /// diagnosed by `msc-lint` with structured lint codes instead of a
+    /// hard build error. Execution entry points re-run the lint gate, so
+    /// an unchecked program cannot silently reach the runtime.
+    pub fn build_unchecked(self) -> Result<StencilProgram> {
+        self.assemble(false)
+    }
+
+    fn assemble(self, strict: bool) -> Result<StencilProgram> {
         let grid = self.grid.ok_or(MscError::InvalidConfig(
             "program has no grid tensor (call grid_2d/grid_3d)".into(),
         ))?;
@@ -167,13 +182,15 @@ impl ProgramBuilder {
                 got: stencil.ndim(),
             });
         }
-        grid.check_reach(&stencil.reach())?;
-        if grid.time_window < stencil.time_window() {
-            return Err(MscError::TimeWindowTooSmall {
-                tensor: grid.name.clone(),
-                window: grid.time_window,
-                required: stencil.time_window(),
-            });
+        if strict {
+            grid.check_reach(&stencil.reach())?;
+            if grid.time_window < stencil.time_window() {
+                return Err(MscError::TimeWindowTooSmall {
+                    tensor: grid.name.clone(),
+                    window: grid.time_window,
+                    required: stencil.time_window(),
+                });
+            }
         }
         if let Some(mpi) = &self.mpi_grid {
             if mpi.len() != grid.ndim() {
@@ -279,6 +296,32 @@ mod tests {
     #[test]
     fn zero_timesteps_rejected() {
         assert!(base().timesteps(0).build().is_err());
+    }
+
+    #[test]
+    fn build_unchecked_admits_narrow_halo_and_shallow_window() {
+        let p = StencilProgram::builder("x")
+            .grid_3d("B", DType::F64, [64, 64, 64], 1, 2) // halo 1, window 2
+            .kernel(Kernel::star_normalized("S", 3, 2)) // reach 2
+            .combine(&[(1, 0.5, "S"), (2, 0.5, "S")]) // needs window 3
+            .build_unchecked()
+            .unwrap();
+        assert_eq!(p.grid.halo, vec![1, 1, 1]);
+        assert_eq!(p.grid.time_window, 2);
+    }
+
+    #[test]
+    fn build_unchecked_still_rejects_structural_errors() {
+        let r = StencilProgram::builder("x")
+            .grid_3d("B", DType::F64, [8, 8, 8], 1, 2)
+            .build_unchecked();
+        assert!(r.is_err()); // no kernels
+        let r = StencilProgram::builder("x")
+            .grid_3d("B", DType::F64, [64, 64, 64], 1, 3)
+            .kernel(Kernel::star_normalized("S", 3, 1))
+            .mpi_grid(&[4, 4])
+            .build_unchecked();
+        assert!(matches!(r, Err(MscError::DimMismatch { .. })));
     }
 
     #[test]

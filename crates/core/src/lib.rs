@@ -43,6 +43,7 @@ pub mod dsl;
 pub mod dtype;
 pub mod error;
 pub mod expr;
+pub mod footprint;
 pub mod kernel;
 pub mod parse;
 pub mod schedule;
@@ -58,8 +59,9 @@ pub mod prelude {
     pub use crate::dtype::DType;
     pub use crate::error::MscError;
     pub use crate::expr::{Expr, Tap, VarCoeff, VarTap};
+    pub use crate::footprint::{Footprint, SlotFootprint};
     pub use crate::kernel::{Kernel, StencilOp};
-    pub use crate::parse::{parse, ParsedProgram};
+    pub use crate::parse::{parse, parse_unchecked, ParsedProgram};
     pub use crate::schedule::{ExecPlan, Schedule};
     pub use crate::stencil::{Stencil, TimeTerm};
     pub use crate::tensor::{SpNode, TeNode, TensorDecl};

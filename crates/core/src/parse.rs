@@ -37,7 +37,15 @@ pub struct ParsedProgram {
 
 /// Parse an `.msc` source string.
 pub fn parse(source: &str) -> Result<ParsedProgram> {
-    Parser::new(source)?.program()
+    Parser::new(source)?.program(true)
+}
+
+/// Parse without halo/time-window sufficiency validation. Structural and
+/// syntax errors still fail; semantically unsound programs (too-narrow
+/// halo, too-shallow window) parse successfully so `msc-lint` can report
+/// them as structured diagnostics instead of one opaque build error.
+pub fn parse_unchecked(source: &str) -> Result<ParsedProgram> {
+    Parser::new(source)?.program(false)
 }
 
 /// Render a validated program back to `.msc` surface syntax (the inverse
@@ -347,7 +355,7 @@ impl Parser {
     }
 
     // program := "stencil" IDENT "{" item* "}"
-    fn program(&mut self) -> Result<ParsedProgram> {
+    fn program(&mut self, strict: bool) -> Result<ParsedProgram> {
         self.expect_keyword("stencil")?;
         let name = self.expect_ident()?;
         self.expect_sym('{')?;
@@ -467,10 +475,12 @@ impl Parser {
         if let Some(m) = mpi {
             builder = builder.mpi_grid(&m);
         }
-        Ok(ParsedProgram {
-            program: builder.build()?,
-            target,
-        })
+        let program = if strict {
+            builder.build()?
+        } else {
+            builder.build_unchecked()?
+        };
+        Ok(ParsedProgram { program, target })
     }
 
     // grid := "grid" IDENT ":" type "[" INT,* "]" "halo" INT "window" INT ";"

@@ -87,6 +87,9 @@ pub fn run_program_bc<T: Scalar>(
     init: &Grid<T>,
     boundary_cond: Boundary,
 ) -> Result<(Grid<T>, RunStats)> {
+    // Lint gate (target-independent passes): an unchecked-built program
+    // with an insufficient halo or window must not reach the time loop.
+    msc_lint::check_deny(program, None)?;
     let compiled = CompiledStencil::compile(program, init)?;
     let window = WindowPlan::for_max_dt(compiled.max_dt)?;
     let mut seeded = init.clone();

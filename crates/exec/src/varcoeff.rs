@@ -5,7 +5,6 @@
 //! require more than one input grid, along with their coefficient
 //! grids").
 
-#![allow(clippy::needless_range_loop)] // dimension loops index several parallel arrays
 
 use crate::grid::{Grid, GridLayout, Scalar};
 use msc_core::error::{MscError, Result};
@@ -33,6 +32,7 @@ pub struct CompiledVarStencil<T> {
 impl<T: Scalar> CompiledVarStencil<T> {
     /// Compile `expr` (a variable-coefficient linear form over `grid`)
     /// against `layout`. Coefficient grids must share the layout.
+    #[allow(clippy::needless_range_loop)] // dimension loop indexes reach and halo in parallel
     pub fn compile(expr: &Expr, grid: &str, layout: &GridLayout) -> Result<CompiledVarStencil<T>> {
         let var_taps = expr.to_var_taps(grid)?;
         if var_taps.is_empty() {

@@ -1,0 +1,137 @@
+//! Capacity and decomposition lints (MSC-L401..L404): SPM staging
+//! buffers versus the target's scratchpad size, DMA row granularity, and
+//! the MPI process grid versus the global extents.
+
+use crate::code::LintCode;
+use crate::diag::{Diagnostic, Report};
+use msc_core::dsl::StencilProgram;
+use msc_core::footprint::Footprint;
+use msc_core::schedule::plan::ExecPlan;
+use msc_core::schedule::Target;
+use msc_machine::{matrix_processor, sunway_cg, xeon_server, MachineModel};
+
+/// DMA transfers below this row size are dominated by the engine's
+/// startup latency (paper §5.2: short innermost tiles waste DMA
+/// bandwidth).
+pub const DMA_MIN_ROW_BYTES: usize = 128;
+
+fn machine_for(target: Target) -> MachineModel {
+    match target {
+        Target::SunwayCG => sunway_cg(),
+        Target::Matrix => matrix_processor(),
+        Target::Cpu => xeon_server(),
+    }
+}
+
+pub fn run(
+    program: &StencilProgram,
+    fp: &Footprint,
+    target: Option<Target>,
+    report: &mut Report,
+) {
+    let grid = &program.grid;
+
+    // Static mirror of `CartDecomp::new`: a bad process grid is known
+    // before any rank spawns.
+    if let Some(mpi) = &program.mpi_grid {
+        let reach = fp.required_halo();
+        for d in 0..grid.ndim().min(mpi.len()) {
+            let g = grid.shape[d];
+            let p = mpi[d];
+            if p == 0 {
+                continue; // rejected structurally by the builder
+            }
+            if !g.is_multiple_of(p) {
+                report.push(Diagnostic::new(
+                    LintCode::MpiGridIndivisible,
+                    format!(
+                        "global extent {g} in dim {d} is not divisible by the \
+                         {p}-way process grid"
+                    ),
+                    format!("mpi grid of `{}`", program.name),
+                    "choose a process count that divides the extent".to_string(),
+                ));
+            } else if g / p < reach[d] {
+                report.push(Diagnostic::new(
+                    LintCode::MpiSubgridTooNarrow,
+                    format!(
+                        "per-rank sub-extent {} in dim {d} is smaller than the \
+                         halo exchange depth {}",
+                        g / p,
+                        reach[d]
+                    ),
+                    format!("mpi grid of `{}`", program.name),
+                    "use fewer ranks along this dimension".to_string(),
+                ));
+            }
+        }
+    }
+
+    // SPM staging capacity: only meaningful when a cache-less target is
+    // known. The formula mirrors `msc-exec`'s `SpmWorker::new` exactly
+    // (read buffer = ∏(tile+2·reach), write buffer = ∏tile, doubled when
+    // streaming), so a program that passes here cannot hit the runtime
+    // "SPM buffers need N bytes" error.
+    let Some(target) = target else { return };
+    let machine = machine_for(target);
+    let Some(spm) = machine.spm_bytes() else { return };
+    let elem = grid.dtype.size_bytes();
+    let reach = program.stencil.reach();
+
+    for kernel in &program.stencil.kernels {
+        let sched = &kernel.schedule;
+        if !sched.uses_spm() {
+            continue;
+        }
+        // Illegal schedules are the legality layer's report, not ours.
+        let Ok(plan) = ExecPlan::lower(sched, grid.ndim(), &grid.shape) else {
+            continue;
+        };
+        let read: usize = plan
+            .tile
+            .iter()
+            .zip(&reach)
+            .map(|(&t, &r)| t + 2 * r)
+            .product();
+        let write: usize = plan.tile.iter().product();
+        let mut needed = (read + write) * elem;
+        if plan.double_buffer {
+            needed *= 2;
+        }
+        let ctx = format!("kernel `{}` schedule", kernel.name);
+        if needed > spm {
+            report.push(Diagnostic::new(
+                LintCode::SpmOverflow,
+                format!(
+                    "staging buffers need {needed} B ({read}+{write} elements{}) \
+                     but `{}` has {spm} B of SPM per core",
+                    if plan.double_buffer {
+                        ", double-buffered"
+                    } else {
+                        ""
+                    },
+                    machine.name
+                ),
+                ctx,
+                "shrink the tile factors (see the Table 5 presets) or drop \
+                 stream()"
+                    .to_string(),
+            ));
+        } else {
+            let last = grid.ndim() - 1;
+            let row_bytes = (plan.tile[last] + 2 * reach[last]) * elem;
+            if row_bytes < DMA_MIN_ROW_BYTES {
+                report.push(Diagnostic::new(
+                    LintCode::DmaRowTooShort,
+                    format!(
+                        "innermost DMA rows are {row_bytes} B; transfers below \
+                         {DMA_MIN_ROW_BYTES} B are startup-dominated on `{}`",
+                        machine.name
+                    ),
+                    ctx,
+                    "widen the innermost tile factor".to_string(),
+                ));
+            }
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! Halo sufficiency (MSC-L101/L102): the declared halo of every grid
+//! versus the per-axis offset box inferred from the stencil footprint.
+
+use crate::code::LintCode;
+use crate::diag::{Diagnostic, Report};
+use msc_core::dsl::StencilProgram;
+use msc_core::footprint::Footprint;
+
+pub fn run(program: &StencilProgram, fp: &Footprint, report: &mut Report) {
+    let grid = &program.grid;
+    let required = fp.required_halo();
+    let lo = fp.lo();
+    let hi = fp.hi();
+    for d in 0..grid.ndim() {
+        let declared = grid.halo[d];
+        let req = required[d];
+        if declared < req {
+            report.push(Diagnostic::new(
+                LintCode::HaloTooNarrow,
+                format!(
+                    "declared halo {declared} in dim {d} but the inferred footprint \
+                     spans offsets {}..{} (needs halo {req}); the sweep would read \
+                     uninitialized or foreign memory at the domain boundary",
+                    lo[d], hi[d]
+                ),
+                format!("grid `{}`", grid.name),
+                format!("widen the halo to {req} or reduce the kernel radius"),
+            ));
+        } else if declared > req {
+            report.push(Diagnostic::new(
+                LintCode::HaloOversized,
+                format!(
+                    "declared halo {declared} in dim {d} but no access reaches past \
+                     {req}; every halo exchange moves {} unused layer(s)",
+                    declared - req
+                ),
+                format!("grid `{}`", grid.name),
+                format!("shrink the halo to {req}"),
+            ));
+        }
+    }
+}

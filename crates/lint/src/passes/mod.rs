@@ -1,0 +1,8 @@
+//! The lint passes, one module per family. Each pass receives the
+//! program, the precomputed stencil-level [`msc_core::footprint::Footprint`]
+//! and appends [`crate::diag::Diagnostic`]s to the shared report.
+
+pub mod capacity;
+pub mod halo;
+pub mod race;
+pub mod window;

@@ -1,0 +1,90 @@
+//! Parallel-race detection (MSC-L301/L302/L303).
+//!
+//! In this Jacobi-style IR every read is at least one timestep behind the
+//! write, so a *spatial* axis only carries a dependence when the sliding
+//! window is too shallow to keep the read states alive: with a
+//! `W`-deep ring and a read `k ≥ W` steps back, the slot being read is
+//! the slot being overwritten. The race pass is therefore the parallel
+//! refinement of the window check — `parallel()` on an aliased window is
+//! a data race between threads (L301), and even a serial sweep over an
+//! aliased window is an in-place (Gauss–Seidel-style) update whose result
+//! depends on tile traversal order (L302). L303 flags thread counts the
+//! tiling cannot feed.
+
+use crate::code::LintCode;
+use crate::diag::{Diagnostic, Report};
+use msc_core::dsl::StencilProgram;
+use msc_core::footprint::Footprint;
+use msc_core::schedule::plan::ExecPlan;
+use msc_core::schedule::primitives::parse_split_axis;
+
+pub fn run(program: &StencilProgram, fp: &Footprint, report: &mut Report) {
+    let grid = &program.grid;
+    let max_t = fp.max_time();
+    let aliased = grid.time_window <= max_t;
+    let has_reach = fp.required_halo().iter().any(|&r| r > 0);
+
+    for kernel in &program.stencil.kernels {
+        let sched = &kernel.schedule;
+        let ctx = format!("kernel `{}` schedule", kernel.name);
+
+        if aliased && has_reach {
+            if let Some((axis, n)) = &sched.parallel {
+                if *n > 1 {
+                    report.push(Diagnostic::new(
+                        LintCode::ParallelWindowRace,
+                        format!(
+                            "parallel(`{axis}`, {n}) races on `{}`: the {}-deep \
+                             window aliases the output state with the state read \
+                             {max_t} step(s) back, so threads read neighbour cells \
+                             other threads are overwriting",
+                            grid.name, grid.time_window
+                        ),
+                        ctx.clone(),
+                        format!("deepen the time window to {} to give every read \
+                                 state its own buffer", max_t + 1),
+                    ));
+                }
+            }
+            if sched.n_threads() <= 1 {
+                report.push(Diagnostic::new(
+                    LintCode::InPlaceOrderDependence,
+                    format!(
+                        "the {}-deep window aliases the output state with the \
+                         state read {max_t} step(s) back: the sweep updates `{}` \
+                         in place and its result depends on tile traversal order",
+                        grid.time_window, grid.name
+                    ),
+                    ctx.clone(),
+                    format!("deepen the time window to {}", max_t + 1),
+                ));
+            }
+        }
+
+        if let Some((axis, n)) = &sched.parallel {
+            if *n > 1 {
+                if let (Ok(plan), Ok((dim, _))) = (
+                    ExecPlan::lower(sched, grid.ndim(), &grid.shape),
+                    parse_split_axis(axis),
+                ) {
+                    let tiles = plan.tiles_along(dim);
+                    if *n > tiles {
+                        report.push(Diagnostic::new(
+                            LintCode::ThreadsExceedTiles,
+                            format!(
+                                "parallel(`{axis}`, {n}) but the tiling yields only \
+                                 {tiles} tile(s) along `{axis}`; {} thread(s) never \
+                                 receive work",
+                                n - tiles
+                            ),
+                            ctx,
+                            "reduce the thread count or shrink the tile factor on \
+                             the parallel axis"
+                                .to_string(),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Sliding-time-window depth (MSC-L201/L202): the declared window versus
+//! the deepest temporal read `max(term.dt + access.time_back)`.
+
+use crate::code::LintCode;
+use crate::diag::{Diagnostic, Report};
+use msc_core::dsl::StencilProgram;
+use msc_core::footprint::Footprint;
+
+pub fn run(program: &StencilProgram, fp: &Footprint, report: &mut Report) {
+    let grid = &program.grid;
+    let need = fp.required_window();
+    let declared = grid.time_window;
+    let ctx = format!("grid `{}`", grid.name);
+    if declared < need {
+        report.push(Diagnostic::new(
+            LintCode::WindowTooShallow,
+            format!(
+                "sliding window holds {declared} state(s) but the stencil reads \
+                 {} step(s) back; the state at t-{} would be overwritten before \
+                 it is consumed",
+                fp.max_time(),
+                fp.max_time()
+            ),
+            ctx,
+            format!("declare a time window of {need}"),
+        ));
+    } else if declared > need {
+        let buf_bytes = grid.alloc_bytes() / declared;
+        report.push(Diagnostic::new(
+            LintCode::WindowOversized,
+            format!(
+                "sliding window holds {declared} states but the deepest read is \
+                 {} step(s) back; {} extra state buffer(s) of {} B each stay \
+                 allocated",
+                fp.max_time(),
+                declared - need,
+                buf_bytes
+            ),
+            ctx,
+            format!("shrink the time window to {need}"),
+        ));
+    }
+}

@@ -1,0 +1,64 @@
+//! All committed examples and every catalog benchmark must lint clean —
+//! the acceptance bar for shipping the verifier as a default-on gate.
+
+use msc_core::catalog::all_benchmarks;
+use msc_core::dtype::DType;
+use msc_core::parse::parse;
+use msc_core::schedule::{preset_for, Target};
+use msc_lint::lint_program;
+
+#[test]
+fn committed_examples_lint_fully_clean() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../examples/dsl");
+    let mut seen = 0;
+    for entry in std::fs::read_dir(dir).unwrap() {
+        let path = entry.unwrap().path();
+        if path.extension().is_none_or(|e| e != "msc") {
+            continue;
+        }
+        seen += 1;
+        let name = path.file_name().unwrap().to_str().unwrap().to_string();
+        let source = std::fs::read_to_string(&path).unwrap();
+        let parsed = parse(&source).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let report = lint_program(&parsed.program, parsed.target);
+        assert!(
+            report.is_clean(),
+            "{name}: committed examples must lint clean (not even warnings):\n{}",
+            report.render()
+        );
+    }
+    assert!(seen >= 3, "expected the committed example set, found {seen}");
+}
+
+#[test]
+fn catalog_benchmarks_lint_clean_unscheduled() {
+    for b in all_benchmarks() {
+        for grid in [b.test_grid(), b.default_grid()] {
+            let p = b.program(&grid, DType::F64, 4).unwrap();
+            let report = lint_program(&p, None);
+            assert!(report.is_clean(), "{}: {}", b.name, report.render());
+        }
+    }
+}
+
+#[test]
+fn catalog_benchmarks_lint_deny_free_with_sunway_presets() {
+    // The paper's Table 5 schedules on the paper's grids: no denies, and
+    // on the default (paper-sized) grids not even warnings.
+    for b in all_benchmarks() {
+        let grid = b.default_grid();
+        let mut p = b.program(&grid, DType::F64, 4).unwrap();
+        let sched = preset_for(b.ndim, b.points(), Target::SunwayCG);
+        for k in &mut p.stencil.kernels {
+            *k.sched() = sched.clone();
+        }
+        let report = lint_program(&p, Some(Target::SunwayCG));
+        assert!(
+            report.is_clean(),
+            "{} with Table 5 preset: {}",
+            b.name,
+            report.render()
+        );
+    }
+}

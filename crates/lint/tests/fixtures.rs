@@ -1,0 +1,87 @@
+//! Every lint family is seeded with a known-bad fixture pair: the
+//! `.deny.msc` file must fail with the stable code named in its
+//! `// expect: MSC-Lnnn` header, and its `.fixed.msc` twin must pass.
+
+use msc_core::parse::parse_unchecked;
+use msc_lint::lint_program;
+
+fn fixtures() -> Vec<std::path::PathBuf> {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+    let mut files: Vec<_> = std::fs::read_dir(dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "msc"))
+        .collect();
+    files.sort();
+    files
+}
+
+#[test]
+fn deny_fixtures_fail_with_their_expected_code() {
+    let mut deny_seen = 0;
+    for path in fixtures() {
+        let name = path.file_name().unwrap().to_str().unwrap();
+        if !name.contains(".deny.") {
+            continue;
+        }
+        deny_seen += 1;
+        let source = std::fs::read_to_string(&path).unwrap();
+        let expected = source
+            .lines()
+            .find_map(|l| l.trim().strip_prefix("// expect: "))
+            .unwrap_or_else(|| panic!("{name}: missing `// expect:` header"))
+            .trim()
+            .to_string();
+        let parsed = parse_unchecked(&source).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let report = lint_program(&parsed.program, parsed.target);
+        assert!(report.has_deny(), "{name}: expected a deny diagnostic");
+        assert!(
+            report
+                .diagnostics()
+                .iter()
+                .any(|d| d.code.as_str() == expected),
+            "{name}: expected {expected}, got:\n{}",
+            report.render()
+        );
+    }
+    // One deny fixture per lint family (halo, window, race, capacity x2).
+    assert!(deny_seen >= 4, "only {deny_seen} deny fixtures found");
+}
+
+#[test]
+fn fixed_twins_pass() {
+    let mut fixed_seen = 0;
+    for path in fixtures() {
+        let name = path.file_name().unwrap().to_str().unwrap();
+        if !name.contains(".fixed.") {
+            continue;
+        }
+        fixed_seen += 1;
+        let source = std::fs::read_to_string(&path).unwrap();
+        let parsed = parse_unchecked(&source).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let report = lint_program(&parsed.program, parsed.target);
+        assert!(
+            !report.has_deny(),
+            "{name}: fixed twin must pass, got:\n{}",
+            report.render()
+        );
+    }
+    assert!(fixed_seen >= 4, "only {fixed_seen} fixed fixtures found");
+}
+
+#[test]
+fn every_deny_fixture_has_a_fixed_twin() {
+    let files = fixtures();
+    let names: Vec<String> = files
+        .iter()
+        .map(|p| p.file_name().unwrap().to_str().unwrap().to_string())
+        .collect();
+    for n in &names {
+        if let Some(stem) = n.strip_suffix(".deny.msc") {
+            assert!(
+                names.contains(&format!("{stem}.fixed.msc")),
+                "{n} has no fixed twin"
+            );
+        }
+    }
+}

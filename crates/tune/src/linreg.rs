@@ -2,7 +2,6 @@
 //! normal equations and partial-pivot Gaussian elimination. Small and
 //! dependency-free — the model has a handful of features.
 
-#![allow(clippy::needless_range_loop)] // dimension loops index several parallel arrays
 
 use msc_core::error::{MscError, Result};
 
@@ -73,6 +72,7 @@ impl LinearModel {
 }
 
 /// Solve `A x = b` by Gaussian elimination with partial pivoting.
+#[allow(clippy::needless_range_loop)] // row elimination indexes two rows of `a` at once
 fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Result<Vec<f64>> {
     let n = b.len();
     for col in 0..n {

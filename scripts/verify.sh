@@ -23,6 +23,23 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 echo "== examples & benches compile =="
 cargo build --workspace --examples --benches --offline
 
+echo "== stencil verifier (mscc check) =="
+# Every shipped example must lint clean; every deny fixture must be
+# denied and its fixed twin must pass.
+cargo build --offline --bin mscc
+for f in examples/dsl/*.msc; do
+  ./target/debug/mscc check "$f"
+done
+for f in crates/lint/fixtures/*.deny.msc; do
+  if ./target/debug/mscc check "$f" >/dev/null; then
+    echo "expected deny: $f" >&2
+    exit 1
+  fi
+done
+for f in crates/lint/fixtures/*.fixed.msc; do
+  ./target/debug/mscc check "$f" >/dev/null
+done
+
 echo "== bench smoke (trajectory schema + regression gate) =="
 scripts/bench.sh smoke
 

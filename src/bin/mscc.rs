@@ -48,6 +48,7 @@ mscc — MSC stencil compiler driver
 
 usage:
   mscc <file.msc> [options]    compile a stencil (and optionally run it)
+  mscc check <file.msc> [options]  run the static stencil verifier only
   mscc bench [options]         record or check the benchmark trajectory
 
 input / output:
@@ -82,6 +83,11 @@ observability:
                            timeline with send->recv flow arrows)
       --flight-dir DIR     dump the always-on flight recorder to DIR as JSON
                            when a communication fault or restart fires
+
+check subcommand (mscc check):
+      --json               emit machine-readable JSON diagnostics on stdout
+                           (exit code still reflects deny-level findings;
+                           --target selects the capacity lints as above)
 
 bench subcommand (mscc bench):
       --quick              small grids — CI smoke mode
@@ -124,8 +130,15 @@ struct BenchArgs {
     counts_only: bool,
 }
 
+struct CheckArgs {
+    input: PathBuf,
+    json: bool,
+    target: Option<Target>,
+}
+
 enum Cli {
     Compile(Box<Args>),
+    Check(CheckArgs),
     Bench(BenchArgs),
     Help,
 }
@@ -136,7 +149,45 @@ fn parse_cli() -> Result<Cli, String> {
         argv.next();
         return parse_bench_args(argv).map(Cli::Bench);
     }
+    if argv.peek().map(String::as_str) == Some("check") {
+        argv.next();
+        return parse_check_args(argv).map(Cli::Check);
+    }
     parse_args(argv)
+}
+
+fn parse_check_args(mut argv: impl Iterator<Item = String>) -> Result<CheckArgs, String> {
+    let mut input = None;
+    let mut json = false;
+    let mut target = None;
+    while let Some(a) = argv.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--target" => {
+                let t = argv.next().ok_or("missing target name")?;
+                target = Some(parse_target(&t)?);
+            }
+            "-h" | "--help" => return Err("__help__".into()),
+            other if input.is_none() && !other.starts_with('-') => {
+                input = Some(PathBuf::from(other))
+            }
+            other => return Err(format!("unexpected check argument `{other}`")),
+        }
+    }
+    Ok(CheckArgs {
+        input: input.ok_or("no input file (try --help)")?,
+        json,
+        target,
+    })
+}
+
+fn parse_target(name: &str) -> Result<Target, String> {
+    match name {
+        "sunway" => Ok(Target::SunwayCG),
+        "matrix" => Ok(Target::Matrix),
+        "cpu" => Ok(Target::Cpu),
+        other => Err(format!("unknown target `{other}`")),
+    }
 }
 
 fn parse_bench_args(
@@ -213,12 +264,7 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Cli, String> {
             }
             "--target" => {
                 let t = argv.next().ok_or("missing target name")?;
-                target = Some(match t.as_str() {
-                    "sunway" => Target::SunwayCG,
-                    "matrix" => Target::Matrix,
-                    "cpu" => Target::Cpu,
-                    other => return Err(format!("unknown target `{other}`")),
-                });
+                target = Some(parse_target(&t)?);
             }
             "--run" => run = true,
             "--simulate" => simulate = true,
@@ -313,6 +359,7 @@ fn main() -> ExitCode {
             return ExitCode::SUCCESS;
         }
         Cli::Compile(args) => drive(*args),
+        Cli::Check(args) => drive_check(args),
         Cli::Bench(args) => drive_bench(args),
     };
     match result {
@@ -388,15 +435,58 @@ fn drive_bench(args: BenchArgs) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
+/// `mscc check`: parse without the builder's hard halo/window validation
+/// so *every* defect surfaces as a structured lint, then run the
+/// verifier. Exit code is nonzero iff a deny-level diagnostic fired.
+fn drive_check(args: CheckArgs) -> Result<(), Box<dyn std::error::Error>> {
+    let source = std::fs::read_to_string(&args.input)
+        .map_err(|e| format!("cannot read {}: {e}", args.input.display()))?;
+    let parsed = msc::core::parse::parse_unchecked(&source)?;
+    let target = args.target.or(parsed.target);
+    let report = msc::lint::lint_program(&parsed.program, target);
+    if args.json {
+        println!("{}", report.to_json());
+    } else if report.is_clean() {
+        println!(
+            "lint clean: `{}` (halo, window, race, capacity; target {})",
+            parsed.program.name,
+            target.map_or("none", Target::as_str)
+        );
+    } else {
+        print!("{}", report.render());
+    }
+    if report.has_deny() {
+        return Err(format!(
+            "{} deny-level lint(s) in `{}`",
+            report.deny_count(),
+            parsed.program.name
+        )
+        .into());
+    }
+    Ok(())
+}
+
 fn drive(args: Args) -> Result<(), Box<dyn std::error::Error>> {
     let source = std::fs::read_to_string(&args.input)
         .map_err(|e| format!("cannot read {}: {e}", args.input.display()))?;
-    let parsed = msc::core::parse::parse(&source)?;
+    let parsed = msc::core::parse::parse_unchecked(&source)?;
     let mut program = parsed.program;
     let target = args
         .target
         .or(parsed.target)
         .unwrap_or(Target::Cpu);
+
+    // The lint gate runs before anything else: deny-level findings stop
+    // the build with every defect listed (the library entry points
+    // re-check, so this is also the user-facing error path), and
+    // warnings print to stderr without failing.
+    let lint = msc::lint::lint_program(&program, Some(target));
+    if lint.has_deny() {
+        return Err(format!("lint rejected `{}`:\n{}", program.name, lint.render()).into());
+    }
+    if !lint.is_clean() {
+        eprint!("{}", lint.render());
+    }
 
     if let Some(dir) = &args.flight_dir {
         std::fs::create_dir_all(dir)

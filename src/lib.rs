@@ -18,6 +18,9 @@
 //! * [`comm`] (`msc-comm`) — the communication library: decomposition,
 //!   message-passing runtime, asynchronous halo exchange, distributed
 //!   driver;
+//! * [`lint`] (`msc-lint`) — the compile-time stencil verifier: footprint
+//!   inference, halo/window sufficiency, parallel-race and capacity
+//!   lints, gating every codegen and execution entry point;
 //! * [`tune`] (`msc-tune`) — regression performance model + simulated
 //!   annealing auto-tuner;
 //! * [`trace`] (`msc-trace`) — low-overhead runtime tracing and metrics:
@@ -53,6 +56,7 @@ pub use msc_codegen as codegen;
 pub use msc_comm as comm;
 pub use msc_core as core;
 pub use msc_exec as exec;
+pub use msc_lint as lint;
 pub use msc_machine as machine;
 pub use msc_sim as sim;
 pub use msc_trace as trace;
@@ -67,6 +71,7 @@ pub mod prelude {
     pub use msc_exec::driver::{run_program, run_program_bc, Executor, RunStats};
     pub use msc_exec::Boundary;
     pub use msc_exec::{max_rel_error, Grid};
+    pub use msc_lint::{check_deny, lint_program, LintCode};
     pub use msc_machine::model::Precision;
     pub use msc_sim::{simulate_step, StepInputs};
 }

@@ -173,14 +173,99 @@ fn help_documents_every_flag() {
         "--autoschedule", "--dump", "--profile", "--trace", "--procs",
         "--chaos", "--checkpoint-every", "--checkpoint-dir", "--flight-dir",
         "--quick", "--validate", "--diff", "--threshold", "--counts-only",
-        "--doctor", "-h", "--help",
+        "--doctor", "--json", "-h", "--help",
     ] {
         assert!(help.contains(flag), "help does not document `{flag}`:\n{help}");
     }
     // Grouped layout: each section header present.
-    for section in ["input / output:", "execution:", "distributed:", "observability:", "bench subcommand"] {
+    for section in [
+        "input / output:", "execution:", "distributed:", "observability:",
+        "check subcommand", "bench subcommand",
+    ] {
         assert!(help.contains(section), "missing section `{section}`:\n{help}");
     }
+}
+
+fn lint_fixture(name: &str) -> String {
+    format!(
+        "{}/crates/lint/fixtures/{name}",
+        env!("CARGO_MANIFEST_DIR")
+    )
+}
+
+#[test]
+fn check_passes_clean_example() {
+    let out = mscc()
+        .args(["check"])
+        .arg(dsl("3d7pt.msc"))
+        .output()
+        .expect("mscc runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.contains("lint clean"), "{stdout}");
+    assert!(stdout.contains("target sunway"), "{stdout}");
+}
+
+#[test]
+fn check_denies_narrow_halo_with_stable_code() {
+    let out = mscc()
+        .args(["check"])
+        .arg(lint_fixture("halo_narrow.deny.msc"))
+        .output()
+        .expect("mscc runs");
+    assert!(!out.status.success(), "deny-level lint must exit nonzero");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("MSC-L101"), "{stdout}");
+    assert!(stdout.contains("[deny]"), "{stdout}");
+    // The fixed twin of the same fixture passes.
+    let fixed = mscc()
+        .args(["check"])
+        .arg(lint_fixture("halo_narrow.fixed.msc"))
+        .output()
+        .expect("mscc runs");
+    assert!(fixed.status.success());
+}
+
+#[test]
+fn check_json_is_machine_readable() {
+    let out = mscc()
+        .args(["check", "--json"])
+        .arg(lint_fixture("window_shallow.deny.msc"))
+        .output()
+        .expect("mscc runs");
+    assert!(!out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let doc = msc::bench::results::Json::parse(&stdout).expect("valid JSON on stdout");
+    assert_eq!(doc.get("tool").and_then(|v| v.as_str()), Some("msc-lint"));
+    assert!(doc.get("deny_count").and_then(|v| v.as_f64()).unwrap() >= 1.0);
+    let diags = match doc.get("diagnostics") {
+        Some(msc::bench::results::Json::Arr(items)) => items,
+        other => panic!("diagnostics must be an array, got {other:?}"),
+    };
+    assert!(diags.iter().any(|d| {
+        d.get("code").and_then(|v| v.as_str()) == Some("MSC-L201")
+            && d.get("severity").and_then(|v| v.as_str()) == Some("deny")
+    }));
+}
+
+#[test]
+fn compile_path_is_gated_by_the_linter() {
+    // Plain `mscc file.msc` (no subcommand) must refuse to emit code for
+    // a program the verifier denies, and name the lint code.
+    let dir = std::env::temp_dir().join("mscc_cli_lint_gate");
+    let _ = std::fs::remove_dir_all(&dir);
+    let out = mscc()
+        .arg(lint_fixture("race_parallel.deny.msc"))
+        .arg("-o")
+        .arg(&dir)
+        .output()
+        .expect("mscc runs");
+    assert!(!out.status.success(), "lint deny must block compilation");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("lint rejected"), "{err}");
+    assert!(err.contains("MSC-L301"), "{err}");
+    assert!(!dir.join("main.c").exists(), "no code may be emitted");
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
