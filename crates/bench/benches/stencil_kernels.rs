@@ -7,8 +7,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use msc_core::catalog::{all_benchmarks, benchmark, BenchmarkId as Bid};
 use msc_core::prelude::*;
 use msc_core::schedule::{ExecPlan, Schedule};
-use msc_exec::compiled::CompiledStencil;
-use msc_exec::{reference, spm, tiled, Grid};
+use msc_exec::{reference, spm, tiled, ExecTier, Grid, TieredStencil};
 
 fn plan(ndim: usize, grid: &[usize], tile: &[usize], threads: usize) -> ExecPlan {
     let mut s = Schedule::default();
@@ -24,7 +23,7 @@ fn bench_executors(c: &mut Criterion) {
     let grid = vec![64usize, 64, 64];
     let p = b.program(&grid, DType::F64, 1).unwrap();
     let init: Grid<f64> = Grid::random(&p.grid.shape, &p.grid.halo, 1);
-    let compiled = CompiledStencil::compile(&p, &init).unwrap();
+    let compiled = TieredStencil::compile(&p, &init, ExecTier::Auto).unwrap();
     group.throughput(Throughput::Elements(init.interior_len() as u64));
 
     group.bench_function("reference_serial", |bch| {
@@ -58,7 +57,7 @@ fn bench_all_stencils(c: &mut Criterion) {
         };
         let p = b.program(&grid, DType::F64, 1).unwrap();
         let init: Grid<f64> = Grid::random(&p.grid.shape, &p.grid.halo, 2);
-        let compiled = CompiledStencil::compile(&p, &init).unwrap();
+        let compiled = TieredStencil::compile(&p, &init, ExecTier::Auto).unwrap();
         let tile: Vec<usize> = grid.iter().map(|&g| (g / 4).max(1)).collect();
         let pl = plan(b.ndim, &grid, &tile, 4);
         group.throughput(Throughput::Elements(init.interior_len() as u64));

@@ -1,10 +1,12 @@
 //! Recorded benchmark trajectory: a fixed, schema-versioned suite whose
-//! results are committed at the repo root (`BENCH_0004.json`) so the
+//! results are committed at the repo root (`BENCH_0006.json`) so the
 //! project's performance history rides along with its code history.
 //!
-//! The suite runs two serial and two distributed stencil workloads, plus
-//! a scheduler A/B case (persistent worker pool vs per-step thread
-//! respawn), and records two kinds of metric per case:
+//! The suite runs two serial and two distributed stencil workloads, a
+//! scheduler A/B case (persistent worker pool vs per-step thread
+//! respawn), and an execution-tier A/B case (tap interpreter vs bytecode
+//! VM vs shape-specialized row kernels), and records two kinds of metric
+//! per case:
 //!
 //! * **count** metrics (computed points, tiles, halo messages) — exact
 //!   and deterministic; any change between two recordings is a
@@ -24,16 +26,17 @@ use msc_core::error::Result;
 use msc_core::prelude::*;
 use msc_core::schedule::plan::ExecPlan;
 use msc_core::schedule::Schedule;
-use msc_exec::driver::{run_program, Executor};
-use msc_exec::Grid;
+use msc_core::error::MscError;
+use msc_exec::driver::{run_program, run_program_tier, Executor};
+use msc_exec::{Boundary, ExecTier, Grid};
 use msc_trace::Hist;
 use std::time::Instant;
 
 /// Schema version of the trajectory document; bump on layout changes.
-pub const SCHEMA_VERSION: u64 = 4;
+pub const SCHEMA_VERSION: u64 = 6;
 
 /// Canonical file name of the committed trajectory recording.
-pub const BENCH_FILE: &str = "BENCH_0004.json";
+pub const BENCH_FILE: &str = "BENCH_0006.json";
 
 /// Default relative slowdown on a time metric that counts as a
 /// regression (ISSUE: >15%).
@@ -50,6 +53,12 @@ struct CaseSpec {
     /// Run the case twice — persistent worker pool vs per-step thread
     /// respawn — and record both walls plus the speedup. Serial only.
     pool_compare: bool,
+    /// Run the case once per execution tier — interpreter, bytecode VM,
+    /// shape-specialized — on a single-thread whole-grid plan (pure
+    /// per-row compute, no tiling or threading noise), assert the
+    /// outputs bit-identical, and record the walls plus the speedups.
+    /// Serial only; mutually exclusive with `pool_compare`.
+    tier_compare: bool,
 }
 
 /// The fixed suite. Order and names are part of the schema: diffs match
@@ -63,6 +72,7 @@ const SUITE: &[CaseSpec] = &[
         steps: 8,
         procs: None,
         pool_compare: false,
+        tier_compare: false,
     },
     CaseSpec {
         name: "s3d7pt_star_serial",
@@ -72,6 +82,7 @@ const SUITE: &[CaseSpec] = &[
         steps: 4,
         procs: None,
         pool_compare: false,
+        tier_compare: false,
     },
     CaseSpec {
         name: "s2d9pt_box_dist_2x2",
@@ -81,6 +92,7 @@ const SUITE: &[CaseSpec] = &[
         steps: 8,
         procs: Some(&[2, 2]),
         pool_compare: false,
+        tier_compare: false,
     },
     CaseSpec {
         name: "s3d7pt_star_dist_2x2x1",
@@ -90,6 +102,7 @@ const SUITE: &[CaseSpec] = &[
         steps: 4,
         procs: Some(&[2, 2, 1]),
         pool_compare: false,
+        tier_compare: false,
     },
     CaseSpec {
         name: "s3d7pt_star_pool_vs_respawn",
@@ -99,6 +112,21 @@ const SUITE: &[CaseSpec] = &[
         steps: 100,
         procs: None,
         pool_compare: true,
+        tier_compare: false,
+    },
+    CaseSpec {
+        // Quick mode keeps a 32-point axis: the VM amortizes its chunk
+        // dispatch over whole rows, so rows must be long enough for the
+        // smoke-mode speedup gate to measure compute rather than
+        // dispatch overhead.
+        name: "s3d7pt_interp_vs_vm",
+        bench: BenchmarkId::S3d7ptStar,
+        grid: &[48, 48, 48],
+        quick_grid: &[32, 32, 32],
+        steps: 8,
+        procs: None,
+        pool_compare: false,
+        tier_compare: true,
     },
 ];
 
@@ -107,6 +135,16 @@ fn sub_plan(sub: &[usize]) -> Result<ExecPlan> {
     let tile: Vec<usize> = sub.iter().map(|&x| (x / 2).max(1)).collect();
     s.tile(&tile);
     s.parallel("xo", 2);
+    ExecPlan::lower(&s, sub.len(), sub)
+}
+
+/// One tile covering the whole interior, one thread: every step is a
+/// straight sweep of full-width rows through the chosen tier, so the
+/// tier walls compare per-row compute and nothing else.
+fn whole_grid_plan(sub: &[usize]) -> Result<ExecPlan> {
+    let mut s = Schedule::default();
+    s.tile(sub);
+    s.parallel("xo", 1);
     ExecPlan::lower(&s, sub.len(), sub)
 }
 
@@ -155,6 +193,39 @@ fn run_case(spec: &CaseSpec, quick: bool) -> Result<Json> {
             stats.tiles_executed as f64,
         ));
         metrics.push(metric("steps", "count", stats.steps as f64));
+    } else if spec.tier_compare {
+        // A/B/C the execution tiers on the identical program and plan.
+        // The tiers are bit-identical by construction (ISSUE 6), and the
+        // recording refuses to exist unless that holds right here too —
+        // a speedup over a wrong answer is not a speedup.
+        let exec = Executor::Tiled(whole_grid_plan(grid)?);
+        let time_tier = |tier: ExecTier| -> Result<(Grid<f64>, f64, u64)> {
+            let t0 = Instant::now();
+            let (out, stats) = run_program_tier(&p, &exec, &init, Boundary::Dirichlet, tier)?;
+            let ns = t0.elapsed().as_nanos() as f64;
+            Ok((out, ns, stats.vm_dispatches()))
+        };
+        let (interp_out, interp_ns, _) = time_tier(ExecTier::Interp)?;
+        let (vm_out, vm_ns, vm_dispatches) = time_tier(ExecTier::Vm)?;
+        let (spec_out, spec_ns, _) = time_tier(ExecTier::Specialized)?;
+        if vm_out.as_slice() != interp_out.as_slice()
+            || spec_out.as_slice() != interp_out.as_slice()
+        {
+            return Err(MscError::InvalidConfig(format!(
+                "{}: execution tiers are not bit-identical",
+                spec.name
+            )));
+        }
+        wall_ns = vm_ns;
+        metrics.push(metric("interp_wall_ns", "time", interp_ns));
+        metrics.push(metric("wall_ns", "time", vm_ns));
+        metrics.push(metric("specialized_wall_ns", "time", spec_ns));
+        metrics.push(metric("vm_speedup", "time", interp_ns / vm_ns));
+        metrics.push(metric("specialized_speedup", "time", interp_ns / spec_ns));
+        // Row-chunk dispatch count is a pure function of grid shape and
+        // steps — exact, so any change is a lowering regression.
+        metrics.push(metric("vm_dispatches", "count", vm_dispatches as f64));
+        metrics.push(metric("steps", "count", spec.steps as f64));
     } else {
         match spec.procs {
             None => {
@@ -467,8 +538,20 @@ mod tests {
         validate(&back).unwrap();
         assert_eq!(
             back.get("cases").and_then(Json::as_arr).map(|c| c.len()),
-            Some(5)
+            Some(6)
         );
+        // The tier-compare case must carry its speedup metrics.
+        let cases = back.get("cases").and_then(Json::as_arr).unwrap();
+        let tier_case = cases
+            .iter()
+            .find(|c| c.get("name").and_then(Json::as_str) == Some("s3d7pt_interp_vs_vm"))
+            .expect("s3d7pt_interp_vs_vm case present");
+        for want in ["vm_speedup", "specialized_speedup", "vm_dispatches"] {
+            assert!(
+                metrics_of(tier_case).iter().any(|(n, _, _)| *n == want),
+                "missing {want}"
+            );
+        }
     }
 
     #[test]
@@ -550,15 +633,15 @@ mod tests {
         for (bad, why) in [
             ("{}", "missing version"),
             (
-                "{\"schema_version\": 3, \"suite\": \"x\", \"cases\": []}",
+                "{\"schema_version\": 4, \"suite\": \"x\", \"cases\": []}",
                 "old version",
             ),
             (
-                "{\"schema_version\": 4, \"suite\": \"x\", \"cases\": []}",
+                "{\"schema_version\": 6, \"suite\": \"x\", \"cases\": []}",
                 "no cases",
             ),
             (
-                "{\"schema_version\": 4, \"suite\": \"x\", \"cases\": [{\"name\": \"c\", \
+                "{\"schema_version\": 6, \"suite\": \"x\", \"cases\": [{\"name\": \"c\", \
                  \"metrics\": [{\"name\": \"m\", \"kind\": \"weird\", \"value\": 1}]}]}",
                 "bad kind",
             ),

@@ -17,8 +17,7 @@ use msc_core::prelude::*;
 use msc_core::schedule::plan::{ExecPlan, TileRange};
 use msc_core::schedule::WindowPlan;
 use msc_exec::boundary::{self, Boundary};
-use msc_exec::compiled::CompiledStencil;
-use msc_exec::{tiled, Grid, Scalar};
+use msc_exec::{tiled, Grid, Scalar, TieredStencil};
 use msc_trace::{Counter, CounterSet, FlightKind, Hist, HistSet, Profile};
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -209,6 +208,11 @@ pub struct RunOptions {
     /// to the sequential schedule (same tile partition, same per-tile
     /// arithmetic); on by default.
     pub overlap: bool,
+    /// Execution tier for every rank's tiled compute (`Auto` resolves to
+    /// the specialized row kernels where the shape allows, else the
+    /// bytecode VM). All tiers are bit-identical, so chaos replays and
+    /// checkpoint restarts are tier-agnostic.
+    pub tier: msc_exec::ExecTier,
 }
 
 impl Default for RunOptions {
@@ -220,6 +224,7 @@ impl Default for RunOptions {
             checkpoint_every: 0,
             max_restarts: 3,
             overlap: true,
+            tier: msc_exec::ExecTier::Auto,
         }
     }
 }
@@ -335,7 +340,16 @@ pub fn run_distributed_opts<T: Scalar + Wire, B: crate::backend::HaloBackend>(
             world_cfg,
             |mut ctx| -> Result<(Vec<T>, u64, CounterSet, HistSet)> {
                 let local_init = scatter(seeded, &decomp, ctx.rank);
-                let compiled = CompiledStencil::compile(program, &local_init)?;
+                // SPM compute relinearizes taps against tile-local
+                // layouts and stays on the interpreter; the plain tiled
+                // path runs the requested tier.
+                let tier = if spm_capacity.is_some() {
+                    msc_exec::ExecTier::Interp
+                } else {
+                    opts.tier
+                };
+                let compiled =
+                    TieredStencil::compile(program, &local_init, tier)?;
                 let window = WindowPlan::for_max_dt(compiled.max_dt)?;
                 let mut ring: Vec<Grid<T>> =
                     (0..window.window).map(|_| local_init.clone()).collect();
@@ -345,6 +359,8 @@ pub fn run_distributed_opts<T: Scalar + Wire, B: crate::backend::HaloBackend>(
                     start = step as usize;
                 }
                 let mut counters = CounterSet::new();
+                // Tracer only — per-rank counter sets stay deterministic.
+                msc_trace::record(Counter::VmCompileNanos, compiled.compile_nanos);
                 let mut hists = HistSet::new();
                 // Boundary/interior split for communication overlap,
                 // computed once per attempt from the fixed tile partition.
@@ -445,6 +461,15 @@ pub fn run_distributed_opts<T: Scalar + Wire, B: crate::backend::HaloBackend>(
                         }
                     }
                     ring[out_slot] = out;
+                    let (vm_d, spec_rows) = compiled.take_tier_counters();
+                    if vm_d > 0 {
+                        counters.bump(Counter::VmDispatches, vm_d);
+                        msc_trace::record(Counter::VmDispatches, vm_d);
+                    }
+                    if spec_rows > 0 {
+                        counters.bump(Counter::SpecializedHits, spec_rows);
+                        msc_trace::record(Counter::SpecializedHits, spec_rows);
+                    }
                     // Snapshot after the step (and its exchange) fully
                     // completed, so a restart resumes with halos as fresh
                     // as the original run had them.
@@ -581,7 +606,8 @@ pub fn run_distributed_until_converged<T: Scalar + Wire>(
     let rank_results: Vec<Result<(Vec<T>, usize, f64)>> =
         World::try_run(decomp.n_ranks(), |mut ctx| -> Result<(Vec<T>, usize, f64)> {
             let local_init = scatter(seeded_ref, &decomp, ctx.rank);
-            let compiled = CompiledStencil::compile(program, &local_init)?;
+            let compiled =
+                TieredStencil::compile(program, &local_init, msc_exec::exec_tier())?;
             let window = WindowPlan::for_max_dt(compiled.max_dt)?;
             let mut ring: Vec<Grid<T>> =
                 (0..window.window).map(|_| local_init.clone()).collect();

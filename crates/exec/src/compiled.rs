@@ -28,6 +28,13 @@ pub struct CompiledStencil<T> {
     pub reach: Vec<usize>,
     pub max_dt: usize,
     pub terms: Vec<CompiledTerm<T>>,
+    /// Distinct points read per output point, from the footprint analysis
+    /// (`Footprint::of_stencil`) — the one tap count the interpreter, the
+    /// VM tier, and roofline placement in msc-tune all agree on.
+    taps_distinct: usize,
+    /// Flops per output point from `StencilStats::of` (same dtype-aware
+    /// counting msc-tune's perf model uses).
+    flops: usize,
 }
 
 impl<T: Scalar> CompiledStencil<T> {
@@ -64,11 +71,15 @@ impl<T: Scalar> CompiledStencil<T> {
                 taps_nd,
             });
         }
+        let footprint = Footprint::of_stencil(stencil)?;
+        let stats = StencilStats::of(stencil, program.grid.dtype)?;
         Ok(CompiledStencil {
             ndim: stencil.ndim(),
             reach: stencil.reach(),
             max_dt: stencil.max_dt(),
             terms,
+            taps_distinct: footprint.distinct_points(),
+            flops: stats.flops_per_point().round() as usize,
         })
     }
 
@@ -94,16 +105,17 @@ impl<T: Scalar> CompiledStencil<T> {
         out
     }
 
-    /// Total taps across terms (points read per output point).
+    /// Distinct points read per output point, derived from the footprint
+    /// machinery (reads of the same point by different terms of the same
+    /// state slot count once — unlike a naive sum of per-term tap lists).
     pub fn total_taps(&self) -> usize {
-        self.terms.iter().map(|t| t.taps.len()).sum()
+        self.taps_distinct
     }
 
-    /// Flops per output point: per term, `2*taps-1` for the weighted sum
-    /// plus one weight multiply; plus `terms-1` combining adds.
+    /// Flops per output point, derived from `StencilStats` so the value
+    /// matches the roofline placement in msc-tune exactly.
     pub fn flops_per_point(&self) -> usize {
-        let per_term: usize = self.terms.iter().map(|t| 2 * t.taps.len()).sum();
-        per_term + self.terms.len() - 1
+        self.flops
     }
 }
 
@@ -164,5 +176,42 @@ mod tests {
         let c = CompiledStencil::compile(&p, &g).unwrap();
         // 2 terms x (2*7) + 1 combine add = 29.
         assert_eq!(c.flops_per_point(), 29);
+    }
+
+    #[test]
+    fn stats_agree_with_footprint_machinery_across_catalog() {
+        // Satellite of ISSUE 6: the executor, the VM tier, and the
+        // roofline placement in msc-tune must quote one flop/tap count —
+        // the footprint-derived one.
+        for b in all_benchmarks() {
+            let p = b.program(&b.test_grid(), DType::F64, 2).unwrap();
+            let g: Grid<f64> = Grid::for_tensor(&p.grid);
+            let c = CompiledStencil::compile(&p, &g).unwrap();
+            let fp = Footprint::of_stencil(&p.stencil).unwrap();
+            let ss = StencilStats::of(&p.stencil, DType::F64).unwrap();
+            assert_eq!(c.total_taps(), fp.distinct_points(), "{}", b.name);
+            assert_eq!(c.flops_per_point() as f64, ss.flops_per_point(), "{}", b.name);
+        }
+    }
+
+    #[test]
+    fn overlapping_terms_count_shared_taps_once() {
+        // Two kernels at the same dt sharing the point at offset 0: a
+        // naive per-term sum says 4 taps, the footprint says 3.
+        let k1 = Kernel::new("a", 1, Expr::at("B", &[-1]) + Expr::at("B", &[0])).unwrap();
+        let k2 = Kernel::new("b", 1, Expr::at("B", &[0]) + Expr::at("B", &[1])).unwrap();
+        let p = StencilProgram::builder("overlap")
+            .grid(SpNode::new("B", DType::F64, &[16], 1, 2).unwrap())
+            .kernel(k1)
+            .kernel(k2)
+            .combine(&[(1, 0.5, "a"), (1, 0.5, "b")])
+            .timesteps(2)
+            .build()
+            .unwrap();
+        let g: Grid<f64> = Grid::for_tensor(&p.grid);
+        let c = CompiledStencil::compile(&p, &g).unwrap();
+        assert_eq!(c.total_taps(), 3);
+        let ss = StencilStats::of(&p.stencil, DType::F64).unwrap();
+        assert_eq!(c.flops_per_point() as f64, ss.flops_per_point());
     }
 }

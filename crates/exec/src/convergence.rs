@@ -4,7 +4,7 @@
 //! tolerance.
 
 use crate::boundary::Boundary;
-use crate::compiled::CompiledStencil;
+use crate::tier::TieredStencil;
 use crate::driver::Executor;
 use crate::grid::{Grid, Scalar};
 use crate::{boundary, reference, tiled};
@@ -59,7 +59,13 @@ pub fn run_until_converged<T: Scalar>(
             "convergence needs a positive tolerance and at least one step".into(),
         ));
     }
-    let compiled = CompiledStencil::compile(program, init)?;
+    // Reference executor stays on the interpreter oracle; the tiled path
+    // follows the process-wide tier default.
+    let tier = match executor {
+        Executor::Reference | Executor::Spm { .. } => crate::tier::ExecTier::Interp,
+        _ => crate::tier::exec_tier(),
+    };
+    let compiled = TieredStencil::compile(program, init, tier)?;
     let window = WindowPlan::for_max_dt(compiled.max_dt)?;
     let mut seeded = init.clone();
     boundary::apply(&mut seeded, bc);

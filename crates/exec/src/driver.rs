@@ -3,8 +3,8 @@
 //! executor.
 
 use crate::boundary::{self, Boundary};
-use crate::compiled::CompiledStencil;
 use crate::grid::{Grid, Scalar};
+use crate::tier::{exec_tier, ExecTier, TieredStencil};
 use crate::{reference, spm, tiled};
 use msc_core::error::Result;
 use msc_core::prelude::*;
@@ -62,6 +62,16 @@ impl RunStats {
         self.counters.get(Counter::ComputedPoints)
     }
 
+    /// Chunk dispatches the VM tier performed (0 on other tiers).
+    pub fn vm_dispatches(&self) -> u64 {
+        self.counters.get(Counter::VmDispatches)
+    }
+
+    /// Rows the specialized tier executed (0 on other tiers).
+    pub fn specialized_hits(&self) -> u64 {
+        self.counters.get(Counter::SpecializedHits)
+    }
+
     /// Wrap into a counters-only [`Profile`] for reporting.
     pub fn profile(&self, label: impl Into<String>) -> Profile {
         Profile::from_counters(label, self.counters)
@@ -80,22 +90,48 @@ pub fn run_program<T: Scalar>(
 }
 
 /// Like [`run_program`] with an explicit boundary condition: periodic
-/// runs re-wrap the halo of every freshly computed state.
+/// runs re-wrap the halo of every freshly computed state. Runs on the
+/// process-wide default execution tier ([`set_exec_tier`]).
+///
+/// [`set_exec_tier`]: crate::tier::set_exec_tier
 pub fn run_program_bc<T: Scalar>(
     program: &StencilProgram,
     executor: &Executor,
     init: &Grid<T>,
     boundary_cond: Boundary,
 ) -> Result<(Grid<T>, RunStats)> {
+    run_program_tier(program, executor, init, boundary_cond, exec_tier())
+}
+
+/// Like [`run_program_bc`] with an explicit execution tier. The
+/// `Reference` executor always interprets (it is the oracle the other
+/// tiers are differenced against), as does the SPM executor (its tap
+/// lists are relinearized against tile-local layouts).
+pub fn run_program_tier<T: Scalar>(
+    program: &StencilProgram,
+    executor: &Executor,
+    init: &Grid<T>,
+    boundary_cond: Boundary,
+    tier: ExecTier,
+) -> Result<(Grid<T>, RunStats)> {
     // Lint gate (target-independent passes): an unchecked-built program
-    // with an insufficient halo or window must not reach the time loop.
+    // with an insufficient halo or window must not reach the time loop —
+    // or the bytecode compiler. Nothing below this line runs on a denied
+    // program.
     msc_lint::check_deny(program, None)?;
-    let compiled = CompiledStencil::compile(program, init)?;
+    let tier = match executor {
+        Executor::Reference | Executor::Spm { .. } => ExecTier::Interp,
+        _ => tier,
+    };
+    let compiled = TieredStencil::compile(program, init, tier)?;
+    let mut counters = CounterSet::new();
+    // Compile time goes to the global tracer only: `RunStats` must stay
+    // bit-identical between repeated runs, and wall-clock isn't.
+    msc_trace::record(Counter::VmCompileNanos, compiled.compile_nanos);
     let window = WindowPlan::for_max_dt(compiled.max_dt)?;
     let mut seeded = init.clone();
     boundary::apply(&mut seeded, boundary_cond);
     let mut ring: Vec<Grid<T>> = (0..window.window).map(|_| seeded.clone()).collect();
-    let mut counters = CounterSet::new();
 
     for s in 0..program.timesteps {
         let _step_span = msc_trace::span_arg("step", s as u64);
@@ -128,6 +164,15 @@ pub fn run_program_bc<T: Scalar>(
         }
         boundary::apply(&mut out, boundary_cond);
         ring[out_slot] = out;
+        let (vm_d, spec_rows) = compiled.take_tier_counters();
+        if vm_d > 0 {
+            counters.bump(Counter::VmDispatches, vm_d);
+            msc_trace::record(Counter::VmDispatches, vm_d);
+        }
+        if spec_rows > 0 {
+            counters.bump(Counter::SpecializedHits, spec_rows);
+            msc_trace::record(Counter::SpecializedHits, spec_rows);
+        }
         counters.bump(Counter::Steps, 1);
         msc_trace::record(Counter::Steps, 1);
         let points: u64 = program.grid.shape.iter().product::<usize>() as u64;
@@ -208,6 +253,32 @@ mod tests {
                 verify_against_reference::<f32>(&p, &Executor::Tiled(plan), 5).unwrap();
             assert!(e32 < 1e-5, "{}: fp32 err {e32}", b.name);
         }
+    }
+
+    #[test]
+    fn explicit_tiers_are_bit_identical_and_counted() {
+        let p = benchmark(BenchmarkId::S3d7ptStar)
+            .program(&[12, 12, 12], DType::F64, 4)
+            .unwrap();
+        let init: Grid<f64> = Grid::random(&p.grid.shape, &p.grid.halo, 9);
+        let plan = tiled_plan(&p, &[6, 6, 12], 2);
+        let exec = Executor::Tiled(plan);
+        let (oracle, _) = run_program(&p, &Executor::Reference, &init).unwrap();
+        let run = |tier| {
+            run_program_tier(&p, &exec, &init, Boundary::Dirichlet, tier).unwrap()
+        };
+        let (gi, si) = run(ExecTier::Interp);
+        let (gv, sv) = run(ExecTier::Vm);
+        let (gs, ss) = run(ExecTier::Specialized);
+        assert_eq!(gi.as_slice(), oracle.as_slice());
+        assert_eq!(gv.as_slice(), oracle.as_slice());
+        assert_eq!(gs.as_slice(), oracle.as_slice());
+        assert_eq!(si.vm_dispatches(), 0);
+        assert_eq!(si.specialized_hits(), 0);
+        assert!(sv.vm_dispatches() > 0, "VM tier must count dispatches");
+        assert_eq!(sv.specialized_hits(), 0);
+        assert!(ss.specialized_hits() > 0, "specialized tier must count rows");
+        assert_eq!(ss.vm_dispatches(), 0);
     }
 
     #[test]

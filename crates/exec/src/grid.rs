@@ -6,39 +6,15 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// Element scalar: the two floating types the DSL generates code for.
-pub trait Scalar:
-    Copy
-    + Send
-    + Sync
-    + Default
-    + PartialOrd
-    + std::ops::Add<Output = Self>
-    + std::ops::Sub<Output = Self>
-    + std::ops::Mul<Output = Self>
-    + std::fmt::Debug
-    + 'static
-{
-    fn from_f64(v: f64) -> Self;
-    fn to_f64(self) -> f64;
-}
+///
+/// The arithmetic surface (including `from_f64`/`to_f64`) lives in
+/// [`msc_vm::VmScalar`], the lowest crate of the execution stack, so the
+/// bytecode VM can be generic over elements without depending on the
+/// executors; this trait just adds the executor-side bounds on top.
+pub trait Scalar: msc_vm::VmScalar + std::fmt::Debug {}
 
-impl Scalar for f64 {
-    fn from_f64(v: f64) -> Self {
-        v
-    }
-    fn to_f64(self) -> f64 {
-        self
-    }
-}
-
-impl Scalar for f32 {
-    fn from_f64(v: f64) -> Self {
-        v as f32
-    }
-    fn to_f64(self) -> f64 {
-        self as f64
-    }
-}
+impl Scalar for f64 {}
+impl Scalar for f32 {}
 
 /// Layout metadata of a grid, detached from its storage — cheap to move
 /// into worker threads.

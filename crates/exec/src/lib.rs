@@ -18,6 +18,13 @@
 //!
 //! All executors run the temporal combination through the sliding time
 //! window ring of [`driver`].
+//!
+//! Orthogonally to the executor choice, the tiled path evaluates each
+//! row on one of three **execution tiers** (see [`tier`]): the tap
+//! interpreter (the oracle), the `msc-vm` bytecode register VM, or
+//! shape-specialized const-generic row kernels ([`specialized`]). All
+//! three are bit-identical by construction; `--exec-tier` / `ExecTier`
+//! picks one, with `Auto` preferring the fastest applicable tier.
 
 pub mod boundary;
 pub mod convergence;
@@ -28,7 +35,9 @@ pub mod io;
 pub mod pool;
 pub mod reference;
 pub mod spm;
+pub mod specialized;
 pub mod temporal;
+pub mod tier;
 pub mod varcoeff;
 pub mod tiled;
 pub mod verify;
@@ -36,7 +45,9 @@ pub mod verify;
 pub use compiled::CompiledStencil;
 pub use boundary::Boundary;
 pub use convergence::{l2_diff, max_diff, run_until_converged, ConvergenceReport};
-pub use driver::{run_program, run_program_bc, Executor, RunStats};
+pub use driver::{run_program, run_program_bc, run_program_tier, Executor, RunStats};
+pub use specialized::SpecializedStencil;
+pub use tier::{exec_tier, set_exec_tier, ActiveTier, ExecTier, TieredStencil};
 pub use grid::{Grid, Scalar};
 pub use temporal::{run_temporal_tiled, TemporalStats};
 pub use varcoeff::CompiledVarStencil;

@@ -1,0 +1,154 @@
+//! Shape-specialized inner loops: monomorphized row kernels for the
+//! common star/box stencils.
+//!
+//! The VM tier amortizes dispatch, but still walks a generic instruction
+//! list. For stencils whose per-term tap count is one of a fixed menu of
+//! shapes (every catalog benchmark qualifies), we can do better: a
+//! const-generic row kernel `accum_row::<T, NT>` where the tap count is a
+//! compile-time constant, so the tap loop fully unrolls and the remaining
+//! unit-stride point loop is exactly the shape LLVM auto-vectorizes. Each
+//! tap's row is pre-sliced to the output length, which both removes the
+//! bounds checks from the hot loop and proves the accesses disjoint
+//! enough to vectorize.
+//!
+//! Evaluation order is the interpreter's, term by term:
+//! `acc = acc + coeff * src[..]` from zero, then `out += weight * acc` —
+//! so the tier is bit-identical to `CompiledStencil::apply_at`. The whole
+//! module is safe code (no `unsafe`): specialization changes loop shape,
+//! not the memory-safety story.
+
+use crate::compiled::CompiledStencil;
+use crate::grid::Scalar;
+
+/// A monomorphized row kernel: accumulate one term's weighted tap sum
+/// into `out` for a unit-stride row starting at flat index `base`.
+pub type RowFn<T> = fn(&[(isize, T)], T, &[T], usize, &mut [T]);
+
+fn accum_row<T: Scalar, const NT: usize>(
+    taps: &[(isize, T)],
+    weight: T,
+    src: &[T],
+    base: usize,
+    out: &mut [T],
+) {
+    debug_assert_eq!(taps.len(), NT);
+    let n = out.len();
+    // One exact-length slice per tap: `rows[k][i]` is the value of tap `k`
+    // at output point `i`. Fixed-size arrays keep the tap loop unrollable.
+    let rows: [&[T]; NT] = std::array::from_fn(|k| {
+        let start = (base as isize + taps[k].0) as usize;
+        &src[start..start + n]
+    });
+    let coeffs: [T; NT] = std::array::from_fn(|k| taps[k].1);
+    for i in 0..n {
+        let mut acc = T::default();
+        for k in 0..NT {
+            acc = acc + coeffs[k] * rows[k][i];
+        }
+        out[i] = out[i] + weight * acc;
+    }
+}
+
+/// The supported tap counts. Covers stars and boxes through radius 4 in
+/// 1D/2D and the full benchmark catalog (7, 9, 13, 27, 31, 121, 169, ...);
+/// anything else falls back to the VM tier.
+pub fn row_fn_for<T: Scalar>(n_taps: usize) -> Option<RowFn<T>> {
+    macro_rules! shapes {
+        ($($nt:literal),+ $(,)?) => {
+            match n_taps {
+                $( $nt => Some(accum_row::<T, $nt> as RowFn<T>), )+
+                _ => None,
+            }
+        };
+    }
+    shapes!(1, 2, 3, 4, 5, 6, 7, 8, 9, 11, 13, 17, 21, 25, 27, 31, 33, 49, 121, 125, 169)
+}
+
+struct SpecTerm<T> {
+    dt: usize,
+    weight: T,
+    taps: Vec<(isize, T)>,
+    row_fn: RowFn<T>,
+}
+
+/// A stencil where every term has a monomorphized row kernel.
+pub struct SpecializedStencil<T> {
+    terms: Vec<SpecTerm<T>>,
+}
+
+impl<T: Scalar> SpecializedStencil<T> {
+    /// `None` when any term's tap count has no specialized shape — the
+    /// caller then stays on the VM tier.
+    pub fn try_from_compiled(c: &CompiledStencil<T>) -> Option<SpecializedStencil<T>> {
+        let mut terms = Vec::with_capacity(c.terms.len());
+        for t in &c.terms {
+            terms.push(SpecTerm {
+                dt: t.dt,
+                weight: t.weight,
+                taps: t.taps.clone(),
+                row_fn: row_fn_for::<T>(t.taps.len())?,
+            });
+        }
+        Some(SpecializedStencil { terms })
+    }
+
+    /// Evaluate a unit-stride row: `out[i]` gets the update of the point
+    /// at flat index `base + i`. Bit-identical to calling
+    /// `CompiledStencil::apply_at` per point.
+    pub fn run_row(&self, states: &[&[T]], base: usize, out: &mut [T]) {
+        for o in out.iter_mut() {
+            *o = T::default();
+        }
+        for term in &self.terms {
+            (term.row_fn)(&term.taps, term.weight, states[term.dt - 1], base, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::Grid;
+    use msc_core::catalog::{benchmark, BenchmarkId};
+    use msc_core::prelude::*;
+
+    #[test]
+    fn all_catalog_shapes_have_a_row_fn() {
+        for b in all_benchmarks() {
+            let p = b.program(&b.test_grid(), DType::F64, 2).unwrap();
+            let g: Grid<f64> = Grid::for_tensor(&p.grid);
+            let c = CompiledStencil::compile(&p, &g).unwrap();
+            assert!(
+                SpecializedStencil::try_from_compiled(&c).is_some(),
+                "no specialized shape for {}",
+                b.name
+            );
+        }
+    }
+
+    #[test]
+    fn unsupported_tap_count_falls_back() {
+        assert!(row_fn_for::<f64>(10).is_none());
+        assert!(row_fn_for::<f64>(0).is_none());
+        assert!(row_fn_for::<f64>(7).is_some());
+    }
+
+    #[test]
+    fn rows_are_bit_identical_to_apply_at() {
+        let p = benchmark(BenchmarkId::S3d7ptStar)
+            .program(&[12, 10, 16], DType::F64, 2)
+            .unwrap();
+        let a: Grid<f64> = Grid::random(&p.grid.shape, &p.grid.halo, 41);
+        let b: Grid<f64> = Grid::random(&p.grid.shape, &p.grid.halo, 42);
+        let c = CompiledStencil::compile(&p, &a).unwrap();
+        let spec = SpecializedStencil::try_from_compiled(&c).unwrap();
+        let states = [a.as_slice(), b.as_slice()];
+        let base = a.layout().index(&[5, 4, 0]);
+        let mut row = vec![0.0; 16];
+        spec.run_row(&states, base, &mut row);
+        for (i, &got) in row.iter().enumerate() {
+            let want = c.apply_at(&states, base + i);
+            assert_eq!(got.to_bits(), want.to_bits(), "point {i}");
+        }
+    }
+}

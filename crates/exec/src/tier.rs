@@ -1,0 +1,334 @@
+//! Execution-tier selection: interpreter vs bytecode VM vs shape-
+//! specialized row kernels.
+//!
+//! The three tiers form a strict correctness hierarchy. The interpreter
+//! (`CompiledStencil::apply_at`) is the oracle; the VM replays its exact
+//! evaluation order row-by-row (see `msc_vm::compile_linear`); the
+//! specialized kernels do the same with a const-generic tap count. All
+//! three are bit-identical by construction, which the differential
+//! harness (`tests/tier_differential.rs`) enforces across the catalog.
+//!
+//! Selection policy (`ExecTier::Auto`, the default):
+//!
+//! * every term's tap count has a specialized shape → **specialized**;
+//! * otherwise → **VM**;
+//! * the interpreter only runs when explicitly requested (or through the
+//!   `Executor::Reference` oracle path, which always interprets).
+//!
+//! An explicit `Specialized` request degrades to the VM when the shape
+//! isn't supported — same ladder, just skipping Auto's preference.
+
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::time::Instant;
+
+use msc_core::error::Result;
+use msc_core::prelude::StencilProgram;
+use msc_vm::{LinearTerm, VmProgram, VmScratch};
+
+use crate::compiled::CompiledStencil;
+use crate::grid::{Grid, Scalar};
+use crate::specialized::SpecializedStencil;
+
+/// Requested execution tier (CLI `--exec-tier`, `RunOptions::tier`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecTier {
+    /// Specialized where the shape allows, VM otherwise.
+    #[default]
+    Auto,
+    /// The tree-walking tap interpreter (the bit-exactness oracle).
+    Interp,
+    /// The bytecode register VM.
+    Vm,
+    /// Monomorphized row kernels (falls back to the VM off-menu).
+    Specialized,
+}
+
+impl ExecTier {
+    pub fn parse(s: &str) -> Option<ExecTier> {
+        match s {
+            "auto" => Some(ExecTier::Auto),
+            "interp" | "interpreter" => Some(ExecTier::Interp),
+            "vm" => Some(ExecTier::Vm),
+            "specialized" => Some(ExecTier::Specialized),
+            _ => None,
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            ExecTier::Auto => "auto",
+            ExecTier::Interp => "interp",
+            ExecTier::Vm => "vm",
+            ExecTier::Specialized => "specialized",
+        }
+    }
+}
+
+/// The tier that actually runs after resolving `Auto` and fallbacks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ActiveTier {
+    Interp,
+    Vm,
+    Specialized,
+}
+
+impl ActiveTier {
+    pub fn name(self) -> &'static str {
+        match self {
+            ActiveTier::Interp => "interp",
+            ActiveTier::Vm => "vm",
+            ActiveTier::Specialized => "specialized",
+        }
+    }
+}
+
+/// Process-wide default tier, used by entry points that predate tier
+/// threading (`run_program`/`run_program_bc`). Same pattern as
+/// `pool::set_persistent`.
+static DEFAULT_TIER: AtomicU8 = AtomicU8::new(ExecTier::Auto as u8);
+
+pub fn set_exec_tier(tier: ExecTier) {
+    DEFAULT_TIER.store(tier as u8, Ordering::Relaxed);
+}
+
+pub fn exec_tier() -> ExecTier {
+    match DEFAULT_TIER.load(Ordering::Relaxed) {
+        x if x == ExecTier::Interp as u8 => ExecTier::Interp,
+        x if x == ExecTier::Vm as u8 => ExecTier::Vm,
+        x if x == ExecTier::Specialized as u8 => ExecTier::Specialized,
+        _ => ExecTier::Auto,
+    }
+}
+
+/// Per-worker scratch for the active tier (the VM's register file; the
+/// other tiers need none).
+pub struct TierScratch<T> {
+    vm: Option<VmScratch<T>>,
+}
+
+/// A compiled stencil with all three execution tiers attached and one
+/// selected. Derefs to the interpreter's [`CompiledStencil`], so layout
+/// queries (`max_dt`, `reach`, taps) and the SPM/reference paths keep
+/// working on the same object.
+pub struct TieredStencil<T> {
+    interp: CompiledStencil<T>,
+    vm: Option<VmProgram<T>>,
+    specialized: Option<SpecializedStencil<T>>,
+    active: ActiveTier,
+    /// Wall time spent lowering to bytecode + building the specialized
+    /// dispatch (feeds the `VmCompileNanos` counter).
+    pub compile_nanos: u64,
+    vm_dispatches: AtomicU64,
+    specialized_rows: AtomicU64,
+}
+
+impl<T> std::ops::Deref for TieredStencil<T> {
+    type Target = CompiledStencil<T>;
+    fn deref(&self) -> &CompiledStencil<T> {
+        &self.interp
+    }
+}
+
+impl<T: Scalar> TieredStencil<T> {
+    /// Compile every tier and resolve `tier` to the one that will run.
+    pub fn compile(program: &StencilProgram, grid: &Grid<T>, tier: ExecTier) -> Result<TieredStencil<T>> {
+        let interp = CompiledStencil::compile(program, grid)?;
+        Ok(Self::from_compiled(interp, tier))
+    }
+
+    /// Attach tiers to an already-compiled stencil (the distributed
+    /// driver compiles against per-rank local layouts).
+    pub fn from_compiled(interp: CompiledStencil<T>, tier: ExecTier) -> TieredStencil<T> {
+        let t0 = Instant::now();
+        let specialized = SpecializedStencil::try_from_compiled(&interp);
+        let linear: Vec<LinearTerm<T>> = interp
+            .terms
+            .iter()
+            .map(|t| LinearTerm {
+                slot: t.dt - 1,
+                weight: t.weight,
+                taps: t.taps.iter().map(|&(off, c)| (off as i64, c)).collect(),
+            })
+            .collect();
+        // Lowering only fails on register/const-pool overflow — kernels
+        // that large fall back to the interpreter.
+        let vm = msc_vm::compile_linear(&linear).ok();
+        let active = match tier {
+            ExecTier::Interp => ActiveTier::Interp,
+            ExecTier::Vm if vm.is_some() => ActiveTier::Vm,
+            ExecTier::Vm => ActiveTier::Interp,
+            ExecTier::Specialized | ExecTier::Auto => {
+                if specialized.is_some() {
+                    ActiveTier::Specialized
+                } else if vm.is_some() {
+                    ActiveTier::Vm
+                } else {
+                    ActiveTier::Interp
+                }
+            }
+        };
+        TieredStencil {
+            interp,
+            vm,
+            specialized,
+            active,
+            compile_nanos: t0.elapsed().as_nanos() as u64,
+            vm_dispatches: AtomicU64::new(0),
+            specialized_rows: AtomicU64::new(0),
+        }
+    }
+
+    pub fn active(&self) -> ActiveTier {
+        self.active
+    }
+
+    /// Per-worker scratch; allocate once per worker, not per row.
+    pub fn scratch(&self) -> TierScratch<T> {
+        TierScratch {
+            vm: match self.active {
+                ActiveTier::Vm => self.vm.as_ref().map(|p| p.scratch()),
+                _ => None,
+            },
+        }
+    }
+
+    /// Evaluate a unit-stride row on the active tier: `out[i]` gets the
+    /// update of the point at flat index `base + i`, where
+    /// `states[dt - 1]` is the state `dt` steps back.
+    #[inline]
+    pub fn run_row(&self, states: &[&[T]], base: usize, out: &mut [T], scratch: &mut TierScratch<T>) {
+        match self.active {
+            ActiveTier::Interp => {
+                for (i, o) in out.iter_mut().enumerate() {
+                    *o = self.interp.apply_at(states, base + i);
+                }
+            }
+            ActiveTier::Vm => {
+                let prog = self.vm.as_ref().expect("active Vm tier has a program");
+                let scratch = scratch.vm.as_mut().expect("VM tier scratch");
+                prog.run_row(states, base, out, scratch);
+            }
+            ActiveTier::Specialized => {
+                let spec = self
+                    .specialized
+                    .as_ref()
+                    .expect("active Specialized tier has kernels");
+                spec.run_row(states, base, out);
+            }
+        }
+    }
+
+    /// Account `n_rows` rows of `row_len` executed on the active tier.
+    /// Called once per tile (relaxed atomics; drained per step by the
+    /// drivers into `VmDispatches`/`SpecializedHits`).
+    pub fn note_rows(&self, n_rows: u64, row_len: usize) {
+        match self.active {
+            ActiveTier::Interp => {}
+            ActiveTier::Vm => {
+                let d = n_rows * VmProgram::<T>::dispatches_for(row_len);
+                self.vm_dispatches.fetch_add(d, Ordering::Relaxed);
+            }
+            ActiveTier::Specialized => {
+                self.specialized_rows.fetch_add(n_rows, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Drain the accumulated `(vm_dispatches, specialized_rows)` pair.
+    pub fn take_tier_counters(&self) -> (u64, u64) {
+        (
+            self.vm_dispatches.swap(0, Ordering::Relaxed),
+            self.specialized_rows.swap(0, Ordering::Relaxed),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msc_core::catalog::{benchmark, BenchmarkId};
+    use msc_core::prelude::*;
+
+    fn program() -> StencilProgram {
+        benchmark(BenchmarkId::S3d7ptStar)
+            .program(&[10, 8, 12], DType::F64, 2)
+            .unwrap()
+    }
+
+    fn tiered(tier: ExecTier) -> (TieredStencil<f64>, Grid<f64>, Grid<f64>) {
+        let p = program();
+        let a: Grid<f64> = Grid::random(&p.grid.shape, &p.grid.halo, 21);
+        let b: Grid<f64> = Grid::random(&p.grid.shape, &p.grid.halo, 22);
+        let c = TieredStencil::compile(&p, &a, tier).unwrap();
+        (c, a, b)
+    }
+
+    #[test]
+    fn auto_resolves_to_specialized_for_catalog_shapes() {
+        let (c, _, _) = tiered(ExecTier::Auto);
+        assert_eq!(c.active(), ActiveTier::Specialized);
+        let (c, _, _) = tiered(ExecTier::Vm);
+        assert_eq!(c.active(), ActiveTier::Vm);
+        let (c, _, _) = tiered(ExecTier::Interp);
+        assert_eq!(c.active(), ActiveTier::Interp);
+    }
+
+    #[test]
+    fn off_menu_shapes_fall_back_to_the_vm() {
+        // A 1D kernel with 10 taps — no specialized shape for 10.
+        let mut e = 0.1 * Expr::at("B", &[-5]);
+        for off in -4i64..5 {
+            e = e + 0.1 * Expr::at("B", &[off]);
+        }
+        let k = Kernel::new("k10", 1, e).unwrap();
+        let p = StencilProgram::builder("off_menu")
+            .grid(SpNode::new("B", DType::F64, &[32], 5, 2).unwrap())
+            .kernel(k)
+            .timesteps(2)
+            .build()
+            .unwrap();
+        let g: Grid<f64> = Grid::for_tensor(&p.grid);
+        let c = TieredStencil::compile(&p, &g, ExecTier::Auto).unwrap();
+        assert_eq!(c.active(), ActiveTier::Vm);
+        let c = TieredStencil::compile(&p, &g, ExecTier::Specialized).unwrap();
+        assert_eq!(c.active(), ActiveTier::Vm, "explicit request degrades");
+    }
+
+    #[test]
+    fn all_tiers_agree_bitwise_on_a_row() {
+        let mut rows = Vec::new();
+        for tier in [ExecTier::Interp, ExecTier::Vm, ExecTier::Specialized] {
+            let (c, a, b) = tiered(tier);
+            let states = [a.as_slice(), b.as_slice()];
+            let base = a.layout().index(&[4, 3, 0]);
+            let mut row = vec![0.0f64; 12];
+            let mut scratch = c.scratch();
+            c.run_row(&states, base, &mut row, &mut scratch);
+            rows.push(row);
+        }
+        assert_eq!(rows[0], rows[1]);
+        assert_eq!(rows[0], rows[2]);
+    }
+
+    #[test]
+    fn tier_counters_accumulate_and_drain() {
+        let (c, _, _) = tiered(ExecTier::Vm);
+        c.note_rows(10, 130); // 130 points = 3 chunks of 64
+        assert_eq!(c.take_tier_counters(), (30, 0));
+        assert_eq!(c.take_tier_counters(), (0, 0));
+        let (c, _, _) = tiered(ExecTier::Specialized);
+        c.note_rows(7, 64);
+        assert_eq!(c.take_tier_counters(), (0, 7));
+    }
+
+    #[test]
+    fn global_default_round_trips() {
+        // Serialize against other tests via the set/read/restore dance.
+        let was = exec_tier();
+        set_exec_tier(ExecTier::Vm);
+        assert_eq!(exec_tier(), ExecTier::Vm);
+        set_exec_tier(was);
+        assert_eq!(ExecTier::parse("specialized"), Some(ExecTier::Specialized));
+        assert_eq!(ExecTier::parse("bogus"), None);
+    }
+}

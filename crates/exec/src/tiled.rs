@@ -2,36 +2,38 @@
 //! a pool of worker threads with the paper's round-robin task striping
 //! (`mod(task_id, n_threads) == my_id`, Figure 4(d)).
 
-use crate::compiled::CompiledStencil;
 use crate::grid::{Grid, GridLayout, Scalar};
 use crate::pool::{self, SendPtr};
+use crate::tier::{TierScratch, TieredStencil};
 use msc_core::schedule::plan::{ExecPlan, TileRange};
 use msc_trace::Counter;
 
-/// Compute one tile into `out_ptr` (the padded output buffer).
+/// Compute one tile into `out_ptr` (the padded output buffer), row by
+/// row through the active execution tier.
 fn compute_tile<T: Scalar>(
-    stencil: &CompiledStencil<T>,
+    stencil: &TieredStencil<T>,
     states: &[&[T]],
     out: &GridLayout,
     out_ptr: *mut T,
     tile: &TileRange,
+    scratch: &mut TierScratch<T>,
 ) {
     let ndim = out.ndim();
     let inner_extent = tile.extent[ndim - 1];
     let mut pos = tile.origin.clone();
-    loop {
+    let mut rows = 0u64;
+    'tile: loop {
         pos[ndim - 1] = tile.origin[ndim - 1];
         let base = out.index(&pos);
-        for i in 0..inner_extent {
-            let v = stencil.apply_at(states, base + i);
-            // SAFETY: `base + i` indexes this tile's row, disjoint from
-            // every other tile.
-            unsafe { *out_ptr.add(base + i) = v };
-        }
+        // SAFETY: this unit-stride row lies inside this tile, and tiles
+        // partition the interior — no other worker touches these cells.
+        let row = unsafe { std::slice::from_raw_parts_mut(out_ptr.add(base), inner_extent) };
+        stencil.run_row(states, base, row, scratch);
+        rows += 1;
         let mut d = ndim - 1;
         loop {
             if d == 0 {
-                return;
+                break 'tile;
             }
             d -= 1;
             pos[d] += 1;
@@ -41,13 +43,14 @@ fn compute_tile<T: Scalar>(
             pos[d] = tile.origin[d];
         }
     }
+    stencil.note_rows(rows, inner_extent);
 }
 
 /// Perform one timestep using the plan's tiling and threading.
 ///
 /// Returns the number of tiles executed.
 pub fn step<T: Scalar>(
-    stencil: &CompiledStencil<T>,
+    stencil: &TieredStencil<T>,
     plan: &ExecPlan,
     states: &[&Grid<T>],
     out: &mut Grid<T>,
@@ -66,7 +69,7 @@ pub fn step<T: Scalar>(
 ///
 /// Returns the number of tiles executed.
 pub fn step_tiles<T: Scalar>(
-    stencil: &CompiledStencil<T>,
+    stencil: &TieredStencil<T>,
     plan: &ExecPlan,
     states: &[&Grid<T>],
     out: &mut Grid<T>,
@@ -79,8 +82,9 @@ pub fn step_tiles<T: Scalar>(
 
     pool::run_tile_job(plan.n_threads, tiles.len(), &|q| {
         let _ws = parallel.then(|| msc_trace::span("tile_worker"));
+        let mut scratch = stencil.scratch();
         for i in q.by_ref() {
-            compute_tile(stencil, &state_slices, &layout, ptr.get(), &tiles[i]);
+            compute_tile(stencil, &state_slices, &layout, ptr.get(), &tiles[i], &mut scratch);
         }
     });
     tiles.len()
@@ -94,6 +98,7 @@ mod tests {
     use msc_core::catalog::{all_benchmarks, benchmark, BenchmarkId};
     use msc_core::prelude::*;
     use msc_core::schedule::Schedule;
+    use crate::tier::ExecTier;
 
     fn plan_for(p: &StencilProgram, tile: &[usize], threads: usize) -> ExecPlan {
         let mut s = Schedule::default();
@@ -108,7 +113,7 @@ mod tests {
             .program(&[16, 16, 16], DType::F64, 1)
             .unwrap();
         let init: Grid<f64> = Grid::random(&p.grid.shape, &p.grid.halo, 7);
-        let c = CompiledStencil::compile(&p, &init).unwrap();
+        let c = TieredStencil::compile(&p, &init, ExecTier::Auto).unwrap();
         let mut ref_out = init.clone();
         reference::step(&c, &[&init, &init], &mut ref_out);
         let plan = plan_for(&p, &[4, 8, 16], 4);
@@ -124,7 +129,7 @@ mod tests {
             let grid = b.test_grid();
             let p = b.program(&grid, DType::F64, 1).unwrap();
             let init: Grid<f64> = Grid::random(&p.grid.shape, &p.grid.halo, 11);
-            let c = CompiledStencil::compile(&p, &init).unwrap();
+            let c = TieredStencil::compile(&p, &init, ExecTier::Auto).unwrap();
             let mut ref_out = init.clone();
             reference::step(&c, &[&init, &init], &mut ref_out);
             let tile: Vec<usize> = grid.iter().map(|&g| (g / 3).max(1)).collect();
@@ -141,7 +146,7 @@ mod tests {
             .program(&[32, 32], DType::F64, 1)
             .unwrap();
         let init: Grid<f64> = Grid::random(&p.grid.shape, &p.grid.halo, 3);
-        let c = CompiledStencil::compile(&p, &init).unwrap();
+        let c = TieredStencil::compile(&p, &init, ExecTier::Auto).unwrap();
         let mut outs = Vec::new();
         for threads in [1, 2, 7, 64] {
             let plan = plan_for(&p, &[8, 8], threads);
@@ -161,7 +166,7 @@ mod tests {
             .program(&[10, 10], DType::F64, 1)
             .unwrap();
         let init: Grid<f64> = Grid::random(&p.grid.shape, &p.grid.halo, 5);
-        let c = CompiledStencil::compile(&p, &init).unwrap();
+        let c = TieredStencil::compile(&p, &init, ExecTier::Auto).unwrap();
         let mut ref_out = init.clone();
         reference::step(&c, &[&init, &init], &mut ref_out);
         let plan = plan_for(&p, &[3, 4], 3);

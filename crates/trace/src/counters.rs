@@ -76,6 +76,9 @@ counters! {
     PoolParks        => ("pool_parks", "count", Sum),
     PoolUnparks      => ("pool_unparks", "count", Sum),
     OverlapNanos     => ("overlap_window", "ns", Sum),
+    VmCompileNanos   => ("vm_compile_time", "ns", Sum),
+    VmDispatches     => ("vm_dispatches", "count", Sum),
+    SpecializedHits  => ("specialized_hits", "count", Sum),
 }
 
 /// A plain, copyable vector of counter values.

@@ -2,7 +2,7 @@
 # Benchmark-trajectory helper (DESIGN.md §8.4).
 #
 #   scripts/bench.sh record   — run the full fixed suite, overwrite
-#                               BENCH_0004.json at the repo root
+#                               BENCH_0006.json at the repo root
 #   scripts/bench.sh smoke    — CI gate: record a quick run, validate its
 #                               schema, count-diff it against the committed
 #                               baseline, and prove the regression gate
@@ -16,7 +16,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 MSCC=target/release/mscc
-BASELINE=BENCH_0004.json
+BASELINE=BENCH_0006.json
 
 cargo build --release --offline --bin mscc
 
@@ -34,6 +34,26 @@ sys.exit(0 if got >= need else 1)
 PY
 }
 
+# Extract the execution-tier speedups from the s3d7pt_interp_vs_vm case.
+# The bytecode VM must beat the tap interpreter by at least MIN_SPEEDUP x
+# (the ISSUE gate is 2x); the 5x stretch target is reported but not gated,
+# so a run that clears 2x while missing 5x stays green.
+check_vm_speedup() {
+  python3 - "$1" "$2" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+need = float(sys.argv[2])
+case = next(c for c in doc["cases"] if c["name"] == "s3d7pt_interp_vs_vm")
+vm = next(m["value"] for m in case["metrics"] if m["name"] == "vm_speedup")
+spec = next(m["value"] for m in case["metrics"] if m["name"] == "specialized_speedup")
+print(f"vm_vs_interp speedup: {vm:.2f}x (need >= {need:.2f}x)")
+best = max(vm, spec)
+status = "met" if best >= 5.0 else "not met"
+print(f"specialized_vs_interp speedup: {spec:.2f}x (5x stretch target {status}; not gated)")
+sys.exit(0 if vm >= need else 1)
+PY
+}
+
 case "${1:-smoke}" in
   record)
     "$MSCC" bench --out "$BASELINE"
@@ -41,6 +61,9 @@ case "${1:-smoke}" in
     # The committed trajectory must show the persistent pool beating the
     # per-step respawn scheduler by >= 10% on the 100-step 3D star case.
     check_pool_speedup "$BASELINE" 1.10
+    # ... and the bytecode VM beating the tap interpreter by >= 2x on the
+    # single-thread whole-grid s3d7pt tier comparison.
+    check_vm_speedup "$BASELINE" 2.00
     ;;
   smoke)
     tmp=$(mktemp -d)
@@ -65,6 +88,10 @@ case "${1:-smoke}" in
     # tiles, the more the per-step spawn/join overhead dominates); a loose
     # 1.0 floor keeps the gate meaningful without tripping on CI noise.
     check_pool_speedup "$tmp/quick.json" 1.00
+    # The VM tier gate runs on the quick grids too: rows are still a full
+    # 32-point axis, so the 2x compute advantage holds; dispatches and
+    # bit-identity are checked inside the case itself.
+    check_vm_speedup "$tmp/quick.json" 2.00
     echo "bench smoke: all green"
     ;;
   *)

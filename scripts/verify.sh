@@ -17,6 +17,11 @@ echo "== chaos suite (fixed seeds) =="
 # seeds are fixed so failures reproduce exactly.
 cargo test -q -p msc-comm --test chaos --offline
 
+echo "== execution-tier differential (interp vs VM vs specialized) =="
+# Every catalog stencil must produce bit-identical grids on all three
+# row-evaluation tiers (DESIGN.md §12.3) — the interpreter is the oracle.
+cargo test -q -p msc-exec --test tier_differential --offline
+
 echo "== clippy =="
 cargo clippy --workspace --all-targets --offline -- -D warnings
 

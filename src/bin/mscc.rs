@@ -22,7 +22,7 @@
 //!                                       # ...with seeded fault injection
 //! mscc stencil.msc --procs 2x2 --chaos 1:kill=1@3 --checkpoint-every 2
 //!                                       # kill a rank, restart from checkpoint
-//! mscc bench --out BENCH_0004.json      # record the benchmark trajectory
+//! mscc bench --out BENCH_0006.json      # record the benchmark trajectory
 //! mscc bench --diff OLD.json NEW.json   # exit nonzero on perf regression
 //! ```
 //!
@@ -58,6 +58,9 @@ input / output:
 
 execution:
       --run                execute functionally and print run statistics
+      --exec-tier TIER     row evaluation tier: auto | interp | vm | specialized
+                           (default auto — fastest applicable; every tier is
+                           bit-identical to the interpreter)
       --simulate           print the predicted time on the target machine model
       --stats              print static kernel statistics
       --autoschedule       pick tiles/stream/tile_time automatically
@@ -91,7 +94,7 @@ check subcommand (mscc check):
 
 bench subcommand (mscc bench):
       --quick              small grids — CI smoke mode
-      --out FILE           write the recording to FILE (default BENCH_0004.json)
+      --out FILE           write the recording to FILE (default BENCH_0006.json)
       --validate FILE      schema-check a recording and exit
       --diff OLD NEW       compare two recordings; exit nonzero on regression
       --threshold PCT      time-metric regression threshold in percent (default 15)
@@ -118,6 +121,7 @@ struct Args {
     checkpoint_dir: Option<PathBuf>,
     flight_dir: Option<PathBuf>,
     pool_threads: Option<usize>,
+    exec_tier: msc::exec::ExecTier,
 }
 
 struct BenchArgs {
@@ -255,6 +259,7 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Cli, String> {
     let mut checkpoint_dir = None;
     let mut flight_dir = None;
     let mut pool_threads = None;
+    let mut exec_tier = msc::exec::ExecTier::Auto;
     while let Some(a) = argv.next() {
         match a.as_str() {
             "-o" | "--out" => {
@@ -305,6 +310,12 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Cli, String> {
                     argv.next().ok_or("missing directory after --flight-dir")?,
                 ))
             }
+            "--exec-tier" => {
+                let t = argv.next().ok_or("missing tier after --exec-tier")?;
+                exec_tier = msc::exec::ExecTier::parse(&t).ok_or(format!(
+                    "unknown exec tier `{t}` (try auto, interp, vm, specialized)"
+                ))?;
+            }
             "--pool-threads" => {
                 pool_threads = Some(
                     argv.next()
@@ -338,6 +349,7 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Cli, String> {
         checkpoint_dir,
         flight_dir,
         pool_threads,
+        exec_tier,
     })))
 }
 
@@ -498,6 +510,10 @@ fn drive(args: Args) -> Result<(), Box<dyn std::error::Error>> {
         msc::exec::pool::set_pool_threads(n);
     }
 
+    // Tier selection for every execution path in this invocation; the
+    // distributed branch also carries it explicitly through RunOptions.
+    msc::exec::set_exec_tier(args.exec_tier);
+
     println!(
         "compiled `{}`: {}D grid {:?}, {} kernels, window {}, {} timesteps, target {}",
         program.name,
@@ -606,7 +622,10 @@ fn drive(args: Args) -> Result<(), Box<dyn std::error::Error>> {
                 p
             }
         };
-        let mut opts = RunOptions::default();
+        let mut opts = RunOptions {
+            tier: args.exec_tier,
+            ..RunOptions::default()
+        };
         if let Some(spec) = &args.chaos {
             opts.chaos = Some(Arc::new(FaultPlan::parse(spec)?));
         }
@@ -713,8 +732,18 @@ fn drive(args: Args) -> Result<(), Box<dyn std::error::Error>> {
         if tracing {
             msc::trace::set_enabled(false);
         }
+        // Resolved tier, reconstructed from what the run actually counted
+        // (Auto may have degraded, e.g. an off-menu shape falling back to
+        // the VM), not from what was requested.
+        let tier = if stats.specialized_hits() > 0 {
+            "specialized"
+        } else if stats.vm_dispatches() > 0 {
+            "vm"
+        } else {
+            "interp"
+        };
         println!(
-            "ran {} steps in {:.1} ms ({} tiles); interior checksum {:.6e}",
+            "ran {} steps in {:.1} ms ({} tiles, {tier} tier); interior checksum {:.6e}",
             stats.steps,
             dt.as_secs_f64() * 1e3,
             stats.tiles_executed,

@@ -10,7 +10,10 @@
 //! * [`machine`] (`msc-machine`) — Sunway SW26010 / Matrix MT2000+ /
 //!   Xeon models, DMA, caches, interconnects;
 //! * [`exec`] (`msc-exec`) — functional executors (serial reference,
-//!   tiled parallel, SPM-staged) with correctness verification;
+//!   tiled parallel, SPM-staged) with correctness verification, running
+//!   rows through tiered evaluation (interpreter / VM / specialized);
+//! * [`vm`] (`msc-vm`) — the bytecode compiler and row-vectorized
+//!   register VM behind the `vm` execution tier;
 //! * [`sim`] (`msc-sim`) — the deterministic timing simulator behind the
 //!   figures;
 //! * [`codegen`] (`msc-codegen`) — AOT C generation (OpenMP, athread,
@@ -61,6 +64,7 @@ pub use msc_machine as machine;
 pub use msc_sim as sim;
 pub use msc_trace as trace;
 pub use msc_tune as tune;
+pub use msc_vm as vm;
 
 /// One-stop imports for examples and downstream users.
 pub mod prelude {

@@ -170,7 +170,7 @@ fn help_documents_every_flag() {
     let help = String::from_utf8_lossy(&out.stdout);
     for flag in [
         "-o", "--out", "--target", "--run", "--simulate", "--stats",
-        "--autoschedule", "--dump", "--profile", "--trace", "--procs",
+        "--exec-tier", "--autoschedule", "--dump", "--profile", "--trace", "--procs",
         "--chaos", "--checkpoint-every", "--checkpoint-dir", "--flight-dir",
         "--quick", "--validate", "--diff", "--threshold", "--counts-only",
         "--doctor", "--json", "-h", "--help",
@@ -269,6 +269,64 @@ fn compile_path_is_gated_by_the_linter() {
 }
 
 #[test]
+fn denied_program_never_reaches_the_vm() {
+    // The lint gate runs before any execution tier is set up, so a
+    // deny-level program asked to run on the bytecode VM must die at the
+    // lint stage: no "compiled" banner, no run line, and certainly no
+    // bytecode compilation (run_program_tier re-checks check_deny too).
+    let dir = std::env::temp_dir().join("mscc_cli_vm_lint_gate");
+    let _ = std::fs::remove_dir_all(&dir);
+    let out = mscc()
+        .arg(lint_fixture("spm_overflow.deny.msc"))
+        .arg("-o")
+        .arg(&dir)
+        .args(["--run", "--exec-tier", "vm"])
+        .output()
+        .expect("mscc runs");
+    assert!(!out.status.success(), "denied program must not run on any tier");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("lint rejected"), "{err}");
+    assert!(err.contains("[deny]"), "{err}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(!stdout.contains("compiled"), "lint must fire pre-compile: {stdout}");
+    assert!(!stdout.contains("ran"), "lint must fire pre-run: {stdout}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn exec_tier_selects_the_vm_and_reports_it() {
+    // --exec-tier vm routes the functional run through the bytecode VM
+    // (visible in the run banner) and stays bit-identical to the serial
+    // reference, which --stats verifies in-process.
+    let dir = std::env::temp_dir().join("mscc_cli_vm_tier");
+    let _ = std::fs::remove_dir_all(&dir);
+    let out = mscc()
+        .arg(dsl("wave2d.msc"))
+        .arg("-o")
+        .arg(&dir)
+        .args(["--run", "--stats", "--exec-tier", "vm"])
+        .output()
+        .expect("mscc runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.contains("vm tier"), "{stdout}");
+    assert!(stdout.contains("verified vs serial reference: max rel err 0.00e0"), "{stdout}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bad_exec_tier_is_a_clean_error() {
+    let out = mscc()
+        .arg(dsl("wave2d.msc"))
+        .args(["--exec-tier", "warp"])
+        .output()
+        .expect("mscc runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown exec tier"), "{err}");
+}
+
+#[test]
 fn distributed_trace_stitches_all_ranks_with_flows() {
     // The tentpole end-to-end: a 2x2 distributed run under --trace must
     // write one merged chrome://tracing document with span rows from all
@@ -355,7 +413,7 @@ fn bench_records_validates_and_gates_regressions() {
         .expect("mscc runs");
     assert!(rec.status.success(), "{}", String::from_utf8_lossy(&rec.stderr));
     let text = std::fs::read_to_string(&base).unwrap();
-    assert!(text.contains("\"schema_version\": 4"), "{text}");
+    assert!(text.contains("\"schema_version\": 6"), "{text}");
 
     let val = mscc().args(["bench", "--validate"]).arg(&base).output().unwrap();
     assert!(val.status.success());
