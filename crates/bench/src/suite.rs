@@ -303,6 +303,49 @@ pub fn run_suite(quick: bool) -> Result<Json> {
     ]))
 }
 
+/// What the recovery smoke run observed (`mscc bench --doctor`).
+pub struct RecoverySmoke {
+    pub recoveries: usize,
+    pub restarts: usize,
+    pub buddy_bytes: u64,
+    pub detect_p50_ns: u64,
+    pub detect_p99_ns: u64,
+}
+
+/// Kill one rank of a 2x2 world mid-run and heal it online with a hot
+/// spare, then check the recovered grid against the fault-free serial
+/// reference bit for bit. `mscc bench --doctor` runs this as a self-test
+/// of the recovery machinery alongside the regression-gate self-test,
+/// surfacing the recovery counters and the detection-latency histogram.
+pub fn recovery_smoke() -> Result<RecoverySmoke> {
+    use msc_comm::{run_distributed_resilient, FaultPlan, HeartbeatConfig, RunOptions};
+    let p = benchmark(BenchmarkId::S2d9ptBox).program(&[32, 32], DType::F64, 6)?;
+    let init: Grid<f64> = Grid::random(&p.grid.shape, &p.grid.halo, 42);
+    let (reference, _) = run_program(&p, &Executor::Reference, &init)?;
+    let opts = RunOptions {
+        chaos: Some(std::sync::Arc::new(FaultPlan::new(5).with_kill(1, 4))),
+        checkpoint_every: 2, // diskless: buddy snapshots only
+        spare_ranks: 1,
+        heartbeat: Some(HeartbeatConfig::from_millis(5).map_err(MscError::InvalidConfig)?),
+        ..RunOptions::default()
+    };
+    let (out, stats) =
+        run_distributed_resilient(&p, &[2, 2], &init, Boundary::Dirichlet, &opts, sub_plan)?;
+    if out.as_slice() != reference.as_slice() {
+        return Err(MscError::InvalidConfig(
+            "recovery smoke: healed grid is not bit-identical to the fault-free run".into(),
+        ));
+    }
+    let d = stats.hists.get(Hist::DetectLatencyNanos);
+    Ok(RecoverySmoke {
+        recoveries: stats.recoveries,
+        restarts: stats.restarts,
+        buddy_bytes: stats.buddy_bytes(),
+        detect_p50_ns: d.p50(),
+        detect_p99_ns: d.p99(),
+    })
+}
+
 fn require<'a>(doc: &'a Json, key: &str, ctx: &str) -> std::result::Result<&'a Json, String> {
     doc.get(key)
         .ok_or_else(|| format!("{ctx}: missing `{key}`"))

@@ -19,7 +19,7 @@
 use msc_core::error::{MscError, Result};
 use msc_exec::grid::{Grid, Scalar};
 use msc_exec::io;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::path::{Path, PathBuf};
 
 /// A directory of step-stamped grid snapshots shared by all ranks of a
@@ -72,7 +72,17 @@ impl CheckpointStore {
             let final_path = self.grid_path(step, rank, slot);
             let tmp_path = final_path.with_extension("grid.tmp");
             io::save(grid, &tmp_path)?;
-            bytes += std::fs::metadata(&tmp_path).map(|m| m.len()).unwrap_or(0);
+            // An unreadable just-written file is an IO failure, not a
+            // zero-byte checkpoint: swallowing it here used to silently
+            // falsify the CheckpointBytes counter.
+            bytes += std::fs::metadata(&tmp_path)
+                .map(|m| m.len())
+                .map_err(|e| {
+                    MscError::InvalidConfig(format!(
+                        "cannot stat checkpoint {}: {e}",
+                        tmp_path.display()
+                    ))
+                })?;
             std::fs::rename(&tmp_path, &final_path).map_err(|e| {
                 MscError::InvalidConfig(format!(
                     "cannot publish checkpoint {}: {e}",
@@ -122,6 +132,74 @@ impl CheckpointStore {
             .max()
     }
 
+    /// Every step for which all `n_ranks` markers exist, ascending.
+    fn complete_steps(&self) -> Vec<u64> {
+        let Ok(entries) = std::fs::read_dir(&self.dir) else {
+            return Vec::new();
+        };
+        let mut ranks_seen: HashMap<u64, usize> = HashMap::new();
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let Some(rest) = name.strip_prefix("ckpt_s") else { continue };
+            let Some(rest) = rest.strip_suffix(".ok") else { continue };
+            let Some((step_str, _)) = rest.split_once("_r") else { continue };
+            if let Ok(step) = step_str.parse::<u64>() {
+                *ranks_seen.entry(step).or_insert(0) += 1;
+            }
+        }
+        let mut steps: Vec<u64> = ranks_seen
+            .into_iter()
+            .filter(|&(_, n)| n >= self.n_ranks)
+            .map(|(step, _)| step)
+            .collect();
+        steps.sort_unstable();
+        steps
+    }
+
+    /// Garbage-collect old generations: keep the newest `keep` complete
+    /// checkpoints and delete everything older — complete generations
+    /// past the retention window, abandoned incomplete generations, and
+    /// half-written `.grid.tmp` leftovers from crashed writers. Safe to
+    /// call concurrently from every rank (deleting an already-deleted
+    /// file is not an error), and never touches generations newer than
+    /// the newest complete one, which may still be mid-write. Returns
+    /// the number of files removed.
+    pub fn gc(&self, keep: usize) -> usize {
+        let complete = self.complete_steps();
+        let Some(&newest) = complete.last() else {
+            return 0;
+        };
+        let kept: BTreeSet<u64> = complete.iter().rev().take(keep.max(1)).copied().collect();
+        let cutoff = *kept.iter().next().unwrap();
+        let Ok(entries) = std::fs::read_dir(&self.dir) else {
+            return 0;
+        };
+        let mut removed = 0usize;
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let Some(rest) = name.strip_prefix("ckpt_s") else { continue };
+            let step: u64 = match rest
+                .split(|c: char| !c.is_ascii_digit())
+                .next()
+                .and_then(|s| s.parse().ok())
+            {
+                Some(s) => s,
+                None => continue,
+            };
+            let is_tmp = name.ends_with(".grid.tmp");
+            // A tmp file at or below the newest complete generation is a
+            // crashed writer's leftover: every published file of those
+            // generations was atomically renamed away from its tmp name.
+            let prune = if is_tmp { step <= newest } else { step < cutoff };
+            if prune && std::fs::remove_file(entry.path()).is_ok() {
+                removed += 1;
+            }
+        }
+        removed
+    }
+
     /// Delete every checkpoint file in the store (used by tests and by
     /// drivers that finished cleanly and no longer need restart data).
     pub fn clear(&self) -> Result<()> {
@@ -136,6 +214,106 @@ impl CheckpointStore {
         }
         Ok(())
     }
+}
+
+/// Diskless buddy checkpointing: each rank's in-memory store of window
+/// snapshots, kept beside the disk [`CheckpointStore`]. `own` holds this
+/// rank's cloned ring per generation (its rollback state after a peer
+/// dies); `held` holds the serialized ring its *predecessor* replicated
+/// to it over the reliable channel layer (the content of the same
+/// `MSCGRID1` window snapshot the disk store writes, as a flat lattice
+/// payload — shape is implied by the decomposition, which gives every
+/// rank an identical sub-extent). When the predecessor dies, the held
+/// payload is pushed to the adopting spare; disk remains the fallback
+/// when the buddy copy is lost too.
+#[derive(Debug)]
+pub struct BuddySnapshots<T> {
+    own: BTreeMap<u64, Vec<Grid<T>>>,
+    held: BTreeMap<u64, Vec<T>>,
+    keep: usize,
+}
+
+impl<T: Scalar> BuddySnapshots<T> {
+    /// A store retaining the newest `keep` generations of each kind.
+    pub fn new(keep: usize) -> BuddySnapshots<T> {
+        BuddySnapshots {
+            own: BTreeMap::new(),
+            held: BTreeMap::new(),
+            keep: keep.max(1),
+        }
+    }
+
+    /// Snapshot this rank's own ring for generation `gen`.
+    pub fn store_own(&mut self, gen: u64, window: &[Grid<T>]) {
+        self.own.insert(gen, window.to_vec());
+        while self.own.len() > self.keep {
+            self.own.pop_first();
+        }
+    }
+
+    /// This rank's own ring at `gen`, if still retained.
+    pub fn own(&self, gen: u64) -> Option<&[Grid<T>]> {
+        self.own.get(&gen).map(Vec::as_slice)
+    }
+
+    /// Store the predecessor's serialized ring for generation `gen`.
+    pub fn store_held(&mut self, gen: u64, payload: Vec<T>) {
+        self.held.insert(gen, payload);
+        while self.held.len() > self.keep {
+            self.held.pop_first();
+        }
+    }
+
+    /// The predecessor's serialized ring at `gen`, if still retained.
+    pub fn held(&self, gen: u64) -> Option<&[T]> {
+        self.held.get(&gen).map(Vec::as_slice)
+    }
+}
+
+/// Flatten a window ring into one wire payload: the slots' padded
+/// lattices, concatenated in slot order. Every rank of a [`super::decomp::CartDecomp`]
+/// has the same sub-extent and halo, so the receiver can reconstruct
+/// the ring from the payload plus its own local shape.
+pub fn ring_to_wire<T: Scalar>(window: &[Grid<T>]) -> Vec<T> {
+    let mut out = Vec::with_capacity(window.iter().map(|g| g.as_slice().len()).sum());
+    for grid in window {
+        out.extend_from_slice(grid.as_slice());
+    }
+    out
+}
+
+/// Rebuild a window ring from a [`ring_to_wire`] payload.
+pub fn wire_to_ring<T: Scalar>(
+    payload: &[T],
+    shape: &[usize],
+    halo: &[usize],
+    slots: usize,
+) -> Result<Vec<Grid<T>>> {
+    let mut ring = Vec::with_capacity(slots);
+    let mut offset = 0usize;
+    for _ in 0..slots {
+        let mut grid = Grid::<T>::zeros(shape, halo);
+        let len = grid.as_slice().len();
+        let Some(chunk) = payload.get(offset..offset + len) else {
+            return Err(MscError::InvalidConfig(format!(
+                "buddy snapshot payload too short: {} elems for {} slots of {} each",
+                payload.len(),
+                slots,
+                len
+            )));
+        };
+        grid.as_mut_slice().copy_from_slice(chunk);
+        offset += len;
+        ring.push(grid);
+    }
+    if offset != payload.len() {
+        return Err(MscError::InvalidConfig(format!(
+            "buddy snapshot payload too long: {} elems, expected {}",
+            payload.len(),
+            offset
+        )));
+    }
+    Ok(ring)
 }
 
 #[cfg(test)]
@@ -186,5 +364,91 @@ mod tests {
         assert_eq!(store.latest_complete(), Some(8));
         store.clear().unwrap();
         assert_eq!(store.latest_complete(), None);
+    }
+
+    #[test]
+    fn gc_keeps_newest_k_and_sweeps_partials() {
+        let store = tmp_store("gc", 2);
+        let window: Vec<Grid<f64>> = vec![Grid::random(&[4, 4], &[1, 1], 7)];
+        for step in [2u64, 4, 6, 8] {
+            store.save_rank(step, 0, &window).unwrap();
+            store.save_rank(step, 1, &window).unwrap();
+        }
+        // An abandoned incomplete generation (one rank only) below the
+        // newest complete step, plus a half-written tmp file from a
+        // crashed writer.
+        store.save_rank(5, 0, &window).unwrap();
+        let stale_tmp = store.dir().join("ckpt_s3_r1_w0.grid.tmp");
+        std::fs::write(&stale_tmp, b"partial").unwrap();
+        // An in-progress generation newer than anything complete must
+        // survive, tmp files included.
+        store.save_rank(10, 0, &window).unwrap();
+        let live_tmp = store.dir().join("ckpt_s10_r1_w0.grid.tmp");
+        std::fs::write(&live_tmp, b"mid-write").unwrap();
+
+        let removed = store.gc(2);
+        assert!(removed > 0, "expected files to be pruned");
+        // Newest two complete generations retained, older ones gone.
+        assert_eq!(store.latest_complete(), Some(8));
+        assert!(store.load_rank::<f64>(6, 0, 1).is_ok());
+        assert!(store.load_rank::<f64>(4, 0, 1).is_err());
+        assert!(store.load_rank::<f64>(2, 0, 1).is_err());
+        // Incomplete gen 5 and the stale tmp are swept; in-progress gen
+        // 10 (markers and tmp alike) is untouched.
+        assert!(store.load_rank::<f64>(5, 0, 1).is_err());
+        assert!(!stale_tmp.exists(), "stale tmp file must be swept");
+        assert!(live_tmp.exists(), "in-progress tmp file must survive");
+        assert!(store.load_rank::<f64>(10, 0, 1).is_ok());
+        store.clear().unwrap();
+    }
+
+    #[test]
+    fn gc_without_complete_generation_is_a_no_op() {
+        let store = tmp_store("gc_empty", 2);
+        let window: Vec<Grid<f64>> = vec![Grid::random(&[4, 4], &[1, 1], 1)];
+        store.save_rank(3, 0, &window).unwrap();
+        assert_eq!(store.gc(1), 0);
+        assert!(store.load_rank::<f64>(3, 0, 1).is_ok());
+        store.clear().unwrap();
+    }
+
+    #[test]
+    fn save_rank_reports_true_byte_count() {
+        let store = tmp_store("bytes", 1);
+        let window: Vec<Grid<f64>> = vec![Grid::random(&[6, 6], &[1, 1], 11)];
+        let bytes = store.save_rank(1, 0, &window).unwrap();
+        let on_disk = std::fs::metadata(store.dir().join("ckpt_s1_r0_w0.grid"))
+            .unwrap()
+            .len();
+        assert_eq!(bytes, on_disk);
+        store.clear().unwrap();
+    }
+
+    #[test]
+    fn buddy_ring_survives_wire_roundtrip_bit_exactly() {
+        let window: Vec<Grid<f64>> = vec![
+            Grid::random(&[5, 7], &[2, 1], 21),
+            Grid::random(&[5, 7], &[2, 1], 22),
+        ];
+        let wire = ring_to_wire(&window);
+        let back = wire_to_ring::<f64>(&wire, &[5, 7], &[2, 1], 2).unwrap();
+        assert_eq!(back, window);
+        // Truncated and oversized payloads are rejected, not mis-split.
+        assert!(wire_to_ring::<f64>(&wire[..wire.len() - 1], &[5, 7], &[2, 1], 2).is_err());
+        assert!(wire_to_ring::<f64>(&wire, &[5, 7], &[2, 1], 3).is_err());
+    }
+
+    #[test]
+    fn buddy_store_prunes_to_keep_window() {
+        let mut snaps = BuddySnapshots::<f64>::new(2);
+        let ring: Vec<Grid<f64>> = vec![Grid::random(&[4], &[1], 5)];
+        for gen in [2u64, 4, 6] {
+            snaps.store_own(gen, &ring);
+            snaps.store_held(gen, ring_to_wire(&ring));
+        }
+        assert!(snaps.own(2).is_none(), "oldest own gen must be pruned");
+        assert!(snaps.held(2).is_none(), "oldest held gen must be pruned");
+        assert!(snaps.own(4).is_some() && snaps.own(6).is_some());
+        assert_eq!(snaps.held(6).unwrap(), ring_to_wire(&ring).as_slice());
     }
 }

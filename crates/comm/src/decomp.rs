@@ -196,6 +196,18 @@ impl CartDecomp {
         Region::new(start, extent)
     }
 
+    /// Buddy rank for diskless checkpoint replication: each rank ships
+    /// its window snapshots to its ring successor, so the `n_ranks`
+    /// copies form a single cycle — losing any one rank leaves both its
+    /// own subdomain (held by its buddy) and the snapshot it held for
+    /// its predecessor recoverable from survivors. Independent of the
+    /// Cartesian topology on purpose: face neighbours tend to share
+    /// hardware (paper §4.4 maps them to adjacent processes), which is
+    /// exactly the correlated-failure domain a buddy must sit outside.
+    pub fn buddy_of(&self, rank: usize) -> usize {
+        (rank + 1) % self.n_ranks()
+    }
+
     /// Bytes a rank sends per exchange round per live state, for an
     /// element of `elem_bytes` (feeds the network model and the tuner).
     pub fn send_bytes_per_rank(&self, rank: usize, elem_bytes: usize) -> usize {
@@ -288,6 +300,21 @@ mod tests {
         assert!(CartDecomp::new(&[8, 8], &[8, 1], &[2, 2]).is_err()); // sub < halo
         assert!(CartDecomp::new(&[8, 8], &[0, 1], &[1, 1]).is_err());
         assert!(CartDecomp::new(&[8, 8], &[2], &[1, 1]).is_err());
+    }
+
+    #[test]
+    fn buddy_ring_is_a_single_cycle() {
+        let d = CartDecomp::new(&[64, 64, 64], &[2, 2, 2], &[1, 1, 1]).unwrap();
+        let n = d.n_ranks();
+        let mut seen = vec![false; n];
+        let mut rank = 0usize;
+        for _ in 0..n {
+            assert!(!seen[rank], "buddy chain revisited rank {rank} early");
+            seen[rank] = true;
+            rank = d.buddy_of(rank);
+        }
+        assert_eq!(rank, 0, "buddy chain must close into one cycle");
+        assert!(seen.iter().all(|&s| s));
     }
 
     #[test]

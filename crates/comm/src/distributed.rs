@@ -4,14 +4,19 @@
 //!
 //! The headline property, tested here and in the integration suite: a
 //! distributed run is **bit-identical** to the single-node run of the
-//! same program, for any process grid.
+//! same program, for any process grid — including runs where a rank is
+//! killed mid-flight and healed online by a hot spare.
 
-use crate::checkpoint::CheckpointStore;
+use crate::checkpoint::{ring_to_wire, wire_to_ring, BuddySnapshots, CheckpointStore};
 use crate::decomp::CartDecomp;
+use crate::error::CommError;
 use crate::fault::FaultPlan;
 use crate::halo::HaloExchange;
 use crate::region::Region;
-use crate::runtime::{ReliabilityConfig, Wire, World, WorldConfig};
+use crate::runtime::{
+    FailureOutcome, FailureRecord, HeartbeatConfig, Membership, RankCtx, RecoverySource,
+    ReliabilityConfig, Wire, World, WorldConfig, KEEP_GENS,
+};
 use msc_core::error::{MscError, Result};
 use msc_core::prelude::*;
 use msc_core::schedule::plan::{ExecPlan, TileRange};
@@ -21,7 +26,7 @@ use msc_exec::{tiled, Grid, Scalar, TieredStencil};
 use msc_trace::{Counter, CounterSet, FlightKind, Hist, HistSet, Profile};
 use std::path::PathBuf;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Per-run communication statistics, aggregated over ranks.
 ///
@@ -39,6 +44,11 @@ pub struct CommStats {
     /// the initial state) after a detected rank failure. Zero for plain
     /// drivers; only [`run_distributed_resilient`] can restart.
     pub restarts: usize,
+    /// How many dead ranks were healed *online* — a hot spare adopted
+    /// the subdomain from a buddy snapshot while survivors rolled back
+    /// in place. Distinct from `restarts`, which tears the whole world
+    /// down and replays from disk.
+    pub recoveries: usize,
     /// Merged counters across all ranks: halo traffic plus whatever the
     /// per-rank executors recorded (DMA bytes/rows, SPM peak, tiles).
     pub counters: CounterSet,
@@ -74,6 +84,15 @@ impl CommStats {
     }
     pub fn checkpoint_bytes(&self) -> u64 {
         self.counters.get(Counter::CheckpointBytes)
+    }
+    pub fn heartbeats_sent(&self) -> u64 {
+        self.counters.get(Counter::HeartbeatsSent)
+    }
+    pub fn buddy_bytes(&self) -> u64 {
+        self.counters.get(Counter::BuddyBytes)
+    }
+    pub fn rank_recoveries(&self) -> u64 {
+        self.counters.get(Counter::RankRecoveries)
     }
 
     /// Wrap into a timeline-free [`Profile`] (counters + histograms)
@@ -213,6 +232,22 @@ pub struct RunOptions {
     /// bytecode VM). All tiers are bit-identical, so chaos replays and
     /// checkpoint restarts are tier-agnostic.
     pub tier: msc_exec::ExecTier,
+    /// Hot-spare ranks launched idle beside the compute ranks. When the
+    /// membership layer declares a compute rank dead, a spare adopts its
+    /// subdomain (from the buddy snapshot, the disk checkpoint, or the
+    /// initial state) and the run heals online instead of restarting.
+    /// Implies the membership + heartbeat machinery.
+    pub spare_ranks: usize,
+    /// Heartbeat interval and failure-detection timeout. `Some` switches
+    /// the membership layer on even without spares (detection without
+    /// adoption still falls back to a disk restart); `None` with
+    /// `spare_ranks > 0` uses [`HeartbeatConfig::default`]. Validated at
+    /// run entry — a bad configuration is a typed error, never a panic.
+    pub heartbeat: Option<HeartbeatConfig>,
+    /// Complete checkpoint generations retained on disk; after each
+    /// snapshot, older generations and abandoned `.grid.tmp` leftovers
+    /// are garbage-collected.
+    pub checkpoint_keep: usize,
 }
 
 impl Default for RunOptions {
@@ -225,6 +260,9 @@ impl Default for RunOptions {
             max_restarts: 3,
             overlap: true,
             tier: msc_exec::ExecTier::Auto,
+            spare_ranks: 0,
+            heartbeat: None,
+            checkpoint_keep: 2,
         }
     }
 }
@@ -263,8 +301,9 @@ fn split_tiles(
 }
 
 /// Fault-tolerant distributed run: chaos injection, reliable halo
-/// delivery, periodic checkpoints, and restart-on-failure. With default
-/// options it behaves exactly like [`run_distributed_bc`].
+/// delivery, periodic checkpoints, hot-spare online recovery, and
+/// restart-on-failure as the last resort. With default options it
+/// behaves exactly like [`run_distributed_bc`].
 pub fn run_distributed_resilient<T: Scalar + Wire>(
     program: &StencilProgram,
     procs: &[usize],
@@ -287,9 +326,544 @@ fn is_restartable(e: &MscError) -> bool {
     matches!(e, MscError::Comm(_))
 }
 
+/// Control-plane tag namespaces, disjoint from halo tags (which use
+/// only low bits) and from each other; the checkpoint generation rides
+/// in the low bits. `BUDDY` carries the steady-state snapshot ring
+/// shift, `ADOPT` the one-shot handoff of a dead rank's snapshot to
+/// the spare adopting it.
+const BUDDY_TAG: u64 = 1 << 62;
+const ADOPT_TAG: u64 = 1 << 61;
+
+/// What one physical slot produced. A slot that dies (chaos kill) or
+/// stands by unused (idle spare) retires with its stats; every logical
+/// subdomain must be covered by exactly one `Computed` outcome.
+enum RankOutcome<T> {
+    Computed {
+        logical: usize,
+        interior: Vec<T>,
+        sent: u64,
+        counters: CounterSet,
+        hists: HistSet,
+    },
+    Retired {
+        sent: u64,
+        counters: CounterSet,
+        hists: HistSet,
+    },
+}
+
+/// Immutable per-attempt surroundings of the per-rank step loop,
+/// bundled so the compute and recovery helpers stay readable.
+struct StepEnv<'a, T: Scalar, B> {
+    program: &'a StencilProgram,
+    plan: &'a ExecPlan,
+    decomp: &'a CartDecomp,
+    seeded: &'a Grid<T>,
+    compiled: &'a TieredStencil<T>,
+    window: &'a WindowPlan,
+    exchanger: &'a B,
+    opts: &'a RunOptions,
+    spm_capacity: Option<usize>,
+    store: Option<&'a CheckpointStore>,
+    membership: Option<&'a Arc<Membership>>,
+    sub: &'a [usize],
+    reach: &'a [usize],
+}
+
+/// A freshly scattered window ring for `logical`'s subdomain.
+fn fresh_ring<T: Scalar + Wire, B>(env: &StepEnv<'_, T, B>, logical: usize) -> Vec<Grid<T>> {
+    let local = scatter(env.seeded, env.decomp, logical);
+    (0..env.window.window).map(|_| local.clone()).collect()
+}
+
+/// How a rank reacts to a failed step loop.
+enum Reaction {
+    /// We are the rank the chaos plan killed: leave the fabric so the
+    /// survivors' detectors fire, and retire this slot.
+    Retire,
+    /// A peer died and the membership layer healed it: roll our own
+    /// state back to the record's generation and recompute.
+    Rollback(FailureRecord),
+}
+
+/// Classify a step-loop failure using the typed control fault the
+/// runtime noted before flattening it into an error string. Anything
+/// that is not an online-recoverable event propagates into the
+/// restart machinery.
+fn plan_recovery<T: Wire>(
+    ctx: &mut RankCtx<T>,
+    membership: Option<&Arc<Membership>>,
+    store: Option<&CheckpointStore>,
+    err: MscError,
+) -> Result<Reaction> {
+    let fault = ctx.take_fault();
+    let Some(m) = membership else { return Err(err) };
+    match fault {
+        Some(CommError::Killed { rank, .. }) if rank == ctx.rank => Ok(Reaction::Retire),
+        Some(CommError::EpochChange { .. }) => {
+            m.latest_failure().map(Reaction::Rollback).ok_or(err)
+        }
+        Some(CommError::RankSuspect { rank, .. }) => {
+            let disk = store.and_then(|s| s.latest_complete());
+            match m.report_failure(rank, ctx.epoch(), disk) {
+                FailureOutcome::Recovered(rec) => Ok(Reaction::Rollback(rec)),
+                // Someone else reported first: follow their record.
+                FailureOutcome::Stale => {
+                    m.latest_failure().map(Reaction::Rollback).ok_or(err)
+                }
+                FailureOutcome::Unrecoverable => Err(err),
+            }
+        }
+        _ => Err(err),
+    }
+}
+
+/// Survivor-side rollback to a recovery record: enter the new epoch,
+/// hand the dead rank's buddy snapshot to its adopter if we hold it,
+/// and rewind our own ring to the agreed generation.
+fn rollback<T: Scalar + Wire, B: crate::backend::HaloBackend>(
+    ctx: &mut RankCtx<T>,
+    env: &StepEnv<'_, T, B>,
+    rec: &FailureRecord,
+    snaps: &BuddySnapshots<T>,
+) -> Result<(Vec<Grid<T>>, usize)> {
+    ctx.enter_epoch(rec.epoch);
+    if let RecoverySource::Buddy { gen } = rec.source {
+        if ctx.rank == env.decomp.buddy_of(rec.logical) && ctx.rank != rec.logical {
+            let payload = snaps.held(gen).ok_or_else(|| {
+                MscError::InvalidConfig(format!(
+                    "buddy copy of rank {} gen {gen} vanished before handoff",
+                    rec.logical
+                ))
+            })?;
+            ctx.isend(rec.logical, ADOPT_TAG | gen, payload.to_vec())?;
+        }
+    }
+    match rec.source {
+        RecoverySource::Buddy { gen } => {
+            // The membership layer only picks a generation every
+            // survivor noted, so our own copy must still be retained.
+            let ring = snaps
+                .own(gen)
+                .ok_or_else(|| {
+                    MscError::InvalidConfig(format!(
+                        "own snapshot gen {gen} vanished before rollback"
+                    ))
+                })?
+                .to_vec();
+            Ok((ring, gen as usize))
+        }
+        RecoverySource::Disk { gen } => {
+            let st = env.store.ok_or_else(|| {
+                MscError::InvalidConfig("disk recovery without a checkpoint store".into())
+            })?;
+            Ok((st.load_rank(gen, ctx.rank, env.window.window)?, gen as usize))
+        }
+        RecoverySource::Initial => Ok((fresh_ring(env, ctx.rank), 0)),
+    }
+}
+
+/// Spare-side adoption: take over the dead rank's logical identity and
+/// obtain its window ring from the recovery source.
+fn adopt_state<T: Scalar + Wire, B: crate::backend::HaloBackend>(
+    ctx: &mut RankCtx<T>,
+    env: &StepEnv<'_, T, B>,
+    m: &Membership,
+    rec: &FailureRecord,
+    snaps: &mut BuddySnapshots<T>,
+    counters: &mut CounterSet,
+) -> Result<(Vec<Grid<T>>, usize)> {
+    ctx.adopt(rec.logical);
+    ctx.enter_epoch(rec.epoch);
+    counters.bump(Counter::RankRecoveries, 1);
+    msc_trace::record(Counter::RankRecoveries, 1);
+    msc_trace::flight(
+        FlightKind::Recover,
+        rec.logical as u32,
+        ctx.slot() as u32,
+        rec.source.gen(),
+        rec.epoch,
+    );
+    match rec.source {
+        RecoverySource::Buddy { gen } => {
+            let holder = env.decomp.buddy_of(rec.logical);
+            let req = ctx.irecv(holder, ADOPT_TAG | gen);
+            let payload = ctx.wait(req)?;
+            let ring = wire_to_ring(&payload, env.sub, env.reach, env.window.window)?;
+            // Seed our own snapshot store so a later failure can rewind
+            // this subdomain without re-pulling from the buddy.
+            snaps.store_own(gen, &ring);
+            m.note_local(rec.logical, gen);
+            Ok((ring, gen as usize))
+        }
+        RecoverySource::Disk { gen } => {
+            let st = env.store.ok_or_else(|| {
+                MscError::InvalidConfig("disk recovery without a checkpoint store".into())
+            })?;
+            let ring = st.load_rank(gen, rec.logical, env.window.window)?;
+            snaps.store_own(gen, &ring);
+            m.note_local(rec.logical, gen);
+            Ok((ring, gen as usize))
+        }
+        RecoverySource::Initial => Ok((fresh_ring(env, rec.logical), 0)),
+    }
+}
+
+/// An idle hot spare: service the fabric until the world finishes, a
+/// failure assigns us a subdomain, or recovery becomes impossible.
+/// Returns the adoption duty, or `None` to stand down.
+fn spare_standby<T: Wire>(
+    ctx: &mut RankCtx<T>,
+    m: &Membership,
+    store: Option<&CheckpointStore>,
+) -> Option<FailureRecord> {
+    loop {
+        if let Some(rec) = m.duty_of(ctx.slot()) {
+            return Some(rec);
+        }
+        if m.is_finished() || m.is_unrecoverable() {
+            return None;
+        }
+        // Spares watch liveness too: if every compute rank died before
+        // anyone could report (or the reporter raced us), the
+        // observation must still reach the membership layer. The epoch
+        // is read *before* the sweep so a report that landed in between
+        // classifies ours as stale instead of opening a second epoch.
+        let observed = m.epoch();
+        if let Some(CommError::RankSuspect { rank, .. }) = ctx.poll_suspects() {
+            let disk = store.and_then(|s| s.latest_complete());
+            let _ = m.report_failure(rank, observed, disk);
+            let _ = ctx.take_fault();
+            continue;
+        }
+        if ctx.service_for(Duration::from_millis(1)).is_err() {
+            // An epoch change just means "look again" for an idle spare.
+            let _ = ctx.take_fault();
+        }
+    }
+}
+
+/// Replicate this rank's window ring to its buddy and collect the
+/// predecessor's — the diskless checkpoint ring shift, run at every
+/// checkpoint generation in membership worlds. Every rank reaches this
+/// point at the same step, and the send is non-blocking, so the shift
+/// cannot deadlock.
+fn buddy_replicate<T: Scalar + Wire, B>(
+    ctx: &mut RankCtx<T>,
+    env: &StepEnv<'_, T, B>,
+    m: &Membership,
+    ring: &[Grid<T>],
+    snaps: &mut BuddySnapshots<T>,
+    gen: u64,
+    counters: &mut CounterSet,
+) -> Result<()>
+where
+    B: crate::backend::HaloBackend,
+{
+    snaps.store_own(gen, ring);
+    m.note_local(ctx.rank, gen);
+    let buddy = env.decomp.buddy_of(ctx.rank);
+    if buddy == ctx.rank {
+        return Ok(()); // single-rank worlds have nobody to replicate to
+    }
+    let wire = ring_to_wire(ring);
+    let bytes = (wire.len() * std::mem::size_of::<T>()) as u64;
+    ctx.isend(buddy, BUDDY_TAG | gen, wire)?;
+    counters.bump(Counter::BuddyBytes, bytes);
+    msc_trace::record(Counter::BuddyBytes, bytes);
+    let n = m.n_logical();
+    let pred = (ctx.rank + n - 1) % n;
+    let req = ctx.irecv(pred, BUDDY_TAG | gen);
+    let payload = ctx.wait(req)?;
+    snaps.store_held(gen, payload);
+    m.note_buddy(pred, gen);
+    Ok(())
+}
+
+/// One attempt of the time loop for one rank, from step `start` to the
+/// end: overlapped (or sequential) tile compute, halo exchange, disk
+/// checkpoints with retention GC, and buddy replication. Any error is
+/// classified by the caller — online recovery where possible, restart
+/// otherwise.
+fn compute_steps<T: Scalar + Wire, B: crate::backend::HaloBackend>(
+    ctx: &mut RankCtx<T>,
+    env: &StepEnv<'_, T, B>,
+    ring: &mut [Grid<T>],
+    start: usize,
+    snaps: &mut BuddySnapshots<T>,
+    counters: &mut CounterSet,
+    hists: &mut HistSet,
+) -> Result<()> {
+    let opts = env.opts;
+    let (program, plan, window, compiled) = (env.program, env.plan, env.window, env.compiled);
+    // Boundary/interior split for communication overlap, recomputed per
+    // attempt: after adoption this rank's neighbour set changed.
+    let tiles = plan.tiles();
+    let (boundary_tiles, interior_tiles) = split_tiles(&tiles, env.decomp, ctx.rank);
+
+    for s in start..program.timesteps {
+        // Rank-tagged step span (arg = step index) feeding the
+        // straggler report, plus the step-wall histogram.
+        let _step_span = msc_trace::span_arg(msc_trace::stitch::STEP_SPAN, s as u64);
+        let step_t0 = Instant::now();
+        let t = compiled.max_dt + s;
+        let out_slot = window.output_slot(t);
+        let mut out = std::mem::replace(&mut ring[out_slot], Grid::zeros(&[1], &[0]));
+        let exchanging = s + 1 < program.timesteps;
+        {
+            let inputs: Vec<&Grid<T>> = (1..=compiled.max_dt)
+                .map(|dt| window.input_slot(t, dt).map(|slot| &ring[slot]))
+                .collect::<Result<_>>()?;
+            if exchanging && opts.overlap {
+                // Overlapped schedule: boundary wave → initiate the
+                // exchange → interior wave (concurrent with the
+                // messages) → complete. The wait inside
+                // `exchange_finish` still lands in the HaloWait
+                // histogram via `ctx.wait`.
+                match env.spm_capacity {
+                    None => {
+                        tiled::step_tiles(compiled, plan, &inputs, &mut out, &boundary_tiles);
+                        let pending = env.exchanger.exchange_begin(ctx, &out, out_slot)?;
+                        let t0 = Instant::now();
+                        tiled::step_tiles(compiled, plan, &inputs, &mut out, &interior_tiles);
+                        let overlap_ns = t0.elapsed().as_nanos() as u64;
+                        counters.bump(Counter::OverlapNanos, overlap_ns);
+                        counters.bump(Counter::TilesExecuted, tiles.len() as u64);
+                        msc_trace::record(Counter::OverlapNanos, overlap_ns);
+                        msc_trace::record(Counter::TilesExecuted, tiles.len() as u64);
+                        env.exchanger
+                            .exchange_finish(ctx, &mut out, out_slot, pending)?;
+                    }
+                    Some(cap) => {
+                        let mut st = msc_exec::spm::step_tiles(
+                            compiled,
+                            plan,
+                            &inputs,
+                            &mut out,
+                            cap,
+                            &boundary_tiles,
+                        )?;
+                        let pending = env.exchanger.exchange_begin(ctx, &out, out_slot)?;
+                        let t0 = Instant::now();
+                        st.merge(&msc_exec::spm::step_tiles(
+                            compiled,
+                            plan,
+                            &inputs,
+                            &mut out,
+                            cap,
+                            &interior_tiles,
+                        )?);
+                        let overlap_ns = t0.elapsed().as_nanos() as u64;
+                        counters.bump(Counter::OverlapNanos, overlap_ns);
+                        counters.merge(&st.counters());
+                        msc_trace::record(Counter::OverlapNanos, overlap_ns);
+                        msc_trace::record_set(&st.counters());
+                        env.exchanger
+                            .exchange_finish(ctx, &mut out, out_slot, pending)?;
+                    }
+                }
+            } else {
+                match env.spm_capacity {
+                    None => {
+                        let n = tiled::step(compiled, plan, &inputs, &mut out);
+                        counters.bump(Counter::TilesExecuted, n as u64);
+                    }
+                    Some(cap) => {
+                        let st = msc_exec::spm::step(compiled, plan, &inputs, &mut out, cap)?;
+                        counters.merge(&st.counters());
+                    }
+                }
+                // Publish the new state's halo to the neighbours
+                // before anyone (including us) reads it next step.
+                if exchanging {
+                    env.exchanger.exchange(ctx, &mut out, out_slot)?;
+                }
+            }
+        }
+        ring[out_slot] = out;
+        let (vm_d, spec_rows) = compiled.take_tier_counters();
+        if vm_d > 0 {
+            counters.bump(Counter::VmDispatches, vm_d);
+            msc_trace::record(Counter::VmDispatches, vm_d);
+        }
+        if spec_rows > 0 {
+            counters.bump(Counter::SpecializedHits, spec_rows);
+            msc_trace::record(Counter::SpecializedHits, spec_rows);
+        }
+        // Snapshot after the step (and its exchange) fully completed,
+        // so a restart resumes with halos as fresh as the original run
+        // had them. The same cadence drives disk checkpoints and the
+        // diskless buddy ring shift.
+        let gen_due = opts.checkpoint_every > 0
+            && (s + 1) % opts.checkpoint_every == 0
+            && s + 1 < program.timesteps;
+        if gen_due {
+            let gen = (s + 1) as u64;
+            if let Some(st) = env.store {
+                let t0 = Instant::now();
+                let bytes = st.save_rank(gen, ctx.rank, ring)?;
+                let nanos = t0.elapsed().as_nanos() as u64;
+                counters.bump(Counter::CheckpointBytes, bytes);
+                counters.bump(Counter::CheckpointNanos, nanos);
+                msc_trace::record(Counter::CheckpointBytes, bytes);
+                msc_trace::record(Counter::CheckpointNanos, nanos);
+                msc_trace::flight(
+                    FlightKind::Checkpoint,
+                    ctx.rank as u32,
+                    ctx.rank as u32,
+                    bytes,
+                    gen,
+                );
+                // Retention: drop generations past the keep window and
+                // crashed writers' half-written tmp files. Safe under
+                // concurrent callers.
+                let _ = st.gc(opts.checkpoint_keep);
+            }
+            if let Some(m) = env.membership {
+                buddy_replicate(ctx, env, m, ring, snaps, gen, counters)?;
+            }
+        }
+        let wall = step_t0.elapsed().as_nanos() as u64;
+        hists.add(Hist::StepWallNanos, wall);
+        msc_trace::record_hist(Hist::StepWallNanos, wall);
+    }
+    Ok(())
+}
+
+/// The whole lifecycle of one physical slot: spares idle until adoption
+/// (or stand-down), compute ranks run the step loop; failures loop
+/// through classification → rollback → recompute until the world
+/// finishes or the error escapes to the restart machinery.
+fn rank_body<T: Scalar + Wire, B: crate::backend::HaloBackend>(
+    mut ctx: RankCtx<T>,
+    env: &StepEnv<'_, T, B>,
+    resume: Option<u64>,
+) -> Result<RankOutcome<T>> {
+    let slot = ctx.slot();
+    let mut counters = CounterSet::new();
+    let mut hists = HistSet::new();
+    // In-memory snapshot retention mirrors the membership layer's
+    // per-rank generation pruning, so a generation it promises is one
+    // we still hold.
+    let mut snaps: BuddySnapshots<T> = BuddySnapshots::new(KEEP_GENS);
+
+    let mut ring: Vec<Grid<T>>;
+    let mut start: usize;
+    let is_spare = env
+        .membership
+        .is_some_and(|m| slot >= m.n_logical());
+    if is_spare {
+        let m = env.membership.expect("spare slots imply membership");
+        match spare_standby(&mut ctx, m, env.store) {
+            None => {
+                ctx.finalize();
+                counters.merge(&ctx.counters);
+                hists.merge(&ctx.hists);
+                return Ok(RankOutcome::Retired {
+                    sent: ctx.sent_msgs,
+                    counters,
+                    hists,
+                });
+            }
+            Some(rec) => {
+                let (r, s) = adopt_state(&mut ctx, env, m, &rec, &mut snaps, &mut counters)?;
+                ring = r;
+                start = s;
+            }
+        }
+    } else {
+        ring = fresh_ring(env, ctx.rank);
+        start = 0;
+        if let (Some(st), Some(step)) = (env.store, resume) {
+            // Every rank resumes from the same checkpoint step, decided
+            // once per attempt before the world spawned.
+            ring = st.load_rank(step, ctx.rank, env.window.window)?;
+            start = step as usize;
+        }
+    }
+
+    loop {
+        let err = match compute_steps(
+            &mut ctx,
+            env,
+            &mut ring,
+            start,
+            &mut snaps,
+            &mut counters,
+            &mut hists,
+        ) {
+            Ok(()) => {
+                // Membership done-barrier: stand by servicing the fabric
+                // (retransmit requests, buddy traffic) until every
+                // logical rank finished under the final epoch. A late
+                // failure pulls us back into compute — rollback is
+                // global, so even finished ranks replay.
+                let mut late: Option<MscError> = None;
+                if let Some(m) = env.membership {
+                    m.report_done(ctx.rank, ctx.epoch());
+                    while !m.is_finished() && !m.is_unrecoverable() {
+                        if let Some(e) = ctx.poll_suspects() {
+                            late = Some(e.into());
+                            break;
+                        }
+                        if let Err(e) = ctx.service_for(Duration::from_millis(1)) {
+                            late = Some(e.into());
+                            break;
+                        }
+                    }
+                }
+                match late {
+                    None => {
+                        let last = env
+                            .window
+                            .output_slot(env.compiled.max_dt + env.program.timesteps - 1);
+                        let interior =
+                            Region::new(env.reach.to_vec(), env.sub.to_vec()).pack(&ring[last]);
+                        // Keep servicing the fabric until every rank is
+                        // done, then fold protocol counters into the
+                        // rank's stats.
+                        ctx.finalize();
+                        counters.merge(&ctx.counters);
+                        hists.merge(&ctx.hists);
+                        return Ok(RankOutcome::Computed {
+                            logical: ctx.rank,
+                            interior,
+                            sent: ctx.sent_msgs,
+                            counters,
+                            hists,
+                        });
+                    }
+                    Some(e) => e,
+                }
+            }
+            Err(e) => e,
+        };
+        match plan_recovery(&mut ctx, env.membership, env.store, err)? {
+            Reaction::Retire => {
+                // Deliberately no `finalize`: dropping the endpoint is
+                // what lets the survivors' failure detectors fire.
+                counters.merge(&ctx.counters);
+                hists.merge(&ctx.hists);
+                return Ok(RankOutcome::Retired {
+                    sent: ctx.sent_msgs,
+                    counters,
+                    hists,
+                });
+            }
+            Reaction::Rollback(rec) => {
+                let (r, s) = rollback(&mut ctx, env, &rec, &snaps)?;
+                ring = r;
+                start = s;
+            }
+        }
+    }
+}
+
 /// The full driver: every public `run_distributed*` entry point funnels
-/// here. One attempt spawns the world, runs the time loop with optional
-/// SPM staging, chaos injection, and periodic checkpoints; a failed
+/// here. One attempt spawns the world (compute ranks plus hot spares),
+/// runs the time loop with optional SPM staging, chaos injection, and
+/// periodic disk + buddy checkpoints; a rank death in a membership
+/// world heals online (spare adoption + global rollback), and a failed
 /// attempt (typed communication error — never a panic) is retried from
 /// the latest complete checkpoint up to `opts.max_restarts` times.
 #[allow(clippy::too_many_arguments)]
@@ -312,9 +886,22 @@ pub fn run_distributed_opts<T: Scalar + Wire, B: crate::backend::HaloBackend>(
             plan.grid, sub
         )));
     }
+    if let Some(hb) = &opts.heartbeat {
+        hb.validate().map_err(MscError::InvalidConfig)?;
+    }
+    let n_logical = decomp.n_ranks();
+    // Either knob switches the membership/heartbeat layer on; with both
+    // off, every recovery path below is a no-op and the runtime stays
+    // byte-for-byte on its plain code paths.
+    let resilient = opts.spare_ranks > 0 || opts.heartbeat.is_some();
+    let heartbeat = if resilient {
+        Some(opts.heartbeat.clone().unwrap_or_default())
+    } else {
+        None
+    };
     let store = match &opts.checkpoint_dir {
         Some(dir) if opts.checkpoint_every > 0 => {
-            Some(CheckpointStore::new(dir, decomp.n_ranks())?)
+            Some(CheckpointStore::new(dir, n_logical)?)
         }
         _ => None,
     };
@@ -324,22 +911,29 @@ pub fn run_distributed_opts<T: Scalar + Wire, B: crate::backend::HaloBackend>(
     let seeded = &seeded;
 
     let mut restarts = 0usize;
+    let mut recoveries = 0u64;
     loop {
-        // Every rank resumes from the same checkpoint step, decided once
-        // per attempt before the world spawns.
         let resume = store.as_ref().and_then(|s| s.latest_complete());
+        // Membership is per attempt: a restart is a new incarnation of
+        // the world, with every spare back on the bench.
+        let membership =
+            resilient.then(|| Arc::new(Membership::new(n_logical, opts.spare_ranks)));
         let world_cfg = WorldConfig {
             fault: opts.chaos.clone(),
             reliability: opts.reliability.clone(),
             reliable: None,
+            membership: membership.clone(),
+            heartbeat: heartbeat.clone(),
         };
+        let n_phys = n_logical + if resilient { opts.spare_ranks } else { 0 };
         let plan = &plan;
         let store_ref = store.as_ref();
+        let membership_ref = membership.as_ref();
+        let (sub_ref, reach_ref, decomp_ref) = (&sub, &reach, &decomp);
         let run = World::try_run_with(
-            decomp.n_ranks(),
+            n_phys,
             world_cfg,
-            |mut ctx| -> Result<(Vec<T>, u64, CounterSet, HistSet)> {
-                let local_init = scatter(seeded, &decomp, ctx.rank);
+            |ctx: RankCtx<T>| -> Result<RankOutcome<T>> {
                 // SPM compute relinearizes taps against tile-local
                 // layouts and stays on the interpreter; the plain tiled
                 // path runs the requested tier.
@@ -348,165 +942,37 @@ pub fn run_distributed_opts<T: Scalar + Wire, B: crate::backend::HaloBackend>(
                 } else {
                     opts.tier
                 };
-                let compiled =
-                    TieredStencil::compile(program, &local_init, tier)?;
+                // Compilation is shape-driven and every rank (spares
+                // included) owns an identically-shaped subdomain, so a
+                // zero probe compiles the same kernels real data would.
+                let probe: Grid<T> = Grid::zeros(sub_ref, reach_ref);
+                let compiled = TieredStencil::compile(program, &probe, tier)?;
                 let window = WindowPlan::for_max_dt(compiled.max_dt)?;
-                let mut ring: Vec<Grid<T>> =
-                    (0..window.window).map(|_| local_init.clone()).collect();
-                let mut start = 0usize;
-                if let (Some(st), Some(step)) = (store_ref, resume) {
-                    ring = st.load_rank(step, ctx.rank, window.window)?;
-                    start = step as usize;
-                }
-                let mut counters = CounterSet::new();
                 // Tracer only — per-rank counter sets stay deterministic.
                 msc_trace::record(Counter::VmCompileNanos, compiled.compile_nanos);
-                let mut hists = HistSet::new();
-                // Boundary/interior split for communication overlap,
-                // computed once per attempt from the fixed tile partition.
-                let tiles = plan.tiles();
-                let (boundary_tiles, interior_tiles) =
-                    split_tiles(&tiles, &decomp, ctx.rank);
-
-                for s in start..program.timesteps {
-                    // Rank-tagged step span (arg = step index) feeding the
-                    // straggler report, plus the step-wall histogram.
-                    let _step_span =
-                        msc_trace::span_arg(msc_trace::stitch::STEP_SPAN, s as u64);
-                    let step_t0 = Instant::now();
-                    let t = compiled.max_dt + s;
-                    let out_slot = window.output_slot(t);
-                    let mut out =
-                        std::mem::replace(&mut ring[out_slot], Grid::zeros(&[1], &[0]));
-                    let exchanging = s + 1 < program.timesteps;
-                    {
-                        let inputs: Vec<&Grid<T>> = (1..=compiled.max_dt)
-                            .map(|dt| window.input_slot(t, dt).map(|slot| &ring[slot]))
-                            .collect::<Result<_>>()?;
-                        if exchanging && opts.overlap {
-                            // Overlapped schedule: boundary wave → initiate
-                            // the exchange → interior wave (concurrent with
-                            // the messages) → complete. The wait inside
-                            // `exchange_finish` still lands in the
-                            // HaloWait histogram via `ctx.wait`.
-                            match spm_capacity {
-                                None => {
-                                    tiled::step_tiles(
-                                        &compiled, plan, &inputs, &mut out, &boundary_tiles,
-                                    );
-                                    let pending =
-                                        exchanger.exchange_begin(&mut ctx, &out, out_slot)?;
-                                    let t0 = Instant::now();
-                                    tiled::step_tiles(
-                                        &compiled, plan, &inputs, &mut out, &interior_tiles,
-                                    );
-                                    let overlap_ns = t0.elapsed().as_nanos() as u64;
-                                    counters.bump(Counter::OverlapNanos, overlap_ns);
-                                    counters.bump(Counter::TilesExecuted, tiles.len() as u64);
-                                    msc_trace::record(Counter::OverlapNanos, overlap_ns);
-                                    msc_trace::record(
-                                        Counter::TilesExecuted,
-                                        tiles.len() as u64,
-                                    );
-                                    exchanger
-                                        .exchange_finish(&mut ctx, &mut out, out_slot, pending)?;
-                                }
-                                Some(cap) => {
-                                    let mut st = msc_exec::spm::step_tiles(
-                                        &compiled,
-                                        plan,
-                                        &inputs,
-                                        &mut out,
-                                        cap,
-                                        &boundary_tiles,
-                                    )?;
-                                    let pending =
-                                        exchanger.exchange_begin(&mut ctx, &out, out_slot)?;
-                                    let t0 = Instant::now();
-                                    st.merge(&msc_exec::spm::step_tiles(
-                                        &compiled,
-                                        plan,
-                                        &inputs,
-                                        &mut out,
-                                        cap,
-                                        &interior_tiles,
-                                    )?);
-                                    let overlap_ns = t0.elapsed().as_nanos() as u64;
-                                    counters.bump(Counter::OverlapNanos, overlap_ns);
-                                    counters.merge(&st.counters());
-                                    msc_trace::record(Counter::OverlapNanos, overlap_ns);
-                                    msc_trace::record_set(&st.counters());
-                                    exchanger
-                                        .exchange_finish(&mut ctx, &mut out, out_slot, pending)?;
-                                }
-                            }
-                        } else {
-                            match spm_capacity {
-                                None => {
-                                    let n = tiled::step(&compiled, plan, &inputs, &mut out);
-                                    counters.bump(Counter::TilesExecuted, n as u64);
-                                }
-                                Some(cap) => {
-                                    let st = msc_exec::spm::step(
-                                        &compiled, plan, &inputs, &mut out, cap,
-                                    )?;
-                                    counters.merge(&st.counters());
-                                }
-                            }
-                            // Publish the new state's halo to the neighbours
-                            // before anyone (including us) reads it next step.
-                            if exchanging {
-                                exchanger.exchange(&mut ctx, &mut out, out_slot)?;
-                            }
-                        }
-                    }
-                    ring[out_slot] = out;
-                    let (vm_d, spec_rows) = compiled.take_tier_counters();
-                    if vm_d > 0 {
-                        counters.bump(Counter::VmDispatches, vm_d);
-                        msc_trace::record(Counter::VmDispatches, vm_d);
-                    }
-                    if spec_rows > 0 {
-                        counters.bump(Counter::SpecializedHits, spec_rows);
-                        msc_trace::record(Counter::SpecializedHits, spec_rows);
-                    }
-                    // Snapshot after the step (and its exchange) fully
-                    // completed, so a restart resumes with halos as fresh
-                    // as the original run had them.
-                    if let Some(st) = store_ref {
-                        if (s + 1) % opts.checkpoint_every == 0 && s + 1 < program.timesteps {
-                            let t0 = Instant::now();
-                            let bytes = st.save_rank((s + 1) as u64, ctx.rank, &ring)?;
-                            let nanos = t0.elapsed().as_nanos() as u64;
-                            counters.bump(Counter::CheckpointBytes, bytes);
-                            counters.bump(Counter::CheckpointNanos, nanos);
-                            msc_trace::record(Counter::CheckpointBytes, bytes);
-                            msc_trace::record(Counter::CheckpointNanos, nanos);
-                            msc_trace::flight(
-                                FlightKind::Checkpoint,
-                                ctx.rank as u32,
-                                ctx.rank as u32,
-                                bytes,
-                                (s + 1) as u64,
-                            );
-                        }
-                    }
-                    let wall = step_t0.elapsed().as_nanos() as u64;
-                    hists.add(Hist::StepWallNanos, wall);
-                    msc_trace::record_hist(Hist::StepWallNanos, wall);
-                }
-
-                let last = window.output_slot(compiled.max_dt + program.timesteps - 1);
-                let interior =
-                    Region::new(decomp.reach.clone(), sub.clone()).pack(&ring[last]);
-                // Keep servicing the fabric until every rank is done,
-                // then fold protocol counters into the rank's stats.
-                ctx.finalize();
-                counters.merge(&ctx.counters);
-                hists.merge(&ctx.hists);
-                Ok((interior, ctx.sent_msgs, counters, hists))
+                let env = StepEnv {
+                    program,
+                    plan,
+                    decomp: decomp_ref,
+                    seeded,
+                    compiled: &compiled,
+                    window: &window,
+                    exchanger,
+                    opts,
+                    spm_capacity,
+                    store: store_ref,
+                    membership: membership_ref,
+                    sub: sub_ref,
+                    reach: reach_ref,
+                };
+                rank_body(ctx, &env, resume)
             },
         );
+        // Count online recoveries whether or not the attempt survived:
+        // each is a real adoption event.
+        if let Some(m) = &membership {
+            recoveries += m.recoveries();
+        }
 
         // Classify the attempt: total success gathers and returns; a
         // communication fault restarts (budget permitting); anything
@@ -518,39 +984,76 @@ pub fn run_distributed_opts<T: Scalar + Wire, B: crate::backend::HaloBackend>(
                     let mut stats = CommStats {
                         messages: 0,
                         steps: program.timesteps,
-                        ranks: decomp.n_ranks(),
+                        ranks: n_logical,
                         restarts,
+                        recoveries: recoveries as usize,
                         counters: CounterSet::new(),
                         hists: HistSet::new(),
                     };
-                    for (rank, res) in rank_results.into_iter().enumerate() {
-                        let (interior, msgs, counters, hists) = res?;
-                        stats.messages += msgs;
-                        stats.counters.merge(&counters);
-                        stats.hists.merge(&hists);
-                        let origin = decomp.origin_of(rank);
-                        let dst = Region::new(
-                            origin.iter().zip(&reach).map(|(&o, &r)| o + r).collect(),
-                            sub.clone(),
-                        );
-                        dst.unpack(&mut global, &interior);
+                    let mut covered = vec![false; n_logical];
+                    let mut duplicated = false;
+                    for res in rank_results {
+                        match res? {
+                            RankOutcome::Computed {
+                                logical,
+                                interior,
+                                sent,
+                                counters,
+                                hists,
+                            } => {
+                                stats.messages += sent;
+                                stats.counters.merge(&counters);
+                                stats.hists.merge(&hists);
+                                if covered[logical] {
+                                    duplicated = true;
+                                    continue;
+                                }
+                                covered[logical] = true;
+                                let origin = decomp.origin_of(logical);
+                                let dst = Region::new(
+                                    origin.iter().zip(&reach).map(|(&o, &r)| o + r).collect(),
+                                    sub.clone(),
+                                );
+                                dst.unpack(&mut global, &interior);
+                            }
+                            RankOutcome::Retired {
+                                sent,
+                                counters,
+                                hists,
+                            } => {
+                                stats.messages += sent;
+                                stats.counters.merge(&counters);
+                                stats.hists.merge(&hists);
+                            }
+                        }
                     }
-                    // Steps and rank count are run-global, not per-rank sums.
-                    stats.counters.set(Counter::Steps, program.timesteps as u64);
-                    stats.counters.set(Counter::Ranks, decomp.n_ranks() as u64);
-                    boundary::apply(&mut global, bc);
-                    return Ok((global, stats));
+                    if covered.iter().all(|&c| c) && !duplicated {
+                        // Steps and rank count are run-global, not
+                        // per-rank sums.
+                        stats.counters.set(Counter::Steps, program.timesteps as u64);
+                        stats.counters.set(Counter::Ranks, n_logical as u64);
+                        boundary::apply(&mut global, bc);
+                        return Ok((global, stats));
+                    }
+                    // A subdomain went uncovered (or covered twice)
+                    // despite every slot reporting success — heal by
+                    // restarting rather than returning a partial grid.
+                    MscError::Comm(
+                        "logical subdomain left uncovered after online recovery".into(),
+                    )
+                } else {
+                    // Surface a non-restartable error immediately;
+                    // otherwise report the lowest-slot communication
+                    // fault.
+                    let errs: Vec<&MscError> = rank_results
+                        .iter()
+                        .filter_map(|r| r.as_ref().err())
+                        .collect();
+                    if let Some(hard) = errs.iter().find(|e| !is_restartable(e)) {
+                        return Err((*hard).clone());
+                    }
+                    errs[0].clone()
                 }
-                // Surface a non-restartable error immediately; otherwise
-                // report the lowest-rank communication fault.
-                let errs: Vec<&MscError> = rank_results
-                    .iter()
-                    .filter_map(|r| r.as_ref().err())
-                    .collect();
-                if let Some(hard) = errs.iter().find(|e| !is_restartable(e)) {
-                    return Err((*hard).clone());
-                }
-                errs[0].clone()
             }
             // A panicking rank poisons the world — typed, and restartable
             // like any other failure.
@@ -774,6 +1277,11 @@ mod tests {
         assert_eq!(stats.counters.get(msc_trace::Counter::Ranks), 4);
         // No SPM in this run: DMA counters stay zero.
         assert_eq!(stats.dma_get_bytes(), 0);
+        // No membership layer either: the recovery vocabulary is silent.
+        assert_eq!(stats.heartbeats_sent(), 0);
+        assert_eq!(stats.buddy_bytes(), 0);
+        assert_eq!(stats.rank_recoveries(), 0);
+        assert_eq!(stats.recoveries, 0);
     }
 
     #[test]
@@ -987,5 +1495,64 @@ mod tests {
             .unwrap();
         let init: Grid<f64> = Grid::random(&p.grid.shape, &p.grid.halo, 3);
         assert!(run_distributed(&p, &[3, 1], &init, simple_plan).is_err());
+    }
+
+    #[test]
+    fn invalid_heartbeat_is_a_typed_error_not_a_panic() {
+        let p = benchmark(BenchmarkId::S2d9ptStar)
+            .program(&[8, 8], DType::F64, 2)
+            .unwrap();
+        let init: Grid<f64> = Grid::random(&p.grid.shape, &p.grid.halo, 3);
+        let opts = RunOptions {
+            heartbeat: Some(HeartbeatConfig {
+                every: Duration::from_millis(50),
+                detect: Duration::from_millis(10), // detect < every: nonsense
+            }),
+            ..RunOptions::default()
+        };
+        let r = run_distributed_resilient(
+            &p,
+            &[2, 2],
+            &init,
+            Boundary::Dirichlet,
+            &opts,
+            simple_plan,
+        );
+        assert!(matches!(r, Err(MscError::InvalidConfig(_))), "{r:?}");
+    }
+
+    #[test]
+    fn spare_world_without_failures_is_bit_identical_and_quiet() {
+        // Spares idle, heartbeats flow, buddies replicate — none of it
+        // may perturb the numerics.
+        let p = benchmark(BenchmarkId::S2d9ptBox)
+            .program(&[16, 16], DType::F64, 40)
+            .unwrap();
+        let init: Grid<f64> = Grid::random(&p.grid.shape, &p.grid.halo, 42);
+        let (single, _) = run_program(&p, &Executor::Reference, &init).unwrap();
+        let opts = RunOptions {
+            spare_ranks: 1,
+            checkpoint_every: 2,
+            // A beacon interval far below the run length, so idle-path
+            // heartbeats demonstrably flow even on a fast machine.
+            heartbeat: Some(HeartbeatConfig::from_millis(1).unwrap()),
+            ..RunOptions::default()
+        };
+        let (multi, stats) = run_distributed_resilient(
+            &p,
+            &[2, 2],
+            &init,
+            Boundary::Dirichlet,
+            &opts,
+            simple_plan,
+        )
+        .unwrap();
+        assert_eq!(single.as_slice(), multi.as_slice());
+        assert_eq!(stats.recoveries, 0);
+        assert_eq!(stats.restarts, 0);
+        assert_eq!(stats.rank_recoveries(), 0);
+        // Diskless buddy checkpoints ran even with no checkpoint dir.
+        assert!(stats.buddy_bytes() > 0, "buddy replication must run");
+        assert!(stats.heartbeats_sent() > 0, "idle heartbeats must flow");
     }
 }

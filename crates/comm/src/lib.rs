@@ -37,7 +37,7 @@ pub mod region;
 pub mod runtime;
 
 pub use backend::{FullNeighborExchange, HaloBackend};
-pub use checkpoint::CheckpointStore;
+pub use checkpoint::{ring_to_wire, wire_to_ring, BuddySnapshots, CheckpointStore};
 pub use collectives::{allreduce, barrier, broadcast, ReduceOp};
 pub use decomp::CartDecomp;
 pub use distributed::{
@@ -49,4 +49,7 @@ pub use error::CommError;
 pub use fault::{FaultAction, FaultPlan, KillSpec};
 pub use halo::HaloExchange;
 pub use region::Region;
-pub use runtime::{RankCtx, RecvRequest, ReliabilityConfig, Wire, World, WorldConfig};
+pub use runtime::{
+    FailureOutcome, FailureRecord, HeartbeatConfig, Membership, RankCtx, RecoverySource,
+    RecvRequest, ReliabilityConfig, Wire, World, WorldConfig,
+};

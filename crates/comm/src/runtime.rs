@@ -16,10 +16,10 @@ use crate::error::CommError;
 use crate::fault::{splitmix, FaultAction, FaultPlan};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use msc_trace::{Counter, CounterSet, FlightKind, Hist, HistSet};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Payload element that can cross the wire: hashable for checksums and
@@ -72,20 +72,28 @@ fn checksum<T: Wire>(tag: u64, seq: u64, payload: &[T]) -> u64 {
     splitmix(h ^ payload.len() as u64)
 }
 
-/// Frame body: data, a delivery acknowledgement, or a retransmit
-/// request ("send me everything of yours I have not acknowledged").
+/// Frame body: data, a delivery acknowledgement, a retransmit request
+/// ("send me everything of yours I have not acknowledged"), or an
+/// explicit liveness beacon (membership worlds only; never stashed,
+/// never acked — its arrival *is* its meaning).
 #[derive(Debug, Clone)]
 enum Body<T> {
     Data(Vec<T>),
     Ack,
     Resend,
+    Heartbeat,
 }
 
 /// A point-to-point frame. `seq` numbers the `(src → dst)` data stream;
-/// for `Ack` frames it names the acknowledged sequence number.
+/// for `Ack` frames it names the acknowledged sequence number. `src` is
+/// the sender's *logical* rank; `epoch` is the membership epoch the
+/// frame was sent under — receivers drop frames from older epochs (they
+/// describe a timeline that a recovery rolled back) and buffer frames
+/// from newer ones until they catch up.
 #[derive(Debug, Clone)]
 struct Frame<T> {
     src: usize,
+    epoch: u64,
     tag: u64,
     seq: u64,
     attempt: u32,
@@ -139,7 +147,310 @@ impl Default for ReliabilityConfig {
     }
 }
 
-/// World construction options: a chaos plan and protocol tunables.
+/// Liveness-detection tunables for membership worlds. Liveness
+/// piggybacks on every received frame; when a rank has nothing to send
+/// it emits explicit heartbeat beacons instead.
+#[derive(Debug, Clone)]
+pub struct HeartbeatConfig {
+    /// Beacon interval while otherwise idle.
+    pub every: Duration,
+    /// Silence threshold past which a peer becomes a suspect. Suspicion
+    /// is promoted to death only if the peer's thread has actually
+    /// exited, so a slow-but-alive rank is never falsely buried.
+    pub detect: Duration,
+}
+
+impl Default for HeartbeatConfig {
+    fn default() -> HeartbeatConfig {
+        HeartbeatConfig {
+            every: Duration::from_millis(50),
+            detect: Duration::from_millis(200),
+        }
+    }
+}
+
+impl HeartbeatConfig {
+    /// Flag-validated constructor for `--heartbeat-ms`: a zero interval
+    /// is a configuration error, never a panic. Detection defaults to
+    /// 4x the beacon interval.
+    pub fn from_millis(every_ms: u64) -> Result<HeartbeatConfig, String> {
+        if every_ms == 0 {
+            return Err("heartbeat interval must be at least 1 ms".into());
+        }
+        Ok(HeartbeatConfig {
+            every: Duration::from_millis(every_ms),
+            detect: Duration::from_millis(every_ms.saturating_mul(4)),
+        })
+    }
+
+    /// Validate hand-built configs (driver entry points call this so a
+    /// bad `RunOptions` surfaces as a typed error).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.every.is_zero() {
+            return Err("heartbeat interval must be nonzero".into());
+        }
+        if self.detect < self.every {
+            return Err(format!(
+                "detection timeout {:?} is shorter than the heartbeat interval {:?}",
+                self.detect, self.every
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// How a recovered rank's state is reconstructed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoverySource {
+    /// The dead rank's buddy holds its window snapshot for this
+    /// generation and every survivor holds its own — diskless rollback.
+    Buddy { gen: u64 },
+    /// No generation is globally stable in memory, but a complete disk
+    /// checkpoint exists: the spare loads the dead rank's slice from it.
+    Disk { gen: u64 },
+    /// Nothing survived anywhere: re-derive generation 0 from the seeded
+    /// initial grid (always available, always bit-exact).
+    Initial,
+}
+
+impl RecoverySource {
+    /// The generation every rank rolls back to.
+    pub fn gen(&self) -> u64 {
+        match self {
+            RecoverySource::Buddy { gen } | RecoverySource::Disk { gen } => *gen,
+            RecoverySource::Initial => 0,
+        }
+    }
+}
+
+/// One recovery event: which logical rank died, which physical spare
+/// slot adopted it, and where its state comes from. `epoch` is the
+/// membership epoch the event opened.
+#[derive(Debug, Clone)]
+pub struct FailureRecord {
+    pub epoch: u64,
+    pub logical: usize,
+    pub spare: usize,
+    pub source: RecoverySource,
+}
+
+/// Outcome of reporting a failure to the membership layer.
+#[derive(Debug, Clone)]
+pub enum FailureOutcome {
+    /// A spare was assigned; the record says how everyone rolls back.
+    Recovered(FailureRecord),
+    /// The epoch already advanced past the reporter's view — some rank
+    /// beat it to the report. Re-sync via [`Membership::latest_failure`].
+    Stale,
+    /// No spare left: the run cannot heal online and the original error
+    /// propagates (the disk-restart loop is the outer fallback).
+    Unrecoverable,
+}
+
+/// Shared membership state for a world with hot spares: the logical →
+/// physical rank assignment, the spare pool, which checkpoint
+/// generations are where, and the recovery log. One instance is shared
+/// by every rank thread of a resilient run.
+///
+/// The epoch counter is the cheap read path — ranks poll it from their
+/// wait loops with a single atomic load; the mutex guards the rest and
+/// is only taken on checkpoint generations and actual failures.
+pub struct Membership {
+    n_logical: usize,
+    epoch: AtomicU64,
+    finished: AtomicBool,
+    unrecoverable: AtomicBool,
+    /// Logical rank -> physical slot, readable without the lock.
+    assign: Vec<AtomicUsize>,
+    state: Mutex<MemberState>,
+}
+
+struct MemberState {
+    /// Unassigned physical spare slots (LIFO).
+    spares: Vec<usize>,
+    /// Per logical rank: checkpoint generations it holds in memory.
+    local_gens: Vec<BTreeSet<u64>>,
+    /// Per logical rank: generations of *its* snapshot held by its buddy.
+    buddy_gens: Vec<BTreeSet<u64>>,
+    /// Recovery log; `failures.len()` is the current epoch.
+    failures: Vec<FailureRecord>,
+    /// Logical ranks done with their steps in the current epoch.
+    done: HashSet<usize>,
+    recoveries: u64,
+}
+
+/// Generations remembered per rank before pruning; anything this deep
+/// in the past can no longer be the newest globally-stable generation.
+pub(crate) const KEEP_GENS: usize = 4;
+
+impl Membership {
+    /// A membership over `n_logical` compute ranks plus `spares` extra
+    /// physical slots (numbered `n_logical..n_logical + spares`).
+    pub fn new(n_logical: usize, spares: usize) -> Membership {
+        Membership {
+            n_logical,
+            epoch: AtomicU64::new(0),
+            finished: AtomicBool::new(false),
+            unrecoverable: AtomicBool::new(false),
+            assign: (0..n_logical).map(AtomicUsize::new).collect(),
+            state: Mutex::new(MemberState {
+                spares: (n_logical..n_logical + spares).rev().collect(),
+                local_gens: vec![BTreeSet::new(); n_logical],
+                buddy_gens: vec![BTreeSet::new(); n_logical],
+                failures: Vec::new(),
+                done: HashSet::new(),
+                recoveries: 0,
+            }),
+        }
+    }
+
+    pub fn n_logical(&self) -> usize {
+        self.n_logical
+    }
+
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Physical slot currently carrying a logical rank.
+    pub fn phys_of(&self, logical: usize) -> usize {
+        self.assign[logical].load(Ordering::Acquire)
+    }
+
+    pub fn is_finished(&self) -> bool {
+        self.finished.load(Ordering::Acquire)
+    }
+
+    pub fn is_unrecoverable(&self) -> bool {
+        self.unrecoverable.load(Ordering::Acquire)
+    }
+
+    /// Successful online recoveries so far (distinct from disk restarts).
+    pub fn recoveries(&self) -> u64 {
+        self.state.lock().unwrap().recoveries
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, MemberState> {
+        // A poisoned membership mutex means a rank panicked mid-update;
+        // the bookkeeping is still internally consistent (every update
+        // is a single insert/push), so recover the guard.
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Record that `logical` holds its own window snapshot for `gen`.
+    pub fn note_local(&self, logical: usize, gen: u64) {
+        let mut st = self.lock();
+        let set = &mut st.local_gens[logical];
+        set.insert(gen);
+        while set.len() > KEEP_GENS {
+            let oldest = *set.iter().next().unwrap();
+            set.remove(&oldest);
+        }
+    }
+
+    /// Record that `logical`'s buddy holds `logical`'s snapshot for `gen`.
+    pub fn note_buddy(&self, logical: usize, gen: u64) {
+        let mut st = self.lock();
+        let set = &mut st.buddy_gens[logical];
+        set.insert(gen);
+        while set.len() > KEEP_GENS {
+            let oldest = *set.iter().next().unwrap();
+            set.remove(&oldest);
+        }
+    }
+
+    /// Report a dead logical rank. The first reporter (under the lock)
+    /// assigns a spare, picks the rollback source, and opens a new
+    /// epoch; concurrent reporters observe [`FailureOutcome::Stale`] and
+    /// re-sync from the latest record. `disk_gen` is the newest complete
+    /// disk checkpoint, if the run keeps one.
+    pub fn report_failure(
+        &self,
+        logical: usize,
+        reporter_epoch: u64,
+        disk_gen: Option<u64>,
+    ) -> FailureOutcome {
+        let mut st = self.lock();
+        let current = st.failures.len() as u64;
+        if current > reporter_epoch {
+            return FailureOutcome::Stale;
+        }
+        let Some(spare) = st.spares.pop() else {
+            self.unrecoverable.store(true, Ordering::Release);
+            return FailureOutcome::Unrecoverable;
+        };
+        // Newest generation that heals disklessly: the dead rank's buddy
+        // must hold its snapshot and every survivor must hold its own.
+        let n = self.n_logical;
+        let stable = st.buddy_gens[logical]
+            .iter()
+            .rev()
+            .find(|&&g| {
+                (0..n)
+                    .filter(|&r| r != logical)
+                    .all(|r| st.local_gens[r].contains(&g))
+            })
+            .copied();
+        let source = match (stable, disk_gen) {
+            (Some(gen), _) => RecoverySource::Buddy { gen },
+            (None, Some(gen)) => RecoverySource::Disk { gen },
+            (None, None) => RecoverySource::Initial,
+        };
+        // The dead thread's holdings are gone: its own snapshots, and
+        // the buddy copies it kept for its predecessor.
+        st.local_gens[logical].clear();
+        let pred = (logical + n - 1) % n;
+        if pred != logical {
+            st.buddy_gens[pred].clear();
+        }
+        let record = FailureRecord {
+            epoch: current + 1,
+            logical,
+            spare,
+            source,
+        };
+        st.failures.push(record.clone());
+        st.recoveries += 1;
+        // Everyone re-reports completion under the new epoch.
+        st.done.clear();
+        self.assign[logical].store(spare, Ordering::Release);
+        // Publish the epoch last: by the time a poller sees it, the
+        // assignment and the record are already in place.
+        self.epoch.store(current + 1, Ordering::Release);
+        FailureOutcome::Recovered(record)
+    }
+
+    /// The most recent recovery event, if any.
+    pub fn latest_failure(&self) -> Option<FailureRecord> {
+        self.lock().failures.last().cloned()
+    }
+
+    /// The adoption duty assigned to a physical spare slot, if any.
+    pub fn duty_of(&self, slot: usize) -> Option<FailureRecord> {
+        self.lock()
+            .failures
+            .iter()
+            .rev()
+            .find(|r| r.spare == slot)
+            .cloned()
+    }
+
+    /// A logical rank finished its final step under `epoch`. When every
+    /// logical rank has, the world is finished and spares stand down.
+    pub fn report_done(&self, logical: usize, epoch: u64) {
+        let mut st = self.lock();
+        if st.failures.len() as u64 != epoch {
+            return; // stale: the rank will re-enter compute and re-report
+        }
+        st.done.insert(logical);
+        if st.done.len() == self.n_logical {
+            self.finished.store(true, Ordering::Release);
+        }
+    }
+}
+
+/// World construction options: a chaos plan, protocol tunables, and —
+/// for resilient runs — the shared membership layer.
 #[derive(Debug, Clone, Default)]
 pub struct WorldConfig {
     /// Seeded fault injector applied to every data frame.
@@ -149,6 +460,21 @@ pub struct WorldConfig {
     /// (`Some(false)`); by default it is on exactly when a fault plan is
     /// present, so fault-free runs pay no ack traffic.
     pub reliable: Option<bool>,
+    /// Hot-spare membership: present iff the run can heal dead ranks
+    /// online. `None` keeps the runtime byte-for-byte on its old paths.
+    pub membership: Option<Arc<Membership>>,
+    /// Liveness beacons + detection timeout (membership worlds only).
+    pub heartbeat: Option<HeartbeatConfig>,
+}
+
+impl std::fmt::Debug for Membership {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Membership")
+            .field("n_logical", &self.n_logical)
+            .field("epoch", &self.epoch())
+            .field("finished", &self.is_finished())
+            .finish()
+    }
 }
 
 /// Shared world state: how many ranks have left the communication fabric
@@ -158,12 +484,21 @@ pub struct WorldConfig {
 /// wedges its peers.
 struct WorldShared {
     departed: AtomicUsize,
+    /// Per physical slot: false once that thread has left the fabric.
+    /// The membership layer's suspicion check reads this so silence from
+    /// a slow-but-alive rank is never promoted to death.
+    alive: Vec<AtomicBool>,
 }
 
-/// Per-rank endpoint handed to each rank's closure.
+/// Per-rank endpoint handed to each rank's closure. In membership
+/// worlds `rank` is the *logical* rank (rewritten when a spare adopts a
+/// dead rank's subdomain) and `slot` the fixed physical thread index;
+/// everywhere else they coincide.
 pub struct RankCtx<T> {
     pub rank: usize,
     pub n_ranks: usize,
+    /// Physical slot of this thread (== initial `rank`).
+    slot: usize,
     senders: Arc<Vec<Sender<Frame<T>>>>,
     inbox: Receiver<Frame<T>>,
     /// Unexpected-message queue: data frames that arrived before their
@@ -185,6 +520,20 @@ pub struct RankCtx<T> {
     exchanges: u64,
     shared: Arc<WorldShared>,
     departed_marked: bool,
+    /// Membership epoch this rank currently operates under.
+    epoch: u64,
+    /// Frames from a newer epoch than ours, replayed by `enter_epoch`.
+    future: Vec<Frame<T>>,
+    /// Last time anything (data, ack, heartbeat) arrived per logical src.
+    last_heard: Vec<Instant>,
+    /// Last time we broadcast heartbeat beacons.
+    last_beat: Instant,
+    membership: Option<Arc<Membership>>,
+    hb: Option<HeartbeatConfig>,
+    /// Last recoverable control fault this endpoint originated (kill,
+    /// suspect, epoch change). Intermediate layers flatten errors into
+    /// strings; the driver reads the typed event back via `take_fault`.
+    fault_note: Option<CommError>,
     /// Messages sent (diagnostics). Counts first transmissions of data
     /// frames only — acks, retransmissions, and control traffic are
     /// protocol overhead, not messages.
@@ -201,9 +550,30 @@ pub struct RankCtx<T> {
 }
 
 impl<T> RankCtx<T> {
+    /// Fixed physical thread index (== the spawn-time rank; unchanged by
+    /// [`RankCtx::adopt`]).
+    pub fn slot(&self) -> usize {
+        self.slot
+    }
+
+    /// Take the last typed control fault (kill, suspect, epoch change)
+    /// this endpoint originated. Drivers call it after an operation
+    /// errored to decide between online recovery and a full restart.
+    pub fn take_fault(&mut self) -> Option<CommError> {
+        self.fault_note.take()
+    }
+
+    fn note_control_fault(&mut self, e: &CommError) {
+        self.fault_note = Some(e.clone());
+    }
+
     fn mark_departed(&mut self) {
         if !self.departed_marked {
             self.departed_marked = true;
+            // Alive goes false before the departed count rises (and well
+            // before the channel endpoint drops with this struct), so a
+            // peer that sees a dead endpoint finds the flag down too.
+            self.shared.alive[self.slot].store(false, Ordering::Release);
             self.shared.departed.fetch_add(1, Ordering::AcqRel);
         }
     }
@@ -228,6 +598,7 @@ impl<T: Wire> RankCtx<T> {
         self.next_seq[dst] += 1;
         let frame = Frame {
             src: self.rank,
+            epoch: self.epoch,
             tag,
             seq,
             attempt: 0,
@@ -245,7 +616,9 @@ impl<T: Wire> RankCtx<T> {
         // Frames the injector delayed are released *after* this newer
         // frame, which is exactly the reordering being simulated.
         let held = std::mem::take(&mut self.delayed);
-        self.transmit(dst, frame)?;
+        if let Err(e) = self.transmit(dst, frame) {
+            return Err(self.promote_dead(e));
+        }
         for (d, f) in held {
             let _ = self.raw_send(d, f);
         }
@@ -260,8 +633,11 @@ impl<T: Wire> RankCtx<T> {
     }
 
     /// Bump the exchange-round counter and apply any configured kill —
-    /// drivers call this once per halo-exchange round.
+    /// drivers call this once per halo-exchange round. In membership
+    /// worlds it is also an epoch checkpoint: a recovery opened since
+    /// our last look surfaces here before any face is posted.
     pub fn begin_exchange(&mut self) -> Result<(), CommError> {
+        self.poll_epoch()?;
         self.exchanges += 1;
         if let Some(plan) = &self.fault {
             if plan.should_kill(self.rank, self.exchanges) {
@@ -273,13 +649,200 @@ impl<T: Wire> RankCtx<T> {
                     self.exchanges,
                 );
                 let _ = msc_trace::dump_on_error("killed");
-                return Err(CommError::Killed {
+                let e = CommError::Killed {
                     rank: self.rank,
                     exchange: self.exchanges,
-                });
+                };
+                self.note_control_fault(&e);
+                return Err(e);
             }
         }
         Ok(())
+    }
+
+    /// Surface a pending membership epoch change as a typed control
+    /// signal. A single atomic load; a no-op outside membership worlds.
+    fn poll_epoch(&mut self) -> Result<(), CommError> {
+        if let Some(m) = &self.membership {
+            let e = m.epoch();
+            if e > self.epoch {
+                let err = CommError::EpochChange { epoch: e };
+                self.note_control_fault(&err);
+                return Err(err);
+            }
+        }
+        Ok(())
+    }
+
+    /// Cross into a new membership epoch: drop every trace of the rolled
+    /// back timeline (stash, retransmit buffers, injector-held frames,
+    /// sequence numbers, dedup sets) and replay any frames that arrived
+    /// early from peers already in the new epoch. Replayed computation
+    /// regenerates identical traffic, so a fresh numbering is safe — the
+    /// epoch tag on every frame screens out stragglers from the past.
+    pub fn enter_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
+        self.stash.clear();
+        self.delayed.clear();
+        for buf in &mut self.unacked {
+            buf.clear();
+        }
+        for set in &mut self.delivered {
+            set.clear();
+        }
+        for seq in &mut self.next_seq {
+            *seq = 0;
+        }
+        let now = Instant::now();
+        for t in &mut self.last_heard {
+            *t = now; // fresh grace period for everyone
+        }
+        let early = std::mem::take(&mut self.future);
+        for frame in early {
+            // Screening in process_frame re-buffers anything from an
+            // even newer epoch and drops anything older.
+            let _ = self.process_frame(frame);
+        }
+    }
+
+    /// A spare adopts a dead rank's logical identity. Subsequent sends,
+    /// receives, and trace records act as `logical`.
+    pub fn adopt(&mut self, logical: usize) {
+        self.rank = logical;
+        msc_trace::set_current_rank(logical as u32);
+    }
+
+    /// Current membership epoch this rank operates under.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Broadcast liveness beacons if the heartbeat interval elapsed.
+    /// Only logical ranks beat (nobody monitors idle spares), and only
+    /// in membership worlds — everywhere else this is free.
+    fn maybe_heartbeat(&mut self) {
+        let (Some(m), Some(hb)) = (&self.membership, &self.hb) else {
+            return;
+        };
+        let n_logical = m.n_logical();
+        if self.rank >= n_logical || self.last_beat.elapsed() < hb.every {
+            return;
+        }
+        self.last_beat = Instant::now();
+        for dst in 0..n_logical {
+            if dst == self.rank {
+                continue;
+            }
+            let beat = Frame {
+                src: self.rank,
+                epoch: self.epoch,
+                tag: 0,
+                seq: 0,
+                attempt: 0,
+                checksum: 0,
+                body: Body::Heartbeat,
+            };
+            // A dead destination is the detector's business, not ours.
+            let _ = self.raw_send(dst, beat);
+            self.counters.bump(Counter::HeartbeatsSent, 1);
+            msc_trace::record(Counter::HeartbeatsSent, 1);
+        }
+    }
+
+    /// Suspicion check for a source we are stalled on: silence past the
+    /// detection timeout *and* a departed thread make it a suspect. A
+    /// slow-but-alive rank never qualifies — its silence falls through
+    /// to the ordinary timeout machinery.
+    fn check_suspect(&mut self, src: usize) -> Option<CommError> {
+        let m = self.membership.as_ref()?;
+        let detect = self.hb.as_ref()?.detect;
+        if src >= m.n_logical() || src == self.rank {
+            return None;
+        }
+        let silence = self.last_heard[src].elapsed();
+        if silence < detect {
+            return None;
+        }
+        let phys = m.phys_of(src);
+        if self.shared.alive[phys].load(Ordering::Acquire) {
+            return None;
+        }
+        Some(self.note_suspect(src, silence))
+    }
+
+    /// Record a suspect event: detection latency into the log2 histogram,
+    /// a flight-recorder entry, and the typed control error.
+    fn note_suspect(&mut self, src: usize, silence: Duration) -> CommError {
+        let ns = silence.as_nanos() as u64;
+        self.hists.add(Hist::DetectLatencyNanos, ns);
+        msc_trace::record_hist(Hist::DetectLatencyNanos, ns);
+        msc_trace::flight(
+            FlightKind::Recover,
+            src as u32,
+            self.rank as u32,
+            0,
+            self.epoch,
+        );
+        let e = CommError::RankSuspect {
+            rank: src,
+            silent_ms: silence.as_millis() as u64,
+        };
+        self.note_control_fault(&e);
+        e
+    }
+
+    /// Sweep every logical peer through the suspicion check — the
+    /// standby-loop counterpart of the per-wait checks, used by finished
+    /// ranks and idle spares that have no posted receives to stall on.
+    /// (An idle spare hears from nobody, so its silence clocks run from
+    /// spawn; the `alive` flag keeps that from ever flagging a live rank.)
+    pub fn poll_suspects(&mut self) -> Option<CommError> {
+        let n = match &self.membership {
+            Some(m) => m.n_logical(),
+            None => return None,
+        };
+        for src in 0..n {
+            if let Some(e) = self.check_suspect(src) {
+                return Some(e);
+            }
+        }
+        None
+    }
+
+    /// In membership worlds a dead endpoint is a recoverable suspect,
+    /// not a fatal [`CommError::RankDead`].
+    fn promote_dead(&mut self, e: CommError) -> CommError {
+        let Some(m) = &self.membership else { return e };
+        match e {
+            CommError::RankDead { rank } if rank < m.n_logical() && rank != self.rank => {
+                let silence = self.last_heard[rank].elapsed();
+                self.note_suspect(rank, silence)
+            }
+            other => other,
+        }
+    }
+
+    /// Service the fabric for `dur` without expecting any payload: drain
+    /// inbound frames (acks, retransmit requests, late buddy snapshots),
+    /// keep heartbeating, and surface epoch changes. Finished ranks park
+    /// here until the whole world completes — parking in a condvar
+    /// instead would starve replaying neighbors of retransmissions.
+    pub fn service_for(&mut self, dur: Duration) -> Result<(), CommError> {
+        let deadline = Instant::now() + dur;
+        loop {
+            self.poll_epoch()?;
+            self.maybe_heartbeat();
+            match self.inbox.recv_timeout(Duration::from_millis(1)) {
+                Ok(frame) => {
+                    let _ = self.process_frame(frame);
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => return Ok(()),
+            }
+            if Instant::now() >= deadline {
+                return Ok(());
+            }
+        }
     }
 
     /// Block until the matching message arrives; unrelated messages are
@@ -325,6 +888,7 @@ impl<T: Wire> RankCtx<T> {
         let mut attempts = 0u32;
         let mut resends = 0usize;
         loop {
+            self.poll_epoch()?;
             if let Some(pos) = self
                 .stash
                 .iter()
@@ -341,17 +905,17 @@ impl<T: Wire> RankCtx<T> {
                 return Ok((idx, payload));
             }
             self.flush_delayed();
-            let step = if self.reliable {
-                poll
-            } else {
-                self.cfg
-                    .plain_deadline
-                    .saturating_sub(start.elapsed())
-                    .min(Duration::from_millis(250))
-            };
+            let step = self.poll_step(poll, self.cfg.plain_deadline, start);
             match self.inbox.recv_timeout(step) {
                 Ok(frame) => self.process_frame(frame)?,
                 Err(RecvTimeoutError::Timeout) => {
+                    self.maybe_heartbeat();
+                    let srcs: HashSet<usize> = reqs.iter().map(|r| r.src).collect();
+                    for &src in &srcs {
+                        if let Some(e) = self.check_suspect(src) {
+                            return Err(e);
+                        }
+                    }
                     let first = &reqs[0];
                     if self.reliable {
                         attempts += 1;
@@ -366,26 +930,27 @@ impl<T: Wire> RankCtx<T> {
                         }
                         // Nudge every stalled source; a dead one is a
                         // hard error (nobody will ever retransmit).
-                        let srcs: HashSet<usize> = reqs.iter().map(|r| r.src).collect();
+                        let first_tag = first.tag;
                         for src in srcs {
                             msc_trace::flight(
                                 FlightKind::ResendRequest,
                                 self.rank as u32,
                                 src as u32,
-                                first.tag,
+                                first_tag,
                                 0,
                             );
-                            self.raw_send(
-                                src,
-                                Frame {
-                                    src: self.rank,
-                                    tag: 0,
-                                    seq: 0,
-                                    attempt: 0,
-                                    checksum: 0,
-                                    body: Body::Resend,
-                                },
-                            )?;
+                            let nudge = Frame {
+                                src: self.rank,
+                                epoch: self.epoch,
+                                tag: 0,
+                                seq: 0,
+                                attempt: 0,
+                                checksum: 0,
+                                body: Body::Resend,
+                            };
+                            if let Err(e) = self.raw_send(src, nudge) {
+                                return Err(self.promote_dead(e));
+                            }
                             resends += 1;
                         }
                         poll = Duration::from_secs_f64(
@@ -399,10 +964,30 @@ impl<T: Wire> RankCtx<T> {
                     }
                 }
                 Err(RecvTimeoutError::Disconnected) => {
-                    return Err(self.note_rank_dead(reqs[0].src));
+                    let e = self.note_rank_dead(reqs[0].src);
+                    return Err(self.promote_dead(e));
                 }
             }
         }
+    }
+
+    /// Receive-poll interval: the protocol's own cadence, capped so
+    /// heartbeat and detection deadlines are honored in membership
+    /// worlds (a 250 ms plain-mode doze would miss a 100 ms detect).
+    fn poll_step(&self, poll: Duration, deadline: Duration, start: Instant) -> Duration {
+        let mut step = if self.reliable {
+            poll
+        } else {
+            deadline
+                .saturating_sub(start.elapsed())
+                .min(Duration::from_millis(250))
+        };
+        if let Some(hb) = &self.hb {
+            step = step
+                .min(hb.every.min(hb.detect) / 2)
+                .max(Duration::from_millis(1));
+        }
+        step
     }
 
     /// Successful wait bookkeeping: halo-wait histogram sample, plus the
@@ -453,14 +1038,9 @@ impl<T: Wire> RankCtx<T> {
         let mut attempts = 0u32;
         let mut resends = 0usize;
         loop {
+            self.poll_epoch()?;
             self.flush_delayed();
-            let step = if self.reliable {
-                poll
-            } else {
-                deadline
-                    .saturating_sub(start.elapsed())
-                    .min(Duration::from_millis(250))
-            };
+            let step = self.poll_step(poll, deadline, start);
             match self.inbox.recv_timeout(step) {
                 Ok(frame) => {
                     self.process_frame(frame)?;
@@ -470,6 +1050,10 @@ impl<T: Wire> RankCtx<T> {
                     }
                 }
                 Err(RecvTimeoutError::Timeout) => {
+                    self.maybe_heartbeat();
+                    if let Some(e) = self.check_suspect(req.src) {
+                        return Err(e);
+                    }
                     let timed_out = if self.reliable {
                         attempts += 1;
                         attempts > self.cfg.max_attempts
@@ -492,17 +1076,18 @@ impl<T: Wire> RankCtx<T> {
                             req.tag,
                             0,
                         );
-                        self.raw_send(
-                            req.src,
-                            Frame {
-                                src: self.rank,
-                                tag: 0,
-                                seq: 0,
-                                attempt: 0,
-                                checksum: 0,
-                                body: Body::Resend,
-                            },
-                        )?;
+                        let nudge = Frame {
+                            src: self.rank,
+                            epoch: self.epoch,
+                            tag: 0,
+                            seq: 0,
+                            attempt: 0,
+                            checksum: 0,
+                            body: Body::Resend,
+                        };
+                        if let Err(e) = self.raw_send(req.src, nudge) {
+                            return Err(self.promote_dead(e));
+                        }
                         resends += 1;
                         poll = Duration::from_secs_f64(
                             (poll.as_secs_f64() * self.cfg.backoff)
@@ -511,7 +1096,8 @@ impl<T: Wire> RankCtx<T> {
                     }
                 }
                 Err(RecvTimeoutError::Disconnected) => {
-                    return Err(self.note_rank_dead(req.src));
+                    let e = self.note_rank_dead(req.src);
+                    return Err(self.promote_dead(e));
                 }
             }
         }
@@ -528,9 +1114,23 @@ impl<T: Wire> RankCtx<T> {
     }
 
     /// Handle one inbound frame: bookkeeping for acks and retransmit
-    /// requests, checksum + duplicate screening for data.
+    /// requests, checksum + duplicate screening for data. Membership
+    /// epochs screen first — a frame from the rolled-back past is
+    /// dropped, one from a future epoch buffered for `enter_epoch` —
+    /// and every on-epoch arrival refreshes the sender's liveness.
     fn process_frame(&mut self, frame: Frame<T>) -> Result<(), CommError> {
+        if frame.epoch < self.epoch {
+            return Ok(()); // stale timeline; recovery replay resends
+        }
+        if frame.epoch > self.epoch {
+            self.future.push(frame);
+            return Ok(());
+        }
+        if frame.src < self.last_heard.len() {
+            self.last_heard[frame.src] = Instant::now();
+        }
         match frame.body {
+            Body::Heartbeat => Ok(()),
             Body::Ack => {
                 msc_trace::flight(
                     FlightKind::Ack,
@@ -584,6 +1184,7 @@ impl<T: Wire> RankCtx<T> {
                             frame.src,
                             Frame {
                                 src: self.rank,
+                                epoch: self.epoch,
                                 tag: 0,
                                 seq: 0,
                                 attempt: 0,
@@ -607,6 +1208,7 @@ impl<T: Wire> RankCtx<T> {
                         frame.src,
                         Frame {
                             src: self.rank,
+                            epoch: self.epoch,
                             tag: frame.tag,
                             seq: frame.seq,
                             attempt: 0,
@@ -690,7 +1292,13 @@ impl<T: Wire> RankCtx<T> {
     }
 
     fn raw_send(&self, dst: usize, frame: Frame<T>) -> Result<(), CommError> {
-        self.senders[dst]
+        // `dst` is a logical rank; membership maps it to whichever
+        // physical slot currently carries it (a spare after adoption).
+        let phys = match &self.membership {
+            Some(m) if dst < m.n_logical() => m.phys_of(dst),
+            _ => dst,
+        };
+        self.senders[phys]
             .send(frame)
             .map_err(|_| CommError::RankDead { rank: dst })
     }
@@ -779,6 +1387,7 @@ impl World {
         let senders = Arc::new(senders);
         let shared = Arc::new(WorldShared {
             departed: AtomicUsize::new(0),
+            alive: (0..n_ranks).map(|_| AtomicBool::new(true)).collect(),
         });
 
         let mut results: HashMap<usize, R> = HashMap::new();
@@ -790,15 +1399,19 @@ impl World {
                 let shared = Arc::clone(&shared);
                 let fault = cfg.fault.clone();
                 let reliability = cfg.reliability.clone();
+                let membership = cfg.membership.clone();
+                let heartbeat = cfg.heartbeat.clone();
                 let f = &f;
                 handles.push(scope.spawn(move |_| {
                     // Tag this thread's spans, flows, and flight records
                     // with the rank id so cross-rank traces stitch.
                     msc_trace::set_current_rank(rank as u32);
                     let _span = msc_trace::span("rank");
+                    let now = Instant::now();
                     let ctx = RankCtx {
                         rank,
                         n_ranks,
+                        slot: rank,
                         senders,
                         inbox,
                         stash: Vec::new(),
@@ -812,6 +1425,13 @@ impl World {
                         exchanges: 0,
                         shared,
                         departed_marked: false,
+                        epoch: 0,
+                        future: Vec::new(),
+                        last_heard: vec![now; n_ranks],
+                        last_beat: now,
+                        membership,
+                        hb: heartbeat,
+                        fault_note: None,
                         sent_msgs: 0,
                         counters: CounterSet::new(),
                         hists: HistSet::new(),
@@ -1041,6 +1661,8 @@ mod tests {
                 ..Default::default()
             },
             reliable: None,
+            membership: None,
+            heartbeat: None,
         };
         let results: Vec<(usize, u64)> = World::try_run_with(4, cfg, |mut ctx: RankCtx<usize>| {
             for dst in 0..ctx.n_ranks {
@@ -1182,6 +1804,163 @@ mod tests {
             }
             other => panic!("expected Timeout, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn membership_selects_buddy_then_disk_then_initial() {
+        // 3 logical ranks, 1 spare. Buddy of rank 1 is rank 2.
+        let m = Membership::new(3, 1);
+        // Generation 4 is globally stable: survivors 0 and 2 hold their
+        // own snapshots, and rank 1's buddy holds rank 1's.
+        for r in 0..3 {
+            m.note_local(r, 2);
+            m.note_local(r, 4);
+        }
+        m.note_buddy(1, 2);
+        m.note_buddy(1, 4);
+        // Generation 6 exists only at rank 0 — not stable.
+        m.note_local(0, 6);
+        match m.report_failure(1, 0, Some(2)) {
+            FailureOutcome::Recovered(rec) => {
+                assert_eq!(rec.epoch, 1);
+                assert_eq!(rec.logical, 1);
+                assert_eq!(rec.spare, 3);
+                assert_eq!(rec.source, RecoverySource::Buddy { gen: 4 });
+            }
+            other => panic!("expected Recovered, got {other:?}"),
+        }
+        assert_eq!(m.epoch(), 1);
+        assert_eq!(m.phys_of(1), 3);
+        assert_eq!(m.recoveries(), 1);
+
+        // No buddy copies for rank 0 -> disk fallback, then initial.
+        let m2 = Membership::new(3, 2);
+        match m2.report_failure(0, 0, Some(2)) {
+            FailureOutcome::Recovered(rec) => {
+                assert_eq!(rec.source, RecoverySource::Disk { gen: 2 })
+            }
+            other => panic!("expected Recovered, got {other:?}"),
+        }
+        match m2.report_failure(1, 1, None) {
+            FailureOutcome::Recovered(rec) => {
+                assert_eq!(rec.source, RecoverySource::Initial);
+                assert_eq!(rec.source.gen(), 0);
+            }
+            other => panic!("expected Recovered, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn membership_concurrent_report_is_stale_and_exhaustion_unrecoverable() {
+        let m = Membership::new(2, 1);
+        assert!(matches!(
+            m.report_failure(0, 0, None),
+            FailureOutcome::Recovered(_)
+        ));
+        // A second reporter still at epoch 0 lost the race.
+        assert!(matches!(m.report_failure(0, 0, None), FailureOutcome::Stale));
+        // A genuinely new failure with the spare pool empty cannot heal.
+        assert!(matches!(
+            m.report_failure(1, 1, None),
+            FailureOutcome::Unrecoverable
+        ));
+        assert!(m.is_unrecoverable());
+    }
+
+    #[test]
+    fn membership_done_barrier_resets_on_failure() {
+        let m = Membership::new(2, 1);
+        m.report_done(0, 0);
+        assert!(!m.is_finished());
+        // Failure clears the done set: rank 0 must recompute from the
+        // rollback generation before the world can finish.
+        m.report_failure(1, 0, None);
+        m.report_done(1, 1);
+        assert!(!m.is_finished());
+        m.report_done(0, 1);
+        assert!(m.is_finished());
+        // Stale-epoch reports are ignored.
+        let m2 = Membership::new(1, 1);
+        m2.report_failure(0, 0, None);
+        m2.report_done(0, 0);
+        assert!(!m2.is_finished());
+    }
+
+    #[test]
+    fn heartbeat_silence_promotes_dead_peer_to_suspect() {
+        let membership = Arc::new(Membership::new(2, 0));
+        let cfg = WorldConfig {
+            membership: Some(Arc::clone(&membership)),
+            heartbeat: Some(HeartbeatConfig {
+                every: Duration::from_millis(5),
+                detect: Duration::from_millis(40),
+            }),
+            ..Default::default()
+        };
+        let results: Vec<Option<CommError>> =
+            World::try_run_with(2, cfg, |mut ctx: RankCtx<f64>| {
+                if ctx.rank == 1 {
+                    return None; // dies silently; endpoint drops
+                }
+                let req = ctx.irecv(1, 0);
+                ctx.wait(req).err()
+            })
+            .unwrap();
+        match results[0].as_ref().unwrap() {
+            CommError::RankSuspect { rank, silent_ms } => {
+                assert_eq!(*rank, 1);
+                assert!(*silent_ms >= 40, "detected before the timeout: {silent_ms} ms");
+            }
+            other => panic!("expected RankSuspect, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn epoch_change_surfaces_in_wait_and_spare_learns_its_duty() {
+        let membership = Arc::new(Membership::new(3, 1));
+        let cfg = WorldConfig {
+            membership: Some(Arc::clone(&membership)),
+            ..Default::default()
+        };
+        let m = Arc::clone(&membership);
+        let results: Vec<i64> = World::try_run_with(4, cfg, move |mut ctx: RankCtx<f64>| {
+            match ctx.rank {
+                0 => {
+                    // Blocked on rank 1, which never sends: the epoch
+                    // bump must interrupt the wait as a typed signal.
+                    let req = ctx.irecv(1, 7);
+                    match ctx.wait(req) {
+                        Err(CommError::EpochChange { epoch }) => {
+                            ctx.enter_epoch(epoch);
+                            epoch as i64
+                        }
+                        other => panic!("expected EpochChange, got {other:?}"),
+                    }
+                }
+                1 => {
+                    std::thread::sleep(Duration::from_millis(10));
+                    // Simulate a detector's report: logical 1 is dead.
+                    match m.report_failure(1, 0, None) {
+                        FailureOutcome::Recovered(rec) => rec.spare as i64,
+                        other => panic!("expected Recovered, got {other:?}"),
+                    }
+                }
+                2 => 0,
+                _ => {
+                    // The spare polls for its adoption duty.
+                    loop {
+                        if let Some(duty) = m.duty_of(ctx.slot) {
+                            return duty.logical as i64;
+                        }
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                }
+            }
+        })
+        .unwrap();
+        assert_eq!(results[0], 1, "rank 0 saw epoch 1");
+        assert_eq!(results[1], 3, "spare slot 3 was assigned");
+        assert_eq!(results[3], 1, "spare adopted logical rank 1");
     }
 
     #[test]

@@ -58,6 +58,7 @@ hists! {
     PackHistNanos        => ("pack_hist", "ns"),
     UnpackHistNanos      => ("unpack_hist", "ns"),
     StepWallNanos        => ("step_wall", "ns"),
+    DetectLatencyNanos   => ("detect_latency", "ns"),
 }
 
 /// Bucket index for a sample: 0 for 0, else `floor(log2 v) + 1`,

@@ -64,6 +64,9 @@ flight_kinds! {
     Checkpoint    => "checkpoint",
     Restart       => "restart",
     Error         => "error",
+    // Appended last: `from_u8` decodes positionally, so the order above
+    // is wire format and this list is append-only.
+    Recover       => "recover",
 }
 
 /// One black-box record. `src`/`dst`/`tag`/`seq` carry the message

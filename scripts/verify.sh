@@ -17,6 +17,16 @@ echo "== chaos suite (fixed seeds) =="
 # seeds are fixed so failures reproduce exactly.
 cargo test -q -p msc-comm --test chaos --offline
 
+echo "== online recovery suite (tier x chaos matrix) =="
+# A rank killed mid-run must be healed in place by a hot spare from its
+# buddy's diskless snapshot — zero world restarts, bit-identical grid —
+# under every execution tier (the kill suite names one test per tier).
+cargo test -q -p msc-comm --test recovery --offline
+for tier in interp vm specialized; do
+  cargo test -q -p msc-comm --test recovery --offline \
+    "spare_adopts_killed_rank_${tier}_tier"
+done
+
 echo "== execution-tier differential (interp vs VM vs specialized) =="
 # Every catalog stencil must produce bit-identical grids on all three
 # row-evaluation tiers (DESIGN.md §12.3) — the interpreter is the oracle.

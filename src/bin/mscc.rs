@@ -33,7 +33,7 @@
 
 use msc::bench::results::Json;
 use msc::bench::suite;
-use msc::comm::{run_distributed_resilient, FaultPlan, RunOptions};
+use msc::comm::{run_distributed_resilient, FaultPlan, HeartbeatConfig, RunOptions};
 use msc::core::analysis::StencilStats;
 use msc::core::schedule::ExecPlan;
 use msc::prelude::*;
@@ -76,6 +76,13 @@ distributed:
                            corrupt=, kill=RANK@N); implies distributed
       --checkpoint-every K write a checkpoint every K steps
       --checkpoint-dir DIR checkpoint directory (default: temp dir)
+      --spare-ranks N      launch N hot-spare ranks; a dead rank is healed
+                           online (spare adopts its subdomain from the
+                           buddy snapshot) instead of restarting the
+                           world; implies distributed
+      --heartbeat-ms MS    liveness beacon interval in ms (failure
+                           detection timeout is 4x MS; default 50);
+                           implies distributed and the membership layer
 
 observability:
       --profile            run under tracing; print the counter and latency-
@@ -119,6 +126,8 @@ struct Args {
     chaos: Option<String>,
     checkpoint_every: usize,
     checkpoint_dir: Option<PathBuf>,
+    spare_ranks: usize,
+    heartbeat_ms: Option<u64>,
     flight_dir: Option<PathBuf>,
     pool_threads: Option<usize>,
     exec_tier: msc::exec::ExecTier,
@@ -257,6 +266,8 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Cli, String> {
     let mut chaos = None;
     let mut checkpoint_every = 0usize;
     let mut checkpoint_dir = None;
+    let mut spare_ranks = 0usize;
+    let mut heartbeat_ms = None;
     let mut flight_dir = None;
     let mut pool_threads = None;
     let mut exec_tier = msc::exec::ExecTier::Auto;
@@ -305,6 +316,24 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Cli, String> {
                     argv.next().ok_or("missing directory after --checkpoint-dir")?,
                 ))
             }
+            "--spare-ranks" => {
+                spare_ranks = argv
+                    .next()
+                    .ok_or("missing rank count after --spare-ranks")?
+                    .parse()
+                    .map_err(|_| "bad rank count after --spare-ranks".to_string())?;
+            }
+            "--heartbeat-ms" => {
+                let ms: u64 = argv
+                    .next()
+                    .ok_or("missing interval after --heartbeat-ms")?
+                    .parse()
+                    .map_err(|_| "bad interval after --heartbeat-ms".to_string())?;
+                if ms == 0 {
+                    return Err("--heartbeat-ms must be at least 1".into());
+                }
+                heartbeat_ms = Some(ms);
+            }
             "--flight-dir" => {
                 flight_dir = Some(PathBuf::from(
                     argv.next().ok_or("missing directory after --flight-dir")?,
@@ -347,6 +376,8 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Cli, String> {
         chaos,
         checkpoint_every,
         checkpoint_dir,
+        spare_ranks,
+        heartbeat_ms,
         flight_dir,
         pool_threads,
         exec_tier,
@@ -422,6 +453,18 @@ fn drive_bench(args: BenchArgs) -> Result<(), Box<dyn std::error::Error>> {
     if let Some((input, out)) = &args.doctor {
         let doc = load_recording(input)?;
         suite::validate(&doc).map_err(|e| format!("{}: {e}", input.display()))?;
+        // End-to-end resilience self-test: kill a rank mid-run and demand
+        // a bit-exact online heal before certifying the rig healthy.
+        let smoke = suite::recovery_smoke()?;
+        println!(
+            "recovery smoke: {} recoveries, {} restarts, {} buddy bytes; \
+             detection latency p50 {:.1} us / p99 {:.1} us",
+            smoke.recoveries,
+            smoke.restarts,
+            smoke.buddy_bytes,
+            smoke.detect_p50_ns as f64 / 1e3,
+            smoke.detect_p99_ns as f64 / 1e3,
+        );
         let slowed = suite::scale_times(&doc, 1.2);
         std::fs::write(out, format!("{slowed}\n"))
             .map_err(|e| format!("cannot write {}: {e}", out.display()))?;
@@ -605,8 +648,11 @@ fn drive(args: Args) -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    let distributed =
-        args.procs.is_some() || args.chaos.is_some() || args.checkpoint_every > 0;
+    let distributed = args.procs.is_some()
+        || args.chaos.is_some()
+        || args.checkpoint_every > 0
+        || args.spare_ranks > 0
+        || args.heartbeat_ms.is_some();
     if distributed {
         let ndim = program.grid.ndim();
         let procs = match &args.procs {
@@ -639,6 +685,21 @@ fn drive(args: Args) -> Result<(), Box<dyn std::error::Error>> {
             opts.checkpoint_dir = Some(dir);
             opts.checkpoint_every = args.checkpoint_every;
         }
+        opts.spare_ranks = args.spare_ranks;
+        if let Some(ms) = args.heartbeat_ms {
+            opts.heartbeat = Some(HeartbeatConfig::from_millis(ms)?);
+        }
+        if opts.spare_ranks > 0 || opts.heartbeat.is_some() {
+            let hb = opts.heartbeat.clone().unwrap_or_default();
+            println!(
+                "resilience policy: {} spare rank(s), heartbeat every {} ms, \
+                 failure detection after {} ms, keeping {} buddy generation(s)",
+                opts.spare_ranks,
+                hb.every.as_millis(),
+                hb.detect.as_millis(),
+                opts.checkpoint_keep,
+            );
+        }
         let tracing = args.profile || args.trace.is_some();
         if tracing {
             msc::trace::reset();
@@ -666,8 +727,8 @@ fn drive(args: Args) -> Result<(), Box<dyn std::error::Error>> {
         }
         println!(
             "distributed run over {} ranks {:?}: {} steps in {:.1} ms; {} halo msgs, \
-             {} faults injected, {} retransmits, {} restarts, {} checkpoint bytes; \
-             interior checksum {:.6e}",
+             {} faults injected, {} retransmits, {} restarts, {} recoveries, \
+             {} checkpoint bytes; interior checksum {:.6e}",
             stats.ranks,
             procs,
             stats.steps,
@@ -676,6 +737,7 @@ fn drive(args: Args) -> Result<(), Box<dyn std::error::Error>> {
             stats.faults_injected(),
             stats.retransmits(),
             stats.restarts,
+            stats.recoveries,
             stats.checkpoint_bytes(),
             out.interior_sum()
         );

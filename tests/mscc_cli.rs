@@ -129,6 +129,52 @@ fn killed_rank_restarts_from_checkpoint_via_cli() {
 }
 
 #[test]
+fn killed_rank_heals_online_with_a_spare_via_cli() {
+    // The online-recovery path end to end: with a hot spare and a
+    // heartbeat the same kill that forces a restart above is instead
+    // healed in place — zero restarts, one recovery, and the resolved
+    // resilience policy echoed before the run banner.
+    let dir = std::env::temp_dir().join("mscc_cli_spare");
+    let _ = std::fs::remove_dir_all(&dir);
+    let out = mscc()
+        .arg(dsl("wave2d.msc"))
+        .arg("-o")
+        .arg(&dir)
+        .args([
+            "--procs", "2x2", "--chaos", "5:kill=1@4", "--checkpoint-every", "2",
+            "--spare-ranks", "1", "--heartbeat-ms", "5", "--profile",
+        ])
+        .output()
+        .expect("mscc runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.contains("resilience policy: 1 spare rank(s)"), "{stdout}");
+    assert!(stdout.contains("heartbeat every 5 ms"), "{stdout}");
+    // 4 logical + 1 spare physical ranks; the banner reports logical.
+    assert!(stdout.contains("distributed run over 4 ranks"), "{stdout}");
+    assert!(stdout.contains("0 restarts"), "{stdout}");
+    assert!(stdout.contains("1 recoveries"), "{stdout}");
+    assert!(stdout.contains("verified vs serial reference: bit-identical"), "{stdout}");
+    // The new counters must surface in the profile table.
+    assert!(stdout.contains("rank_recoveries"), "{stdout}");
+    assert!(stdout.contains("buddy_bytes"), "{stdout}");
+    assert!(stdout.contains("detect_latency"), "{stdout}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bad_heartbeat_interval_is_a_clean_error() {
+    let out = mscc()
+        .arg(dsl("wave2d.msc"))
+        .args(["--heartbeat-ms", "0"])
+        .output()
+        .expect("mscc runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--heartbeat-ms"), "{err}");
+}
+
+#[test]
 fn bad_chaos_spec_is_a_clean_error() {
     let out = mscc()
         .arg(dsl("wave2d.msc"))
@@ -171,7 +217,8 @@ fn help_documents_every_flag() {
     for flag in [
         "-o", "--out", "--target", "--run", "--simulate", "--stats",
         "--exec-tier", "--autoschedule", "--dump", "--profile", "--trace", "--procs",
-        "--chaos", "--checkpoint-every", "--checkpoint-dir", "--flight-dir",
+        "--chaos", "--checkpoint-every", "--checkpoint-dir", "--spare-ranks",
+        "--heartbeat-ms", "--flight-dir",
         "--quick", "--validate", "--diff", "--threshold", "--counts-only",
         "--doctor", "--json", "-h", "--help",
     ] {
@@ -433,7 +480,11 @@ fn bench_records_validates_and_gates_regressions() {
         .arg(&slowed)
         .output()
         .unwrap();
-    assert!(doc.status.success());
+    let doc_out = String::from_utf8_lossy(&doc.stdout);
+    assert!(doc.status.success(), "{doc_out}");
+    // The doctor also runs the kill/heal self-test and reports it.
+    assert!(doc_out.contains("recovery smoke: 1 recoveries, 0 restarts"), "{doc_out}");
+    assert!(doc_out.contains("detection latency p50"), "{doc_out}");
 
     let gate = mscc()
         .args(["bench", "--diff"])
