@@ -22,11 +22,11 @@
 use crate::results::Json;
 use msc_comm::run_distributed;
 use msc_core::catalog::{benchmark, BenchmarkId};
+use msc_core::error::MscError;
 use msc_core::error::Result;
 use msc_core::prelude::*;
 use msc_core::schedule::plan::ExecPlan;
 use msc_core::schedule::Schedule;
-use msc_core::error::MscError;
 use msc_exec::driver::{run_program, run_program_tier, Executor};
 use msc_exec::{Boundary, ExecTier, Grid};
 use msc_trace::Hist;
@@ -343,6 +343,130 @@ pub fn recovery_smoke() -> Result<RecoverySmoke> {
         buddy_bytes: stats.buddy_bytes(),
         detect_p50_ns: d.p50(),
         detect_p99_ns: d.p99(),
+    })
+}
+
+/// What the sampler-overhead self-test measured (`mscc bench --doctor`).
+pub struct SamplerOverhead {
+    /// Median wall for the bare traced run across the rounds.
+    pub base_ns: u64,
+    /// Median wall for the run observed by a 100 ms sampler.
+    pub sampled_ns: u64,
+    /// Samples the sampler emitted during one observed run.
+    pub samples: u64,
+    /// Median of the per-round paired differences `(sampled - bare) /
+    /// bare`, clamped at 0 for faster-than-base.
+    pub overhead_frac: f64,
+    /// Whether the gate passes (see [`SAMPLER_OVERHEAD_BUDGET`]).
+    pub within_budget: bool,
+}
+
+/// Observing a run may cost at most this fraction of its wall-clock.
+/// This is a claim about optimized builds; debug builds pay unoptimized
+/// tick costs (snapshot + render + I/O, all ~50x slower) that the wider
+/// debug slack below absorbs, keeping the gate wired but honest there.
+pub const SAMPLER_OVERHEAD_BUDGET: f64 = 0.02;
+/// Absolute slack: differences under this are scheduler noise on a
+/// sub-second micro-run, not sampler cost, regardless of the fraction.
+const SAMPLER_OVERHEAD_SLACK_NS: u64 = if cfg!(debug_assertions) {
+    100_000_000
+} else {
+    5_000_000
+};
+/// Interleaved bare/sampled rounds; the gate statistic is the median of
+/// the per-round paired differences.
+const SAMPLER_OVERHEAD_ROUNDS: usize = 5;
+
+/// Measure what the metrics sampler costs a run it observes: the same
+/// small stencil under tracing, bare vs sampled at 100 ms. Both arms
+/// trace into their own [`TelemetryHub`]s so the only difference is the
+/// sampler thread itself.
+///
+/// The gate statistic is the **median of paired per-round differences**
+/// (each round runs bare then sampled back to back): run-to-run wall
+/// noise on small or busy machines is easily several percent — more
+/// than the budget itself — but it drifts both arms together, so pairing
+/// cancels it while a real, systematic sampler cost survives the median.
+///
+/// [`TelemetryHub`]: msc_trace::TelemetryHub
+pub fn sampler_overhead() -> Result<SamplerOverhead> {
+    // Large enough that one run spans a few sampling intervals (~100s of
+    // ms): a percentage gate over a single-digit-ms run would measure
+    // the sampler's fixed start/stop cost, not its steady-state drag.
+    // Debug builds run the stencil ~50x slower, so they reach the same
+    // multi-interval wall with a much smaller workload.
+    let (grid, steps) = if cfg!(debug_assertions) {
+        ([32usize, 32, 32], 100)
+    } else {
+        ([48usize, 48, 48], 400)
+    };
+    let p = benchmark(BenchmarkId::S3d7ptStar).program(&grid, DType::F64, steps)?;
+    let init: Grid<f64> = Grid::random(&p.grid.shape, &p.grid.halo, 42);
+    let exec = Executor::Tiled(sub_plan(&grid)?);
+
+    let run_once = |sampled: bool, tag: &str| -> Result<(u64, u64)> {
+        let hub = msc_trace::TelemetryHub::new();
+        hub.set_enabled(true);
+        let _g = msc_trace::install_thread_hub(std::sync::Arc::clone(&hub));
+        let sampler = if sampled {
+            let dir = std::env::temp_dir()
+                .join(format!("msc_doctor_sampler_{}_{tag}", std::process::id()));
+            let cfg = msc_trace::SamplerConfig::from_millis(100, dir.join("metrics.jsonl"))
+                .map_err(MscError::InvalidConfig)?;
+            Some(
+                msc_trace::Sampler::start(std::sync::Arc::clone(&hub), cfg)
+                    .map_err(|e| MscError::InvalidConfig(format!("sampler: {e}")))?,
+            )
+        } else {
+            None
+        };
+        let t0 = Instant::now();
+        run_program(&p, &exec, &init)?;
+        let wall = t0.elapsed().as_nanos() as u64;
+        let samples = match sampler {
+            Some(s) => {
+                let sum = s.stop();
+                if let Some(dir) = sum.jsonl_path.parent() {
+                    let _ = std::fs::remove_dir_all(dir);
+                }
+                sum.samples
+            }
+            None => 0,
+        };
+        Ok((wall, samples))
+    };
+
+    let median = |v: &mut Vec<u64>| -> u64 {
+        v.sort_unstable();
+        v[v.len() / 2]
+    };
+    let mut bares = Vec::new();
+    let mut sampleds = Vec::new();
+    let mut diffs: Vec<i64> = Vec::new();
+    let mut samples = 0u64;
+    for i in 0..SAMPLER_OVERHEAD_ROUNDS {
+        let (b, _) = run_once(false, &format!("base{i}"))?;
+        let (s, n) = run_once(true, &format!("on{i}"))?;
+        bares.push(b);
+        sampleds.push(s);
+        diffs.push(s as i64 - b as i64);
+        samples = samples.max(n);
+    }
+    let base_ns = median(&mut bares);
+    let sampled_ns = median(&mut sampleds);
+    diffs.sort_unstable();
+    let extra = diffs[diffs.len() / 2].max(0) as u64;
+    let overhead_frac = if base_ns > 0 {
+        extra as f64 / base_ns as f64
+    } else {
+        0.0
+    };
+    Ok(SamplerOverhead {
+        base_ns,
+        sampled_ns,
+        samples,
+        overhead_frac,
+        within_budget: overhead_frac < SAMPLER_OVERHEAD_BUDGET || extra < SAMPLER_OVERHEAD_SLACK_NS,
     })
 }
 

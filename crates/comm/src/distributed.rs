@@ -151,11 +151,7 @@ pub fn run_distributed_bc<T: Scalar + Wire>(
 }
 
 /// Build and validate the decomposition for a program/process-grid pair.
-pub fn build_decomp(
-    program: &StencilProgram,
-    procs: &[usize],
-    bc: Boundary,
-) -> Result<CartDecomp> {
+pub fn build_decomp(program: &StencilProgram, procs: &[usize], bc: Boundary) -> Result<CartDecomp> {
     let reach = program.stencil.reach();
     // The grid's halo must equal the stencil reach for scatter/gather
     // coordinates to line up.
@@ -248,6 +244,13 @@ pub struct RunOptions {
     /// snapshot, older generations and abandoned `.grid.tmp` leftovers
     /// are garbage-collected.
     pub checkpoint_keep: usize,
+    /// Telemetry hub the run should record into. `None` keeps whatever
+    /// hub the calling thread already has installed (usually the
+    /// process-wide default) — `Some` scopes every counter, span,
+    /// flight-recorder entry, and per-rank sample of this run to the
+    /// given session, which is how the sampler observes one run without
+    /// cross-talk from concurrent work.
+    pub hub: Option<Arc<msc_trace::TelemetryHub>>,
 }
 
 impl Default for RunOptions {
@@ -263,6 +266,7 @@ impl Default for RunOptions {
             spare_ranks: 0,
             heartbeat: None,
             checkpoint_keep: 2,
+            hub: None,
         }
     }
 }
@@ -408,9 +412,7 @@ fn plan_recovery<T: Wire>(
             match m.report_failure(rank, ctx.epoch(), disk) {
                 FailureOutcome::Recovered(rec) => Ok(Reaction::Rollback(rec)),
                 // Someone else reported first: follow their record.
-                FailureOutcome::Stale => {
-                    m.latest_failure().map(Reaction::Rollback).ok_or(err)
-                }
+                FailureOutcome::Stale => m.latest_failure().map(Reaction::Rollback).ok_or(err),
                 FailureOutcome::Unrecoverable => Err(err),
             }
         }
@@ -457,7 +459,10 @@ fn rollback<T: Scalar + Wire, B: crate::backend::HaloBackend>(
             let st = env.store.ok_or_else(|| {
                 MscError::InvalidConfig("disk recovery without a checkpoint store".into())
             })?;
-            Ok((st.load_rank(gen, ctx.rank, env.window.window)?, gen as usize))
+            Ok((
+                st.load_rank(gen, ctx.rank, env.window.window)?,
+                gen as usize,
+            ))
         }
         RecoverySource::Initial => Ok((fresh_ring(env, ctx.rank), 0)),
     }
@@ -477,6 +482,7 @@ fn adopt_state<T: Scalar + Wire, B: crate::backend::HaloBackend>(
     ctx.enter_epoch(rec.epoch);
     counters.bump(Counter::RankRecoveries, 1);
     msc_trace::record(Counter::RankRecoveries, 1);
+    msc_trace::note_rank_recovery(rec.logical as u32);
     msc_trace::flight(
         FlightKind::Recover,
         rec.logical as u32,
@@ -726,6 +732,12 @@ fn compute_steps<T: Scalar + Wire, B: crate::backend::HaloBackend>(
         let wall = step_t0.elapsed().as_nanos() as u64;
         hists.add(Hist::StepWallNanos, wall);
         msc_trace::record_hist(Hist::StepWallNanos, wall);
+        // Feed the live telemetry plane: the per-rank table (the
+        // sampler's stall detector compares these step fronts across
+        // ranks) and the session step counter — in a sessioned hub,
+        // `steps` counts rank-steps, i.e. aggregate step throughput.
+        msc_trace::note_rank_step(ctx.rank as u32, s as u64);
+        msc_trace::record(Counter::Steps, 1);
     }
     Ok(())
 }
@@ -749,9 +761,7 @@ fn rank_body<T: Scalar + Wire, B: crate::backend::HaloBackend>(
 
     let mut ring: Vec<Grid<T>>;
     let mut start: usize;
-    let is_spare = env
-        .membership
-        .is_some_and(|m| slot >= m.n_logical());
+    let is_spare = env.membership.is_some_and(|m| slot >= m.n_logical());
     if is_spare {
         let m = env.membership.expect("spare slots imply membership");
         match spare_standby(&mut ctx, m, env.store) {
@@ -876,6 +886,12 @@ pub fn run_distributed_opts<T: Scalar + Wire, B: crate::backend::HaloBackend>(
     opts: &RunOptions,
     make_plan: impl Fn(&[usize]) -> Result<ExecPlan> + Sync,
 ) -> Result<(Grid<T>, CommStats)> {
+    // Scope the run to its session hub (if any) before the first
+    // telemetry call below; rank threads re-install it at spawn.
+    let _hub_guard = opts
+        .hub
+        .as_ref()
+        .map(|h| msc_trace::install_thread_hub(Arc::clone(h)));
     let reach = program.stencil.reach();
     let decomp = exchanger.decomp().clone();
     let sub = decomp.sub_extent();
@@ -900,9 +916,7 @@ pub fn run_distributed_opts<T: Scalar + Wire, B: crate::backend::HaloBackend>(
         None
     };
     let store = match &opts.checkpoint_dir {
-        Some(dir) if opts.checkpoint_every > 0 => {
-            Some(CheckpointStore::new(dir, n_logical)?)
-        }
+        Some(dir) if opts.checkpoint_every > 0 => Some(CheckpointStore::new(dir, n_logical)?),
         _ => None,
     };
     // Seed with wrapped halos so step 0 reads correct periodic images.
@@ -916,8 +930,7 @@ pub fn run_distributed_opts<T: Scalar + Wire, B: crate::backend::HaloBackend>(
         let resume = store.as_ref().and_then(|s| s.latest_complete());
         // Membership is per attempt: a restart is a new incarnation of
         // the world, with every spare back on the bench.
-        let membership =
-            resilient.then(|| Arc::new(Membership::new(n_logical, opts.spare_ranks)));
+        let membership = resilient.then(|| Arc::new(Membership::new(n_logical, opts.spare_ranks)));
         let world_cfg = WorldConfig {
             fault: opts.chaos.clone(),
             reliability: opts.reliability.clone(),
@@ -1038,9 +1051,7 @@ pub fn run_distributed_opts<T: Scalar + Wire, B: crate::backend::HaloBackend>(
                     // A subdomain went uncovered (or covered twice)
                     // despite every slot reporting success — heal by
                     // restarting rather than returning a partial grid.
-                    MscError::Comm(
-                        "logical subdomain left uncovered after online recovery".into(),
-                    )
+                    MscError::Comm("logical subdomain left uncovered after online recovery".into())
                 } else {
                     // Surface a non-restartable error immediately;
                     // otherwise report the lowest-slot communication
@@ -1106,14 +1117,13 @@ pub fn run_distributed_until_converged<T: Scalar + Wire>(
     let global_points: f64 = program.grid.shape.iter().product::<usize>() as f64;
     let reach = program.stencil.reach();
 
-    let rank_results: Vec<Result<(Vec<T>, usize, f64)>> =
-        World::try_run(decomp.n_ranks(), |mut ctx| -> Result<(Vec<T>, usize, f64)> {
+    let rank_results: Vec<Result<(Vec<T>, usize, f64)>> = World::try_run(
+        decomp.n_ranks(),
+        |mut ctx| -> Result<(Vec<T>, usize, f64)> {
             let local_init = scatter(seeded_ref, &decomp, ctx.rank);
-            let compiled =
-                TieredStencil::compile(program, &local_init, msc_exec::exec_tier())?;
+            let compiled = TieredStencil::compile(program, &local_init, msc_exec::exec_tier())?;
             let window = WindowPlan::for_max_dt(compiled.max_dt)?;
-            let mut ring: Vec<Grid<T>> =
-                (0..window.window).map(|_| local_init.clone()).collect();
+            let mut ring: Vec<Grid<T>> = (0..window.window).map(|_| local_init.clone()).collect();
             let mut steps = 0;
             let mut rms = f64::INFINITY;
 
@@ -1122,8 +1132,7 @@ pub fn run_distributed_until_converged<T: Scalar + Wire>(
                 let out_slot = window.output_slot(t);
                 let prev_slot = window.input_slot(t, 1)?;
                 let prev = ring[prev_slot].clone();
-                let mut out =
-                    std::mem::replace(&mut ring[out_slot], Grid::zeros(&[1], &[0]));
+                let mut out = std::mem::replace(&mut ring[out_slot], Grid::zeros(&[1], &[0]));
                 {
                     let inputs: Vec<&Grid<T>> = (1..=compiled.max_dt)
                         .map(|dt| window.input_slot(t, dt).map(|slot| &ring[slot]))
@@ -1152,8 +1161,9 @@ pub fn run_distributed_until_converged<T: Scalar + Wire>(
             let interior = Region::new(decomp.reach.clone(), sub.clone()).pack(&ring[last]);
             ctx.finalize();
             Ok((interior, steps, rms))
-        })
-        .map_err(MscError::from)?;
+        },
+    )
+    .map_err(MscError::from)?;
 
     let mut global: Grid<T> = seeded.clone();
     let mut steps = 0;
@@ -1177,8 +1187,8 @@ pub fn run_distributed_until_converged<T: Scalar + Wire>(
 mod tests {
     use super::*;
     use msc_core::catalog::{all_benchmarks, benchmark, BenchmarkId};
-    use msc_exec::driver::{run_program, Executor};
     use msc_core::schedule::Schedule;
+    use msc_exec::driver::{run_program, Executor};
 
     fn simple_plan(sub: &[usize]) -> Result<ExecPlan> {
         let mut s = Schedule::default();
@@ -1411,8 +1421,7 @@ mod tests {
             msc_exec::boundary::apply(&mut g, Boundary::Periodic);
             g.interior_sum()
         };
-        let (out, _) =
-            run_program_bc(&p, &Executor::Reference, &init, Boundary::Periodic).unwrap();
+        let (out, _) = run_program_bc(&p, &Executor::Reference, &init, Boundary::Periodic).unwrap();
         let after = out.interior_sum();
         assert!(
             (before - after).abs() / before.abs() < 1e-12,
@@ -1473,7 +1482,12 @@ mod tests {
             run_distributed_with(&p, &init, Boundary::Dirichlet, &backend, simple_plan).unwrap();
         assert_eq!(a.as_slice(), b.as_slice());
         // The GCL-style backend sends more messages (explicit corners).
-        assert!(sb.messages > sa.messages, "{} vs {}", sb.messages, sa.messages);
+        assert!(
+            sb.messages > sa.messages,
+            "{} vs {}",
+            sb.messages,
+            sa.messages
+        );
     }
 
     #[test]
@@ -1510,14 +1524,8 @@ mod tests {
             }),
             ..RunOptions::default()
         };
-        let r = run_distributed_resilient(
-            &p,
-            &[2, 2],
-            &init,
-            Boundary::Dirichlet,
-            &opts,
-            simple_plan,
-        );
+        let r =
+            run_distributed_resilient(&p, &[2, 2], &init, Boundary::Dirichlet, &opts, simple_plan);
         assert!(matches!(r, Err(MscError::InvalidConfig(_))), "{r:?}");
     }
 
@@ -1538,15 +1546,9 @@ mod tests {
             heartbeat: Some(HeartbeatConfig::from_millis(1).unwrap()),
             ..RunOptions::default()
         };
-        let (multi, stats) = run_distributed_resilient(
-            &p,
-            &[2, 2],
-            &init,
-            Boundary::Dirichlet,
-            &opts,
-            simple_plan,
-        )
-        .unwrap();
+        let (multi, stats) =
+            run_distributed_resilient(&p, &[2, 2], &init, Boundary::Dirichlet, &opts, simple_plan)
+                .unwrap();
         assert_eq!(single.as_slice(), multi.as_slice());
         assert_eq!(stats.recoveries, 0);
         assert_eq!(stats.restarts, 0);

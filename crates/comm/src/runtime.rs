@@ -856,7 +856,11 @@ impl<T: Wire> RankCtx<T> {
     }
 
     /// Like [`RankCtx::wait`] with an explicit overall deadline.
-    pub fn wait_timeout(&mut self, req: RecvRequest, deadline: Duration) -> Result<Vec<T>, CommError> {
+    pub fn wait_timeout(
+        &mut self,
+        req: RecvRequest,
+        deadline: Duration,
+    ) -> Result<Vec<T>, CommError> {
         self.wait_deadline(req, deadline)
     }
 
@@ -900,7 +904,9 @@ impl<T: Wire> RankCtx<T> {
                     .position(|r| r.src == m.src && r.tag == m.tag)
                     .unwrap();
                 reqs.swap_remove(idx);
-                let Body::Data(payload) = m.body else { unreachable!("stash holds data") };
+                let Body::Data(payload) = m.body else {
+                    unreachable!("stash holds data")
+                };
                 self.note_wait_done(start, resends);
                 return Ok((idx, payload));
             }
@@ -922,11 +928,7 @@ impl<T: Wire> RankCtx<T> {
                         self.counters.bump(Counter::TimeoutCount, 1);
                         msc_trace::record(Counter::TimeoutCount, 1);
                         if attempts > self.cfg.max_attempts {
-                            return Err(self.note_timeout(
-                                first.src,
-                                first.tag,
-                                resends,
-                            ));
+                            return Err(self.note_timeout(first.src, first.tag, resends));
                         }
                         // Nudge every stalled source; a dead one is a
                         // hard error (nobody will ever retransmit).
@@ -1017,13 +1019,7 @@ impl<T: Wire> RankCtx<T> {
     }
 
     fn note_rank_dead(&mut self, rank: usize) -> CommError {
-        msc_trace::flight(
-            FlightKind::Error,
-            rank as u32,
-            self.rank as u32,
-            0,
-            0,
-        );
+        msc_trace::flight(FlightKind::Error, rank as u32, self.rank as u32, 0, 0);
         let _ = msc_trace::dump_on_error("rank_dead");
         CommError::RankDead { rank }
     }
@@ -1109,7 +1105,9 @@ impl<T: Wire> RankCtx<T> {
             .iter()
             .position(|m| m.src == src && m.tag == tag)?;
         let m = self.stash.swap_remove(pos);
-        let Body::Data(payload) = m.body else { unreachable!("stash holds data") };
+        let Body::Data(payload) = m.body else {
+            unreachable!("stash holds data")
+        };
         Some(payload)
     }
 
@@ -1288,7 +1286,13 @@ impl<T: Wire> RankCtx<T> {
     fn note_fault(&mut self, dst: usize, tag: u64, seq: u64) {
         self.counters.bump(Counter::FaultsInjected, 1);
         msc_trace::record(Counter::FaultsInjected, 1);
-        msc_trace::flight(FlightKind::FaultInjected, self.rank as u32, dst as u32, tag, seq);
+        msc_trace::flight(
+            FlightKind::FaultInjected,
+            self.rank as u32,
+            dst as u32,
+            tag,
+            seq,
+        );
     }
 
     fn raw_send(&self, dst: usize, frame: Frame<T>) -> Result<(), CommError> {
@@ -1402,7 +1406,11 @@ impl World {
                 let membership = cfg.membership.clone();
                 let heartbeat = cfg.heartbeat.clone();
                 let f = &f;
+                // Rank threads inherit the launching thread's telemetry
+                // hub so a sessioned run keeps all ranks in one session.
+                let hub = msc_trace::current_hub();
                 handles.push(scope.spawn(move |_| {
+                    let _hub_guard = msc_trace::install_thread_hub(hub);
                     // Tag this thread's spans, flows, and flight records
                     // with the rank id so cross-rank traces stitch.
                     msc_trace::set_current_rank(rank as u32);
@@ -1529,11 +1537,7 @@ mod tests {
         let results: Vec<Vec<i64>> = World::run(3, |mut ctx: RankCtx<i64>| {
             if ctx.rank == 0 {
                 let reqs = vec![ctx.irecv(2, 0), ctx.irecv(1, 0)];
-                ctx.wait_all(reqs)
-                    .unwrap()
-                    .into_iter()
-                    .flatten()
-                    .collect()
+                ctx.wait_all(reqs).unwrap().into_iter().flatten().collect()
             } else {
                 ctx.isend(0, 0, vec![ctx.rank as i64]).unwrap();
                 vec![]
@@ -1858,7 +1862,10 @@ mod tests {
             FailureOutcome::Recovered(_)
         ));
         // A second reporter still at epoch 0 lost the race.
-        assert!(matches!(m.report_failure(0, 0, None), FailureOutcome::Stale));
+        assert!(matches!(
+            m.report_failure(0, 0, None),
+            FailureOutcome::Stale
+        ));
         // A genuinely new failure with the spare pool empty cannot heal.
         assert!(matches!(
             m.report_failure(1, 1, None),
@@ -1909,7 +1916,10 @@ mod tests {
         match results[0].as_ref().unwrap() {
             CommError::RankSuspect { rank, silent_ms } => {
                 assert_eq!(*rank, 1);
-                assert!(*silent_ms >= 40, "detected before the timeout: {silent_ms} ms");
+                assert!(
+                    *silent_ms >= 40,
+                    "detected before the timeout: {silent_ms} ms"
+                );
             }
             other => panic!("expected RankSuspect, got {other:?}"),
         }

@@ -98,8 +98,7 @@ struct Deque {
 /// granularity.
 fn build_deques(n_tasks: usize, workers: usize) -> Vec<Deque> {
     let chunk = n_tasks.div_ceil(workers * CHUNKS_PER_WORKER).max(1);
-    let mut queues: Vec<VecDeque<(usize, usize)>> =
-        (0..workers).map(|_| VecDeque::new()).collect();
+    let mut queues: Vec<VecDeque<(usize, usize)>> = (0..workers).map(|_| VecDeque::new()).collect();
     let mut start = 0;
     let mut w = 0;
     while start < n_tasks {
@@ -186,9 +185,8 @@ impl Iterator for TileQueue<'_> {
                     continue;
                 }
                 let n = deques.len();
-                let stolen = (1..n).find_map(|k| {
-                    deques[(me + k) % n].chunks.lock().unwrap().pop_back()
-                });
+                let stolen =
+                    (1..n).find_map(|k| deques[(me + k) % n].chunks.lock().unwrap().pop_back());
                 match stolen {
                     Some(r) => {
                         *steals += 1;
@@ -254,7 +252,9 @@ pub fn run_tile_job(plan_threads: usize, n_tasks: usize, body: &(dyn Fn(&mut Til
         crossbeam::thread::scope(|scope| {
             for my_id in 0..n {
                 let finished = &finished;
+                let hub = msc_trace::current_hub();
                 scope.spawn(move |_| {
+                    let _hub_guard = msc_trace::install_thread_hub(hub);
                     let mut q = TileQueue {
                         worker: my_id,
                         imp: QueueImpl::Strided {
@@ -288,9 +288,14 @@ pub fn run_tile_job(plan_threads: usize, n_tasks: usize, body: &(dyn Fn(&mut Til
 /// [`WorkerPool::run`] does not return (even on panic, via `WaitGuard`)
 /// until every helper has finished the call, so the reference never
 /// outlives the borrow it was transmuted from.
-#[derive(Clone, Copy)]
+///
+/// The submitter's telemetry hub rides along: helpers outlive any one
+/// run, so they install the job's hub for the duration of the job —
+/// steals and unparks land in the session that submitted the work.
+#[derive(Clone)]
 struct Job {
     fun: &'static (dyn Fn(usize) + Sync),
+    hub: Arc<msc_trace::TelemetryHub>,
 }
 unsafe impl Send for Job {}
 
@@ -386,7 +391,10 @@ impl WorkerPool {
         {
             let mut st = self.shared.state.lock().unwrap();
             st.epoch += 1;
-            st.job = Some(Job { fun });
+            st.job = Some(Job {
+                fun,
+                hub: msc_trace::current_hub(),
+            });
             st.participants = helpers;
             st.active = helpers;
             st.panicked = false;
@@ -447,7 +455,7 @@ fn helper_loop(shared: &PoolShared, slot: usize, epoch_at_spawn: u64) {
                 if st.epoch != seen {
                     seen = st.epoch;
                     if slot < st.participants {
-                        break st.job.expect("job present while active");
+                        break st.job.clone().expect("job present while active");
                     }
                     // Not part of this job; fall through and keep waiting.
                 }
@@ -455,10 +463,13 @@ fn helper_loop(shared: &PoolShared, slot: usize, epoch_at_spawn: u64) {
                 st = shared.job_cv.wait(st).unwrap();
             }
         };
-        msc_trace::record(Counter::PoolUnparks, 1);
         // Helpers must survive a panicking body or the pool wedges; the
         // flag re-raises in `run` on the submitting thread.
-        let r = catch_unwind(AssertUnwindSafe(|| (job.fun)(slot + 1)));
+        let r = {
+            let _hub_guard = msc_trace::install_thread_hub(Arc::clone(&job.hub));
+            msc_trace::record(Counter::PoolUnparks, 1);
+            catch_unwind(AssertUnwindSafe(|| (job.fun)(slot + 1)))
+        };
         let mut st = shared.state.lock().unwrap();
         if r.is_err() {
             st.panicked = true;

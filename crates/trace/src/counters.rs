@@ -3,14 +3,16 @@
 //!
 //! Two representations:
 //!
-//! * the **global accumulator** — sharded `AtomicU64` banks behind the
-//!   process-wide enable flag, fed by [`record`]/[`record_max`] on hot
-//!   paths and drained by [`snapshot`];
+//! * the **hub accumulator** — sharded `AtomicU64` banks owned by a
+//!   [`crate::TelemetryHub`] behind its enable flag, fed by
+//!   [`record`]/[`record_max`] on hot paths and drained by [`snapshot`].
+//!   The free functions here resolve the calling thread's current hub
+//!   (default hub unless one was installed) and delegate;
 //! * [`CounterSet`] — a plain `Copy` array of values used wherever stats
 //!   are passed around or merged without atomics (per-rank results,
 //!   `RunStats`, `CommStats`).
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// How a counter combines when two sets (threads, ranks, shards) merge.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -25,7 +27,7 @@ macro_rules! counters {
     ($( $variant:ident => ($name:literal, $unit:literal, $mode:ident) ),+ $(,)?) => {
         /// The metric vocabulary. Every counter has a stable name, a
         /// unit, and a merge mode; adding a variant automatically
-        /// extends `CounterSet`, the global banks, and both exporters.
+        /// extends `CounterSet`, the hub banks, and both exporters.
         #[derive(Debug, Clone, Copy, PartialEq, Eq)]
         #[repr(usize)]
         pub enum Counter {
@@ -108,11 +110,12 @@ impl CounterSet {
     }
 
     /// Accumulate into one counter following its merge mode.
+    /// Sums saturate rather than wrap.
     #[inline]
     pub fn bump(&mut self, c: Counter, v: u64) {
         let slot = &mut self.vals[c as usize];
         match c.merge_mode() {
-            MergeMode::Sum => *slot += v,
+            MergeMode::Sum => *slot = slot.saturating_add(v),
             MergeMode::Max => *slot = (*slot).max(v),
         }
     }
@@ -133,9 +136,9 @@ impl CounterSet {
     }
 }
 
-/// Number of independent atomic banks. Threads pick a bank by a cheap
-/// thread-local index so concurrent workers rarely contend on the same
-/// cache line; [`snapshot`] folds the banks back together.
+/// Number of independent atomic banks per hub. Threads pick a bank by a
+/// cheap thread-local index so concurrent workers rarely contend on the
+/// same cache line; [`snapshot`] folds the banks back together.
 const SHARDS: usize = 16;
 
 #[repr(align(64))]
@@ -153,8 +156,8 @@ impl Shard {
     }
 }
 
-static ENABLED: AtomicBool = AtomicBool::new(false);
-static BANKS: [Shard; SHARDS] = [const { Shard::new() }; SHARDS];
+/// The shard index is per *thread*, not per hub: a thread hits the same
+/// slot in whichever hub it records into.
 static NEXT_SHARD: AtomicU64 = AtomicU64::new(0);
 
 thread_local! {
@@ -162,44 +165,93 @@ thread_local! {
         (NEXT_SHARD.fetch_add(1, Ordering::Relaxed) as usize) % SHARDS;
 }
 
+/// One hub's sharded counter banks.
+pub(crate) struct Banks {
+    shards: Box<[Shard]>,
+}
+
+impl Banks {
+    pub(crate) fn new() -> Banks {
+        Banks {
+            shards: (0..SHARDS).map(|_| Shard::new()).collect(),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn record(&self, c: Counter, v: u64) {
+        MY_SHARD.with(|&s| {
+            let slot = &self.shards[s].vals[c as usize];
+            match c.merge_mode() {
+                MergeMode::Sum => {
+                    slot.fetch_add(v, Ordering::Relaxed);
+                }
+                MergeMode::Max => {
+                    slot.fetch_max(v, Ordering::Relaxed);
+                }
+            }
+        });
+    }
+
+    pub(crate) fn snapshot(&self) -> CounterSet {
+        let mut out = CounterSet::new();
+        for shard in self.shards.iter() {
+            for c in Counter::ALL {
+                out.bump(c, shard.vals[c as usize].load(Ordering::Relaxed));
+            }
+        }
+        out
+    }
+
+    pub(crate) fn reset(&self) {
+        for shard in self.shards.iter() {
+            for v in &shard.vals {
+                v.store(0, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// True when the calling thread's current hub has tracing enabled.
 #[inline]
 pub fn enabled() -> bool {
-    ENABLED.load(Ordering::Relaxed)
+    crate::hub::with_current(|h| h.enabled())
 }
 
-/// Globally enable or disable tracing.
+/// Enable or disable tracing on the calling thread's current hub.
 pub fn set_enabled(on: bool) {
-    ENABLED.store(on, Ordering::Release);
+    crate::hub::with_current(|h| h.set_enabled(on));
 }
 
-/// RAII enable: turns tracing on, restores the previous state on drop.
+/// RAII enable: turns the current hub's tracing on, restores the
+/// previous state on drop. Captures the hub at construction, so the
+/// restore hits the same hub even if the thread's install stack changed.
 pub struct EnableGuard {
+    hub: std::sync::Arc<crate::TelemetryHub>,
     was: bool,
 }
 
 impl EnableGuard {
     #[allow(clippy::new_without_default)]
     pub fn new() -> EnableGuard {
-        let was = enabled();
-        set_enabled(true);
-        EnableGuard { was }
+        let hub = crate::hub::current_hub();
+        let was = hub.enabled();
+        hub.set_enabled(true);
+        EnableGuard { hub, was }
     }
 }
 
 impl Drop for EnableGuard {
     fn drop(&mut self) {
-        set_enabled(self.was);
+        self.hub.set_enabled(self.was);
     }
 }
 
-/// Accumulate `v` into counter `c` (no-op unless tracing is enabled).
-/// Sum-mode counters add; max-mode counters take the running maximum.
+/// Accumulate `v` into counter `c` of the current hub (no-op unless
+/// that hub has tracing enabled). Sum-mode counters add; max-mode
+/// counters take the running maximum.
 #[inline]
 pub fn record(c: Counter, v: u64) {
-    if !enabled() {
-        return;
-    }
-    record_always(c, v);
+    crate::hub::with_current(|h| h.record(c, v));
 }
 
 /// Alias for [`record`] that reads better at max-mode call sites.
@@ -208,52 +260,21 @@ pub fn record_max(c: Counter, v: u64) {
     record(c, v);
 }
 
-fn record_always(c: Counter, v: u64) {
-    MY_SHARD.with(|&s| {
-        let slot = &BANKS[s].vals[c as usize];
-        match c.merge_mode() {
-            MergeMode::Sum => {
-                slot.fetch_add(v, Ordering::Relaxed);
-            }
-            MergeMode::Max => {
-                slot.fetch_max(v, Ordering::Relaxed);
-            }
-        }
-    });
-}
-
-/// Publish a locally accumulated [`CounterSet`] into the global banks
-/// (no-op unless tracing is enabled). Lets hot loops count into a plain
-/// stack value and pay for atomics once.
+/// Publish a locally accumulated [`CounterSet`] into the current hub
+/// (no-op unless enabled). Lets hot loops count into a plain stack
+/// value and pay for atomics once.
 pub fn record_set(set: &CounterSet) {
-    if !enabled() {
-        return;
-    }
-    for (c, v) in set.iter() {
-        if v != 0 {
-            record_always(c, v);
-        }
-    }
+    crate::hub::with_current(|h| h.record_set(set));
 }
 
-/// Fold every bank into a plain [`CounterSet`].
+/// Fold the current hub's banks into a plain [`CounterSet`].
 pub fn snapshot() -> CounterSet {
-    let mut out = CounterSet::new();
-    for bank in &BANKS {
-        for c in Counter::ALL {
-            out.bump(c, bank.vals[c as usize].load(Ordering::Relaxed));
-        }
-    }
-    out
+    crate::hub::with_current(|h| h.snapshot())
 }
 
-/// Zero all banks.
+/// Zero the current hub's banks.
 pub fn reset_counters() {
-    for bank in &BANKS {
-        for v in &bank.vals {
-            v.store(0, Ordering::Relaxed);
-        }
-    }
+    crate::hub::with_current(|h| h.reset_counters());
 }
 
 #[cfg(test)]
@@ -272,6 +293,39 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.get(Counter::DmaGetBytes), 111);
         assert_eq!(a.get(Counter::SpmPeakBytes), 512);
+    }
+
+    /// Audit the counter vocabulary: names must be unique, snake_case,
+    /// and every counter must declare a non-empty unit. Exporters
+    /// (OpenMetrics families, JSONL keys) rely on all three.
+    #[test]
+    fn counter_names_are_unique_snake_case_with_units() {
+        let mut seen = std::collections::BTreeSet::new();
+        for c in Counter::ALL {
+            let name = c.name();
+            assert!(!name.is_empty(), "{c:?} has an empty name");
+            assert!(
+                name.chars()
+                    .all(|ch| ch.is_ascii_lowercase() || ch.is_ascii_digit() || ch == '_'),
+                "{c:?} name {name:?} is not snake_case"
+            );
+            assert!(
+                !name.starts_with('_') && !name.ends_with('_') && !name.contains("__"),
+                "{c:?} name {name:?} has stray underscores"
+            );
+            assert!(seen.insert(name), "duplicate counter name {name:?}");
+            assert!(!c.unit().is_empty(), "{c:?} ({name}) has an empty unit");
+        }
+    }
+
+    #[test]
+    fn counter_set_sum_saturates() {
+        let mut a = CounterSet::new();
+        a.set(Counter::HaloBytes, u64::MAX - 1);
+        let mut b = CounterSet::new();
+        b.set(Counter::HaloBytes, 1000);
+        a.merge(&b);
+        assert_eq!(a.get(Counter::HaloBytes), u64::MAX);
     }
 
     #[test]

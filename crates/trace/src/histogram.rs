@@ -5,10 +5,10 @@
 //! hunt need the tail, not the mean. The design mirrors [`crate::counters`]:
 //!
 //! * a fixed vocabulary ([`Hist`]) with stable names and units;
-//! * a **global accumulator** of atomic buckets behind the same
-//!   process-wide enable flag — [`record_hist`] on a hot path is a
-//!   relaxed load, a `leading_zeros`, and one `fetch_add`, with **no
-//!   allocation ever**;
+//! * a **hub accumulator** of atomic buckets behind the owning
+//!   [`crate::TelemetryHub`]'s enable flag — [`record_hist`] on a hot
+//!   path is a relaxed load, a `leading_zeros`, and one `fetch_add`,
+//!   with **no allocation ever**;
 //! * a plain `Copy` value type ([`Histogram`], grouped into [`HistSet`])
 //!   for per-rank accumulation and merging without atomics.
 //!
@@ -110,23 +110,48 @@ impl Histogram {
         }
     }
 
-    /// Record one sample.
+    /// Record one sample. Bucket and total counts saturate rather than
+    /// wrap (a pinned top value is visibly wrong; a wrapped one lies).
     #[inline]
     pub fn add(&mut self, v: u64) {
-        self.buckets[bucket_of(v)] += 1;
-        self.count += 1;
+        let b = &mut self.buckets[bucket_of(v)];
+        *b = b.saturating_add(1);
+        self.count = self.count.saturating_add(1);
         self.sum = self.sum.saturating_add(v);
         self.max = self.max.max(v);
     }
 
-    /// Fold another histogram in (bucketwise sum; max of maxima).
+    /// Fold another histogram in (bucketwise saturating sum; max of
+    /// maxima). Merging per-rank shards with near-full top buckets must
+    /// never wrap — in release wrapping silently corrupts quantiles, in
+    /// debug it panics mid-merge.
     pub fn merge(&mut self, other: &Histogram) {
         for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
-            *a += b;
+            *a = a.saturating_add(*b);
         }
-        self.count += other.count;
+        self.count = self.count.saturating_add(other.count);
         self.sum = self.sum.saturating_add(other.sum);
         self.max = self.max.max(other.max);
+    }
+
+    /// The samples recorded since `prev` was captured, as a histogram:
+    /// bucketwise saturating subtraction, assuming `prev` is an earlier
+    /// snapshot of the same accumulator. `max` is carried over from
+    /// `self` (the true per-interval max is not recoverable), so
+    /// interval quantiles stay conservative.
+    pub fn saturating_delta(&self, prev: &Histogram) -> Histogram {
+        let mut out = Histogram::new();
+        for (o, (a, b)) in out
+            .buckets
+            .iter_mut()
+            .zip(self.buckets.iter().zip(&prev.buckets))
+        {
+            *o = a.saturating_sub(*b);
+        }
+        out.count = self.count.saturating_sub(prev.count);
+        out.sum = self.sum.saturating_sub(prev.sum);
+        out.max = if out.count == 0 { 0 } else { self.max };
+        out
     }
 
     pub fn count(&self) -> u64 {
@@ -135,6 +160,11 @@ impl Histogram {
 
     pub fn max(&self) -> u64 {
         self.max
+    }
+
+    /// Exact (saturating) sum of all recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
     }
 
     pub fn mean(&self) -> f64 {
@@ -213,6 +243,13 @@ impl HistSet {
         self.hists[h as usize].add(v);
     }
 
+    /// Replace histogram `h` wholesale (used when building interval
+    /// deltas).
+    #[inline]
+    pub fn set(&mut self, h: Hist, hist: Histogram) {
+        self.hists[h as usize] = hist;
+    }
+
     /// Merge another set in, histogram by histogram.
     pub fn merge(&mut self, other: &HistSet) {
         for (a, b) in self.hists.iter_mut().zip(&other.hists) {
@@ -229,7 +266,7 @@ impl HistSet {
     }
 }
 
-/// Global atomic banks, one histogram per [`Hist`] variant. Unlike the
+/// Per-hub atomic banks, one histogram per [`Hist`] variant. Unlike the
 /// sharded counters, waits and steps are orders of magnitude rarer than
 /// counter bumps, so a single bank with relaxed `fetch_add`s suffices.
 struct Bank {
@@ -252,48 +289,69 @@ impl Bank {
     }
 }
 
-static BANKS: [Bank; Hist::COUNT] = [const { Bank::new() }; Hist::COUNT];
+/// One hub's histogram banks.
+pub(crate) struct Banks {
+    banks: Box<[Bank]>,
+}
 
-/// Record one sample into the global histogram `h` (no-op unless tracing
-/// is enabled). Allocation-free: a branch, a `leading_zeros`, and four
-/// relaxed atomic ops.
+impl Banks {
+    pub(crate) fn new() -> Banks {
+        Banks {
+            banks: (0..Hist::COUNT).map(|_| Bank::new()).collect(),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn record(&self, h: Hist, v: u64) {
+        let bank = &self.banks[h as usize];
+        bank.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        bank.count.fetch_add(1, Ordering::Relaxed);
+        bank.sum.fetch_add(v, Ordering::Relaxed);
+        bank.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> HistSet {
+        let mut out = HistSet::new();
+        for (h, bank) in Hist::ALL.iter().zip(self.banks.iter()) {
+            let dst = &mut out.hists[*h as usize];
+            for (d, s) in dst.buckets.iter_mut().zip(&bank.buckets) {
+                *d = s.load(Ordering::Relaxed);
+            }
+            dst.count = bank.count.load(Ordering::Relaxed);
+            dst.sum = bank.sum.load(Ordering::Relaxed);
+            dst.max = bank.max.load(Ordering::Relaxed);
+        }
+        out
+    }
+
+    pub(crate) fn reset(&self) {
+        for bank in self.banks.iter() {
+            for b in &bank.buckets {
+                b.store(0, Ordering::Relaxed);
+            }
+            bank.count.store(0, Ordering::Relaxed);
+            bank.sum.store(0, Ordering::Relaxed);
+            bank.max.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Record one sample into the current hub's histogram `h` (no-op unless
+/// that hub has tracing enabled). Allocation-free: a branch, a
+/// `leading_zeros`, and four relaxed atomic ops.
 #[inline]
 pub fn record_hist(h: Hist, v: u64) {
-    if !crate::counters::enabled() {
-        return;
-    }
-    let bank = &BANKS[h as usize];
-    bank.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
-    bank.count.fetch_add(1, Ordering::Relaxed);
-    bank.sum.fetch_add(v, Ordering::Relaxed);
-    bank.max.fetch_max(v, Ordering::Relaxed);
+    crate::hub::with_current(|hub| hub.record_hist(h, v));
 }
 
-/// Fold the global banks into a plain [`HistSet`].
+/// Fold the current hub's banks into a plain [`HistSet`].
 pub fn snapshot_hists() -> HistSet {
-    let mut out = HistSet::new();
-    for (h, bank) in Hist::ALL.iter().zip(&BANKS) {
-        let dst = &mut out.hists[*h as usize];
-        for (d, s) in dst.buckets.iter_mut().zip(&bank.buckets) {
-            *d = s.load(Ordering::Relaxed);
-        }
-        dst.count = bank.count.load(Ordering::Relaxed);
-        dst.sum = bank.sum.load(Ordering::Relaxed);
-        dst.max = bank.max.load(Ordering::Relaxed);
-    }
-    out
+    crate::hub::with_current(|hub| hub.snapshot_hists())
 }
 
-/// Zero all global histogram banks.
+/// Zero the current hub's histogram banks.
 pub fn reset_hists() {
-    for bank in &BANKS {
-        for b in &bank.buckets {
-            b.store(0, Ordering::Relaxed);
-        }
-        bank.count.store(0, Ordering::Relaxed);
-        bank.sum.store(0, Ordering::Relaxed);
-        bank.max.store(0, Ordering::Relaxed);
-    }
+    crate::hub::with_current(|hub| hub.reset_hists());
 }
 
 #[cfg(test)]
@@ -335,6 +393,68 @@ mod tests {
         assert_eq!(Histogram::new().p99(), 0);
     }
 
+    /// Property: merging per-shard histograms of disjoint sample sets
+    /// must equal the histogram of the concatenated samples, for any
+    /// partition. Driven by a deterministic LCG over several magnitude
+    /// regimes so every bucket band gets traffic.
+    #[test]
+    fn merging_random_shards_equals_histogram_of_concatenation() {
+        let mut lcg: u64 = 0x9e3779b97f4a7c15;
+        let mut next = move || {
+            lcg = lcg
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            lcg
+        };
+        for round in 0..8 {
+            let n_shards = 1 + (round % 5);
+            let mut shards: Vec<Vec<u64>> = vec![Vec::new(); n_shards];
+            for i in 0..400 {
+                // Mix magnitudes: tiny, mid-range, and full-width values.
+                let raw = next();
+                let v = match i % 3 {
+                    0 => raw % 100,
+                    1 => raw % 1_000_000_000,
+                    _ => raw,
+                };
+                shards[(next() as usize) % n_shards].push(v);
+            }
+            let mut merged = Histogram::new();
+            for shard in &shards {
+                let mut h = Histogram::new();
+                for &v in shard {
+                    h.add(v);
+                }
+                merged.merge(&h);
+            }
+            let mut whole = Histogram::new();
+            for shard in &shards {
+                for &v in shard {
+                    whole.add(v);
+                }
+            }
+            assert_eq!(merged, whole, "round {round}, {n_shards} shards");
+        }
+    }
+
+    /// Same audit as the counter vocabulary: unique snake_case names
+    /// and non-empty units, which exporters depend on.
+    #[test]
+    fn hist_names_are_unique_snake_case_with_units() {
+        let mut seen = std::collections::BTreeSet::new();
+        for h in Hist::ALL {
+            let name = h.name();
+            assert!(!name.is_empty(), "{h:?} has an empty name");
+            assert!(
+                name.chars()
+                    .all(|ch| ch.is_ascii_lowercase() || ch.is_ascii_digit() || ch == '_'),
+                "{h:?} name {name:?} is not snake_case"
+            );
+            assert!(seen.insert(name), "duplicate hist name {name:?}");
+            assert!(!h.unit().is_empty(), "{h:?} ({name}) has an empty unit");
+        }
+    }
+
     #[test]
     fn merge_sums_buckets_and_maxes_max() {
         let mut a = Histogram::new();
@@ -347,6 +467,49 @@ mod tests {
         assert_eq!(a.max(), 5000);
         assert_eq!(a.buckets()[bucket_of(5)], 2);
         assert_eq!(a.buckets()[bucket_of(5000)], 1);
+    }
+
+    #[test]
+    fn merge_saturates_near_full_buckets() {
+        // A shard whose top bucket and count sit at the brink: one more
+        // sample used to wrap (debug: panic; release: silent corruption).
+        let mut near_full = Histogram {
+            buckets: [u64::MAX - 1; BUCKETS],
+            count: u64::MAX - 1,
+            sum: u64::MAX - 1,
+            max: 10,
+        };
+        let mut other = Histogram::new();
+        other.add(3);
+        other.add(3);
+        near_full.merge(&other);
+        assert_eq!(near_full.buckets()[bucket_of(3)], u64::MAX);
+        assert_eq!(near_full.count(), u64::MAX);
+        assert_eq!(near_full.max(), 10);
+        // add() on a saturated histogram pins rather than wraps too.
+        near_full.add(3);
+        assert_eq!(near_full.buckets()[bucket_of(3)], u64::MAX);
+        assert_eq!(near_full.count(), u64::MAX);
+    }
+
+    #[test]
+    fn saturating_delta_recovers_interval_samples() {
+        let mut h = Histogram::new();
+        h.add(10);
+        h.add(1000);
+        let prev = h;
+        h.add(10);
+        h.add(10);
+        h.add(2000);
+        let d = h.saturating_delta(&prev);
+        assert_eq!(d.count(), 3);
+        assert_eq!(d.buckets()[bucket_of(10)], 2);
+        assert_eq!(d.buckets()[bucket_of(2000)], 1);
+        assert_eq!(d.mean(), (10.0 + 10.0 + 2000.0) / 3.0);
+        // Empty interval: all-zero, including max.
+        let empty = h.saturating_delta(&h);
+        assert!(empty.is_empty());
+        assert_eq!(empty.max(), 0);
     }
 
     #[test]

@@ -31,31 +31,52 @@
 //! * [`recorder`] — an always-on flight recorder (fixed-memory ring per
 //!   thread) dumped as JSON when a comm fault or restart fires.
 //!
-//! Tracing is **disabled by default** and gated on one process-global
+//! The telemetry plane (DESIGN.md §14) adds:
+//!
+//! * [`hub`] — [`TelemetryHub`], sessioned trace state: every sink
+//!   above is owned by a hub; the free functions are shims over the
+//!   calling thread's current hub (the process-wide [`default_hub`]
+//!   unless one was installed with [`install_thread_hub`]);
+//! * [`ranks`] — the live per-rank progress table feeding `mscc top`;
+//! * [`sampler`] — a background thread emitting periodic OpenMetrics +
+//!   JSONL samples of a hub, flushed on failure via the dump path;
+//! * [`alert`] — the online stall/straggler detector;
+//! * [`openmetrics`] — the OpenMetrics renderer and strict validator.
+//!
+//! Tracing is **disabled by default** and gated on the owning hub's
 //! flag checked first thing in every recording call: a disabled
-//! [`record`] is a relaxed atomic load and branch, and a disabled
-//! [`span`] constructs an inert guard without reading the clock. Runs
-//! with tracing disabled are bit-identical to untraced runs — the
-//! recording paths touch no shared mutable state.
+//! [`record`] is a thread-local read, a relaxed atomic load and a
+//! branch, and a disabled [`span`] constructs an inert guard without
+//! reading the clock. Runs with tracing disabled are bit-identical to
+//! untraced runs — the recording paths touch no shared mutable state.
 
+pub mod alert;
 pub mod counters;
 pub mod export;
 pub mod histogram;
+pub mod hub;
+pub mod openmetrics;
 pub mod profile;
+pub mod ranks;
 pub mod recorder;
+pub mod sampler;
 pub mod spans;
 pub mod stitch;
 
+pub use alert::{Alert, AlertConfig, AlertKind};
 pub use counters::{
     record, record_max, record_set, reset_counters, set_enabled, snapshot, Counter, CounterSet,
     EnableGuard, MergeMode,
 };
 pub use histogram::{record_hist, reset_hists, snapshot_hists, Hist, HistSet, Histogram};
+pub use hub::{current_hub, default_hub, install_thread_hub, HubGuard, TelemetryHub};
 pub use profile::Profile;
+pub use ranks::{RankSample, MAX_RANKS};
 pub use recorder::{
     dump_on_error, flight, flight_json, reset_flight, set_flight_dump_dir, snapshot_flight,
     FlightKind, FlightRecord,
 };
+pub use sampler::{Sampler, SamplerConfig, SamplerSummary};
 pub use spans::{
     event, flow_recv, flow_send, reset_spans, set_current_rank, span, span_arg, timed, timed_hist,
     SpanGuard, SpanKind, SpanRecord, TimedScope, NO_RANK,
@@ -65,22 +86,35 @@ pub use stitch::{
     ChromeSummary, StepStats,
 };
 
-/// True when tracing is globally enabled.
+/// True when the calling thread's current hub has tracing enabled.
 #[inline]
 pub fn enabled() -> bool {
     counters::enabled()
 }
 
-/// Reset all global trace state (counters, histograms and span buffers).
-/// The flight recorder is left alone: it is a crash-forensics ring and
-/// survives resets so restarts keep their pre-restart timeline.
+/// Note that `rank` finished step `step` on the current hub (no-op
+/// unless enabled). Feeds the live per-rank step rate.
+#[inline]
+pub fn note_rank_step(rank: u32, step: u64) {
+    hub::with_current(|h| h.note_rank_step(rank, step));
+}
+
+/// Note that logical `rank` was recovered by a spare on the current hub
+/// (no-op unless enabled).
+#[inline]
+pub fn note_rank_recovery(rank: u32) {
+    hub::with_current(|h| h.note_rank_recovery(rank));
+}
+
+/// Reset the current hub's trace state (counters, histograms, span
+/// buffers and the rank table). The flight recorder is left alone: it
+/// is a crash-forensics ring and survives resets so restarts keep their
+/// pre-restart timeline.
 ///
 /// Intended for test setup and between CLI runs; callers must ensure no
 /// spans are being recorded concurrently.
 pub fn reset() {
-    counters::reset_counters();
-    histogram::reset_hists();
-    spans::reset_spans();
+    hub::with_current(|h| h.reset());
 }
 
 /// Unit tests in this crate share the process-global banks and span

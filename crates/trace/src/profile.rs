@@ -29,13 +29,27 @@ pub struct Profile {
 }
 
 impl Profile {
-    /// Snapshot the global counters and every thread's span buffer.
+    /// Snapshot the current hub's counters and every thread's span
+    /// buffer in it.
     pub fn capture(label: impl Into<String>) -> Profile {
         let (spans, dropped_spans) = spans::collect_spans();
         Profile {
             label: label.into(),
             counters: counters::snapshot(),
             hists: histogram::snapshot_hists(),
+            spans,
+            dropped_spans,
+        }
+    }
+
+    /// Snapshot an explicit hub (equivalent to [`Profile::capture`]
+    /// with the hub installed on the calling thread).
+    pub fn capture_from(hub: &crate::TelemetryHub, label: impl Into<String>) -> Profile {
+        let (spans, dropped_spans) = hub.collect_spans();
+        Profile {
+            label: label.into(),
+            counters: hub.snapshot(),
+            hists: hub.snapshot_hists(),
             spans,
             dropped_spans,
         }

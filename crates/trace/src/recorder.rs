@@ -20,9 +20,9 @@
 //! record half-written, which is acceptable for a diagnostic artifact
 //! and is data-race-free by construction.
 
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex};
 
 /// Records retained per thread (ring wraps beyond this).
 pub const RING_CAPACITY: usize = 512;
@@ -67,6 +67,7 @@ flight_kinds! {
     // Appended last: `from_u8` decodes positionally, so the order above
     // is wire format and this list is append-only.
     Recover       => "recover",
+    Alert         => "alert",
 }
 
 /// One black-box record. `src`/`dst`/`tag`/`seq` carry the message
@@ -98,7 +99,9 @@ struct Ring {
 impl Ring {
     fn new() -> Ring {
         Ring {
-            slots: (0..RING_CAPACITY * WORDS).map(|_| AtomicU64::new(0)).collect(),
+            slots: (0..RING_CAPACITY * WORDS)
+                .map(|_| AtomicU64::new(0))
+                .collect(),
             head: AtomicU64::new(0),
         }
     }
@@ -107,7 +110,9 @@ impl Ring {
     fn push(&self, r: FlightRecord) {
         let h = self.head.load(Ordering::Relaxed);
         let base = (h as usize % RING_CAPACITY) * WORDS;
-        let w0 = (r.kind as u64) | ((r.rank as u64) << 8) | ((r.src as u64) << 24)
+        let w0 = (r.kind as u64)
+            | ((r.rank as u64) << 8)
+            | ((r.src as u64) << 24)
             | ((r.dst as u64) << 40);
         self.slots[base].store(w0, Ordering::Relaxed);
         self.slots[base + 1].store(r.t_ns, Ordering::Relaxed);
@@ -137,58 +142,107 @@ impl Ring {
     }
 }
 
-fn registry() -> &'static Mutex<Vec<Arc<Ring>>> {
-    static REGISTRY: OnceLock<Mutex<Vec<Arc<Ring>>>> = OnceLock::new();
-    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+/// One hub's flight-ring registry: every thread that records into the
+/// hub registers one [`Ring`] here (found via a per-thread cache keyed
+/// by hub id).
+pub(crate) struct Registry {
+    rings: Mutex<Vec<Arc<Ring>>>,
+}
+
+impl Registry {
+    pub(crate) fn new() -> Registry {
+        Registry {
+            rings: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn register(&self) -> Arc<Ring> {
+        let ring = Arc::new(Ring::new());
+        self.rings.lock().unwrap().push(Arc::clone(&ring));
+        ring
+    }
+
+    /// Snapshot every thread's ring, oldest-first per thread, merged
+    /// and sorted by timestamp.
+    pub(crate) fn snapshot(&self) -> Vec<FlightRecord> {
+        let mut out = Vec::new();
+        for ring in self.rings.lock().unwrap().iter() {
+            ring.snapshot_into(&mut out);
+        }
+        out.sort_by_key(|r| (r.t_ns, r.rank));
+        out
+    }
+
+    pub(crate) fn reset(&self) {
+        for ring in self.rings.lock().unwrap().iter() {
+            ring.head.store(0, Ordering::Release);
+        }
+    }
 }
 
 thread_local! {
-    static MY_RING: Arc<Ring> = {
-        let ring = Arc::new(Ring::new());
-        registry().lock().unwrap().push(Arc::clone(&ring));
-        ring
-    };
+    /// This thread's rings, one per hub it has recorded into.
+    static RING_CACHE: std::cell::RefCell<Vec<(u64, Arc<Ring>)>> =
+        const { std::cell::RefCell::new(Vec::new()) };
 }
 
 /// Rank value stored for threads outside any rank (fits the 16-bit
 /// packed field, unlike `spans::NO_RANK`).
-const PACKED_NO_RANK: u32 = 0xffff;
+pub(crate) const PACKED_NO_RANK: u32 = 0xffff;
 
-/// Append one record to the calling thread's ring. Always on — there is
-/// no enable gate; the cost is one clock read and five relaxed stores.
-#[inline]
-pub fn flight(kind: FlightKind, src: u32, dst: u32, tag: u64, seq: u64) {
+/// Append one record to the calling thread's ring in `hub`. Always on.
+pub(crate) fn push_flight(
+    hub: &crate::TelemetryHub,
+    kind: FlightKind,
+    src: u32,
+    dst: u32,
+    tag: u64,
+    seq: u64,
+) {
     let rank = crate::spans::current_rank();
-    let rank = if rank == crate::spans::NO_RANK { PACKED_NO_RANK } else { rank & 0xffff };
-    MY_RING.with(|r| {
-        r.push(FlightRecord {
-            kind,
-            rank,
-            t_ns: crate::spans::now_ns(),
-            src: src & 0xffff,
-            dst: dst & 0xffff,
-            tag,
-            seq,
-        })
+    let rank = if rank == crate::spans::NO_RANK {
+        PACKED_NO_RANK
+    } else {
+        rank & 0xffff
+    };
+    let rec = FlightRecord {
+        kind,
+        rank,
+        t_ns: crate::spans::now_ns(),
+        src: src & 0xffff,
+        dst: dst & 0xffff,
+        tag,
+        seq,
+    };
+    RING_CACHE.with(|c| {
+        let mut cache = c.borrow_mut();
+        if let Some((_, ring)) = cache.iter().find(|(id, _)| *id == hub.id()) {
+            ring.push(rec);
+            return;
+        }
+        let ring = hub.flight.register();
+        ring.push(rec);
+        cache.push((hub.id(), ring));
     });
 }
 
-/// Snapshot every thread's ring, oldest-first per thread, merged and
-/// sorted by timestamp.
-pub fn snapshot_flight() -> Vec<FlightRecord> {
-    let mut out = Vec::new();
-    for ring in registry().lock().unwrap().iter() {
-        ring.snapshot_into(&mut out);
-    }
-    out.sort_by_key(|r| (r.t_ns, r.rank));
-    out
+/// Append one record to the calling thread's ring in the current hub.
+/// Always on — there is no enable gate; the cost is one clock read and
+/// five relaxed stores.
+#[inline]
+pub fn flight(kind: FlightKind, src: u32, dst: u32, tag: u64, seq: u64) {
+    crate::hub::with_current(|h| h.flight(kind, src, dst, tag, seq));
 }
 
-/// Clear all rings (test setup / between CLI runs).
+/// Snapshot every thread's ring in the current hub, oldest-first per
+/// thread, merged and sorted by timestamp.
+pub fn snapshot_flight() -> Vec<FlightRecord> {
+    crate::hub::with_current(|h| h.snapshot_flight())
+}
+
+/// Clear the current hub's rings (test setup / between CLI runs).
 pub fn reset_flight() {
-    for ring in registry().lock().unwrap().iter() {
-        ring.head.store(0, Ordering::Release);
-    }
+    crate::hub::with_current(|h| h.reset_flight());
 }
 
 /// Render a snapshot as a structured JSON timeline:
@@ -196,12 +250,20 @@ pub fn reset_flight() {
 pub fn flight_json(reason: &str, records: &[FlightRecord]) -> String {
     use std::fmt::Write as _;
     let mut out = String::from("{\n  \"flight_recorder\": {\n");
-    let _ = writeln!(out, "    \"reason\": {},", crate::export::json_string(reason));
+    let _ = writeln!(
+        out,
+        "    \"reason\": {},",
+        crate::export::json_string(reason)
+    );
     let _ = writeln!(out, "    \"event_count\": {},", records.len());
     out.push_str("    \"events\": [");
     for (i, r) in records.iter().enumerate() {
         out.push_str(if i == 0 { "\n" } else { ",\n" });
-        let rank: i64 = if r.rank == PACKED_NO_RANK { -1 } else { r.rank as i64 };
+        let rank: i64 = if r.rank == PACKED_NO_RANK {
+            -1
+        } else {
+            r.rank as i64
+        };
         let _ = write!(
             out,
             "      {{\"t_ns\": {}, \"rank\": {}, \"kind\": {}, \"src\": {}, \"dst\": {}, \"tag\": {}, \"seq\": {}}}",
@@ -218,45 +280,22 @@ pub fn flight_json(reason: &str, records: &[FlightRecord]) -> String {
     out
 }
 
-fn dump_dir() -> &'static Mutex<Option<PathBuf>> {
-    static DIR: OnceLock<Mutex<Option<PathBuf>>> = OnceLock::new();
-    DIR.get_or_init(|| {
-        Mutex::new(std::env::var_os("MSC_FLIGHT_DIR").map(PathBuf::from))
-    })
-}
-
-/// Direct flight-recorder dumps triggered by [`dump_on_error`] into
-/// `dir` (`None` disables dumping). Overrides the `MSC_FLIGHT_DIR`
-/// environment variable, which seeds the initial value.
+/// Direct flight-recorder dumps triggered by [`dump_on_error`] on the
+/// current hub into `dir` (`None` disables dumping). The *default*
+/// hub's initial value is seeded from the `MSC_FLIGHT_DIR` environment
+/// variable; this call overrides it.
 pub fn set_flight_dump_dir(dir: Option<PathBuf>) {
-    *dump_dir().lock().unwrap() = dir;
+    crate::hub::with_current(|h| h.set_flight_dump_dir(dir.clone()));
 }
 
-static DUMP_SEQ: AtomicU64 = AtomicU64::new(0);
-
-/// Dump the merged rings to the configured directory (see
+/// Dump the current hub's merged rings to its configured directory (see
 /// [`set_flight_dump_dir`]); called by the comm runtime the moment a
-/// `CommError` is constructed or a checkpoint restart fires. Returns the
+/// `CommError` is constructed or a checkpoint restart fires. Also fires
+/// the hub's flush hook (the live sampler's failure tail). Returns the
 /// written path, or `None` when dumping is disabled or the write failed
 /// (a failing dump must never mask the original error).
 pub fn dump_on_error(reason: &str) -> Option<PathBuf> {
-    let dir = dump_dir().lock().unwrap().clone()?;
-    let n = DUMP_SEQ.fetch_add(1, Ordering::Relaxed);
-    let slug: String = reason
-        .chars()
-        .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
-        .take(32)
-        .collect();
-    let path = dir.join(format!("flight_{n:04}_{slug}.json"));
-    let json = flight_json(reason, &snapshot_flight());
-    if std::fs::create_dir_all(&dir).is_err() {
-        return None;
-    }
-    write_file(&path, &json).then_some(path)
-}
-
-fn write_file(path: &Path, contents: &str) -> bool {
-    std::fs::write(path, contents).is_ok()
+    crate::hub::with_current(|h| h.dump_on_error(reason))
 }
 
 #[cfg(test)]
@@ -307,10 +346,11 @@ mod tests {
 
     #[test]
     fn flight_is_always_on_and_json_renders() {
-        // No enable guard: the recorder must capture regardless.
-        crate::counters::set_enabled(false);
-        flight(FlightKind::Timeout, 2, 0, 9, 0);
-        let snap = snapshot_flight();
+        // Fresh disabled hub: the recorder must capture regardless.
+        let hub = crate::TelemetryHub::new();
+        assert!(!hub.enabled());
+        hub.flight(FlightKind::Timeout, 2, 0, 9, 0);
+        let snap = hub.snapshot_flight();
         let mine = snap
             .iter()
             .find(|r| r.kind == FlightKind::Timeout && r.src == 2 && r.tag == 9)
@@ -323,22 +363,35 @@ mod tests {
     }
 
     #[test]
+    fn alert_kind_roundtrips_at_end_of_wire_format() {
+        assert_eq!(
+            FlightKind::from_u8(FlightKind::Alert as u8),
+            FlightKind::Alert
+        );
+        assert_eq!(FlightKind::Alert.name(), "alert");
+        // Past-the-end stays Unknown (forward compatibility).
+        assert_eq!(FlightKind::from_u8(200), FlightKind::Unknown);
+    }
+
+    #[test]
     fn dump_respects_disabled_dir() {
-        set_flight_dump_dir(None);
-        assert!(dump_on_error("nope").is_none());
+        let hub = crate::TelemetryHub::new();
+        assert!(hub.dump_on_error("nope").is_none());
     }
 
     #[test]
     fn dump_writes_file_when_configured() {
         let dir = std::env::temp_dir().join("msc_flight_unit");
         let _ = std::fs::remove_dir_all(&dir);
-        set_flight_dump_dir(Some(dir.clone()));
-        flight(FlightKind::Error, 1, 2, 3, 4);
-        let path = dump_on_error("unit: timeout (src 1)").expect("dump written");
+        let hub = crate::TelemetryHub::new();
+        hub.set_flight_dump_dir(Some(dir.clone()));
+        hub.flight(FlightKind::Error, 1, 2, 3, 4);
+        let path = hub
+            .dump_on_error("unit: timeout (src 1)")
+            .expect("dump written");
         let body = std::fs::read_to_string(&path).unwrap();
         assert!(body.contains("\"flight_recorder\""));
         assert!(body.contains("unit: timeout"));
-        set_flight_dump_dir(None);
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

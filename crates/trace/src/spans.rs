@@ -1,14 +1,14 @@
 //! Per-thread span buffers.
 //!
-//! Each thread owns a fixed-capacity buffer of [`SpanRecord`]s; the
-//! owning thread appends with a relaxed index load and a release store —
-//! no locks, no CAS — and a collector snapshots all buffers through the
-//! global registry. Buffers saturate rather than wrap: once full, new
-//! spans are counted as dropped instead of overwriting records a
-//! concurrent collector might be reading. 16 Ki records per thread
-//! (512 KiB) is far beyond what the instrumented call sites produce per
-//! run; drops are reported in the profile so saturation is visible, not
-//! silent.
+//! Each (thread, hub) pair owns a fixed-capacity buffer of
+//! [`SpanRecord`]s; the owning thread appends with a relaxed index load
+//! and a release store — no locks, no CAS — and a collector snapshots
+//! all buffers through the hub's registry. Buffers saturate rather than
+//! wrap: once full, new spans are counted as dropped instead of
+//! overwriting records a concurrent collector might be reading. 16 Ki
+//! records per thread (512 KiB) is far beyond what the instrumented
+//! call sites produce per run; drops are reported in the profile so
+//! saturation is visible, not silent.
 
 use crate::counters::enabled;
 use std::cell::UnsafeCell;
@@ -113,20 +113,78 @@ impl ThreadBuf {
     }
 }
 
-static NEXT_THREAD: AtomicU32 = AtomicU32::new(0);
+/// One hub's span-buffer registry: every thread that records into the
+/// hub registers one [`ThreadBuf`] here (found via a per-thread cache
+/// keyed by hub id).
+pub(crate) struct Registry {
+    bufs: Mutex<Vec<Arc<ThreadBuf>>>,
+    /// Small dense thread ids, assigned per hub at registration.
+    next_thread: AtomicU32,
+}
 
-fn registry() -> &'static Mutex<Vec<Arc<ThreadBuf>>> {
-    static REGISTRY: OnceLock<Mutex<Vec<Arc<ThreadBuf>>>> = OnceLock::new();
-    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+impl Registry {
+    pub(crate) fn new() -> Registry {
+        Registry {
+            bufs: Mutex::new(Vec::new()),
+            next_thread: AtomicU32::new(0),
+        }
+    }
+
+    fn register(&self) -> Arc<ThreadBuf> {
+        let buf = Arc::new(ThreadBuf::new(
+            self.next_thread.fetch_add(1, Ordering::Relaxed),
+        ));
+        self.bufs.lock().unwrap().push(Arc::clone(&buf));
+        buf
+    }
+
+    /// Snapshot every thread's records, ordered by (start, thread),
+    /// plus the total dropped (saturated) count.
+    pub(crate) fn collect(&self) -> (Vec<SpanRecord>, u64) {
+        let mut out = Vec::new();
+        let mut dropped = 0u64;
+        for buf in self.bufs.lock().unwrap().iter() {
+            let n = buf.len.load(Ordering::Acquire);
+            for slot in &buf.slots[..n] {
+                out.push(unsafe { *slot.get() });
+            }
+            dropped += buf.dropped.load(Ordering::Relaxed);
+        }
+        out.sort_by_key(|r| (r.start_ns, r.thread));
+        (out, dropped)
+    }
+
+    /// Clear all buffers. Callers must ensure no spans are being
+    /// recorded concurrently (the buffers are reused in place).
+    pub(crate) fn reset(&self) {
+        for buf in self.bufs.lock().unwrap().iter() {
+            buf.len.store(0, Ordering::Release);
+            buf.dropped.store(0, Ordering::Relaxed);
+        }
+    }
 }
 
 thread_local! {
-    static MY_BUF: Arc<ThreadBuf> = {
-        let buf = Arc::new(ThreadBuf::new(NEXT_THREAD.fetch_add(1, Ordering::Relaxed)));
-        registry().lock().unwrap().push(Arc::clone(&buf));
-        buf
-    };
+    /// This thread's buffers, one per hub it has recorded spans into
+    /// (keyed by hub id; a linear scan — a thread touches 1–2 hubs).
+    static BUF_CACHE: std::cell::RefCell<Vec<(u64, Arc<ThreadBuf>)>> =
+        const { std::cell::RefCell::new(Vec::new()) };
     static CURRENT_RANK: std::cell::Cell<u32> = const { std::cell::Cell::new(NO_RANK) };
+}
+
+/// Append `rec` to the calling thread's buffer in `hub`, registering a
+/// buffer on first use.
+pub(crate) fn push_record(hub: &crate::TelemetryHub, rec: SpanRecord) {
+    BUF_CACHE.with(|c| {
+        let mut cache = c.borrow_mut();
+        if let Some((_, buf)) = cache.iter().find(|(id, _)| *id == hub.id()) {
+            buf.push(rec);
+            return;
+        }
+        let buf = hub.spans.register();
+        buf.push(rec);
+        cache.push((hub.id(), buf));
+    });
 }
 
 /// Tag every record made on the calling thread with `rank` from now on.
@@ -179,15 +237,18 @@ impl Drop for SpanGuard {
     fn drop(&mut self) {
         if let Some(start_ns) = self.start_ns {
             let dur_ns = now_ns().saturating_sub(start_ns);
-            MY_BUF.with(|b| {
-                b.push(SpanRecord {
-                    name: self.name,
-                    start_ns,
-                    dur_ns,
-                    kind: SpanKind::Complete,
-                    arg: self.arg,
-                    ..SpanRecord::EMPTY
-                })
+            crate::hub::with_current(|h| {
+                push_record(
+                    h,
+                    SpanRecord {
+                        name: self.name,
+                        start_ns,
+                        dur_ns,
+                        kind: SpanKind::Complete,
+                        arg: self.arg,
+                        ..SpanRecord::EMPTY
+                    },
+                )
             });
         }
     }
@@ -199,13 +260,16 @@ pub fn event(name: &'static str) {
     if !enabled() {
         return;
     }
-    MY_BUF.with(|b| {
-        b.push(SpanRecord {
-            name,
-            start_ns: now_ns(),
-            kind: SpanKind::Instant,
-            ..SpanRecord::EMPTY
-        })
+    crate::hub::with_current(|h| {
+        push_record(
+            h,
+            SpanRecord {
+                name,
+                start_ns: now_ns(),
+                kind: SpanKind::Instant,
+                ..SpanRecord::EMPTY
+            },
+        )
     });
 }
 
@@ -228,14 +292,17 @@ fn flow(name: &'static str, id: u64, kind: SpanKind) {
     if !enabled() {
         return;
     }
-    MY_BUF.with(|b| {
-        b.push(SpanRecord {
-            name,
-            start_ns: now_ns(),
-            kind,
-            arg: id,
-            ..SpanRecord::EMPTY
-        })
+    crate::hub::with_current(|h| {
+        push_record(
+            h,
+            SpanRecord {
+                name,
+                start_ns: now_ns(),
+                kind,
+                arg: id,
+                ..SpanRecord::EMPTY
+            },
+        )
     });
 }
 
@@ -284,29 +351,17 @@ impl Drop for TimedScope {
     }
 }
 
-/// Snapshot every thread's records, ordered by (start, thread).
-/// Returns the records and the total number of dropped (saturated) spans.
+/// Snapshot every thread's records in the current hub, ordered by
+/// (start, thread). Returns the records and the total number of dropped
+/// (saturated) spans.
 pub fn collect_spans() -> (Vec<SpanRecord>, u64) {
-    let mut out = Vec::new();
-    let mut dropped = 0u64;
-    for buf in registry().lock().unwrap().iter() {
-        let n = buf.len.load(Ordering::Acquire);
-        for slot in &buf.slots[..n] {
-            out.push(unsafe { *slot.get() });
-        }
-        dropped += buf.dropped.load(Ordering::Relaxed);
-    }
-    out.sort_by_key(|r| (r.start_ns, r.thread));
-    (out, dropped)
+    crate::hub::with_current(|h| h.collect_spans())
 }
 
-/// Clear all span buffers. Callers must ensure no spans are being
-/// recorded concurrently (the buffers are reused in place).
+/// Clear the current hub's span buffers. Callers must ensure no spans
+/// are being recorded concurrently (the buffers are reused in place).
 pub fn reset_spans() {
-    for buf in registry().lock().unwrap().iter() {
-        buf.len.store(0, Ordering::Release);
-        buf.dropped.store(0, Ordering::Relaxed);
-    }
+    crate::hub::with_current(|h| h.reset_spans());
 }
 
 #[cfg(test)]

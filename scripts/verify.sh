@@ -55,6 +55,22 @@ for f in crates/lint/fixtures/*.fixed.msc; do
   ./target/debug/mscc check "$f" >/dev/null
 done
 
+echo "== live telemetry (chaos-kill run + strict metrics validation) =="
+# A 2-rank run with a mid-run kill must still heal bit-identically while
+# the sampler leaves behind a JSONL metrics stream and an OpenMetrics
+# sibling; `mscc top --once --strict` replays the stream through the
+# strict checker (schema tag, seq continuity, counter monotonicity, and
+# the OpenMetrics parser on the .om file).
+tmpm=$(mktemp -d)
+./target/release/mscc examples/dsl/3d7pt.msc --run --procs 2x1x1 \
+  --chaos '1:kill=1@3' --checkpoint-dir "$tmpm/ckpt" --checkpoint-every 2 \
+  --metrics-file "$tmpm/metrics.jsonl" --metrics-interval-ms 100 \
+  -o "$tmpm/out"
+./target/release/mscc top "$tmpm/metrics.jsonl" --once --strict
+test -s "$tmpm/metrics.om"
+grep -q comm_fault "$tmpm/metrics.jsonl"
+rm -rf "$tmpm"
+
 echo "== bench smoke (trajectory schema + regression gate) =="
 scripts/bench.sh smoke
 

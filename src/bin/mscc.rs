@@ -37,7 +37,7 @@ use msc::comm::{run_distributed_resilient, FaultPlan, HeartbeatConfig, RunOption
 use msc::core::analysis::StencilStats;
 use msc::core::schedule::ExecPlan;
 use msc::prelude::*;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::Arc;
 
@@ -50,6 +50,7 @@ usage:
   mscc <file.msc> [options]    compile a stencil (and optionally run it)
   mscc check <file.msc> [options]  run the static stencil verifier only
   mscc bench [options]         record or check the benchmark trajectory
+  mscc top METRICS.jsonl [options]  live per-rank view of a metrics stream
 
 input / output:
   -o, --out DIR            output directory for the generated C package
@@ -93,6 +94,22 @@ observability:
                            timeline with send->recv flow arrows)
       --flight-dir DIR     dump the always-on flight recorder to DIR as JSON
                            when a communication fault or restart fires
+      --metrics-file PATH  sample live metrics during the run: one JSONL
+                           line per interval appended to PATH (schema
+                           msc-metrics-v1) plus an OpenMetrics snapshot
+                           atomically rewritten at PATH's .om sibling;
+                           the stream is flushed on exit and on faults,
+                           and the online stall detector raises alerts
+      --metrics-interval-ms MS
+                           sampling interval in ms (default 250;
+                           requires --metrics-file)
+
+top subcommand (mscc top):
+      --once               render one snapshot and exit (no tail-follow)
+      --strict             validate the stream while rendering: schema
+                           tag, monotone seq and counters, well-formed
+                           OpenMetrics sibling; exit nonzero on violation
+      --interval-ms MS     redraw interval while following (default 500)
 
 check subcommand (mscc check):
       --json               emit machine-readable JSON diagnostics on stdout
@@ -131,6 +148,15 @@ struct Args {
     flight_dir: Option<PathBuf>,
     pool_threads: Option<usize>,
     exec_tier: msc::exec::ExecTier,
+    metrics_file: Option<PathBuf>,
+    metrics_interval_ms: Option<u64>,
+}
+
+struct TopArgs {
+    input: PathBuf,
+    once: bool,
+    strict: bool,
+    interval_ms: u64,
 }
 
 struct BenchArgs {
@@ -153,6 +179,7 @@ enum Cli {
     Compile(Box<Args>),
     Check(CheckArgs),
     Bench(BenchArgs),
+    Top(TopArgs),
     Help,
 }
 
@@ -166,7 +193,45 @@ fn parse_cli() -> Result<Cli, String> {
         argv.next();
         return parse_check_args(argv).map(Cli::Check);
     }
+    if argv.peek().map(String::as_str) == Some("top") {
+        argv.next();
+        return parse_top_args(argv).map(Cli::Top);
+    }
     parse_args(argv)
+}
+
+fn parse_top_args(mut argv: impl Iterator<Item = String>) -> Result<TopArgs, String> {
+    let mut input = None;
+    let mut once = false;
+    let mut strict = false;
+    let mut interval_ms = 500u64;
+    while let Some(a) = argv.next() {
+        match a.as_str() {
+            "--once" => once = true,
+            "--strict" => strict = true,
+            "--interval-ms" => {
+                interval_ms = argv
+                    .next()
+                    .ok_or("missing interval after --interval-ms")?
+                    .parse()
+                    .map_err(|_| "bad interval after --interval-ms".to_string())?;
+                if interval_ms == 0 {
+                    return Err("--interval-ms must be at least 1".into());
+                }
+            }
+            "-h" | "--help" => return Err("__help__".into()),
+            other if input.is_none() && !other.starts_with('-') => {
+                input = Some(PathBuf::from(other))
+            }
+            other => return Err(format!("unexpected top argument `{other}`")),
+        }
+    }
+    Ok(TopArgs {
+        input: input.ok_or("no metrics file (try --help)")?,
+        once,
+        strict,
+        interval_ms,
+    })
 }
 
 fn parse_check_args(mut argv: impl Iterator<Item = String>) -> Result<CheckArgs, String> {
@@ -203,9 +268,7 @@ fn parse_target(name: &str) -> Result<Target, String> {
     }
 }
 
-fn parse_bench_args(
-    mut argv: impl Iterator<Item = String>,
-) -> Result<BenchArgs, String> {
+fn parse_bench_args(mut argv: impl Iterator<Item = String>) -> Result<BenchArgs, String> {
     let mut b = BenchArgs {
         quick: false,
         out: PathBuf::from(suite::BENCH_FILE),
@@ -225,12 +288,9 @@ fn parse_bench_args(
             "--quick" => b.quick = true,
             "--out" => b.out = path(&mut argv, "--out")?,
             "--validate" => b.validate = Some(path(&mut argv, "--validate")?),
-            "--diff" => {
-                b.diff = Some((path(&mut argv, "--diff")?, path(&mut argv, "--diff")?))
-            }
+            "--diff" => b.diff = Some((path(&mut argv, "--diff")?, path(&mut argv, "--diff")?)),
             "--doctor" => {
-                b.doctor =
-                    Some((path(&mut argv, "--doctor")?, path(&mut argv, "--doctor")?))
+                b.doctor = Some((path(&mut argv, "--doctor")?, path(&mut argv, "--doctor")?))
             }
             "--threshold" => {
                 let pct: f64 = argv
@@ -271,6 +331,8 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Cli, String> {
     let mut flight_dir = None;
     let mut pool_threads = None;
     let mut exec_tier = msc::exec::ExecTier::Auto;
+    let mut metrics_file = None;
+    let mut metrics_interval_ms = None;
     while let Some(a) = argv.next() {
         match a.as_str() {
             "-o" | "--out" => {
@@ -286,7 +348,11 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Cli, String> {
             "--simulate" => simulate = true,
             "--stats" => stats = true,
             "--autoschedule" => autoschedule = true,
-            "--dump" => dump = Some(PathBuf::from(argv.next().ok_or("missing path after --dump")?)),
+            "--dump" => {
+                dump = Some(PathBuf::from(
+                    argv.next().ok_or("missing path after --dump")?,
+                ))
+            }
             "--profile" => profile = true,
             "--trace" => {
                 trace = Some(PathBuf::from(
@@ -313,7 +379,8 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Cli, String> {
             }
             "--checkpoint-dir" => {
                 checkpoint_dir = Some(PathBuf::from(
-                    argv.next().ok_or("missing directory after --checkpoint-dir")?,
+                    argv.next()
+                        .ok_or("missing directory after --checkpoint-dir")?,
                 ))
             }
             "--spare-ranks" => {
@@ -339,6 +406,19 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Cli, String> {
                     argv.next().ok_or("missing directory after --flight-dir")?,
                 ))
             }
+            "--metrics-file" => {
+                metrics_file = Some(PathBuf::from(
+                    argv.next().ok_or("missing path after --metrics-file")?,
+                ))
+            }
+            "--metrics-interval-ms" => {
+                metrics_interval_ms = Some(
+                    argv.next()
+                        .ok_or("missing interval after --metrics-interval-ms")?
+                        .parse::<u64>()
+                        .map_err(|_| "bad interval after --metrics-interval-ms".to_string())?,
+                );
+            }
             "--exec-tier" => {
                 let t = argv.next().ok_or("missing tier after --exec-tier")?;
                 exec_tier = msc::exec::ExecTier::parse(&t).ok_or(format!(
@@ -359,6 +439,9 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Cli, String> {
             }
             other => return Err(format!("unexpected argument `{other}`")),
         }
+    }
+    if metrics_interval_ms.is_some() && metrics_file.is_none() {
+        return Err("--metrics-interval-ms requires --metrics-file".into());
     }
     Ok(Cli::Compile(Box::new(Args {
         input: input.ok_or("no input file (try --help)")?,
@@ -381,6 +464,8 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Cli, String> {
         flight_dir,
         pool_threads,
         exec_tier,
+        metrics_file,
+        metrics_interval_ms,
     })))
 }
 
@@ -404,6 +489,7 @@ fn main() -> ExitCode {
         Cli::Compile(args) => drive(*args),
         Cli::Check(args) => drive_check(args),
         Cli::Bench(args) => drive_bench(args),
+        Cli::Top(args) => drive_top(args),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
@@ -441,7 +527,11 @@ fn drive_bench(args: BenchArgs) -> Result<(), Box<dyn std::error::Error>> {
                 old_path.display(),
                 new_path.display(),
                 args.threshold * 100.0,
-                if args.counts_only { ", counts only" } else { "" }
+                if args.counts_only {
+                    ", counts only"
+                } else {
+                    ""
+                }
             );
             return Ok(());
         }
@@ -465,6 +555,26 @@ fn drive_bench(args: BenchArgs) -> Result<(), Box<dyn std::error::Error>> {
             smoke.detect_p50_ns as f64 / 1e3,
             smoke.detect_p99_ns as f64 / 1e3,
         );
+        // Observability must stay near-free: gate the metrics sampler's
+        // wall-clock cost on the run it observes.
+        let so = suite::sampler_overhead()?;
+        println!(
+            "sampler overhead: {:.1} ms bare vs {:.1} ms sampled at 100 ms \
+             ({} sample(s), +{:.2}% wall, budget {:.0}%)",
+            so.base_ns as f64 / 1e6,
+            so.sampled_ns as f64 / 1e6,
+            so.samples,
+            so.overhead_frac * 100.0,
+            suite::SAMPLER_OVERHEAD_BUDGET * 100.0,
+        );
+        if !so.within_budget {
+            return Err(format!(
+                "metrics sampler overhead {:.2}% exceeds the {:.0}% budget",
+                so.overhead_frac * 100.0,
+                suite::SAMPLER_OVERHEAD_BUDGET * 100.0
+            )
+            .into());
+        }
         let slowed = suite::scale_times(&doc, 1.2);
         std::fs::write(out, format!("{slowed}\n"))
             .map_err(|e| format!("cannot write {}: {e}", out.display()))?;
@@ -479,7 +589,10 @@ fn drive_bench(args: BenchArgs) -> Result<(), Box<dyn std::error::Error>> {
     suite::validate(&doc).map_err(|e| format!("recorded document invalid: {e}"))?;
     std::fs::write(&args.out, format!("{doc}\n"))
         .map_err(|e| format!("cannot write {}: {e}", args.out.display()))?;
-    let cases = doc.get("cases").and_then(Json::as_arr).map_or(0, |c| c.len());
+    let cases = doc
+        .get("cases")
+        .and_then(Json::as_arr)
+        .map_or(0, |c| c.len());
     println!(
         "recorded {} benchmark case(s) to {} (schema v{}, {} mode)",
         cases,
@@ -488,6 +601,183 @@ fn drive_bench(args: BenchArgs) -> Result<(), Box<dyn std::error::Error>> {
         if args.quick { "quick" } else { "full" }
     );
     Ok(())
+}
+
+/// `mscc top`: tail-follow a sampler JSONL stream and redraw a per-rank
+/// table (step rate, halo wait, steals, recoveries, last alert). With
+/// `--once` it renders a single snapshot — the mode CI uses together
+/// with `--strict`, which re-validates the whole stream and its
+/// OpenMetrics sibling on every pass.
+fn drive_top(args: TopArgs) -> Result<(), Box<dyn std::error::Error>> {
+    let mut last_len = usize::MAX;
+    loop {
+        let text = std::fs::read_to_string(&args.input)
+            .map_err(|e| format!("cannot read {}: {e}", args.input.display()))?;
+        let docs = parse_metrics_lines(&text, args.strict)?;
+        if args.strict {
+            strict_check_stream(&args.input, &docs)?;
+        }
+        if text.len() != last_len {
+            last_len = text.len();
+            if !args.once {
+                // Home + clear: redraw in place while following.
+                print!("\x1b[H\x1b[2J");
+            }
+            print!("{}", render_top(&args.input, &docs));
+        }
+        if args.once {
+            if docs.is_empty() {
+                return Err(format!("{}: no complete samples yet", args.input.display()).into());
+            }
+            return Ok(());
+        }
+        std::thread::sleep(std::time::Duration::from_millis(args.interval_ms));
+    }
+}
+
+/// Parse every complete line of the stream. A malformed *final* line is
+/// tolerated (the sampler may be mid-append); any earlier malformed line
+/// is corruption — fatal in strict mode, skipped otherwise.
+fn parse_metrics_lines(text: &str, strict: bool) -> Result<Vec<Json>, Box<dyn std::error::Error>> {
+    let lines: Vec<&str> = text.lines().collect();
+    let mut docs = Vec::with_capacity(lines.len());
+    for (i, line) in lines.iter().enumerate() {
+        match Json::parse(line) {
+            Ok(doc) => docs.push(doc),
+            Err(e) if i + 1 == lines.len() && !text.ends_with('\n') => {
+                let _ = e; // partial tail append; next pass will see it whole
+            }
+            Err(e) if strict => {
+                return Err(format!("metrics line {}: {e}", i + 1).into());
+            }
+            Err(_) => {}
+        }
+    }
+    Ok(docs)
+}
+
+/// Strict stream validation: schema tag on every line, seq monotone from
+/// 0, counters monotone non-decreasing, and a well-formed OpenMetrics
+/// sibling (when present on disk).
+fn strict_check_stream(input: &Path, docs: &[Json]) -> Result<(), Box<dyn std::error::Error>> {
+    for (i, doc) in docs.iter().enumerate() {
+        let schema = doc.get("schema").and_then(Json::as_str).unwrap_or("");
+        if schema != msc::trace::sampler::METRICS_SCHEMA {
+            return Err(format!(
+                "metrics line {}: schema {:?}, expected {:?}",
+                i + 1,
+                schema,
+                msc::trace::sampler::METRICS_SCHEMA
+            )
+            .into());
+        }
+        let seq = doc.get("seq").and_then(Json::as_f64).unwrap_or(-1.0);
+        if seq != i as f64 {
+            return Err(format!("metrics line {}: seq {seq}, expected {i}", i + 1).into());
+        }
+        if let Some(prev) = i.checked_sub(1).map(|p| &docs[p]) {
+            let (Some(Json::Obj(cur)), Some(before)) = (doc.get("counters"), prev.get("counters"))
+            else {
+                return Err(format!("metrics line {}: missing counters object", i + 1).into());
+            };
+            for (name, v) in cur {
+                let now = v.as_f64().unwrap_or(0.0);
+                let was = before.get(name).and_then(Json::as_f64).unwrap_or(0.0);
+                if now < was {
+                    return Err(format!(
+                        "metrics line {}: counter {name} went backwards: {was} -> {now}",
+                        i + 1
+                    )
+                    .into());
+                }
+            }
+        }
+    }
+    let om_path = input.with_extension("om");
+    if om_path.exists() {
+        let om = std::fs::read_to_string(&om_path)
+            .map_err(|e| format!("cannot read {}: {e}", om_path.display()))?;
+        msc::trace::openmetrics::validate(&om)
+            .map_err(|e| format!("{}: {e}", om_path.display()))?;
+    }
+    Ok(())
+}
+
+fn render_top(input: &Path, docs: &[Json]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let Some(last) = docs.last() else {
+        let _ = writeln!(out, "mscc top — {} (no samples yet)", input.display());
+        return out;
+    };
+    let f = |key: &str| last.get(key).and_then(Json::as_f64).unwrap_or(0.0);
+    let rate = |key: &str| {
+        last.get("rates")
+            .and_then(|r| r.get(key))
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0)
+    };
+    let _ = writeln!(
+        out,
+        "mscc top — {} | sample {} ({}) | {:.1} steps/s | halo p99 {:.2} ms | {:.1} steals/s",
+        input.display(),
+        f("seq") as u64,
+        last.get("reason").and_then(Json::as_str).unwrap_or("?"),
+        rate("steps_per_s"),
+        rate("halo_wait_p99_ns") / 1e6,
+        rate("pool_steals_per_s"),
+    );
+    let _ = writeln!(
+        out,
+        "{:>5} {:>10} {:>10} {:>12} {:>12} {:>8} {:>8} {:>6}",
+        "rank", "steps", "last_step", "steps/s", "halo ms", "steals", "retrans", "recov"
+    );
+    if let Some(ranks) = last.get("ranks").and_then(Json::as_arr) {
+        for r in ranks {
+            let g = |key: &str| r.get(key).and_then(Json::as_f64).unwrap_or(0.0);
+            let _ = writeln!(
+                out,
+                "{:>5} {:>10} {:>10} {:>12.1} {:>12.2} {:>8} {:>8} {:>6}",
+                g("rank") as u64,
+                g("steps") as u64,
+                g("last_step") as u64,
+                g("step_rate"),
+                g("halo_wait_ns") / 1e6,
+                g("steals") as u64,
+                g("retransmits") as u64,
+                g("recoveries") as u64,
+            );
+        }
+        if ranks.is_empty() {
+            let _ = writeln!(out, "  (no per-rank samples yet)");
+        }
+    }
+    // Most recent alert anywhere in the stream, plus the running total.
+    let mut alerts_total = 0usize;
+    let mut last_alert = None;
+    for doc in docs {
+        if let Some(alerts) = doc.get("alerts").and_then(Json::as_arr) {
+            alerts_total += alerts.len();
+            if let Some(a) = alerts.last() {
+                last_alert = Some(a);
+            }
+        }
+    }
+    match last_alert {
+        Some(a) => {
+            let _ = writeln!(
+                out,
+                "alerts: {} total; last: [{}] {}",
+                alerts_total,
+                a.get("kind").and_then(Json::as_str).unwrap_or("?"),
+                a.get("message").and_then(Json::as_str).unwrap_or(""),
+            );
+        }
+        None => {
+            let _ = writeln!(out, "alerts: none");
+        }
+    }
+    out
 }
 
 /// `mscc check`: parse without the builder's hard halo/window validation
@@ -526,10 +816,7 @@ fn drive(args: Args) -> Result<(), Box<dyn std::error::Error>> {
         .map_err(|e| format!("cannot read {}: {e}", args.input.display()))?;
     let parsed = msc::core::parse::parse_unchecked(&source)?;
     let mut program = parsed.program;
-    let target = args
-        .target
-        .or(parsed.target)
-        .unwrap_or(Target::Cpu);
+    let target = args.target.or(parsed.target).unwrap_or(Target::Cpu);
 
     // The lint gate runs before anything else: deny-level findings stop
     // the build with every defect listed (the library entry points
@@ -542,6 +829,27 @@ fn drive(args: Args) -> Result<(), Box<dyn std::error::Error>> {
     if !lint.is_clean() {
         eprint!("{}", lint.render());
     }
+
+    // Live telemetry: a metrics-sampled run gets its own session hub so
+    // the sampler observes exactly this invocation. Installed before the
+    // flight-dir handling below, which then scopes to the same session.
+    let mut sampler = None;
+    let mut hub_guard = None;
+    let session_hub = if let Some(path) = &args.metrics_file {
+        let cfg =
+            msc::trace::SamplerConfig::from_millis(args.metrics_interval_ms.unwrap_or(250), path)?;
+        let hub = msc::trace::TelemetryHub::new();
+        hub.set_enabled(true);
+        hub_guard = Some(msc::trace::install_thread_hub(Arc::clone(&hub)));
+        sampler = Some(
+            msc::trace::Sampler::start(Arc::clone(&hub), cfg)
+                .map_err(|e| format!("cannot start metrics sampler: {e}"))?,
+        );
+        Some(hub)
+    } else {
+        None
+    };
+    let _hub_guard = hub_guard;
 
     if let Some(dir) = &args.flight_dir {
         std::fs::create_dir_all(dir)
@@ -670,16 +978,16 @@ fn drive(args: Args) -> Result<(), Box<dyn std::error::Error>> {
         };
         let mut opts = RunOptions {
             tier: args.exec_tier,
+            hub: session_hub.clone(),
             ..RunOptions::default()
         };
         if let Some(spec) = &args.chaos {
             opts.chaos = Some(Arc::new(FaultPlan::parse(spec)?));
         }
         if args.checkpoint_every > 0 {
-            let dir = args
-                .checkpoint_dir
-                .clone()
-                .unwrap_or_else(|| std::env::temp_dir().join(format!("mscc_ckpt_{}", program.name)));
+            let dir = args.checkpoint_dir.clone().unwrap_or_else(|| {
+                std::env::temp_dir().join(format!("mscc_ckpt_{}", program.name))
+            });
             // Snapshots from an earlier invocation must never be resumed.
             let _ = std::fs::remove_dir_all(&dir);
             opts.checkpoint_dir = Some(dir);
@@ -773,7 +1081,11 @@ fn drive(args: Args) -> Result<(), Box<dyn std::error::Error>> {
                     path.display()
                 );
             }
-            msc::trace::reset();
+            // A metrics session still owes its final flush; resetting
+            // the hub here would zero the sampler's last sample.
+            if session_hub.is_none() {
+                msc::trace::reset();
+            }
         }
         if let Some(path) = &args.dump {
             msc::exec::io::save(&out, path)?;
@@ -821,7 +1133,9 @@ fn drive(args: Args) -> Result<(), Box<dyn std::error::Error>> {
                     .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
                 println!("wrote chrome://tracing profile to {}", path.display());
             }
-            msc::trace::reset();
+            if session_hub.is_none() {
+                msc::trace::reset();
+            }
         }
         let (reference, _) = run_program(&program, &Executor::Reference, &init)?;
         println!(
@@ -831,6 +1145,20 @@ fn drive(args: Args) -> Result<(), Box<dyn std::error::Error>> {
         if let Some(path) = &args.dump {
             msc::exec::io::save(&out, path)?;
             println!("dumped final state to {}", path.display());
+        }
+    }
+
+    if let Some(s) = sampler.take() {
+        let sum = s.stop();
+        println!(
+            "metrics: {} sample(s), {} alert(s) -> {} (OpenMetrics: {})",
+            sum.samples,
+            sum.alerts,
+            sum.jsonl_path.display(),
+            sum.openmetrics_path.display()
+        );
+        if let Some(e) = sum.io_error {
+            eprintln!("mscc: metrics stream had write errors: {e}");
         }
     }
 

@@ -92,13 +92,21 @@ fn chaos_run_heals_and_verifies_bit_exactly() {
         .arg(dsl("wave2d.msc"))
         .arg("-o")
         .arg(&dir)
-        .args(["--procs", "2x2", "--chaos", "42:drop=0.05,dup=0.02,corrupt=0.01"])
+        .args([
+            "--procs",
+            "2x2",
+            "--chaos",
+            "42:drop=0.05,dup=0.02,corrupt=0.01",
+        ])
         .output()
         .expect("mscc runs");
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(out.status.success(), "{stdout}");
     assert!(stdout.contains("distributed run over 4 ranks"), "{stdout}");
-    assert!(stdout.contains("verified vs serial reference: bit-identical"), "{stdout}");
+    assert!(
+        stdout.contains("verified vs serial reference: bit-identical"),
+        "{stdout}"
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }
 
@@ -112,7 +120,14 @@ fn killed_rank_restarts_from_checkpoint_via_cli() {
         .arg(dsl("wave2d.msc"))
         .arg("-o")
         .arg(&dir)
-        .args(["--procs", "2x1", "--chaos", "1:kill=1@3", "--checkpoint-every", "2"])
+        .args([
+            "--procs",
+            "2x1",
+            "--chaos",
+            "1:kill=1@3",
+            "--checkpoint-every",
+            "2",
+        ])
         .arg("--checkpoint-dir")
         .arg(&ckpt)
         .arg("--profile")
@@ -121,7 +136,10 @@ fn killed_rank_restarts_from_checkpoint_via_cli() {
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(out.status.success(), "{stdout}");
     assert!(stdout.contains("1 restarts"), "{stdout}");
-    assert!(stdout.contains("verified vs serial reference: bit-identical"), "{stdout}");
+    assert!(
+        stdout.contains("verified vs serial reference: bit-identical"),
+        "{stdout}"
+    );
     // Checkpoint activity must surface in the profile table.
     assert!(stdout.contains("checkpoint_bytes"), "{stdout}");
     let _ = std::fs::remove_dir_all(&dir);
@@ -141,20 +159,35 @@ fn killed_rank_heals_online_with_a_spare_via_cli() {
         .arg("-o")
         .arg(&dir)
         .args([
-            "--procs", "2x2", "--chaos", "5:kill=1@4", "--checkpoint-every", "2",
-            "--spare-ranks", "1", "--heartbeat-ms", "5", "--profile",
+            "--procs",
+            "2x2",
+            "--chaos",
+            "5:kill=1@4",
+            "--checkpoint-every",
+            "2",
+            "--spare-ranks",
+            "1",
+            "--heartbeat-ms",
+            "5",
+            "--profile",
         ])
         .output()
         .expect("mscc runs");
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(out.status.success(), "{stdout}");
-    assert!(stdout.contains("resilience policy: 1 spare rank(s)"), "{stdout}");
+    assert!(
+        stdout.contains("resilience policy: 1 spare rank(s)"),
+        "{stdout}"
+    );
     assert!(stdout.contains("heartbeat every 5 ms"), "{stdout}");
     // 4 logical + 1 spare physical ranks; the banner reports logical.
     assert!(stdout.contains("distributed run over 4 ranks"), "{stdout}");
     assert!(stdout.contains("0 restarts"), "{stdout}");
     assert!(stdout.contains("1 recoveries"), "{stdout}");
-    assert!(stdout.contains("verified vs serial reference: bit-identical"), "{stdout}");
+    assert!(
+        stdout.contains("verified vs serial reference: bit-identical"),
+        "{stdout}"
+    );
     // The new counters must surface in the profile table.
     assert!(stdout.contains("rank_recoveries"), "{stdout}");
     assert!(stdout.contains("buddy_bytes"), "{stdout}");
@@ -215,29 +248,63 @@ fn help_documents_every_flag() {
     assert!(out.status.success(), "--help must exit 0");
     let help = String::from_utf8_lossy(&out.stdout);
     for flag in [
-        "-o", "--out", "--target", "--run", "--simulate", "--stats",
-        "--exec-tier", "--autoschedule", "--dump", "--profile", "--trace", "--procs",
-        "--chaos", "--checkpoint-every", "--checkpoint-dir", "--spare-ranks",
-        "--heartbeat-ms", "--flight-dir",
-        "--quick", "--validate", "--diff", "--threshold", "--counts-only",
-        "--doctor", "--json", "-h", "--help",
+        "-o",
+        "--out",
+        "--target",
+        "--run",
+        "--simulate",
+        "--stats",
+        "--exec-tier",
+        "--autoschedule",
+        "--dump",
+        "--profile",
+        "--trace",
+        "--procs",
+        "--chaos",
+        "--checkpoint-every",
+        "--checkpoint-dir",
+        "--spare-ranks",
+        "--heartbeat-ms",
+        "--flight-dir",
+        "--metrics-file",
+        "--metrics-interval-ms",
+        "--quick",
+        "--validate",
+        "--diff",
+        "--threshold",
+        "--counts-only",
+        "--doctor",
+        "--json",
+        "--once",
+        "--strict",
+        "--interval-ms",
+        "-h",
+        "--help",
     ] {
-        assert!(help.contains(flag), "help does not document `{flag}`:\n{help}");
+        assert!(
+            help.contains(flag),
+            "help does not document `{flag}`:\n{help}"
+        );
     }
     // Grouped layout: each section header present.
     for section in [
-        "input / output:", "execution:", "distributed:", "observability:",
-        "check subcommand", "bench subcommand",
+        "input / output:",
+        "execution:",
+        "distributed:",
+        "observability:",
+        "check subcommand",
+        "bench subcommand",
+        "top subcommand",
     ] {
-        assert!(help.contains(section), "missing section `{section}`:\n{help}");
+        assert!(
+            help.contains(section),
+            "missing section `{section}`:\n{help}"
+        );
     }
 }
 
 fn lint_fixture(name: &str) -> String {
-    format!(
-        "{}/crates/lint/fixtures/{name}",
-        env!("CARGO_MANIFEST_DIR")
-    )
+    format!("{}/crates/lint/fixtures/{name}", env!("CARGO_MANIFEST_DIR"))
 }
 
 #[test]
@@ -330,12 +397,18 @@ fn denied_program_never_reaches_the_vm() {
         .args(["--run", "--exec-tier", "vm"])
         .output()
         .expect("mscc runs");
-    assert!(!out.status.success(), "denied program must not run on any tier");
+    assert!(
+        !out.status.success(),
+        "denied program must not run on any tier"
+    );
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("lint rejected"), "{err}");
     assert!(err.contains("[deny]"), "{err}");
     let stdout = String::from_utf8_lossy(&out.stdout);
-    assert!(!stdout.contains("compiled"), "lint must fire pre-compile: {stdout}");
+    assert!(
+        !stdout.contains("compiled"),
+        "lint must fire pre-compile: {stdout}"
+    );
     assert!(!stdout.contains("ran"), "lint must fire pre-run: {stdout}");
     let _ = std::fs::remove_dir_all(&dir);
 }
@@ -357,7 +430,10 @@ fn exec_tier_selects_the_vm_and_reports_it() {
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(out.status.success(), "{stdout}");
     assert!(stdout.contains("vm tier"), "{stdout}");
-    assert!(stdout.contains("verified vs serial reference: max rel err 0.00e0"), "{stdout}");
+    assert!(
+        stdout.contains("verified vs serial reference: max rel err 0.00e0"),
+        "{stdout}"
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }
 
@@ -395,12 +471,18 @@ fn distributed_trace_stitches_all_ranks_with_flows() {
     assert!(out.status.success(), "{stdout}");
     assert!(stdout.contains("critical path: rank"), "{stdout}");
     assert!(stdout.contains("slowest"), "{stdout}");
-    assert!(stdout.contains("wrote stitched chrome://tracing profile (4 ranks)"), "{stdout}");
+    assert!(
+        stdout.contains("wrote stitched chrome://tracing profile (4 ranks)"),
+        "{stdout}"
+    );
 
     let json = std::fs::read_to_string(&trace_path).unwrap();
     let summary = msc::trace::validate_chrome_json(&json).expect("structurally valid");
     assert_eq!(summary.ranks, vec![0, 1, 2, 3], "spans from all four ranks");
-    assert!(summary.flow_pairs > 0, "halo send->recv flow arrows present");
+    assert!(
+        summary.flow_pairs > 0,
+        "halo send->recv flow arrows present"
+    );
     assert_eq!(summary.unmatched_flows, 0, "every flow id pairs up");
     let _ = std::fs::remove_dir_all(&dir);
 }
@@ -417,7 +499,14 @@ fn flight_dir_captures_comm_fault_dump() {
         .arg(dsl("wave2d.msc"))
         .arg("-o")
         .arg(&dir)
-        .args(["--procs", "2x1", "--chaos", "1:kill=1@3", "--checkpoint-every", "2"])
+        .args([
+            "--procs",
+            "2x1",
+            "--chaos",
+            "1:kill=1@3",
+            "--checkpoint-every",
+            "2",
+        ])
         .arg("--flight-dir")
         .arg(&flight)
         .output()
@@ -458,11 +547,19 @@ fn bench_records_validates_and_gates_regressions() {
         .arg(&base)
         .output()
         .expect("mscc runs");
-    assert!(rec.status.success(), "{}", String::from_utf8_lossy(&rec.stderr));
+    assert!(
+        rec.status.success(),
+        "{}",
+        String::from_utf8_lossy(&rec.stderr)
+    );
     let text = std::fs::read_to_string(&base).unwrap();
     assert!(text.contains("\"schema_version\": 6"), "{text}");
 
-    let val = mscc().args(["bench", "--validate"]).arg(&base).output().unwrap();
+    let val = mscc()
+        .args(["bench", "--validate"])
+        .arg(&base)
+        .output()
+        .unwrap();
     assert!(val.status.success());
 
     let clean = mscc()
@@ -483,7 +580,10 @@ fn bench_records_validates_and_gates_regressions() {
     let doc_out = String::from_utf8_lossy(&doc.stdout);
     assert!(doc.status.success(), "{doc_out}");
     // The doctor also runs the kill/heal self-test and reports it.
-    assert!(doc_out.contains("recovery smoke: 1 recoveries, 0 restarts"), "{doc_out}");
+    assert!(
+        doc_out.contains("recovery smoke: 1 recoveries, 0 restarts"),
+        "{doc_out}"
+    );
     assert!(doc_out.contains("detection latency p50"), "{doc_out}");
 
     let gate = mscc()
