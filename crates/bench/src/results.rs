@@ -34,7 +34,7 @@ impl Json {
     pub fn parse(text: &str) -> Result<Json, String> {
         let bytes = text.as_bytes();
         let mut pos = 0usize;
-        let v = parse_value(bytes, &mut pos)?;
+        let v = parse_value(bytes, &mut pos, 0)?;
         skip_ws(bytes, &mut pos);
         if pos != bytes.len() {
             return Err(format!("trailing data at byte {pos}"));
@@ -70,6 +70,49 @@ impl Json {
             _ => None,
         }
     }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Single-line rendering (the `Display` impl pretty-prints across
+    /// lines) — for line-delimited protocols and JSONL files.
+    pub fn to_compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    escape(k, out);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+            scalar => scalar.write(out, 0),
+        }
+    }
 }
 
 fn skip_ws(b: &[u8], pos: &mut usize) {
@@ -87,7 +130,17 @@ fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
     }
 }
 
-fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+/// Nesting cap for the recursive-descent parser. The parser recurses
+/// once per `[`/`{` level, so hostile input like `"[".repeat(1 << 20)`
+/// would otherwise overflow the stack (an abort, not an `Err`). Our own
+/// emitters nest a handful of levels; 512 is far beyond any legitimate
+/// document.
+const MAX_DEPTH: usize = 512;
+
+fn parse_value(b: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
+    if depth > MAX_DEPTH {
+        return Err(format!("nesting deeper than {MAX_DEPTH} at byte {pos}"));
+    }
     skip_ws(b, pos);
     match b.get(*pos) {
         None => Err("unexpected end of input".into()),
@@ -104,7 +157,7 @@ fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
                 return Ok(Json::Arr(items));
             }
             loop {
-                items.push(parse_value(b, pos)?);
+                items.push(parse_value(b, pos, depth + 1)?);
                 skip_ws(b, pos);
                 match b.get(*pos) {
                     Some(b',') => *pos += 1,
@@ -129,7 +182,7 @@ fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
                 let key = parse_string(b, pos)?;
                 skip_ws(b, pos);
                 expect(b, pos, b':')?;
-                let val = parse_value(b, pos)?;
+                let val = parse_value(b, pos, depth + 1)?;
                 fields.push((key, val));
                 skip_ws(b, pos);
                 match b.get(*pos) {
@@ -426,6 +479,32 @@ mod tests {
         for bad in ["", "{", "[1,", "{\"a\" 1}", "{} trailing", "nul"] {
             assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
         }
+    }
+
+    #[test]
+    fn compact_rendering_is_one_line_and_round_trips() {
+        let j = Json::obj(vec![
+            ("name", Json::s("x\ny")),
+            ("vals", Json::Arr(vec![Json::n(1.0), Json::Null, Json::Bool(true)])),
+            ("empty", Json::Obj(vec![])),
+        ]);
+        let s = j.to_compact();
+        assert!(!s.contains('\n'), "not single-line: {s}");
+        assert_eq!(Json::parse(&s).unwrap(), j);
+    }
+
+    #[test]
+    fn hostile_nesting_is_an_error_not_a_stack_overflow() {
+        // Pre-fix, each of these recursed once per byte and aborted the
+        // process with a stack overflow instead of returning Err.
+        for doc in ["[".repeat(100_000), "{\"k\":".repeat(100_000)] {
+            let err = Json::parse(&doc).unwrap_err();
+            assert!(err.contains("nesting"), "unexpected error: {err}");
+        }
+        // Deep-but-sane documents still parse.
+        let depth = 64;
+        let ok = format!("{}1{}", "[".repeat(depth), "]".repeat(depth));
+        assert!(Json::parse(&ok).is_ok());
     }
 
     #[test]

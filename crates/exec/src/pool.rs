@@ -498,6 +498,20 @@ fn with_local_pool<R>(min_helpers: usize, f: impl FnOnce(&WorkerPool) -> R) -> R
     })
 }
 
+/// Pre-spawn the calling thread's persistent pool with at least
+/// `helpers` parked helper threads, so the first real job doesn't pay
+/// thread-spawn latency. Long-lived executors (the daemon's job workers)
+/// call this once at startup. Returns the pool's helper count.
+pub fn warm_local_pool(helpers: usize) -> usize {
+    with_local_pool(helpers, |p| p.helpers())
+}
+
+/// Helper-thread count of the calling thread's persistent pool (0 when
+/// the pool has not been created yet — probing does not create it).
+pub fn local_pool_helpers() -> usize {
+    LOCAL_POOL.with(|cell| cell.borrow().as_ref().map_or(0, |p| p.helpers()))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -558,6 +572,19 @@ mod tests {
         }
         // At most 2 distinct helper threads for 3 workers (slot 0 is us).
         assert!(ids.lock().unwrap().len() <= 2);
+    }
+
+    #[test]
+    fn warm_local_pool_prespawns_helpers() {
+        std::thread::spawn(|| {
+            assert_eq!(local_pool_helpers(), 0, "probe must not create the pool");
+            assert!(warm_local_pool(3) >= 3);
+            assert!(local_pool_helpers() >= 3);
+            // Warming never shrinks an already-wider pool.
+            assert!(warm_local_pool(1) >= 3);
+        })
+        .join()
+        .unwrap();
     }
 
     #[test]

@@ -62,6 +62,21 @@ impl Diagnostic {
         }
         s
     }
+
+    /// One finding as a standalone JSON object — the same shape the
+    /// report embeds, reusable by services that ship diagnostics over
+    /// the wire one at a time.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"code\":{},\"severity\":{},\"family\":{},\"message\":{},\"context\":{},\"help\":{}}}",
+            json_str(self.code.as_str()),
+            json_str(self.severity.as_str()),
+            json_str(self.code.family()),
+            json_str(&self.message),
+            json_str(&self.context),
+            json_str(&self.help),
+        )
+    }
 }
 
 /// All diagnostics from one lint run over one program.
@@ -147,15 +162,7 @@ impl Report {
             if i > 0 {
                 s.push(',');
             }
-            s.push_str(&format!(
-                "{{\"code\":{},\"severity\":{},\"family\":{},\"message\":{},\"context\":{},\"help\":{}}}",
-                json_str(d.code.as_str()),
-                json_str(d.severity.as_str()),
-                json_str(d.code.family()),
-                json_str(&d.message),
-                json_str(&d.context),
-                json_str(&d.help),
-            ));
+            s.push_str(&d.to_json());
         }
         s.push_str(&format!(
             "],\"deny_count\":{},\"warn_count\":{}}}",
@@ -222,6 +229,24 @@ mod tests {
         assert!(text.contains("MSC-L101 [deny] grid `B`"));
         assert!(text.contains("help: widen the halo to 2"));
         assert!(text.contains("lint: 1 deny, 1 warn in `p`"));
+    }
+
+    #[test]
+    fn diagnostic_json_is_a_standalone_object() {
+        let d = Diagnostic::new(
+            LintCode::HaloTooNarrow,
+            "halo 1 but reach \"2\"".into(),
+            "grid `B`".into(),
+            String::new(),
+        );
+        let j = d.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"code\":\"MSC-L101\""));
+        assert!(j.contains("\\\"2\\\""));
+        // The report embeds exactly this rendering.
+        let mut r = Report::new("p");
+        r.push(d.clone());
+        assert!(r.to_json().contains(&j));
     }
 
     #[test]

@@ -1,0 +1,44 @@
+//! Blocking line client for the mscd protocol, used by `mscc submit`
+//! and the integration tests. One [`Client`] is one connection — a
+//! synchronous session where every [`Client::call`] writes one request
+//! line and waits for exactly one response line.
+
+use crate::proto::{Request, Response};
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+pub struct Client {
+    reader: BufReader<UnixStream>,
+    writer: UnixStream,
+}
+
+impl Client {
+    pub fn connect(socket: &Path) -> Result<Client, String> {
+        let writer = UnixStream::connect(socket)
+            .map_err(|e| format!("cannot connect to {}: {e}", socket.display()))?;
+        let read_half = writer
+            .try_clone()
+            .map_err(|e| format!("cannot clone socket: {e}"))?;
+        Ok(Client {
+            reader: BufReader::new(read_half),
+            writer,
+        })
+    }
+
+    /// Send one request and wait for its response.
+    pub fn call(&mut self, req: &Request) -> Result<Response, String> {
+        writeln!(self.writer, "{}", req.to_line())
+            .and_then(|_| self.writer.flush())
+            .map_err(|e| format!("cannot send request: {e}"))?;
+        let mut line = String::new();
+        let n = self
+            .reader
+            .read_line(&mut line)
+            .map_err(|e| format!("cannot read response: {e}"))?;
+        if n == 0 {
+            return Err("daemon closed the connection".to_string());
+        }
+        Response::from_line(&line)
+    }
+}

@@ -84,6 +84,7 @@ counters! {
     HeartbeatsSent   => ("heartbeats_sent", "count", Sum),
     RankRecoveries   => ("rank_recoveries", "count", Sum),
     BuddyBytes       => ("buddy_bytes", "bytes", Sum),
+    RankTableOverflow => ("rank_table_overflow", "count", Sum),
 }
 
 /// A plain, copyable vector of counter values.

@@ -116,10 +116,18 @@ impl TelemetryHub {
         // adoption is attributed to the logical rank, not the spare slot.
         if matches!(c, Counter::PoolSteals | Counter::RetransmitCount) {
             let r = crate::spans::current_rank();
-            if r != crate::spans::NO_RANK {
-                self.ranks.note_counter(r, c, v);
+            if r != crate::spans::NO_RANK && self.ranks.note_counter(r, c, v) {
+                self.note_rank_overflow();
             }
         }
+    }
+
+    /// A per-rank update folded into the overflow cell: count it so the
+    /// saturation is visible in `--profile` and the sampler stream.
+    /// (Plain bank write — must not re-enter [`TelemetryHub::record`].)
+    #[inline]
+    fn note_rank_overflow(&self) {
+        self.counters.record(Counter::RankTableOverflow, 1);
     }
 
     /// Publish a locally accumulated [`CounterSet`] (no-op unless
@@ -156,8 +164,8 @@ impl TelemetryHub {
         self.hists.record(h, v);
         if h == Hist::HaloWaitNanos {
             let r = crate::spans::current_rank();
-            if r != crate::spans::NO_RANK {
-                self.ranks.note_halo_wait(r, v);
+            if r != crate::spans::NO_RANK && self.ranks.note_halo_wait(r, v) {
+                self.note_rank_overflow();
             }
         }
     }
@@ -253,7 +261,9 @@ impl TelemetryHub {
         if !self.enabled() {
             return;
         }
-        self.ranks.note_step(rank, step);
+        if self.ranks.note_step(rank, step) {
+            self.note_rank_overflow();
+        }
     }
 
     /// Note that logical `rank` was recovered by a spare (no-op unless
@@ -263,7 +273,9 @@ impl TelemetryHub {
         if !self.enabled() {
             return;
         }
-        self.ranks.note_recovery(rank);
+        if self.ranks.note_recovery(rank) {
+            self.note_rank_overflow();
+        }
     }
 
     /// Snapshot of every rank that has reported activity.
@@ -445,6 +457,27 @@ mod tests {
         })));
         assert!(hub.dump_on_error("unit").is_none());
         assert!(fired.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn rank_overflow_is_counted_not_dropped() {
+        let hub = TelemetryHub::new();
+        hub.set_enabled(true);
+        // Exactly at MAX_RANKS: the first rank the table cannot
+        // attribute individually. Before the overflow cell existed this
+        // attribution vanished without a signal.
+        hub.note_rank_step(crate::MAX_RANKS as u32, 9);
+        hub.note_rank_recovery(u32::MAX);
+        let samples = hub.rank_samples();
+        assert_eq!(samples.len(), 1);
+        assert_eq!(samples[0].rank, crate::OVERFLOW_RANK);
+        assert_eq!(samples[0].steps, 1);
+        assert_eq!(samples[0].last_step, 9);
+        assert_eq!(samples[0].recoveries, 1);
+        assert_eq!(hub.snapshot().get(Counter::RankTableOverflow), 2);
+        // In-range attribution never bumps the overflow counter.
+        hub.note_rank_step(0, 0);
+        assert_eq!(hub.snapshot().get(Counter::RankTableOverflow), 2);
     }
 
     #[test]

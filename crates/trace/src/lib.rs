@@ -71,7 +71,7 @@ pub use counters::{
 pub use histogram::{record_hist, reset_hists, snapshot_hists, Hist, HistSet, Histogram};
 pub use hub::{current_hub, default_hub, install_thread_hub, HubGuard, TelemetryHub};
 pub use profile::Profile;
-pub use ranks::{RankSample, MAX_RANKS};
+pub use ranks::{RankSample, MAX_RANKS, OVERFLOW_RANK};
 pub use recorder::{
     dump_on_error, flight, flight_json, reset_flight, set_flight_dump_dir, snapshot_flight,
     FlightKind, FlightRecord,

@@ -11,9 +11,16 @@
 use crate::counters::Counter;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Ranks the live table can attribute. Updates for ranks at or beyond
-/// this are silently dropped (the aggregate counters still see them).
+/// Ranks the live table can attribute individually. Updates for ranks
+/// at or beyond this fold into one shared **overflow cell** (reported
+/// as rank [`OVERFLOW_RANK`]) instead of vanishing, and each folded
+/// update bumps the `rank_table_overflow` counter so huge worlds can
+/// see that attribution saturated.
 pub const MAX_RANKS: usize = 1024;
+
+/// The rank id the shared overflow cell reports in snapshots: the first
+/// id the table cannot attribute individually.
+pub const OVERFLOW_RANK: u32 = MAX_RANKS as u32;
 
 /// One rank's live cell. `#[repr(align(64))]` so concurrent ranks never
 /// false-share.
@@ -72,47 +79,54 @@ pub struct RankSample {
 }
 
 pub(crate) struct RankTable {
+    /// `MAX_RANKS` per-rank cells plus one trailing overflow cell that
+    /// absorbs every rank the table cannot attribute individually.
     cells: Box<[RankCell]>,
 }
 
 impl RankTable {
     pub(crate) fn new() -> RankTable {
         RankTable {
-            cells: (0..MAX_RANKS).map(|_| RankCell::new()).collect(),
+            cells: (0..=MAX_RANKS).map(|_| RankCell::new()).collect(),
         }
     }
 
+    /// The cell for `rank`, folding out-of-range ranks into the shared
+    /// overflow cell; the flag reports whether that fold happened so
+    /// the hub can count it.
     #[inline]
-    fn cell(&self, rank: u32) -> Option<&RankCell> {
-        self.cells.get(rank as usize)
+    fn cell(&self, rank: u32) -> (&RankCell, bool) {
+        let overflow = rank as usize >= MAX_RANKS;
+        let idx = (rank as usize).min(MAX_RANKS);
+        (&self.cells[idx], overflow)
     }
 
-    pub(crate) fn note_step(&self, rank: u32, step: u64) {
-        if let Some(c) = self.cell(rank) {
-            c.steps.fetch_add(1, Ordering::Relaxed);
-            c.last_step.store(step + 1, Ordering::Relaxed);
-            c.touch();
-        }
+    pub(crate) fn note_step(&self, rank: u32, step: u64) -> bool {
+        let (c, overflow) = self.cell(rank);
+        c.steps.fetch_add(1, Ordering::Relaxed);
+        c.last_step.store(step + 1, Ordering::Relaxed);
+        c.touch();
+        overflow
     }
 
-    pub(crate) fn note_halo_wait(&self, rank: u32, ns: u64) {
-        if let Some(c) = self.cell(rank) {
-            c.halo_wait_ns.fetch_add(ns, Ordering::Relaxed);
-            c.halo_wait_count.fetch_add(1, Ordering::Relaxed);
-            c.touch();
-        }
+    pub(crate) fn note_halo_wait(&self, rank: u32, ns: u64) -> bool {
+        let (c, overflow) = self.cell(rank);
+        c.halo_wait_ns.fetch_add(ns, Ordering::Relaxed);
+        c.halo_wait_count.fetch_add(1, Ordering::Relaxed);
+        c.touch();
+        overflow
     }
 
-    pub(crate) fn note_recovery(&self, rank: u32) {
-        if let Some(c) = self.cell(rank) {
-            c.recoveries.fetch_add(1, Ordering::Relaxed);
-            c.touch();
-        }
+    pub(crate) fn note_recovery(&self, rank: u32) -> bool {
+        let (c, overflow) = self.cell(rank);
+        c.recoveries.fetch_add(1, Ordering::Relaxed);
+        c.touch();
+        overflow
     }
 
     /// Route a rank-attributable counter bump into the cell.
-    pub(crate) fn note_counter(&self, rank: u32, c: Counter, v: u64) {
-        let Some(cell) = self.cell(rank) else { return };
+    pub(crate) fn note_counter(&self, rank: u32, c: Counter, v: u64) -> bool {
+        let (cell, overflow) = self.cell(rank);
         match c {
             Counter::PoolSteals => {
                 cell.steals.fetch_add(v, Ordering::Relaxed);
@@ -120,12 +134,14 @@ impl RankTable {
             Counter::RetransmitCount => {
                 cell.retransmits.fetch_add(v, Ordering::Relaxed);
             }
-            _ => return,
+            _ => return false,
         }
         cell.touch();
+        overflow
     }
 
-    /// Every rank that has reported at least one update, ascending.
+    /// Every rank that has reported at least one update, ascending. The
+    /// overflow cell (if touched) appears last as rank [`OVERFLOW_RANK`].
     pub(crate) fn snapshot(&self) -> Vec<RankSample> {
         let mut out = Vec::new();
         for (rank, c) in self.cells.iter().enumerate() {
@@ -178,17 +194,28 @@ mod tests {
     }
 
     #[test]
-    fn out_of_range_ranks_are_dropped() {
+    fn out_of_range_ranks_fold_into_overflow_cell() {
         let t = RankTable::new();
-        t.note_step(MAX_RANKS as u32, 5);
-        t.note_halo_wait(u32::MAX, 5);
-        assert!(t.snapshot().is_empty());
+        // Exactly at the boundary and far beyond: both land in the one
+        // shared overflow cell and report the fold to the caller.
+        assert!(t.note_step(MAX_RANKS as u32, 5));
+        assert!(t.note_halo_wait(u32::MAX, 7));
+        assert!(t.note_counter(u32::MAX, Counter::PoolSteals, 2));
+        let s = t.snapshot();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].rank, OVERFLOW_RANK);
+        assert_eq!(s[0].steps, 1);
+        assert_eq!(s[0].last_step, 5);
+        assert_eq!(s[0].halo_wait_ns, 7);
+        assert_eq!(s[0].steals, 2);
+        // In-range ranks never report a fold.
+        assert!(!t.note_step(MAX_RANKS as u32 - 1, 0));
     }
 
     #[test]
     fn counters_route_and_reset_clears() {
         let t = RankTable::new();
-        t.note_counter(1, Counter::PoolSteals, 4);
+        assert!(!t.note_counter(1, Counter::PoolSteals, 4));
         t.note_counter(1, Counter::RetransmitCount, 2);
         t.note_counter(1, Counter::Steps, 99); // not rank-attributable
         t.note_halo_wait(1, 500);

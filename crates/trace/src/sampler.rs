@@ -109,6 +109,11 @@ struct State {
 struct Shared {
     hub: Arc<TelemetryHub>,
     cfg: SamplerConfig,
+    /// Scratch path for the atomic OpenMetrics rewrite. Unique per
+    /// sampler (pid + process-wide sequence), because two hubs — or a
+    /// restarted daemon — sampling to the same metrics path would race
+    /// on a fixed `.om.tmp` sibling and could publish a torn rename.
+    om_tmp: PathBuf,
     /// Stop flag + condvar: the thread sleeps the whole interval in one
     /// `wait_timeout` and wakes instantly on stop. No slice-polling —
     /// on small machines hundreds of idle wakeups per second are real,
@@ -136,9 +141,16 @@ impl Sampler {
             }
         }
         std::fs::File::create(&cfg.jsonl_path)?;
+        static TMP_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let om_tmp = cfg.openmetrics_path.with_extension(format!(
+            "om.tmp.{}.{}",
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+        ));
         let shared = Arc::new(Shared {
             hub: Arc::clone(&hub),
             cfg,
+            om_tmp,
             stop: Mutex::new(false),
             stop_cv: Condvar::new(),
             state: Mutex::new(State {
@@ -207,6 +219,10 @@ impl Sampler {
             let _ = t.join();
             self.shared.tick("final", None);
             self.shared.hub.set_flush_hook(None);
+            // Belt-and-braces: every successful publish consumes the
+            // temp file via rename, but leave no debris behind either
+            // way (e.g. an interrupted write on a full disk).
+            let _ = std::fs::remove_file(&self.shared.om_tmp);
         }
     }
 }
@@ -314,12 +330,16 @@ impl Shared {
     }
 
     /// Atomic rewrite: temp file + rename, so a scraper never reads a
-    /// half-written exposition.
+    /// half-written exposition. The temp name is unique to this sampler
+    /// (see [`Shared::om_tmp`]); a failed rename removes its debris so
+    /// an aborted publish never litters the metrics directory.
     fn rewrite_openmetrics(&self, text: &str) -> Result<(), String> {
-        let tmp = self.cfg.openmetrics_path.with_extension("om.tmp");
-        std::fs::write(&tmp, text).map_err(|e| format!("write {}: {e}", tmp.display()))?;
-        std::fs::rename(&tmp, &self.cfg.openmetrics_path)
-            .map_err(|e| format!("rename to {}: {e}", self.cfg.openmetrics_path.display()))
+        let tmp = &self.om_tmp;
+        std::fs::write(tmp, text).map_err(|e| format!("write {}: {e}", tmp.display()))?;
+        std::fs::rename(tmp, &self.cfg.openmetrics_path).map_err(|e| {
+            let _ = std::fs::remove_file(tmp);
+            format!("rename to {}: {e}", self.cfg.openmetrics_path.display())
+        })
     }
 }
 
@@ -506,6 +526,50 @@ mod tests {
         assert_eq!(doc.samples["msc_by_rank_steps{rank=\"0\"}"], 5.0);
 
         let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn two_hubs_sampling_one_path_never_tear_the_exposition() {
+        // Two sessions (or a restarted daemon racing its predecessor)
+        // pointed at the same metrics path: with a fixed `.om.tmp`
+        // sibling the writers raced on one temp file and could publish
+        // torn output or fail the rename; unique suffixes make each
+        // publish independent (last writer wins, always whole).
+        let path = temp_metrics_path("collide");
+        let mk = |tag: u64| {
+            let hub = crate::TelemetryHub::new();
+            hub.set_enabled(true);
+            hub.record(Counter::Steps, tag);
+            let cfg = SamplerConfig::from_millis(1, &path).unwrap();
+            Sampler::start(hub, cfg).unwrap()
+        };
+        let a = mk(1);
+        let b = mk(2);
+        let om_path = path.with_extension("om");
+        // Let both tick concurrently and keep re-validating the
+        // published exposition the whole time.
+        for _ in 0..40 {
+            std::thread::sleep(Duration::from_millis(1));
+            if let Ok(om) = std::fs::read_to_string(&om_path) {
+                crate::openmetrics::validate(&om).expect("published exposition is whole");
+            }
+        }
+        let sa = a.stop();
+        let sb = b.stop();
+        assert!(sa.io_error.is_none(), "{:?}", sa.io_error);
+        assert!(sb.io_error.is_none(), "{:?}", sb.io_error);
+        let om = std::fs::read_to_string(&om_path).unwrap();
+        crate::openmetrics::validate(&om).expect("final exposition is whole");
+        // No `.om.tmp*` debris left behind by either sampler.
+        let dir = path.parent().unwrap();
+        let debris: Vec<String> = std::fs::read_dir(dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.contains("om.tmp"))
+            .collect();
+        assert!(debris.is_empty(), "temp debris: {debris:?}");
+        let _ = std::fs::remove_dir_all(dir);
     }
 
     #[test]

@@ -71,6 +71,34 @@ test -s "$tmpm/metrics.om"
 grep -q comm_fault "$tmpm/metrics.jsonl"
 rm -rf "$tmpm"
 
+echo "== compile-and-run service (mscd smoke) =="
+# Start mscd, prove the compile cache (the second identical submission
+# is a hit), the lint front door (a deny fixture bounces with its MSC-L
+# code as a structured error while the daemon survives), admission
+# liveness (ping), and graceful shutdown over the wire.
+tmps=$(mktemp -d)
+./target/release/mscc serve --socket "$tmps/mscd.sock" --workers 2 \
+  --metrics-dir "$tmps/metrics" &
+mscd_pid=$!
+for _ in $(seq 1 100); do
+  [ -S "$tmps/mscd.sock" ] && break
+  sleep 0.05
+done
+test -S "$tmps/mscd.sock"
+./target/release/mscc submit --socket "$tmps/mscd.sock" --run examples/dsl/wave2d.msc
+./target/release/mscc submit --socket "$tmps/mscd.sock" examples/dsl/wave2d.msc \
+  | grep -q 'cache hit'
+if ./target/release/mscc submit --socket "$tmps/mscd.sock" \
+    crates/lint/fixtures/halo_narrow.deny.msc 2>"$tmps/deny.err"; then
+  echo "expected daemon deny: halo_narrow.deny.msc" >&2
+  exit 1
+fi
+grep -q 'MSC-L101' "$tmps/deny.err"
+./target/release/mscc submit --socket "$tmps/mscd.sock" --ping | grep -q 'mscd alive'
+./target/release/mscc submit --socket "$tmps/mscd.sock" --shutdown
+wait "$mscd_pid"
+rm -rf "$tmps"
+
 echo "== bench smoke (trajectory schema + regression gate) =="
 scripts/bench.sh smoke
 

@@ -24,6 +24,8 @@
 //!                                       # kill a rank, restart from checkpoint
 //! mscc bench --out BENCH_0006.json      # record the benchmark trajectory
 //! mscc bench --diff OLD.json NEW.json   # exit nonzero on perf regression
+//! mscc serve --workers 4                # run the mscd compile-and-run daemon
+//! mscc submit stencil.msc --run         # send a program to a running mscd
 //! ```
 //!
 //! `--profile` and `--trace` imply `--run`; both may be combined.
@@ -37,7 +39,7 @@ use msc::comm::{run_distributed_resilient, FaultPlan, HeartbeatConfig, RunOption
 use msc::core::analysis::StencilStats;
 use msc::core::schedule::ExecPlan;
 use msc::prelude::*;
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
 
@@ -51,6 +53,8 @@ usage:
   mscc check <file.msc> [options]  run the static stencil verifier only
   mscc bench [options]         record or check the benchmark trajectory
   mscc top METRICS.jsonl [options]  live per-rank view of a metrics stream
+  mscc serve [options]         run the mscd compile-and-run daemon
+  mscc submit <file.msc> [options]  send a program to a running mscd
 
 input / output:
   -o, --out DIR            output directory for the generated C package
@@ -116,6 +120,35 @@ check subcommand (mscc check):
                            (exit code still reflects deny-level findings;
                            --target selects the capacity lints as above)
 
+serve subcommand (mscc serve):
+      --socket PATH        Unix socket to listen on (default: mscd.sock in
+                           the system temp directory)
+      --workers N          job worker threads (default 2)
+      --max-queue N        admission bound on queued jobs (default 16); a
+                           full queue answers a typed busy/queue response
+                           instead of blocking the client
+      --tenant-quota N     per-tenant in-flight bound, queued + running
+                           (default 4); at quota a tenant gets busy/quota
+                           while other tenants still get through
+      --metrics-dir DIR    give every job its own telemetry session sampled
+                           into DIR/job_<id>.jsonl (+ OpenMetrics sibling)
+      --pool-threads N     helper threads each worker pre-warms in its
+                           persistent execution pool (0 = grow on demand)
+
+submit subcommand (mscc submit):
+      --socket PATH        daemon socket to connect to (same default)
+      --tenant NAME        tenant identity for admission control
+                           (default `default`)
+      --run                also execute the program functionally and report
+                           steps/tiles and this job's telemetry counters
+      --target NAME        override the code generation target
+      --sleep-ms MS        artificial delay before the job body (a load
+                           knob for admission-control testing)
+      --ping               liveness probe instead of a submission
+      --stats              print service-wide counters instead of a
+                           submission
+      --shutdown           ask the daemon to finish queued jobs and exit
+
 bench subcommand (mscc bench):
       --quick              small grids — CI smoke mode
       --out FILE           write the recording to FILE (default BENCH_0006.json)
@@ -175,11 +208,39 @@ struct CheckArgs {
     target: Option<Target>,
 }
 
+struct ServeArgs {
+    socket: Option<PathBuf>,
+    workers: usize,
+    max_queue: usize,
+    tenant_quota: usize,
+    metrics_dir: Option<PathBuf>,
+    pool_threads: usize,
+}
+
+/// What a `mscc submit` invocation asks the daemon for.
+enum SubmitOp {
+    Job(PathBuf),
+    Ping,
+    Stats,
+    Shutdown,
+}
+
+struct SubmitArgs {
+    socket: Option<PathBuf>,
+    op: SubmitOp,
+    tenant: String,
+    run: bool,
+    target: Option<Target>,
+    sleep_ms: u64,
+}
+
 enum Cli {
     Compile(Box<Args>),
     Check(CheckArgs),
     Bench(BenchArgs),
     Top(TopArgs),
+    Serve(ServeArgs),
+    Submit(SubmitArgs),
     Help,
 }
 
@@ -197,7 +258,116 @@ fn parse_cli() -> Result<Cli, String> {
         argv.next();
         return parse_top_args(argv).map(Cli::Top);
     }
+    if argv.peek().map(String::as_str) == Some("serve") {
+        argv.next();
+        return parse_serve_args(argv).map(Cli::Serve);
+    }
+    if argv.peek().map(String::as_str) == Some("submit") {
+        argv.next();
+        return parse_submit_args(argv).map(Cli::Submit);
+    }
     parse_args(argv)
+}
+
+fn parse_serve_args(mut argv: impl Iterator<Item = String>) -> Result<ServeArgs, String> {
+    let mut s = ServeArgs {
+        socket: None,
+        workers: 2,
+        max_queue: 16,
+        tenant_quota: 4,
+        metrics_dir: None,
+        pool_threads: 0,
+    };
+    let count = |argv: &mut dyn Iterator<Item = String>, flag: &str| {
+        argv.next()
+            .ok_or(format!("missing count after {flag}"))?
+            .parse::<usize>()
+            .map_err(|_| format!("bad count after {flag}"))
+    };
+    while let Some(a) = argv.next() {
+        match a.as_str() {
+            "--socket" => {
+                s.socket = Some(PathBuf::from(
+                    argv.next().ok_or("missing path after --socket")?,
+                ))
+            }
+            "--workers" => {
+                s.workers = count(&mut argv, "--workers")?;
+                if s.workers == 0 {
+                    return Err("--workers must be at least 1".into());
+                }
+            }
+            "--max-queue" => s.max_queue = count(&mut argv, "--max-queue")?,
+            "--tenant-quota" => s.tenant_quota = count(&mut argv, "--tenant-quota")?,
+            "--metrics-dir" => {
+                s.metrics_dir = Some(PathBuf::from(
+                    argv.next().ok_or("missing directory after --metrics-dir")?,
+                ))
+            }
+            "--pool-threads" => s.pool_threads = count(&mut argv, "--pool-threads")?,
+            "-h" | "--help" => return Err("__help__".into()),
+            other => return Err(format!("unexpected serve argument `{other}`")),
+        }
+    }
+    Ok(s)
+}
+
+fn parse_submit_args(mut argv: impl Iterator<Item = String>) -> Result<SubmitArgs, String> {
+    let mut input = None;
+    let mut socket = None;
+    let mut tenant = "default".to_string();
+    let mut run = false;
+    let mut target = None;
+    let mut sleep_ms = 0u64;
+    let (mut ping, mut stats, mut shutdown) = (false, false, false);
+    while let Some(a) = argv.next() {
+        match a.as_str() {
+            "--socket" => {
+                socket = Some(PathBuf::from(
+                    argv.next().ok_or("missing path after --socket")?,
+                ))
+            }
+            "--tenant" => tenant = argv.next().ok_or("missing name after --tenant")?,
+            "--run" => run = true,
+            "--target" => {
+                let t = argv.next().ok_or("missing target name")?;
+                target = Some(parse_target(&t)?);
+            }
+            "--sleep-ms" => {
+                sleep_ms = argv
+                    .next()
+                    .ok_or("missing interval after --sleep-ms")?
+                    .parse()
+                    .map_err(|_| "bad interval after --sleep-ms".to_string())?;
+            }
+            "--ping" => ping = true,
+            "--stats" => stats = true,
+            "--shutdown" => shutdown = true,
+            "-h" | "--help" => return Err("__help__".into()),
+            other if input.is_none() && !other.starts_with('-') => {
+                input = Some(PathBuf::from(other))
+            }
+            other => return Err(format!("unexpected submit argument `{other}`")),
+        }
+    }
+    let op = match (ping, stats, shutdown, input) {
+        (true, false, false, None) => SubmitOp::Ping,
+        (false, true, false, None) => SubmitOp::Stats,
+        (false, false, true, None) => SubmitOp::Shutdown,
+        (false, false, false, Some(file)) => SubmitOp::Job(file),
+        (false, false, false, None) => {
+            return Err("no input file (try --ping, --stats, --shutdown, or --help)".into())
+        }
+        _ => return Err("--ping/--stats/--shutdown are exclusive and take no file".into()),
+    };
+    Ok(SubmitArgs {
+        socket,
+        op,
+        tenant,
+        run,
+        target,
+        sleep_ms,
+    })
 }
 
 fn parse_top_args(mut argv: impl Iterator<Item = String>) -> Result<TopArgs, String> {
@@ -490,6 +660,8 @@ fn main() -> ExitCode {
         Cli::Check(args) => drive_check(args),
         Cli::Bench(args) => drive_bench(args),
         Cli::Top(args) => drive_top(args),
+        Cli::Serve(args) => drive_serve(args),
+        Cli::Submit(args) => drive_submit(args),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
@@ -609,24 +781,32 @@ fn drive_bench(args: BenchArgs) -> Result<(), Box<dyn std::error::Error>> {
 /// with `--strict`, which re-validates the whole stream and its
 /// OpenMetrics sibling on every pass.
 fn drive_top(args: TopArgs) -> Result<(), Box<dyn std::error::Error>> {
-    let mut last_len = usize::MAX;
+    use msc::top;
+    let mut last_rendered = String::new();
+    // In --once mode a read can race the sampler mid-append; retry a few
+    // times before concluding the stream really has no complete samples.
+    let mut once_retries = 50u32;
     loop {
-        let text = std::fs::read_to_string(&args.input)
-            .map_err(|e| format!("cannot read {}: {e}", args.input.display()))?;
-        let docs = parse_metrics_lines(&text, args.strict)?;
+        let read = top::read_stream(&args.input, args.strict)?;
         if args.strict {
-            strict_check_stream(&args.input, &docs)?;
+            top::strict_check_stream(&args.input, &read.docs)?;
         }
-        if text.len() != last_len {
-            last_len = text.len();
+        if args.once && read.docs.is_empty() && read.partial_tail && once_retries > 0 {
+            once_retries -= 1;
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            continue;
+        }
+        let rendered = top::render_top(&args.input, &read.docs);
+        if rendered != last_rendered {
             if !args.once {
                 // Home + clear: redraw in place while following.
                 print!("\x1b[H\x1b[2J");
             }
-            print!("{}", render_top(&args.input, &docs));
+            print!("{rendered}");
+            last_rendered = rendered;
         }
         if args.once {
-            if docs.is_empty() {
+            if read.docs.is_empty() {
                 return Err(format!("{}: no complete samples yet", args.input.display()).into());
             }
             return Ok(());
@@ -635,149 +815,133 @@ fn drive_top(args: TopArgs) -> Result<(), Box<dyn std::error::Error>> {
     }
 }
 
-/// Parse every complete line of the stream. A malformed *final* line is
-/// tolerated (the sampler may be mid-append); any earlier malformed line
-/// is corruption — fatal in strict mode, skipped otherwise.
-fn parse_metrics_lines(text: &str, strict: bool) -> Result<Vec<Json>, Box<dyn std::error::Error>> {
-    let lines: Vec<&str> = text.lines().collect();
-    let mut docs = Vec::with_capacity(lines.len());
-    for (i, line) in lines.iter().enumerate() {
-        match Json::parse(line) {
-            Ok(doc) => docs.push(doc),
-            Err(e) if i + 1 == lines.len() && !text.ends_with('\n') => {
-                let _ = e; // partial tail append; next pass will see it whole
-            }
-            Err(e) if strict => {
-                return Err(format!("metrics line {}: {e}", i + 1).into());
-            }
-            Err(_) => {}
-        }
-    }
-    Ok(docs)
-}
-
-/// Strict stream validation: schema tag on every line, seq monotone from
-/// 0, counters monotone non-decreasing, and a well-formed OpenMetrics
-/// sibling (when present on disk).
-fn strict_check_stream(input: &Path, docs: &[Json]) -> Result<(), Box<dyn std::error::Error>> {
-    for (i, doc) in docs.iter().enumerate() {
-        let schema = doc.get("schema").and_then(Json::as_str).unwrap_or("");
-        if schema != msc::trace::sampler::METRICS_SCHEMA {
-            return Err(format!(
-                "metrics line {}: schema {:?}, expected {:?}",
-                i + 1,
-                schema,
-                msc::trace::sampler::METRICS_SCHEMA
-            )
-            .into());
-        }
-        let seq = doc.get("seq").and_then(Json::as_f64).unwrap_or(-1.0);
-        if seq != i as f64 {
-            return Err(format!("metrics line {}: seq {seq}, expected {i}", i + 1).into());
-        }
-        if let Some(prev) = i.checked_sub(1).map(|p| &docs[p]) {
-            let (Some(Json::Obj(cur)), Some(before)) = (doc.get("counters"), prev.get("counters"))
-            else {
-                return Err(format!("metrics line {}: missing counters object", i + 1).into());
-            };
-            for (name, v) in cur {
-                let now = v.as_f64().unwrap_or(0.0);
-                let was = before.get(name).and_then(Json::as_f64).unwrap_or(0.0);
-                if now < was {
-                    return Err(format!(
-                        "metrics line {}: counter {name} went backwards: {was} -> {now}",
-                        i + 1
-                    )
-                    .into());
-                }
-            }
-        }
-    }
-    let om_path = input.with_extension("om");
-    if om_path.exists() {
-        let om = std::fs::read_to_string(&om_path)
-            .map_err(|e| format!("cannot read {}: {e}", om_path.display()))?;
-        msc::trace::openmetrics::validate(&om)
-            .map_err(|e| format!("{}: {e}", om_path.display()))?;
-    }
+/// `mscc serve`: run the mscd daemon in the foreground until a wire
+/// `shutdown` request arrives (queued jobs finish first).
+fn drive_serve(args: ServeArgs) -> Result<(), Box<dyn std::error::Error>> {
+    use msc::service::{Daemon, ServiceConfig};
+    let defaults = ServiceConfig::default();
+    let cfg = ServiceConfig {
+        socket: args.socket.unwrap_or(defaults.socket),
+        workers: args.workers,
+        max_queue: args.max_queue,
+        tenant_quota: args.tenant_quota,
+        metrics_dir: args.metrics_dir,
+        pool_threads: args.pool_threads,
+    };
+    let metrics = cfg
+        .metrics_dir
+        .as_ref()
+        .map(|d| format!(", metrics under {}", d.display()))
+        .unwrap_or_default();
+    let daemon = Daemon::start(cfg)?;
+    println!(
+        "mscd listening on {} ({} worker(s), queue depth {}, {} job(s)/tenant{metrics})",
+        daemon.socket().display(),
+        daemon.stats().workers,
+        args.max_queue,
+        args.tenant_quota,
+    );
+    let stats = daemon.join();
+    println!(
+        "mscd exiting: {} done, {} denied, {} failed, {} rejected; compile cache {} hit(s) / {} miss(es)",
+        stats.jobs_done,
+        stats.jobs_denied,
+        stats.jobs_failed,
+        stats.jobs_rejected,
+        stats.cache_hits,
+        stats.cache_misses,
+    );
     Ok(())
 }
 
-fn render_top(input: &Path, docs: &[Json]) -> String {
-    use std::fmt::Write as _;
-    let mut out = String::new();
-    let Some(last) = docs.last() else {
-        let _ = writeln!(out, "mscc top — {} (no samples yet)", input.display());
-        return out;
+/// `mscc submit`: one synchronous request to a running mscd. Exit code
+/// is nonzero for denied, busy, and failed jobs — scripts can gate on it.
+fn drive_submit(args: SubmitArgs) -> Result<(), Box<dyn std::error::Error>> {
+    use msc::service::{Client, Request, Response, ServiceConfig, Submission};
+    let socket = args.socket.unwrap_or(ServiceConfig::default().socket);
+    let mut client = Client::connect(&socket)?;
+    let request = match &args.op {
+        SubmitOp::Ping => Request::Ping,
+        SubmitOp::Stats => Request::Stats,
+        SubmitOp::Shutdown => Request::Shutdown,
+        SubmitOp::Job(file) => {
+            let source = std::fs::read_to_string(file)
+                .map_err(|e| format!("cannot read {}: {e}", file.display()))?;
+            Request::Submit(Submission {
+                tenant: args.tenant.clone(),
+                source,
+                target: args.target,
+                run: args.run,
+                sleep_ms: args.sleep_ms,
+            })
+        }
     };
-    let f = |key: &str| last.get(key).and_then(Json::as_f64).unwrap_or(0.0);
-    let rate = |key: &str| {
-        last.get("rates")
-            .and_then(|r| r.get(key))
-            .and_then(Json::as_f64)
-            .unwrap_or(0.0)
-    };
-    let _ = writeln!(
-        out,
-        "mscc top — {} | sample {} ({}) | {:.1} steps/s | halo p99 {:.2} ms | {:.1} steals/s",
-        input.display(),
-        f("seq") as u64,
-        last.get("reason").and_then(Json::as_str).unwrap_or("?"),
-        rate("steps_per_s"),
-        rate("halo_wait_p99_ns") / 1e6,
-        rate("pool_steals_per_s"),
-    );
-    let _ = writeln!(
-        out,
-        "{:>5} {:>10} {:>10} {:>12} {:>12} {:>8} {:>8} {:>6}",
-        "rank", "steps", "last_step", "steps/s", "halo ms", "steals", "retrans", "recov"
-    );
-    if let Some(ranks) = last.get("ranks").and_then(Json::as_arr) {
-        for r in ranks {
-            let g = |key: &str| r.get(key).and_then(Json::as_f64).unwrap_or(0.0);
-            let _ = writeln!(
-                out,
-                "{:>5} {:>10} {:>10} {:>12.1} {:>12.2} {:>8} {:>8} {:>6}",
-                g("rank") as u64,
-                g("steps") as u64,
-                g("last_step") as u64,
-                g("step_rate"),
-                g("halo_wait_ns") / 1e6,
-                g("steals") as u64,
-                g("retransmits") as u64,
-                g("recoveries") as u64,
+    match client.call(&request)? {
+        Response::Pong { version, jobs_done } => {
+            println!("mscd alive: protocol v{version}, {jobs_done} job(s) done");
+        }
+        Response::Stats(st) => {
+            println!(
+                "jobs: {} done, {} denied, {} failed, {} rejected; queue {} deep, \
+                 {} running on {} worker(s); compile cache {} hit(s) / {} miss(es)",
+                st.jobs_done,
+                st.jobs_denied,
+                st.jobs_failed,
+                st.jobs_rejected,
+                st.queue_depth,
+                st.running,
+                st.workers,
+                st.cache_hits,
+                st.cache_misses,
             );
         }
-        if ranks.is_empty() {
-            let _ = writeln!(out, "  (no per-rank samples yet)");
-        }
-    }
-    // Most recent alert anywhere in the stream, plus the running total.
-    let mut alerts_total = 0usize;
-    let mut last_alert = None;
-    for doc in docs {
-        if let Some(alerts) = doc.get("alerts").and_then(Json::as_arr) {
-            alerts_total += alerts.len();
-            if let Some(a) = alerts.last() {
-                last_alert = Some(a);
+        Response::ShuttingDown => println!("mscd is shutting down (queued jobs finish first)"),
+        Response::Done(d) => {
+            println!(
+                "job {}: compiled `{}` for {} ({} LoC, {:?}){}",
+                d.job,
+                d.program,
+                d.target,
+                d.loc,
+                d.files,
+                if d.cache_hit { " [cache hit]" } else { "" },
+            );
+            if let (Some(steps), Some(tiles)) = (d.steps, d.tiles) {
+                println!("job {}: ran {steps} step(s), {tiles} tile(s)", d.job);
+            }
+            if !d.counters.is_empty() {
+                let list: Vec<String> = d
+                    .counters
+                    .iter()
+                    .map(|(k, v)| format!("{k}={v}"))
+                    .collect();
+                println!("job {}: counters {}", d.job, list.join(" "));
+            }
+            if let Some(path) = &d.metrics_path {
+                println!("job {}: metrics stream {path}", d.job);
             }
         }
-    }
-    match last_alert {
-        Some(a) => {
-            let _ = writeln!(
-                out,
-                "alerts: {} total; last: [{}] {}",
-                alerts_total,
-                a.get("kind").and_then(Json::as_str).unwrap_or("?"),
-                a.get("message").and_then(Json::as_str).unwrap_or(""),
-            );
+        Response::Denied { program, report } => {
+            // Surface each structured diagnostic the way `mscc check`
+            // renders them, then fail.
+            let diags = report.get("diagnostics").and_then(Json::as_arr);
+            for d in diags.into_iter().flatten() {
+                let code = d.get("code").and_then(Json::as_str).unwrap_or("?");
+                let msg = d.get("message").and_then(Json::as_str).unwrap_or("");
+                eprintln!("{code}: {msg}");
+            }
+            return Err(format!("daemon denied `{program}` (deny-level lints)").into());
         }
-        None => {
-            let _ = writeln!(out, "alerts: none");
+        Response::Busy { reason, depth, limit } => {
+            return Err(format!(
+                "daemon busy ({}): {depth} of {limit} slot(s) taken; resubmit later",
+                reason.as_str()
+            )
+            .into());
         }
+        Response::Error { message } => return Err(format!("job failed: {message}").into()),
     }
-    out
+    Ok(())
 }
 
 /// `mscc check`: parse without the builder's hard halo/window validation

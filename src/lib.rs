@@ -28,6 +28,9 @@
 //!   annealing auto-tuner;
 //! * [`trace`] (`msc-trace`) — low-overhead runtime tracing and metrics:
 //!   counters, span timelines, profiles, chrome://tracing export;
+//! * [`service`] (`msc-service`) — the `mscd` compile-and-run daemon:
+//!   line-JSON protocol, compile cache, admission control, per-job
+//!   telemetry sessions (`mscc serve` / `mscc submit`);
 //! * [`baselines`] (`msc-baselines`) — OpenACC/OpenMP/Halide/Patus/
 //!   Physis comparison models;
 //! * [`mod@bench`] (`msc-bench`) — the per-table/figure experiment harness.
@@ -61,10 +64,13 @@ pub use msc_core as core;
 pub use msc_exec as exec;
 pub use msc_lint as lint;
 pub use msc_machine as machine;
+pub use msc_service as service;
 pub use msc_sim as sim;
 pub use msc_trace as trace;
 pub use msc_tune as tune;
 pub use msc_vm as vm;
+
+pub mod top;
 
 /// One-stop imports for examples and downstream users.
 pub mod prelude {

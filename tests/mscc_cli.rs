@@ -278,6 +278,16 @@ fn help_documents_every_flag() {
         "--once",
         "--strict",
         "--interval-ms",
+        "--socket",
+        "--workers",
+        "--max-queue",
+        "--tenant-quota",
+        "--metrics-dir",
+        "--pool-threads",
+        "--tenant",
+        "--sleep-ms",
+        "--ping",
+        "--shutdown",
         "-h",
         "--help",
     ] {
@@ -295,6 +305,8 @@ fn help_documents_every_flag() {
         "check subcommand",
         "bench subcommand",
         "top subcommand",
+        "serve subcommand",
+        "submit subcommand",
     ] {
         assert!(
             help.contains(section),
@@ -529,6 +541,82 @@ fn flight_dir_captures_comm_fault_dump() {
     assert!(body.contains("\"kind\""), "{body}");
     let _ = std::fs::remove_dir_all(&dir);
     let _ = std::fs::remove_dir_all(&flight);
+}
+
+#[test]
+fn serve_and_submit_round_trip_through_the_binaries() {
+    // The daemon end to end through the real binaries: start `mscc
+    // serve`, submit the same program twice (second is a cache hit),
+    // bounce a deny fixture off the lint front door without killing the
+    // daemon, then shut down gracefully over the wire.
+    let dir = std::env::temp_dir().join(format!("mscc_cli_serve_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let socket = dir.join("mscd.sock");
+
+    let mut daemon = mscc()
+        .args(["serve", "--workers", "2", "--socket"])
+        .arg(&socket)
+        .arg("--metrics-dir")
+        .arg(dir.join("metrics"))
+        .spawn()
+        .expect("mscd starts");
+    // Wait for the socket to appear.
+    for _ in 0..200 {
+        if socket.exists() {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    }
+    assert!(socket.exists(), "daemon never bound its socket");
+
+    let submit = |extra: &[&str], file: &str| {
+        let mut cmd = mscc();
+        cmd.args(["submit", "--socket"]).arg(&socket);
+        cmd.args(extra);
+        if !file.is_empty() {
+            cmd.arg(file);
+        }
+        cmd.output().expect("mscc submit runs")
+    };
+
+    let first = submit(&["--run"], &dsl("wave2d.msc"));
+    let stdout = String::from_utf8_lossy(&first.stdout);
+    assert!(first.status.success(), "{stdout}");
+    assert!(stdout.contains("compiled `wave2d`"), "{stdout}");
+    assert!(!stdout.contains("[cache hit]"), "{stdout}");
+    assert!(stdout.contains("counters"), "{stdout}");
+    assert!(stdout.contains("metrics stream"), "{stdout}");
+
+    let second = submit(&[], &dsl("wave2d.msc"));
+    let stdout = String::from_utf8_lossy(&second.stdout);
+    assert!(second.status.success(), "{stdout}");
+    assert!(stdout.contains("[cache hit]"), "{stdout}");
+
+    // A deny-level program comes back as structured diagnostics with a
+    // nonzero exit — and the daemon survives it.
+    let denied = submit(&[], &lint_fixture("halo_narrow.deny.msc"));
+    assert!(!denied.status.success(), "deny must exit nonzero");
+    let err = String::from_utf8_lossy(&denied.stderr);
+    assert!(err.contains("MSC-L101"), "{err}");
+    assert!(err.contains("denied"), "{err}");
+
+    let ping = submit(&["--ping"], "");
+    assert!(ping.status.success());
+    let stdout = String::from_utf8_lossy(&ping.stdout);
+    assert!(stdout.contains("mscd alive"), "{stdout}");
+
+    let stats = submit(&["--stats"], "");
+    let stdout = String::from_utf8_lossy(&stats.stdout);
+    assert!(stats.status.success(), "{stdout}");
+    assert!(stdout.contains("2 done, 1 denied"), "{stdout}");
+    assert!(stdout.contains("1 hit(s)"), "{stdout}");
+
+    let down = submit(&["--shutdown"], "");
+    assert!(down.status.success());
+    let code = daemon.wait().expect("daemon exits");
+    assert!(code.success(), "daemon must exit cleanly after shutdown");
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

@@ -1,0 +1,123 @@
+//! Regression tests for `msc::top`: reading a sampler JSONL stream that
+//! is being appended to concurrently. A follower (`mscc top`, or the
+//! strict CI replay) can observe the file at *any* byte boundary, so
+//! every prefix of a valid stream — including prefixes that cut a line
+//! or even a multi-byte UTF-8 character in half — must read cleanly and
+//! yield exactly the complete samples.
+
+use msc::top;
+use std::path::PathBuf;
+
+fn schema() -> &'static str {
+    msc::trace::sampler::METRICS_SCHEMA
+}
+
+/// A small schema-valid stream: monotone seq + counters, per-rank rows,
+/// and an alert whose message contains multi-byte UTF-8 (the sampler
+/// writes arbitrary text there, so read boundaries can split a scalar).
+fn fixture() -> String {
+    let mut s = String::new();
+    s.push_str(&format!(
+        "{{\"schema\":\"{}\",\"seq\":0,\"reason\":\"tick\",\"counters\":{{\"steps\":1}},\
+         \"rates\":{{\"steps_per_s\":10.0}},\"ranks\":[{{\"rank\":0,\"steps\":1}}],\"alerts\":[]}}\n",
+        schema()
+    ));
+    s.push_str(&format!(
+        "{{\"schema\":\"{}\",\"seq\":1,\"reason\":\"tick\",\"counters\":{{\"steps\":2}},\
+         \"rates\":{{\"steps_per_s\":11.0}},\"ranks\":[{{\"rank\":0,\"steps\":2}}],\"alerts\":[]}}\n",
+        schema()
+    ));
+    s.push_str(&format!(
+        "{{\"schema\":\"{}\",\"seq\":2,\"reason\":\"alert\",\"counters\":{{\"steps\":3}},\
+         \"rates\":{{\"steps_per_s\":2.0}},\"ranks\":[{{\"rank\":0,\"steps\":3}}],\
+         \"alerts\":[{{\"kind\":\"stall\",\"message\":\"rank 0 est arrêté — stalled ≥ 5s\"}}]}}\n",
+        schema()
+    ));
+    s
+}
+
+fn temp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("msc-top-stream-{}-{tag}.jsonl", std::process::id()))
+}
+
+#[test]
+fn full_stream_reads_and_validates() {
+    let path = temp_path("full");
+    std::fs::write(&path, fixture()).unwrap();
+    let read = top::read_stream(&path, true).unwrap();
+    assert_eq!(read.docs.len(), 3);
+    assert!(!read.partial_tail);
+    top::strict_check_stream(&path, &read.docs).unwrap();
+    let rendered = top::render_top(&path, &read.docs);
+    assert!(rendered.contains("est arrêté"), "alert lost: {rendered}");
+    std::fs::remove_file(&path).unwrap();
+}
+
+/// The core regression: every byte-truncation of a valid stream must
+/// read without error — even in strict mode — and yield exactly the
+/// samples whose lines are fully written. Before the fix, a truncation
+/// inside the multi-byte 'ê' made the whole read fail (invalid UTF-8),
+/// and a torn-but-newline-terminated tail failed `--strict` spuriously.
+#[test]
+fn every_byte_truncation_reads_cleanly() {
+    let full = fixture();
+    let bytes = full.as_bytes();
+    let path = temp_path("trunc");
+    for len in 0..=bytes.len() {
+        let prefix = &bytes[..len];
+        std::fs::write(&path, prefix).unwrap();
+        let read = top::read_stream(&path, true)
+            .unwrap_or_else(|e| panic!("strict read failed at truncation {len}: {e}"));
+        // A sample is visible once its line is complete. The trailing
+        // fragment counts too in the one case where the truncation
+        // landed exactly between a line's last byte and its newline —
+        // the fragment is then whole, parseable JSON.
+        let newline_terminated = prefix.iter().filter(|&&b| b == b'\n').count();
+        let frag_is_whole_line = bytes.get(len) == Some(&b'\n');
+        let complete = newline_terminated + usize::from(frag_is_whole_line);
+        assert_eq!(
+            read.docs.len(),
+            complete,
+            "truncation {len}: expected {complete} complete samples"
+        );
+        if len > 0 && len < bytes.len() && prefix.last() != Some(&b'\n') {
+            assert!(read.partial_tail, "truncation {len}: tail not flagged");
+        }
+        top::strict_check_stream(&path, &read.docs)
+            .unwrap_or_else(|e| panic!("strict check failed at truncation {len}: {e}"));
+        // Rendering a partial stream must never panic either.
+        let _ = top::render_top(&path, &read.docs);
+    }
+    std::fs::remove_file(&path).unwrap();
+}
+
+/// A line torn *after* its trailing newline was written (reader saw the
+/// newline but only part of the payload is sane JSON) is still the tail
+/// of the stream and must be tolerated, not reported as corruption.
+#[test]
+fn newline_terminated_torn_tail_is_tolerated() {
+    let mut text = fixture();
+    text.push_str("{\"schema\":\"msc-metr\n");
+    let path = temp_path("torn");
+    std::fs::write(&path, &text).unwrap();
+    let read = top::read_stream(&path, true).unwrap();
+    assert_eq!(read.docs.len(), 3);
+    assert!(read.partial_tail);
+    std::fs::remove_file(&path).unwrap();
+}
+
+/// Interior corruption is a different story: a malformed line *followed
+/// by* valid lines cannot be a mid-append race and must fail strict
+/// reads (and be skipped, not crashed on, in tolerant reads).
+#[test]
+fn interior_corruption_still_fails_strict() {
+    let mut lines: Vec<String> = fixture().lines().map(str::to_string).collect();
+    lines.insert(1, "{not json at all".to_string());
+    let text = lines.join("\n") + "\n";
+    let path = temp_path("corrupt");
+    std::fs::write(&path, &text).unwrap();
+    assert!(top::read_stream(&path, true).is_err());
+    let tolerant = top::read_stream(&path, false).unwrap();
+    assert_eq!(tolerant.docs.len(), 3);
+    std::fs::remove_file(&path).unwrap();
+}
