@@ -153,6 +153,20 @@ impl<T: Scalar> TieredStencil<T> {
         // Lowering only fails on register/const-pool overflow — kernels
         // that large fall back to the interpreter.
         let vm = msc_vm::compile_linear(&linear).ok();
+        // Debug builds additionally audit the bytecode against the
+        // stencil's own footprint: every (slot, offset) the program can
+        // load must be one of the linearized taps, so a miscompile can
+        // never read outside the halo the layout guarantees.
+        #[cfg(debug_assertions)]
+        if let Some(prog) = &vm {
+            let allowed: std::collections::BTreeSet<(usize, i64)> = linear
+                .iter()
+                .flat_map(|t| t.taps.iter().map(move |&(off, _)| (t.slot, off)))
+                .collect();
+            if let Err(e) = prog.sanity_check(Some(&allowed)) {
+                panic!("VM bytecode escapes the stencil footprint: {e}");
+            }
+        }
         let active = match tier {
             ExecTier::Interp => ActiveTier::Interp,
             ExecTier::Vm if vm.is_some() => ActiveTier::Vm,

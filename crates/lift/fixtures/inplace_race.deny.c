@@ -1,0 +1,12 @@
+/* Gauss-Seidel-style in-place sweep: reads the cell the previous
+ * iteration just overwrote. Lifts structurally, but the ordinary lint
+ * passes must deny it (MSC-L201 window too shallow, MSC-L302 in-place
+ * order dependence) through the same gate as DSL programs. */
+double A[34][34];
+
+void gauss_seidel(void) {
+  for (int i = 1; i < 33; i++)
+    for (int j = 1; j < 33; j++)
+      A[i][j] = 0.25*A[i-1][j] + 0.25*A[i][j-1]
+              + 0.25*A[i][j+1] + 0.25*A[i+1][j];
+}

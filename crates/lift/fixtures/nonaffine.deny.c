@@ -1,0 +1,10 @@
+/* Strided (non-affine) subscript: `A[i*2][j]` does not normalize to
+ * `var + constant`, so the affine pass must reject it with MSC-L502. */
+double A[34][34];
+double B[34][34];
+
+void strided(void) {
+  for (int i = 1; i < 16; i++)
+    for (int j = 1; j < 33; j++)
+      B[i][j] = 0.5*A[i*2][j] + 0.5*A[i][j];
+}

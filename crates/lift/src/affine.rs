@@ -1,0 +1,680 @@
+//! Affine index analysis (pass 2 of the lift pipeline, DESIGN.md §16.2).
+//!
+//! Every array subscript is normalized to `loop_var + constant offset`
+//! per dimension, and the right-hand side is linearized into a signed
+//! tap list `Σ coeff · A[p + offset]` **in source order**. Anything that
+//! does not normalize is rejected with a typed `MSC-L5xx` diagnostic:
+//! non-affine subscripts (L502), subscripts whose variable does not
+//! match the loop of that dimension (L503), non-linear or otherwise
+//! unsummarizable arithmetic (L504), and rank/extent disagreements
+//! (L505).
+//!
+//! The pass also rewrites the RHS into [`RExpr`], a structure-preserving
+//! copy with offsets resolved — the translation validator interprets
+//! *that* tree directly, so validation really runs the original C
+//! evaluation order, not our normalized tap list.
+
+use std::collections::BTreeMap;
+
+use crate::ast::{ArrayDecl, CExpr, CFile, IExpr, RawAccess};
+use crate::lex::Span;
+use crate::LiftError;
+use msc_lint::LintCode;
+
+/// One linearized tap: `coeff * in[p + offsets]`, in source order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinTap {
+    pub coeff: f64,
+    pub offsets: Vec<i64>,
+    pub span: Span,
+}
+
+/// The original RHS with subscripts resolved to constant offsets; the
+/// shape (and therefore the floating-point evaluation order) of the C
+/// source is preserved exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RExpr {
+    Num(f64),
+    Access(Vec<i64>),
+    Add(Box<RExpr>, Box<RExpr>),
+    Sub(Box<RExpr>, Box<RExpr>),
+    Mul(Box<RExpr>, Box<RExpr>),
+    Neg(Box<RExpr>),
+}
+
+/// The affine summary of a liftable loop nest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AffineNest {
+    /// Kernel name (function name, or the caller's fallback).
+    pub name: String,
+    /// Array written by the store.
+    pub out_array: String,
+    /// Array read by every tap.
+    pub in_array: String,
+    /// Declared (padded) extents per dimension.
+    pub extents: Vec<usize>,
+    /// Loop lower bounds per dimension.
+    pub lo: Vec<i64>,
+    /// Loop upper bounds (exclusive) per dimension.
+    pub hi: Vec<i64>,
+    /// Source-order linearized taps.
+    pub taps: Vec<LinTap>,
+    /// The original RHS, offsets resolved.
+    pub rhs: RExpr,
+    /// `true` when the nest reads and writes the same array.
+    pub in_place: bool,
+}
+
+/// A linear form over the loop variables: `Σ coeff·var + konst`.
+#[derive(Debug, Clone, Default)]
+struct LinForm {
+    coeffs: BTreeMap<String, i64>,
+    konst: i64,
+}
+
+fn err(code: LintCode, msg: String, span: Span, help: &str) -> LiftError {
+    LiftError::new(code, msg, format!("{span}"), help.into())
+}
+
+/// Evaluate an index expression to a linear form; `Err` means the
+/// subscript is non-affine (contains a product of two variables).
+fn linform(e: &IExpr, span: Span) -> Result<LinForm, LiftError> {
+    Ok(match e {
+        IExpr::Num(v) => LinForm {
+            coeffs: BTreeMap::new(),
+            konst: *v,
+        },
+        IExpr::Var(name, _) => {
+            let mut c = BTreeMap::new();
+            c.insert(name.clone(), 1);
+            LinForm {
+                coeffs: c,
+                konst: 0,
+            }
+        }
+        IExpr::Add(a, b) => {
+            let (mut x, y) = (linform(a, span)?, linform(b, span)?);
+            for (v, c) in y.coeffs {
+                *x.coeffs.entry(v).or_insert(0) += c;
+            }
+            x.konst += y.konst;
+            x
+        }
+        IExpr::Sub(a, b) => {
+            let (mut x, y) = (linform(a, span)?, linform(b, span)?);
+            for (v, c) in y.coeffs {
+                *x.coeffs.entry(v).or_insert(0) -= c;
+            }
+            x.konst -= y.konst;
+            x
+        }
+        IExpr::Neg(a) => {
+            let mut x = linform(a, span)?;
+            for c in x.coeffs.values_mut() {
+                *c = -*c;
+            }
+            x.konst = -x.konst;
+            x
+        }
+        IExpr::Mul(a, b) => {
+            let (x, y) = (linform(a, span)?, linform(b, span)?);
+            let (scale, mut lin) = if x.coeffs.is_empty() {
+                (x.konst, y)
+            } else if y.coeffs.is_empty() {
+                (y.konst, x)
+            } else {
+                return Err(err(
+                    LintCode::LiftNonAffineSubscript,
+                    "subscript multiplies two loop variables".into(),
+                    span,
+                    "stencil subscripts must be `var + constant` per dimension",
+                ));
+            };
+            for c in lin.coeffs.values_mut() {
+                *c *= scale;
+            }
+            lin.konst *= scale;
+            lin
+        }
+    })
+}
+
+/// Normalize one subscript of `access` for dimension `dim` (whose loop
+/// variable is `vars[dim]`) to a constant offset.
+fn offset_of(access: &RawAccess, dim: usize, vars: &[String]) -> Result<i64, LiftError> {
+    let lf = linform(&access.indices[dim], access.span)?;
+    let nonzero: Vec<(&String, &i64)> = lf.coeffs.iter().filter(|(_, &c)| c != 0).collect();
+    match nonzero.as_slice() {
+        [] => Err(err(
+            LintCode::LiftNonAffineSubscript,
+            format!(
+                "subscript {} of `{}` is a constant — it does not sweep with \
+                 the loop nest",
+                dim + 1,
+                access.array
+            ),
+            access.span,
+            "every dimension of a stencil access must read `var + constant`",
+        )),
+        [(v, &c)] if *v == &vars[dim] && c == 1 => Ok(lf.konst),
+        [(v, &c)] if *v == &vars[dim] => Err(err(
+            LintCode::LiftNonAffineSubscript,
+            format!(
+                "subscript {} of `{}` scales `{v}` by {c}; only unit stride \
+                 is affine-liftable",
+                dim + 1,
+                access.array
+            ),
+            access.span,
+            "",
+        )),
+        [(v, _)] => Err(err(
+            LintCode::LiftUnsupportedLoop,
+            format!(
+                "subscript {} of `{}` uses `{v}` but dimension {} is swept by \
+                 `{}` — loop order and subscript order must agree",
+                dim + 1,
+                access.array,
+                dim + 1,
+                vars[dim]
+            ),
+            access.span,
+            "transpose the loops (or the subscripts) so they match",
+        )),
+        _ => Err(err(
+            LintCode::LiftNonAffineSubscript,
+            format!(
+                "subscript {} of `{}` mixes several loop variables",
+                dim + 1,
+                access.array
+            ),
+            access.span,
+            "every dimension of a stencil access must read `var + constant`",
+        )),
+    }
+}
+
+/// Resolve a whole access to its offset vector, checking rank.
+fn offsets_of(access: &RawAccess, vars: &[String]) -> Result<Vec<i64>, LiftError> {
+    if access.indices.len() != vars.len() {
+        return Err(err(
+            LintCode::LiftShapeMismatch,
+            format!(
+                "`{}` is accessed with {} subscript(s) inside a {}-deep loop nest",
+                access.array,
+                access.indices.len(),
+                vars.len()
+            ),
+            access.span,
+            "",
+        ));
+    }
+    (0..vars.len())
+        .map(|d| offset_of(access, d, vars))
+        .collect()
+}
+
+/// Partial linearization of a subtree: accumulated taps plus a constant.
+struct Lin {
+    taps: Vec<LinTap>,
+    konst: f64,
+}
+
+/// Linearize the RHS and mirror it into an [`RExpr`]. `in_array` pins
+/// the single array every tap must read.
+fn linearize(
+    e: &CExpr,
+    vars: &[String],
+    in_array: &mut Option<String>,
+    top_span: Span,
+) -> Result<(RExpr, Lin), LiftError> {
+    Ok(match e {
+        CExpr::Num(v) => (
+            RExpr::Num(*v),
+            Lin {
+                taps: Vec::new(),
+                konst: *v,
+            },
+        ),
+        CExpr::Access(a) => {
+            match in_array {
+                Some(name) if *name != a.array => {
+                    return Err(err(
+                        LintCode::LiftUnsupportedConstruct,
+                        format!(
+                            "kernel reads both `{name}` and `{}`; a liftable nest \
+                             reads exactly one input array",
+                            a.array
+                        ),
+                        a.span,
+                        "",
+                    ))
+                }
+                Some(_) => {}
+                None => *in_array = Some(a.array.clone()),
+            }
+            let off = offsets_of(a, vars)?;
+            (
+                RExpr::Access(off.clone()),
+                Lin {
+                    taps: vec![LinTap {
+                        coeff: 1.0,
+                        offsets: off,
+                        span: a.span,
+                    }],
+                    konst: 0.0,
+                },
+            )
+        }
+        CExpr::Add(a, b) => {
+            let (ra, la) = linearize(a, vars, in_array, top_span)?;
+            let (rb, lb) = linearize(b, vars, in_array, top_span)?;
+            let mut taps = la.taps;
+            taps.extend(lb.taps);
+            (
+                RExpr::Add(Box::new(ra), Box::new(rb)),
+                Lin {
+                    taps,
+                    konst: la.konst + lb.konst,
+                },
+            )
+        }
+        CExpr::Sub(a, b) => {
+            let (ra, la) = linearize(a, vars, in_array, top_span)?;
+            let (rb, lb) = linearize(b, vars, in_array, top_span)?;
+            let mut taps = la.taps;
+            // `x - y` contributes `y`'s taps negated: IEEE addition of a
+            // negated operand is bit-identical to the subtraction.
+            taps.extend(lb.taps.into_iter().map(|t| LinTap {
+                coeff: -t.coeff,
+                ..t
+            }));
+            (
+                RExpr::Sub(Box::new(ra), Box::new(rb)),
+                Lin {
+                    taps,
+                    konst: la.konst - lb.konst,
+                },
+            )
+        }
+        CExpr::Neg(a) => {
+            let (ra, la) = linearize(a, vars, in_array, top_span)?;
+            (
+                RExpr::Neg(Box::new(ra)),
+                Lin {
+                    taps: la
+                        .taps
+                        .into_iter()
+                        .map(|t| LinTap {
+                            coeff: -t.coeff,
+                            ..t
+                        })
+                        .collect(),
+                    konst: -la.konst,
+                },
+            )
+        }
+        CExpr::Mul(a, b) => {
+            let (ra, la) = linearize(a, vars, in_array, top_span)?;
+            let (rb, lb) = linearize(b, vars, in_array, top_span)?;
+            let rex = RExpr::Mul(Box::new(ra), Box::new(rb));
+            let (cst, tapped) = match (la.taps.is_empty(), lb.taps.is_empty()) {
+                (true, true) => {
+                    // Pure constant product, folded in tree order — the
+                    // same fold a C compiler performs.
+                    return Ok((
+                        rex,
+                        Lin {
+                            taps: Vec::new(),
+                            konst: la.konst * lb.konst,
+                        },
+                    ));
+                }
+                (true, false) => (la.konst, lb),
+                (false, true) => (lb.konst, la),
+                (false, false) => {
+                    return Err(err(
+                        LintCode::LiftUnsupportedConstruct,
+                        "product of two array reads is not a linear stencil".into(),
+                        top_span,
+                        "",
+                    ))
+                }
+            };
+            // Scaling is only bit-transparent on a single bare (±1) tap:
+            // `c*(x)` and `c*(-x)` match the tap `±c·x` exactly, but
+            // `c*(a+b)` or `c1*(c2*x)` would reassociate the rounding.
+            if tapped.taps.len() != 1 || tapped.konst != 0.0 {
+                return Err(err(
+                    LintCode::LiftUnsupportedConstruct,
+                    "coefficient multiplies a compound expression; distribute \
+                     it over the taps"
+                        .into(),
+                    top_span,
+                    "write the kernel as a flat sum `c1*A[..] + c2*A[..] + ...`",
+                ));
+            }
+            let t = &tapped.taps[0];
+            if t.coeff != 1.0 && t.coeff != -1.0 {
+                return Err(err(
+                    LintCode::LiftUnsupportedConstruct,
+                    "nested coefficient products reassociate floating-point \
+                     rounding; use one literal coefficient per tap"
+                        .into(),
+                    top_span,
+                    "fold the constants into a single literal",
+                ));
+            }
+            (
+                rex,
+                Lin {
+                    taps: vec![LinTap {
+                        coeff: cst * t.coeff,
+                        offsets: t.offsets.clone(),
+                        span: t.span,
+                    }],
+                    konst: 0.0,
+                },
+            )
+        }
+    })
+}
+
+/// Run the affine pass over a parsed file.
+pub fn analyze(file: &CFile, fallback_name: &str) -> Result<AffineNest, LiftError> {
+    let loops = &file.loops;
+    let store = &file.store;
+    if loops.is_empty() || loops.len() > 3 {
+        return Err(err(
+            LintCode::LiftUnsupportedLoop,
+            format!(
+                "{}-deep loop nests are not supported (1–3 dimensions)",
+                loops.len()
+            ),
+            store.span,
+            "",
+        ));
+    }
+    let vars: Vec<String> = loops.iter().map(|l| l.var.clone()).collect();
+    for (i, l) in loops.iter().enumerate() {
+        if vars[..i].contains(&l.var) {
+            return Err(err(
+                LintCode::LiftUnsupportedLoop,
+                format!("loop variable `{}` is reused by two loops", l.var),
+                l.span,
+                "",
+            ));
+        }
+        if l.hi <= l.lo {
+            return Err(err(
+                LintCode::LiftUnsupportedLoop,
+                format!(
+                    "loop over `{}` has an empty range [{}, {})",
+                    l.var, l.lo, l.hi
+                ),
+                l.span,
+                "",
+            ));
+        }
+    }
+
+    // Declarations: one extents vector per array, duplicates rejected.
+    let mut decls: BTreeMap<&str, &ArrayDecl> = BTreeMap::new();
+    for d in &file.decls {
+        if decls.insert(d.name.as_str(), d).is_some() {
+            return Err(err(
+                LintCode::LiftShapeMismatch,
+                format!("array `{}` is declared twice", d.name),
+                d.span,
+                "",
+            ));
+        }
+    }
+
+    // The store target must be the unshifted sweep point `A[i][j]...`.
+    let out_offsets = offsets_of(&store.target, &vars)?;
+    if out_offsets.iter().any(|&o| o != 0) {
+        return Err(err(
+            LintCode::LiftUnsupportedConstruct,
+            format!(
+                "store to `{}` is shifted by {:?}; a liftable nest writes the \
+                 sweep point itself",
+                store.target.array, out_offsets
+            ),
+            store.target.span,
+            "",
+        ));
+    }
+
+    let mut in_array = None;
+    let (rhs, lin) = linearize(&store.rhs, &vars, &mut in_array, store.span)?;
+    let in_array = in_array.ok_or_else(|| {
+        err(
+            LintCode::LiftUnsupportedConstruct,
+            "right-hand side reads no array; nothing to lift".into(),
+            store.span,
+            "",
+        )
+    })?;
+    if lin.konst != 0.0 {
+        return Err(err(
+            LintCode::LiftUnsupportedConstruct,
+            format!(
+                "additive constant {} on the right-hand side; MSC kernels are \
+                 homogeneous tap sums",
+                lin.konst
+            ),
+            store.span,
+            "",
+        ));
+    }
+    // Duplicate offsets would be merged by tap canonicalization, which
+    // changes the rounding sequence; demand they be pre-merged.
+    for (i, a) in lin.taps.iter().enumerate() {
+        if lin.taps[..i].iter().any(|b| b.offsets == a.offsets) {
+            return Err(err(
+                LintCode::LiftUnsupportedConstruct,
+                format!("offset {:?} is tapped twice", a.offsets),
+                a.span,
+                "merge the duplicate taps into one coefficient",
+            ));
+        }
+    }
+
+    // Shape bookkeeping: both arrays declared, same rank and extents.
+    let out_array = store.target.array.clone();
+    let extents = {
+        let lookup = |name: &str, span: Span| -> Result<Vec<usize>, LiftError> {
+            let d = decls.get(name).ok_or_else(|| {
+                err(
+                    LintCode::LiftShapeMismatch,
+                    format!("array `{name}` has no declaration giving its extents"),
+                    span,
+                    "declare it as a global or a function parameter, e.g. \
+                     `double A[34][34];`",
+                )
+            })?;
+            if d.extents.len() != loops.len() {
+                return Err(err(
+                    LintCode::LiftShapeMismatch,
+                    format!(
+                        "array `{name}` is declared {}-dimensional but the nest is \
+                         {}-deep",
+                        d.extents.len(),
+                        loops.len()
+                    ),
+                    span,
+                    "",
+                ));
+            }
+            Ok(d.extents.clone())
+        };
+        let out_ext = lookup(&out_array, store.target.span)?;
+        let in_ext = lookup(&in_array, store.span)?;
+        if out_ext != in_ext {
+            return Err(err(
+                LintCode::LiftShapeMismatch,
+                format!(
+                    "`{out_array}` is declared {out_ext:?} but `{in_array}` is \
+                     {in_ext:?}; ping-pong buffers must have identical shape"
+                ),
+                store.span,
+                "",
+            ));
+        }
+        out_ext
+    };
+
+    Ok(AffineNest {
+        name: file
+            .name
+            .clone()
+            .unwrap_or_else(|| fallback_name.to_string()),
+        in_place: out_array == in_array,
+        out_array,
+        in_array,
+        extents,
+        lo: loops.iter().map(|l| l.lo).collect(),
+        hi: loops.iter().map(|l| l.hi).collect(),
+        taps: lin.taps,
+        rhs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::parse;
+
+    fn nest(src: &str) -> Result<AffineNest, LiftError> {
+        analyze(&parse(src).unwrap(), "t")
+    }
+
+    #[test]
+    fn normalizes_taps_in_source_order() {
+        let n = nest(
+            "double A[8][8]; double B[8][8];
+             for (int i = 1; i < 7; i++)
+               for (int j = 1; j < 7; j++)
+                 B[i][j] = 0.25*A[i-1][j] - A[i][j+1+1] + A[i][j]*0.5;",
+        )
+        .unwrap();
+        assert_eq!(n.in_array, "A");
+        assert_eq!(n.out_array, "B");
+        assert!(!n.in_place);
+        let got: Vec<(f64, Vec<i64>)> = n
+            .taps
+            .iter()
+            .map(|t| (t.coeff, t.offsets.clone()))
+            .collect();
+        assert_eq!(
+            got,
+            vec![(0.25, vec![-1, 0]), (-1.0, vec![0, 2]), (0.5, vec![0, 0]),]
+        );
+    }
+
+    #[test]
+    fn in_place_nests_are_flagged() {
+        let n = nest(
+            "double A[8];
+             for (int i = 1; i < 7; i++) A[i] = 0.5*A[i-1] + 0.5*A[i+1];",
+        )
+        .unwrap();
+        assert!(n.in_place);
+    }
+
+    #[test]
+    fn nonaffine_subscripts_are_l502() {
+        for bad in [
+            "double A[8][8]; double B[8][8];
+             for (int i = 1; i < 7; i++) for (int j = 1; j < 7; j++)
+               B[i][j] = A[i*2][j];",
+            "double A[8][8]; double B[8][8];
+             for (int i = 1; i < 7; i++) for (int j = 1; j < 7; j++)
+               B[i][j] = A[i+j][j];",
+            "double A[8][8]; double B[8][8];
+             for (int i = 1; i < 7; i++) for (int j = 1; j < 7; j++)
+               B[i][j] = A[0][j];",
+        ] {
+            assert_eq!(
+                nest(bad).unwrap_err().code,
+                LintCode::LiftNonAffineSubscript,
+                "{bad}"
+            );
+        }
+    }
+
+    #[test]
+    fn transposed_subscripts_are_l503() {
+        let e = nest(
+            "double A[8][8]; double B[8][8];
+             for (int i = 1; i < 7; i++) for (int j = 1; j < 7; j++)
+               B[i][j] = A[j][i];",
+        )
+        .unwrap_err();
+        assert_eq!(e.code, LintCode::LiftUnsupportedLoop);
+    }
+
+    #[test]
+    fn unsupported_constructs_are_l504() {
+        for bad in [
+            // non-linear
+            "double A[8]; double B[8];
+             for (int i = 1; i < 7; i++) B[i] = A[i]*A[i];",
+            // factored coefficient over a sum
+            "double A[8]; double B[8];
+             for (int i = 1; i < 7; i++) B[i] = 0.5*(A[i-1] + A[i+1]);",
+            // nested coefficient product
+            "double A[8]; double B[8];
+             for (int i = 1; i < 7; i++) B[i] = 2.0*(0.5*A[i]);",
+            // additive constant
+            "double A[8]; double B[8];
+             for (int i = 1; i < 7; i++) B[i] = A[i] + 1.0;",
+            // duplicate tap
+            "double A[8]; double B[8];
+             for (int i = 1; i < 7; i++) B[i] = 0.5*A[i] + 0.5*A[i];",
+            // two input arrays
+            "double A[8]; double B[8]; double C[8];
+             for (int i = 1; i < 7; i++) C[i] = A[i] + B[i];",
+            // shifted store
+            "double A[8]; double B[8];
+             for (int i = 1; i < 7; i++) B[i+1] = A[i];",
+        ] {
+            assert_eq!(
+                nest(bad).unwrap_err().code,
+                LintCode::LiftUnsupportedConstruct,
+                "{bad}"
+            );
+        }
+    }
+
+    #[test]
+    fn shape_mismatches_are_l505() {
+        for bad in [
+            // undeclared input
+            "double B[8]; for (int i = 1; i < 7; i++) B[i] = A[i];",
+            // rank mismatch between decl and nest
+            "double A[8][8]; double B[8][8];
+             for (int i = 1; i < 7; i++) B[i] = A[i];",
+            // extents differ
+            "double A[8]; double B[10];
+             for (int i = 1; i < 7; i++) B[i] = A[i];",
+        ] {
+            assert_eq!(
+                nest(bad).unwrap_err().code,
+                LintCode::LiftShapeMismatch,
+                "{bad}"
+            );
+        }
+    }
+
+    #[test]
+    fn subtraction_negates_the_tap() {
+        let n = nest(
+            "double A[8]; double B[8];
+             for (int i = 1; i < 7; i++) B[i] = A[i] - 0.25*A[i+1];",
+        )
+        .unwrap();
+        assert_eq!(n.taps[1].coeff, -0.25);
+    }
+}

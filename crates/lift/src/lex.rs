@@ -1,0 +1,333 @@
+//! Lexer for the supported C subset (DESIGN.md §16.1).
+//!
+//! Produces a flat token stream with line/column spans so every later
+//! pass can point diagnostics at the offending source position. The
+//! lexer is total over arbitrary input: any byte sequence either lexes
+//! or returns a typed `MSC-L501` error — it never panics (the fuzz
+//! suite in `tests/parse_prop.rs` holds it to that).
+
+use crate::LiftError;
+use msc_lint::LintCode;
+
+/// A source position (1-based, like rustc and every C compiler).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    pub line: u32,
+    pub col: u32,
+}
+
+impl std::fmt::Display for Span {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {} col {}", self.line, self.col)
+    }
+}
+
+/// One lexical token of the subset.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword (`for`, `int`, `double`, `void` stay idents;
+    /// the parser gives them meaning by position).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Floating literal.
+    Float(f64),
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    LBrace,
+    RBrace,
+    Semi,
+    Comma,
+    Assign,
+    Plus,
+    Minus,
+    Star,
+    Lt,
+    Le,
+    /// `++` (postfix or prefix increment).
+    PlusPlus,
+    /// `+=`.
+    PlusAssign,
+}
+
+impl Tok {
+    /// Short human name for error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            Tok::Ident(s) => format!("`{s}`"),
+            Tok::Int(v) => format!("`{v}`"),
+            Tok::Float(v) => format!("`{v}`"),
+            Tok::LParen => "`(`".into(),
+            Tok::RParen => "`)`".into(),
+            Tok::LBracket => "`[`".into(),
+            Tok::RBracket => "`]`".into(),
+            Tok::LBrace => "`{`".into(),
+            Tok::RBrace => "`}`".into(),
+            Tok::Semi => "`;`".into(),
+            Tok::Comma => "`,`".into(),
+            Tok::Assign => "`=`".into(),
+            Tok::Plus => "`+`".into(),
+            Tok::Minus => "`-`".into(),
+            Tok::Star => "`*`".into(),
+            Tok::Lt => "`<`".into(),
+            Tok::Le => "`<=`".into(),
+            Tok::PlusPlus => "`++`".into(),
+            Tok::PlusAssign => "`+=`".into(),
+        }
+    }
+}
+
+/// A token with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub tok: Tok,
+    pub span: Span,
+}
+
+struct Lexer<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.next()?;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.chars.peek().copied()
+    }
+
+    fn span(&self) -> Span {
+        Span {
+            line: self.line,
+            col: self.col,
+        }
+    }
+
+    fn err(&self, msg: String) -> LiftError {
+        LiftError::new(
+            LintCode::LiftSyntaxError,
+            msg,
+            format!("{}", self.span()),
+            String::new(),
+        )
+    }
+}
+
+/// Lex `src` into tokens, or return an `MSC-L501` diagnostic.
+pub fn lex(src: &str) -> Result<Vec<Token>, LiftError> {
+    let mut lx = Lexer {
+        chars: src.chars().peekable(),
+        line: 1,
+        col: 1,
+    };
+    let mut out = Vec::new();
+    loop {
+        // Skip whitespace and both comment styles.
+        match lx.peek() {
+            None => break,
+            Some(c) if c.is_whitespace() => {
+                lx.bump();
+                continue;
+            }
+            Some('/') => {
+                let span = lx.span();
+                lx.bump();
+                match lx.peek() {
+                    Some('/') => {
+                        while let Some(c) = lx.bump() {
+                            if c == '\n' {
+                                break;
+                            }
+                        }
+                        continue;
+                    }
+                    Some('*') => {
+                        lx.bump();
+                        let mut closed = false;
+                        while let Some(c) = lx.bump() {
+                            if c == '*' && lx.peek() == Some('/') {
+                                lx.bump();
+                                closed = true;
+                                break;
+                            }
+                        }
+                        if !closed {
+                            return Err(LiftError::new(
+                                LintCode::LiftSyntaxError,
+                                "unterminated block comment".into(),
+                                format!("{span}"),
+                                String::new(),
+                            ));
+                        }
+                        continue;
+                    }
+                    // Division is outside the subset: every kernel
+                    // coefficient must be a literal (DESIGN.md §16.1).
+                    _ => {
+                        return Err(LiftError::new(
+                            LintCode::LiftSyntaxError,
+                            "`/` is not in the supported subset (write the \
+                             coefficient as a literal)"
+                                .into(),
+                            format!("{span}"),
+                            String::new(),
+                        ))
+                    }
+                }
+            }
+            Some(_) => {}
+        }
+        let span = lx.span();
+        let c = lx.bump().expect("peeked");
+        let tok = match c {
+            '(' => Tok::LParen,
+            ')' => Tok::RParen,
+            '[' => Tok::LBracket,
+            ']' => Tok::RBracket,
+            '{' => Tok::LBrace,
+            '}' => Tok::RBrace,
+            ';' => Tok::Semi,
+            ',' => Tok::Comma,
+            '*' => Tok::Star,
+            '-' => Tok::Minus,
+            '=' => Tok::Assign,
+            '<' => {
+                if lx.peek() == Some('=') {
+                    lx.bump();
+                    Tok::Le
+                } else {
+                    Tok::Lt
+                }
+            }
+            '+' => match lx.peek() {
+                Some('+') => {
+                    lx.bump();
+                    Tok::PlusPlus
+                }
+                Some('=') => {
+                    lx.bump();
+                    Tok::PlusAssign
+                }
+                _ => Tok::Plus,
+            },
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut s = String::new();
+                s.push(c);
+                while let Some(n) = lx.peek() {
+                    if n.is_ascii_alphanumeric() || n == '_' {
+                        s.push(n);
+                        lx.bump();
+                    } else {
+                        break;
+                    }
+                }
+                Tok::Ident(s)
+            }
+            c if c.is_ascii_digit() => {
+                let mut s = String::new();
+                s.push(c);
+                let mut is_float = false;
+                while let Some(n) = lx.peek() {
+                    if n.is_ascii_digit() {
+                        s.push(n);
+                        lx.bump();
+                    } else if n == '.' && !is_float {
+                        is_float = true;
+                        s.push(n);
+                        lx.bump();
+                    } else if (n == 'e' || n == 'E') && !s.contains('e') && !s.contains('E') {
+                        is_float = true;
+                        s.push(n);
+                        lx.bump();
+                        if let Some(sgn) = lx.peek() {
+                            if sgn == '+' || sgn == '-' {
+                                s.push(sgn);
+                                lx.bump();
+                            }
+                        }
+                    } else {
+                        break;
+                    }
+                }
+                if is_float {
+                    match s.parse::<f64>() {
+                        Ok(v) if v.is_finite() => Tok::Float(v),
+                        _ => return Err(lx.err(format!("malformed float literal `{s}`"))),
+                    }
+                } else {
+                    match s.parse::<i64>() {
+                        Ok(v) => Tok::Int(v),
+                        Err(_) => return Err(lx.err(format!("integer literal `{s}` overflows"))),
+                    }
+                }
+            }
+            other => {
+                return Err(LiftError::new(
+                    LintCode::LiftSyntaxError,
+                    format!("unexpected character `{}`", other.escape_default()),
+                    format!("{span}"),
+                    String::new(),
+                ))
+            }
+        };
+        out.push(Token { tok, span });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_a_loop_header_with_spans() {
+        let toks = lex("for (int i = 1; i < 33; i++)").unwrap();
+        assert_eq!(toks[0].tok, Tok::Ident("for".into()));
+        assert_eq!(toks[0].span, Span { line: 1, col: 1 });
+        assert!(toks.iter().any(|t| t.tok == Tok::PlusPlus));
+        assert!(toks.iter().any(|t| t.tok == Tok::Lt));
+    }
+
+    #[test]
+    fn lexes_floats_ints_and_exponents() {
+        let toks = lex("0.25 3 1e-3 2.5E2").unwrap();
+        assert_eq!(toks[0].tok, Tok::Float(0.25));
+        assert_eq!(toks[1].tok, Tok::Int(3));
+        assert_eq!(toks[2].tok, Tok::Float(1e-3));
+        assert_eq!(toks[3].tok, Tok::Float(2.5e2));
+    }
+
+    #[test]
+    fn skips_both_comment_styles_and_tracks_lines() {
+        let toks = lex("// a\n/* b\nc */ x").unwrap();
+        assert_eq!(toks.len(), 1);
+        assert_eq!(toks[0].tok, Tok::Ident("x".into()));
+        assert_eq!(toks[0].span.line, 3);
+    }
+
+    #[test]
+    fn rejects_division_and_strays_with_l501() {
+        for src in [
+            "a / b",
+            "a @ b",
+            "\"str\"",
+            "/* open",
+            "999999999999999999999",
+        ] {
+            let err = lex(src).unwrap_err();
+            assert_eq!(err.code, LintCode::LiftSyntaxError, "{src}");
+        }
+    }
+}

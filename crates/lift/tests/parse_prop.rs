@@ -1,0 +1,116 @@
+//! Property tests for the C front end ([`msc_lift::parse`]): the lifter
+//! ingests legacy source files we do not control, so the parser's
+//! contract is `Err` (a typed `MSC-L5xx` diagnostic), never a panic or
+//! a stack overflow, on arbitrary input.
+
+use msc_lift::{parse, MAX_EXPR_DEPTH};
+use proptest::prelude::*;
+
+/// Valid kernels covering every construct the grammar admits: 1–3D
+/// nests, function wrappers, comments, negative literals, subtraction,
+/// bare and coefficient taps.
+fn corpus() -> Vec<String> {
+    vec![
+        "double A[10]; double B[10];\n\
+         for (int i = 1; i < 9; i++)\n\
+           B[i] = 0.5*A[i-1] + 0.5*A[i+1];"
+            .to_string(),
+        "/* 2d five-point */\n\
+         double A[12][12];\n\
+         double B[12][12];\n\
+         void jac(void) {\n\
+           for (int i = 1; i < 11; i++)\n\
+             for (int j = 1; j < 11; j++)\n\
+               B[i][j] = 0.25*A[i-1][j] + 0.2*A[i][j-1] + 0.1*A[i][j]\n\
+                       + 0.2*A[i][j+1] + 0.25*A[i+1][j]; // star\n\
+         }"
+        .to_string(),
+        "double U[6][6][6]; double V[6][6][6];\n\
+         for (int i = 1; i < 5; i++)\n\
+           for (int j = 1; j < 5; j++)\n\
+             for (int k = 1; k < 5; k++)\n\
+               V[i][j][k] = U[i][j][k] - 0.1*U[i-1][j][k] + -2.5e-2*U[i][j][k+1];"
+            .to_string(),
+        "double A[10]; for (int i = 2; i < 8; i++) A[i] = 0.3*A[i-2] + 0.7*A[i+2];".to_string(),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Mutate valid kernels with byte flips and truncation; the parser
+    /// must return Ok or Err, never panic.
+    #[test]
+    fn parse_survives_mutated_corpus(
+        doc_idx in 0usize..=3,
+        flips in prop::collection::vec((0usize..=4095, 0u8..=255), 0..=8),
+        cut in 0usize..=4095,
+    ) {
+        let mut bytes = corpus()[doc_idx].clone().into_bytes();
+        for (p, v) in flips {
+            let i = p % bytes.len();
+            bytes[i] = v;
+        }
+        bytes.truncate(cut % (bytes.len() + 1));
+        let text = String::from_utf8_lossy(&bytes);
+        let _ = parse(&text);
+    }
+
+    /// Pure garbage: arbitrary byte soup (lossily decoded — the parser
+    /// takes `&str`) must never panic the front end.
+    #[test]
+    fn parse_survives_arbitrary_bytes(
+        bytes in prop::collection::vec(0u8..=255, 0..=96),
+    ) {
+        let text = String::from_utf8_lossy(&bytes);
+        let _ = parse(&text);
+    }
+
+    /// Hostile expression nesting at arbitrary depths: shallow parses,
+    /// deep input errors out at the documented cap, nothing overflows
+    /// the recursive-descent stack.
+    #[test]
+    fn parse_survives_any_expr_nesting_depth(
+        depth in 0usize..=4096,
+    ) {
+        let doc = format!(
+            "double A[10]; double B[10];\n\
+             for (int i = 1; i < 9; i++)\n\
+               B[i] = {}A[i]{};",
+            "(".repeat(depth),
+            ")".repeat(depth),
+        );
+        let parsed = parse(&doc);
+        // MAX_EXPR_DEPTH is the documented cap; stay clear of the exact
+        // boundary rather than encoding its off-by-one here.
+        if depth <= MAX_EXPR_DEPTH / 2 {
+            prop_assert!(parsed.is_ok(), "depth {depth} rejected: {parsed:?}");
+        } else if depth >= MAX_EXPR_DEPTH * 2 {
+            prop_assert!(parsed.is_err(), "depth {depth} accepted");
+        }
+    }
+
+    /// Numeric literals near the edges of what the lexer accepts (huge
+    /// magnitudes, stacked signs, float soup) must parse or error
+    /// cleanly.
+    #[test]
+    fn parse_survives_hostile_literals(
+        mantissa in prop::collection::vec(0u8..=9, 1..=32),
+        exp in -400i32..=400,
+    ) {
+        let digits: String = mantissa.iter().map(|d| (b'0' + d) as char).collect();
+        let doc = format!(
+            "double A[10]; double B[10];\n\
+             for (int i = 1; i < 9; i++)\n\
+               B[i] = {digits}.{digits}e{exp}*A[i];"
+        );
+        let _ = parse(&doc);
+    }
+}
+
+#[test]
+fn corpus_is_actually_valid() {
+    for doc in corpus() {
+        parse(&doc).unwrap_or_else(|e| panic!("corpus kernel rejected ({e}): {doc}"));
+    }
+}

@@ -1,6 +1,7 @@
 //! Stable lint codes. Codes are grouped by family (`MSC-L1xx` halo,
 //! `MSC-L2xx` time window, `MSC-L3xx` parallel races, `MSC-L4xx`
-//! capacity/decomposition) and are part of the tool's public contract:
+//! capacity/decomposition, `MSC-L5xx` C lifting) and are part of the
+//! tool's public contract:
 //! fixtures, CI greps and downstream tooling match on the code string, so
 //! codes are never renumbered or reused.
 
@@ -37,6 +38,30 @@ pub enum LintCode {
     MpiGridIndivisible,
     /// MSC-L404: per-rank sub-extent smaller than the halo depth.
     MpiSubgridTooNarrow,
+    /// MSC-L501: the C source does not lex/parse in the supported
+    /// subset (see DESIGN.md §16 for the grammar).
+    LiftSyntaxError,
+    /// MSC-L502: an array subscript is not affine in the loop
+    /// variables (`var + integer constant` per dimension).
+    LiftNonAffineSubscript,
+    /// MSC-L503: loop structure outside the supported subset
+    /// (non-unit step, non-constant bounds, or loop order that does
+    /// not match the subscript order).
+    LiftUnsupportedLoop,
+    /// MSC-L504: statement or expression form the lifter cannot
+    /// summarize (multiple stores, non-linear arithmetic, calls).
+    LiftUnsupportedConstruct,
+    /// MSC-L505: accesses disagree on array rank or extents.
+    LiftShapeMismatch,
+    /// MSC-L506: interior margins are asymmetric, non-uniform across
+    /// dimensions, or narrower than the stencil's reach.
+    LiftMarginMismatch,
+    /// MSC-L507: parenthesized expressions nested beyond the parser's
+    /// depth cap (hostile or generated input).
+    LiftNestTooDeep,
+    /// MSC-L508: translation validation failed — the lifted program
+    /// is not bit-identical to direct interpretation of the loop nest.
+    LiftValidationMismatch,
 }
 
 impl LintCode {
@@ -54,6 +79,14 @@ impl LintCode {
             LintCode::DmaRowTooShort => "MSC-L402",
             LintCode::MpiGridIndivisible => "MSC-L403",
             LintCode::MpiSubgridTooNarrow => "MSC-L404",
+            LintCode::LiftSyntaxError => "MSC-L501",
+            LintCode::LiftNonAffineSubscript => "MSC-L502",
+            LintCode::LiftUnsupportedLoop => "MSC-L503",
+            LintCode::LiftUnsupportedConstruct => "MSC-L504",
+            LintCode::LiftShapeMismatch => "MSC-L505",
+            LintCode::LiftMarginMismatch => "MSC-L506",
+            LintCode::LiftNestTooDeep => "MSC-L507",
+            LintCode::LiftValidationMismatch => "MSC-L508",
         }
     }
 
@@ -69,6 +102,14 @@ impl LintCode {
             | LintCode::DmaRowTooShort
             | LintCode::MpiGridIndivisible
             | LintCode::MpiSubgridTooNarrow => "capacity",
+            LintCode::LiftSyntaxError
+            | LintCode::LiftNonAffineSubscript
+            | LintCode::LiftUnsupportedLoop
+            | LintCode::LiftUnsupportedConstruct
+            | LintCode::LiftShapeMismatch
+            | LintCode::LiftMarginMismatch
+            | LintCode::LiftNestTooDeep
+            | LintCode::LiftValidationMismatch => "lift",
         }
     }
 
@@ -82,7 +123,15 @@ impl LintCode {
             | LintCode::InPlaceOrderDependence
             | LintCode::SpmOverflow
             | LintCode::MpiGridIndivisible
-            | LintCode::MpiSubgridTooNarrow => Severity::Deny,
+            | LintCode::MpiSubgridTooNarrow
+            | LintCode::LiftSyntaxError
+            | LintCode::LiftNonAffineSubscript
+            | LintCode::LiftUnsupportedLoop
+            | LintCode::LiftUnsupportedConstruct
+            | LintCode::LiftShapeMismatch
+            | LintCode::LiftMarginMismatch
+            | LintCode::LiftNestTooDeep
+            | LintCode::LiftValidationMismatch => Severity::Deny,
             LintCode::HaloOversized
             | LintCode::WindowOversized
             | LintCode::ThreadsExceedTiles
@@ -104,6 +153,14 @@ impl LintCode {
             LintCode::DmaRowTooShort,
             LintCode::MpiGridIndivisible,
             LintCode::MpiSubgridTooNarrow,
+            LintCode::LiftSyntaxError,
+            LintCode::LiftNonAffineSubscript,
+            LintCode::LiftUnsupportedLoop,
+            LintCode::LiftUnsupportedConstruct,
+            LintCode::LiftShapeMismatch,
+            LintCode::LiftMarginMismatch,
+            LintCode::LiftNestTooDeep,
+            LintCode::LiftValidationMismatch,
         ]
     }
 }
@@ -125,7 +182,7 @@ mod tests {
             assert!(seen.insert(c.as_str()), "duplicate code {}", c);
             assert!(c.as_str().starts_with("MSC-L"));
         }
-        assert_eq!(seen.len(), 11);
+        assert_eq!(seen.len(), 19);
     }
 
     #[test]
@@ -137,6 +194,7 @@ mod tests {
                 "2" => "window",
                 "3" => "race",
                 "4" => "capacity",
+                "5" => "lift",
                 _ => unreachable!(),
             };
             assert_eq!(c.family(), fam, "{}", c);

@@ -162,8 +162,7 @@ impl<T: VmScalar> Builder<T> {
         }
         // vreg -> constant pool index for splatted constants, to turn a
         // chain seeded by the zero register into an immediate seed.
-        let splat_of: HashMap<u16, u16> =
-            self.const_reg.iter().map(|(&ix, &r)| (r, ix)).collect();
+        let splat_of: HashMap<u16, u16> = self.const_reg.iter().map(|(&ix, &r)| (r, ix)).collect();
         let ops = merge_fma_chains(self.ops, &uses, &splat_of, out);
 
         // Last instruction index that reads each virtual register; the
@@ -213,13 +212,23 @@ impl<T: VmScalar> Builder<T> {
             new.remap(dst, phys_srcs);
             alloc_ops.push(new);
         }
-        VmProgram {
+        let prog = VmProgram {
             ops: alloc_ops,
             consts: self.consts,
             n_regs: n_phys as usize,
             out: map[out as usize],
             n_slots: self.max_slot + 1,
+        };
+        // Debug builds audit the bytecode once, right here, before it can
+        // ever dispatch: def-before-use over the *physical* registers
+        // (which also proves the allocator never wired an op to a freed
+        // register), bounds on every register/constant/slot index, and
+        // chain-length invariants. Release builds skip the walk.
+        #[cfg(debug_assertions)]
+        if let Err(e) = prog.sanity_check(None) {
+            panic!("compiled VM bytecode failed the static sanity pass: {e}");
         }
+        prog
     }
 }
 
@@ -236,12 +245,7 @@ impl<T: VmScalar> Builder<T> {
 /// sequence, so they are purely dispatch/accumulator-traffic
 /// optimizations; `uses` proves the folded intermediates have no other
 /// reader (`out` is read externally and is never folded).
-fn merge_fma_chains(
-    ops: Vec<Op>,
-    uses: &[u32],
-    splat_of: &HashMap<u16, u16>,
-    out: u16,
-) -> Vec<Op> {
+fn merge_fma_chains(ops: Vec<Op>, uses: &[u32], splat_of: &HashMap<u16, u16>, out: u16) -> Vec<Op> {
     let mut merged: Vec<Op> = Vec::with_capacity(ops.len());
     for op in ops {
         match op {
@@ -508,8 +512,10 @@ mod tests {
         // bit-identity failures actually show up.
         (0..n)
             .map(|i| {
-                let x = ((i as u64).wrapping_mul(6364136223846793005).wrapping_add(seed) >> 11)
-                    as f64
+                let x = ((i as u64)
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(seed)
+                    >> 11) as f64
                     / (1u64 << 53) as f64;
                 (x - 0.5) * 1e3
             })
@@ -591,10 +597,10 @@ mod tests {
             .collect();
         assert_eq!(chains, vec![3, 2], "one fused dispatch per term");
         assert!(
-            !prog.ops().iter().any(|o| matches!(
-                o,
-                Op::Load { .. } | Op::FmaLoad { .. } | Op::MulAddC { .. }
-            )),
+            !prog
+                .ops()
+                .iter()
+                .any(|o| matches!(o, Op::Load { .. } | Op::FmaLoad { .. } | Op::MulAddC { .. })),
             "short linear terms must fuse completely"
         );
         // Pool: 0.0, 0.25, 0.5 — dedup across taps and weights.

@@ -293,8 +293,7 @@ impl<T: VmScalar> VmProgram<T> {
                                 let start = (base as i64 + off[k]) as usize;
                                 &states[slot[k] as usize][start..start + n]
                             });
-                            let cv: [T; $k] =
-                                std::array::from_fn(|k| self.consts[c[k] as usize]);
+                            let cv: [T; $k] = std::array::from_fn(|k| self.consts[c[k] as usize]);
                             for (i, r) in dst_row.iter_mut().enumerate() {
                                 let mut t = *r;
                                 for (&cvk, row) in cv.iter().zip(rows.iter()) {
@@ -340,8 +339,7 @@ impl<T: VmScalar> VmProgram<T> {
                                 let start = (base as i64 + off[k]) as usize;
                                 &states[slot[k] as usize][start..start + n]
                             });
-                            let cv: [T; $k] =
-                                std::array::from_fn(|k| self.consts[c[k] as usize]);
+                            let cv: [T; $k] = std::array::from_fn(|k| self.consts[c[k] as usize]);
                             for (i, r) in dst_row.iter_mut().enumerate() {
                                 let mut t = seed;
                                 for (&cvk, row) in cv.iter().zip(rows.iter()) {
@@ -445,5 +443,263 @@ impl<T: VmScalar> VmProgram<T> {
         let mut out = [T::default()];
         self.run_row(states, base, &mut out, scratch);
         out[0]
+    }
+
+    /// One-shot static audit of the bytecode, run before first dispatch
+    /// in debug builds: every register is defined before it is read and
+    /// in bounds, every constant index hits the pool, every load's slot
+    /// is within `n_slots`, chain lengths stay in `1..=MAX_CHAIN`, and —
+    /// when the caller knows the stencil's tap set — every `(slot, off)`
+    /// the program can touch is one of the stencil's own taps, so a
+    /// miscompiled offset can never read outside the kernel's footprint.
+    ///
+    /// `run_chunk` itself stays check-free: this walk is O(ops), once,
+    /// instead of per-row bounds logic in the hot loop.
+    pub fn sanity_check(
+        &self,
+        allowed_taps: Option<&std::collections::BTreeSet<(usize, i64)>>,
+    ) -> Result<(), String> {
+        let mut defined = vec![false; self.n_regs];
+        let reg = |r: u16, what: &str, i: usize| -> Result<usize, String> {
+            if (r as usize) < self.n_regs {
+                Ok(r as usize)
+            } else {
+                Err(format!(
+                    "op {i}: {what} register r{r} out of bounds (n_regs = {})",
+                    self.n_regs
+                ))
+            }
+        };
+        let konst = |c: u16, i: usize| -> Result<(), String> {
+            if (c as usize) < self.consts.len() {
+                Ok(())
+            } else {
+                Err(format!(
+                    "op {i}: constant index {c} out of pool (len {})",
+                    self.consts.len()
+                ))
+            }
+        };
+        let tap = |slot: u16, off: i64, i: usize| -> Result<(), String> {
+            if slot as usize >= self.n_slots {
+                return Err(format!(
+                    "op {i}: state slot {slot} out of bounds (n_slots = {})",
+                    self.n_slots
+                ));
+            }
+            if let Some(taps) = allowed_taps {
+                if !taps.contains(&(slot as usize, off)) {
+                    return Err(format!(
+                        "op {i}: load (slot {slot}, off {off}) is not a tap of \
+                         the stencil's footprint"
+                    ));
+                }
+            }
+            Ok(())
+        };
+        for (i, op) in self.ops.iter().enumerate() {
+            // Sources must be defined before this op runs.
+            let (srcs, n_srcs) = op.srcs();
+            for &s in &srcs[..n_srcs] {
+                let s = reg(s, "source", i)?;
+                if !defined[s] {
+                    return Err(format!("op {i}: reads r{s} before any op defines it"));
+                }
+            }
+            match *op {
+                Op::Const { idx, .. } => konst(idx, i)?,
+                Op::Load { slot, off, .. } => tap(slot, off, i)?,
+                Op::MulAddC { c, .. } => konst(c, i)?,
+                Op::FmaLoad { c, slot, off, .. } => {
+                    konst(c, i)?;
+                    tap(slot, off, i)?;
+                }
+                Op::FmaChain {
+                    n, c, slot, off, ..
+                } => {
+                    if n == 0 || n as usize > MAX_CHAIN {
+                        return Err(format!("op {i}: chain length {n} outside 1..={MAX_CHAIN}"));
+                    }
+                    for k in 0..n as usize {
+                        konst(c[k], i)?;
+                        tap(slot[k], off[k], i)?;
+                    }
+                }
+                Op::FmaChainW {
+                    w,
+                    seed_c,
+                    n,
+                    c,
+                    slot,
+                    off,
+                    ..
+                } => {
+                    konst(w, i)?;
+                    konst(seed_c, i)?;
+                    if n == 0 || n as usize > MAX_CHAIN {
+                        return Err(format!("op {i}: chain length {n} outside 1..={MAX_CHAIN}"));
+                    }
+                    for k in 0..n as usize {
+                        konst(c[k], i)?;
+                        tap(slot[k], off[k], i)?;
+                    }
+                }
+                Op::Bin { .. } | Op::Un { .. } => {}
+            }
+            defined[reg(op.dst(), "destination", i)?] = true;
+        }
+        let out = reg(self.out, "output", self.ops.len())?;
+        if !defined[out] {
+            return Err(format!("output register r{out} is never defined"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod sanity_tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    fn prog(
+        ops: Vec<Op>,
+        consts: Vec<f64>,
+        n_regs: usize,
+        out: u16,
+        n_slots: usize,
+    ) -> VmProgram<f64> {
+        VmProgram {
+            ops,
+            consts,
+            n_regs,
+            out,
+            n_slots,
+        }
+    }
+
+    #[test]
+    fn well_formed_program_passes() {
+        let p = prog(
+            vec![
+                Op::Const { dst: 0, idx: 0 },
+                Op::FmaLoad {
+                    dst: 0,
+                    c: 1,
+                    slot: 0,
+                    off: -1,
+                    acc: 0,
+                },
+            ],
+            vec![0.0, 0.5],
+            1,
+            0,
+            1,
+        );
+        p.sanity_check(None).unwrap();
+        let allowed: BTreeSet<(usize, i64)> = [(0usize, -1i64)].into();
+        p.sanity_check(Some(&allowed)).unwrap();
+    }
+
+    #[test]
+    fn use_before_def_is_caught() {
+        let p = prog(
+            vec![Op::Un {
+                op: UnKind::Neg,
+                dst: 0,
+                a: 1,
+            }],
+            vec![],
+            2,
+            0,
+            1,
+        );
+        let e = p.sanity_check(None).unwrap_err();
+        assert!(e.contains("before any op defines it"), "{e}");
+    }
+
+    #[test]
+    fn register_const_and_slot_bounds_are_caught() {
+        let oob_reg = prog(vec![Op::Const { dst: 7, idx: 0 }], vec![0.0], 1, 0, 1);
+        assert!(oob_reg
+            .sanity_check(None)
+            .unwrap_err()
+            .contains("out of bounds"));
+
+        let oob_const = prog(vec![Op::Const { dst: 0, idx: 9 }], vec![0.0], 1, 0, 1);
+        assert!(oob_const
+            .sanity_check(None)
+            .unwrap_err()
+            .contains("out of pool"));
+
+        let oob_slot = prog(
+            vec![
+                Op::Const { dst: 0, idx: 0 },
+                Op::Load {
+                    dst: 0,
+                    slot: 3,
+                    off: 0,
+                },
+            ],
+            vec![0.0],
+            1,
+            0,
+            2,
+        );
+        assert!(oob_slot.sanity_check(None).unwrap_err().contains("slot 3"));
+    }
+
+    #[test]
+    fn off_footprint_tap_is_caught() {
+        let p = prog(
+            vec![
+                Op::Const { dst: 0, idx: 0 },
+                Op::FmaLoad {
+                    dst: 0,
+                    c: 0,
+                    slot: 0,
+                    off: 99,
+                    acc: 0,
+                },
+            ],
+            vec![0.25],
+            1,
+            0,
+            1,
+        );
+        p.sanity_check(None).unwrap();
+        let allowed: BTreeSet<(usize, i64)> = [(0usize, -1i64), (0, 0), (0, 1)].into();
+        let e = p.sanity_check(Some(&allowed)).unwrap_err();
+        assert!(e.contains("not a tap"), "{e}");
+    }
+
+    #[test]
+    fn bad_chain_length_and_undefined_out_are_caught() {
+        let chain = prog(
+            vec![
+                Op::Const { dst: 0, idx: 0 },
+                Op::FmaChain {
+                    dst: 0,
+                    acc: 0,
+                    n: (MAX_CHAIN + 1) as u8,
+                    c: [0; MAX_CHAIN],
+                    slot: [0; MAX_CHAIN],
+                    off: [0; MAX_CHAIN],
+                },
+            ],
+            vec![0.0],
+            1,
+            0,
+            1,
+        );
+        assert!(chain
+            .sanity_check(None)
+            .unwrap_err()
+            .contains("chain length"));
+
+        let undef_out = prog(vec![Op::Const { dst: 0, idx: 0 }], vec![0.0], 2, 1, 1);
+        assert!(undef_out
+            .sanity_check(None)
+            .unwrap_err()
+            .contains("never defined"));
     }
 }

@@ -55,6 +55,36 @@ for f in crates/lint/fixtures/*.fixed.msc; do
   ./target/debug/mscc check "$f" >/dev/null
 done
 
+echo "== legacy C lifting (mscc lift: corpus + deny fixtures) =="
+# Every corpus kernel must lift lint-clean and validate bit-for-bit
+# against direct interpretation of the C nest on all execution tiers;
+# every deny fixture must fail with a typed structured diagnostic
+# (never a panic), surfaced through --json as machine-readable MSC-L
+# codes.
+tmpl=$(mktemp -d)
+for f in examples/lift/*.c; do
+  ./target/debug/mscc lift "$f" > "$tmpl/lift.out"
+  grep -q 'validated bit-for-bit' "$tmpl/lift.out"
+done
+for f in crates/lift/fixtures/*.deny.c; do
+  if ./target/debug/mscc lift "$f" --json >"$tmpl/deny.json"; then
+    echo "expected lift deny: $f" >&2
+    exit 1
+  fi
+  grep -q '"diagnostics"' "$tmpl/deny.json" || {
+    echo "lift deny must emit structured JSON: $f" >&2
+    exit 1
+  }
+done
+# The lifted corpus round-trips through the DSL front end: emitted .msc
+# source must pass the same `mscc check` gate as hand-written programs.
+for f in examples/lift/*.c; do
+  out="$tmpl/$(basename "${f%.c}").msc"
+  ./target/debug/mscc lift "$f" --emit-msc | sed -n '/^stencil/,$p' > "$out"
+  ./target/debug/mscc check "$out" >/dev/null
+done
+rm -rf "$tmpl"
+
 echo "== live telemetry (chaos-kill run + strict metrics validation) =="
 # A 2-rank run with a mid-run kill must still heal bit-identically while
 # the sampler leaves behind a JSONL metrics stream and an OpenMetrics
@@ -86,15 +116,19 @@ for _ in $(seq 1 100); do
 done
 test -S "$tmps/mscd.sock"
 ./target/release/mscc submit --socket "$tmps/mscd.sock" --run examples/dsl/wave2d.msc
+# Capture, then grep: `grep -q` exits on first match and closing the
+# pipe mid-print makes the client die on EPIPE (a long-standing flake).
 ./target/release/mscc submit --socket "$tmps/mscd.sock" examples/dsl/wave2d.msc \
-  | grep -q 'cache hit'
+  > "$tmps/second.out"
+grep -q 'cache hit' "$tmps/second.out"
 if ./target/release/mscc submit --socket "$tmps/mscd.sock" \
     crates/lint/fixtures/halo_narrow.deny.msc 2>"$tmps/deny.err"; then
   echo "expected daemon deny: halo_narrow.deny.msc" >&2
   exit 1
 fi
 grep -q 'MSC-L101' "$tmps/deny.err"
-./target/release/mscc submit --socket "$tmps/mscd.sock" --ping | grep -q 'mscd alive'
+./target/release/mscc submit --socket "$tmps/mscd.sock" --ping > "$tmps/ping.out"
+grep -q 'mscd alive' "$tmps/ping.out"
 ./target/release/mscc submit --socket "$tmps/mscd.sock" --shutdown
 wait "$mscd_pid"
 rm -rf "$tmps"

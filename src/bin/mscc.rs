@@ -51,6 +51,7 @@ mscc — MSC stencil compiler driver
 usage:
   mscc <file.msc> [options]    compile a stencil (and optionally run it)
   mscc check <file.msc> [options]  run the static stencil verifier only
+  mscc lift <file.c> [options]  lift a restricted C loop nest to stencil IR
   mscc bench [options]         record or check the benchmark trajectory
   mscc top METRICS.jsonl [options]  live per-rank view of a metrics stream
   mscc serve [options]         run the mscd compile-and-run daemon
@@ -119,6 +120,18 @@ check subcommand (mscc check):
       --json               emit machine-readable JSON diagnostics on stdout
                            (exit code still reflects deny-level findings;
                            --target selects the capacity lints as above)
+
+lift subcommand (mscc lift):
+      --emit-msc           print the lifted program as `.msc` DSL source
+      --run                execute the lifted program (serial reference)
+                           and print run statistics
+      --json               emit machine-readable JSON diagnostics on stdout
+                           (same schema and deny-gated exit code as
+                           `mscc check`; MSC-L5xx codes report lift
+                           failures, and a successful lift is additionally
+                           validated bit-for-bit against direct
+                           interpretation of the C nest on every
+                           execution tier)
 
 serve subcommand (mscc serve):
       --socket PATH        Unix socket to listen on (default: mscd.sock in
@@ -208,6 +221,13 @@ struct CheckArgs {
     target: Option<Target>,
 }
 
+struct LiftArgs {
+    input: PathBuf,
+    emit_msc: bool,
+    run: bool,
+    json: bool,
+}
+
 struct ServeArgs {
     socket: Option<PathBuf>,
     workers: usize,
@@ -237,6 +257,7 @@ struct SubmitArgs {
 enum Cli {
     Compile(Box<Args>),
     Check(CheckArgs),
+    Lift(LiftArgs),
     Bench(BenchArgs),
     Top(TopArgs),
     Serve(ServeArgs),
@@ -253,6 +274,10 @@ fn parse_cli() -> Result<Cli, String> {
     if argv.peek().map(String::as_str) == Some("check") {
         argv.next();
         return parse_check_args(argv).map(Cli::Check);
+    }
+    if argv.peek().map(String::as_str) == Some("lift") {
+        argv.next();
+        return parse_lift_args(argv).map(Cli::Lift);
     }
     if argv.peek().map(String::as_str) == Some("top") {
         argv.next();
@@ -426,6 +451,31 @@ fn parse_check_args(mut argv: impl Iterator<Item = String>) -> Result<CheckArgs,
         input: input.ok_or("no input file (try --help)")?,
         json,
         target,
+    })
+}
+
+fn parse_lift_args(mut argv: impl Iterator<Item = String>) -> Result<LiftArgs, String> {
+    let mut input = None;
+    let mut emit_msc = false;
+    let mut run = false;
+    let mut json = false;
+    for a in argv.by_ref() {
+        match a.as_str() {
+            "--emit-msc" => emit_msc = true,
+            "--run" => run = true,
+            "--json" => json = true,
+            "-h" | "--help" => return Err("__help__".into()),
+            other if input.is_none() && !other.starts_with('-') => {
+                input = Some(PathBuf::from(other))
+            }
+            other => return Err(format!("unexpected lift argument `{other}`")),
+        }
+    }
+    Ok(LiftArgs {
+        input: input.ok_or("no input file (try --help)")?,
+        emit_msc,
+        run,
+        json,
     })
 }
 
@@ -658,6 +708,7 @@ fn main() -> ExitCode {
         }
         Cli::Compile(args) => drive(*args),
         Cli::Check(args) => drive_check(args),
+        Cli::Lift(args) => drive_lift(args),
         Cli::Bench(args) => drive_bench(args),
         Cli::Top(args) => drive_top(args),
         Cli::Serve(args) => drive_serve(args),
@@ -910,11 +961,8 @@ fn drive_submit(args: SubmitArgs) -> Result<(), Box<dyn std::error::Error>> {
                 println!("job {}: ran {steps} step(s), {tiles} tile(s)", d.job);
             }
             if !d.counters.is_empty() {
-                let list: Vec<String> = d
-                    .counters
-                    .iter()
-                    .map(|(k, v)| format!("{k}={v}"))
-                    .collect();
+                let list: Vec<String> =
+                    d.counters.iter().map(|(k, v)| format!("{k}={v}")).collect();
                 println!("job {}: counters {}", d.job, list.join(" "));
             }
             if let Some(path) = &d.metrics_path {
@@ -932,7 +980,11 @@ fn drive_submit(args: SubmitArgs) -> Result<(), Box<dyn std::error::Error>> {
             }
             return Err(format!("daemon denied `{program}` (deny-level lints)").into());
         }
-        Response::Busy { reason, depth, limit } => {
+        Response::Busy {
+            reason,
+            depth,
+            limit,
+        } => {
             return Err(format!(
                 "daemon busy ({}): {depth} of {limit} slot(s) taken; resubmit later",
                 reason.as_str()
@@ -971,6 +1023,81 @@ fn drive_check(args: CheckArgs) -> Result<(), Box<dyn std::error::Error>> {
             parsed.program.name
         )
         .into());
+    }
+    Ok(())
+}
+
+/// `mscc lift`: statically lift a restricted C loop nest into the
+/// stencil IR, run the full verifier over the recovered program, and —
+/// when it comes back clean — validate the translation bit-for-bit
+/// against direct interpretation of the original nest on every
+/// execution tier. Exit code is nonzero iff a deny-level diagnostic
+/// fired (MSC-L5xx lift failures included).
+fn drive_lift(args: LiftArgs) -> Result<(), Box<dyn std::error::Error>> {
+    let source = std::fs::read_to_string(&args.input)
+        .map_err(|e| format!("cannot read {}: {e}", args.input.display()))?;
+    let fallback = args
+        .input
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("lifted");
+    let outcome = msc::lift::lift_source(&source, fallback);
+    let (mut report, lifted) = (outcome.report, outcome.lifted);
+    let mut validation = None;
+    if let Some(lifted) = &lifted {
+        if !report.has_deny() {
+            match msc::lift::validate(lifted, &msc::lift::DEFAULT_SEEDS) {
+                Ok(v) => validation = Some(v),
+                Err(e) => report.push(e.to_diagnostic()),
+            }
+        }
+    }
+    let name = lifted
+        .as_ref()
+        .map_or(fallback, |l| l.program.name.as_str())
+        .to_string();
+    if args.json {
+        println!("{}", report.to_json());
+    } else if report.is_clean() {
+        let v = validation
+            .as_ref()
+            .expect("clean lift reports always carry a validation outcome");
+        println!(
+            "lift clean: `{name}` validated bit-for-bit on {} seed(s) x {} tier(s) ({} cells compared)",
+            v.seeds.len(),
+            v.tiers,
+            v.cells_compared
+        );
+    } else {
+        print!("{}", report.render());
+    }
+    if report.has_deny() {
+        return Err(format!(
+            "{} deny-level lint(s) lifting `{name}`",
+            report.deny_count()
+        )
+        .into());
+    }
+    let lifted = lifted.expect("a deny-free lift report implies a lifted program");
+    if args.emit_msc {
+        print!("{}", msc::core::parse::to_msc_source(&lifted.program, None));
+    }
+    if args.run {
+        let grid = &lifted.program.grid;
+        let init: msc::exec::Grid<f64> = msc::exec::Grid::random(&grid.shape, &grid.halo, 42);
+        let (out, stats) = msc::exec::run_program_tier(
+            &lifted.program,
+            &msc::exec::driver::Executor::Reference,
+            &init,
+            msc::exec::Boundary::Dirichlet,
+            msc::exec::ExecTier::Auto,
+        )?;
+        println!(
+            "ran `{name}`: {} step(s), {} tile(s), interior sum {:.6e}",
+            stats.steps,
+            stats.tiles_executed,
+            out.interior_sum()
+        );
     }
     Ok(())
 }

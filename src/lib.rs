@@ -24,6 +24,9 @@
 //! * [`lint`] (`msc-lint`) — the compile-time stencil verifier: footprint
 //!   inference, halo/window sufficiency, parallel-race and capacity
 //!   lints, gating every codegen and execution entry point;
+//! * [`lift`] (`msc-lift`) — static lifting of legacy C loop nests into
+//!   the stencil IR: parse → affine analysis → footprint recovery →
+//!   bit-exact translation validation (`mscc lift`);
 //! * [`tune`] (`msc-tune`) — regression performance model + simulated
 //!   annealing auto-tuner;
 //! * [`trace`] (`msc-trace`) — low-overhead runtime tracing and metrics:
@@ -62,6 +65,7 @@ pub use msc_codegen as codegen;
 pub use msc_comm as comm;
 pub use msc_core as core;
 pub use msc_exec as exec;
+pub use msc_lift as lift;
 pub use msc_lint as lint;
 pub use msc_machine as machine;
 pub use msc_service as service;

@@ -288,6 +288,7 @@ fn help_documents_every_flag() {
         "--sleep-ms",
         "--ping",
         "--shutdown",
+        "--emit-msc",
         "-h",
         "--help",
     ] {
@@ -303,6 +304,7 @@ fn help_documents_every_flag() {
         "distributed:",
         "observability:",
         "check subcommand",
+        "lift subcommand",
         "bench subcommand",
         "top subcommand",
         "serve subcommand",
@@ -372,6 +374,100 @@ fn check_json_is_machine_readable() {
         d.get("code").and_then(|v| v.as_str()) == Some("MSC-L201")
             && d.get("severity").and_then(|v| v.as_str()) == Some("deny")
     }));
+}
+
+fn lift_example(name: &str) -> String {
+    format!("{}/examples/lift/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+fn lift_fixture(name: &str) -> String {
+    format!("{}/crates/lift/fixtures/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn lift_validates_corpus_kernel_and_emits_msc() {
+    // A legacy C nest lifts clean, reports the bit-exact validation
+    // line, and --emit-msc prints DSL source the compiler re-accepts.
+    let out = mscc()
+        .args(["lift", "--emit-msc"])
+        .arg(lift_example("jacobi2d.c"))
+        .output()
+        .expect("mscc runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.contains("lift clean: `jacobi2d`"), "{stdout}");
+    assert!(stdout.contains("validated bit-for-bit"), "{stdout}");
+    assert!(stdout.contains("3 seed(s) x 3 tier(s)"), "{stdout}");
+    assert!(stdout.contains("stencil jacobi2d {"), "{stdout}");
+    // The emitted source must re-parse through the DSL front end.
+    let msc_src = &stdout[stdout.find("stencil jacobi2d").unwrap()..];
+    msc::core::parse::parse_unchecked(msc_src).expect("emitted .msc re-parses");
+}
+
+#[test]
+fn lift_run_executes_the_lifted_program() {
+    let out = mscc()
+        .args(["lift", "--run"])
+        .arg(lift_example("jacobi3d.c"))
+        .output()
+        .expect("mscc runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.contains("ran `jacobi3d`: 4 step(s)"), "{stdout}");
+}
+
+#[test]
+fn lift_denies_inplace_nest_through_the_lint_gate() {
+    // An in-place Gauss–Seidel sweep lifts structurally but must exit
+    // nonzero with the same race diagnostics a DSL program would get.
+    let out = mscc()
+        .args(["lift"])
+        .arg(lift_fixture("inplace_race.deny.c"))
+        .output()
+        .expect("mscc runs");
+    assert!(!out.status.success(), "deny-level lift must exit nonzero");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("MSC-L201"), "{stdout}");
+    assert!(stdout.contains("MSC-L302"), "{stdout}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("deny-level lint(s) lifting"), "{err}");
+}
+
+#[test]
+fn lift_json_reports_structured_l5xx_diagnostics() {
+    // Unsupported input never panics: it exits nonzero with a typed
+    // MSC-L5xx diagnostic in the same JSON schema `mscc check` emits.
+    let out = mscc()
+        .args(["lift", "--json"])
+        .arg(lift_fixture("nonaffine.deny.c"))
+        .output()
+        .expect("mscc runs");
+    assert!(!out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let doc = msc::bench::results::Json::parse(&stdout).expect("valid JSON on stdout");
+    assert_eq!(doc.get("tool").and_then(|v| v.as_str()), Some("msc-lint"));
+    let diags = match doc.get("diagnostics") {
+        Some(msc::bench::results::Json::Arr(items)) => items,
+        other => panic!("diagnostics must be an array, got {other:?}"),
+    };
+    assert!(diags.iter().any(|d| {
+        d.get("code").and_then(|v| v.as_str()) == Some("MSC-L502")
+            && d.get("severity").and_then(|v| v.as_str()) == Some("deny")
+            && d.get("family").and_then(|v| v.as_str()) == Some("lift")
+    }));
+}
+
+#[test]
+fn lift_syntax_garbage_is_a_typed_diagnostic_not_a_panic() {
+    let dir = std::env::temp_dir().join("mscc_cli_lift_garbage");
+    let _ = std::fs::create_dir_all(&dir);
+    let bad = dir.join("garbage.c");
+    std::fs::write(&bad, "int main() { while (1) malloc(8); }").unwrap();
+    let out = mscc().args(["lift"]).arg(&bad).output().expect("mscc runs");
+    assert!(!out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("MSC-L5"), "{stdout}");
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
